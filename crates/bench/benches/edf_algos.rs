@@ -1,0 +1,34 @@
+//! Cost of the related-work DVS algorithms: the YDS optimal schedule
+//! (O(n^2) per round) and an AVR EDF simulation, as a function of job
+//! count — the practicality axis behind the paper's preference for a
+//! constant-time run-time heuristic.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lpfps_cpu::power::PowerModel;
+use lpfps_edf::{simulate_edf, JobSet, SpeedProfile, YdsSchedule};
+use lpfps_tasks::exec::AlwaysWcet;
+use lpfps_tasks::time::Dur;
+use lpfps_workloads::cnc;
+
+fn bench_edf_algos(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edf_algos");
+    group.sample_size(10);
+    let power = PowerModel::default();
+
+    for hyperperiods in [1u64, 4, 16] {
+        let horizon = Dur::from_us(9_600 * hyperperiods);
+        let jobs = JobSet::from_taskset(&cnc(), horizon, &AlwaysWcet, 0);
+        let n = jobs.len();
+        group.bench_function(format!("yds/{n}-jobs"), |b| {
+            b.iter(|| YdsSchedule::compute(black_box(&jobs)))
+        });
+        group.bench_function(format!("avr-sim/{n}-jobs"), |b| {
+            let profile = SpeedProfile::avr(&jobs);
+            b.iter(|| simulate_edf(black_box(&jobs), black_box(&profile), &power))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_edf_algos);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Kernel simulator throughput: simulated events per second of host time.
+//!
+//! Measures the cost of simulating one hyperperiod of the Table 1 example
+//! and of the CNC controller under FPS and LPFPS — the knob that decides
+//! how long the Figure 8 sweeps take.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lpfps::driver::{run, PolicyKind};
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_kernel::engine::SimConfig;
+use lpfps_tasks::exec::PaperGaussian;
+use lpfps_tasks::time::Dur;
+use lpfps_workloads::{cnc, table1};
+
+fn bench_kernel(c: &mut Criterion) {
+    let cpu = CpuSpec::arm8();
+    let mut group = c.benchmark_group("kernel_throughput");
+
+    for (name, ts, horizon) in [
+        ("table1", table1(), Dur::from_us(400)),
+        ("cnc", cnc(), Dur::from_us(9_600)),
+    ] {
+        let ts = ts.with_bcet_fraction(0.5);
+        for policy in [PolicyKind::Fps, PolicyKind::Lpfps] {
+            group.bench_function(format!("{name}/{policy}"), |b| {
+                b.iter_batched(
+                    || SimConfig::new(horizon).with_seed(7),
+                    |cfg| run(&ts, &cpu, policy, &PaperGaussian, &cfg),
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

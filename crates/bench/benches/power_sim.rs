@@ -1,0 +1,35 @@
+//! End-to-end cost of one Figure-8 cell per application: a full power
+//! simulation at BCET = 50 % of WCET over the experiment horizon.
+//!
+//! These are the macro-benchmarks sizing the whole reproduction: Figure 8
+//! is `4 apps x 10 fractions x policies x seeds` of exactly this work.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lpfps::driver::{run, PolicyKind};
+use lpfps_bench::experiment_horizon;
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_kernel::engine::SimConfig;
+use lpfps_tasks::exec::PaperGaussian;
+use lpfps_workloads::applications;
+
+fn bench_power_sim(c: &mut Criterion) {
+    let cpu = CpuSpec::arm8();
+    let mut group = c.benchmark_group("power_sim");
+    group.sample_size(10);
+
+    for ts in applications() {
+        let horizon = experiment_horizon(&ts);
+        let scaled = ts.with_bcet_fraction(0.5);
+        group.bench_function(format!("{}/lpfps", ts.name()), |b| {
+            b.iter_batched(
+                || SimConfig::new(horizon).with_seed(1),
+                |cfg| run(&scaled, &cpu, PolicyKind::Lpfps, &PaperGaussian, &cfg),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_power_sim);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Response-time-analysis cost: the offline price of the exact
+//! schedulability test on the paper's workloads and on larger synthetic
+//! sets (RTA is also the inner loop of Audsley's OPA and the
+//! static-slowdown search).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lpfps_tasks::analysis::response_time::{response_times, RtaConfig};
+use lpfps_tasks::gen::{generate, GenConfig};
+use lpfps_workloads::{avionics, cnc, flight_control, ins};
+
+fn bench_rta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rta");
+    let cfg = RtaConfig::default();
+
+    for ts in [avionics(), ins(), flight_control(), cnc()] {
+        group.bench_function(ts.name().to_string(), |b| {
+            b.iter(|| response_times(black_box(&ts), black_box(&cfg)))
+        });
+    }
+
+    for n in [16usize, 64, 256] {
+        let ts = generate(&GenConfig::new(n, 0.7), 42);
+        group.bench_function(format!("uunifast-n{n}"), |b| {
+            b.iter(|| response_times(black_box(&ts), black_box(&cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rta);
+criterion_main!(benches);

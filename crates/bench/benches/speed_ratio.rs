@@ -1,0 +1,58 @@
+//! Scheduler-overhead micro-benchmark: the cost of computing the speed
+//! ratio — the paper's §3.3 argument for preferring the heuristic.
+//!
+//! Eq. 3 is one division; Eq. 2 adds multiplications and a square root.
+//! Both are nanoseconds on a modern host, but the *relative* cost is what
+//! the paper reasons about for a kernel running on the target processor:
+//! scheduler overhead eats into schedulability and burns power itself.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lpfps::speed::{r_heu, r_opt, r_opt_trapezoid};
+use lpfps_tasks::time::Dur;
+
+fn bench_speed_ratio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("speed_ratio");
+    let cases: Vec<(Dur, Dur)> = (1..=64u64)
+        .map(|i| {
+            (
+                Dur::from_us(i * 7 % 500 + 1),
+                Dur::from_us(i * 31 % 2900 + 600),
+            )
+        })
+        .collect();
+
+    group.bench_function("r_heu (Eq. 3)", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(rem, win) in &cases {
+                acc += r_heu(black_box(rem), black_box(win));
+            }
+            acc
+        })
+    });
+
+    group.bench_function("r_opt (Eq. 2)", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(rem, win) in &cases {
+                acc += r_opt(black_box(rem), black_box(win), black_box(0.07));
+            }
+            acc
+        })
+    });
+
+    group.bench_function("r_opt_trapezoid", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(rem, win) in &cases {
+                acc += r_opt_trapezoid(black_box(rem), black_box(win), black_box(0.07));
+            }
+            acc
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_speed_ratio);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Ablation: heuristic (Eq. 3) versus optimal speed ratio.
+//!
+//! The paper's §5 leaves the heuristic/optimal trade-off as future work:
+//! the optimal ratio extracts more slack when windows are short relative
+//! to the transition delay, at the cost of a more expensive scheduler.
+//! This ablation measures the energy side (the scheduler-cost side is the
+//! `speed_ratio` Criterion bench), sweeping BCET on all four applications.
+//!
+//! Usage: `cargo run --release --bin ablation_ratio [--json out.json]`
+
+use lpfps::driver::PolicyKind;
+use lpfps_bench::{maybe_write_json, power_cell, PowerCell, BCET_FRACTIONS};
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_tasks::exec::PaperGaussian;
+use lpfps_workloads::applications;
+
+fn main() {
+    let cpu = CpuSpec::arm8();
+    let exec = PaperGaussian;
+    let mut cells: Vec<PowerCell> = Vec::new();
+
+    println!("Heuristic vs optimal speed ratio (average power)\n");
+    for ts in applications() {
+        let horizon = lpfps_bench::experiment_horizon(&ts);
+        println!("== {} ==", ts.name());
+        println!(
+            "{:>6} {:>11} {:>11} {:>10}",
+            "bcet%", "lpfps", "lpfps-opt", "opt gain"
+        );
+        for &frac in BCET_FRACTIONS.iter() {
+            let heu = power_cell(&ts, &cpu, PolicyKind::Lpfps, &exec, frac, horizon, 1);
+            let opt = power_cell(&ts, &cpu, PolicyKind::LpfpsOptimal, &exec, frac, horizon, 1);
+            let gain = 1.0 - opt.average_power / heu.average_power;
+            println!(
+                "{:>6.0} {:>11.4} {:>11.4} {:>9.2}%",
+                frac * 100.0,
+                heu.average_power,
+                opt.average_power,
+                gain * 100.0
+            );
+            cells.push(heu);
+            cells.push(opt);
+        }
+        println!();
+    }
+
+    // The paper's expectation: the optimal ratio helps only marginally for
+    // workloads whose windows dwarf the 10 us transition, and most for CNC
+    // whose WCETs are comparable to it.
+    let avg_gain = |app: &str| {
+        let pairs: Vec<(f64, f64)> = BCET_FRACTIONS
+            .iter()
+            .map(|&f| {
+                let get = |p: &str| {
+                    cells
+                        .iter()
+                        .find(|c| {
+                            c.app == app && c.policy == p && (c.bcet_fraction - f).abs() < 1e-9
+                        })
+                        .unwrap()
+                        .average_power
+                };
+                (get("lpfps"), get("lpfps-opt"))
+            })
+            .collect();
+        pairs.iter().map(|(h, o)| 1.0 - o / h).sum::<f64>() / pairs.len() as f64
+    };
+    for ts in applications() {
+        let app = ts.name();
+        let g = avg_gain(app);
+        println!("{app:<16} mean optimal-ratio gain: {:.3}%", g * 100.0);
+        assert!(
+            g > -0.02,
+            "{app}: the optimal ratio should never cost energy materially"
+        );
+    }
+    maybe_write_json(&cells);
+}

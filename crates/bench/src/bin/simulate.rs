@@ -1,0 +1,128 @@
+//! A small CLI around the simulator: pick an application, a policy, a
+//! BCET fraction, and get the detailed report (states, per-task energy,
+//! idle gaps), optionally with a Gantt chart.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release --bin simulate -- \
+//!     [--app avionics|ins|flight_control|cnc|table1 | --taskset <file.json>] \
+//!     [--policy fps|fps-pd|static|lpfps-dvs|lpfps|lpfps-opt] \
+//!     [--bcet <fraction 0..1>] [--seed <n>] [--horizon-ms <n>] [--gantt <us-per-col>]
+//! ```
+//!
+//! `--taskset` loads a JSON task set (the serde form of
+//! [`TaskSet`](lpfps_tasks::taskset::TaskSet); see
+//! `examples/data/custom_taskset.json` for the shape).
+
+use lpfps::driver::{default_horizon, run, PolicyKind};
+use lpfps::SimConfig;
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_kernel::gantt::Gantt;
+use lpfps_tasks::exec::PaperGaussian;
+use lpfps_tasks::taskset::TaskSet;
+use lpfps_tasks::time::{Dur, Time};
+
+struct Args {
+    app: String,
+    taskset_file: Option<String>,
+    policy: String,
+    bcet: f64,
+    seed: u64,
+    horizon_ms: Option<u64>,
+    gantt: Option<u64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        app: "table1".into(),
+        taskset_file: None,
+        policy: "lpfps".into(),
+        bcet: 0.5,
+        seed: 0,
+        horizon_ms: None,
+        gantt: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--app" => args.app = value("--app"),
+            "--taskset" => args.taskset_file = Some(value("--taskset")),
+            "--policy" => args.policy = value("--policy"),
+            "--bcet" => args.bcet = value("--bcet").parse().expect("--bcet takes a fraction"),
+            "--seed" => args.seed = value("--seed").parse().expect("--seed takes an integer"),
+            "--horizon-ms" => {
+                args.horizon_ms = Some(value("--horizon-ms").parse().expect("integer ms"))
+            }
+            "--gantt" => args.gantt = Some(value("--gantt").parse().expect("us per column")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: simulate [--app NAME | --taskset FILE.json] [--policy NAME] \
+                     [--bcet F] [--seed N] [--horizon-ms N] [--gantt US_PER_COL]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}; try --help"),
+        }
+    }
+    args
+}
+
+fn workload(name: &str) -> TaskSet {
+    match name {
+        "avionics" => lpfps_workloads::avionics(),
+        "ins" => lpfps_workloads::ins(),
+        "flight_control" => lpfps_workloads::flight_control(),
+        "cnc" => lpfps_workloads::cnc(),
+        "table1" => lpfps_workloads::table1(),
+        other => panic!("unknown app {other}; see --help"),
+    }
+}
+
+fn policy(name: &str) -> PolicyKind {
+    PolicyKind::ALL
+        .into_iter()
+        .find(|k| k.name() == name)
+        .unwrap_or_else(|| panic!("unknown policy {name}; see --help"))
+}
+
+fn main() {
+    let args = parse_args();
+    let base = match &args.taskset_file {
+        Some(path) => {
+            let body =
+                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            serde_json::from_str::<TaskSet>(&body)
+                .unwrap_or_else(|e| panic!("{path} is not a valid task-set JSON: {e}"))
+        }
+        None => workload(&args.app),
+    };
+    let ts = base.with_bcet_fraction(args.bcet);
+    let kind = policy(&args.policy);
+    let cpu = CpuSpec::arm8();
+    let horizon = args
+        .horizon_ms
+        .map(Dur::from_ms)
+        .unwrap_or_else(|| default_horizon(&ts));
+    let mut cfg = SimConfig::new(horizon).with_seed(args.seed);
+    if args.gantt.is_some() {
+        cfg = cfg.with_trace();
+    }
+
+    println!("{ts}");
+    let report = run(&ts, &cpu, kind, &PaperGaussian, &cfg);
+    print!("{}", report.render_detailed(&ts));
+    if !report.all_deadlines_met() {
+        println!("  DEADLINE MISSES: {:?}", report.misses);
+    }
+    if let (Some(cols), Some(trace)) = (args.gantt, report.trace.as_ref()) {
+        println!();
+        print!(
+            "{}",
+            Gantt::from_trace(trace, Time::ZERO + horizon).render(&ts, cols)
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! # lpfps-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper plus
+//! extension ablations, and Criterion micro-benchmarks.
+//!
+//! | target | regenerates |
+//! |--------|-------------|
+//! | `fig1_bcet_ratio`     | Figure 1 — BCET/WCET ratios |
+//! | `fig2_schedule`       | Figures 2, 3, 5 — Table 1 schedules and queue snapshots |
+//! | `table2_summary`      | Table 2 — workload summary |
+//! | `fig7_ratio`          | Figure 7 — optimal vs heuristic ratio |
+//! | `fig8_power`          | Figure 8 — average power, FPS vs LPFPS, four apps |
+//! | `report_svg`          | Figure 8 panels as standalone SVG charts |
+//! | `ablation_policies`   | power-down-only / DVS-only / static slowdown split |
+//! | `ablation_ratio`      | heuristic vs optimal ratio energy |
+//! | `ablation_shutdown`   | exact vs timeout power-down (+ idle-gap stats) |
+//! | `ablation_overhead`   | context-switch cost vs RTA admission |
+//! | `ablation_sleep_modes`| multi-level sleep-mode selection |
+//! | `ablation_ladder`     | frequency-ladder granularity |
+//! | `ablation_tick`       | tick-driven kernel vs jitter-aware RTA |
+//! | `tradeoff_scheduler`  | the paper's §5 future-work trade-off, carried out |
+//! | `related_work_dvs`    | §2.2 baselines: EDF@1, AVR, YDS, Ishihara–Yasuura |
+//! | `sweep_utilization`   | synthetic UUniFast utilization sweep |
+//! | `simulate`            | ad-hoc CLI (named apps or `--taskset file.json`) |
+//!
+//! Each binary prints a human-readable table to stdout, asserts its own
+//! qualitative claims, and, when invoked with `--json <path>`, emits
+//! machine-readable results for EXPERIMENTS.md regeneration.
+
+pub mod chart;
+
+use lpfps::driver::{power_reduction, run, PolicyKind};
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_kernel::engine::SimConfig;
+use lpfps_kernel::report::SimReport;
+use lpfps_tasks::exec::ExecModel;
+use lpfps_tasks::taskset::TaskSet;
+use lpfps_tasks::time::Dur;
+use serde::Serialize;
+
+/// The BCET/WCET fractions swept in Figure 8 (10 % steps).
+pub const BCET_FRACTIONS: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// One measured cell of a power experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct PowerCell {
+    /// Application name.
+    pub app: String,
+    /// Scheduling policy.
+    pub policy: String,
+    /// BCET as a fraction of WCET.
+    pub bcet_fraction: f64,
+    /// Average normalized power (1.0 = flat-out busy processor).
+    pub average_power: f64,
+    /// Deadline misses observed (must be zero).
+    pub misses: usize,
+}
+
+impl PowerCell {
+    /// Builds a cell from a finished report.
+    pub fn from_report(report: &SimReport, bcet_fraction: f64) -> Self {
+        PowerCell {
+            app: report.taskset.clone(),
+            policy: report.policy.clone(),
+            bcet_fraction,
+            average_power: report.average_power(),
+            misses: report.misses.len(),
+        }
+    }
+}
+
+/// Runs one `(app, policy, BCET fraction)` cell and asserts its
+/// correctness invariant (no deadline misses on these schedulable sets).
+pub fn power_cell(
+    ts: &TaskSet,
+    cpu: &CpuSpec,
+    policy: PolicyKind,
+    exec: &dyn ExecModel,
+    frac: f64,
+    horizon: Dur,
+    seed: u64,
+) -> PowerCell {
+    let scaled = ts.with_bcet_fraction(frac);
+    let cfg = SimConfig::new(horizon).with_seed(seed);
+    let report = run(&scaled, cpu, policy, exec, &cfg);
+    assert!(
+        report.all_deadlines_met(),
+        "{} under {} at BCET {frac} missed deadlines: {:?}",
+        ts.name(),
+        policy,
+        report.misses
+    );
+    PowerCell::from_report(&report, frac)
+}
+
+/// Formats a Figure-8-style table: one row per BCET fraction, one column
+/// pair (power, reduction vs the first policy) per policy.
+pub fn render_power_table(app: &str, policies: &[&str], cells: &[PowerCell]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "== {app} ==");
+    let _ = write!(out, "{:>6}", "bcet%");
+    for p in policies {
+        let _ = write!(out, " {p:>11}");
+    }
+    let _ = writeln!(out, " {:>11}", "reduction");
+    for &frac in BCET_FRACTIONS.iter() {
+        let row: Vec<&PowerCell> = policies
+            .iter()
+            .map(|p| {
+                cells
+                    .iter()
+                    .find(|c| {
+                        c.app == app && &c.policy == p && (c.bcet_fraction - frac).abs() < 1e-9
+                    })
+                    .unwrap_or_else(|| panic!("missing cell {app}/{p}/{frac}"))
+            })
+            .collect();
+        let _ = write!(out, "{:>6.0}", frac * 100.0);
+        for c in &row {
+            let _ = write!(out, " {:>11.4}", c.average_power);
+        }
+        let red = 1.0 - row.last().unwrap().average_power / row[0].average_power;
+        let _ = writeln!(out, " {:>10.1}%", red * 100.0);
+    }
+    out
+}
+
+/// Writes `values` as pretty JSON to `path` if the user passed
+/// `--json <path>` on the command line.
+pub fn maybe_write_json<T: Serialize>(values: &T) {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            let path = args.next().expect("--json requires a path");
+            let body = serde_json::to_string_pretty(values).expect("results serialize");
+            std::fs::write(&path, body).unwrap_or_else(|e| panic!("write {path}: {e}"));
+            eprintln!("wrote {path}");
+            return;
+        }
+    }
+}
+
+/// The per-application simulation horizons used by the power experiments:
+/// long enough to sample several of the longest periods (and whole
+/// hyperperiods where reachable) while keeping the full Figure-8 sweep in
+/// seconds of wall time.
+pub fn experiment_horizon(ts: &TaskSet) -> Dur {
+    lpfps::driver::default_horizon(ts)
+}
+
+/// Convenience: FPS-vs-LPFPS reduction for one app/fraction (the paper's
+/// headline metric).
+pub fn fps_vs_lpfps(
+    ts: &TaskSet,
+    cpu: &CpuSpec,
+    exec: &dyn ExecModel,
+    frac: f64,
+    seed: u64,
+) -> (PowerCell, PowerCell, f64) {
+    let horizon = experiment_horizon(ts);
+    let scaled = ts.with_bcet_fraction(frac);
+    let cfg = SimConfig::new(horizon).with_seed(seed);
+    let fps = run(&scaled, cpu, PolicyKind::Fps, exec, &cfg);
+    let lpfps = run(&scaled, cpu, PolicyKind::Lpfps, exec, &cfg);
+    let red = power_reduction(&fps, &lpfps);
+    (
+        PowerCell::from_report(&fps, frac),
+        PowerCell::from_report(&lpfps, frac),
+        red,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpfps_tasks::exec::AlwaysWcet;
+
+    #[test]
+    fn power_cell_runs_and_checks_deadlines() {
+        let ts = lpfps_workloads::table1();
+        let cpu = CpuSpec::arm8();
+        let cell = power_cell(
+            &ts,
+            &cpu,
+            PolicyKind::Fps,
+            &AlwaysWcet,
+            1.0,
+            Dur::from_us(800),
+            0,
+        );
+        assert_eq!(cell.app, "table1");
+        assert_eq!(cell.policy, "fps");
+        assert!((cell.average_power - 0.88).abs() < 1e-6);
+        assert_eq!(cell.misses, 0);
+    }
+
+    #[test]
+    fn table_renderer_includes_all_fractions() {
+        let ts = lpfps_workloads::table1();
+        let cpu = CpuSpec::arm8();
+        let mut cells = Vec::new();
+        for &f in BCET_FRACTIONS.iter() {
+            for p in [PolicyKind::Fps, PolicyKind::Lpfps] {
+                cells.push(power_cell(
+                    &ts,
+                    &cpu,
+                    p,
+                    &lpfps_tasks::exec::PaperGaussian,
+                    f,
+                    Dur::from_us(800),
+                    1,
+                ));
+            }
+        }
+        let table = render_power_table("table1", &["fps", "lpfps"], &cells);
+        assert!(table.contains("== table1 =="));
+        assert_eq!(table.lines().count(), 2 + BCET_FRACTIONS.len());
+    }
+
+    #[test]
+    fn fps_vs_lpfps_reports_positive_reduction() {
+        let ts = lpfps_workloads::table1();
+        let cpu = CpuSpec::arm8();
+        let (_, _, red) = fps_vs_lpfps(&ts, &cpu, &lpfps_tasks::exec::PaperGaussian, 0.5, 3);
+        assert!(red > 0.0);
+    }
+}

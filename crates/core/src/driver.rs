@@ -1,0 +1,219 @@
+//! The experiment driver: run a (policy, workload, execution model) cell
+//! and report its average power — the machinery behind every figure and
+//! table reproduction in `lpfps-bench`.
+
+use crate::baselines::{static_slowdown_spec, Fps};
+use crate::lpfps_policy::LpfpsPolicy;
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_kernel::engine::{simulate, SimConfig};
+use lpfps_kernel::report::SimReport;
+use lpfps_tasks::analysis::hyperperiod::hyperperiod;
+use lpfps_tasks::exec::ExecModel;
+use lpfps_tasks::taskset::TaskSet;
+use lpfps_tasks::time::Dur;
+use serde::{Deserialize, Serialize};
+
+/// The scheduling policies available to experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Conventional fixed-priority scheduling; idle burns the NOP loop.
+    Fps,
+    /// FPS plus the power-down half of LPFPS (no DVS).
+    FpsPd,
+    /// The DVS half of LPFPS only (no power-down).
+    LpfpsDvsOnly,
+    /// Full LPFPS with the heuristic ratio (Eq. 3) — the paper's system.
+    Lpfps,
+    /// Full LPFPS with the optimal ratio (trapezoid-consistent Eq. 2).
+    LpfpsOptimal,
+    /// Offline static slowdown: the whole schedule runs at the lowest
+    /// single frequency that keeps the set RTA-schedulable.
+    StaticSlowdown,
+}
+
+impl PolicyKind {
+    /// All policies, in report order.
+    pub const ALL: [PolicyKind; 6] = [
+        PolicyKind::Fps,
+        PolicyKind::FpsPd,
+        PolicyKind::StaticSlowdown,
+        PolicyKind::LpfpsDvsOnly,
+        PolicyKind::Lpfps,
+        PolicyKind::LpfpsOptimal,
+    ];
+
+    /// The stable report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Fps => "fps",
+            PolicyKind::FpsPd => "fps-pd",
+            PolicyKind::LpfpsDvsOnly => "lpfps-dvs",
+            PolicyKind::Lpfps => "lpfps",
+            PolicyKind::LpfpsOptimal => "lpfps-opt",
+            PolicyKind::StaticSlowdown => "static",
+        }
+    }
+}
+
+impl core::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Runs one simulation cell.
+///
+/// `StaticSlowdown` derates the processor to its offline operating point
+/// first (falling back to the full-speed processor if the set has no
+/// feasible slowdown) and then runs the plain FPS policy on it.
+pub fn run(
+    ts: &TaskSet,
+    cpu: &CpuSpec,
+    kind: PolicyKind,
+    exec: &dyn ExecModel,
+    cfg: &SimConfig,
+) -> SimReport {
+    match kind {
+        PolicyKind::Fps => simulate(ts, cpu, &mut Fps, exec, cfg),
+        PolicyKind::FpsPd => simulate(ts, cpu, &mut LpfpsPolicy::power_down_only(), exec, cfg),
+        PolicyKind::LpfpsDvsOnly => simulate(ts, cpu, &mut LpfpsPolicy::dvs_only(), exec, cfg),
+        PolicyKind::Lpfps => simulate(ts, cpu, &mut LpfpsPolicy::new(), exec, cfg),
+        PolicyKind::LpfpsOptimal => {
+            simulate(ts, cpu, &mut LpfpsPolicy::with_optimal_ratio(), exec, cfg)
+        }
+        PolicyKind::StaticSlowdown => {
+            let derated = static_slowdown_spec(ts, cpu).unwrap_or_else(|| cpu.clone());
+            let mut report = simulate(ts, &derated, &mut Fps, exec, cfg);
+            report.policy = PolicyKind::StaticSlowdown.name().to_string();
+            report
+        }
+    }
+}
+
+/// A sensible simulation horizon for a task set: around five of the
+/// longest periods, rounded up to whole hyperperiods when the hyperperiod
+/// is in reach (so synchronous schedules are sampled over full cycles).
+///
+/// # Panics
+///
+/// Panics if the set is empty (cannot happen for constructed sets).
+pub fn default_horizon(ts: &TaskSet) -> Dur {
+    let max_period = ts
+        .iter()
+        .map(|(_, t, _)| t.period())
+        .max()
+        .expect("task sets are non-empty");
+    let target = max_period * 5;
+    match hyperperiod(ts) {
+        Some(h) if h <= target => {
+            let k = target.as_ns().div_ceil(h.as_ns());
+            h * k
+        }
+        Some(h) if h <= target * 2 => h,
+        _ => target,
+    }
+}
+
+/// The paper's headline metric: the power reduction of `candidate`
+/// relative to `baseline`, as a fraction (`0.62` = "62 % power reduction").
+pub fn power_reduction(baseline: &SimReport, candidate: &SimReport) -> f64 {
+    1.0 - candidate.average_power() / baseline.average_power()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpfps_tasks::exec::AlwaysWcet;
+    use lpfps_tasks::task::Task;
+
+    fn table1() -> TaskSet {
+        TaskSet::rate_monotonic(
+            "table1",
+            vec![
+                Task::new("tau1", Dur::from_us(50), Dur::from_us(10)),
+                Task::new("tau2", Dur::from_us(80), Dur::from_us(20)),
+                Task::new("tau3", Dur::from_us(100), Dur::from_us(40)),
+            ],
+        )
+    }
+
+    #[test]
+    fn default_horizon_covers_whole_hyperperiods() {
+        // Table 1: max period 100 us -> target 500 us -> 2 hyperperiods.
+        assert_eq!(default_horizon(&table1()), Dur::from_us(800));
+    }
+
+    #[test]
+    fn every_policy_meets_deadlines_on_table1_at_wcet() {
+        let cpu = CpuSpec::arm8();
+        let cfg = SimConfig::new(default_horizon(&table1()));
+        for kind in PolicyKind::ALL {
+            let report = run(&table1(), &cpu, kind, &AlwaysWcet, &cfg);
+            assert!(
+                report.all_deadlines_met(),
+                "{kind} missed deadlines: {:?}",
+                report.misses
+            );
+            assert_eq!(report.policy, kind.name());
+        }
+    }
+
+    #[test]
+    fn lpfps_beats_fps_even_at_wcet() {
+        // The right edge of Figure 8: with zero execution-time variation
+        // LPFPS still wins on inherent schedule slack.
+        let cpu = CpuSpec::arm8();
+        let cfg = SimConfig::new(default_horizon(&table1()));
+        let fps = run(&table1(), &cpu, PolicyKind::Fps, &AlwaysWcet, &cfg);
+        let lpfps = run(&table1(), &cpu, PolicyKind::Lpfps, &AlwaysWcet, &cfg);
+        assert!(
+            lpfps.average_power() < fps.average_power(),
+            "lpfps {} !< fps {}",
+            lpfps.average_power(),
+            fps.average_power()
+        );
+        assert!(power_reduction(&fps, &lpfps) > 0.0);
+    }
+
+    #[test]
+    fn ablation_ordering_holds_on_table1() {
+        // Each half of LPFPS helps; the whole beats either half.
+        let cpu = CpuSpec::arm8();
+        let ts = table1().with_bcet_fraction(0.5);
+        let cfg = SimConfig::new(default_horizon(&ts)).with_seed(7);
+        let exec = lpfps_tasks::exec::PaperGaussian;
+        let fps = run(&ts, &cpu, PolicyKind::Fps, &exec, &cfg).average_power();
+        let pd = run(&ts, &cpu, PolicyKind::FpsPd, &exec, &cfg).average_power();
+        let full = run(&ts, &cpu, PolicyKind::Lpfps, &exec, &cfg).average_power();
+        assert!(pd < fps, "power-down alone must beat FPS: {pd} !< {fps}");
+        assert!(
+            full < pd,
+            "full LPFPS must beat power-down alone: {full} !< {pd}"
+        );
+    }
+
+    #[test]
+    fn static_slowdown_beats_fps_on_slack_sets() {
+        let ts = TaskSet::rate_monotonic(
+            "light",
+            vec![
+                Task::new("a", Dur::from_us(100), Dur::from_us(20)),
+                Task::new("b", Dur::from_us(400), Dur::from_us(80)),
+            ],
+        );
+        let cpu = CpuSpec::arm8();
+        let cfg = SimConfig::new(default_horizon(&ts));
+        let fps = run(&ts, &cpu, PolicyKind::Fps, &AlwaysWcet, &cfg);
+        let stat = run(&ts, &cpu, PolicyKind::StaticSlowdown, &AlwaysWcet, &cfg);
+        assert!(stat.all_deadlines_met(), "misses: {:?}", stat.misses);
+        assert!(stat.average_power() < fps.average_power());
+    }
+
+    #[test]
+    fn policy_names_are_unique() {
+        let mut names: Vec<_> = PolicyKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), PolicyKind::ALL.len());
+    }
+}

@@ -1,0 +1,66 @@
+//! # lpfps
+//!
+//! A faithful, tested reproduction of **Low Power Fixed Priority
+//! Scheduling** from Shin & Choi, *Power Conscious Fixed Priority
+//! Scheduling for Hard Real-Time Systems*, DAC 1999.
+//!
+//! LPFPS is a run-time modification of a conventional fixed-priority
+//! preemptive scheduler that reclaims slack — both the slack inherent in
+//! the schedule and the slack created when jobs finish before their WCET —
+//! for power savings on a DVS-capable processor:
+//!
+//! * when **nothing is runnable**, the delay queue's head gives the exact
+//!   next busy instant, so the processor power-downs behind a wake timer;
+//! * when **only the active task is runnable**, the processor is dedicated
+//!   to it until the next arrival, so the clock and supply voltage drop to
+//!   the lowest frequency that still completes the task's worst-case
+//!   remaining work in time.
+//!
+//! This crate provides:
+//!
+//! * [`speed`] — the speed-ratio computations (heuristic Eq. 3, optimal
+//!   Eq. 2, and a trapezoid-consistent optimal; Theorem-1 safety tests);
+//! * [`LpfpsPolicy`] — the Figure-4 policy with ablation switches
+//!   (power-down only, DVS only, optimal ratio);
+//! * [`baselines`] — the FPS comparison point and the offline
+//!   static-slowdown baseline;
+//! * [`driver`] — one-call experiment cells ([`driver::run`]) and horizon
+//!   selection, used by every figure/table reproduction in `lpfps-bench`.
+//!
+//! # Quickstart
+//!
+//! Reproduce the paper's motivating example (Table 1) and compare FPS with
+//! LPFPS at WCET:
+//!
+//! ```
+//! use lpfps::driver::{default_horizon, power_reduction, run, PolicyKind};
+//! use lpfps_cpu::spec::CpuSpec;
+//! use lpfps_kernel::engine::SimConfig;
+//! use lpfps_tasks::{exec::AlwaysWcet, task::Task, taskset::TaskSet, time::Dur};
+//!
+//! let ts = TaskSet::rate_monotonic("table1", vec![
+//!     Task::new("tau1", Dur::from_us(50), Dur::from_us(10)),
+//!     Task::new("tau2", Dur::from_us(80), Dur::from_us(20)),
+//!     Task::new("tau3", Dur::from_us(100), Dur::from_us(40)),
+//! ]);
+//! let cpu = CpuSpec::arm8();
+//! let cfg = SimConfig::new(default_horizon(&ts));
+//! let fps = run(&ts, &cpu, PolicyKind::Fps, &AlwaysWcet, &cfg);
+//! let lpfps = run(&ts, &cpu, PolicyKind::Lpfps, &AlwaysWcet, &cfg);
+//! assert!(lpfps.all_deadlines_met());
+//! assert!(power_reduction(&fps, &lpfps) > 0.0);
+//! ```
+
+pub mod baselines;
+pub mod driver;
+pub mod lpfps_policy;
+pub mod speed;
+
+pub use baselines::{Fps, TimeoutShutdown};
+pub use driver::{default_horizon, power_reduction, run, PolicyKind};
+pub use lpfps_policy::{LpfpsPolicy, RatioMethod};
+
+// Convenience re-exports so downstream users need only this crate for the
+// common simulation workflow.
+pub use lpfps_kernel::engine::{simulate, SimConfig};
+pub use lpfps_kernel::report::SimReport;

@@ -1,0 +1,456 @@
+//! The LPFPS scheduler policy — the paper's Figure 4, lines L12–L21.
+//!
+//! The conventional part of the scheduler (queue moves, preemption, and
+//! the L1–L4 rule that any invocation at reduced speed first raises the
+//! clock to maximum) lives in `lpfps-kernel`; this policy supplies the two
+//! power decisions LPFPS adds when the run queue is empty:
+//!
+//! * **no active task** (L13–L15) — every task sits in the delay queue, so
+//!   the head's release time is the exact next busy instant: set the wake
+//!   timer to `release - wakeup_delay` and enter power-down mode;
+//! * **only the active task** (L16–L19) — the processor belongs to it until
+//!   the next arrival `t_a`: compute the speed ratio from its WCET-remaining
+//!   work, pick the lowest ladder frequency at or above it, and slow down.
+//!
+//! Knobs (each an ablation in the benchmark suite): the ratio method
+//! (heuristic Eq. 3 vs optimal), and independently disabling the
+//! power-down or DVS halves of the policy.
+
+use crate::speed::{r_heu, r_opt_trapezoid};
+use lpfps_kernel::policy::{PowerDirective, PowerPolicy, SchedulerContext};
+use lpfps_tasks::freq::Freq;
+
+/// How the speed ratio is computed (paper §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RatioMethod {
+    /// Eq. 3: `r = (C_i - E_i) / (t_a - t_c)` — the paper's recommended
+    /// run-time choice (safe by Theorem 1, trivially cheap to compute).
+    #[default]
+    Heuristic,
+    /// The optimal ratio, solved against the simulator's linear-ramp
+    /// capacity model (see [`crate::speed`] for why this differs from
+    /// Eq. 2 by a factor of two in the ramp credit).
+    Optimal,
+}
+
+/// The LPFPS policy of Shin & Choi with ablation switches.
+///
+/// # Examples
+///
+/// ```
+/// use lpfps::LpfpsPolicy;
+/// use lpfps_kernel::policy::PowerPolicy;
+///
+/// assert_eq!(LpfpsPolicy::new().name(), "lpfps");
+/// assert_eq!(LpfpsPolicy::power_down_only().name(), "fps-pd");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct LpfpsPolicy {
+    method: RatioMethod,
+    enable_powerdown: bool,
+    enable_dvs: bool,
+    name: &'static str,
+}
+
+impl LpfpsPolicy {
+    /// Full LPFPS with the heuristic ratio (the paper's evaluated
+    /// configuration).
+    pub fn new() -> Self {
+        LpfpsPolicy {
+            method: RatioMethod::Heuristic,
+            enable_powerdown: true,
+            enable_dvs: true,
+            name: "lpfps",
+        }
+    }
+
+    /// Full LPFPS with the optimal ratio (the paper's future-work variant).
+    pub fn with_optimal_ratio() -> Self {
+        LpfpsPolicy {
+            method: RatioMethod::Optimal,
+            enable_powerdown: true,
+            enable_dvs: true,
+            name: "lpfps-opt",
+        }
+    }
+
+    /// Power-down only, no DVS: the "FPS + power-down" baseline — what a
+    /// conventional kernel gains from the delay-queue timer trick alone.
+    pub fn power_down_only() -> Self {
+        LpfpsPolicy {
+            method: RatioMethod::Heuristic,
+            enable_powerdown: true,
+            enable_dvs: false,
+            name: "fps-pd",
+        }
+    }
+
+    /// DVS only, no power-down: idle intervals burn the NOP loop, but the
+    /// lone active task still runs slowed.
+    pub fn dvs_only() -> Self {
+        LpfpsPolicy {
+            method: RatioMethod::Heuristic,
+            enable_powerdown: false,
+            enable_dvs: true,
+            name: "lpfps-dvs",
+        }
+    }
+
+    /// The configured ratio method.
+    pub fn method(&self) -> RatioMethod {
+        self.method
+    }
+}
+
+impl Default for LpfpsPolicy {
+    fn default() -> Self {
+        LpfpsPolicy::new()
+    }
+}
+
+impl PowerPolicy for LpfpsPolicy {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn decide(&mut self, ctx: &SchedulerContext<'_>) -> PowerDirective {
+        // L12: LPFPS acts only when the run queue is empty.
+        if !ctx.run_queue.is_empty() {
+            return PowerDirective::FullSpeed;
+        }
+        match ctx.active {
+            // L13–L15: nothing to run until the head of the delay queue.
+            None => {
+                if !self.enable_powerdown {
+                    return PowerDirective::FullSpeed;
+                }
+                let Some(head) = ctx.next_arrival() else {
+                    return PowerDirective::FullSpeed;
+                };
+                let window = head.saturating_since(ctx.now);
+                if window.is_zero() {
+                    return PowerDirective::FullSpeed;
+                }
+                let reference = ctx.cpu.reference_freq();
+                // Pick the sleep mode minimizing the window's energy (the
+                // paper's processor has exactly one; Fig. 4's L14 is the
+                // single-mode special case of this selection).
+                let modes = ctx.cpu.sleep_modes();
+                let Some(mode) = lpfps_cpu::modes::best_mode_for(modes, window, reference) else {
+                    // The next arrival is within every wake-up latency:
+                    // sleeping would oversleep it.
+                    return PowerDirective::FullSpeed;
+                };
+                // Sleeping must actually beat spinning the NOP loop.
+                let sleep_energy = modes[mode]
+                    .window_energy(window, reference)
+                    .expect("selected mode fits the window");
+                if sleep_energy >= ctx.cpu.power().idle_nop() * window.as_secs_f64() {
+                    return PowerDirective::FullSpeed;
+                }
+                let wake_at = head.saturating_sub(modes[mode].wakeup_delay(reference));
+                if wake_at <= ctx.now {
+                    return PowerDirective::FullSpeed;
+                }
+                PowerDirective::PowerDown { wake_at, mode }
+            }
+            // L16–L19: the processor is dedicated to the active task.
+            Some(active) => {
+                if !self.enable_dvs {
+                    return PowerDirective::FullSpeed;
+                }
+                let Some(bound) = ctx.safe_completion_bound() else {
+                    return PowerDirective::FullSpeed;
+                };
+                if bound <= ctx.now {
+                    return PowerDirective::FullSpeed;
+                }
+                let window = bound.saturating_since(ctx.now);
+                let reference = ctx.cpu.reference_freq();
+                let remaining = active.wcet_remaining.time_at(reference);
+                if remaining >= window {
+                    return PowerDirective::FullSpeed;
+                }
+                let ratio = match self.method {
+                    RatioMethod::Heuristic => r_heu(remaining, window),
+                    RatioMethod::Optimal => {
+                        r_opt_trapezoid(remaining, window, ctx.cpu.ramp_rate_per_us())
+                    }
+                };
+                // L18: the minimum allowable ladder frequency at or above
+                // ratio * reference.
+                let target_khz = (ratio * reference.as_khz() as f64).ceil() as u64;
+                let freq = ctx
+                    .cpu
+                    .ladder()
+                    .quantize_up(Freq::from_khz(target_khz.max(1)));
+                if freq >= ctx.cpu.full_freq() {
+                    return PowerDirective::FullSpeed;
+                }
+                // Latest instant to begin ramping back so the processor is
+                // at full speed when the next task arrives (§3.2: "the
+                // active task should complete ahead by this delay").
+                let ramp_back = ctx.cpu.ramp_duration(freq, ctx.cpu.full_freq());
+                let speedup_at = bound.saturating_sub(ramp_back);
+                if speedup_at <= ctx.now {
+                    return PowerDirective::FullSpeed;
+                }
+                PowerDirective::SlowDown { freq, speedup_at }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpfps_cpu::spec::CpuSpec;
+    use lpfps_kernel::policy::ActiveView;
+    use lpfps_kernel::queues::{DelayQueue, RunQueue};
+    use lpfps_tasks::cycles::Cycles;
+    use lpfps_tasks::task::{Priority, Task, TaskId};
+    use lpfps_tasks::taskset::TaskSet;
+    use lpfps_tasks::time::{Dur, Time};
+
+    struct Fixture {
+        ts: TaskSet,
+        cpu: CpuSpec,
+        run: RunQueue,
+        delay: DelayQueue,
+    }
+
+    fn fixture() -> Fixture {
+        Fixture {
+            ts: TaskSet::rate_monotonic(
+                "t",
+                vec![
+                    Task::new("tau1", Dur::from_us(50), Dur::from_us(10)),
+                    Task::new("tau2", Dur::from_us(80), Dur::from_us(20)),
+                ],
+            ),
+            cpu: CpuSpec::arm8(),
+            run: RunQueue::new(),
+            delay: DelayQueue::new(),
+        }
+    }
+
+    fn ctx<'a>(f: &'a Fixture, now: Time, active: Option<ActiveView>) -> SchedulerContext<'a> {
+        SchedulerContext {
+            now,
+            active,
+            run_queue: &f.run,
+            delay_queue: &f.delay,
+            cpu: &f.cpu,
+            taskset: &f.ts,
+        }
+    }
+
+    #[test]
+    fn busy_run_queue_means_full_speed() {
+        let mut f = fixture();
+        f.run.insert(TaskId(0), Priority::new(0));
+        let c = ctx(&f, Time::ZERO, None);
+        assert_eq!(LpfpsPolicy::new().decide(&c), PowerDirective::FullSpeed);
+    }
+
+    #[test]
+    fn idle_kernel_powers_down_to_head_release() {
+        let mut f = fixture();
+        f.delay
+            .insert(TaskId(0), Priority::new(0), Time::from_us(200));
+        f.delay
+            .insert(TaskId(1), Priority::new(1), Time::from_us(240));
+        let c = ctx(&f, Time::from_us(180), None);
+        // Paper L14: timer = head release - wakeup delay = 200us - 100ns.
+        assert_eq!(
+            LpfpsPolicy::new().decide(&c),
+            PowerDirective::PowerDown {
+                wake_at: Time::from_ns(200_000 - 100),
+                mode: 0
+            }
+        );
+    }
+
+    #[test]
+    fn imminent_arrival_blocks_power_down() {
+        let mut f = fixture();
+        f.delay
+            .insert(TaskId(0), Priority::new(0), Time::from_ns(180_050));
+        let c = ctx(&f, Time::from_us(180), None);
+        // 50 ns away < 100 ns wake-up latency: must stay awake.
+        assert_eq!(LpfpsPolicy::new().decide(&c), PowerDirective::FullSpeed);
+    }
+
+    #[test]
+    fn paper_example2_slows_to_half_speed() {
+        // t = 160: tau2 active with full 20 us WCET remaining; tau1 (and
+        // tau3 in the paper) arrive at 200 -> ratio 0.5 -> 50 MHz.
+        let mut f = fixture();
+        f.delay
+            .insert(TaskId(0), Priority::new(0), Time::from_us(200));
+        let active = ActiveView {
+            task: TaskId(1),
+            wcet_remaining: Cycles::new(2_000), // 20 us at 100 MHz
+            release: Time::from_us(160),
+            deadline: Time::from_us(240),
+        };
+        let c = ctx(&f, Time::from_us(160), Some(active));
+        match LpfpsPolicy::new().decide(&c) {
+            PowerDirective::SlowDown { freq, speedup_at } => {
+                assert_eq!(freq, Freq::from_mhz(50));
+                // Ramp 50->100 MHz at 0.07/us takes ceil(0.5/0.07) us.
+                let ramp = f.cpu.ramp_duration(Freq::from_mhz(50), Freq::from_mhz(100));
+                assert_eq!(speedup_at, Time::from_us(200).saturating_sub(ramp));
+                assert!(speedup_at > c.now);
+            }
+            other => panic!("expected SlowDown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ratio_quantizes_upward_to_ladder() {
+        // 13 us of work in a 40 us window -> 0.325 -> 33 MHz (not 32).
+        let mut f = fixture();
+        f.delay
+            .insert(TaskId(0), Priority::new(0), Time::from_us(200));
+        let active = ActiveView {
+            task: TaskId(1),
+            wcet_remaining: Cycles::new(1_300),
+            release: Time::from_us(160),
+            deadline: Time::from_us(240),
+        };
+        let c = ctx(&f, Time::from_us(160), Some(active));
+        match LpfpsPolicy::new().decide(&c) {
+            PowerDirective::SlowDown { freq, .. } => assert_eq!(freq, Freq::from_mhz(33)),
+            other => panic!("expected SlowDown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_slack_stays_at_full_speed() {
+        let mut f = fixture();
+        f.delay
+            .insert(TaskId(0), Priority::new(0), Time::from_us(180));
+        let active = ActiveView {
+            task: TaskId(1),
+            wcet_remaining: Cycles::new(2_000), // 20 us in a 20 us window
+            release: Time::from_us(160),
+            deadline: Time::from_us(240),
+        };
+        let c = ctx(&f, Time::from_us(160), Some(active));
+        assert_eq!(LpfpsPolicy::new().decide(&c), PowerDirective::FullSpeed);
+    }
+
+    #[test]
+    fn own_deadline_clamps_the_window() {
+        // Delay head at 10 ms, but the active job's deadline is 240 us:
+        // the ratio must use the deadline, not the distant arrival.
+        let mut f = fixture();
+        f.delay
+            .insert(TaskId(0), Priority::new(0), Time::from_ms(10));
+        let active = ActiveView {
+            task: TaskId(1),
+            wcet_remaining: Cycles::new(2_000),
+            release: Time::from_us(160),
+            deadline: Time::from_us(240),
+        };
+        let c = ctx(&f, Time::from_us(160), Some(active));
+        match LpfpsPolicy::new().decide(&c) {
+            PowerDirective::SlowDown { freq, .. } => {
+                // 20 us work / 80 us window = 0.25 -> 25 MHz.
+                assert_eq!(freq, Freq::from_mhz(25));
+            }
+            other => panic!("expected SlowDown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dvs_only_never_powers_down() {
+        let mut f = fixture();
+        f.delay
+            .insert(TaskId(0), Priority::new(0), Time::from_us(500));
+        let c = ctx(&f, Time::ZERO, None);
+        assert_eq!(
+            LpfpsPolicy::dvs_only().decide(&c),
+            PowerDirective::FullSpeed
+        );
+    }
+
+    #[test]
+    fn power_down_only_never_slows() {
+        let mut f = fixture();
+        f.delay
+            .insert(TaskId(0), Priority::new(0), Time::from_us(500));
+        let active = ActiveView {
+            task: TaskId(1),
+            wcet_remaining: Cycles::new(2_000),
+            release: Time::ZERO,
+            deadline: Time::from_us(80),
+        };
+        let c = ctx(&f, Time::ZERO, Some(active));
+        assert_eq!(
+            LpfpsPolicy::power_down_only().decide(&c),
+            PowerDirective::FullSpeed
+        );
+    }
+
+    #[test]
+    fn multimode_picks_deep_sleep_for_long_windows() {
+        let mut f = fixture();
+        f.cpu = CpuSpec::arm8_multimode();
+        // 10 ms of guaranteed idle: deep sleep (index 3) wins.
+        f.delay
+            .insert(TaskId(0), Priority::new(0), Time::from_ms(10));
+        let c = ctx(&f, Time::ZERO, None);
+        match LpfpsPolicy::new().decide(&c) {
+            PowerDirective::PowerDown { wake_at, mode } => {
+                assert_eq!(mode, 3, "expected deep sleep");
+                // Wake timer compensates deep sleep's 100us relock.
+                assert_eq!(wake_at, Time::from_us(10_000 - 100));
+            }
+            other => panic!("expected PowerDown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multimode_falls_back_to_light_sleep_for_short_windows() {
+        let mut f = fixture();
+        f.cpu = CpuSpec::arm8_multimode();
+        // 200 us window: deep sleep cannot amortize its wake-up.
+        f.delay
+            .insert(TaskId(0), Priority::new(0), Time::from_us(200));
+        let c = ctx(&f, Time::ZERO, None);
+        match LpfpsPolicy::new().decide(&c) {
+            PowerDirective::PowerDown { mode, .. } => {
+                assert_eq!(mode, 2, "expected the paper's 5% sleep mode");
+            }
+            other => panic!("expected PowerDown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn optimal_ratio_is_at_most_the_heuristic() {
+        let mut f = fixture();
+        f.delay
+            .insert(TaskId(0), Priority::new(0), Time::from_us(200));
+        let active = ActiveView {
+            task: TaskId(1),
+            wcet_remaining: Cycles::new(2_000),
+            release: Time::from_us(160),
+            deadline: Time::from_us(240),
+        };
+        let c = ctx(&f, Time::from_us(160), Some(active));
+        let heu = match LpfpsPolicy::new().decide(&c) {
+            PowerDirective::SlowDown { freq, .. } => freq,
+            other => panic!("{other:?}"),
+        };
+        let opt = match LpfpsPolicy::with_optimal_ratio().decide(&c) {
+            PowerDirective::SlowDown { freq, .. } => freq,
+            other => panic!("{other:?}"),
+        };
+        assert!(
+            opt <= heu,
+            "optimal {opt} should not exceed heuristic {heu}"
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Cross-validation of the two independent oracles in this workspace:
+//! analytical response-time analysis versus the event-driven simulator.
+//! Any divergence indicates a bug in one of them.
+
+use lpfps::driver::{run, PolicyKind};
+use lpfps::SimConfig;
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_cpu::state::StateKind;
+use lpfps_tasks::analysis::{response_times, RtaConfig};
+use lpfps_tasks::exec::AlwaysWcet;
+use lpfps_tasks::taskset::TaskSet;
+use lpfps_tasks::time::Dur;
+use lpfps_workloads::{applications, table1};
+
+fn horizon_for(ts: &TaskSet) -> Dur {
+    let max_period = ts.iter().map(|(_, t, _)| t.period()).max().unwrap();
+    (max_period * 3).min(Dur::from_secs(6))
+}
+
+#[test]
+fn simulated_responses_never_exceed_rta_bounds() {
+    let cpu = CpuSpec::arm8();
+    for ts in applications().into_iter().chain([table1()]) {
+        let cfg = SimConfig::new(horizon_for(&ts));
+        // At WCET, under every policy (LPFPS must not stretch past bounds).
+        for policy in [PolicyKind::Fps, PolicyKind::Lpfps, PolicyKind::LpfpsOptimal] {
+            let report = run(&ts, &cpu, policy, &AlwaysWcet, &cfg);
+            let rta = response_times(&ts, &RtaConfig::default());
+            for (i, stats) in report.responses.iter().enumerate() {
+                if stats.completed == 0 {
+                    continue;
+                }
+                // LPFPS may legally finish a lone task right at the safe
+                // completion bound, which RTA does not model; but it must
+                // never exceed the *deadline*.
+                let task = ts.task(lpfps_tasks::task::TaskId(i));
+                assert!(
+                    stats.max_response <= task.deadline(),
+                    "{}/{policy}: task {i} response {} > deadline {}",
+                    ts.name(),
+                    stats.max_response,
+                    task.deadline()
+                );
+                if policy == PolicyKind::Fps {
+                    let bound = rta[i].response().expect("workloads are schedulable");
+                    assert!(
+                        stats.max_response <= bound,
+                        "{}: task {i} simulated {} > RTA {}",
+                        ts.name(),
+                        stats.max_response,
+                        bound
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn critical_instant_attains_the_rta_bound() {
+    // With synchronous release and WCET execution, the first busy period
+    // realizes the worst case exactly, so FPS simulation must *attain* the
+    // RTA response for every task.
+    let cpu = CpuSpec::arm8();
+    for ts in applications().into_iter().chain([table1()]) {
+        let cfg = SimConfig::new(horizon_for(&ts));
+        let report = run(&ts, &cpu, PolicyKind::Fps, &AlwaysWcet, &cfg);
+        let rta = response_times(&ts, &RtaConfig::default());
+        for (i, stats) in report.responses.iter().enumerate() {
+            let bound = rta[i].response().expect("schedulable");
+            assert_eq!(
+                stats.max_response,
+                bound,
+                "{}: task {i} should attain its RTA bound at the critical instant",
+                ts.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn fps_busy_time_matches_utilization_at_wcet() {
+    // Over whole hyperperiods, the busy residency of FPS at WCET equals
+    // the released work exactly (the "FPS power ~ utilization" claim).
+    let cpu = CpuSpec::arm8();
+    let ts = table1();
+    let hyper = lpfps_tasks::analysis::hyperperiod(&ts).unwrap();
+    let cfg = SimConfig::new(hyper * 5);
+    let report = run(&ts, &cpu, PolicyKind::Fps, &AlwaysWcet, &cfg);
+    let expected: Dur = ts
+        .iter()
+        .map(|(_, t, _)| t.wcet() * ((hyper * 5) / t.period()))
+        .sum();
+    assert_eq!(report.energy.bucket(StateKind::Busy).residency, expected);
+    let u = ts.utilization();
+    let predicted_power = u + (1.0 - u) * 0.2;
+    assert!((report.average_power() - predicted_power).abs() < 1e-9);
+}
+
+#[test]
+fn static_slowdown_frequency_agrees_with_breakdown_utilization() {
+    // The static slowdown point and breakdown utilization answer the same
+    // question from two directions: U_breakdown ~= U / (f_static / f_ref).
+    use lpfps::baselines::static_slowdown_freq;
+    use lpfps_tasks::analysis::breakdown_utilization;
+    let cpu = CpuSpec::arm8();
+    for ts in applications() {
+        let f = static_slowdown_freq(&ts, &cpu).expect("schedulable");
+        let stretched_u =
+            ts.utilization() * cpu.reference_freq().as_khz() as f64 / f.as_khz() as f64;
+        let breakdown = breakdown_utilization(&ts, 1e-4).expect("schedulable");
+        // Both estimate "how much denser can this set get": they must agree
+        // to within the ladder's 1 MHz quantization plus search tolerance.
+        assert!(
+            (stretched_u - breakdown).abs() < 0.03,
+            "{}: static-slowdown implies U {stretched_u}, breakdown says {breakdown}",
+            ts.name()
+        );
+    }
+}
+
+#[test]
+fn lpfps_never_lowers_throughput() {
+    // Same released and completed job counts under FPS and LPFPS over the
+    // same horizon: power management must not change *what* runs, only
+    // *how fast* it runs.
+    let cpu = CpuSpec::arm8();
+    for ts in applications() {
+        let ts = ts.with_bcet_fraction(0.4);
+        let cfg = SimConfig::new(horizon_for(&ts)).with_seed(5);
+        let fps = run(
+            &ts,
+            &cpu,
+            PolicyKind::Fps,
+            &lpfps_tasks::exec::PaperGaussian,
+            &cfg,
+        );
+        let lp = run(
+            &ts,
+            &cpu,
+            PolicyKind::Lpfps,
+            &lpfps_tasks::exec::PaperGaussian,
+            &cfg,
+        );
+        assert_eq!(fps.counters.releases, lp.counters.releases, "{}", ts.name());
+        // Completions can differ by the handful of jobs in flight at the
+        // horizon (LPFPS stretches them), never by more than the task count.
+        let diff = fps.counters.completions.abs_diff(lp.counters.completions);
+        assert!(
+            diff <= ts.len() as u64,
+            "{}: completion counts diverged by {diff}",
+            ts.name()
+        );
+    }
+}

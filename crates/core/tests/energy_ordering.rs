@@ -1,0 +1,113 @@
+//! Energy-ordering and reproducibility properties of the policy family,
+//! on the published workloads and on random schedulable sets.
+
+use lpfps::driver::{power_reduction, run, PolicyKind};
+use lpfps::SimConfig;
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_tasks::analysis::rta_schedulable;
+use lpfps_tasks::exec::PaperGaussian;
+use lpfps_tasks::gen::{generate, GenConfig};
+use lpfps_tasks::taskset::TaskSet;
+use lpfps_tasks::time::Dur;
+use lpfps_workloads::applications;
+use proptest::prelude::*;
+
+fn horizon_for(ts: &TaskSet) -> Dur {
+    let max_period = ts.iter().map(|(_, t, _)| t.period()).max().unwrap();
+    (max_period * 3).min(Dur::from_secs(6))
+}
+
+#[test]
+fn policy_family_is_energy_ordered_on_all_workloads() {
+    let cpu = CpuSpec::arm8();
+    for ts in applications() {
+        let ts = ts.with_bcet_fraction(0.5);
+        let cfg = SimConfig::new(horizon_for(&ts)).with_seed(2);
+        let p = |k: PolicyKind| run(&ts, &cpu, k, &PaperGaussian, &cfg).average_power();
+        let fps = p(PolicyKind::Fps);
+        let pd = p(PolicyKind::FpsPd);
+        let dvs = p(PolicyKind::LpfpsDvsOnly);
+        let full = p(PolicyKind::Lpfps);
+        let opt = p(PolicyKind::LpfpsOptimal);
+        assert!(pd < fps, "{}: fps-pd {pd} !< fps {fps}", ts.name());
+        assert!(dvs < fps, "{}: dvs {dvs} !< fps {fps}", ts.name());
+        assert!(full < pd, "{}: lpfps {full} !< fps-pd {pd}", ts.name());
+        assert!(
+            full < dvs + 1e-9,
+            "{}: lpfps {full} !< dvs {dvs}",
+            ts.name()
+        );
+        // The optimal ratio can only help (it runs at most as fast).
+        assert!(opt <= full + 1e-6, "{}: opt {opt} > heu {full}", ts.name());
+    }
+}
+
+#[test]
+fn reduction_grows_monotonically_as_bcet_shrinks() {
+    let cpu = CpuSpec::arm8();
+    for ts in applications() {
+        let horizon = horizon_for(&ts);
+        let mut last = f64::MAX;
+        for frac in [0.2, 0.5, 0.8] {
+            let scaled = ts.with_bcet_fraction(frac);
+            let cfg = SimConfig::new(horizon).with_seed(4);
+            let fps = run(&scaled, &cpu, PolicyKind::Fps, &PaperGaussian, &cfg);
+            let lp = run(&scaled, &cpu, PolicyKind::Lpfps, &PaperGaussian, &cfg);
+            let red = power_reduction(&fps, &lp);
+            assert!(
+                red < last + 0.02,
+                "{}: reduction should shrink as BCET grows (frac {frac}: {red} vs {last})",
+                ts.name()
+            );
+            last = red;
+        }
+    }
+}
+
+#[test]
+fn reports_are_bitwise_reproducible() {
+    let cpu = CpuSpec::arm8();
+    for ts in applications() {
+        let ts = ts.with_bcet_fraction(0.3);
+        let cfg = SimConfig::new(horizon_for(&ts)).with_seed(17);
+        let a = run(&ts, &cpu, PolicyKind::Lpfps, &PaperGaussian, &cfg);
+        let b = run(&ts, &cpu, PolicyKind::Lpfps, &PaperGaussian, &cfg);
+        assert_eq!(
+            a.energy.total_energy().to_bits(),
+            b.energy.total_energy().to_bits()
+        );
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.responses, b.responses);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On random RM-schedulable sets, LPFPS keeps deadlines and does not
+    /// burn more than FPS (tiny tolerance for degenerate sub-microsecond
+    /// idle gaps where a power-down's wake-up costs more than it saves).
+    #[test]
+    fn lpfps_wins_on_random_schedulable_sets(
+        n in 2usize..10,
+        u_pct in 10u64..80,
+        seed in 0u64..1_000,
+    ) {
+        let cfg_gen = GenConfig::new(n, u_pct as f64 / 100.0)
+            .with_periods(Dur::from_ms(1), Dur::from_ms(50))
+            .with_bcet_fraction(0.4);
+        let ts = generate(&cfg_gen, seed);
+        prop_assume!(rta_schedulable(&ts));
+        let cpu = CpuSpec::arm8();
+        let cfg = SimConfig::new(Dur::from_ms(150)).with_seed(seed);
+        let fps = run(&ts, &cpu, PolicyKind::Fps, &PaperGaussian, &cfg);
+        let lp = run(&ts, &cpu, PolicyKind::Lpfps, &PaperGaussian, &cfg);
+        prop_assert!(lp.all_deadlines_met(), "misses: {:?}", lp.misses);
+        prop_assert!(
+            lp.average_power() <= fps.average_power() * 1.001,
+            "LPFPS {} > FPS {}",
+            lp.average_power(),
+            fps.average_power()
+        );
+    }
+}

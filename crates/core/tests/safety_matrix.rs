@@ -1,0 +1,134 @@
+//! The headline safety property of the paper: **LPFPS never violates a
+//! deadline that FPS would have met.** This matrix runs every policy on
+//! every published workload across the Figure-8 BCET sweep and multiple
+//! seeds, asserting zero deadline misses everywhere.
+
+use lpfps::driver::{run, PolicyKind};
+use lpfps::SimConfig;
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_tasks::exec::{AlwaysWcet, Bimodal, Cyclic, PaperGaussian, UniformBetween};
+use lpfps_tasks::taskset::TaskSet;
+use lpfps_tasks::time::Dur;
+use lpfps_workloads::{applications, table1};
+
+/// A horizon long enough to exercise many jobs of every task without
+/// making the debug-build matrix slow.
+fn test_horizon(ts: &TaskSet) -> Dur {
+    let max_period = ts.iter().map(|(_, t, _)| t.period()).max().unwrap();
+    (max_period * 3).min(Dur::from_secs(6)).max(Dur::from_ms(1))
+}
+
+fn check_all(ts: &TaskSet) {
+    let cpu = CpuSpec::arm8();
+    let horizon = test_horizon(ts);
+    for policy in PolicyKind::ALL {
+        for frac in [0.1, 0.5, 1.0] {
+            for seed in [0u64, 1] {
+                let scaled = ts.with_bcet_fraction(frac);
+                let cfg = SimConfig::new(horizon).with_seed(seed);
+                let report = run(&scaled, &cpu, policy, &PaperGaussian, &cfg);
+                assert!(
+                    report.all_deadlines_met(),
+                    "{} / {policy} / frac {frac} / seed {seed}: {:?}",
+                    ts.name(),
+                    report.misses
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn avionics_never_misses() {
+    check_all(&applications()[0]);
+}
+
+#[test]
+fn ins_never_misses() {
+    check_all(&applications()[1]);
+}
+
+#[test]
+fn flight_control_never_misses() {
+    check_all(&applications()[2]);
+}
+
+#[test]
+fn cnc_never_misses() {
+    check_all(&applications()[3]);
+}
+
+#[test]
+fn table1_never_misses() {
+    check_all(&table1());
+}
+
+#[test]
+fn alternative_execution_models_are_safe_too() {
+    // LPFPS's guarantee is distribution-independent: it budgets for the
+    // WCET-remaining work, so heavy-tailed and adversarial distributions
+    // must be just as safe.
+    let cpu = CpuSpec::arm8();
+    for ts in applications() {
+        let ts = ts.with_bcet_fraction(0.2);
+        let horizon = test_horizon(&ts);
+        let cfg = SimConfig::new(horizon).with_seed(9);
+        for policy in [PolicyKind::Lpfps, PolicyKind::LpfpsOptimal] {
+            let uni = run(&ts, &cpu, policy, &UniformBetween, &cfg);
+            assert!(
+                uni.all_deadlines_met(),
+                "{} uniform: {:?}",
+                ts.name(),
+                uni.misses
+            );
+            let bi = run(&ts, &cpu, policy, &Bimodal::new(0.1), &cfg);
+            assert!(
+                bi.all_deadlines_met(),
+                "{} bimodal: {:?}",
+                ts.name(),
+                bi.misses
+            );
+            let wcet = run(&ts, &cpu, policy, &AlwaysWcet, &cfg);
+            assert!(
+                wcet.all_deadlines_met(),
+                "{} wcet: {:?}",
+                ts.name(),
+                wcet.misses
+            );
+            let cyc = run(&ts, &cpu, policy, &Cyclic::new(12, 0.3), &cfg);
+            assert!(
+                cyc.all_deadlines_met(),
+                "{} cyclic: {:?}",
+                ts.name(),
+                cyc.misses
+            );
+        }
+    }
+}
+
+#[test]
+fn phase_shifted_releases_are_safe() {
+    // Breaking the synchronous release pattern must not break the policy:
+    // shift every task by a distinct phase.
+    use lpfps_tasks::task::Task;
+    let cpu = CpuSpec::arm8();
+    let base = table1();
+    let tasks: Vec<Task> = base
+        .iter()
+        .map(|(id, t, _)| {
+            Task::new(t.name(), t.period(), t.wcet())
+                .with_bcet(t.bcet())
+                .with_phase(Dur::from_us(7 * (id.0 as u64 + 1)))
+        })
+        .collect();
+    let ts = TaskSet::rate_monotonic("table1-phased", tasks).with_bcet_fraction(0.3);
+    let cfg = SimConfig::new(Dur::from_ms(4)).with_seed(3);
+    for policy in PolicyKind::ALL {
+        let report = run(&ts, &cpu, policy, &PaperGaussian, &cfg);
+        assert!(
+            report.all_deadlines_met(),
+            "{policy} with phases: {:?}",
+            report.misses
+        );
+    }
+}

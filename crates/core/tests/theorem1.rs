@@ -1,0 +1,89 @@
+//! Property-based verification of the paper's Theorem 1 and of the
+//! safety of every speed-ratio variant under the simulator's physical
+//! (trapezoid-ramp) capacity model.
+
+use lpfps::speed::{profile_capacity, r_heu, r_opt, r_opt_trapezoid};
+use lpfps_tasks::time::Dur;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2000))]
+
+    /// Theorem 1: `r_heu >= r_opt` whenever `t_a > t_c` and `t_I > R`.
+    #[test]
+    fn theorem1_r_heu_dominates_r_opt(
+        window_ns in 1_000u64..100_000_000,
+        rem_ppm in 1u64..1_000_000,
+        rho_milli in 1u64..10_000, // 0.001 .. 10 per us
+    ) {
+        let window = Dur::from_ns(window_ns);
+        let remaining = Dur::from_ns(((window_ns as u128 * rem_ppm as u128) / 1_000_000) as u64);
+        prop_assume!(!remaining.is_zero() && remaining < window);
+        let rho = rho_milli as f64 / 1_000.0;
+        let heu = r_heu(remaining, window);
+        let opt = r_opt(remaining, window, rho);
+        prop_assert!(heu >= opt - 1e-9, "heu={heu} opt={opt} window={window} rem={remaining} rho={rho}");
+    }
+
+    /// The heuristic and the trapezoid-optimal both provide at least the
+    /// required capacity under the physical ramp model, for any rate.
+    #[test]
+    fn safe_ratios_always_cover_the_demand(
+        window_us in 2u64..1_000_000,
+        rem_pct in 1u64..100,
+        rho_milli in 1u64..1_000,
+    ) {
+        let window = Dur::from_us(window_us);
+        let remaining = Dur::from_us((window_us * rem_pct / 100).max(1));
+        prop_assume!(remaining < window);
+        let rho = rho_milli as f64 / 1_000.0;
+        let required = remaining.as_us_f64();
+        for (label, r) in [
+            ("heu", r_heu(remaining, window)),
+            ("trap", r_opt_trapezoid(remaining, window, rho)),
+        ] {
+            let cap = profile_capacity(r, window, rho);
+            prop_assert!(
+                cap + 1e-6 >= required,
+                "{label} r={r}: capacity {cap} < required {required} (rho={rho})"
+            );
+        }
+    }
+
+    /// The three ratios are totally ordered: Eq. 2 <= trapezoid <= heuristic
+    /// (Eq. 2 credits the ramp with twice the physical work).
+    #[test]
+    fn ratio_family_is_ordered(
+        window_us in 2u64..100_000,
+        rem_pct in 1u64..100,
+        rho_milli in 1u64..1_000,
+    ) {
+        let window = Dur::from_us(window_us);
+        let remaining = Dur::from_us((window_us * rem_pct / 100).max(1));
+        prop_assume!(remaining < window);
+        let rho = rho_milli as f64 / 1_000.0;
+        let opt = r_opt(remaining, window, rho);
+        let trap = r_opt_trapezoid(remaining, window, rho);
+        let heu = r_heu(remaining, window);
+        prop_assert!(opt <= trap + 1e-9, "opt {opt} > trap {trap}");
+        prop_assert!(trap <= heu + 1e-9, "trap {trap} > heu {heu}");
+    }
+
+    /// All ratios are monotone in the remaining work: more work demands at
+    /// least as much speed.
+    #[test]
+    fn ratios_are_monotone_in_demand(
+        window_us in 10u64..100_000,
+        rem_pct in 1u64..98,
+    ) {
+        let window = Dur::from_us(window_us);
+        let r1 = Dur::from_us((window_us * rem_pct / 100).max(1));
+        let r2 = Dur::from_us((window_us * (rem_pct + 1) / 100).max(2));
+        prop_assume!(r1 < r2 && r2 < window);
+        prop_assert!(r_heu(r1, window) <= r_heu(r2, window) + 1e-12);
+        prop_assert!(r_opt(r1, window, 0.07) <= r_opt(r2, window, 0.07) + 1e-9);
+        prop_assert!(
+            r_opt_trapezoid(r1, window, 0.07) <= r_opt_trapezoid(r2, window, 0.07) + 1e-9
+        );
+    }
+}

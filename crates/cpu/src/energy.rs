@@ -1,0 +1,156 @@
+//! Energy accounting with per-state breakdowns.
+//!
+//! Energy is accumulated as `normalized power x seconds`, so a meter that
+//! reads `1.0` after one second means "the energy a full-speed busy
+//! processor burns in a second". Average power over the run (energy /
+//! elapsed time) is the unit of the paper's Figure 8.
+//!
+//! Energy is *reporting-only*: nothing in the scheduling path reads the
+//! meter, so its use of `f64` cannot perturb the (integer-exact) schedule.
+
+use crate::state::{CpuState, StateKind};
+use lpfps_tasks::time::Dur;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Accumulates energy and residency per processor state.
+///
+/// # Examples
+///
+/// ```
+/// use lpfps_cpu::{energy::EnergyMeter, spec::CpuSpec, state::CpuState};
+/// use lpfps_tasks::time::Dur;
+///
+/// let cpu = CpuSpec::arm8();
+/// let mut meter = EnergyMeter::new();
+/// meter.accumulate(&cpu, CpuState::IdleNop, Dur::from_ms(1));
+/// // 20% power for 1 ms = 0.0002 normalized joule-equivalents.
+/// assert!((meter.total_energy() - 2e-4).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    total_energy: f64,
+    per_state: BTreeMap<StateKind, StateBucket>,
+}
+
+/// Residency and energy attributed to one state kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StateBucket {
+    /// Total time spent in this state.
+    pub residency: Dur,
+    /// Total normalized energy burned in this state.
+    pub energy: f64,
+}
+
+impl EnergyMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        EnergyMeter::default()
+    }
+
+    /// Charges `dur` spent in `state` on processor `cpu`.
+    pub fn accumulate(&mut self, cpu: &crate::spec::CpuSpec, state: CpuState, dur: Dur) {
+        if dur.is_zero() {
+            return;
+        }
+        let power = cpu.state_power(state);
+        let energy = power * dur.as_secs_f64();
+        self.total_energy += energy;
+        let bucket = self.per_state.entry(state.kind()).or_default();
+        bucket.residency += dur;
+        bucket.energy += energy;
+    }
+
+    /// Total normalized energy over the run.
+    pub fn total_energy(&self) -> f64 {
+        self.total_energy
+    }
+
+    /// Average normalized power over an elapsed wall-clock span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elapsed` is zero.
+    pub fn average_power(&self, elapsed: Dur) -> f64 {
+        assert!(!elapsed.is_zero(), "cannot average power over zero time");
+        self.total_energy / elapsed.as_secs_f64()
+    }
+
+    /// The bucket for one state kind (zero if never entered).
+    pub fn bucket(&self, kind: StateKind) -> StateBucket {
+        self.per_state.get(&kind).copied().unwrap_or_default()
+    }
+
+    /// Iterates non-empty buckets in report order.
+    pub fn buckets(&self) -> impl Iterator<Item = (StateKind, StateBucket)> + '_ {
+        self.per_state.iter().map(|(&k, &b)| (k, b))
+    }
+
+    /// Total residency across all states (should equal elapsed sim time;
+    /// the kernel asserts this).
+    pub fn total_residency(&self) -> Dur {
+        self.per_state
+            .values()
+            .fold(Dur::ZERO, |acc, b| acc + b.residency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CpuSpec;
+    use lpfps_tasks::freq::Freq;
+
+    #[test]
+    fn empty_meter_reads_zero() {
+        let m = EnergyMeter::new();
+        assert_eq!(m.total_energy(), 0.0);
+        assert_eq!(m.total_residency(), Dur::ZERO);
+        assert_eq!(m.bucket(StateKind::Busy), StateBucket::default());
+    }
+
+    #[test]
+    fn accumulation_splits_by_state() {
+        let cpu = CpuSpec::arm8();
+        let mut m = EnergyMeter::new();
+        m.accumulate(&cpu, CpuState::Busy(Freq::from_mhz(100)), Dur::from_ms(2));
+        m.accumulate(
+            &cpu,
+            CpuState::PowerDown { power_frac: 0.05 },
+            Dur::from_ms(8),
+        );
+        assert_eq!(m.bucket(StateKind::Busy).residency, Dur::from_ms(2));
+        assert_eq!(m.bucket(StateKind::PowerDown).residency, Dur::from_ms(8));
+        assert_eq!(m.total_residency(), Dur::from_ms(10));
+        // 1.0 * 2ms + 0.05 * 8ms = 2.4 ms-units.
+        assert!((m.total_energy() - 2.4e-3).abs() < 1e-12);
+        // Average power over 10 ms = 0.24.
+        assert!((m.average_power(Dur::from_ms(10)) - 0.24).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_duration_is_a_no_op() {
+        let cpu = CpuSpec::arm8();
+        let mut m = EnergyMeter::new();
+        m.accumulate(&cpu, CpuState::IdleNop, Dur::ZERO);
+        assert_eq!(m.total_energy(), 0.0);
+        assert_eq!(m.buckets().count(), 0);
+    }
+
+    #[test]
+    fn busy_at_low_frequency_is_cheap() {
+        let cpu = CpuSpec::arm8();
+        let mut slow = EnergyMeter::new();
+        let mut fast = EnergyMeter::new();
+        slow.accumulate(&cpu, CpuState::Busy(Freq::from_mhz(50)), Dur::from_ms(2));
+        fast.accumulate(&cpu, CpuState::Busy(Freq::from_mhz(100)), Dur::from_ms(1));
+        // Same work (100 Mcycles), but the slow run burns much less energy.
+        assert!(slow.total_energy() < 0.7 * fast.total_energy());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero time")]
+    fn average_over_zero_time_panics() {
+        let _ = EnergyMeter::new().average_power(Dur::ZERO);
+    }
+}

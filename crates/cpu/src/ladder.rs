@@ -1,0 +1,202 @@
+//! The discrete frequency ladder of a DVS processor.
+//!
+//! Real variable-voltage processors expose a finite set of clock
+//! frequencies. The paper's processor runs from 8 MHz to 100 MHz in 1 MHz
+//! steps; LPFPS must pick "a minimum allowable clock frequency >=
+//! speed_ratio * max_frequency" (Fig. 4, L18) — i.e. quantize the desired
+//! ratio *upward*, never down, to preserve the deadline guarantee.
+
+use lpfps_tasks::freq::Freq;
+use serde::{Deserialize, Serialize};
+
+/// An inclusive, uniformly stepped set of selectable clock frequencies.
+///
+/// # Examples
+///
+/// ```
+/// use lpfps_cpu::ladder::FrequencyLadder;
+/// use lpfps_tasks::freq::Freq;
+///
+/// // The paper's ladder: 8..=100 MHz, 1 MHz steps.
+/// let l = FrequencyLadder::new(Freq::from_mhz(8), Freq::from_mhz(100), Freq::from_mhz(1));
+/// assert_eq!(l.quantize_up_ratio(0.5), Freq::from_mhz(50));
+/// assert_eq!(l.quantize_up_ratio(0.501), Freq::from_mhz(51));
+/// assert_eq!(l.quantize_up_ratio(0.0), Freq::from_mhz(8)); // floor
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrequencyLadder {
+    min: Freq,
+    max: Freq,
+    step: Freq,
+}
+
+impl FrequencyLadder {
+    /// Creates a ladder spanning `[min, max]` with the given step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` is zero, `min > max`, the step is zero, or the span
+    /// `max - min` is not a whole number of steps.
+    pub fn new(min: Freq, max: Freq, step: Freq) -> Self {
+        assert!(!min.is_zero(), "minimum frequency must be positive");
+        assert!(min <= max, "ladder bounds must be ordered");
+        assert!(!step.is_zero(), "frequency step must be positive");
+        assert_eq!(
+            (max.as_khz() - min.as_khz()) % step.as_khz(),
+            0,
+            "ladder span must be a whole number of steps"
+        );
+        FrequencyLadder { min, max, step }
+    }
+
+    /// A ladder with a single frequency (no DVS capability).
+    pub fn fixed(freq: Freq) -> Self {
+        FrequencyLadder::new(freq, freq, Freq::from_khz(1))
+    }
+
+    /// The lowest selectable frequency.
+    pub fn min(&self) -> Freq {
+        self.min
+    }
+
+    /// The highest selectable frequency (the "full speed" of the paper).
+    pub fn max(&self) -> Freq {
+        self.max
+    }
+
+    /// The ladder step.
+    pub fn step(&self) -> Freq {
+        self.step
+    }
+
+    /// The number of selectable levels.
+    pub fn level_count(&self) -> usize {
+        ((self.max.as_khz() - self.min.as_khz()) / self.step.as_khz()) as usize + 1
+    }
+
+    /// Iterates over all selectable frequencies, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = Freq> + '_ {
+        (0..self.level_count() as u64)
+            .map(move |i| Freq::from_khz(self.min.as_khz() + i * self.step.as_khz()))
+    }
+
+    /// True if `f` is one of the ladder's levels.
+    pub fn contains(&self, f: Freq) -> bool {
+        f >= self.min
+            && f <= self.max
+            && (f.as_khz() - self.min.as_khz()).is_multiple_of(self.step.as_khz())
+    }
+
+    /// The lowest ladder frequency that is **at least** `target`, or the
+    /// maximum if `target` exceeds it (callers must separately check that
+    /// running flat-out suffices — the schedulability analysis does).
+    pub fn quantize_up(&self, target: Freq) -> Freq {
+        if target <= self.min {
+            return self.min;
+        }
+        if target >= self.max {
+            return self.max;
+        }
+        let above_min = target.as_khz() - self.min.as_khz();
+        let steps = above_min.div_ceil(self.step.as_khz());
+        Freq::from_khz(self.min.as_khz() + steps * self.step.as_khz())
+    }
+
+    /// Quantizes a desired speed *ratio* (relative to the ladder maximum)
+    /// upward to a selectable frequency — Fig. 4, L18 of the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is negative or not finite.
+    pub fn quantize_up_ratio(&self, ratio: f64) -> Freq {
+        assert!(
+            ratio.is_finite() && ratio >= 0.0,
+            "speed ratio must be >= 0"
+        );
+        // Ceiling in exact integer arithmetic on kHz to avoid f64 edge cases:
+        // target_khz = ceil(ratio * max_khz).
+        let target = (ratio * self.max.as_khz() as f64).ceil() as u64;
+        self.quantize_up(Freq::from_khz(target))
+    }
+}
+
+impl Default for FrequencyLadder {
+    /// The paper's ladder: 8–100 MHz in 1 MHz steps.
+    fn default() -> Self {
+        FrequencyLadder::new(Freq::from_mhz(8), Freq::from_mhz(100), Freq::from_mhz(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> FrequencyLadder {
+        FrequencyLadder::default()
+    }
+
+    #[test]
+    fn paper_ladder_has_93_levels() {
+        assert_eq!(paper().level_count(), 93);
+        assert_eq!(paper().iter().count(), 93);
+    }
+
+    #[test]
+    fn quantize_up_never_rounds_down() {
+        let l = paper();
+        for target_khz in (8_000..=100_000).step_by(137) {
+            let f = l.quantize_up(Freq::from_khz(target_khz));
+            assert!(f.as_khz() >= target_khz);
+            assert!(
+                f.as_khz() - target_khz < 1_000,
+                "over-quantized by a full step"
+            );
+            assert!(l.contains(f));
+        }
+    }
+
+    #[test]
+    fn quantize_clamps_to_bounds() {
+        let l = paper();
+        assert_eq!(l.quantize_up(Freq::from_mhz(1)), Freq::from_mhz(8));
+        assert_eq!(l.quantize_up(Freq::from_mhz(200)), Freq::from_mhz(100));
+        assert_eq!(l.quantize_up_ratio(2.0), Freq::from_mhz(100));
+    }
+
+    #[test]
+    fn ratio_quantization_matches_paper_example() {
+        // Example 2: ratio 0.5 -> 50 MHz exactly.
+        assert_eq!(paper().quantize_up_ratio(0.5), Freq::from_mhz(50));
+    }
+
+    #[test]
+    fn exact_levels_pass_through() {
+        let l = paper();
+        for f in l.iter() {
+            assert_eq!(l.quantize_up(f), f);
+        }
+    }
+
+    #[test]
+    fn fixed_ladder_has_one_level() {
+        let l = FrequencyLadder::fixed(Freq::from_mhz(100));
+        assert_eq!(l.level_count(), 1);
+        assert_eq!(l.quantize_up_ratio(0.1), Freq::from_mhz(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of steps")]
+    fn misaligned_span_rejected() {
+        let _ = FrequencyLadder::new(
+            Freq::from_mhz(8),
+            Freq::from_khz(100_500),
+            Freq::from_mhz(1),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "speed ratio")]
+    fn negative_ratio_rejected() {
+        let _ = paper().quantize_up_ratio(-0.1);
+    }
+}

@@ -1,0 +1,55 @@
+//! # lpfps-cpu
+//!
+//! The DVS processor and CMOS power model for the reproduction of *Power
+//! Conscious Fixed Priority Scheduling for Hard Real-Time Systems* (Shin &
+//! Choi, DAC 1999).
+//!
+//! The paper evaluates LPFPS on an ARM8-class core: 100 MHz at 3.3 V, a
+//! frequency ladder down to 8 MHz in 1 MHz steps, a power-down mode at 5 %
+//! of full power with a 10-cycle wake-up, a NOP busy-wait loop at 20 % of
+//! typical-instruction power, and voltage/clock transitions that change the
+//! speed ratio linearly at `rho = 0.07/us` while the processor keeps
+//! executing. This crate encodes that processor:
+//!
+//! * [`ladder`] — the discrete frequency ladder with *upward* quantization
+//!   (deadline-safe).
+//! * [`vf`] — the alpha-power voltage–frequency curve (closed-form
+//!   inversion for minimum sustaining voltage).
+//! * [`power`] — normalized CMOS dynamic power `p = (V/Vmax)^2 (f/fmax)`
+//!   plus the idle/power-down constants.
+//! * [`ramp`] — the linear transition model: durations, work retired during
+//!   a ramp, and its exact inverse.
+//! * [`state`], [`energy`] — processor states and per-state energy
+//!   accounting.
+//! * [`spec`] — [`CpuSpec`], the bundle the kernel consumes;
+//!   [`CpuSpec::arm8`](crate::spec::CpuSpec::arm8) is the paper's configuration.
+//!
+//! # Example
+//!
+//! ```
+//! use lpfps_cpu::{spec::CpuSpec, state::CpuState};
+//! use lpfps_tasks::freq::Freq;
+//!
+//! let cpu = CpuSpec::arm8();
+//! // Running at half speed costs far less than half the power:
+//! let p = cpu.state_power(CpuState::Busy(Freq::from_mhz(50)));
+//! assert!(p < 0.35);
+//! ```
+
+pub mod energy;
+pub mod ladder;
+pub mod modes;
+pub mod power;
+pub mod ramp;
+pub mod spec;
+pub mod state;
+pub mod vf;
+
+pub use energy::EnergyMeter;
+pub use ladder::FrequencyLadder;
+pub use modes::{best_mode_for, SleepMode};
+pub use power::PowerModel;
+pub use ramp::Ramp;
+pub use spec::CpuSpec;
+pub use state::{CpuState, StateKind};
+pub use vf::{VfCurve, Volts};

@@ -1,0 +1,197 @@
+//! The CMOS power model, normalized to full-speed busy power.
+//!
+//! Dynamic CMOS power is `P = C_eff * V^2 * f`; dividing by the power at
+//! the maximum operating point gives the *normalized* power
+//! `p(f) = (V(f)/Vmax)^2 * (f/fmax)` used throughout the reports (the
+//! paper's Figure 8 y-axis is exactly this unit). Two further constants
+//! come straight from the paper's experimental setup:
+//!
+//! * **busy-wait idle** — an FPS idle loop of NOPs consumes 20 % of a
+//!   typical instruction's power (Burd & Brodersen), at full voltage and
+//!   clock: `p = 0.20`;
+//! * **power-down** — 5 % of full power (PowerPC 603-style sleep keeping
+//!   PLL and clock alive).
+
+use crate::ramp::Ramp;
+use crate::vf::VfCurve;
+use lpfps_tasks::freq::Freq;
+use serde::{Deserialize, Serialize};
+
+/// Normalized power model of a DVS processor.
+///
+/// # Examples
+///
+/// ```
+/// use lpfps_cpu::{power::PowerModel, vf::VfCurve};
+/// use lpfps_tasks::freq::Freq;
+///
+/// let pm = PowerModel::new(VfCurve::default(), 0.20, 0.05);
+/// assert!((pm.busy(Freq::from_mhz(100)) - 1.0).abs() < 1e-12);
+/// assert!(pm.busy(Freq::from_mhz(50)) < 0.35); // quadratic voltage win
+/// assert_eq!(pm.idle_nop(), 0.20);
+/// assert_eq!(pm.power_down(), 0.05);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    vf: VfCurve,
+    idle_frac: f64,
+    powerdown_frac: f64,
+}
+
+impl PowerModel {
+    /// Creates a model from a V–f curve and the two idle-mode fractions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either fraction is outside `[0, 1]`.
+    pub fn new(vf: VfCurve, idle_frac: f64, powerdown_frac: f64) -> Self {
+        assert!((0.0..=1.0).contains(&idle_frac), "idle fraction in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&powerdown_frac),
+            "power-down fraction in [0,1]"
+        );
+        PowerModel {
+            vf,
+            idle_frac,
+            powerdown_frac,
+        }
+    }
+
+    /// The underlying voltage–frequency curve.
+    pub fn vf(&self) -> &VfCurve {
+        &self.vf
+    }
+
+    /// Normalized power while executing at frequency `f` (voltage set to
+    /// the minimum sustaining `f`).
+    pub fn busy(&self, f: Freq) -> f64 {
+        self.busy_ratio(f.ratio_to(self.vf.f_max()))
+    }
+
+    /// Normalized power at speed ratio `r`. Ratios above 1 follow the
+    /// extrapolated V-f curve (super-unity power), the convex extension
+    /// required by idealized unbounded-speed models; real schedules never
+    /// exceed 1.
+    pub fn busy_ratio(&self, r: f64) -> f64 {
+        if r <= 0.0 {
+            return 0.0;
+        }
+        let v = self.vf.voltage_for_ratio(r).0;
+        let v_rel = v / self.vf.v_max().0;
+        v_rel * v_rel * r
+    }
+
+    /// Normalized power of the NOP busy-wait loop (FPS idling).
+    pub fn idle_nop(&self) -> f64 {
+        self.idle_frac
+    }
+
+    /// Normalized power in power-down mode.
+    pub fn power_down(&self) -> f64 {
+        self.powerdown_frac
+    }
+
+    /// Average normalized power over a voltage/clock ramp (Simpson's rule
+    /// over the linear ratio trajectory; the integrand `v(r)^2 r` is smooth,
+    /// so 16 panels are far more accurate than needed for energy reports).
+    pub fn ramp_average(&self, ramp: &Ramp) -> f64 {
+        let (a, b) = (ramp.r_from(), ramp.r_to());
+        if (a - b).abs() < 1e-15 {
+            return self.busy_ratio(a);
+        }
+        const PANELS: usize = 16; // even
+        let h = (b - a) / PANELS as f64;
+        let mut acc = self.busy_ratio(a) + self.busy_ratio(b);
+        for i in 1..PANELS {
+            let w = if i % 2 == 1 { 4.0 } else { 2.0 };
+            acc += w * self.busy_ratio(a + h * i as f64);
+        }
+        acc * h / 3.0 / (b - a)
+    }
+}
+
+impl Default for PowerModel {
+    /// The paper's constants: NOP idle at 20 %, power-down at 5 %.
+    fn default() -> Self {
+        PowerModel::new(VfCurve::default(), 0.20, 0.05)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pm() -> PowerModel {
+        PowerModel::default()
+    }
+
+    #[test]
+    fn full_speed_power_is_unity() {
+        assert!((pm().busy(Freq::from_mhz(100)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busy_power_is_monotone_in_frequency() {
+        let m = pm();
+        let mut prev = 0.0;
+        for mhz in 8..=100 {
+            let p = m.busy(Freq::from_mhz(mhz));
+            assert!(p > prev, "power must increase with frequency");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn dvs_beats_linear_scaling_everywhere_below_full() {
+        // Because voltage drops with frequency, p(f) < f/fmax strictly.
+        let m = pm();
+        for mhz in 8..100 {
+            let r = mhz as f64 / 100.0;
+            assert!(
+                m.busy(Freq::from_mhz(mhz)) < r,
+                "no quadratic win at {mhz} MHz"
+            );
+        }
+    }
+
+    #[test]
+    fn slowdown_can_beat_the_nop_idle_loop() {
+        // The key LPFPS argument: running slow is cheaper than racing and
+        // busy-waiting. At the ladder floor the busy power is below even
+        // the 20% NOP loop.
+        let m = pm();
+        assert!(m.busy(Freq::from_mhz(8)) < m.idle_nop());
+    }
+
+    #[test]
+    fn ramp_average_lies_between_endpoint_powers() {
+        let m = pm();
+        let fmax = Freq::from_mhz(100);
+        let ramp = Ramp::between(Freq::from_mhz(30), fmax, fmax, 0.07);
+        let avg = m.ramp_average(&ramp);
+        assert!(avg > m.busy(Freq::from_mhz(30)) && avg < 1.0);
+    }
+
+    #[test]
+    fn degenerate_ramp_average_is_point_power() {
+        let m = pm();
+        let fmax = Freq::from_mhz(100);
+        let ramp = Ramp::between(Freq::from_mhz(40), Freq::from_mhz(40), fmax, 0.07);
+        assert!((m.ramp_average(&ramp) - m.busy(Freq::from_mhz(40))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ramp_average_is_direction_symmetric() {
+        let m = pm();
+        let fmax = Freq::from_mhz(100);
+        let up = Ramp::between(Freq::from_mhz(20), Freq::from_mhz(90), fmax, 0.07);
+        let down = Ramp::between(Freq::from_mhz(90), Freq::from_mhz(20), fmax, 0.07);
+        assert!((m.ramp_average(&up) - m.ramp_average(&down)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle fraction")]
+    fn invalid_idle_fraction_rejected() {
+        let _ = PowerModel::new(VfCurve::default(), 1.5, 0.05);
+    }
+}

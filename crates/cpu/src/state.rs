@@ -1,0 +1,150 @@
+//! Processor operating states as seen by the kernel simulator.
+
+use lpfps_tasks::freq::Freq;
+use serde::{Deserialize, Serialize};
+
+/// What the processor is doing over a simulation interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CpuState {
+    /// Executing instructions at a settled clock frequency (voltage at the
+    /// minimum sustaining it).
+    Busy(Freq),
+    /// Executing while the clock/voltage ramps linearly between two
+    /// frequencies (the processor keeps retiring work during transitions).
+    Ramping { from: Freq, to: Freq },
+    /// Ramping with nothing to execute: the processor spins its NOP idle
+    /// loop while the voltage settles (e.g. returning to full speed after
+    /// the active task completed early at a lowered frequency).
+    RampingIdle { from: Freq, to: Freq },
+    /// Spinning on a NOP busy-wait loop at full clock and voltage — how a
+    /// conventional FPS kernel idles.
+    IdleNop,
+    /// A sleep mode drawing `power_frac` of full busy power (the paper's
+    /// single mode keeps PLL/clock alive at 5 %; see
+    /// [`SleepMode`](crate::modes::SleepMode) for the whole family).
+    PowerDown {
+        /// Residual power as a fraction of full busy power.
+        power_frac: f64,
+    },
+    /// Returning from power-down to full-power mode (the paper's 10-cycle
+    /// wake-up latency); draws full power, retires no task work.
+    WakingUp,
+}
+
+/// Coarse classification of [`CpuState`], the key for energy breakdowns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum StateKind {
+    /// Settled execution.
+    Busy,
+    /// Execution during a voltage/clock ramp.
+    Ramping,
+    /// NOP busy-wait.
+    IdleNop,
+    /// Power-down residency.
+    PowerDown,
+    /// Wake-up transitions.
+    WakingUp,
+}
+
+impl StateKind {
+    /// All kinds, in report order.
+    pub const ALL: [StateKind; 5] = [
+        StateKind::Busy,
+        StateKind::Ramping,
+        StateKind::IdleNop,
+        StateKind::PowerDown,
+        StateKind::WakingUp,
+    ];
+
+    /// A short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            StateKind::Busy => "busy",
+            StateKind::Ramping => "ramp",
+            StateKind::IdleNop => "idle-nop",
+            StateKind::PowerDown => "power-down",
+            StateKind::WakingUp => "wake-up",
+        }
+    }
+}
+
+impl CpuState {
+    /// The coarse classification of this state.
+    pub fn kind(self) -> StateKind {
+        match self {
+            CpuState::Busy(_) => StateKind::Busy,
+            CpuState::Ramping { .. } => StateKind::Ramping,
+            CpuState::RampingIdle { .. } => StateKind::Ramping,
+            CpuState::IdleNop => StateKind::IdleNop,
+            CpuState::PowerDown { .. } => StateKind::PowerDown,
+            CpuState::WakingUp => StateKind::WakingUp,
+        }
+    }
+
+    /// True if task work retires in this state.
+    pub fn executes_work(self) -> bool {
+        matches!(self, CpuState::Busy(_) | CpuState::Ramping { .. })
+    }
+}
+
+impl core::fmt::Display for CpuState {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CpuState::Busy(freq) => write!(f, "busy@{freq}"),
+            CpuState::Ramping { from, to } => write!(f, "ramp {from}->{to}"),
+            CpuState::RampingIdle { from, to } => write!(f, "ramp-idle {from}->{to}"),
+            CpuState::IdleNop => write!(f, "idle-nop"),
+            CpuState::PowerDown { .. } => write!(f, "power-down"),
+            CpuState::WakingUp => write!(f, "wake-up"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_classify_states() {
+        assert_eq!(CpuState::Busy(Freq::from_mhz(50)).kind(), StateKind::Busy);
+        assert_eq!(CpuState::IdleNop.kind(), StateKind::IdleNop);
+        assert_eq!(
+            CpuState::Ramping {
+                from: Freq::from_mhz(8),
+                to: Freq::from_mhz(100)
+            }
+            .kind(),
+            StateKind::Ramping
+        );
+    }
+
+    #[test]
+    fn only_busy_and_ramping_execute() {
+        assert!(CpuState::Busy(Freq::from_mhz(8)).executes_work());
+        assert!(CpuState::Ramping {
+            from: Freq::from_mhz(8),
+            to: Freq::from_mhz(9)
+        }
+        .executes_work());
+        assert!(!CpuState::IdleNop.executes_work());
+        assert!(!CpuState::PowerDown { power_frac: 0.05 }.executes_work());
+        assert!(!CpuState::WakingUp.executes_work());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(CpuState::Busy(Freq::from_mhz(50)).to_string(), "busy@50MHz");
+        assert_eq!(
+            CpuState::PowerDown { power_frac: 0.05 }.to_string(),
+            "power-down"
+        );
+    }
+
+    #[test]
+    fn all_kinds_have_unique_labels() {
+        let mut labels: Vec<_> = StateKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), StateKind::ALL.len());
+    }
+}

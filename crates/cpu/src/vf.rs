@@ -1,0 +1,231 @@
+//! Voltage–frequency relation of a DVS processor.
+//!
+//! The paper's processor lowers the supply voltage together with the clock
+//! (the quadratic `P ~ V^2 f` dependence is where the power win comes
+//! from). We model the achievable clock at supply voltage `V` with the
+//! alpha-power law for a velocity-saturated CMOS ring oscillator
+//! (Sakurai–Newton with `alpha = 2`, the classical long-channel case also
+//! used by Pering/Burd/Brodersen's DVS simulations, which the paper cites
+//! for its delay model):
+//!
+//! ```text
+//! f(V) = k * (V - Vt)^2 / V
+//! ```
+//!
+//! Normalizing by the maximum operating point `(Vmax, fmax)` and inverting
+//! gives a closed form for the minimum voltage sustaining a target
+//! frequency: with `c = (f/fmax) * g(Vmax)` where `g(V) = (V - Vt)^2 / V`,
+//!
+//! ```text
+//! V(f) = ( (2Vt + c) + sqrt((2Vt + c)^2 - 4 Vt^2) ) / 2
+//! ```
+//!
+//! the larger root of `V^2 - (2Vt + c) V + Vt^2 = 0` (the smaller root is
+//! below `Vt` and cannot clock at all).
+
+use lpfps_tasks::freq::Freq;
+use serde::{Deserialize, Serialize};
+
+/// A supply voltage in volts (reporting/power computation only; never used
+/// for scheduling decisions, so `f64` does not threaten determinism of the
+/// schedule).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Volts(pub f64);
+
+impl core::fmt::Display for Volts {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.2}V", self.0)
+    }
+}
+
+/// The alpha-power (alpha = 2) voltage–frequency curve, anchored at the
+/// processor's maximum operating point.
+///
+/// # Examples
+///
+/// ```
+/// use lpfps_cpu::vf::VfCurve;
+/// use lpfps_tasks::freq::Freq;
+///
+/// // The paper's ARM8-class core: 100 MHz at 3.3 V, Vt = 0.8 V.
+/// let vf = VfCurve::new(Freq::from_mhz(100), 3.3, 0.8);
+/// let v = vf.voltage_for(Freq::from_mhz(50));
+/// assert!(v.0 > 0.8 && v.0 < 3.3);
+/// // Half the clock needs well more than half the voltage margin.
+/// assert!((vf.frequency_ratio_at(v) - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VfCurve {
+    f_max: Freq,
+    v_max: f64,
+    v_t: f64,
+}
+
+impl VfCurve {
+    /// Creates a curve anchored at `(v_max, f_max)` with threshold `v_t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f_max` is zero or the voltages do not satisfy
+    /// `0 <= v_t < v_max`.
+    pub fn new(f_max: Freq, v_max: f64, v_t: f64) -> Self {
+        assert!(!f_max.is_zero(), "maximum frequency must be positive");
+        assert!(
+            v_t >= 0.0 && v_t < v_max && v_max.is_finite(),
+            "require 0 <= Vt < Vmax"
+        );
+        VfCurve { f_max, v_max, v_t }
+    }
+
+    /// The anchor frequency.
+    pub fn f_max(&self) -> Freq {
+        self.f_max
+    }
+
+    /// The anchor (maximum) supply voltage.
+    pub fn v_max(&self) -> Volts {
+        Volts(self.v_max)
+    }
+
+    /// The threshold voltage.
+    pub fn v_t(&self) -> Volts {
+        Volts(self.v_t)
+    }
+
+    /// `g(V) = (V - Vt)^2 / V`, the un-normalized speed at voltage `V`.
+    fn g(&self, v: f64) -> f64 {
+        (v - self.v_t).powi(2) / v
+    }
+
+    /// The minimum supply voltage that sustains clock frequency `f`
+    /// (clamped to the anchor for `f >= f_max`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is zero.
+    pub fn voltage_for(&self, f: Freq) -> Volts {
+        assert!(!f.is_zero(), "voltage is undefined for a stopped clock");
+        if f >= self.f_max {
+            return Volts(self.v_max);
+        }
+        let c = self.g(self.v_max) * f.ratio_to(self.f_max);
+        let b = 2.0 * self.v_t + c;
+        let v = 0.5 * (b + (b * b - 4.0 * self.v_t * self.v_t).sqrt());
+        Volts(v)
+    }
+
+    /// The minimum supply voltage for a speed *ratio* `r = f / f_max`.
+    ///
+    /// Ratios above 1 extrapolate the alpha-power curve past the anchor
+    /// (voltages above `Vmax`): physically out of spec for the modeled
+    /// part, but the consistent convex extension needed by idealized
+    /// unbounded-speed models (Yao et al., used in `lpfps-edf`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not positive and finite.
+    pub fn voltage_for_ratio(&self, r: f64) -> Volts {
+        assert!(r.is_finite() && r > 0.0, "speed ratio must be positive");
+        if r == 1.0 {
+            return Volts(self.v_max); // exact at the anchor
+        }
+        let c = self.g(self.v_max) * r;
+        let b = 2.0 * self.v_t + c;
+        Volts(0.5 * (b + (b * b - 4.0 * self.v_t * self.v_t).sqrt()))
+    }
+
+    /// The achievable frequency at voltage `v`, as a fraction of `f_max`
+    /// (the inverse of [`voltage_for`](Self::voltage_for); used in tests).
+    pub fn frequency_ratio_at(&self, v: Volts) -> f64 {
+        if v.0 <= self.v_t {
+            return 0.0;
+        }
+        self.g(v.0) / self.g(self.v_max)
+    }
+}
+
+impl Default for VfCurve {
+    /// The paper's ARM8-class anchor: 100 MHz at 3.3 V, `Vt` = 0.8 V.
+    fn default() -> Self {
+        VfCurve::new(Freq::from_mhz(100), 3.3, 0.8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> VfCurve {
+        VfCurve::default()
+    }
+
+    #[test]
+    fn anchor_point_roundtrips() {
+        let vf = curve();
+        assert_eq!(vf.voltage_for(Freq::from_mhz(100)).0, 3.3);
+        assert!((vf.frequency_ratio_at(Volts(3.3)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_is_consistent_across_the_ladder() {
+        let vf = curve();
+        for mhz in (8..=100).step_by(7) {
+            let f = Freq::from_mhz(mhz);
+            let v = vf.voltage_for(f);
+            let r = vf.frequency_ratio_at(v);
+            assert!(
+                (r - f.ratio_to(Freq::from_mhz(100))).abs() < 1e-9,
+                "roundtrip failed at {mhz} MHz: {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn voltage_is_monotone_in_frequency() {
+        let vf = curve();
+        let mut prev = 0.0;
+        for mhz in 8..=100 {
+            let v = vf.voltage_for(Freq::from_mhz(mhz)).0;
+            assert!(v > prev, "voltage must increase with frequency");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn voltage_stays_above_threshold_and_below_max() {
+        let vf = curve();
+        for mhz in 8..=99 {
+            let v = vf.voltage_for(Freq::from_mhz(mhz)).0;
+            assert!(v > 0.8 && v < 3.3, "{mhz} MHz -> {v} V out of range");
+        }
+    }
+
+    #[test]
+    fn sublinear_voltage_gives_superquadratic_power_win() {
+        // At half speed the voltage is far below what a linear V-f relation
+        // would need, so V^2 f drops by much more than 2x.
+        let vf = curve();
+        let v_half = vf.voltage_for(Freq::from_mhz(50)).0;
+        let p_rel = (v_half / 3.3).powi(2) * 0.5;
+        assert!(p_rel < 0.35, "relative power at half speed was {p_rel}");
+    }
+
+    #[test]
+    fn ratio_and_frequency_forms_agree() {
+        let vf = curve();
+        let a = vf.voltage_for(Freq::from_mhz(37)).0;
+        let b = vf.voltage_for_ratio(0.37).0;
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn below_threshold_cannot_clock() {
+        assert_eq!(curve().frequency_ratio_at(Volts(0.5)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 <= Vt < Vmax")]
+    fn invalid_thresholds_rejected() {
+        let _ = VfCurve::new(Freq::from_mhz(100), 1.0, 1.5);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests for the processor model: ladder quantization,
+//! the voltage–frequency curve, ramp geometry, and the power model.
+
+use lpfps_cpu::ladder::FrequencyLadder;
+use lpfps_cpu::power::PowerModel;
+use lpfps_cpu::ramp::Ramp;
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_cpu::state::CpuState;
+use lpfps_cpu::vf::VfCurve;
+use lpfps_tasks::cycles::Cycles;
+use lpfps_tasks::freq::Freq;
+use lpfps_tasks::time::Dur;
+use proptest::prelude::*;
+
+const FMAX: Freq = Freq::from_mhz(100);
+
+proptest! {
+    // ---- frequency ladder -------------------------------------------------
+
+    #[test]
+    fn quantize_up_is_minimal_and_safe(target_khz in 1u64..150_000) {
+        let ladder = FrequencyLadder::default();
+        let f = ladder.quantize_up(Freq::from_khz(target_khz));
+        prop_assert!(ladder.contains(f));
+        if target_khz <= ladder.max().as_khz() {
+            // Never below the request (deadline safety)...
+            prop_assert!(f.as_khz() >= target_khz.max(ladder.min().as_khz()));
+            // ...and never a full step above it (minimality).
+            if f > ladder.min() {
+                prop_assert!(f.as_khz() - ladder.step().as_khz() < target_khz);
+            }
+        } else {
+            prop_assert_eq!(f, ladder.max());
+        }
+    }
+
+    #[test]
+    fn quantize_ratio_guarantees_capacity(ratio_ppm in 0u64..1_000_000) {
+        let ladder = FrequencyLadder::default();
+        let ratio = ratio_ppm as f64 / 1e6;
+        let f = ladder.quantize_up_ratio(ratio);
+        // The chosen frequency provides at least the requested fraction of
+        // full-speed capacity.
+        prop_assert!(f.as_khz() as f64 + 1e-9 >= ratio * ladder.max().as_khz() as f64);
+    }
+
+    // ---- voltage-frequency curve -------------------------------------------
+
+    #[test]
+    fn vf_inversion_roundtrips(khz in 1_000u64..100_000, vt_centi in 10u64..150) {
+        let vt = vt_centi as f64 / 100.0;
+        let vf = VfCurve::new(FMAX, 3.3, vt);
+        let f = Freq::from_khz(khz);
+        let v = vf.voltage_for(f);
+        prop_assert!(v.0 > vt && v.0 <= 3.3 + 1e-12);
+        let r = vf.frequency_ratio_at(v);
+        prop_assert!((r - f.ratio_to(FMAX)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn voltage_is_monotone(khz in 1_000u64..99_000, step in 1u64..1_000) {
+        let vf = VfCurve::default();
+        let lo = vf.voltage_for(Freq::from_khz(khz)).0;
+        let hi = vf.voltage_for(Freq::from_khz(khz + step)).0;
+        prop_assert!(hi > lo);
+    }
+
+    // ---- power model --------------------------------------------------------
+
+    #[test]
+    fn busy_power_beats_linear_scaling(khz in 1_000u64..99_999) {
+        let pm = PowerModel::default();
+        let f = Freq::from_khz(khz);
+        let p = pm.busy(f);
+        prop_assert!(p > 0.0 && p < 1.0);
+        // Quadratic voltage dependence makes p(f) < f/fmax strictly.
+        prop_assert!(p < f.ratio_to(FMAX));
+    }
+
+    #[test]
+    fn ramp_average_is_bounded_by_endpoints(a_mhz in 8u64..100, b_mhz in 8u64..100) {
+        let pm = PowerModel::default();
+        let ramp = Ramp::between(Freq::from_mhz(a_mhz), Freq::from_mhz(b_mhz), FMAX, 0.07);
+        let avg = pm.ramp_average(&ramp);
+        let lo = pm.busy(Freq::from_mhz(a_mhz.min(b_mhz)));
+        let hi = pm.busy(Freq::from_mhz(a_mhz.max(b_mhz)));
+        prop_assert!(avg >= lo - 1e-12 && avg <= hi + 1e-12);
+    }
+
+    // ---- ramp geometry -------------------------------------------------------
+
+    #[test]
+    fn ramp_duration_is_symmetric_and_rate_scaled(
+        a_mhz in 8u64..100,
+        b_mhz in 8u64..100,
+        rate_milli in 10u64..1_000,
+    ) {
+        let rate = rate_milli as f64 / 1_000.0;
+        let up = Ramp::between(Freq::from_mhz(a_mhz), Freq::from_mhz(b_mhz), FMAX, rate);
+        let down = Ramp::between(Freq::from_mhz(b_mhz), Freq::from_mhz(a_mhz), FMAX, rate);
+        prop_assert_eq!(up.duration(), down.duration());
+        // Doubling the rate (at least) halves the duration up to rounding.
+        let fast = Ramp::between(Freq::from_mhz(a_mhz), Freq::from_mhz(b_mhz), FMAX, rate * 2.0);
+        prop_assert!(fast.duration() <= up.duration());
+    }
+
+    #[test]
+    fn ramp_work_inverse_contract(
+        a_mhz in 8u64..100,
+        b_mhz in 8u64..100,
+        frac_pct in 1u64..100,
+    ) {
+        prop_assume!(a_mhz != b_mhz);
+        let ramp = Ramp::between(Freq::from_mhz(a_mhz), Freq::from_mhz(b_mhz), FMAX, 0.07);
+        let total = ramp.total_work(FMAX);
+        let target = Cycles::new((total.as_u64() * frac_pct / 100).max(1));
+        if let Some(t) = ramp.time_to_retire(target, FMAX) {
+            prop_assert!(ramp.work_by(t, FMAX) >= target);
+            if t > Dur::from_ns(0) {
+                let before = Dur::from_ns(t.as_ns() - 1);
+                prop_assert!(ramp.work_by(before, FMAX) < target, "not the earliest instant");
+            }
+        } else {
+            prop_assert!(target > total);
+        }
+    }
+
+    #[test]
+    fn ramp_work_is_superadditive_free(
+        a_mhz in 8u64..100,
+        b_mhz in 8u64..100,
+        cut_pct in 1u64..100,
+    ) {
+        // Splitting an interval can only lose (floor) work, never create it.
+        let ramp = Ramp::between(Freq::from_mhz(a_mhz), Freq::from_mhz(b_mhz), FMAX, 0.07);
+        let d = ramp.duration();
+        prop_assume!(!d.is_zero());
+        let cut = Dur::from_ns(d.as_ns() * cut_pct / 100);
+        let whole = ramp.work_by(d, FMAX);
+        let split = ramp.work_by(cut, FMAX) + (ramp.work_by(d, FMAX) - ramp.work_by(cut, FMAX));
+        prop_assert_eq!(split, whole);
+    }
+
+    // ---- spec-level invariants ------------------------------------------------
+
+    #[test]
+    fn state_power_is_within_unit_range(mhz in 8u64..=100) {
+        let cpu = CpuSpec::arm8();
+        for state in [
+            CpuState::Busy(Freq::from_mhz(mhz)),
+            CpuState::Ramping { from: Freq::from_mhz(mhz), to: Freq::from_mhz(100) },
+            CpuState::RampingIdle { from: Freq::from_mhz(mhz), to: Freq::from_mhz(100) },
+            CpuState::IdleNop,
+            CpuState::PowerDown { power_frac: 0.05 },
+            CpuState::WakingUp,
+        ] {
+            let p = cpu.state_power(state);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&p), "{state} -> {p}");
+        }
+    }
+
+    #[test]
+    fn derating_never_raises_power(mhz in 8u64..=100) {
+        let cpu = CpuSpec::arm8();
+        let derated = cpu.derated_to(Freq::from_mhz(mhz));
+        let p = derated.state_power(CpuState::Busy(derated.full_freq()));
+        prop_assert!(p <= 1.0 + 1e-12);
+        prop_assert_eq!(derated.reference_freq(), cpu.reference_freq());
+    }
+}

@@ -1,0 +1,250 @@
+//! Discrete-voltage scheduling: the Ishihara–Yasuura theorem.
+//!
+//! Reference [16] of the paper (*Voltage scheduling problem for dynamically
+//! variable voltage processors*, ISLPED 1998) proves that on a processor
+//! with finitely many voltage levels, the minimum-energy way to execute a
+//! given amount of work in a given time uses **at most two levels, and
+//! they are adjacent** — the neighbours of the ideal continuous speed.
+//! Rounding the whole interval up to the next level (what a naive port of
+//! a continuous schedule does, and what LPFPS's L18 does at run time to
+//! stay simple and safe) wastes the gap; the two-level split closes it.
+//!
+//! This module converts a continuous [`YdsSchedule`] into its optimal
+//! discrete counterpart on a [`FrequencyLadder`] and prices both, so the
+//! cost of discreteness is measurable per workload.
+
+use crate::yds::{SpeedSegment, YdsSchedule};
+use lpfps_cpu::ladder::FrequencyLadder;
+use lpfps_cpu::power::PowerModel;
+use lpfps_tasks::freq::Freq;
+use lpfps_tasks::time::Dur;
+use serde::{Deserialize, Serialize};
+
+/// A discrete realization of one continuous segment: run `lo_time` at
+/// `lo` and `hi_time` at `hi` (adjacent ladder levels straddling the
+/// ideal speed), delivering exactly the segment's work.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiscreteSegment {
+    /// The lower of the two levels (equals `hi` when the ideal speed is a
+    /// ladder level or clamps at a ladder end).
+    pub lo: Freq,
+    /// The higher of the two levels.
+    pub hi: Freq,
+    /// Wall-clock time spent at `lo`.
+    pub lo_time: Dur,
+    /// Wall-clock time spent at `hi`.
+    pub hi_time: Dur,
+}
+
+impl DiscreteSegment {
+    /// Realizes a continuous `(length, speed)` segment on `ladder`
+    /// (speeds are fractions of `reference`).
+    ///
+    /// The split solves `t_lo * r_lo + t_hi * r_hi = length * speed` with
+    /// `t_lo + t_hi = length` — exact work conservation; the idle
+    /// remainder is zero by construction because `r_lo <= speed <= r_hi`.
+    pub fn realize(segment: &SpeedSegment, ladder: &FrequencyLadder, reference: Freq) -> Self {
+        let ideal = segment.speed;
+        let hi = ladder.quantize_up_ratio(ideal);
+        let r_hi = hi.ratio_to(reference);
+        // The adjacent level below `hi` (or `hi` itself at the ladder floor
+        // or when the ideal speed exceeds every level).
+        let lo = if hi > ladder.min() && r_hi > ideal {
+            Freq::from_khz(hi.as_khz() - ladder.step().as_khz())
+        } else {
+            hi
+        };
+        let r_lo = lo.ratio_to(reference);
+        if lo == hi || (r_hi - r_lo).abs() < 1e-15 {
+            return DiscreteSegment {
+                lo,
+                hi,
+                lo_time: Dur::ZERO,
+                hi_time: segment.length,
+            };
+        }
+        // Work conservation: t_hi = length * (ideal - r_lo) / (r_hi - r_lo).
+        let frac_hi = ((ideal - r_lo) / (r_hi - r_lo)).clamp(0.0, 1.0);
+        let hi_ns = (segment.length.as_ns() as f64 * frac_hi).round() as u64;
+        let hi_time = Dur::from_ns(hi_ns.min(segment.length.as_ns()));
+        DiscreteSegment {
+            lo,
+            hi,
+            lo_time: segment.length - hi_time,
+            hi_time,
+        }
+    }
+
+    /// Normalized energy of the realized segment.
+    pub fn energy(&self, power: &PowerModel) -> f64 {
+        power.busy(self.lo) * self.lo_time.as_secs_f64()
+            + power.busy(self.hi) * self.hi_time.as_secs_f64()
+    }
+}
+
+/// A continuous schedule realized on a discrete ladder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiscreteSchedule {
+    segments: Vec<DiscreteSegment>,
+}
+
+impl DiscreteSchedule {
+    /// Realizes every segment of `sched` on `ladder` via the two-adjacent-
+    /// levels theorem.
+    pub fn realize(sched: &YdsSchedule, ladder: &FrequencyLadder, reference: Freq) -> Self {
+        DiscreteSchedule {
+            segments: sched
+                .segments()
+                .iter()
+                .map(|s| DiscreteSegment::realize(s, ladder, reference))
+                .collect(),
+        }
+    }
+
+    /// The realized segments.
+    pub fn segments(&self) -> &[DiscreteSegment] {
+        &self.segments
+    }
+
+    /// Total normalized energy.
+    pub fn energy(&self, power: &PowerModel) -> f64 {
+        self.segments.iter().map(|s| s.energy(power)).sum()
+    }
+
+    /// Energy of the naive alternative: each segment rounded wholly up to
+    /// the next ladder level (finishing early and idling free, as in the
+    /// idealized model). The gap to [`energy`](Self::energy) is the price
+    /// of single-level rounding.
+    pub fn round_up_energy(
+        sched: &YdsSchedule,
+        ladder: &FrequencyLadder,
+        reference: Freq,
+        power: &PowerModel,
+    ) -> f64 {
+        sched
+            .segments()
+            .iter()
+            .map(|s| {
+                let f = ladder.quantize_up_ratio(s.speed);
+                let r = f.ratio_to(reference);
+                if r <= 0.0 {
+                    return 0.0;
+                }
+                // Work s.speed * length executed at ratio r takes
+                // length * s.speed / r of wall time.
+                let busy = s.length.as_secs_f64() * (s.speed / r).min(1.0);
+                power.busy(f) * busy
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Job, JobSet};
+    use lpfps_tasks::time::Time;
+
+    const REF: Freq = Freq::from_mhz(100);
+
+    fn coarse_ladder() -> FrequencyLadder {
+        // 20 MHz steps: a harsh ladder where discreteness really bites.
+        FrequencyLadder::new(Freq::from_mhz(20), Freq::from_mhz(100), Freq::from_mhz(20))
+    }
+
+    fn one_segment(speed: f64, length_us: u64) -> YdsSchedule {
+        // Build a YDS schedule with exactly one segment via a single job.
+        let work = Dur::from_ns((speed * length_us as f64 * 1_000.0).round() as u64);
+        let js = JobSet::new(vec![Job::new(Time::ZERO, Time::from_us(length_us), work)]);
+        YdsSchedule::compute(&js)
+    }
+
+    #[test]
+    fn ladder_level_speeds_need_no_split() {
+        let sched = one_segment(0.6, 1_000);
+        let d = DiscreteSchedule::realize(&sched, &coarse_ladder(), REF);
+        let seg = d.segments()[0];
+        assert_eq!(seg.hi, Freq::from_mhz(60));
+        assert_eq!(seg.lo_time, Dur::ZERO);
+        assert_eq!(seg.hi_time, Dur::from_us(1_000));
+    }
+
+    #[test]
+    fn off_level_speeds_split_between_adjacent_levels() {
+        let sched = one_segment(0.5, 1_000);
+        let d = DiscreteSchedule::realize(&sched, &coarse_ladder(), REF);
+        let seg = d.segments()[0];
+        assert_eq!(seg.lo, Freq::from_mhz(40));
+        assert_eq!(seg.hi, Freq::from_mhz(60));
+        // 0.5 sits midway between 0.4 and 0.6: a 50/50 split.
+        assert_eq!(seg.lo_time, Dur::from_us(500));
+        assert_eq!(seg.hi_time, Dur::from_us(500));
+        // Work conserved: 0.4*500 + 0.6*500 = 500 us of unit work = 0.5*1000.
+    }
+
+    #[test]
+    fn split_conserves_work_exactly() {
+        for speed_pct in [23u64, 41, 57, 99] {
+            let speed = speed_pct as f64 / 100.0;
+            let sched = one_segment(speed, 10_000);
+            let d = DiscreteSchedule::realize(&sched, &coarse_ladder(), REF);
+            let seg = d.segments()[0];
+            let done = seg.lo.ratio_to(REF) * seg.lo_time.as_ns() as f64
+                + seg.hi.ratio_to(REF) * seg.hi_time.as_ns() as f64;
+            let wanted = speed * 10_000_000.0;
+            assert!(
+                (done - wanted).abs() < seg.hi.ratio_to(REF),
+                "speed {speed}: {done} != {wanted}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_level_split_beats_rounding_up() {
+        // Ishihara & Yasuura's point, measured: for off-level speeds the
+        // split is strictly cheaper than running everything at the next
+        // level up.
+        let pm = PowerModel::default();
+        let ladder = coarse_ladder();
+        let sched = one_segment(0.5, 10_000);
+        let split = DiscreteSchedule::realize(&sched, &ladder, REF).energy(&pm);
+        let rounded = DiscreteSchedule::round_up_energy(&sched, &ladder, REF, &pm);
+        assert!(split < rounded, "split {split} !< rounded {rounded}");
+        // And both cost at least the continuous optimum.
+        let continuous = sched.energy(&pm);
+        assert!(continuous <= split + 1e-12);
+    }
+
+    #[test]
+    fn fine_ladders_shrink_the_discreteness_gap() {
+        let pm = PowerModel::default();
+        let sched = one_segment(0.437, 10_000);
+        let continuous = sched.energy(&pm);
+        let gap = |step_mhz: u64| {
+            let ladder = FrequencyLadder::new(
+                Freq::from_mhz(20),
+                Freq::from_mhz(100),
+                Freq::from_mhz(step_mhz),
+            );
+            DiscreteSchedule::realize(&sched, &ladder, REF).energy(&pm) - continuous
+        };
+        assert!(gap(20) >= gap(10) - 1e-15);
+        assert!(gap(10) >= gap(1) - 1e-15);
+        assert!(gap(1) < 1e-4);
+    }
+
+    #[test]
+    fn whole_workload_realization_is_consistent() {
+        use lpfps_tasks::exec::AlwaysWcet;
+        let js = JobSet::from_taskset(&lpfps_workloads::cnc(), Dur::from_us(9_600), &AlwaysWcet, 0);
+        let pm = PowerModel::default();
+        let sched = YdsSchedule::compute(&js);
+        let ladder = FrequencyLadder::default(); // the paper's 1 MHz ladder
+        let d = DiscreteSchedule::realize(&sched, &ladder, REF);
+        let continuous = sched.energy(&pm);
+        let discrete = d.energy(&pm);
+        // On a 1 MHz ladder, discreteness costs well under 1%.
+        assert!(discrete + 1e-15 >= continuous);
+        assert!(discrete < continuous * 1.01, "{discrete} vs {continuous}");
+    }
+}

@@ -1,0 +1,251 @@
+//! The YDS optimal offline speed schedule (Yao, Demers & Shenker, FOCS
+//! 1995) — reference [14] of the paper.
+//!
+//! Given a finite job set and a convex power function, the minimum-energy
+//! feasible speed schedule repeatedly finds the *critical interval*
+//! `[z, z']` maximizing the intensity `g = (sum of work of jobs whose
+//! window lies inside) / (z' - z)`, runs exactly those jobs at speed `g`
+//! under EDF inside it, removes them, compresses the timeline, and
+//! recurses. Speeds are non-increasing across rounds and the first
+//! round's speed is at most 1 iff the set is feasible on a unit-speed
+//! processor.
+//!
+//! We report the schedule as `(length, speed)` segments (original-time
+//! layout is irrelevant for energy) and integrate energy with the shared
+//! CMOS power model.
+
+use crate::model::{Job, JobSet};
+use lpfps_cpu::power::PowerModel;
+use lpfps_tasks::time::{Dur, Time};
+use serde::{Deserialize, Serialize};
+
+/// One busy segment of the optimal schedule: `length` of wall-clock time
+/// at `speed` (fraction of full clock).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeedSegment {
+    /// Wall-clock extent of the segment.
+    pub length: Dur,
+    /// Execution speed as a fraction of the full clock.
+    pub speed: f64,
+}
+
+/// The YDS schedule: busy segments in the order the algorithm found them
+/// (non-increasing speed), plus the total span they were carved from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct YdsSchedule {
+    segments: Vec<SpeedSegment>,
+    span: Dur,
+}
+
+impl YdsSchedule {
+    /// Computes the optimal schedule for `jobs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any round's critical intensity exceeds 1 + 1e-9 (the set
+    /// is infeasible on this processor) — feed only feasible sets.
+    pub fn compute(jobs: &JobSet) -> Self {
+        let span = jobs
+            .span_end()
+            .map(|e| e.saturating_since(Time::ZERO))
+            .unwrap_or(Dur::ZERO);
+        let mut remaining: Vec<Job> = jobs.jobs().to_vec();
+        let mut segments = Vec::new();
+        let mut last_speed = f64::INFINITY;
+        while !remaining.is_empty() {
+            let (z, zp, g) = critical_interval(&remaining);
+            assert!(
+                g <= 1.0 + 1e-9,
+                "critical intensity {g} exceeds the unit-speed capacity"
+            );
+            debug_assert!(
+                g <= last_speed + 1e-9,
+                "YDS speeds must be non-increasing ({g} after {last_speed})"
+            );
+            last_speed = g;
+            segments.push(SpeedSegment {
+                length: zp.saturating_since(z),
+                speed: g,
+            });
+            let gap = zp.saturating_since(z);
+            remaining.retain(|j| !(j.release >= z && j.deadline <= zp));
+            for j in &mut remaining {
+                j.release = compress(j.release, z, zp, gap);
+                j.deadline = compress(j.deadline, z, zp, gap);
+                debug_assert!(j.deadline > j.release, "compression emptied a window");
+            }
+        }
+        YdsSchedule { segments, span }
+    }
+
+    /// The busy segments, in discovery order (non-increasing speed).
+    pub fn segments(&self) -> &[SpeedSegment] {
+        &self.segments
+    }
+
+    /// The peak (first-round) speed; zero for an empty schedule.
+    pub fn peak_speed(&self) -> f64 {
+        self.segments.first().map(|s| s.speed).unwrap_or(0.0)
+    }
+
+    /// Total busy time across segments.
+    pub fn busy_time(&self) -> Dur {
+        self.segments.iter().map(|s| s.length).sum()
+    }
+
+    /// The schedule span (release of the first job to the last deadline,
+    /// measured from time zero).
+    pub fn span(&self) -> Dur {
+        self.span
+    }
+
+    /// Total normalized energy of the schedule under `power` (idle time
+    /// is free in the idealized model — see the crate docs).
+    pub fn energy(&self, power: &PowerModel) -> f64 {
+        self.segments
+            .iter()
+            .map(|s| power.busy_ratio(s.speed) * s.length.as_secs_f64())
+            .sum()
+    }
+
+    /// Average normalized power over the span.
+    pub fn average_power(&self, power: &PowerModel) -> f64 {
+        if self.span.is_zero() {
+            0.0
+        } else {
+            self.energy(power) / self.span.as_secs_f64()
+        }
+    }
+}
+
+/// Removes the interval `(z, zp]`-ish from the timeline: times beyond
+/// `zp` shift left by `gap`; times inside clamp to `z`.
+fn compress(t: Time, z: Time, zp: Time, gap: Dur) -> Time {
+    if t >= zp {
+        t - gap
+    } else if t > z {
+        z
+    } else {
+        t
+    }
+}
+
+/// Finds the interval `[z, z']` (z a release, z' a deadline) of maximum
+/// intensity in O(n^2) via a deadline-sorted sweep per release.
+fn critical_interval(jobs: &[Job]) -> (Time, Time, f64) {
+    let mut releases: Vec<Time> = jobs.iter().map(|j| j.release).collect();
+    releases.sort_unstable();
+    releases.dedup();
+    let mut by_deadline: Vec<&Job> = jobs.iter().collect();
+    by_deadline.sort_by_key(|j| j.deadline);
+
+    let mut best = (Time::ZERO, Time::from_ns(1), f64::MIN);
+    for &z in &releases {
+        let mut acc: u128 = 0;
+        let mut i = 0;
+        while i < by_deadline.len() {
+            let d = by_deadline[i].deadline;
+            // Fold in every job sharing this deadline before evaluating.
+            while i < by_deadline.len() && by_deadline[i].deadline == d {
+                if by_deadline[i].release >= z {
+                    acc += by_deadline[i].work.as_ns() as u128;
+                }
+                i += 1;
+            }
+            if d <= z || acc == 0 {
+                continue;
+            }
+            let g = acc as f64 / d.saturating_since(z).as_ns() as f64;
+            if g > best.2 {
+                best = (z, d, g);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpfps_tasks::time::Dur;
+
+    fn t(us: u64) -> Time {
+        Time::from_us(us)
+    }
+
+    fn job(r: u64, d: u64, w: u64) -> Job {
+        Job::new(t(r), t(d), Dur::from_us(w))
+    }
+
+    #[test]
+    fn single_job_runs_at_its_density() {
+        let js = JobSet::new(vec![job(0, 100, 25)]);
+        let sched = YdsSchedule::compute(&js);
+        assert_eq!(sched.segments().len(), 1);
+        assert!((sched.peak_speed() - 0.25).abs() < 1e-12);
+        assert_eq!(sched.segments()[0].length, Dur::from_us(100));
+    }
+
+    #[test]
+    fn textbook_two_job_example() {
+        // Job A: [0, 100], 20; Job B: [40, 60], 15. The critical interval
+        // is [40, 60] at speed 0.75; A then spreads over the remaining 80
+        // at 0.25.
+        let js = JobSet::new(vec![job(0, 100, 20), job(40, 60, 15)]);
+        let sched = YdsSchedule::compute(&js);
+        assert_eq!(sched.segments().len(), 2);
+        assert!((sched.segments()[0].speed - 0.75).abs() < 1e-12);
+        assert_eq!(sched.segments()[0].length, Dur::from_us(20));
+        assert!((sched.segments()[1].speed - 0.25).abs() < 1e-12);
+        assert_eq!(sched.segments()[1].length, Dur::from_us(80));
+    }
+
+    #[test]
+    fn speeds_are_non_increasing_and_work_is_conserved() {
+        use lpfps_tasks::exec::AlwaysWcet;
+        let js = JobSet::from_taskset(&lpfps_workloads::cnc(), Dur::from_us(9_600), &AlwaysWcet, 0);
+        let sched = YdsSchedule::compute(&js);
+        let mut prev = f64::INFINITY;
+        let mut processed = 0.0;
+        for s in sched.segments() {
+            assert!(s.speed <= prev + 1e-9);
+            prev = s.speed;
+            processed += s.speed * s.length.as_ns() as f64;
+        }
+        // Work processed equals total work demanded (in ns at unit speed).
+        let demanded = js.total_work().as_ns() as f64;
+        assert!(
+            (processed - demanded).abs() / demanded < 1e-9,
+            "{processed} != {demanded}"
+        );
+    }
+
+    #[test]
+    fn feasible_sets_stay_at_or_below_unit_speed() {
+        use lpfps_tasks::exec::AlwaysWcet;
+        for ts in lpfps_workloads::applications() {
+            let horizon = ts.iter().map(|(_, t, _)| t.period()).max().unwrap() * 2;
+            let js = JobSet::from_taskset(&ts, horizon, &AlwaysWcet, 0);
+            let sched = YdsSchedule::compute(&js);
+            assert!(sched.peak_speed() <= 1.0 + 1e-9, "{}", ts.name());
+        }
+    }
+
+    #[test]
+    fn optimal_beats_constant_full_speed() {
+        let pm = PowerModel::default();
+        let js = JobSet::new(vec![job(0, 100, 20), job(40, 60, 15)]);
+        let sched = YdsSchedule::compute(&js);
+        // Full speed energy: run 35us of work at speed 1 -> 35us * 1.0.
+        let full = 35e-6;
+        assert!(sched.energy(&pm) < full * 0.7, "YDS should save a lot");
+    }
+
+    #[test]
+    fn empty_set_is_an_empty_schedule() {
+        let sched = YdsSchedule::compute(&JobSet::default());
+        assert!(sched.segments().is_empty());
+        assert_eq!(sched.busy_time(), Dur::ZERO);
+        assert_eq!(sched.peak_speed(), 0.0);
+    }
+}

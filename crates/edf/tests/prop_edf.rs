@@ -1,0 +1,103 @@
+//! Property-based tests for the EDF/YDS/AVR baselines.
+
+use lpfps_cpu::power::PowerModel;
+use lpfps_edf::{simulate_edf, simulate_edf_full_speed, Job, JobSet, SpeedProfile, YdsSchedule};
+use lpfps_tasks::time::{Dur, Time};
+use proptest::prelude::*;
+
+/// Random feasible job sets: jobs with windows inside [0, 10ms] and work
+/// at most a third of the window, which keeps every interval intensity
+/// comfortably below 1 for small job counts.
+fn arb_jobs() -> impl Strategy<Value = JobSet> {
+    proptest::collection::vec((0u64..8_000, 50u64..2_000, 1u64..100), 1..10)
+        .prop_map(|raw| {
+            let jobs = raw
+                .into_iter()
+                .map(|(start, window, work_pct)| {
+                    let work_us = (window * work_pct.min(33) / 100).max(1);
+                    Job::new(
+                        Time::from_us(start),
+                        Time::from_us(start + window),
+                        Dur::from_us(work_us),
+                    )
+                })
+                .collect();
+            JobSet::new(jobs)
+        })
+        .prop_filter("feasible at unit speed", |js| js.max_intensity() <= 1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn yds_conserves_work_and_orders_speeds(js in arb_jobs()) {
+        let sched = YdsSchedule::compute(&js);
+        let mut prev = f64::INFINITY;
+        let mut processed = 0.0;
+        for s in sched.segments() {
+            prop_assert!(s.speed <= prev + 1e-9, "speeds must be non-increasing");
+            prop_assert!(s.speed <= 1.0 + 1e-9, "feasible sets stay within unit speed");
+            prev = s.speed;
+            processed += s.speed * s.length.as_ns() as f64;
+        }
+        let demanded = js.total_work().as_ns() as f64;
+        prop_assert!((processed - demanded).abs() <= demanded * 1e-9 + 1e-6);
+        prop_assert!(sched.busy_time() <= sched.span());
+    }
+
+    #[test]
+    fn yds_peak_equals_max_intensity(js in arb_jobs()) {
+        let sched = YdsSchedule::compute(&js);
+        // The first critical interval *is* the max-intensity interval.
+        prop_assert!((sched.peak_speed() - js.max_intensity()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avr_is_feasible_and_never_beats_yds(js in arb_jobs()) {
+        let power = PowerModel::default();
+        let avr = simulate_edf(&js, &SpeedProfile::avr(&js), &power);
+        prop_assert_eq!(avr.misses, 0, "AVR guarantees feasibility");
+        prop_assert_eq!(avr.completed, js.len());
+        let optimal = YdsSchedule::compute(&js).energy(&power);
+        prop_assert!(
+            optimal <= avr.energy + 1e-9,
+            "optimal {} must not exceed AVR {}",
+            optimal,
+            avr.energy
+        );
+    }
+
+    #[test]
+    fn full_speed_edf_is_feasible_and_most_expensive(js in arb_jobs()) {
+        let power = PowerModel::default();
+        let full = simulate_edf_full_speed(&js, &power);
+        prop_assert_eq!(full.misses, 0, "EDF at unit speed schedules feasible sets");
+        // Busy time at full speed equals total work exactly.
+        let work_secs = js.total_work().as_secs_f64();
+        prop_assert!((full.busy_secs - work_secs).abs() < 1e-9);
+        // Racing at full speed burns at least as much as AVR — whenever
+        // AVR's profile stays within the real processor's speed range.
+        // (Where density sums exceed 1, the idealized model's super-unity
+        // speeds cost super-unity power and AVR can legitimately lose.)
+        let profile = SpeedProfile::avr(&js);
+        if profile.peak() <= 1.0 {
+            let avr = simulate_edf(&js, &profile, &power);
+            prop_assert!(avr.energy <= full.energy + 1e-9);
+        }
+    }
+
+    #[test]
+    fn avr_speed_bounds_hold_pointwise(js in arb_jobs()) {
+        let p = SpeedProfile::avr(&js);
+        // The AVR speed is bounded by the sum of all densities and is
+        // at least the density of any single covering window.
+        let total: f64 = js.jobs().iter().map(|j| j.density()).sum();
+        for &j in js.jobs() {
+            let mid = (j.release.as_ns() + j.deadline.as_ns()) as f64 / 2.0;
+            let s = p.speed_at(mid);
+            prop_assert!(s + 1e-12 >= j.density());
+            prop_assert!(s <= total + 1e-12);
+        }
+    }
+}

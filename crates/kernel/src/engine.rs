@@ -1,0 +1,1313 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine advances from decision point to decision point; between two
+//! points the processor state is constant (settled execution, a linear
+//! ramp segment, NOP idling, power-down, or wake-up), so energy and
+//! retired work integrate exactly. Decision points are:
+//!
+//! * the next release at the head of the delay queue,
+//! * the completion of the active job under the current speed profile,
+//! * the end of a voltage/clock ramp,
+//! * the power-down wake-up timer and the end of the wake-up latency,
+//! * the speed-up timer armed by a `SlowDown` directive (the latest start
+//!   of the ramp back to full speed before the next arrival), and
+//! * the simulation horizon.
+//!
+//! Scheduler passes — queue moves, context switches, and the policy's
+//! power decision — run only when the processor is settled at full speed,
+//! implementing the paper's L1–L4: any scheduler invocation at reduced or
+//! changing speed first raises the clock and the supply voltage to the
+//! maximum (retargeting an in-flight ramp from its instantaneous ratio)
+//! and re-runs once the transition settles.
+//!
+//! All scheduling state is integer-exact; `f64` appears only inside ramp
+//! geometry (conservatively rounded) and energy reporting, so runs are
+//! bit-reproducible.
+
+use crate::policy::{ActiveView, PowerDirective, PowerPolicy, SchedulerContext};
+use crate::queues::{DelayQueue, RunQueue};
+use crate::report::{Counters, DeadlineMiss, ResponseStats, SimReport};
+use crate::stats::{IntervalStats, ResponseHistogram};
+use crate::trace::{Trace, TraceEvent};
+use lpfps_cpu::ramp::Ramp;
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_cpu::state::CpuState;
+use lpfps_cpu::EnergyMeter;
+use lpfps_tasks::cycles::Cycles;
+use lpfps_tasks::exec::ExecModel;
+use lpfps_tasks::freq::Freq;
+use lpfps_tasks::task::TaskId;
+use lpfps_tasks::taskset::TaskSet;
+use lpfps_tasks::time::{Dur, Time};
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// How long to simulate.
+    pub horizon: Dur,
+    /// Seed for the per-job execution-time streams.
+    pub seed: u64,
+    /// Record a full event trace (disable for long sweeps).
+    pub trace: bool,
+    /// Cost of loading a different task's context, charged as processor
+    /// work (at the current speed) before the incoming job progresses.
+    /// Zero reproduces the paper's setup.
+    pub context_switch: Dur,
+    /// Processor time consumed by the scheduler's speed-ratio computation,
+    /// charged as work on the active task's dispatch path whenever the
+    /// policy issues a `SlowDown` (the paper's §5 trade-off: the optimal
+    /// ratio is costlier to compute, and scheduler execution burns both
+    /// time and power). Zero reproduces the paper's idealized scheduler.
+    pub ratio_overhead: Dur,
+    /// Timer-tick granularity of a tick-driven kernel (Katcher et al.):
+    /// releases are *noticed* only at the next tick boundary, adding up to
+    /// one tick of release jitter (analyzable with
+    /// [`RtaConfig::with_release_jitter`](lpfps_tasks::analysis::RtaConfig)).
+    /// `None` (the default, and the paper's model) notices releases
+    /// immediately (event-driven kernel). Completions remain event-driven
+    /// either way.
+    pub tick: Option<Dur>,
+}
+
+impl SimConfig {
+    /// A config with the given horizon, seed 0, tracing off, zero overhead.
+    pub fn new(horizon: Dur) -> Self {
+        SimConfig {
+            horizon,
+            seed: 0,
+            trace: false,
+            context_switch: Dur::ZERO,
+            ratio_overhead: Dur::ZERO,
+            tick: None,
+        }
+    }
+
+    /// Sets the execution-time seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables event tracing.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Sets the context-switch cost.
+    pub fn with_context_switch(mut self, cs: Dur) -> Self {
+        self.context_switch = cs;
+        self
+    }
+
+    /// Sets the per-`SlowDown` scheduler cost (speed-ratio computation).
+    pub fn with_ratio_overhead(mut self, cost: Dur) -> Self {
+        self.ratio_overhead = cost;
+        self
+    }
+
+    /// Makes the kernel tick-driven with the given tick period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tick is zero.
+    pub fn with_tick(mut self, tick: Dur) -> Self {
+        assert!(
+            !tick.is_zero(),
+            "a tick-driven kernel needs a positive tick"
+        );
+        self.tick = Some(tick);
+        self
+    }
+}
+
+/// One live (released, unfinished) job.
+#[derive(Debug, Clone, Copy)]
+struct LiveJob {
+    index: u64,
+    release: Time,
+    deadline: Time,
+    /// Actual remaining demand (hidden from the policy).
+    realized_remaining: Cycles,
+    /// WCET-view remaining demand `C_i - E_i` (what the scheduler sees).
+    wcet_remaining: Cycles,
+}
+
+/// Per-task runtime bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct TaskRt {
+    /// True arrival time of the job currently waiting in the delay queue
+    /// (its delay-queue key may be later under a tick-driven kernel).
+    pending_arrival: Time,
+    next_index: u64,
+    job: Option<LiveJob>,
+}
+
+/// Processor operating mode between decision points.
+#[derive(Debug, Clone, Copy)]
+enum ProcMode {
+    /// Settled at a frequency (full speed unless a `SlowDown` is in force).
+    Settled(Freq),
+    /// Mid-transition; the active job (if any) executes along the ramp.
+    Ramping {
+        ramp: Ramp,
+        started: Time,
+        end: Time,
+        target: Freq,
+    },
+    /// Power-down (in the given sleep mode) until the wake timer fires.
+    PowerDown { wake_at: Time, mode: usize },
+    /// Returning to full power (no work retires).
+    WakingUp { until: Time },
+}
+
+struct Engine<'a> {
+    ts: &'a TaskSet,
+    cpu: &'a CpuSpec,
+    exec: &'a dyn ExecModel,
+    cfg: &'a SimConfig,
+    now: Time,
+    horizon_end: Time,
+    run_q: RunQueue,
+    delay_q: DelayQueue,
+    tasks: Vec<TaskRt>,
+    wcet_cycles: Vec<Cycles>,
+    active: Option<TaskId>,
+    mode: ProcMode,
+    speedup_at: Option<Time>,
+    /// Pending timeout-shutdown: (enter power-down at, wake at).
+    pd_timer: Option<(Time, Time)>,
+    pending_overhead: Cycles,
+    last_dispatched: Option<TaskId>,
+    was_idle: bool,
+    meter: EnergyMeter,
+    counters: Counters,
+    responses: Vec<ResponseStats>,
+    misses: Vec<DeadlineMiss>,
+    idle_gaps: IntervalStats,
+    gap_start: Option<Time>,
+    task_energy: Vec<f64>,
+    histograms: Vec<ResponseHistogram>,
+    trace: Option<Trace>,
+}
+
+/// Rounds an arrival up to the next tick boundary (identity for
+/// event-driven kernels).
+fn quantize_to_tick(arrival: Time, tick: Option<Dur>) -> Time {
+    match tick {
+        None => arrival,
+        Some(t) => {
+            let ticks = arrival.as_ns().div_ceil(t.as_ns());
+            Time::from_ns(ticks * t.as_ns())
+        }
+    }
+}
+
+/// Runs one simulation of `ts` on `cpu` under `policy`, with realized
+/// execution times drawn from `exec`.
+///
+/// # Panics
+///
+/// Panics if the horizon is zero, or if the policy issues an illegal
+/// directive (power-down with runnable work, a slow-down frequency outside
+/// the ladder, ...). Deadline misses do **not** panic; they are recorded
+/// in the report so experiments can observe unschedulable configurations.
+pub fn simulate(
+    ts: &TaskSet,
+    cpu: &CpuSpec,
+    policy: &mut dyn PowerPolicy,
+    exec: &dyn ExecModel,
+    cfg: &SimConfig,
+) -> SimReport {
+    assert!(
+        !cfg.horizon.is_zero(),
+        "simulation horizon must be positive"
+    );
+    let mut engine = Engine::new(ts, cpu, exec, cfg);
+    engine.run(policy);
+    engine.into_report(policy.name())
+}
+
+impl<'a> Engine<'a> {
+    fn new(ts: &'a TaskSet, cpu: &'a CpuSpec, exec: &'a dyn ExecModel, cfg: &'a SimConfig) -> Self {
+        let reference = cpu.reference_freq();
+        let mut delay_q = DelayQueue::new();
+        let mut tasks = Vec::with_capacity(ts.len());
+        let mut wcet_cycles = Vec::with_capacity(ts.len());
+        for (id, task, prio) in ts.iter() {
+            let arrival = Time::ZERO + task.phase();
+            delay_q.insert(id, prio, quantize_to_tick(arrival, cfg.tick));
+            tasks.push(TaskRt {
+                pending_arrival: arrival,
+                next_index: 0,
+                job: None,
+            });
+            wcet_cycles.push(Cycles::from_time_at(task.wcet(), reference).max(Cycles::new(1)));
+        }
+        Engine {
+            ts,
+            cpu,
+            exec,
+            cfg,
+            now: Time::ZERO,
+            horizon_end: Time::ZERO + cfg.horizon,
+            run_q: RunQueue::new(),
+            delay_q,
+            tasks,
+            wcet_cycles,
+            active: None,
+            mode: ProcMode::Settled(cpu.full_freq()),
+            speedup_at: None,
+            pd_timer: None,
+            pending_overhead: Cycles::ZERO,
+            last_dispatched: None,
+            was_idle: false,
+            meter: EnergyMeter::new(),
+            counters: Counters::default(),
+            responses: vec![ResponseStats::default(); ts.len()],
+            misses: Vec::new(),
+            idle_gaps: IntervalStats::new(),
+            gap_start: Some(Time::ZERO),
+            task_energy: vec![0.0; ts.len()],
+            histograms: vec![ResponseHistogram::new(); ts.len()],
+            trace: if cfg.trace { Some(Trace::new()) } else { None },
+        }
+    }
+
+    fn run(&mut self, policy: &mut dyn PowerPolicy) {
+        loop {
+            let t_next = self.next_event_time().min(self.horizon_end);
+            self.advance_to(t_next);
+            if self.now >= self.horizon_end {
+                break;
+            }
+            self.handle_events(policy);
+        }
+        if let Some(start) = self.gap_start.take() {
+            self.idle_gaps
+                .record(self.horizon_end.saturating_since(start));
+        }
+        self.record_unfinished_misses();
+        debug_assert_eq!(
+            self.meter.total_residency(),
+            self.cfg.horizon,
+            "energy residency must cover the whole horizon"
+        );
+    }
+
+    // ----- event timing ---------------------------------------------------
+
+    fn next_event_time(&self) -> Time {
+        let mut t = Time::MAX;
+        if let Some(r) = self.delay_q.head_release() {
+            t = t.min(r);
+        }
+        if let Some(c) = self.completion_time() {
+            t = t.min(c);
+        }
+        match self.mode {
+            ProcMode::Ramping { end, .. } => t = t.min(end),
+            ProcMode::PowerDown { wake_at, .. } => t = t.min(wake_at),
+            ProcMode::WakingUp { until } => t = t.min(until),
+            ProcMode::Settled(_) => {}
+        }
+        if let Some(s) = self.speedup_at {
+            t = t.min(s);
+        }
+        if let Some((enter, _)) = self.pd_timer {
+            t = t.min(enter);
+        }
+        // An overrunning task re-enters the delay queue with a release
+        // already in the past; it is due immediately.
+        t.max(self.now)
+    }
+
+    /// Total work in front of the processor: dispatch overhead first, then
+    /// the active job's realized demand.
+    fn frontier_work(&self) -> Option<Cycles> {
+        let tid = self.active?;
+        let job = self.tasks[tid.0].job.as_ref()?;
+        Some(self.pending_overhead + job.realized_remaining)
+    }
+
+    fn completion_time(&self) -> Option<Time> {
+        let total = self.frontier_work()?;
+        if total.is_zero() {
+            return Some(self.now);
+        }
+        let reference = self.cpu.reference_freq();
+        match self.mode {
+            ProcMode::Settled(f) => Some(self.now + total.time_at(f)),
+            ProcMode::Ramping { ramp, started, .. } => {
+                let off = self.now.saturating_since(started);
+                let done = ramp.work_by(off, reference);
+                ramp.time_to_retire(done + total, reference)
+                    .map(|t_off| started + t_off)
+                // If the ramp cannot retire it, the ramp end is already a
+                // candidate; completion is recomputed in the settled mode.
+            }
+            ProcMode::PowerDown { .. } | ProcMode::WakingUp { .. } => None,
+        }
+    }
+
+    // ----- physics --------------------------------------------------------
+
+    fn current_cpu_state(&self) -> CpuState {
+        let executing = self
+            .active
+            .map(|tid| self.tasks[tid.0].job.is_some())
+            .unwrap_or(false)
+            || !self.pending_overhead.is_zero();
+        match self.mode {
+            ProcMode::Settled(f) => {
+                if executing {
+                    CpuState::Busy(f)
+                } else {
+                    CpuState::IdleNop
+                }
+            }
+            ProcMode::Ramping { ramp, .. } => {
+                let from = self.ratio_to_freq(ramp.r_from());
+                let to = self.ratio_to_freq(ramp.r_to());
+                if executing {
+                    CpuState::Ramping { from, to }
+                } else {
+                    CpuState::RampingIdle { from, to }
+                }
+            }
+            ProcMode::PowerDown { mode, .. } => CpuState::PowerDown {
+                power_frac: self.cpu.sleep_modes()[mode].power_frac(),
+            },
+            ProcMode::WakingUp { .. } => CpuState::WakingUp,
+        }
+    }
+
+    fn ratio_to_freq(&self, r: f64) -> Freq {
+        let khz = (r * self.cpu.reference_freq().as_khz() as f64)
+            .round()
+            .max(1.0) as u64;
+        Freq::from_khz(khz)
+    }
+
+    fn advance_to(&mut self, t: Time) {
+        debug_assert!(t >= self.now);
+        let dur = t.saturating_since(self.now);
+        if dur.is_zero() {
+            self.now = t;
+            return;
+        }
+        let state = self.current_cpu_state();
+        self.meter.accumulate(self.cpu, state, dur);
+        if state.executes_work() {
+            if let Some(tid) = self.active {
+                self.task_energy[tid.0] += self.cpu.state_power(state) * dur.as_secs_f64();
+            }
+            let reference = self.cpu.reference_freq();
+            let retired = match self.mode {
+                ProcMode::Settled(f) => Cycles::from_time_at(dur, f),
+                ProcMode::Ramping { ramp, started, .. } => {
+                    let a = self.now.saturating_since(started);
+                    let b = t.saturating_since(started);
+                    ramp.work_by(b, reference) - ramp.work_by(a, reference)
+                }
+                _ => Cycles::ZERO,
+            };
+            self.retire(retired);
+        }
+        self.now = t;
+    }
+
+    /// Consumes retired cycles: dispatch overhead first, then job demand.
+    fn retire(&mut self, mut retired: Cycles) {
+        if !self.pending_overhead.is_zero() {
+            let eaten = self.pending_overhead.min(retired);
+            self.pending_overhead -= eaten;
+            retired -= eaten;
+        }
+        if retired.is_zero() {
+            return;
+        }
+        if let Some(tid) = self.active {
+            if let Some(job) = self.tasks[tid.0].job.as_mut() {
+                job.realized_remaining = job.realized_remaining.saturating_sub(retired);
+                job.wcet_remaining = job.wcet_remaining.saturating_sub(retired);
+            }
+        }
+    }
+
+    // ----- event handling ---------------------------------------------------
+
+    fn handle_events(&mut self, policy: &mut dyn PowerPolicy) {
+        let mut need_sched = false;
+
+        // Ramp settles.
+        if let ProcMode::Ramping { end, target, .. } = self.mode {
+            if self.now >= end {
+                self.mode = ProcMode::Settled(target);
+                self.push_trace(TraceEvent::RampEnd { freq: target });
+                if target == self.cpu.full_freq() {
+                    need_sched = true;
+                }
+            }
+        }
+        // Wake timer fires / wake-up completes.
+        match self.mode {
+            ProcMode::PowerDown { wake_at, mode } if self.now >= wake_at => {
+                let delay = self.cpu.sleep_modes()[mode].wakeup_delay(self.cpu.reference_freq());
+                self.mode = ProcMode::WakingUp {
+                    until: self.now + delay,
+                };
+                self.push_trace(TraceEvent::Wakeup);
+            }
+            ProcMode::WakingUp { until } if self.now >= until => {
+                self.mode = ProcMode::Settled(self.cpu.full_freq());
+                need_sched = true;
+            }
+            _ => {}
+        }
+        // Releases (the scheduler's L5-L7).
+        for (tid, release) in self.delay_q.pop_due(self.now) {
+            self.spawn_job(tid, release);
+            need_sched = true;
+        }
+        // Completion of the active job.
+        if let Some(total) = self.frontier_work() {
+            if total.is_zero() {
+                self.complete_active();
+                need_sched = true;
+            }
+        }
+        // Speed-up timer (latest moment to begin ramping back to full).
+        if let Some(s) = self.speedup_at {
+            if self.now >= s {
+                self.speedup_at = None;
+                need_sched = true;
+            }
+        }
+        // Timeout-shutdown timer: enter power-down if the kernel is still
+        // idle when the timeout elapses.
+        if let Some((enter, wake_at)) = self.pd_timer {
+            if self.now >= enter {
+                self.pd_timer = None;
+                let idle = self.active.is_none()
+                    && self.run_q.is_empty()
+                    && matches!(self.mode, ProcMode::Settled(f) if f == self.cpu.full_freq());
+                if idle && wake_at > self.now {
+                    self.mode = ProcMode::PowerDown { wake_at, mode: 0 };
+                    self.counters.power_downs += 1;
+                    self.push_trace(TraceEvent::EnterPowerDown { wake_at });
+                }
+            }
+        }
+
+        if need_sched {
+            self.scheduler_step(policy);
+        }
+        self.track_idle_gap();
+    }
+
+    /// Opens/closes the "no task runnable" gap around the current instant.
+    fn track_idle_gap(&mut self) {
+        let runnable = self.active.is_some() || !self.run_q.is_empty();
+        match (runnable, self.gap_start) {
+            (true, Some(start)) => {
+                self.idle_gaps.record(self.now.saturating_since(start));
+                self.gap_start = None;
+            }
+            (false, None) => self.gap_start = Some(self.now),
+            _ => {}
+        }
+    }
+
+    fn spawn_job(&mut self, tid: TaskId, _noticed: Time) {
+        let task = self.ts.task(tid);
+        let prio = self.ts.priority(tid);
+        let sample = self
+            .exec
+            .sample(task, tid, self.tasks[tid.0].next_index, self.cfg.seed);
+        debug_assert!(
+            sample <= task.wcet() && !sample.is_zero(),
+            "execution model must return demands in (0, WCET]"
+        );
+        let realized = Cycles::from_time_at(sample, self.cpu.reference_freq()).max(Cycles::new(1));
+        let rt = &mut self.tasks[tid.0];
+        debug_assert!(rt.job.is_none(), "a task has at most one live job");
+        let index = rt.next_index;
+        // Response times and deadlines are measured from the *true*
+        // arrival, even when a tick-driven kernel noticed it late.
+        let arrival = rt.pending_arrival;
+        rt.job = Some(LiveJob {
+            index,
+            release: arrival,
+            deadline: arrival + task.deadline(),
+            realized_remaining: realized.min(self.wcet_cycles[tid.0]),
+            wcet_remaining: self.wcet_cycles[tid.0],
+        });
+        rt.next_index += 1;
+        rt.pending_arrival = arrival + task.period();
+        self.counters.releases += 1;
+        self.push_trace(TraceEvent::Release {
+            task: tid,
+            job: index,
+        });
+        self.run_q.insert(tid, prio);
+    }
+
+    fn complete_active(&mut self) {
+        let tid = self
+            .active
+            .take()
+            .expect("completion without an active task");
+        let prio = self.ts.priority(tid);
+        let rt = &mut self.tasks[tid.0];
+        let job = rt.job.take().expect("active task must hold a live job");
+        let response = self.now.saturating_since(job.release);
+        let met = self.now <= job.deadline;
+        self.responses[tid.0].record(response);
+        self.histograms[tid.0].record(response, self.ts.task(tid).deadline());
+        self.counters.completions += 1;
+        if !met {
+            self.misses.push(DeadlineMiss {
+                task: tid,
+                job: job.index,
+                deadline: job.deadline,
+                completed_at: Some(self.now),
+            });
+        }
+        let next_arrival = rt.pending_arrival;
+        self.push_trace(TraceEvent::Complete {
+            task: tid,
+            job: job.index,
+            response,
+            met,
+        });
+        self.delay_q
+            .insert(tid, prio, quantize_to_tick(next_arrival, self.cfg.tick));
+    }
+
+    // ----- the scheduler ----------------------------------------------------
+
+    fn scheduler_step(&mut self, policy: &mut dyn PowerPolicy) {
+        let full = self.cpu.full_freq();
+        match self.mode {
+            ProcMode::Settled(f) if f == full => self.full_pass(policy),
+            // L1-L4: any invocation at reduced speed raises the clock and
+            // voltage to the maximum first; the pass re-runs when settled.
+            ProcMode::Settled(f) => {
+                let r = f.ratio_to(self.cpu.reference_freq());
+                self.begin_ramp_from_ratio(r, full, policy);
+            }
+            ProcMode::Ramping {
+                ramp,
+                started,
+                target,
+                ..
+            } => {
+                if target != full {
+                    let r_now = ramp.ratio_at(self.now.saturating_since(started));
+                    self.begin_ramp_from_ratio(r_now, full, policy);
+                }
+                // Already heading to full: the pass runs at ramp end.
+            }
+            // The pass runs when the wake-up completes.
+            ProcMode::PowerDown { .. } | ProcMode::WakingUp { .. } => {}
+        }
+    }
+
+    fn full_pass(&mut self, policy: &mut dyn PowerPolicy) {
+        // L8-L11: preemption / dispatch.
+        if let Some(head_prio) = self.run_q.head_priority() {
+            let switch = match self.active {
+                None => true,
+                Some(cur) => head_prio.is_higher_than(self.ts.priority(cur)),
+            };
+            if switch {
+                let next = self.run_q.pop().expect("head exists");
+                if let Some(cur) = self.active.take() {
+                    self.counters.preemptions += 1;
+                    self.push_trace(TraceEvent::Preempt {
+                        task: cur,
+                        by: next,
+                    });
+                    self.run_q.insert(cur, self.ts.priority(cur));
+                }
+                let job_index = self.tasks[next.0]
+                    .job
+                    .as_ref()
+                    .expect("queued task holds a live job")
+                    .index;
+                self.counters.dispatches += 1;
+                self.push_trace(TraceEvent::Dispatch {
+                    task: next,
+                    job: job_index,
+                });
+                if self.last_dispatched != Some(next) && !self.cfg.context_switch.is_zero() {
+                    self.pending_overhead +=
+                        Cycles::from_time_at(self.cfg.context_switch, self.cpu.reference_freq());
+                }
+                self.last_dispatched = Some(next);
+                self.active = Some(next);
+            }
+        }
+
+        // L12-L21: the policy's power decision. Any previously armed
+        // timeout-shutdown is superseded by the fresh decision.
+        self.pd_timer = None;
+        let directive = {
+            let ctx = SchedulerContext {
+                now: self.now,
+                active: self.active_view(),
+                run_queue: &self.run_q,
+                delay_queue: &self.delay_q,
+                cpu: self.cpu,
+                taskset: self.ts,
+            };
+            policy.decide(&ctx)
+        };
+        self.apply_directive(directive, policy);
+        self.note_idle_transition();
+    }
+
+    fn active_view(&self) -> Option<ActiveView> {
+        let tid = self.active?;
+        let job = self.tasks[tid.0].job.as_ref()?;
+        Some(ActiveView {
+            task: tid,
+            wcet_remaining: job.wcet_remaining,
+            release: job.release,
+            deadline: job.deadline,
+        })
+    }
+
+    fn apply_directive(&mut self, directive: PowerDirective, policy: &mut dyn PowerPolicy) {
+        match directive {
+            PowerDirective::FullSpeed => {}
+            PowerDirective::PowerDown { wake_at, mode } => {
+                assert!(
+                    self.active.is_none() && self.run_q.is_empty(),
+                    "power-down requires an idle kernel (no active task, empty run queue)"
+                );
+                assert!(wake_at >= self.now, "wake-up timer must not be in the past");
+                assert!(
+                    mode < self.cpu.sleep_modes().len(),
+                    "sleep mode index out of range"
+                );
+                let head = self
+                    .delay_q
+                    .head_release()
+                    .expect("with all tasks waiting, the delay queue cannot be empty");
+                let delay = self.cpu.sleep_modes()[mode].wakeup_delay(self.cpu.reference_freq());
+                assert!(
+                    wake_at + delay <= head,
+                    "the processor must be awake before the next release"
+                );
+                self.mode = ProcMode::PowerDown { wake_at, mode };
+                self.counters.power_downs += 1;
+                self.push_trace(TraceEvent::EnterPowerDown { wake_at });
+            }
+            PowerDirective::PowerDownAt { enter_at, wake_at } => {
+                assert!(
+                    self.active.is_none() && self.run_q.is_empty(),
+                    "timeout shutdown requires an idle kernel"
+                );
+                assert!(
+                    enter_at >= self.now,
+                    "shutdown timeout must not be in the past"
+                );
+                assert!(
+                    wake_at > enter_at,
+                    "wake-up must follow the shutdown instant"
+                );
+                let head = self
+                    .delay_q
+                    .head_release()
+                    .expect("with all tasks waiting, the delay queue cannot be empty");
+                assert!(
+                    wake_at + self.cpu.wakeup_delay() <= head,
+                    "the processor must be awake before the next release"
+                );
+                if enter_at == self.now {
+                    self.mode = ProcMode::PowerDown { wake_at, mode: 0 };
+                    self.counters.power_downs += 1;
+                    self.push_trace(TraceEvent::EnterPowerDown { wake_at });
+                } else {
+                    self.pd_timer = Some((enter_at, wake_at));
+                }
+            }
+            PowerDirective::SlowDown { freq, speedup_at } => {
+                assert!(
+                    self.active.is_some() && self.run_q.is_empty(),
+                    "slow-down requires exactly the active task to be runnable"
+                );
+                assert!(
+                    self.cpu.ladder().contains(freq),
+                    "slow-down frequency must be a ladder level"
+                );
+                if freq >= self.cpu.full_freq() || speedup_at <= self.now {
+                    return; // nothing to gain; stay at full speed
+                }
+                // The ratio computation itself costs scheduler cycles,
+                // executed before the task's work continues (paper §5).
+                if !self.cfg.ratio_overhead.is_zero() {
+                    self.pending_overhead +=
+                        Cycles::from_time_at(self.cfg.ratio_overhead, self.cpu.reference_freq());
+                }
+                self.speedup_at = Some(speedup_at);
+                self.begin_ramp_from_ratio(1.0, freq, policy);
+            }
+        }
+    }
+
+    fn begin_ramp_from_ratio(&mut self, r_from: f64, target: Freq, policy: &mut dyn PowerPolicy) {
+        let full = self.cpu.full_freq();
+        if target == full {
+            self.speedup_at = None;
+        }
+        let r_to = target.ratio_to(self.cpu.reference_freq());
+        let ramp = Ramp::from_ratios(r_from.clamp(0.0, 1.0), r_to, self.cpu.ramp_rate_per_us());
+        let dur = ramp.duration();
+        if dur.is_zero() {
+            self.mode = ProcMode::Settled(target);
+            if target == full {
+                self.full_pass(policy);
+            }
+            return;
+        }
+        self.push_trace(TraceEvent::RampStart {
+            from: self.ratio_to_freq(r_from),
+            to: target,
+        });
+        self.counters.ramps += 1;
+        self.mode = ProcMode::Ramping {
+            ramp,
+            started: self.now,
+            end: self.now + dur,
+            target,
+        };
+    }
+
+    fn note_idle_transition(&mut self) {
+        let idle = self.active.is_none()
+            && self.run_q.is_empty()
+            && matches!(self.mode, ProcMode::Settled(f) if f == self.cpu.full_freq());
+        if idle && !self.was_idle {
+            self.push_trace(TraceEvent::IdleStart);
+        }
+        self.was_idle = idle;
+    }
+
+    // ----- finishing ----------------------------------------------------------
+
+    fn record_unfinished_misses(&mut self) {
+        let active = self.active;
+        let overhead = self.pending_overhead;
+        for (i, rt) in self.tasks.iter().enumerate() {
+            if let Some(job) = rt.job {
+                // A job whose work retired exactly at the horizon boundary
+                // has effectively completed on time; the loop just exited
+                // before its completion event was processed.
+                let done_at_boundary = active == Some(TaskId(i))
+                    && job.realized_remaining.is_zero()
+                    && overhead.is_zero();
+                if done_at_boundary {
+                    if job.deadline < self.horizon_end {
+                        self.misses.push(DeadlineMiss {
+                            task: TaskId(i),
+                            job: job.index,
+                            deadline: job.deadline,
+                            completed_at: Some(self.horizon_end),
+                        });
+                    }
+                    continue;
+                }
+                if job.deadline <= self.horizon_end {
+                    self.misses.push(DeadlineMiss {
+                        task: TaskId(i),
+                        job: job.index,
+                        deadline: job.deadline,
+                        completed_at: None,
+                    });
+                }
+            }
+        }
+    }
+
+    fn push_trace(&mut self, event: TraceEvent) {
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(self.now, event);
+        }
+    }
+
+    fn into_report(self, policy_name: &str) -> SimReport {
+        SimReport {
+            policy: policy_name.to_string(),
+            taskset: self.ts.name().to_string(),
+            horizon: self.cfg.horizon,
+            energy: self.meter,
+            misses: self.misses,
+            responses: self.responses,
+            counters: self.counters,
+            idle_gaps: self.idle_gaps,
+            task_energy: self.task_energy,
+            histograms: self.histograms,
+            trace: self.trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::AlwaysFullSpeed;
+    use lpfps_cpu::state::StateKind;
+    use lpfps_tasks::exec::AlwaysWcet;
+    use lpfps_tasks::task::Task;
+
+    fn table1() -> TaskSet {
+        TaskSet::rate_monotonic(
+            "table1",
+            vec![
+                Task::new("tau1", Dur::from_us(50), Dur::from_us(10)),
+                Task::new("tau2", Dur::from_us(80), Dur::from_us(20)),
+                Task::new("tau3", Dur::from_us(100), Dur::from_us(40)),
+            ],
+        )
+    }
+
+    fn run_fps(ts: &TaskSet, horizon: Dur) -> SimReport {
+        let cpu = CpuSpec::arm8();
+        let cfg = SimConfig::new(horizon).with_trace();
+        simulate(ts, &cpu, &mut AlwaysFullSpeed, &AlwaysWcet, &cfg)
+    }
+
+    /// The canonical Figure 2(a) check: with every task at its WCET, the
+    /// schedule over one hyperperiod (400 us) follows the paper exactly.
+    #[test]
+    fn figure2a_schedule_under_fps() {
+        let report = run_fps(&table1(), Dur::from_us(400));
+        assert!(report.all_deadlines_met());
+        let trace = report.trace.as_ref().expect("tracing enabled");
+
+        let completions: Vec<(u64, usize, u64)> = trace
+            .iter()
+            .filter_map(|(t, e)| match e {
+                TraceEvent::Complete { task, job, .. } => Some((t.as_us(), task.0, job)),
+                _ => None,
+            })
+            .collect();
+        // Figure 2(a): tau1 completes at 10, 60, 110, ...; tau2 at 30, 100,
+        // and (third job, released 160, running flat out) 180; tau3 at 80
+        // and 150. (The paper's figure shows the 160-release stretching to
+        // 200 only under LPFPS at half speed.)
+        assert!(completions.contains(&(10, 0, 0)));
+        assert!(completions.contains(&(30, 1, 0)));
+        assert!(completions.contains(&(80, 2, 0)));
+        assert!(completions.contains(&(60, 0, 1)));
+        assert!(completions.contains(&(100, 1, 1)));
+        assert!(completions.contains(&(150, 2, 1)));
+        assert!(completions.contains(&(180, 1, 2)));
+    }
+
+    #[test]
+    fn figure2a_preemption_at_t50() {
+        // At t=50 the second tau1 release preempts tau3 (paper Example 1).
+        let report = run_fps(&table1(), Dur::from_us(100));
+        let trace = report.trace.as_ref().unwrap();
+        let preempt = trace
+            .find(|e| {
+                matches!(
+                    e,
+                    TraceEvent::Preempt {
+                        task: TaskId(2),
+                        by: TaskId(0)
+                    }
+                )
+            })
+            .expect("tau3 preempted by tau1");
+        assert_eq!(preempt.0, Time::from_us(50));
+    }
+
+    #[test]
+    fn fps_idles_in_nop_loop() {
+        // Table 1 at WCET has 15% idle (U = 0.85): FPS burns it in the NOP
+        // loop, so average power = 0.85 * 1.0 + 0.15 * 0.2 = 0.88.
+        let report = run_fps(&table1(), Dur::from_us(400));
+        let idle_frac = report.residency_fraction(StateKind::IdleNop);
+        assert!((idle_frac - 0.15).abs() < 1e-6, "idle fraction {idle_frac}");
+        assert!((report.average_power() - 0.88).abs() < 1e-6);
+        assert_eq!(report.counters.power_downs, 0);
+        assert_eq!(report.counters.ramps, 0);
+    }
+
+    #[test]
+    fn counters_match_hyperperiod_job_math() {
+        // One hyperperiod (400 us): 8 + 5 + 4 = 17 releases; all complete.
+        let report = run_fps(&table1(), Dur::from_us(400));
+        assert_eq!(report.counters.releases, 17);
+        assert_eq!(report.counters.completions, 17);
+    }
+
+    #[test]
+    fn responses_match_rta_bounds() {
+        use lpfps_tasks::analysis::{response_times, RtaConfig};
+        let ts = table1();
+        let report = run_fps(&ts, Dur::from_ms(4));
+        let rta = response_times(&ts, &RtaConfig::default());
+        for (i, stats) in report.responses.iter().enumerate() {
+            let bound = rta[i].response().expect("schedulable");
+            assert!(
+                stats.max_response <= bound,
+                "task {i}: observed {} > RTA bound {}",
+                stats.max_response,
+                bound
+            );
+        }
+        // The synchronous release at t=0 is the critical instant, so the
+        // worst case is actually attained.
+        assert_eq!(report.responses[2].max_response, Dur::from_us(80));
+    }
+
+    #[test]
+    fn overutilized_set_reports_misses() {
+        let ts = TaskSet::rate_monotonic(
+            "over",
+            vec![
+                Task::new("a", Dur::from_us(10), Dur::from_us(6)),
+                Task::new("b", Dur::from_us(20), Dur::from_us(12)),
+            ],
+        );
+        let report = run_fps(&ts, Dur::from_us(200));
+        assert!(!report.all_deadlines_met());
+        assert!(!report.misses.is_empty());
+    }
+
+    #[test]
+    fn single_task_alternates_run_and_idle() {
+        let ts = TaskSet::rate_monotonic(
+            "solo",
+            vec![Task::new("t", Dur::from_us(100), Dur::from_us(25))],
+        );
+        let report = run_fps(&ts, Dur::from_ms(1));
+        assert!(report.all_deadlines_met());
+        assert!((report.residency_fraction(StateKind::Busy) - 0.25).abs() < 1e-6);
+        assert!((report.residency_fraction(StateKind::IdleNop) - 0.75).abs() < 1e-6);
+        // avg power = 0.25*1 + 0.75*0.2 = 0.4.
+        assert!((report.average_power() - 0.4).abs() < 1e-6);
+    }
+
+    /// A hand-written test policy that powers down whenever the kernel is
+    /// idle — exercising the PowerDown directive path without depending on
+    /// the `lpfps` crate (which implements the real policies).
+    #[derive(Debug)]
+    struct PowerDownWhenIdle;
+
+    impl PowerPolicy for PowerDownWhenIdle {
+        fn name(&self) -> &'static str {
+            "test-pd"
+        }
+        fn decide(&mut self, ctx: &SchedulerContext<'_>) -> PowerDirective {
+            if ctx.active.is_none() && ctx.run_queue.is_empty() {
+                if let Some(head) = ctx.next_arrival() {
+                    let wake = head.saturating_sub(ctx.cpu.wakeup_delay());
+                    if wake > ctx.now {
+                        return PowerDirective::PowerDown {
+                            wake_at: wake,
+                            mode: 0,
+                        };
+                    }
+                }
+            }
+            PowerDirective::FullSpeed
+        }
+    }
+
+    #[test]
+    fn power_down_policy_sleeps_through_idle() {
+        let ts = TaskSet::rate_monotonic(
+            "solo",
+            vec![Task::new("t", Dur::from_us(100), Dur::from_us(25))],
+        );
+        let cpu = CpuSpec::arm8();
+        let cfg = SimConfig::new(Dur::from_ms(1)).with_trace();
+        let report = simulate(&ts, &cpu, &mut PowerDownWhenIdle, &AlwaysWcet, &cfg);
+        assert!(report.all_deadlines_met());
+        assert_eq!(report.counters.power_downs, 10);
+        // Idle burns at 5% instead of 20%: avg ~ 0.25*1 + 0.75*0.05 = 0.2875
+        // (plus negligible wake-up energy).
+        let p = report.average_power();
+        assert!((p - 0.2875).abs() < 0.001, "avg power {p}");
+        // And it must still beat plain FPS.
+        let fps = run_fps(&ts, Dur::from_ms(1));
+        assert!(p < fps.average_power());
+    }
+
+    /// A test policy that halves the clock whenever only the active task
+    /// remains, exercising the SlowDown directive and the speed-up timer.
+    #[derive(Debug)]
+    struct HalfSpeedWhenAlone;
+
+    impl PowerPolicy for HalfSpeedWhenAlone {
+        fn name(&self) -> &'static str {
+            "test-slow"
+        }
+        fn decide(&mut self, ctx: &SchedulerContext<'_>) -> PowerDirective {
+            let Some(_active) = ctx.active else {
+                return PowerDirective::FullSpeed;
+            };
+            if !ctx.run_queue.is_empty() {
+                return PowerDirective::FullSpeed;
+            }
+            let Some(bound) = ctx.safe_completion_bound() else {
+                return PowerDirective::FullSpeed;
+            };
+            let freq = Freq::from_mhz(50);
+            let ramp_back = ctx.cpu.ramp_duration(freq, ctx.cpu.full_freq());
+            let speedup_at = bound.saturating_sub(ramp_back);
+            PowerDirective::SlowDown { freq, speedup_at }
+        }
+    }
+
+    #[test]
+    fn slow_down_policy_keeps_deadlines_and_saves_energy() {
+        let ts = TaskSet::rate_monotonic(
+            "solo",
+            vec![Task::new("t", Dur::from_us(100), Dur::from_us(25))],
+        );
+        let cpu = CpuSpec::arm8();
+        let cfg = SimConfig::new(Dur::from_ms(1)).with_trace();
+        let report = simulate(&ts, &cpu, &mut HalfSpeedWhenAlone, &AlwaysWcet, &cfg);
+        assert!(report.all_deadlines_met(), "misses: {:?}", report.misses);
+        assert!(report.counters.ramps > 0);
+        let fps = run_fps(&ts, Dur::from_ms(1));
+        assert!(report.average_power() < fps.average_power());
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        use lpfps_tasks::exec::PaperGaussian;
+        let ts = table1().with_bcet_fraction(0.3);
+        let cpu = CpuSpec::arm8();
+        let cfg = SimConfig::new(Dur::from_ms(10)).with_seed(42);
+        let a = simulate(&ts, &cpu, &mut AlwaysFullSpeed, &PaperGaussian, &cfg);
+        let b = simulate(&ts, &cpu, &mut AlwaysFullSpeed, &PaperGaussian, &cfg);
+        assert_eq!(a.energy.total_energy(), b.energy.total_energy());
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.responses, b.responses);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        use lpfps_tasks::exec::PaperGaussian;
+        let ts = table1().with_bcet_fraction(0.3);
+        let cpu = CpuSpec::arm8();
+        let a = simulate(
+            &ts,
+            &cpu,
+            &mut AlwaysFullSpeed,
+            &PaperGaussian,
+            &SimConfig::new(Dur::from_ms(10)).with_seed(1),
+        );
+        let b = simulate(
+            &ts,
+            &cpu,
+            &mut AlwaysFullSpeed,
+            &PaperGaussian,
+            &SimConfig::new(Dur::from_ms(10)).with_seed(2),
+        );
+        assert_ne!(a.energy.total_energy(), b.energy.total_energy());
+    }
+
+    #[test]
+    fn context_switch_overhead_extends_busy_time() {
+        let ts = table1();
+        let cpu = CpuSpec::arm8();
+        let plain = simulate(
+            &ts,
+            &cpu,
+            &mut AlwaysFullSpeed,
+            &AlwaysWcet,
+            &SimConfig::new(Dur::from_us(400)),
+        );
+        let loaded = simulate(
+            &ts,
+            &cpu,
+            &mut AlwaysFullSpeed,
+            &AlwaysWcet,
+            &SimConfig::new(Dur::from_us(400)).with_context_switch(Dur::from_us(1)),
+        );
+        assert!(
+            loaded.energy.bucket(StateKind::Busy).residency
+                > plain.energy.bucket(StateKind::Busy).residency
+        );
+        // Still schedulable with 1 us switches? tau3 was tight; overhead can
+        // push it over. Either way the run must complete without panicking
+        // and account every nanosecond.
+        assert_eq!(loaded.energy.total_residency(), Dur::from_us(400));
+    }
+
+    #[test]
+    fn phase_offsets_shift_first_releases() {
+        let ts = TaskSet::rate_monotonic(
+            "phased",
+            vec![
+                Task::new("a", Dur::from_us(100), Dur::from_us(10)).with_phase(Dur::from_us(30)),
+                Task::new("b", Dur::from_us(200), Dur::from_us(10)),
+            ],
+        );
+        let report = run_fps(&ts, Dur::from_us(300));
+        let trace = report.trace.as_ref().unwrap();
+        let first_a = trace
+            .find(|e| {
+                matches!(
+                    e,
+                    TraceEvent::Release {
+                        task: TaskId(0),
+                        ..
+                    }
+                )
+            })
+            .unwrap();
+        assert_eq!(first_a.0, Time::from_us(30));
+        assert!(report.all_deadlines_met());
+    }
+
+    #[test]
+    fn idle_gaps_partition_the_schedule() {
+        // Table 1 at WCET over one hyperperiod: idle intervals are
+        // [80..100)? No - at 80 tau2's second job runs. Figure 2(a) shows
+        // idle at [180..200), [260..300), [340..350), [360..400):
+        // 20 + 40 + 10 + 40 = 110us... minus what tau2#3 (released 240)
+        // and friends consume. Instead of hand-deriving, assert the
+        // accounting identity: gap total == horizon - time with runnable
+        // work, which for FPS at WCET equals the NOP-idle residency.
+        let report = run_fps(&table1(), Dur::from_us(400));
+        assert_eq!(
+            report.idle_gaps.total(),
+            report.energy.bucket(StateKind::IdleNop).residency
+        );
+        assert!(report.idle_gaps.count() >= 2);
+    }
+
+    #[test]
+    fn task_energy_attribution_sums_to_busy_energy() {
+        let report = run_fps(&table1(), Dur::from_us(400));
+        let attributed: f64 = report.task_energy.iter().sum();
+        let busy = report.energy.bucket(StateKind::Busy).energy
+            + report.energy.bucket(StateKind::Ramping).energy;
+        assert!((attributed - busy).abs() < 1e-12, "{attributed} != {busy}");
+        // At WCET, task energy is proportional to utilization share.
+        let total: f64 = report.task_energy.iter().sum();
+        assert!((report.task_energy[2] / total - 0.16 / 0.34).abs() < 0.01);
+    }
+
+    #[test]
+    fn tick_driven_kernel_delays_release_notice() {
+        // Task phased to release at t = 30us with a 100us tick: the kernel
+        // notices it at t = 100us, but responses count from t = 30us.
+        let ts = TaskSet::rate_monotonic(
+            "ticked",
+            vec![Task::new("t", Dur::from_us(1_000), Dur::from_us(10)).with_phase(Dur::from_us(30))],
+        );
+        let cpu = CpuSpec::arm8();
+        let cfg = SimConfig::new(Dur::from_ms(1))
+            .with_trace()
+            .with_tick(Dur::from_us(100));
+        let report = simulate(&ts, &cpu, &mut AlwaysFullSpeed, &AlwaysWcet, &cfg);
+        let trace = report.trace.as_ref().unwrap();
+        let (t, _) = trace
+            .find(|e| matches!(e, TraceEvent::Release { .. }))
+            .unwrap();
+        assert_eq!(t, Time::from_us(100), "noticed at the tick boundary");
+        // Response = notice delay (70us) + execution (10us) = 80us.
+        assert_eq!(report.responses[0].max_response, Dur::from_us(80));
+        assert!(report.all_deadlines_met());
+    }
+
+    #[test]
+    fn tick_jitter_agrees_with_jitter_aware_rta() {
+        use lpfps_tasks::analysis::{response_times, RtaConfig, RtaOutcome};
+        let cpu = CpuSpec::arm8();
+        let tick = Dur::from_us(7); // off-beat vs every period below
+
+        // (a) Table 1 has zero slack: jitter-RTA rejects tau3, and the
+        // tick-driven simulation indeed misses exactly that task.
+        let tight = table1();
+        let rta = response_times(&tight, &RtaConfig::default().with_release_jitter(tick));
+        assert_eq!(rta[2], RtaOutcome::Unschedulable);
+        let report = simulate(
+            &tight,
+            &cpu,
+            &mut AlwaysFullSpeed,
+            &AlwaysWcet,
+            &SimConfig::new(Dur::from_ms(8)).with_tick(tick),
+        );
+        assert!(report.misses.iter().all(|m| m.task == TaskId(2)));
+        assert!(!report.misses.is_empty());
+
+        // (b) A set with slack: jitter-RTA admits every task and its bounds
+        // dominate the tick-driven simulation.
+        let slack = TaskSet::rate_monotonic(
+            "slacked",
+            vec![
+                Task::new("a", Dur::from_us(50), Dur::from_us(8)),
+                Task::new("b", Dur::from_us(80), Dur::from_us(16)),
+                Task::new("c", Dur::from_us(100), Dur::from_us(30)),
+            ],
+        );
+        let rta = response_times(&slack, &RtaConfig::default().with_release_jitter(tick));
+        let report = simulate(
+            &slack,
+            &cpu,
+            &mut AlwaysFullSpeed,
+            &AlwaysWcet,
+            &SimConfig::new(Dur::from_ms(8)).with_tick(tick),
+        );
+        assert!(report.all_deadlines_met(), "misses: {:?}", report.misses);
+        for (i, stats) in report.responses.iter().enumerate() {
+            let bound = rta[i].response().expect("admitted with jitter");
+            assert!(
+                stats.max_response <= bound,
+                "task {i}: {} > jitter-RTA bound {}",
+                stats.max_response,
+                bound
+            );
+        }
+    }
+
+    #[test]
+    fn tick_aligned_releases_match_event_driven_kernel() {
+        // When every period is a multiple of the tick, quantization is the
+        // identity and the two kernels behave identically.
+        let ts = table1(); // periods 50/80/100us, tick 10us divides all
+        let cpu = CpuSpec::arm8();
+        let event = simulate(
+            &ts,
+            &cpu,
+            &mut AlwaysFullSpeed,
+            &AlwaysWcet,
+            &SimConfig::new(Dur::from_us(400)),
+        );
+        let ticked = simulate(
+            &ts,
+            &cpu,
+            &mut AlwaysFullSpeed,
+            &AlwaysWcet,
+            &SimConfig::new(Dur::from_us(400)).with_tick(Dur::from_us(10)),
+        );
+        assert_eq!(event.responses, ticked.responses);
+        assert_eq!(event.energy.total_energy(), ticked.energy.total_energy());
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon must be positive")]
+    fn zero_horizon_rejected() {
+        let cpu = CpuSpec::arm8();
+        let _ = simulate(
+            &table1(),
+            &cpu,
+            &mut AlwaysFullSpeed,
+            &AlwaysWcet,
+            &SimConfig::new(Dur::ZERO),
+        );
+    }
+}

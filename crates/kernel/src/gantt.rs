@@ -1,0 +1,294 @@
+//! Text Gantt charts reconstructed from simulation traces.
+//!
+//! Renders per-task execution bars plus a processor-state row, the format
+//! used by the `fig2_schedule` experiment binary to reproduce the paper's
+//! Figure 2 schedules in a terminal.
+
+use crate::trace::{Trace, TraceEvent};
+use lpfps_tasks::task::TaskId;
+use lpfps_tasks::taskset::TaskSet;
+use lpfps_tasks::time::{Dur, Time};
+
+/// A closed-open execution interval of one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecSegment {
+    /// The executing task.
+    pub task: TaskId,
+    /// Segment start.
+    pub from: Time,
+    /// Segment end (exclusive).
+    pub to: Time,
+}
+
+/// Coarse processor condition for the state row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProcCondition {
+    Run,
+    Ramp,
+    PowerDown,
+    Idle,
+}
+
+/// A reconstructed schedule timeline.
+#[derive(Debug, Clone)]
+pub struct Gantt {
+    segments: Vec<ExecSegment>,
+    conditions: Vec<(Time, ProcCondition)>,
+    end: Time,
+}
+
+impl Gantt {
+    /// Reconstructs the timeline from a trace, up to `end`.
+    pub fn from_trace(trace: &Trace, end: Time) -> Self {
+        let mut segments = Vec::new();
+        let mut conditions: Vec<(Time, ProcCondition)> = vec![(Time::ZERO, ProcCondition::Idle)];
+        let mut running: Option<(TaskId, Time)> = None;
+
+        let close = |running: &mut Option<(TaskId, Time)>, at: Time, out: &mut Vec<ExecSegment>| {
+            if let Some((task, from)) = running.take() {
+                if at > from {
+                    out.push(ExecSegment { task, from, to: at });
+                }
+            }
+        };
+
+        for (t, e) in trace.iter() {
+            match e {
+                TraceEvent::Dispatch { task, .. } => {
+                    close(&mut running, t, &mut segments);
+                    running = Some((task, t));
+                    conditions.push((t, ProcCondition::Run));
+                }
+                TraceEvent::Preempt { task, .. } => {
+                    if running.map(|(r, _)| r) == Some(task) {
+                        close(&mut running, t, &mut segments);
+                    }
+                }
+                TraceEvent::Complete { task, .. } => {
+                    if running.map(|(r, _)| r) == Some(task) {
+                        close(&mut running, t, &mut segments);
+                        conditions.push((t, ProcCondition::Idle));
+                    }
+                }
+                TraceEvent::RampStart { .. } => conditions.push((t, ProcCondition::Ramp)),
+                TraceEvent::RampEnd { .. } => conditions.push((
+                    t,
+                    if running.is_some() {
+                        ProcCondition::Run
+                    } else {
+                        ProcCondition::Idle
+                    },
+                )),
+                TraceEvent::EnterPowerDown { .. } => conditions.push((t, ProcCondition::PowerDown)),
+                TraceEvent::Wakeup => conditions.push((t, ProcCondition::Idle)),
+                TraceEvent::IdleStart => conditions.push((t, ProcCondition::Idle)),
+                TraceEvent::Release { .. } => {}
+            }
+        }
+        close(&mut running, end, &mut segments);
+        Gantt {
+            segments,
+            conditions,
+            end,
+        }
+    }
+
+    /// The reconstructed execution segments, in time order.
+    pub fn segments(&self) -> &[ExecSegment] {
+        &self.segments
+    }
+
+    /// Total execution time attributed to one task.
+    pub fn task_busy(&self, task: TaskId) -> Dur {
+        self.segments
+            .iter()
+            .filter(|s| s.task == task)
+            .map(|s| s.to.saturating_since(s.from))
+            .sum()
+    }
+
+    /// Renders an ASCII chart: one row per task (`#` = executing) plus a
+    /// processor row (`#` run, `~` ramp, `z` power-down, `.` idle), at
+    /// `us_per_col` microseconds per column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `us_per_col` is zero.
+    pub fn render(&self, ts: &TaskSet, us_per_col: u64) -> String {
+        assert!(us_per_col > 0, "resolution must be positive");
+        let cols = (self.end.as_us()).div_ceil(us_per_col) as usize;
+        let name_w = ts
+            .iter()
+            .map(|(_, t, _)| t.name().len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let mut out = String::new();
+
+        for (id, task, _) in ts.iter() {
+            let mut row = vec![' '; cols];
+            for seg in self.segments.iter().filter(|s| s.task == id) {
+                let a = (seg.from.as_us() / us_per_col) as usize;
+                let b = (seg.to.as_us().div_ceil(us_per_col) as usize).min(cols);
+                for c in row.iter_mut().take(b).skip(a) {
+                    *c = '#';
+                }
+            }
+            out.push_str(&format!("{:>name_w$} |", task.name()));
+            out.extend(row);
+            out.push_str("|\n");
+        }
+
+        // Processor condition row.
+        let mut row = vec!['.'; cols];
+        for (i, &(from, cond)) in self.conditions.iter().enumerate() {
+            let to = self
+                .conditions
+                .get(i + 1)
+                .map(|&(t, _)| t)
+                .unwrap_or(self.end);
+            let ch = match cond {
+                ProcCondition::Run => '#',
+                ProcCondition::Ramp => '~',
+                ProcCondition::PowerDown => 'z',
+                ProcCondition::Idle => '.',
+            };
+            let a = (from.as_us() / us_per_col) as usize;
+            let b = (to.as_us().div_ceil(us_per_col) as usize).min(cols);
+            for c in row.iter_mut().take(b).skip(a) {
+                *c = ch;
+            }
+        }
+        out.push_str(&format!("{:>name_w$} |", "cpu"));
+        out.extend(row);
+        out.push_str("|\n");
+
+        // Time axis with a tick every 10 columns.
+        out.push_str(&format!("{:>name_w$}  ", ""));
+        let mut axis = String::new();
+        let mut col = 0usize;
+        while col < cols {
+            let label = format!("{}", col as u64 * us_per_col);
+            axis.push_str(&label);
+            let pad = 10usize.saturating_sub(label.len());
+            axis.push_str(&" ".repeat(pad));
+            col += 10;
+        }
+        axis.truncate(cols + 10);
+        out.push_str(&axis);
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate, SimConfig};
+    use crate::policy::AlwaysFullSpeed;
+    use lpfps_cpu::spec::CpuSpec;
+    use lpfps_tasks::exec::AlwaysWcet;
+    use lpfps_tasks::task::Task;
+
+    fn table1() -> TaskSet {
+        TaskSet::rate_monotonic(
+            "table1",
+            vec![
+                Task::new("tau1", Dur::from_us(50), Dur::from_us(10)),
+                Task::new("tau2", Dur::from_us(80), Dur::from_us(20)),
+                Task::new("tau3", Dur::from_us(100), Dur::from_us(40)),
+            ],
+        )
+    }
+
+    fn gantt_of(horizon_us: u64) -> (TaskSet, Gantt) {
+        let ts = table1();
+        let cpu = CpuSpec::arm8();
+        let cfg = SimConfig::new(Dur::from_us(horizon_us)).with_trace();
+        let report = simulate(&ts, &cpu, &mut AlwaysFullSpeed, &AlwaysWcet, &cfg);
+        let gantt = Gantt::from_trace(report.trace.as_ref().unwrap(), Time::from_us(horizon_us));
+        (ts, gantt)
+    }
+
+    #[test]
+    fn segments_partition_busy_time() {
+        let (_, g) = gantt_of(400);
+        // Over one hyperperiod at WCET: tau1 8*10, tau2 5*20, tau3 4*40.
+        assert_eq!(g.task_busy(TaskId(0)), Dur::from_us(80));
+        assert_eq!(g.task_busy(TaskId(1)), Dur::from_us(100));
+        assert_eq!(g.task_busy(TaskId(2)), Dur::from_us(160));
+    }
+
+    #[test]
+    fn figure2a_first_segments() {
+        let (_, g) = gantt_of(100);
+        let segs = g.segments();
+        // tau1 [0,10), tau2 [10,30), tau3 [30,50), tau1 [50,60), tau3 [60,80), tau2 [80,100).
+        assert_eq!(
+            segs[0],
+            ExecSegment {
+                task: TaskId(0),
+                from: Time::ZERO,
+                to: Time::from_us(10)
+            }
+        );
+        assert_eq!(
+            segs[1],
+            ExecSegment {
+                task: TaskId(1),
+                from: Time::from_us(10),
+                to: Time::from_us(30)
+            }
+        );
+        assert_eq!(
+            segs[2],
+            ExecSegment {
+                task: TaskId(2),
+                from: Time::from_us(30),
+                to: Time::from_us(50)
+            }
+        );
+        assert_eq!(
+            segs[3],
+            ExecSegment {
+                task: TaskId(0),
+                from: Time::from_us(50),
+                to: Time::from_us(60)
+            }
+        );
+        assert_eq!(
+            segs[4],
+            ExecSegment {
+                task: TaskId(2),
+                from: Time::from_us(60),
+                to: Time::from_us(80)
+            }
+        );
+        assert_eq!(
+            segs[5],
+            ExecSegment {
+                task: TaskId(1),
+                from: Time::from_us(80),
+                to: Time::from_us(100)
+            }
+        );
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let (ts, g) = gantt_of(200);
+        let chart = g.render(&ts, 5);
+        assert!(chart.contains("tau1 |"));
+        assert!(chart.contains("tau2 |"));
+        assert!(chart.contains("tau3 |"));
+        assert!(chart.contains("cpu |") || chart.contains(" cpu |"));
+        assert!(chart.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution")]
+    fn zero_resolution_rejected() {
+        let (ts, g) = gantt_of(100);
+        let _ = g.render(&ts, 0);
+    }
+}

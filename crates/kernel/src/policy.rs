@@ -1,0 +1,238 @@
+//! The power-policy hook: how a scheduling policy plugs into the kernel.
+//!
+//! The kernel implements everything every fixed-priority scheduler shares —
+//! queues, preemption, dispatching, the physics of execution, ramps and
+//! power modes — and delegates exactly one decision to the policy: *what to
+//! do with the processor after a scheduler pass*. A conventional FPS kernel
+//! always answers "stay at full speed" (idling in a NOP loop); LPFPS
+//! answers with power-down timers and speed ratios per Figure 4 of the
+//! paper; the baseline and ablation policies in the `lpfps` crate answer
+//! in their own ways.
+//!
+//! The [`SchedulerContext`] deliberately exposes only what a real kernel
+//! would know at schedule time: queue occupancy, the active job's
+//! *WCET-remaining* work (never its realized demand — the scheduler cannot
+//! see the future), the delay-queue head, and the processor spec.
+
+use crate::queues::{DelayQueue, RunQueue};
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_tasks::cycles::Cycles;
+use lpfps_tasks::freq::Freq;
+use lpfps_tasks::task::TaskId;
+use lpfps_tasks::taskset::TaskSet;
+use lpfps_tasks::time::Time;
+
+/// What the policy tells the kernel to do with the processor until the next
+/// scheduler pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PowerDirective {
+    /// Stay at full clock and voltage: execute the active task, or spin on
+    /// the NOP idle loop if there is none.
+    FullSpeed,
+    /// Enter sleep mode `mode` (an index into
+    /// [`CpuSpec::sleep_modes`](lpfps_cpu::spec::CpuSpec::sleep_modes))
+    /// with the wake-up timer set to `wake_at` (the kernel is handed the
+    /// already-compensated instant; Fig. 4 L14 subtracts the wake-up delay
+    /// from the head release time). The paper's processor has a single
+    /// mode, index 0.
+    ///
+    /// Only legal when there is no active task and the run queue is empty.
+    PowerDown { wake_at: Time, mode: usize },
+    /// Spin the NOP idle loop until `enter_at`, then enter power-down with
+    /// the wake timer set to `wake_at` — the classic timeout-based shutdown
+    /// of conventional portable systems (paper §2.1), which wastes idle
+    /// energy for the length of its timeout. Modeled so the baseline can
+    /// be compared against LPFPS's exact-knowledge power-down.
+    ///
+    /// Only legal when there is no active task and the run queue is empty.
+    PowerDownAt { enter_at: Time, wake_at: Time },
+    /// Ramp down to `freq` and execute the active task there; the kernel
+    /// arms a speed-up timer at `speedup_at`, the latest instant at which a
+    /// ramp back to full speed must begin so the processor is at maximum
+    /// when the next task arrives.
+    ///
+    /// Only legal when there is an active task and the run queue is empty.
+    SlowDown { freq: Freq, speedup_at: Time },
+}
+
+/// A read-only view of the active job, as the scheduler sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActiveView {
+    /// The active task.
+    pub task: TaskId,
+    /// Remaining work assuming the job runs to its WCET: `C_i - E_i` in
+    /// cycles at full speed (the paper's L17 operand). The realized demand
+    /// is unknowable at schedule time.
+    pub wcet_remaining: Cycles,
+    /// The job's release time.
+    pub release: Time,
+    /// The job's absolute deadline.
+    pub deadline: Time,
+}
+
+/// Everything a policy may consult when deciding.
+#[derive(Debug)]
+pub struct SchedulerContext<'a> {
+    /// Current simulation time (`t_c`).
+    pub now: Time,
+    /// The active job, if one is dispatched.
+    pub active: Option<ActiveView>,
+    /// The run queue (released, waiting tasks).
+    pub run_queue: &'a RunQueue,
+    /// The delay queue (completed tasks awaiting their next period); its
+    /// head release is the paper's `t_a`.
+    pub delay_queue: &'a DelayQueue,
+    /// The processor specification.
+    pub cpu: &'a CpuSpec,
+    /// The task set under simulation.
+    pub taskset: &'a TaskSet,
+}
+
+impl SchedulerContext<'_> {
+    /// The paper's `t_a`: the next arrival time at the head of the delay
+    /// queue, if any task is waiting there.
+    pub fn next_arrival(&self) -> Option<Time> {
+        self.delay_queue.head_release()
+    }
+
+    /// The latest completion target that is safe for the active task: the
+    /// earlier of the next delay-queue arrival and the active job's own
+    /// absolute deadline.
+    ///
+    /// The paper's L17 uses the delay-queue head alone; when the head lies
+    /// beyond the active job's deadline (possible when every other task has
+    /// a much longer period), stretching to the head would break the active
+    /// task itself. Clamping to the job's deadline preserves Fig. 4's
+    /// behaviour in every situation the paper illustrates and keeps the
+    /// guarantee unconditional (see DESIGN.md §6).
+    pub fn safe_completion_bound(&self) -> Option<Time> {
+        let active = self.active?;
+        Some(match self.next_arrival() {
+            Some(t_a) => t_a.min(active.deadline),
+            None => active.deadline,
+        })
+    }
+}
+
+/// A scheduling policy's power decision hook.
+pub trait PowerPolicy {
+    /// A short stable name for reports ("fps", "lpfps", ...).
+    fn name(&self) -> &'static str;
+
+    /// Decides the processor directive after a scheduler pass. Called only
+    /// when the processor is settled at full speed (the kernel's L1–L4
+    /// handling guarantees this).
+    fn decide(&mut self, ctx: &SchedulerContext<'_>) -> PowerDirective;
+}
+
+/// The trivial policy: always full speed. This *is* the conventional FPS
+/// scheduler of the paper's comparison (idle time burns the NOP loop).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysFullSpeed;
+
+impl PowerPolicy for AlwaysFullSpeed {
+    fn name(&self) -> &'static str {
+        "fps"
+    }
+
+    fn decide(&mut self, _ctx: &SchedulerContext<'_>) -> PowerDirective {
+        PowerDirective::FullSpeed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpfps_tasks::task::{Priority, Task};
+    use lpfps_tasks::time::Dur;
+
+    fn fixture() -> (TaskSet, CpuSpec) {
+        let ts = TaskSet::rate_monotonic(
+            "t",
+            vec![Task::new("a", Dur::from_us(100), Dur::from_us(10))],
+        );
+        (ts, CpuSpec::arm8())
+    }
+
+    #[test]
+    fn always_full_speed_never_deviates() {
+        let (ts, cpu) = fixture();
+        let run = RunQueue::new();
+        let delay = DelayQueue::new();
+        let ctx = SchedulerContext {
+            now: Time::ZERO,
+            active: None,
+            run_queue: &run,
+            delay_queue: &delay,
+            cpu: &cpu,
+            taskset: &ts,
+        };
+        assert_eq!(AlwaysFullSpeed.decide(&ctx), PowerDirective::FullSpeed);
+        assert_eq!(AlwaysFullSpeed.name(), "fps");
+    }
+
+    #[test]
+    fn safe_completion_bound_clamps_to_deadline() {
+        let (ts, cpu) = fixture();
+        let run = RunQueue::new();
+        let mut delay = DelayQueue::new();
+        delay.insert(TaskId(0), Priority::new(0), Time::from_us(10_000));
+        let active = ActiveView {
+            task: TaskId(0),
+            wcet_remaining: Cycles::new(500),
+            release: Time::from_us(100),
+            deadline: Time::from_us(200),
+        };
+        let ctx = SchedulerContext {
+            now: Time::from_us(120),
+            active: Some(active),
+            run_queue: &run,
+            delay_queue: &delay,
+            cpu: &cpu,
+            taskset: &ts,
+        };
+        // Delay head (10 ms) is far beyond the job's own deadline (200 us).
+        assert_eq!(ctx.safe_completion_bound(), Some(Time::from_us(200)));
+        assert_eq!(ctx.next_arrival(), Some(Time::from_us(10_000)));
+    }
+
+    #[test]
+    fn safe_completion_bound_uses_arrival_when_earlier() {
+        let (ts, cpu) = fixture();
+        let run = RunQueue::new();
+        let mut delay = DelayQueue::new();
+        delay.insert(TaskId(0), Priority::new(0), Time::from_us(150));
+        let active = ActiveView {
+            task: TaskId(0),
+            wcet_remaining: Cycles::new(500),
+            release: Time::from_us(100),
+            deadline: Time::from_us(200),
+        };
+        let ctx = SchedulerContext {
+            now: Time::from_us(120),
+            active: Some(active),
+            run_queue: &run,
+            delay_queue: &delay,
+            cpu: &cpu,
+            taskset: &ts,
+        };
+        assert_eq!(ctx.safe_completion_bound(), Some(Time::from_us(150)));
+    }
+
+    #[test]
+    fn no_active_task_means_no_bound() {
+        let (ts, cpu) = fixture();
+        let run = RunQueue::new();
+        let delay = DelayQueue::new();
+        let ctx = SchedulerContext {
+            now: Time::ZERO,
+            active: None,
+            run_queue: &run,
+            delay_queue: &delay,
+            cpu: &cpu,
+            taskset: &ts,
+        };
+        assert_eq!(ctx.safe_completion_bound(), None);
+        assert_eq!(ctx.next_arrival(), None);
+    }
+}

@@ -1,0 +1,276 @@
+//! The two kernel queues of the paper's scheduler model (Katcher et al.;
+//! Burns, Tindell & Wellings).
+//!
+//! * The **run queue** holds released, unfinished tasks ordered by fixed
+//!   priority; the head is the next task to dispatch.
+//! * The **delay queue** holds tasks that completed their current job and
+//!   wait for their next period, ordered by release time; the head gives
+//!   the *exact* next arrival — the knowledge LPFPS exploits for both
+//!   power-down timers and speed scaling.
+//!
+//! Both are tiny ordered vectors: task counts in this domain are tens, not
+//! thousands, and a sorted `Vec` beats heap structures at that size while
+//! giving deterministic iteration for traces and tests.
+
+use lpfps_tasks::task::{Priority, TaskId};
+use lpfps_tasks::time::Time;
+
+/// Priority-ordered queue of released, runnable tasks.
+///
+/// # Examples
+///
+/// ```
+/// use lpfps_kernel::queues::RunQueue;
+/// use lpfps_tasks::task::{Priority, TaskId};
+///
+/// let mut q = RunQueue::new();
+/// q.insert(TaskId(2), Priority::new(2));
+/// q.insert(TaskId(0), Priority::new(0));
+/// assert_eq!(q.head(), Some(TaskId(0)));
+/// assert_eq!(q.pop(), Some(TaskId(0)));
+/// assert_eq!(q.pop(), Some(TaskId(2)));
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RunQueue {
+    // Sorted ascending by priority level (head = index 0 = most urgent).
+    entries: Vec<(Priority, TaskId)>,
+}
+
+impl RunQueue {
+    /// Creates an empty run queue.
+    pub fn new() -> Self {
+        RunQueue::default()
+    }
+
+    /// Inserts a task at its priority position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task is already queued (a periodic task has at most
+    /// one live job in this kernel model).
+    pub fn insert(&mut self, task: TaskId, prio: Priority) {
+        assert!(
+            !self.contains(task),
+            "task {task} is already in the run queue"
+        );
+        let pos = self.entries.partition_point(|&(p, _)| p < prio);
+        self.entries.insert(pos, (prio, task));
+    }
+
+    /// The highest-priority queued task, if any.
+    pub fn head(&self) -> Option<TaskId> {
+        self.entries.first().map(|&(_, t)| t)
+    }
+
+    /// The priority of the head, if any.
+    pub fn head_priority(&self) -> Option<Priority> {
+        self.entries.first().map(|&(p, _)| p)
+    }
+
+    /// Removes and returns the highest-priority task.
+    pub fn pop(&mut self) -> Option<TaskId> {
+        if self.entries.is_empty() {
+            None
+        } else {
+            Some(self.entries.remove(0).1)
+        }
+    }
+
+    /// True if no task is queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the task is queued.
+    pub fn contains(&self, task: TaskId) -> bool {
+        self.entries.iter().any(|&(_, t)| t == task)
+    }
+
+    /// Iterates queued tasks from highest to lowest priority.
+    pub fn iter(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.entries.iter().map(|&(_, t)| t)
+    }
+}
+
+/// Release-time-ordered queue of tasks waiting for their next period.
+///
+/// Ties on release time break by priority, then task id, so simulation
+/// traces are fully deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct DelayQueue {
+    // Sorted ascending by (release, priority, id).
+    entries: Vec<(Time, Priority, TaskId)>,
+}
+
+impl DelayQueue {
+    /// Creates an empty delay queue.
+    pub fn new() -> Self {
+        DelayQueue::default()
+    }
+
+    /// Inserts a task with its next release time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task is already queued.
+    pub fn insert(&mut self, task: TaskId, prio: Priority, release: Time) {
+        assert!(
+            !self.contains(task),
+            "task {task} is already in the delay queue"
+        );
+        let key = (release, prio, task);
+        let pos = self.entries.partition_point(|&e| e < key);
+        self.entries.insert(pos, key);
+    }
+
+    /// The earliest queued release time (the paper's `t_a` source).
+    pub fn head_release(&self) -> Option<Time> {
+        self.entries.first().map(|&(r, _, _)| r)
+    }
+
+    /// The task at the head, if any.
+    pub fn head(&self) -> Option<TaskId> {
+        self.entries.first().map(|&(_, _, t)| t)
+    }
+
+    /// Removes and returns every task whose release time is `<= now`, in
+    /// release order (the scheduler's L5–L7 loop).
+    pub fn pop_due(&mut self, now: Time) -> Vec<(TaskId, Time)> {
+        let split = self.entries.partition_point(|&(r, _, _)| r <= now);
+        self.entries
+            .drain(..split)
+            .map(|(r, _, t)| (t, r))
+            .collect()
+    }
+
+    /// True if no task is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The number of waiting tasks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the task is queued.
+    pub fn contains(&self, task: TaskId) -> bool {
+        self.entries.iter().any(|&(_, _, t)| t == task)
+    }
+
+    /// Iterates `(task, release)` pairs in release order.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskId, Time)> + '_ {
+        self.entries.iter().map(|&(r, _, t)| (t, r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_queue_orders_by_priority() {
+        let mut q = RunQueue::new();
+        q.insert(TaskId(1), Priority::new(5));
+        q.insert(TaskId(2), Priority::new(1));
+        q.insert(TaskId(3), Priority::new(3));
+        let order: Vec<TaskId> = q.iter().collect();
+        assert_eq!(order, vec![TaskId(2), TaskId(3), TaskId(1)]);
+        assert_eq!(q.head_priority(), Some(Priority::new(1)));
+    }
+
+    #[test]
+    fn run_queue_pop_drains_in_priority_order() {
+        let mut q = RunQueue::new();
+        for (id, p) in [(0usize, 2u32), (1, 0), (2, 1)] {
+            q.insert(TaskId(id), Priority::new(p));
+        }
+        assert_eq!(q.pop(), Some(TaskId(1)));
+        assert_eq!(q.pop(), Some(TaskId(2)));
+        assert_eq!(q.pop(), Some(TaskId(0)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already in the run queue")]
+    fn run_queue_rejects_duplicates() {
+        let mut q = RunQueue::new();
+        q.insert(TaskId(0), Priority::new(0));
+        q.insert(TaskId(0), Priority::new(1));
+    }
+
+    #[test]
+    fn delay_queue_orders_by_release() {
+        let mut q = DelayQueue::new();
+        q.insert(TaskId(0), Priority::new(0), Time::from_us(200));
+        q.insert(TaskId(1), Priority::new(1), Time::from_us(160));
+        q.insert(TaskId(2), Priority::new(2), Time::from_us(200));
+        assert_eq!(q.head(), Some(TaskId(1)));
+        assert_eq!(q.head_release(), Some(Time::from_us(160)));
+        // Equal releases tie-break by priority: TaskId(0) before TaskId(2).
+        let order: Vec<TaskId> = q.iter().map(|(t, _)| t).collect();
+        assert_eq!(order, vec![TaskId(1), TaskId(0), TaskId(2)]);
+    }
+
+    #[test]
+    fn pop_due_takes_only_elapsed_releases() {
+        let mut q = DelayQueue::new();
+        q.insert(TaskId(0), Priority::new(0), Time::from_us(100));
+        q.insert(TaskId(1), Priority::new(1), Time::from_us(150));
+        q.insert(TaskId(2), Priority::new(2), Time::from_us(200));
+        let due = q.pop_due(Time::from_us(150));
+        assert_eq!(
+            due,
+            vec![
+                (TaskId(0), Time::from_us(100)),
+                (TaskId(1), Time::from_us(150))
+            ]
+        );
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.head(), Some(TaskId(2)));
+    }
+
+    #[test]
+    fn pop_due_on_empty_queue_is_empty() {
+        let mut q = DelayQueue::new();
+        assert!(q.pop_due(Time::from_us(1_000)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already in the delay queue")]
+    fn delay_queue_rejects_duplicates() {
+        let mut q = DelayQueue::new();
+        q.insert(TaskId(0), Priority::new(0), Time::from_us(1));
+        q.insert(TaskId(0), Priority::new(0), Time::from_us(2));
+    }
+
+    #[test]
+    fn paper_figure3a_snapshot() {
+        // Figure 3(a): at time 0 tau1 is active; tau2, tau3 wait in the run
+        // queue in priority order; the delay queue is empty.
+        let mut run = RunQueue::new();
+        run.insert(TaskId(1), Priority::new(1));
+        run.insert(TaskId(2), Priority::new(2));
+        let delay = DelayQueue::new();
+        assert_eq!(run.head(), Some(TaskId(1)));
+        assert!(delay.is_empty());
+    }
+
+    #[test]
+    fn paper_figure5a_snapshot() {
+        // Figure 5(a): at time 160 tau2 just became active, tau1 (release
+        // 200) and tau3 (release 200) wait in the delay queue; run queue
+        // empty. tau1 outranks tau3 at the same release instant.
+        let mut delay = DelayQueue::new();
+        delay.insert(TaskId(2), Priority::new(2), Time::from_us(200));
+        delay.insert(TaskId(0), Priority::new(0), Time::from_us(200));
+        assert_eq!(delay.head(), Some(TaskId(0)));
+        assert_eq!(delay.head_release(), Some(Time::from_us(200)));
+    }
+}

@@ -1,0 +1,225 @@
+//! Simulation results: energy, timing statistics, and counters.
+
+use crate::stats::{IntervalStats, ResponseHistogram};
+use crate::trace::Trace;
+use lpfps_cpu::energy::EnergyMeter;
+use lpfps_cpu::state::StateKind;
+use lpfps_tasks::task::TaskId;
+use lpfps_tasks::time::{Dur, Time};
+use serde::{Deserialize, Serialize};
+
+/// Per-task response-time statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResponseStats {
+    /// Completed jobs.
+    pub completed: u64,
+    /// Worst observed response time.
+    pub max_response: Dur,
+    /// Sum of response times (for the mean).
+    pub total_response: Dur,
+}
+
+impl ResponseStats {
+    /// Records one completion.
+    pub fn record(&mut self, response: Dur) {
+        self.completed += 1;
+        self.max_response = self.max_response.max(response);
+        self.total_response += response;
+    }
+
+    /// The mean response time, or zero if nothing completed.
+    pub fn mean_response(&self) -> Dur {
+        if self.completed == 0 {
+            Dur::ZERO
+        } else {
+            self.total_response / self.completed
+        }
+    }
+}
+
+/// A recorded deadline miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeadlineMiss {
+    /// The violating task.
+    pub task: TaskId,
+    /// The job index within the task.
+    pub job: u64,
+    /// The absolute deadline that was missed.
+    pub deadline: Time,
+    /// When the job actually completed (`None` if still unfinished at the
+    /// simulation horizon).
+    pub completed_at: Option<Time>,
+}
+
+/// Activity counters over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counters {
+    /// Jobs released.
+    pub releases: u64,
+    /// Jobs completed.
+    pub completions: u64,
+    /// Preemptions (a running job displaced by a higher-priority release).
+    pub preemptions: u64,
+    /// Dispatches (context loads), including first starts and resumptions.
+    pub dispatches: u64,
+    /// Voltage/clock ramps initiated.
+    pub ramps: u64,
+    /// Power-down entries.
+    pub power_downs: u64,
+}
+
+/// The complete result of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Policy name ("fps", "lpfps", ...).
+    pub policy: String,
+    /// Task-set name.
+    pub taskset: String,
+    /// Simulated horizon.
+    pub horizon: Dur,
+    /// Energy and state-residency accounting.
+    pub energy: EnergyMeter,
+    /// Deadline misses (empty on a correct run of a schedulable set).
+    pub misses: Vec<DeadlineMiss>,
+    /// Per-task response statistics, indexed by task id.
+    pub responses: Vec<ResponseStats>,
+    /// Activity counters.
+    pub counters: Counters,
+    /// Distribution of intervals during which no task was runnable.
+    pub idle_gaps: IntervalStats,
+    /// Normalized energy attributed to each task's execution (busy and
+    /// busy-ramp time while that task held the processor), indexed by
+    /// task id. Idle/power-down/wake-up energy is unattributed.
+    pub task_energy: Vec<f64>,
+    /// Per-task response-time histograms (deadline-relative buckets),
+    /// indexed by task id.
+    pub histograms: Vec<ResponseHistogram>,
+    /// The event trace, if tracing was enabled.
+    pub trace: Option<Trace>,
+}
+
+impl SimReport {
+    /// Average normalized power over the run — the paper's Figure 8 metric
+    /// (1.0 = a processor busy at full speed for the whole horizon).
+    pub fn average_power(&self) -> f64 {
+        self.energy.average_power(self.horizon)
+    }
+
+    /// True if every job met its deadline.
+    pub fn all_deadlines_met(&self) -> bool {
+        self.misses.is_empty()
+    }
+
+    /// Fraction of the horizon spent in each state kind.
+    pub fn residency_fraction(&self, kind: StateKind) -> f64 {
+        self.energy.bucket(kind).residency.as_ns() as f64 / self.horizon.as_ns() as f64
+    }
+
+    /// A multi-line human-readable report: average power, per-state energy
+    /// split, per-task responses and energy, and idle-gap statistics.
+    pub fn render_detailed(&self, ts: &lpfps_tasks::taskset::TaskSet) -> String {
+        use core::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} on {}: avg power {:.4} over {}",
+            self.policy,
+            self.taskset,
+            self.average_power(),
+            self.horizon
+        );
+        let _ = writeln!(out, "  states:");
+        for (kind, bucket) in self.energy.buckets() {
+            let _ = writeln!(
+                out,
+                "    {:<11} residency {:>6.2}% energy {:.6}",
+                kind.label(),
+                100.0 * bucket.residency.as_ns() as f64 / self.horizon.as_ns() as f64,
+                bucket.energy
+            );
+        }
+        let _ = writeln!(out, "  tasks:");
+        for (id, task, _) in ts.iter() {
+            let stats = &self.responses[id.0];
+            let _ = writeln!(
+                out,
+                "    {:<22} jobs={:<5} maxR={:<12} energy {:.6} [{}]",
+                task.name(),
+                stats.completed,
+                stats.max_response.to_string(),
+                self.task_energy.get(id.0).copied().unwrap_or(0.0),
+                self.histograms
+                    .get(id.0)
+                    .map(|h| h.render())
+                    .unwrap_or_default()
+            );
+        }
+        let _ = writeln!(out, "  idle gaps: {}", self.idle_gaps);
+        let _ = writeln!(
+            out,
+            "  counters: {} releases, {} completions, {} preemptions, {} ramps, {} power-downs",
+            self.counters.releases,
+            self.counters.completions,
+            self.counters.preemptions,
+            self.counters.ramps,
+            self.counters.power_downs
+        );
+        out
+    }
+
+    /// A compact single-line summary for experiment harness output.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{:<10} {:<14} avg_power={:.4} misses={} jobs={} ramps={} pdowns={}",
+            self.policy,
+            self.taskset,
+            self.average_power(),
+            self.misses.len(),
+            self.counters.completions,
+            self.counters.ramps,
+            self.counters.power_downs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_stats_track_extremes_and_mean() {
+        let mut s = ResponseStats::default();
+        s.record(Dur::from_us(10));
+        s.record(Dur::from_us(30));
+        s.record(Dur::from_us(20));
+        assert_eq!(s.completed, 3);
+        assert_eq!(s.max_response, Dur::from_us(30));
+        assert_eq!(s.mean_response(), Dur::from_us(20));
+    }
+
+    #[test]
+    fn empty_stats_have_zero_mean() {
+        assert_eq!(ResponseStats::default().mean_response(), Dur::ZERO);
+    }
+
+    #[test]
+    fn report_summary_mentions_policy_and_power() {
+        let report = SimReport {
+            policy: "fps".into(),
+            taskset: "table1".into(),
+            horizon: Dur::from_ms(1),
+            energy: EnergyMeter::new(),
+            misses: vec![],
+            responses: vec![],
+            counters: Counters::default(),
+            idle_gaps: IntervalStats::new(),
+            task_energy: vec![],
+            histograms: vec![],
+            trace: None,
+        };
+        let line = report.summary_line();
+        assert!(line.contains("fps"));
+        assert!(line.contains("avg_power=0.0000"));
+        assert!(report.all_deadlines_met());
+    }
+}

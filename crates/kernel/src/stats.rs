@@ -1,0 +1,293 @@
+//! Interval statistics: distribution summaries of idle gaps.
+//!
+//! The economics of power-down depend on the *length distribution* of idle
+//! intervals, not just their sum — the paper's §2.1 argument against
+//! timeout shutdown is exactly that short, intermittent gaps defeat it.
+//! The kernel records every interval during which no task was runnable.
+
+use lpfps_tasks::time::Dur;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics over a stream of time intervals.
+///
+/// # Examples
+///
+/// ```
+/// use lpfps_kernel::stats::IntervalStats;
+/// use lpfps_tasks::time::Dur;
+///
+/// let mut s = IntervalStats::new();
+/// s.record(Dur::from_us(10));
+/// s.record(Dur::from_us(30));
+/// assert_eq!(s.count(), 2);
+/// assert_eq!(s.mean(), Dur::from_us(20));
+/// assert_eq!(s.max(), Dur::from_us(30));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntervalStats {
+    count: u64,
+    total: Dur,
+    min: Dur,
+    max: Dur,
+}
+
+impl IntervalStats {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        IntervalStats::default()
+    }
+
+    /// Records one interval (zero-length intervals are ignored).
+    pub fn record(&mut self, d: Dur) {
+        if d.is_zero() {
+            return;
+        }
+        if self.count == 0 {
+            self.min = d;
+            self.max = d;
+        } else {
+            self.min = self.min.min(d);
+            self.max = self.max.max(d);
+        }
+        self.count += 1;
+        self.total += d;
+    }
+
+    /// Number of recorded intervals.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all intervals.
+    pub fn total(&self) -> Dur {
+        self.total
+    }
+
+    /// Shortest recorded interval (zero if none).
+    pub fn min(&self) -> Dur {
+        self.min
+    }
+
+    /// Longest recorded interval (zero if none).
+    pub fn max(&self) -> Dur {
+        self.max
+    }
+
+    /// Mean interval length (zero if none).
+    pub fn mean(&self) -> Dur {
+        if self.count == 0 {
+            Dur::ZERO
+        } else {
+            self.total / self.count
+        }
+    }
+}
+
+impl core::fmt::Display for IntervalStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.count == 0 {
+            write!(f, "none")
+        } else {
+            write!(
+                f,
+                "n={} total={} mean={} min={} max={}",
+                self.count,
+                self.total,
+                self.mean(),
+                self.min,
+                self.max
+            )
+        }
+    }
+}
+
+/// A fixed-bucket histogram of response times measured as a fraction of
+/// the deadline: bucket `k` of `BUCKETS` covers
+/// `[k/BUCKETS, (k+1)/BUCKETS)` of the deadline, with one overflow bucket
+/// for misses (`>= 1.0`). Profiles *how much* margin jobs finish with —
+/// the distributional view behind LPFPS's slack-reclaiming argument.
+/// Number of in-deadline buckets in a [`ResponseHistogram`].
+const RESPONSE_BUCKETS: usize = 20;
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResponseHistogram {
+    buckets: [u64; RESPONSE_BUCKETS],
+    misses: u64,
+}
+
+impl ResponseHistogram {
+    /// Number of in-deadline buckets.
+    pub const BUCKETS: usize = RESPONSE_BUCKETS;
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        ResponseHistogram {
+            buckets: [0; RESPONSE_BUCKETS],
+            misses: 0,
+        }
+    }
+
+    /// Records one completion with the given response and deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline` is zero.
+    pub fn record(&mut self, response: Dur, deadline: Dur) {
+        assert!(!deadline.is_zero(), "deadlines are positive");
+        if response >= deadline {
+            self.misses += 1;
+            return;
+        }
+        let idx =
+            (response.as_ns() as u128 * Self::BUCKETS as u128 / deadline.as_ns() as u128) as usize;
+        self.buckets[idx.min(Self::BUCKETS - 1)] += 1;
+    }
+
+    /// Jobs recorded in bucket `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= BUCKETS`.
+    pub fn bucket(&self, k: usize) -> u64 {
+        self.buckets[k]
+    }
+
+    /// Jobs that completed at or past their deadline.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total recorded jobs.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.misses
+    }
+
+    /// The smallest response-to-deadline fraction `p` such that at least
+    /// `quantile` (0..=1) of jobs finished within `p` of their deadline —
+    /// an upper bound at bucket granularity; `None` if empty or if misses
+    /// prevent reaching the quantile.
+    pub fn quantile_fraction(&self, quantile: f64) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let needed = (quantile * total as f64).ceil() as u64;
+        let mut acc = 0;
+        for (k, &b) in self.buckets.iter().enumerate() {
+            acc += b;
+            if acc >= needed {
+                return Some((k + 1) as f64 / Self::BUCKETS as f64);
+            }
+        }
+        None
+    }
+
+    /// A compact sparkline-style rendering (`#` columns scaled to the
+    /// largest bucket; `!` marks misses).
+    pub fn render(&self) -> String {
+        let peak = self.buckets.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for &b in &self.buckets {
+            let h = (b * 8).div_ceil(peak).min(8);
+            out.push(match h {
+                0 => '.',
+                1 => ':',
+                2..=3 => '+',
+                4..=6 => '#',
+                _ => '@',
+            });
+        }
+        if self.misses > 0 {
+            out.push('!');
+        }
+        out
+    }
+}
+
+impl Default for ResponseHistogram {
+    fn default() -> Self {
+        ResponseHistogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_read_zero() {
+        let s = IntervalStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), Dur::ZERO);
+        assert_eq!(s.to_string(), "none");
+    }
+
+    #[test]
+    fn zero_intervals_are_ignored() {
+        let mut s = IntervalStats::new();
+        s.record(Dur::ZERO);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn extremes_and_mean_track_inputs() {
+        let mut s = IntervalStats::new();
+        for us in [5u64, 100, 20] {
+            s.record(Dur::from_us(us));
+        }
+        assert_eq!(s.min(), Dur::from_us(5));
+        assert_eq!(s.max(), Dur::from_us(100));
+        assert_eq!(s.total(), Dur::from_us(125));
+        assert_eq!(s.mean(), Dur::from_ns(41_666));
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let mut s = IntervalStats::new();
+        s.record(Dur::from_us(10));
+        assert_eq!(s.to_string(), "n=1 total=10us mean=10us min=10us max=10us");
+    }
+
+    #[test]
+    fn histogram_buckets_by_deadline_fraction() {
+        let mut h = ResponseHistogram::new();
+        let d = Dur::from_us(100);
+        h.record(Dur::from_us(1), d); // bucket 0
+        h.record(Dur::from_us(52), d); // bucket 10
+        h.record(Dur::from_us(99), d); // bucket 19
+        h.record(Dur::from_us(100), d); // miss (>= deadline)
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(10), 1);
+        assert_eq!(h.bucket(19), 1);
+        assert_eq!(h.misses(), 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_conservative() {
+        let mut h = ResponseHistogram::new();
+        let d = Dur::from_us(100);
+        for _ in 0..90 {
+            h.record(Dur::from_us(10), d); // bucket 2
+        }
+        for _ in 0..10 {
+            h.record(Dur::from_us(90), d); // bucket 18
+        }
+        // 90% of jobs finish within 15% of the deadline (bucket 2 -> 3/20).
+        assert_eq!(h.quantile_fraction(0.9), Some(0.15));
+        assert_eq!(h.quantile_fraction(1.0), Some(0.95));
+        assert_eq!(ResponseHistogram::new().quantile_fraction(0.5), None);
+    }
+
+    #[test]
+    fn histogram_renders_marks() {
+        let mut h = ResponseHistogram::new();
+        let d = Dur::from_us(100);
+        h.record(Dur::from_us(1), d); // bucket 0 (1/100 of the deadline)
+        h.record(Dur::from_us(100), d);
+        let r = h.render();
+        assert!(r.starts_with('@'), "render was {r}");
+        assert!(r.ends_with('!'));
+        assert_eq!(r.len(), ResponseHistogram::BUCKETS + 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Adversarial robustness: a chaos policy issues *legal but arbitrary*
+//! directives and the engine must keep its invariants — no panics, full
+//! energy-residency accounting, conserved job counts — on random
+//! schedulable task sets. Deadlines may be missed (the chaos policy is
+//! deliberately reckless about slack); correctness of the *accounting*
+//! must survive anyway. This drives the engine through state transitions
+//! the disciplined policies rarely produce: mid-ramp retargeting,
+//! back-to-back slow-downs, sleep entries with tiny windows.
+
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_kernel::engine::{simulate, SimConfig};
+use lpfps_kernel::policy::{PowerDirective, PowerPolicy, SchedulerContext};
+use lpfps_tasks::exec::PaperGaussian;
+use lpfps_tasks::freq::Freq;
+use lpfps_tasks::rng::SplitMix64;
+use lpfps_tasks::task::Task;
+use lpfps_tasks::taskset::TaskSet;
+use lpfps_tasks::time::Dur;
+use proptest::prelude::*;
+
+/// Issues a random legal directive on every pass.
+#[derive(Debug)]
+struct ChaosPolicy {
+    rng: SplitMix64,
+}
+
+impl PowerPolicy for ChaosPolicy {
+    fn name(&self) -> &'static str {
+        "chaos"
+    }
+
+    fn decide(&mut self, ctx: &SchedulerContext<'_>) -> PowerDirective {
+        let roll = self.rng.next_u64() % 4;
+        match (ctx.active, roll) {
+            // Idle kernel: maybe sleep (always legally: wake before the
+            // head release, any mode).
+            (None, 0 | 1) if ctx.run_queue.is_empty() => {
+                let Some(head) = ctx.next_arrival() else {
+                    return PowerDirective::FullSpeed;
+                };
+                let modes = ctx.cpu.sleep_modes();
+                let mode = (self.rng.next_u64() as usize) % modes.len();
+                let wake_at =
+                    head.saturating_sub(modes[mode].wakeup_delay(ctx.cpu.reference_freq()));
+                if wake_at <= ctx.now {
+                    return PowerDirective::FullSpeed;
+                }
+                // Randomly wake even earlier (legal, wasteful).
+                let early = Dur::from_ns(self.rng.next_u64() % 50_000);
+                let wake_at = wake_at.saturating_sub(early).max(ctx.now);
+                if wake_at <= ctx.now {
+                    return PowerDirective::FullSpeed;
+                }
+                PowerDirective::PowerDown { wake_at, mode }
+            }
+            // Lone active task: slow to a random ladder frequency with a
+            // random (possibly too-late!) speed-up point — legal per the
+            // kernel's contract, unsafe for deadlines on purpose.
+            (Some(_), 0..=2) if ctx.run_queue.is_empty() => {
+                let ladder = ctx.cpu.ladder();
+                let steps = ladder.level_count() as u64;
+                let khz =
+                    ladder.min().as_khz() + (self.rng.next_u64() % steps) * ladder.step().as_khz();
+                let freq = Freq::from_khz(khz);
+                let Some(bound) = ctx.safe_completion_bound() else {
+                    return PowerDirective::FullSpeed;
+                };
+                let slack = bound.saturating_since(ctx.now);
+                if slack.is_zero() {
+                    return PowerDirective::FullSpeed;
+                }
+                let offset = Dur::from_ns(self.rng.next_u64() % slack.as_ns().max(1));
+                let speedup_at = ctx.now + offset;
+                if speedup_at <= ctx.now {
+                    return PowerDirective::FullSpeed;
+                }
+                PowerDirective::SlowDown { freq, speedup_at }
+            }
+            _ => PowerDirective::FullSpeed,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engine_invariants_survive_chaos(
+        periods in proptest::collection::vec(100u64..2_000, 1..5),
+        seed in 0u64..10_000,
+        multimode in proptest::bool::ANY,
+    ) {
+        let tasks: Vec<Task> = periods
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                Task::new(format!("t{i}"), Dur::from_us(p), Dur::from_us((p / 10).max(1)))
+                    .with_bcet_fraction(0.3)
+            })
+            .collect();
+        let ts = TaskSet::rate_monotonic("chaos", tasks);
+        let cpu = if multimode {
+            CpuSpec::arm8_multimode()
+        } else {
+            CpuSpec::arm8()
+        };
+        let horizon = Dur::from_ms(20);
+        let cfg = SimConfig::new(horizon).with_seed(seed);
+        let mut policy = ChaosPolicy { rng: SplitMix64::new(seed) };
+        let report = simulate(&ts, &cpu, &mut policy, &PaperGaussian, &cfg);
+
+        // Accounting invariants hold regardless of the policy's quality.
+        prop_assert_eq!(report.energy.total_residency(), horizon);
+        prop_assert!(report.counters.completions <= report.counters.releases);
+        prop_assert!(
+            report.counters.releases
+                <= ts.iter().map(|(_, t, _)| horizon.as_ns().div_ceil(t.period().as_ns())).sum::<u64>()
+        );
+        let attributed: f64 = report.task_energy.iter().sum();
+        prop_assert!(attributed <= report.energy.total_energy() + 1e-9);
+        prop_assert!(report.average_power() <= 1.0 + 1e-9);
+    }
+
+    /// Chaos on top of tick-driven kernels and context-switch costs.
+    #[test]
+    fn engine_invariants_survive_chaos_with_overheads(
+        seed in 0u64..5_000,
+        tick_us in 1u64..500,
+        cs_us in 0u64..20,
+    ) {
+        let ts = TaskSet::rate_monotonic(
+            "chaos-ovh",
+            vec![
+                Task::new("a", Dur::from_ms(2), Dur::from_us(200)).with_bcet_fraction(0.4),
+                Task::new("b", Dur::from_ms(5), Dur::from_us(700)).with_bcet_fraction(0.4),
+                Task::new("c", Dur::from_ms(13), Dur::from_us(900)).with_bcet_fraction(0.4),
+            ],
+        );
+        let cpu = CpuSpec::arm8();
+        let horizon = Dur::from_ms(60);
+        let cfg = SimConfig::new(horizon)
+            .with_seed(seed)
+            .with_tick(Dur::from_us(tick_us))
+            .with_context_switch(Dur::from_us(cs_us))
+            .with_ratio_overhead(Dur::from_us(1));
+        let mut policy = ChaosPolicy { rng: SplitMix64::new(seed ^ 0xDEAD) };
+        let report = simulate(&ts, &cpu, &mut policy, &PaperGaussian, &cfg);
+        prop_assert_eq!(report.energy.total_residency(), horizon);
+        prop_assert!(report.average_power() <= 1.0 + 1e-9);
+    }
+}

@@ -1,0 +1,147 @@
+//! Breakdown utilization: how far a task set can be scaled before it stops
+//! being schedulable.
+//!
+//! The breakdown utilization of Lehoczky, Sha & Ding scales every WCET by a
+//! common factor `alpha` until the set is *just* schedulable; the resulting
+//! total utilization measures how tightly constructed a set is. The paper's
+//! Table 1 example is "tightly constructed" in exactly this sense, and the
+//! LPFPS slack argument is strongest for sets below breakdown.
+
+use crate::analysis::response_time::rta_schedulable;
+use crate::task::Task;
+use crate::taskset::TaskSet;
+use crate::time::Dur;
+
+/// Returns a copy of the set with every WCET (and BCET, proportionally)
+/// scaled by `alpha`, saturating WCETs at the period.
+///
+/// # Panics
+///
+/// Panics if `alpha` is not positive and finite.
+pub fn scale_wcets(ts: &TaskSet, alpha: f64) -> TaskSet {
+    assert!(
+        alpha.is_finite() && alpha > 0.0,
+        "scale factor must be positive"
+    );
+    let tasks: Vec<Task> = ts
+        .iter()
+        .map(|(_, t, _)| {
+            let wcet_ns =
+                ((t.wcet().as_ns() as f64 * alpha).round() as u64).clamp(1, t.period().as_ns());
+            let bcet_ns = ((t.bcet().as_ns() as f64 * alpha).round() as u64).clamp(1, wcet_ns);
+            let mut s = Task::new(t.name(), t.period(), Dur::from_ns(wcet_ns))
+                .with_bcet(Dur::from_ns(bcet_ns))
+                .with_phase(t.phase());
+            if t.deadline() != t.period() {
+                s = s.with_deadline(t.deadline());
+            }
+            s
+        })
+        .collect();
+    let prios = (0..ts.len())
+        .map(|i| ts.priority(crate::task::TaskId(i)))
+        .collect();
+    TaskSet::with_priorities(ts.name(), tasks, prios)
+}
+
+/// The breakdown utilization of the set under its current priority order:
+/// the total utilization at the largest WCET scale factor that keeps the
+/// set schedulable (binary search to `tol` relative precision on the scale
+/// factor).
+///
+/// Returns `None` if the set is unschedulable even as given.
+///
+/// # Panics
+///
+/// Panics if `tol` is not in `(0, 1)`.
+pub fn breakdown_utilization(ts: &TaskSet, tol: f64) -> Option<f64> {
+    assert!(tol > 0.0 && tol < 1.0, "tolerance must be in (0, 1)");
+    if !rta_schedulable(ts) {
+        return None;
+    }
+    // Find an upper bracket: scale up until unschedulable (or WCETs saturate
+    // at their periods, in which case U = n and the search tops out there).
+    let mut lo = 1.0f64;
+    let mut hi = 2.0f64;
+    let mut guard = 0;
+    while rta_schedulable(&scale_wcets(ts, hi)) {
+        lo = hi;
+        hi *= 2.0;
+        guard += 1;
+        if guard > 64 {
+            // Every WCET saturated at its period and it is still schedulable
+            // (only possible for a single task); utilization is maxed out.
+            return Some(scale_wcets(ts, hi).utilization());
+        }
+    }
+    while (hi - lo) / lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if rta_schedulable(&scale_wcets(ts, mid)) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(scale_wcets(ts, lo).utilization())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(params: &[(u64, u64)]) -> TaskSet {
+        let tasks = params
+            .iter()
+            .enumerate()
+            .map(|(i, &(t, c))| Task::new(format!("t{i}"), Dur::from_us(t), Dur::from_us(c)))
+            .collect();
+        TaskSet::rate_monotonic("test", tasks)
+    }
+
+    #[test]
+    fn scaling_preserves_structure() {
+        let ts = set(&[(100, 10), (200, 20)]);
+        let scaled = scale_wcets(&ts, 2.0);
+        assert_eq!(scaled.task(crate::task::TaskId(0)).wcet(), Dur::from_us(20));
+        assert!((scaled.utilization() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table1_is_near_breakdown() {
+        // Table 1 is exactly at its schedulability limit: scaling by any
+        // meaningful factor breaks it, so breakdown utilization ~= 0.85.
+        let ts = set(&[(50, 10), (80, 20), (100, 40)]);
+        let b = breakdown_utilization(&ts, 1e-4).expect("schedulable");
+        assert!((b - 0.85).abs() < 0.01, "breakdown {b} should be ~0.85");
+    }
+
+    #[test]
+    fn slack_set_has_headroom() {
+        let ts = set(&[(100, 10), (200, 20)]); // U = 0.2
+        let b = breakdown_utilization(&ts, 1e-4).expect("schedulable");
+        assert!(b > 0.8, "low-utilization set should scale a lot, got {b}");
+    }
+
+    #[test]
+    fn unschedulable_set_yields_none() {
+        let ts = set(&[(10, 6), (20, 12)]);
+        assert_eq!(breakdown_utilization(&ts, 1e-3), None);
+    }
+
+    #[test]
+    fn harmonic_set_breaks_down_at_one() {
+        let ts = set(&[(10, 2), (20, 4), (40, 8)]); // harmonic, U = 0.6
+        let b = breakdown_utilization(&ts, 1e-4).expect("schedulable");
+        assert!(
+            (b - 1.0).abs() < 0.01,
+            "harmonic RM breakdown is U=1, got {b}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn negative_scale_rejected() {
+        let ts = set(&[(10, 1)]);
+        let _ = scale_wcets(&ts, -1.0);
+    }
+}

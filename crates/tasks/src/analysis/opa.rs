@@ -1,0 +1,158 @@
+//! Audsley's Optimal Priority Assignment (OPA).
+//!
+//! For any schedulability test that depends only on a task's own parameters
+//! and the *set* (not order) of higher-priority tasks — response-time
+//! analysis qualifies — Audsley's algorithm finds a feasible priority order
+//! whenever one exists, in O(n²) test invocations: repeatedly pick any task
+//! that is schedulable at the lowest unassigned level.
+
+use crate::analysis::response_time::{response_time, RtaConfig};
+use crate::task::{Priority, Task, TaskId};
+use crate::taskset::TaskSet;
+
+/// Finds a feasible priority assignment by Audsley's algorithm using exact
+/// RTA as the test, or `None` if no fixed-priority order works.
+///
+/// Returned priorities are indexed like `tasks` (lower value = higher
+/// priority).
+///
+/// # Examples
+///
+/// ```
+/// use lpfps_tasks::{analysis::audsley, task::Task, time::Dur};
+///
+/// let tasks = vec![
+///     Task::new("a", Dur::from_us(50), Dur::from_us(10)),
+///     Task::new("b", Dur::from_us(80), Dur::from_us(20)),
+///     Task::new("c", Dur::from_us(100), Dur::from_us(40)),
+/// ];
+/// let prios = audsley(&tasks).expect("table 1 is schedulable");
+/// assert_eq!(prios.len(), 3);
+/// ```
+pub fn audsley(tasks: &[Task]) -> Option<Vec<Priority>> {
+    if tasks.is_empty() {
+        return Some(Vec::new());
+    }
+    let n = tasks.len();
+    let cfg = RtaConfig::default();
+    let mut assigned: Vec<Option<Priority>> = vec![None; n];
+    let mut unassigned: Vec<usize> = (0..n).collect();
+
+    // Assign levels from the bottom (n-1, least urgent) upward.
+    for level in (0..n as u32).rev() {
+        let found = unassigned.iter().position(|&cand| {
+            // Build a trial order: `cand` at `level`, all other unassigned
+            // tasks above it (their relative order is irrelevant for RTA of
+            // `cand`), already-assigned tasks keep their levels below.
+            let trial = trial_priorities(tasks, &assigned, &unassigned, cand, level);
+            let ts = TaskSet::with_priorities("opa-trial", tasks.to_vec(), trial);
+            response_time(&ts, TaskId(cand), &cfg).is_schedulable()
+        });
+        match found {
+            Some(pos) => {
+                let idx = unassigned.remove(pos);
+                assigned[idx] = Some(Priority::new(level));
+            }
+            None => return None,
+        }
+    }
+    Some(
+        assigned
+            .into_iter()
+            .map(|p| p.expect("all assigned"))
+            .collect(),
+    )
+}
+
+/// Builds a total trial order placing `cand` at `level`, the other
+/// unassigned tasks at arbitrary distinct levels above, and keeping the
+/// already-assigned (lower) levels.
+fn trial_priorities(
+    tasks: &[Task],
+    assigned: &[Option<Priority>],
+    unassigned: &[usize],
+    cand: usize,
+    level: u32,
+) -> Vec<Priority> {
+    let mut trial = vec![Priority::HIGHEST; tasks.len()];
+    let mut next_above = 0u32;
+    for i in 0..tasks.len() {
+        trial[i] = if i == cand {
+            Priority::new(level)
+        } else if let Some(p) = assigned[i] {
+            p
+        } else {
+            debug_assert!(unassigned.contains(&i));
+            let p = Priority::new(next_above);
+            next_above += 1;
+            p
+        };
+    }
+    debug_assert!(next_above <= level, "above-levels must stay above `level`");
+    trial
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::response_time::rta_schedulable;
+    use crate::priority::rate_monotonic;
+    use crate::time::Dur;
+
+    fn t(p: u64, c: u64) -> Task {
+        Task::new(format!("T{p}"), Dur::from_us(p), Dur::from_us(c))
+    }
+
+    #[test]
+    fn finds_assignment_for_table1() {
+        let tasks = vec![t(50, 10), t(80, 20), t(100, 40)];
+        let prios = audsley(&tasks).expect("schedulable");
+        let ts = TaskSet::with_priorities("opa", tasks, prios);
+        assert!(rta_schedulable(&ts));
+    }
+
+    #[test]
+    fn agrees_with_dm_optimality() {
+        // For constrained deadlines DM is optimal, so OPA succeeds exactly
+        // when DM succeeds; check on a deadline-constrained set.
+        let tasks = vec![
+            t(100, 20).with_deadline(Dur::from_us(30)),
+            t(50, 10),
+            t(200, 40),
+        ];
+        let prios = audsley(&tasks).expect("schedulable");
+        let ts = TaskSet::with_priorities("opa", tasks, prios);
+        assert!(rta_schedulable(&ts));
+    }
+
+    #[test]
+    fn reports_infeasible_sets() {
+        let tasks = vec![t(10, 6), t(20, 12)];
+        assert_eq!(audsley(&tasks), None);
+    }
+
+    #[test]
+    fn succeeds_where_rm_is_already_optimal() {
+        let tasks = vec![t(50, 10), t(80, 20), t(100, 40)];
+        let opa = audsley(&tasks).expect("schedulable");
+        let rm = rate_monotonic(&tasks);
+        // Both must be feasible; they need not be identical orders, but for
+        // this set RM is the unique feasible order up to the exactness of
+        // tau3, so the sets of levels coincide.
+        let ts_opa = TaskSet::with_priorities("opa", tasks.clone(), opa);
+        let ts_rm = TaskSet::with_priorities("rm", tasks, rm);
+        assert!(rta_schedulable(&ts_opa));
+        assert!(rta_schedulable(&ts_rm));
+    }
+
+    #[test]
+    fn empty_input_is_trivially_feasible() {
+        assert_eq!(audsley(&[]), Some(vec![]));
+    }
+
+    #[test]
+    fn single_task_gets_the_only_level() {
+        let prios = audsley(&[t(10, 5)]).expect("schedulable");
+        assert_eq!(prios, vec![Priority::new(0)]);
+    }
+}

@@ -1,0 +1,210 @@
+//! Sensitivity analysis: how close each task sits to the schedulability
+//! cliff.
+//!
+//! Two complementary views:
+//!
+//! * [`slack`] — the response-time slack `D_i - R_i` per task. The paper's
+//!   Table 1 discussion is a slack statement: tau3's slack is consumed the
+//!   moment tau2 runs longer.
+//! * [`critical_scaling_factor`] — the largest factor by which *one*
+//!   task's WCET can grow with the whole set staying schedulable (the
+//!   per-task analogue of breakdown utilization). A factor of 1.0 means
+//!   the task is exactly critical.
+
+use crate::analysis::response_time::{response_times, rta_schedulable, RtaConfig};
+use crate::task::{Task, TaskId};
+use crate::taskset::TaskSet;
+use crate::time::Dur;
+
+/// Per-task response-time slack `D_i - R_i`, or `None` for unschedulable
+/// tasks.
+///
+/// # Examples
+///
+/// ```
+/// use lpfps_tasks::analysis::sensitivity::slack;
+/// use lpfps_tasks::{task::Task, taskset::TaskSet, time::Dur};
+///
+/// let ts = TaskSet::rate_monotonic("table1", vec![
+///     Task::new("tau1", Dur::from_us(50), Dur::from_us(10)),
+///     Task::new("tau2", Dur::from_us(80), Dur::from_us(20)),
+///     Task::new("tau3", Dur::from_us(100), Dur::from_us(40)),
+/// ]);
+/// let s = slack(&ts);
+/// assert_eq!(s[0], Some(Dur::from_us(40)));  // R = 10, D = 50
+/// assert_eq!(s[2], Some(Dur::from_us(20)));  // R = 80, D = 100
+/// ```
+pub fn slack(ts: &TaskSet) -> Vec<Option<Dur>> {
+    response_times(ts, &RtaConfig::default())
+        .into_iter()
+        .enumerate()
+        .map(|(i, outcome)| {
+            outcome
+                .response()
+                .map(|r| ts.task(TaskId(i)).deadline().saturating_sub(r))
+        })
+        .collect()
+}
+
+/// The largest factor by which task `id`'s WCET can be scaled (holding all
+/// other tasks fixed) with the whole set remaining schedulable, found by
+/// binary search to relative precision `tol`. Returns `None` if the set is
+/// unschedulable as given.
+///
+/// The result is at least `1.0` for a schedulable set. A value barely
+/// above 1 identifies the task whose overrun breaks the system first —
+/// for the paper's Table 1 that is tau2 ("if tau2 were to take a little
+/// longer, tau3 would miss its deadline").
+///
+/// # Panics
+///
+/// Panics if `tol` is not in `(0, 1)` or `id` is out of range.
+pub fn critical_scaling_factor(ts: &TaskSet, id: TaskId, tol: f64) -> Option<f64> {
+    assert!(tol > 0.0 && tol < 1.0, "tolerance must be in (0, 1)");
+    if !rta_schedulable(ts) {
+        return None;
+    }
+    let feasible = |factor: f64| -> bool {
+        with_scaled_task(ts, id, factor)
+            .map(|scaled| rta_schedulable(&scaled))
+            .unwrap_or(false)
+    };
+    // Bracket: the WCET can at most fill the whole period.
+    let task = ts.task(id);
+    let cap = task.period().as_ns() as f64 / task.wcet().as_ns() as f64;
+    let mut lo = 1.0;
+    let mut hi = cap;
+    if feasible(hi) {
+        return Some(hi);
+    }
+    while (hi - lo) / lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if feasible(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+/// Clones the set with task `id`'s WCET scaled by `factor` (BCET scaled
+/// proportionally); `None` if the scaled WCET would exceed the period or
+/// deadline.
+fn with_scaled_task(ts: &TaskSet, id: TaskId, factor: f64) -> Option<TaskSet> {
+    let tasks: Vec<Task> = ts
+        .iter()
+        .map(|(tid, t, _)| {
+            if tid != id {
+                return Some(t.clone());
+            }
+            let wcet_ns = (t.wcet().as_ns() as f64 * factor).round() as u64;
+            if wcet_ns == 0 || wcet_ns > t.period().as_ns() || wcet_ns > t.deadline().as_ns() {
+                return None;
+            }
+            let bcet_ns = ((t.bcet().as_ns() as f64 * factor).round() as u64).clamp(1, wcet_ns);
+            let mut s = Task::new(t.name(), t.period(), Dur::from_ns(wcet_ns))
+                .with_bcet(Dur::from_ns(bcet_ns))
+                .with_phase(t.phase());
+            if t.deadline() != t.period() {
+                s = s.with_deadline(t.deadline());
+            }
+            Some(s)
+        })
+        .collect::<Option<Vec<Task>>>()?;
+    let prios = (0..ts.len()).map(|i| ts.priority(TaskId(i))).collect();
+    Some(TaskSet::with_priorities(ts.name(), tasks, prios))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table1() -> TaskSet {
+        TaskSet::rate_monotonic(
+            "table1",
+            vec![
+                Task::new("tau1", Dur::from_us(50), Dur::from_us(10)),
+                Task::new("tau2", Dur::from_us(80), Dur::from_us(20)),
+                Task::new("tau3", Dur::from_us(100), Dur::from_us(40)),
+            ],
+        )
+    }
+
+    #[test]
+    fn slack_matches_rta() {
+        let s = slack(&table1());
+        assert_eq!(
+            s,
+            vec![
+                Some(Dur::from_us(40)),
+                Some(Dur::from_us(50)),
+                Some(Dur::from_us(20)),
+            ]
+        );
+    }
+
+    #[test]
+    fn every_table1_task_is_exactly_critical() {
+        // The paper: "this system just meets its schedulability" and "if
+        // tau2 were to take a little longer, tau3 would miss its deadline".
+        // The analysis shows it is even tighter than the prose suggests:
+        // tau3 completes exactly at tau2's second release (t = 80), so
+        // growing *any* WCET pulls a whole extra interfering job into
+        // tau3's window and breaks the set — all factors are ~1.0.
+        let ts = table1();
+        for i in 0..3 {
+            let f = critical_scaling_factor(&ts, TaskId(i), 1e-4).unwrap();
+            assert!(
+                (f - 1.0).abs() < 1e-3,
+                "task {i} should be exactly critical, factor {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn factors_are_at_least_one_for_schedulable_sets() {
+        let ts = table1();
+        for i in 0..ts.len() {
+            let f = critical_scaling_factor(&ts, TaskId(i), 1e-3).unwrap();
+            assert!(f >= 1.0);
+        }
+    }
+
+    #[test]
+    fn light_tasks_have_large_factors() {
+        let ts = TaskSet::rate_monotonic(
+            "light",
+            vec![
+                Task::new("a", Dur::from_us(100), Dur::from_us(5)),
+                Task::new("b", Dur::from_us(1_000), Dur::from_us(10)),
+            ],
+        );
+        let f = critical_scaling_factor(&ts, TaskId(1), 1e-3).unwrap();
+        assert!(f > 50.0, "b can grow enormously, got {f}");
+    }
+
+    #[test]
+    fn unschedulable_sets_yield_none() {
+        let ts = TaskSet::rate_monotonic(
+            "over",
+            vec![
+                Task::new("a", Dur::from_us(10), Dur::from_us(6)),
+                Task::new("b", Dur::from_us(20), Dur::from_us(12)),
+            ],
+        );
+        assert_eq!(critical_scaling_factor(&ts, TaskId(0), 1e-3), None);
+        assert_eq!(slack(&ts)[1], None);
+    }
+
+    #[test]
+    fn scaling_verifies_against_rta_at_the_boundary() {
+        let ts = table1();
+        let f = critical_scaling_factor(&ts, TaskId(1), 1e-5).unwrap();
+        // Just below the factor: schedulable; 1% above: not.
+        let below = with_scaled_task(&ts, TaskId(1), f * 0.999).unwrap();
+        assert!(rta_schedulable(&below));
+        let above = with_scaled_task(&ts, TaskId(1), f * 1.01).unwrap();
+        assert!(!rta_schedulable(&above));
+    }
+}

@@ -1,0 +1,56 @@
+//! The degenerate model: every job takes exactly its WCET.
+
+use crate::exec::ExecModel;
+use crate::task::{Task, TaskId};
+use crate::time::Dur;
+
+/// Every job runs for exactly its task's WCET.
+///
+/// This is the workload assumption of classical schedulability analysis and
+/// the `BCET = WCET` endpoint of the paper's Figure 8: even here LPFPS
+/// saves power, purely from the schedule's inherent idle intervals.
+///
+/// # Examples
+///
+/// ```
+/// use lpfps_tasks::exec::{AlwaysWcet, ExecModel};
+/// use lpfps_tasks::{task::{Task, TaskId}, time::Dur};
+///
+/// let t = Task::new("t", Dur::from_us(100), Dur::from_us(40));
+/// assert_eq!(AlwaysWcet.sample(&t, TaskId(0), 7, 42), Dur::from_us(40));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysWcet;
+
+impl ExecModel for AlwaysWcet {
+    fn sample(&self, task: &Task, _task_id: TaskId, _job_index: u64, _seed: u64) -> Dur {
+        task.wcet()
+    }
+
+    fn name(&self) -> &'static str {
+        "always-wcet"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ignores_job_index_and_seed() {
+        let t = Task::new("t", Dur::from_us(50), Dur::from_us(10));
+        for job in 0..5 {
+            for seed in [0u64, 1, u64::MAX] {
+                assert_eq!(
+                    AlwaysWcet.sample(&t, TaskId(3), job, seed),
+                    Dur::from_us(10)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(AlwaysWcet.name(), "always-wcet");
+    }
+}

@@ -1,0 +1,79 @@
+//! Uniformly distributed execution times over `[BCET, WCET]`.
+
+use crate::exec::{clamp_demand, ExecModel};
+use crate::rng::job_stream;
+use crate::task::{Task, TaskId};
+use crate::time::Dur;
+
+/// Draws each job's demand uniformly from `[BCET, WCET]`.
+///
+/// A heavier-tailed alternative to [`PaperGaussian`](crate::exec::PaperGaussian)
+/// used in ablations: the uniform law spends more probability mass near the
+/// extremes, which stresses both the power-down path (very short jobs) and
+/// the safety argument (near-WCET jobs at lowered speed).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniformBetween;
+
+impl ExecModel for UniformBetween {
+    fn sample(&self, task: &Task, task_id: TaskId, job_index: u64, seed: u64) -> Dur {
+        let b = task.bcet().as_ns() as f64;
+        let w = task.wcet().as_ns() as f64;
+        if task.bcet() == task.wcet() {
+            return task.wcet();
+        }
+        let mut rng = job_stream(seed, task_id.0, job_index);
+        clamp_demand(b + (w - b) * rng.next_f64(), task.bcet(), task.wcet())
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(bcet_us: u64, wcet_us: u64) -> Task {
+        Task::new("t", Dur::from_us(1_000), Dur::from_us(wcet_us)).with_bcet(Dur::from_us(bcet_us))
+    }
+
+    #[test]
+    fn samples_stay_in_declared_range() {
+        let t = task(10, 90);
+        for job in 0..2_000 {
+            let d = UniformBetween.sample(&t, TaskId(0), job, 11);
+            assert!(d >= t.bcet() && d <= t.wcet());
+        }
+    }
+
+    #[test]
+    fn mean_is_the_midpoint() {
+        let t = task(10, 90);
+        let n = 20_000u64;
+        let mean: f64 = (0..n)
+            .map(|j| UniformBetween.sample(&t, TaskId(0), j, 11).as_us_f64())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 50.0).abs() < 0.5, "mean {mean} != 50");
+    }
+
+    #[test]
+    fn covers_the_whole_range() {
+        let t = task(10, 90);
+        let mut saw_low = false;
+        let mut saw_high = false;
+        for job in 0..5_000 {
+            let us = UniformBetween.sample(&t, TaskId(0), job, 11).as_us_f64();
+            saw_low |= us < 14.0;
+            saw_high |= us > 86.0;
+        }
+        assert!(saw_low && saw_high, "uniform draws should reach both tails");
+    }
+
+    #[test]
+    fn degenerate_range_returns_wcet() {
+        let t = task(30, 30);
+        assert_eq!(UniformBetween.sample(&t, TaskId(0), 0, 0), Dur::from_us(30));
+    }
+}

@@ -1,0 +1,193 @@
+//! Synthetic task-set generation for parameter sweeps.
+//!
+//! The paper evaluates four fixed applications; the extension experiments
+//! (utilization sweeps in `lpfps-bench`) need unbiased random task sets.
+//! UUniFast (Bini & Buttazzo 2005) draws utilization vectors uniformly from
+//! the simplex `sum(U_i) = U`; periods are drawn log-uniformly so that task
+//! rates span orders of magnitude, as in real systems (and in the paper's
+//! INS workload, whose periods span 2.5 ms to seconds).
+
+use crate::rng::SplitMix64;
+use crate::task::Task;
+use crate::taskset::TaskSet;
+use crate::time::Dur;
+
+/// Parameters for random task-set generation.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Number of tasks.
+    pub n: usize,
+    /// Target total utilization, in `(0, 1]`.
+    pub total_utilization: f64,
+    /// Minimum period.
+    pub period_min: Dur,
+    /// Maximum period.
+    pub period_max: Dur,
+    /// BCET as a fraction of WCET, in `(0, 1]`.
+    pub bcet_fraction: f64,
+}
+
+impl GenConfig {
+    /// A reasonable default sweep cell: 8 tasks, U = 0.5, periods 1–100 ms,
+    /// BCET = WCET/2.
+    pub fn new(n: usize, total_utilization: f64) -> Self {
+        GenConfig {
+            n,
+            total_utilization,
+            period_min: Dur::from_ms(1),
+            period_max: Dur::from_ms(100),
+            bcet_fraction: 0.5,
+        }
+    }
+
+    /// Sets the period range.
+    pub fn with_periods(mut self, min: Dur, max: Dur) -> Self {
+        self.period_min = min;
+        self.period_max = max;
+        self
+    }
+
+    /// Sets the BCET fraction.
+    pub fn with_bcet_fraction(mut self, f: f64) -> Self {
+        self.bcet_fraction = f;
+        self
+    }
+}
+
+/// Draws a utilization vector with `sum = total` uniformly from the simplex
+/// (the UUniFast algorithm).
+///
+/// # Panics
+///
+/// Panics if `n` is zero or `total` is not in `(0, n]`.
+pub fn uunifast(n: usize, total: f64, rng: &mut SplitMix64) -> Vec<f64> {
+    assert!(n > 0, "need at least one task");
+    assert!(
+        total > 0.0 && total <= n as f64,
+        "total utilization must be in (0, n]"
+    );
+    let mut utils = Vec::with_capacity(n);
+    let mut sum = total;
+    for i in 1..n {
+        let next = sum * rng.next_f64_open().powf(1.0 / (n - i) as f64);
+        utils.push(sum - next);
+        sum = next;
+    }
+    utils.push(sum);
+    utils
+}
+
+/// Generates a random rate-monotonic task set matching `cfg`.
+///
+/// Per-task utilizations come from UUniFast; periods are log-uniform in
+/// `[period_min, period_max]`, rounded to whole microseconds; WCETs are
+/// `U_i * T_i` (at least 1 µs). Tasks whose drawn utilization is so small
+/// that the WCET rounds to zero get the 1 µs floor, slightly raising the
+/// realized utilization — negligible for sweep purposes.
+///
+/// # Panics
+///
+/// Panics if `cfg.period_min` is zero or exceeds `cfg.period_max`, or if
+/// the utilization/fraction fields are out of range.
+pub fn generate(cfg: &GenConfig, seed: u64) -> TaskSet {
+    assert!(!cfg.period_min.is_zero(), "minimum period must be positive");
+    assert!(
+        cfg.period_min <= cfg.period_max,
+        "period range must be ordered"
+    );
+    let mut rng = SplitMix64::new(seed ^ 0xC0FF_EE00_D15E_A5E5);
+    let utils = uunifast(cfg.n, cfg.total_utilization, &mut rng);
+    let log_min = (cfg.period_min.as_us() as f64).ln();
+    let log_max = (cfg.period_max.as_us() as f64).ln();
+    let tasks: Vec<Task> = utils
+        .iter()
+        .enumerate()
+        .map(|(i, &u)| {
+            let period_us = (log_min + (log_max - log_min) * rng.next_f64())
+                .exp()
+                .round()
+                .max(1.0) as u64;
+            let wcet_us = ((u * period_us as f64).round() as u64).clamp(1, period_us);
+            Task::new(
+                format!("gen{i}"),
+                Dur::from_us(period_us),
+                Dur::from_us(wcet_us),
+            )
+            .with_bcet_fraction(cfg.bcet_fraction)
+        })
+        .collect();
+    TaskSet::rate_monotonic(
+        format!("uunifast-n{}-u{:.2}", cfg.n, cfg.total_utilization),
+        tasks,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uunifast_sums_to_total() {
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..100 {
+            let u = uunifast(8, 0.7, &mut rng);
+            assert_eq!(u.len(), 8);
+            let sum: f64 = u.iter().sum();
+            assert!((sum - 0.7).abs() < 1e-9);
+            assert!(u.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn uunifast_single_task_gets_everything() {
+        let mut rng = SplitMix64::new(2);
+        assert_eq!(uunifast(1, 0.42, &mut rng), vec![0.42]);
+    }
+
+    #[test]
+    fn generated_set_is_close_to_target_utilization() {
+        let cfg = GenConfig::new(10, 0.6);
+        let ts = generate(&cfg, 99);
+        assert_eq!(ts.len(), 10);
+        // Rounding to whole-us WCETs perturbs utilization slightly.
+        assert!(
+            (ts.utilization() - 0.6).abs() < 0.05,
+            "U = {}",
+            ts.utilization()
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = GenConfig::new(6, 0.5);
+        assert_eq!(generate(&cfg, 7), generate(&cfg, 7));
+        assert_ne!(generate(&cfg, 7), generate(&cfg, 8));
+    }
+
+    #[test]
+    fn periods_respect_the_configured_range() {
+        let cfg = GenConfig::new(20, 0.5).with_periods(Dur::from_us(500), Dur::from_us(5_000));
+        let ts = generate(&cfg, 3);
+        for (_, t, _) in ts.iter() {
+            assert!(t.period() >= Dur::from_us(500) && t.period() <= Dur::from_us(5_000));
+        }
+    }
+
+    #[test]
+    fn bcet_fraction_is_applied() {
+        let cfg = GenConfig::new(5, 0.4).with_bcet_fraction(0.25);
+        let ts = generate(&cfg, 4);
+        for (_, t, _) in ts.iter() {
+            let ratio = t.bcet().as_ns() as f64 / t.wcet().as_ns() as f64;
+            // 1 us WCET floors can distort tiny tasks; allow slack.
+            assert!((0.2..=1.0).contains(&ratio), "ratio {ratio}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, n]")]
+    fn uunifast_rejects_overfull_total() {
+        let mut rng = SplitMix64::new(1);
+        let _ = uunifast(2, 2.5, &mut rng);
+    }
+}

@@ -1,0 +1,137 @@
+//! Counter-based deterministic random streams.
+//!
+//! Execution times must be **identical across scheduling policies** for the
+//! paper's comparison to be fair: Figure 8 compares FPS and LPFPS on the
+//! *same* realized workload. A stateful RNG consumed in simulation order
+//! would break that (policies visit jobs in different orders when idle
+//! periods differ), so each job's draw is derived statelessly from
+//! `(seed, task index, job index, draw index)` via SplitMix64. Any job's
+//! stream can be regenerated in isolation, in any order.
+
+/// A SplitMix64 pseudo-random stream (Steele, Lea & Flood; the standard
+/// seeding generator of the `rand` ecosystem), hand-rolled so draws are
+/// reproducible forever, independent of external crate versions.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a stream from a raw 64-bit state.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform double in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform double in the open interval `(0, 1)` (safe for `ln`).
+    pub fn next_f64_open(&mut self) -> f64 {
+        ((self.next_u64() >> 11) + 1) as f64 * (1.0 / ((1u64 << 53) as f64 + 2.0))
+    }
+
+    /// Two independent standard-normal draws via the Box–Muller transform.
+    ///
+    /// Hand-rolled because `rand_distr` is outside the approved dependency
+    /// set; Box–Muller is exact (no rejection loop), keeping the stream's
+    /// draw count fixed per job.
+    pub fn next_gaussian_pair(&mut self) -> (f64, f64) {
+        let u1 = self.next_f64_open();
+        let u2 = self.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * core::f64::consts::PI * u2;
+        (r * theta.cos(), r * theta.sin())
+    }
+}
+
+/// Derives the independent stream for one job's draws.
+///
+/// Mixes the components through SplitMix64 steps so that nearby
+/// `(task, job)` pairs land in uncorrelated regions of the state space.
+pub fn job_stream(seed: u64, task_index: usize, job_index: u64) -> SplitMix64 {
+    let mut s = SplitMix64::new(seed ^ 0xA076_1D64_78BD_642F);
+    let a = s.next_u64() ^ (task_index as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB);
+    let mut s = SplitMix64::new(a);
+    let b = s.next_u64() ^ job_index.wrapping_mul(0x8EBC_6AF0_9C88_C6E3);
+    SplitMix64::new(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_reproducible() {
+        let mut a = job_stream(42, 3, 17);
+        let mut b = job_stream(42, 3, 17);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn streams_differ_across_jobs_tasks_and_seeds() {
+        let base: Vec<u64> = (0..4).map(|_| job_stream(1, 0, 0).next_u64()).collect();
+        assert!(base.iter().all(|&x| x == base[0]));
+        assert_ne!(
+            job_stream(1, 0, 0).next_u64(),
+            job_stream(1, 0, 1).next_u64()
+        );
+        assert_ne!(
+            job_stream(1, 0, 0).next_u64(),
+            job_stream(1, 1, 0).next_u64()
+        );
+        assert_ne!(
+            job_stream(1, 0, 0).next_u64(),
+            job_stream(2, 0, 0).next_u64()
+        );
+    }
+
+    #[test]
+    fn uniform_doubles_live_in_unit_interval() {
+        let mut s = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let x = s.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = s.next_f64_open();
+            assert!(y > 0.0 && y < 1.0);
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_centered() {
+        let mut s = SplitMix64::new(99);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| s.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn gaussian_moments_are_standard() {
+        let mut s = SplitMix64::new(123);
+        let n = 50_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let (a, b) = s.next_gaussian_pair();
+            sum += a + b;
+            sum_sq += a * a + b * b;
+        }
+        let count = (2 * n) as f64;
+        let mean = sum / count;
+        let var = sum_sq / count - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.03, "variance {var} too far from 1");
+    }
+}

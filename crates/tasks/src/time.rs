@@ -1,0 +1,385 @@
+//! Integer time base for the deterministic discrete-event simulation.
+//!
+//! All simulation timestamps are absolute nanoseconds held in a [`Time`]
+//! newtype; all time spans are nanoseconds held in a [`Dur`] newtype. The
+//! paper quotes task parameters in microseconds, so both types provide
+//! microsecond constructors and accessors, but the nanosecond base leaves
+//! headroom to represent sub-microsecond artifacts exactly (e.g. the
+//! 10-cycle wake-up delay at 100 MHz is 100 ns).
+//!
+//! Keeping time integral (rather than `f64`) makes the simulator bit-exact
+//! and platform-independent: two runs with the same seed produce identical
+//! schedules, which the integration tests rely on.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+use serde::{Deserialize, Serialize};
+
+/// Nanoseconds per microsecond.
+pub const NS_PER_US: u64 = 1_000;
+/// Nanoseconds per millisecond.
+pub const NS_PER_MS: u64 = 1_000_000;
+/// Nanoseconds per second.
+pub const NS_PER_S: u64 = 1_000_000_000;
+
+/// An absolute simulation instant, in nanoseconds since simulation start.
+///
+/// # Examples
+///
+/// ```
+/// use lpfps_tasks::time::{Dur, Time};
+///
+/// let t = Time::from_us(160);
+/// assert_eq!(t + Dur::from_us(40), Time::from_us(200));
+/// assert_eq!(Time::from_us(200) - t, Dur::from_us(40));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Time(u64);
+
+/// A non-negative time span, in nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use lpfps_tasks::time::Dur;
+///
+/// let c = Dur::from_us(20);
+/// assert_eq!(c * 2, Dur::from_us(40));
+/// assert_eq!(c.as_us_f64(), 20.0);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Dur(u64);
+
+impl Time {
+    /// The simulation origin (t = 0).
+    pub const ZERO: Time = Time(0);
+    /// The largest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates an instant from nanoseconds since simulation start.
+    pub const fn from_ns(ns: u64) -> Self {
+        Time(ns)
+    }
+
+    /// Creates an instant from microseconds since simulation start.
+    pub const fn from_us(us: u64) -> Self {
+        Time(us * NS_PER_US)
+    }
+
+    /// Creates an instant from milliseconds since simulation start.
+    pub const fn from_ms(ms: u64) -> Self {
+        Time(ms * NS_PER_MS)
+    }
+
+    /// Nanoseconds since simulation start.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since simulation start, truncated.
+    pub const fn as_us(self) -> u64 {
+        self.0 / NS_PER_US
+    }
+
+    /// Microseconds since simulation start, as a float (for reporting only).
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / NS_PER_US as f64
+    }
+
+    /// Seconds since simulation start, as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NS_PER_S as f64
+    }
+
+    /// The span from `earlier` to `self`, or [`Dur::ZERO`] if `earlier` is later.
+    pub fn saturating_since(self, earlier: Time) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition; `None` on overflow.
+    pub fn checked_add(self, d: Dur) -> Option<Time> {
+        self.0.checked_add(d.0).map(Time)
+    }
+
+    /// Returns `self + d`, clamping at [`Time::MAX`] instead of overflowing.
+    pub fn saturating_add(self, d: Dur) -> Time {
+        Time(self.0.saturating_add(d.0))
+    }
+
+    /// Returns `self - d`, clamping at [`Time::ZERO`] instead of underflowing.
+    pub fn saturating_sub(self, d: Dur) -> Time {
+        Time(self.0.saturating_sub(d.0))
+    }
+}
+
+impl Dur {
+    /// The empty span.
+    pub const ZERO: Dur = Dur(0);
+    /// The largest representable span; used as an "unbounded" sentinel.
+    pub const MAX: Dur = Dur(u64::MAX);
+
+    /// Creates a span from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        Dur(ns)
+    }
+
+    /// Creates a span from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        Dur(us * NS_PER_US)
+    }
+
+    /// Creates a span from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        Dur(ms * NS_PER_MS)
+    }
+
+    /// Creates a span from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Dur(s * NS_PER_S)
+    }
+
+    /// The span in nanoseconds.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// The span in microseconds, truncated.
+    pub const fn as_us(self) -> u64 {
+        self.0 / NS_PER_US
+    }
+
+    /// The span in microseconds, as a float (for reporting only).
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / NS_PER_US as f64
+    }
+
+    /// The span in seconds, as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NS_PER_S as f64
+    }
+
+    /// True if the span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction: `self - rhs`, or [`Dur::ZERO`] if `rhs` is larger.
+    pub fn saturating_sub(self, rhs: Dur) -> Dur {
+        Dur(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition; `None` on overflow.
+    pub fn checked_add(self, rhs: Dur) -> Option<Dur> {
+        self.0.checked_add(rhs.0).map(Dur)
+    }
+
+    /// Checked multiplication by an integer factor; `None` on overflow.
+    pub fn checked_mul(self, k: u64) -> Option<Dur> {
+        self.0.checked_mul(k).map(Dur)
+    }
+
+    /// The smaller of two spans.
+    pub fn min(self, other: Dur) -> Dur {
+        Dur(self.0.min(other.0))
+    }
+
+    /// The larger of two spans.
+    pub fn max(self, other: Dur) -> Dur {
+        Dur(self.0.max(other.0))
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    fn add(self, rhs: Dur) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Dur> for Time {
+    type Output = Time;
+    fn sub(self, rhs: Dur) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Dur;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: Time) -> Dur {
+        Dur(self.0 - rhs.0)
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Dur {
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is larger than `self`.
+    fn sub(self, rhs: Dur) -> Dur {
+        Dur(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Dur {
+    fn sub_assign(&mut self, rhs: Dur) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Dur {
+    type Output = Dur;
+    fn mul(self, rhs: u64) -> Dur {
+        Dur(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Dur {
+    type Output = Dur;
+    fn div(self, rhs: u64) -> Dur {
+        Dur(self.0 / rhs)
+    }
+}
+
+impl Div<Dur> for Dur {
+    type Output = u64;
+    /// Integer quotient of two spans (how many `rhs` fit in `self`).
+    fn div(self, rhs: Dur) -> u64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Rem<Dur> for Dur {
+    type Output = Dur;
+    fn rem(self, rhs: Dur) -> Dur {
+        Dur(self.0 % rhs.0)
+    }
+}
+
+impl Sum for Dur {
+    fn sum<I: Iterator<Item = Dur>>(iter: I) -> Dur {
+        iter.fold(Dur::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        format_ns(self.0, f)
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        format_ns(self.0, f)
+    }
+}
+
+/// Renders a nanosecond count as microseconds with up to three decimals,
+/// dropping trailing zeros (`160us`, `0.1us`, `12.345us`).
+fn format_ns(ns: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let whole = ns / NS_PER_US;
+    let frac = ns % NS_PER_US;
+    if frac == 0 {
+        write!(f, "{whole}us")
+    } else {
+        let mut s = format!("{frac:03}");
+        while s.ends_with('0') {
+            s.pop();
+        }
+        write!(f, "{whole}.{s}us")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_roundtrips_units() {
+        assert_eq!(Time::from_us(5).as_ns(), 5_000);
+        assert_eq!(Time::from_ms(2).as_us(), 2_000);
+        assert_eq!(Dur::from_secs(1).as_ns(), NS_PER_S);
+    }
+
+    #[test]
+    fn arithmetic_is_consistent() {
+        let a = Time::from_us(100);
+        let b = Time::from_us(160);
+        assert_eq!(b - a, Dur::from_us(60));
+        assert_eq!(a + Dur::from_us(60), b);
+        assert_eq!(b - Dur::from_us(60), a);
+    }
+
+    #[test]
+    fn saturating_ops_clamp() {
+        assert_eq!(
+            Time::from_us(5).saturating_since(Time::from_us(9)),
+            Dur::ZERO
+        );
+        assert_eq!(
+            Time::from_us(9).saturating_since(Time::from_us(5)),
+            Dur::from_us(4)
+        );
+        assert_eq!(Dur::from_us(3).saturating_sub(Dur::from_us(5)), Dur::ZERO);
+        assert_eq!(Time::MAX.saturating_add(Dur::from_us(1)), Time::MAX);
+        assert_eq!(Time::from_us(1).saturating_sub(Dur::from_us(5)), Time::ZERO);
+    }
+
+    #[test]
+    fn div_and_rem_partition_a_span() {
+        let d = Dur::from_us(107);
+        let p = Dur::from_us(25);
+        assert_eq!(d / p, 4);
+        assert_eq!(d % p, Dur::from_us(7));
+        assert_eq!(p * (d / p) + d % p, d);
+    }
+
+    #[test]
+    fn display_is_compact_microseconds() {
+        assert_eq!(Time::from_us(160).to_string(), "160us");
+        assert_eq!(Dur::from_ns(100).to_string(), "0.1us");
+        assert_eq!(Dur::from_ns(12_345).to_string(), "12.345us");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Dur = [Dur::from_us(1), Dur::from_us(2), Dur::from_us(3)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Dur::from_us(6));
+    }
+
+    #[test]
+    fn checked_ops_detect_overflow() {
+        assert!(Time::MAX.checked_add(Dur::from_ns(1)).is_none());
+        assert!(Dur::MAX.checked_add(Dur::from_ns(1)).is_none());
+        assert!(Dur::MAX.checked_mul(2).is_none());
+        assert_eq!(Dur::from_us(3).checked_mul(4), Some(Dur::from_us(12)));
+    }
+}

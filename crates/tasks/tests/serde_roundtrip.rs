@@ -1,0 +1,55 @@
+//! Serde round-trips for the data-structure types (C-SERDE): task sets
+//! and analysis inputs must survive JSON persistence bit-exactly, because
+//! the experiment harness stores and reloads them.
+
+use lpfps_tasks::analysis::{response_times, RtaConfig};
+use lpfps_tasks::task::Task;
+use lpfps_tasks::taskset::TaskSet;
+use lpfps_tasks::time::{Dur, Time};
+
+fn table1() -> TaskSet {
+    TaskSet::rate_monotonic(
+        "table1",
+        vec![
+            Task::new("tau1", Dur::from_us(50), Dur::from_us(10)),
+            Task::new("tau2", Dur::from_us(80), Dur::from_us(20)).with_bcet(Dur::from_us(5)),
+            Task::new("tau3", Dur::from_us(100), Dur::from_us(40))
+                .with_deadline(Dur::from_us(90))
+                .with_phase(Dur::from_us(3)),
+        ],
+    )
+}
+
+#[test]
+fn taskset_roundtrips_through_json() {
+    let ts = table1();
+    let json = serde_json::to_string_pretty(&ts).expect("serialize");
+    let back: TaskSet = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(ts, back);
+    // Semantics preserved, not just structure: analysis agrees.
+    assert_eq!(
+        response_times(&ts, &RtaConfig::default()),
+        response_times(&back, &RtaConfig::default())
+    );
+}
+
+#[test]
+fn quantities_roundtrip_through_json() {
+    let d = Dur::from_ns(123_456_789);
+    let t = Time::from_ns(987_654_321);
+    let d2: Dur = serde_json::from_str(&serde_json::to_string(&d).unwrap()).unwrap();
+    let t2: Time = serde_json::from_str(&serde_json::to_string(&t).unwrap()).unwrap();
+    assert_eq!(d, d2);
+    assert_eq!(t, t2);
+}
+
+#[test]
+fn taskset_json_is_human_editable() {
+    // The shape users hand-edit for the `simulate --taskset` CLI flag:
+    // named fields, nanosecond integers.
+    let json = serde_json::to_value(table1()).unwrap();
+    assert_eq!(json["name"], "table1");
+    assert_eq!(json["tasks"][0]["name"], "tau1");
+    assert_eq!(json["tasks"][0]["period"], 50_000);
+    assert_eq!(json["priorities"][0], 0);
+}

@@ -1,0 +1,162 @@
+//! The data behind the paper's Figure 1: BCET/WCET ratios of embedded
+//! programs.
+//!
+//! The paper motivates LPFPS with measurements from R. Ernst and W. Ye,
+//! *Embedded program timing analysis based on path clustering and
+//! architecture classification* (ICCAD 1997): across embedded kernels the
+//! best-case execution time is often a small fraction of the worst case.
+//! The published figure is a bar chart without a numeric table; the
+//! entries below are representative ratios for the benchmark classes that
+//! the literature reports (data-independent DSP kernels near 1.0;
+//! data-dependent, control-heavy codes far below), and they drive the
+//! `fig1_bcet_ratio` reproduction binary and the BCET sweeps.
+
+use serde::{Deserialize, Serialize};
+
+/// One application's measured execution-time spread.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BcetRatio {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// BCET divided by WCET, in `(0, 1]`.
+    pub ratio: f64,
+    /// Coarse characterization used in the figure's discussion.
+    pub class: BenchmarkClass,
+}
+
+/// Why a benchmark's execution time does or does not vary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BenchmarkClass {
+    /// Fixed iteration counts, no data-dependent branches (DSP kernels).
+    DataIndependent,
+    /// Input-dependent control flow (compression, search, UI).
+    DataDependent,
+}
+
+/// The Figure-1 dataset: BCET/WCET ratios per application.
+///
+/// # Examples
+///
+/// ```
+/// let data = lpfps_workloads::bcet_ratios();
+/// assert!(data.iter().all(|b| b.ratio > 0.0 && b.ratio <= 1.0));
+/// // The spread motivating the paper: some applications run at under
+/// // 20% of their WCET in the best case.
+/// assert!(data.iter().any(|b| b.ratio < 0.2));
+/// ```
+pub fn bcet_ratios() -> &'static [BcetRatio] {
+    use BenchmarkClass::*;
+    const DATA: &[BcetRatio] = &[
+        BcetRatio {
+            name: "lattice_filter",
+            ratio: 0.94,
+            class: DataIndependent,
+        },
+        BcetRatio {
+            name: "fdct",
+            ratio: 0.86,
+            class: DataIndependent,
+        },
+        BcetRatio {
+            name: "fir_filter",
+            ratio: 0.78,
+            class: DataIndependent,
+        },
+        BcetRatio {
+            name: "whetstone",
+            ratio: 0.64,
+            class: DataIndependent,
+        },
+        BcetRatio {
+            name: "fft",
+            ratio: 0.57,
+            class: DataIndependent,
+        },
+        BcetRatio {
+            name: "lms_filter",
+            ratio: 0.56,
+            class: DataIndependent,
+        },
+        BcetRatio {
+            name: "matcnt",
+            ratio: 0.45,
+            class: DataDependent,
+        },
+        BcetRatio {
+            name: "stats",
+            ratio: 0.41,
+            class: DataDependent,
+        },
+        BcetRatio {
+            name: "smoothing",
+            ratio: 0.32,
+            class: DataDependent,
+        },
+        BcetRatio {
+            name: "compress",
+            ratio: 0.26,
+            class: DataDependent,
+        },
+        BcetRatio {
+            name: "motion_estimation",
+            ratio: 0.13,
+            class: DataDependent,
+        },
+        BcetRatio {
+            name: "insertion_sort",
+            ratio: 0.10,
+            class: DataDependent,
+        },
+    ];
+    DATA
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_are_in_unit_interval() {
+        for b in bcet_ratios() {
+            assert!(
+                b.ratio > 0.0 && b.ratio <= 1.0,
+                "{} ratio {}",
+                b.name,
+                b.ratio
+            );
+        }
+    }
+
+    #[test]
+    fn data_independent_kernels_vary_less() {
+        let data = bcet_ratios();
+        let avg = |class: BenchmarkClass| {
+            let xs: Vec<f64> = data
+                .iter()
+                .filter(|b| b.class == class)
+                .map(|b| b.ratio)
+                .collect();
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
+        assert!(avg(BenchmarkClass::DataIndependent) > avg(BenchmarkClass::DataDependent));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = bcet_ratios().iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), bcet_ratios().len());
+    }
+
+    #[test]
+    fn covers_the_papers_sweep_range() {
+        // Figure 8 sweeps BCET/WCET from 0.1 to 1.0; the Figure 1 data
+        // should span (most of) that range.
+        let data = bcet_ratios();
+        let min = data.iter().map(|b| b.ratio).fold(f64::MAX, f64::min);
+        let max = data.iter().map(|b| b.ratio).fold(f64::MIN, f64::max);
+        assert!(min <= 0.15);
+        assert!(max >= 0.9);
+    }
+}

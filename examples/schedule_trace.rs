@@ -1,0 +1,57 @@
+//! Inspecting a schedule: run the CNC machine controller under LPFPS with
+//! full event tracing, render the Gantt chart, and list every frequency
+//! change and power-down the scheduler performed.
+//!
+//! Run with: `cargo run --release --example schedule_trace`
+
+use lpfps::{LpfpsPolicy, SimConfig};
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_kernel::engine::simulate;
+use lpfps_kernel::gantt::Gantt;
+use lpfps_kernel::trace::TraceEvent;
+use lpfps_tasks::exec::PaperGaussian;
+use lpfps_tasks::time::{Dur, Time};
+use lpfps_workloads::cnc;
+
+fn main() {
+    let ts = cnc().with_bcet_fraction(0.4);
+    let cpu = CpuSpec::arm8();
+    let horizon = Dur::from_us(9_600); // one CNC hyperperiod
+    let cfg = SimConfig::new(horizon).with_seed(3).with_trace();
+
+    let report = simulate(&ts, &cpu, &mut LpfpsPolicy::new(), &PaperGaussian, &cfg);
+    assert!(report.all_deadlines_met(), "misses: {:?}", report.misses);
+    let trace = report.trace.as_ref().expect("tracing enabled");
+
+    println!("CNC controller, one hyperperiod ({horizon}) under LPFPS\n");
+    let gantt = Gantt::from_trace(trace, Time::ZERO + horizon);
+    print!("{}", gantt.render(&ts, 100));
+    println!("  (one column = 100us; '#' run, '~' ramp, 'z' power-down, '.' idle)\n");
+
+    println!("power management actions:");
+    for (t, e) in trace.iter() {
+        match e {
+            TraceEvent::RampStart { from, to } => println!("  {t:>10}  ramp {from} -> {to}"),
+            TraceEvent::EnterPowerDown { wake_at } => {
+                println!("  {t:>10}  power-down until {wake_at}")
+            }
+            _ => {}
+        }
+    }
+
+    println!();
+    println!("per-task worst/mean response vs deadline:");
+    for (id, task, _) in ts.iter() {
+        let stats = &report.responses[id.0];
+        println!(
+            "  {:<22} jobs={:<3} max={:<10} mean={:<10} deadline={}",
+            task.name(),
+            stats.completed,
+            stats.max_response.to_string(),
+            stats.mean_response().to_string(),
+            task.deadline()
+        );
+    }
+    println!();
+    print!("{}", report.render_detailed(&ts));
+}
