@@ -5,15 +5,13 @@
 //! the desired ratio *upward*, a coarser ladder wastes the gap between
 //! the ideal ratio and the next level — this ablation measures how much.
 //!
-//! Usage: `cargo run --release --bin ablation_ladder [--json out.json]`
+//! Usage: `cargo run --release --bin ablation_ladder -- [--json out.json]`
 
-use lpfps::driver::{run, PolicyKind};
-use lpfps_bench::maybe_write_json;
+use lpfps::driver::PolicyKind;
 use lpfps_cpu::ladder::FrequencyLadder;
 use lpfps_cpu::power::PowerModel;
 use lpfps_cpu::spec::CpuSpec;
-use lpfps_kernel::engine::SimConfig;
-use lpfps_tasks::exec::PaperGaussian;
+use lpfps_sweep::{run_sweep, Cell, Cli, ExecKind, SweepSpec};
 use lpfps_tasks::freq::Freq;
 use lpfps_workloads::applications;
 use serde::Serialize;
@@ -28,9 +26,30 @@ struct LadderCell {
 
 const STEPS_MHZ: [u64; 4] = [1, 4, 23, 92];
 
+fn ladder_cpu(step: u64) -> CpuSpec {
+    let ladder = FrequencyLadder::new(Freq::from_mhz(8), Freq::from_mhz(100), Freq::from_mhz(step));
+    CpuSpec::new(ladder, PowerModel::default(), 0.07, 10)
+}
+
 fn main() {
-    let exec = PaperGaussian;
-    let mut cells = Vec::new();
+    let parsed = Cli::new(
+        "ablation_ladder",
+        "frequency-ladder granularity: LPFPS power vs operating-point count",
+    )
+    .parse();
+
+    let mut spec = SweepSpec::new("ablation_ladder");
+    for ts in applications() {
+        for step in STEPS_MHZ {
+            spec.push(
+                Cell::new(ts.clone(), ladder_cpu(step), PolicyKind::Lpfps)
+                    .with_exec(ExecKind::PaperGaussian)
+                    .with_bcet_fraction(0.4)
+                    .with_seed(1),
+            );
+        }
+    }
+    let outcome = run_sweep(&spec, &parsed.run_options());
 
     println!("Frequency-ladder granularity ablation (LPFPS, BCET = 40% of WCET)\n");
     print!("{:<16}", "application");
@@ -39,19 +58,15 @@ fn main() {
     }
     println!("   (ladder step; 92 MHz = on/off DVS)");
 
+    let mut cells = Vec::new();
+    let mut rows = outcome.results.chunks(STEPS_MHZ.len());
     for ts in applications() {
-        let scaled = ts.with_bcet_fraction(0.4);
-        let horizon = lpfps_bench::experiment_horizon(&scaled);
+        let row = rows.next().unwrap();
         print!("{:<16}", ts.name());
         let mut prev = 0.0;
-        for step in STEPS_MHZ {
-            let ladder =
-                FrequencyLadder::new(Freq::from_mhz(8), Freq::from_mhz(100), Freq::from_mhz(step));
-            let cpu = CpuSpec::new(ladder, PowerModel::default(), 0.07, 10);
-            let cfg = SimConfig::new(horizon).with_seed(1);
-            let report = run(&scaled, &cpu, PolicyKind::Lpfps, &exec, &cfg);
-            assert!(report.all_deadlines_met(), "{} step {step}", ts.name());
-            let p = report.average_power();
+        for (result, step) in row.iter().zip(STEPS_MHZ) {
+            assert_eq!(result.misses, 0, "{} step {step}", ts.name());
+            let p = result.average_power;
             print!(" {:>10.4}", p);
             // Coarser ladders can only cost energy (upward quantization).
             assert!(
@@ -63,7 +78,7 @@ fn main() {
             cells.push(LadderCell {
                 app: ts.name().into(),
                 step_mhz: step,
-                levels: cpu.ladder().level_count(),
+                levels: ladder_cpu(step).ladder().level_count(),
                 lpfps_power: p,
             });
         }
@@ -74,5 +89,5 @@ fn main() {
     println!("a handful of levels captures most of the benefit: the jump from 93");
     println!("levels (1 MHz) to 24 (4 MHz) costs almost nothing, and even the");
     println!("2-level on/off ladder retains the power-down half of the saving.");
-    maybe_write_json(&cells);
+    parsed.emit(&cells, &outcome.metrics);
 }

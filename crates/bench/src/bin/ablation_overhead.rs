@@ -8,14 +8,12 @@
 //! (b) the measured power of FPS and LPFPS — overhead work is real work
 //! and burns real energy.
 //!
-//! Usage: `cargo run --release --bin ablation_overhead [--json out.json]`
+//! Usage: `cargo run --release --bin ablation_overhead -- [--json out.json]`
 
-use lpfps::driver::{run, PolicyKind};
-use lpfps_bench::maybe_write_json;
+use lpfps::driver::PolicyKind;
 use lpfps_cpu::spec::CpuSpec;
-use lpfps_kernel::engine::SimConfig;
+use lpfps_sweep::{run_sweep, Cell, Cli, ExecKind, SweepSpec};
 use lpfps_tasks::analysis::response_time::{response_times, RtaConfig};
-use lpfps_tasks::exec::PaperGaussian;
 use lpfps_tasks::time::Dur;
 use lpfps_workloads::applications;
 use serde::Serialize;
@@ -33,36 +31,52 @@ struct OverheadCell {
 const COSTS_US: [u64; 4] = [0, 1, 5, 20];
 
 fn main() {
-    let cpu = CpuSpec::arm8();
-    let exec = PaperGaussian;
-    let mut cells = Vec::new();
+    let parsed = Cli::new(
+        "ablation_overhead",
+        "context-switch cost vs RTA admission and measured power",
+    )
+    .parse();
+
+    // Two cells (FPS, LPFPS) per (app, cost), cost-major within each app.
+    let mut spec = SweepSpec::new("ablation_overhead");
+    for ts in applications() {
+        for cs in COSTS_US {
+            for policy in [PolicyKind::Fps, PolicyKind::Lpfps] {
+                spec.push(
+                    Cell::new(ts.clone(), CpuSpec::arm8(), policy)
+                        .with_exec(ExecKind::PaperGaussian)
+                        .with_bcet_fraction(0.5)
+                        .with_seed(1)
+                        .with_context_switch(Dur::from_us(cs)),
+                );
+            }
+        }
+    }
+    let outcome = run_sweep(&spec, &parsed.run_options());
 
     println!("Context-switch overhead ablation at BCET = 50% of WCET\n");
     println!(
         "{:<16} {:>6} {:>10} {:>10} {:>10} {:>8}",
         "application", "cs_us", "rta-ok", "fps", "lpfps", "misses"
     );
+    let mut cells = Vec::new();
+    let mut rows = outcome.results.chunks(2);
     for ts in applications() {
-        let scaled = ts.with_bcet_fraction(0.5);
-        let horizon = lpfps_bench::experiment_horizon(&scaled);
         for cs in COSTS_US {
+            let pair = rows.next().unwrap();
+            let (fps, lp) = (&pair[0], &pair[1]);
             let rta_cfg = RtaConfig::default().with_context_switch(Dur::from_us(cs));
             let rta_admits = response_times(&ts, &rta_cfg)
                 .iter()
                 .all(|o| o.is_schedulable());
-            let cfg = SimConfig::new(horizon)
-                .with_seed(1)
-                .with_context_switch(Dur::from_us(cs));
-            let fps = run(&scaled, &cpu, PolicyKind::Fps, &exec, &cfg);
-            let lp = run(&scaled, &cpu, PolicyKind::Lpfps, &exec, &cfg);
-            let misses = fps.misses.len() + lp.misses.len();
+            let misses = fps.misses + lp.misses;
             println!(
                 "{:<16} {:>6} {:>10} {:>10.4} {:>10.4} {:>8}",
                 ts.name(),
                 cs,
                 rta_admits,
-                fps.average_power(),
-                lp.average_power(),
+                fps.average_power,
+                lp.average_power,
                 misses
             );
             // Soundness: if the overhead-aware analysis admits the set, the
@@ -79,8 +93,8 @@ fn main() {
                 app: ts.name().into(),
                 context_switch_us: cs,
                 rta_admits,
-                fps_power: fps.average_power(),
-                lpfps_power: lp.average_power(),
+                fps_power: fps.average_power,
+                lpfps_power: lp.average_power,
                 misses,
             });
         }
@@ -90,5 +104,5 @@ fn main() {
     println!("where the overhead-aware RTA admits the set, zero misses were observed;");
     println!("power rises with overhead (context loads are real cycles), and CNC —");
     println!("whose WCETs are tens of microseconds — is the first to lose feasibility.");
-    maybe_write_json(&cells);
+    parsed.emit(&cells, &outcome.metrics);
 }

@@ -5,12 +5,11 @@
 //! plain FPS, full LPFPS, and the classical offline static slowdown, at
 //! BCET = 50 % of WCET on all four applications.
 //!
-//! Usage: `cargo run --release --bin ablation_policies [--json out.json]`
+//! Usage: `cargo run --release --bin ablation_policies -- [--json out.json]`
 
 use lpfps::driver::PolicyKind;
-use lpfps_bench::{maybe_write_json, power_cell, PowerCell};
 use lpfps_cpu::spec::CpuSpec;
-use lpfps_tasks::exec::PaperGaussian;
+use lpfps_sweep::{run_sweep, Cli, ExecKind, SweepSpec};
 use lpfps_workloads::applications;
 
 const POLICIES: [PolicyKind; 5] = [
@@ -23,9 +22,26 @@ const POLICIES: [PolicyKind; 5] = [
 const FRAC: f64 = 0.5;
 
 fn main() {
-    let cpu = CpuSpec::arm8();
-    let exec = PaperGaussian;
-    let mut cells: Vec<PowerCell> = Vec::new();
+    let parsed = Cli::new(
+        "ablation_policies",
+        "policy ablation: FPS / FPS+PD / static slowdown / DVS-only / LPFPS",
+    )
+    .parse();
+
+    let spec = SweepSpec::grid(
+        "ablation_policies",
+        &applications(),
+        &CpuSpec::arm8(),
+        &POLICIES,
+        &[FRAC],
+        &[1],
+        ExecKind::PaperGaussian,
+    );
+    let outcome = run_sweep(&spec, &parsed.run_options());
+    let cells = &outcome.results;
+    for c in cells {
+        assert_eq!(c.misses, 0, "{}/{} missed deadlines", c.app, c.policy);
+    }
 
     println!(
         "Policy ablation at BCET = {}% of WCET\n",
@@ -36,14 +52,14 @@ fn main() {
         print!(" {:>11}", p.name());
     }
     println!();
-
     for ts in applications() {
-        let horizon = lpfps_bench::experiment_horizon(&ts);
         print!("{:<16}", ts.name());
         for policy in POLICIES {
-            let cell = power_cell(&ts, &cpu, policy, &exec, FRAC, horizon, 1);
+            let cell = cells
+                .iter()
+                .find(|c| c.app == ts.name() && c.policy == policy.name())
+                .unwrap();
             print!(" {:>11.4}", cell.average_power);
-            cells.push(cell);
         }
         println!();
     }
@@ -76,5 +92,5 @@ fn main() {
         "static slowdown wins only what offline analysis can prove; LPFPS\n\
          reclaims the dynamic slack it cannot see."
     );
-    maybe_write_json(&cells);
+    parsed.emit(cells, &outcome.metrics);
 }

@@ -6,40 +6,61 @@
 //! This ablation measures the energy side (the scheduler-cost side is the
 //! `speed_ratio` Criterion bench), sweeping BCET on all four applications.
 //!
-//! Usage: `cargo run --release --bin ablation_ratio [--json out.json]`
+//! Usage: `cargo run --release --bin ablation_ratio -- [--json out.json]`
 
 use lpfps::driver::PolicyKind;
-use lpfps_bench::{maybe_write_json, power_cell, PowerCell, BCET_FRACTIONS};
+use lpfps_bench::BCET_FRACTIONS;
 use lpfps_cpu::spec::CpuSpec;
-use lpfps_tasks::exec::PaperGaussian;
+use lpfps_sweep::{run_sweep, Cli, ExecKind, SweepSpec};
 use lpfps_workloads::applications;
 
 fn main() {
-    let cpu = CpuSpec::arm8();
-    let exec = PaperGaussian;
-    let mut cells: Vec<PowerCell> = Vec::new();
+    let parsed = Cli::new(
+        "ablation_ratio",
+        "heuristic (Eq. 3) vs optimal (Eq. 2) speed-ratio energy",
+    )
+    .parse();
+
+    let spec = SweepSpec::grid(
+        "ablation_ratio",
+        &applications(),
+        &CpuSpec::arm8(),
+        &[PolicyKind::Lpfps, PolicyKind::LpfpsOptimal],
+        &BCET_FRACTIONS,
+        &[1],
+        ExecKind::PaperGaussian,
+    );
+    let outcome = run_sweep(&spec, &parsed.run_options());
+    let cells = &outcome.results;
+    for c in cells {
+        assert_eq!(c.misses, 0, "{}/{} missed deadlines", c.app, c.policy);
+    }
+    let get = |app: &str, pol: &str, frac: f64| {
+        cells
+            .iter()
+            .find(|c| c.app == app && c.policy == pol && (c.bcet_fraction - frac).abs() < 1e-9)
+            .unwrap()
+            .average_power
+    };
 
     println!("Heuristic vs optimal speed ratio (average power)\n");
     for ts in applications() {
-        let horizon = lpfps_bench::experiment_horizon(&ts);
         println!("== {} ==", ts.name());
         println!(
             "{:>6} {:>11} {:>11} {:>10}",
             "bcet%", "lpfps", "lpfps-opt", "opt gain"
         );
         for &frac in BCET_FRACTIONS.iter() {
-            let heu = power_cell(&ts, &cpu, PolicyKind::Lpfps, &exec, frac, horizon, 1);
-            let opt = power_cell(&ts, &cpu, PolicyKind::LpfpsOptimal, &exec, frac, horizon, 1);
-            let gain = 1.0 - opt.average_power / heu.average_power;
+            let heu = get(ts.name(), "lpfps", frac);
+            let opt = get(ts.name(), "lpfps-opt", frac);
+            let gain = 1.0 - opt / heu;
             println!(
                 "{:>6.0} {:>11.4} {:>11.4} {:>9.2}%",
                 frac * 100.0,
-                heu.average_power,
-                opt.average_power,
+                heu,
+                opt,
                 gain * 100.0
             );
-            cells.push(heu);
-            cells.push(opt);
         }
         println!();
     }
@@ -48,22 +69,11 @@ fn main() {
     // workloads whose windows dwarf the 10 us transition, and most for CNC
     // whose WCETs are comparable to it.
     let avg_gain = |app: &str| {
-        let pairs: Vec<(f64, f64)> = BCET_FRACTIONS
+        BCET_FRACTIONS
             .iter()
-            .map(|&f| {
-                let get = |p: &str| {
-                    cells
-                        .iter()
-                        .find(|c| {
-                            c.app == app && c.policy == p && (c.bcet_fraction - f).abs() < 1e-9
-                        })
-                        .unwrap()
-                        .average_power
-                };
-                (get("lpfps"), get("lpfps-opt"))
-            })
-            .collect();
-        pairs.iter().map(|(h, o)| 1.0 - o / h).sum::<f64>() / pairs.len() as f64
+            .map(|&f| 1.0 - get(app, "lpfps-opt", f) / get(app, "lpfps", f))
+            .sum::<f64>()
+            / BCET_FRACTIONS.len() as f64
     };
     for ts in applications() {
         let app = ts.name();
@@ -74,5 +84,5 @@ fn main() {
             "{app}: the optimal ratio should never cost energy materially"
         );
     }
-    maybe_write_json(&cells);
+    parsed.emit(cells, &outcome.metrics);
 }

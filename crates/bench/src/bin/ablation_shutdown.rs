@@ -7,14 +7,11 @@
 //! ablation quantifies the gap on every application, sweeping the idle
 //! timeout.
 //!
-//! Usage: `cargo run --release --bin ablation_shutdown [--json out.json]`
+//! Usage: `cargo run --release --bin ablation_shutdown -- [--json out.json]`
 
-use lpfps::{LpfpsPolicy, TimeoutShutdown};
-use lpfps_bench::maybe_write_json;
+use lpfps::driver::PolicyKind;
 use lpfps_cpu::spec::CpuSpec;
-use lpfps_kernel::engine::{simulate, SimConfig};
-use lpfps_kernel::policy::AlwaysFullSpeed;
-use lpfps_tasks::exec::PaperGaussian;
+use lpfps_sweep::{run_sweep, Cell, Cli, ExecKind, PolicyChoice, SweepSpec};
 use lpfps_tasks::time::Dur;
 use lpfps_workloads::applications;
 use serde::Serialize;
@@ -27,56 +24,72 @@ struct ShutdownCell {
     average_power: f64,
 }
 
+const TIMEOUTS_US: [u64; 4] = [50, 200, 1_000, 5_000];
+
 fn main() {
-    let cpu = CpuSpec::arm8();
-    let exec = PaperGaussian;
-    let timeouts_us: [u64; 4] = [50, 200, 1_000, 5_000];
-    let mut cells = Vec::new();
+    let parsed = Cli::new(
+        "ablation_shutdown",
+        "exact-knowledge power-down vs timeout shutdown (idle-gap ablation)",
+    )
+    .parse();
+
+    // Per app: FPS baseline, LPFPS's exact power-down (FPS+PD), then the
+    // timeout ladder — one column order per row of the printed table.
+    let choices: Vec<(PolicyChoice, Option<u64>, &str)> = [
+        (PolicyChoice::Kind(PolicyKind::Fps), None, "fps"),
+        (PolicyChoice::Kind(PolicyKind::FpsPd), None, "exact-pd"),
+    ]
+    .into_iter()
+    .chain(TIMEOUTS_US.iter().map(|&t| {
+        (
+            PolicyChoice::TimeoutShutdown(Dur::from_us(t)),
+            Some(t),
+            "timeout-pd",
+        )
+    }))
+    .collect();
+
+    let mut spec = SweepSpec::new("ablation_shutdown");
+    for ts in applications() {
+        for (choice, _, _) in &choices {
+            spec.push(
+                Cell::new(ts.clone(), CpuSpec::arm8(), *choice)
+                    .with_exec(ExecKind::PaperGaussian)
+                    .with_bcet_fraction(0.5)
+                    .with_seed(1),
+            );
+        }
+    }
+    let outcome = run_sweep(&spec, &parsed.run_options());
 
     println!("Idle shutdown ablation at BCET = 50% of WCET (average power)\n");
     print!("{:<16} {:>9} {:>9}", "application", "fps", "exact-pd");
-    for t in timeouts_us {
+    for t in TIMEOUTS_US {
         print!(" {:>8}us", t);
     }
     println!();
 
-    for ts in applications() {
-        let ts = ts.with_bcet_fraction(0.5);
-        let cfg = SimConfig::new(lpfps_bench::experiment_horizon(&ts)).with_seed(1);
-        let fps = simulate(&ts, &cpu, &mut AlwaysFullSpeed, &exec, &cfg);
-        let exact = simulate(&ts, &cpu, &mut LpfpsPolicy::power_down_only(), &exec, &cfg);
-        print!(
-            "{:<16} {:>9.4} {:>9.4}",
-            ts.name(),
-            fps.average_power(),
-            exact.average_power()
-        );
-        cells.push(ShutdownCell {
-            app: ts.name().into(),
-            policy: "fps".into(),
-            timeout_us: None,
-            average_power: fps.average_power(),
-        });
-        cells.push(ShutdownCell {
-            app: ts.name().into(),
-            policy: "exact-pd".into(),
-            timeout_us: None,
-            average_power: exact.average_power(),
-        });
-        for t in timeouts_us {
-            let mut pol = TimeoutShutdown::new(Dur::from_us(t));
-            let report = simulate(&ts, &cpu, &mut pol, &exec, &cfg);
-            assert!(report.all_deadlines_met());
-            // The timeout policy can never beat exact knowledge, and can
-            // never lose to plain FPS.
-            assert!(report.average_power() >= exact.average_power() - 1e-9);
-            assert!(report.average_power() <= fps.average_power() + 1e-9);
-            print!(" {:>10.4}", report.average_power());
+    let mut cells = Vec::new();
+    let per_app = choices.len();
+    for (app_index, ts) in applications().iter().enumerate() {
+        let row = &outcome.results[app_index * per_app..(app_index + 1) * per_app];
+        let fps = row[0].average_power;
+        let exact = row[1].average_power;
+        print!("{:<16} {:>9.4} {:>9.4}", ts.name(), fps, exact);
+        for (result, (_, timeout_us, name)) in row.iter().zip(&choices) {
+            assert_eq!(result.misses, 0, "{}/{} missed", result.app, result.policy);
+            if timeout_us.is_some() {
+                // The timeout policy can never beat exact knowledge, and
+                // can never lose to plain FPS.
+                assert!(result.average_power >= exact - 1e-9);
+                assert!(result.average_power <= fps + 1e-9);
+                print!(" {:>10.4}", result.average_power);
+            }
             cells.push(ShutdownCell {
-                app: ts.name().into(),
-                policy: "timeout-pd".into(),
-                timeout_us: Some(t),
-                average_power: report.average_power(),
+                app: result.app.clone(),
+                policy: name.to_string(),
+                timeout_us: *timeout_us,
+                average_power: result.average_power,
             });
         }
         println!();
@@ -84,14 +97,13 @@ fn main() {
 
     println!();
     println!("idle-gap distributions (why timeouts hurt short-gap workloads):");
-    for ts in applications() {
-        let ts = ts.with_bcet_fraction(0.5);
-        let cfg = SimConfig::new(lpfps_bench::experiment_horizon(&ts)).with_seed(1);
-        let report = simulate(&ts, &cpu, &mut AlwaysFullSpeed, &exec, &cfg);
+    for (app_index, ts) in applications().iter().enumerate() {
+        // The FPS report is the first cell of each app's row.
+        let report = &outcome.reports[app_index * per_app];
         println!("  {:<16} {}", ts.name(), report.idle_gaps);
     }
     println!();
     println!("exact-pd <= timeout-pd <= fps verified for every timeout; the gap");
     println!("widens with the timeout, worst where idle intervals are short (CNC).");
-    maybe_write_json(&cells);
+    parsed.emit(&cells, &outcome.metrics);
 }

@@ -9,13 +9,11 @@
 //! delay-queue head makes the window length *exact*, so the choice is
 //! trivially safe).
 //!
-//! Usage: `cargo run --release --bin ablation_sleep_modes [--json out.json]`
+//! Usage: `cargo run --release --bin ablation_sleep_modes -- [--json out.json]`
 
-use lpfps::driver::{run, PolicyKind};
-use lpfps_bench::maybe_write_json;
+use lpfps::driver::PolicyKind;
 use lpfps_cpu::spec::CpuSpec;
-use lpfps_kernel::engine::SimConfig;
-use lpfps_tasks::exec::PaperGaussian;
+use lpfps_sweep::{run_sweep, Cell, Cli, ExecKind, SweepSpec};
 use lpfps_workloads::applications;
 use serde::Serialize;
 
@@ -28,45 +26,63 @@ struct ModeCell {
     gain: f64,
 }
 
+const FRACTIONS: [f64; 3] = [0.2, 0.6, 1.0];
+
 fn main() {
-    let single = CpuSpec::arm8();
-    let multi = CpuSpec::arm8_multimode();
-    let exec = PaperGaussian;
-    let mut cells = Vec::new();
+    let parsed = Cli::new(
+        "ablation_sleep_modes",
+        "single sleep mode vs the full PowerPC-style mode family under LPFPS",
+    )
+    .parse();
+
+    // Pairs of cells differing only in the processor's sleep-mode family.
+    let mut spec = SweepSpec::new("ablation_sleep_modes");
+    for ts in applications() {
+        for frac in FRACTIONS {
+            for cpu in [CpuSpec::arm8(), CpuSpec::arm8_multimode()] {
+                spec.push(
+                    Cell::new(ts.clone(), cpu, PolicyKind::Lpfps)
+                        .with_exec(ExecKind::PaperGaussian)
+                        .with_bcet_fraction(frac)
+                        .with_seed(1),
+                );
+            }
+        }
+    }
+    let outcome = run_sweep(&spec, &parsed.run_options());
 
     println!("Sleep-mode family ablation: LPFPS average power\n");
     println!(
         "{:<16} {:>6} {:>12} {:>12} {:>8}",
         "application", "bcet%", "single-mode", "multi-mode", "gain"
     );
+    let mut cells = Vec::new();
+    let mut pairs = outcome.results.chunks(2);
     for ts in applications() {
-        let horizon = lpfps_bench::experiment_horizon(&ts);
-        for frac in [0.2, 0.6, 1.0] {
-            let scaled = ts.with_bcet_fraction(frac);
-            let cfg = SimConfig::new(horizon).with_seed(1);
-            let a = run(&scaled, &single, PolicyKind::Lpfps, &exec, &cfg);
-            let b = run(&scaled, &multi, PolicyKind::Lpfps, &exec, &cfg);
-            assert!(a.all_deadlines_met() && b.all_deadlines_met());
-            let gain = 1.0 - b.average_power() / a.average_power();
+        for frac in FRACTIONS {
+            let pair = pairs.next().unwrap();
+            let (single, multi) = (&pair[0], &pair[1]);
+            assert_eq!(single.misses + multi.misses, 0, "{} missed", ts.name());
+            let gain = 1.0 - multi.average_power / single.average_power;
             println!(
                 "{:<16} {:>6.0} {:>12.4} {:>12.4} {:>7.2}%",
                 ts.name(),
                 frac * 100.0,
-                a.average_power(),
-                b.average_power(),
+                single.average_power,
+                multi.average_power,
                 gain * 100.0
             );
             // The richer family can only help: the paper's mode is in it.
             assert!(
-                b.average_power() <= a.average_power() + 1e-9,
+                multi.average_power <= single.average_power + 1e-9,
                 "{}: more modes must not cost energy",
                 ts.name()
             );
             cells.push(ModeCell {
                 app: ts.name().into(),
                 bcet_fraction: frac,
-                single_mode: a.average_power(),
-                multi_mode: b.average_power(),
+                single_mode: single.average_power,
+                multi_mode: multi.average_power,
                 gain,
             });
         }
@@ -77,5 +93,5 @@ fn main() {
     println!("for deep sleep's 100us relock (avionics, flight control, INS) and");
     println!("vanishes where gaps are short; safety is unaffected because the");
     println!("window length is exact (delay-queue head), never predicted.");
-    maybe_write_json(&cells);
+    parsed.emit(&cells, &outcome.metrics);
 }

@@ -9,14 +9,12 @@
 //! the simulation: wherever the analysis (with `J = tick`) admits the
 //! set, the tick-driven run must not miss.
 //!
-//! Usage: `cargo run --release --bin ablation_tick [--json out.json]`
+//! Usage: `cargo run --release --bin ablation_tick -- [--json out.json]`
 
-use lpfps::driver::{run, PolicyKind};
-use lpfps_bench::maybe_write_json;
+use lpfps::driver::PolicyKind;
 use lpfps_cpu::spec::CpuSpec;
-use lpfps_kernel::engine::SimConfig;
+use lpfps_sweep::{run_sweep, Cell, Cli, ExecKind, SweepSpec};
 use lpfps_tasks::analysis::{response_times, RtaConfig};
-use lpfps_tasks::exec::PaperGaussian;
 use lpfps_tasks::time::Dur;
 use lpfps_workloads::applications;
 use serde::Serialize;
@@ -33,19 +31,37 @@ struct TickCell {
 const TICKS_US: [u64; 4] = [0, 100, 1_000, 10_000]; // 0 = event-driven
 
 fn main() {
-    let cpu = CpuSpec::arm8();
-    let exec = PaperGaussian;
-    let mut cells = Vec::new();
+    let parsed = Cli::new(
+        "ablation_tick",
+        "tick-driven vs event-driven kernel, cross-checked against jitter RTA",
+    )
+    .parse();
+
+    let mut spec = SweepSpec::new("ablation_tick");
+    for ts in applications() {
+        for tick_us in TICKS_US {
+            let mut cell = Cell::new(ts.clone(), CpuSpec::arm8(), PolicyKind::Lpfps)
+                .with_exec(ExecKind::PaperGaussian)
+                .with_bcet_fraction(0.5)
+                .with_seed(1);
+            if tick_us > 0 {
+                cell = cell.with_tick(Dur::from_us(tick_us));
+            }
+            spec.push(cell);
+        }
+    }
+    let outcome = run_sweep(&spec, &parsed.run_options());
 
     println!("Tick-driven kernel ablation (LPFPS, BCET = 50% of WCET)\n");
     println!(
         "{:<16} {:>8} {:>8} {:>10} {:>8}",
         "application", "tick_us", "rta-ok", "lpfps", "misses"
     );
+    let mut cells = Vec::new();
+    let mut rows = outcome.results.chunks(TICKS_US.len());
     for ts in applications() {
-        let scaled = ts.with_bcet_fraction(0.5);
-        let horizon = lpfps_bench::experiment_horizon(&scaled);
-        for tick_us in TICKS_US {
+        let row = rows.next().unwrap();
+        for (result, tick_us) in row.iter().zip(TICKS_US) {
             let rta_admits = if tick_us == 0 {
                 true
             } else {
@@ -56,23 +72,17 @@ fn main() {
                 .iter()
                 .all(|o| o.is_schedulable())
             };
-            let mut cfg = SimConfig::new(horizon).with_seed(1);
-            if tick_us > 0 {
-                cfg = cfg.with_tick(Dur::from_us(tick_us));
-            }
-            let report = run(&scaled, &cpu, PolicyKind::Lpfps, &exec, &cfg);
-            let misses = report.misses.len();
             println!(
                 "{:<16} {:>8} {:>8} {:>10.4} {:>8}",
                 ts.name(),
                 tick_us,
                 rta_admits,
-                report.average_power(),
-                misses
+                result.average_power,
+                result.misses
             );
             if rta_admits {
                 assert_eq!(
-                    misses,
+                    result.misses,
                     0,
                     "{}: jitter-RTA admitted tick {tick_us}us but the run missed",
                     ts.name()
@@ -82,8 +92,8 @@ fn main() {
                 app: ts.name().into(),
                 tick_us,
                 rta_admits,
-                lpfps_power: report.average_power(),
-                misses,
+                lpfps_power: result.average_power,
+                misses: result.misses,
             });
         }
         println!();
@@ -93,5 +103,5 @@ fn main() {
     println!("meets every deadline; power is essentially tick-independent (the");
     println!("kernel defers *noticing* work, not doing it), while CNC — with");
     println!("millisecond periods — is the first to lose admission as ticks grow.");
-    maybe_write_json(&cells);
+    parsed.emit(&cells, &outcome.metrics);
 }

@@ -3,10 +3,15 @@
 //!
 //! Usage: `cargo run --release --bin fig1_bcet_ratio [--json out.json]`
 
-use lpfps_bench::maybe_write_json;
+use lpfps_sweep::Cli;
 use lpfps_workloads::{bcet_ratios, BenchmarkClass};
 
 fn main() {
+    let parsed = Cli::new(
+        "fig1_bcet_ratio",
+        "Figure 1: BCET/WCET ratio per application (Ernst & Ye data)",
+    )
+    .parse();
     println!("Figure 1: BCET/WCET ratio per application");
     println!("{:<20} {:>8}  {:<16} bar", "application", "ratio", "class");
     for b in bcet_ratios() {
@@ -30,5 +35,5 @@ fn main() {
         "ratios span {min:.2}..{max:.2}: execution times frequently deviate far \
          below the WCET, the slack LPFPS reclaims"
     );
-    maybe_write_json(&bcet_ratios().to_vec());
+    parsed.write_json(&bcet_ratios().to_vec());
 }

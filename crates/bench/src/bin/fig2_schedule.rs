@@ -104,6 +104,12 @@ fn print_snapshot(label: &str, trace: &Trace, at: Time) {
 }
 
 fn main() {
+    // No outputs beyond stdout, but the shared CLI still rejects typos.
+    let _ = lpfps_sweep::Cli::new(
+        "fig2_schedule",
+        "Figures 2/3/5: Table 1 schedules and queue snapshots",
+    )
+    .parse();
     let ts = table1();
     let cpu = CpuSpec::arm8();
     let horizon = Dur::from_us(400);

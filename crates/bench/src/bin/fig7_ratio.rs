@@ -9,7 +9,7 @@
 //! Usage: `cargo run --release --bin fig7_ratio [--json out.json]`
 
 use lpfps::speed::{r_heu, r_opt};
-use lpfps_bench::maybe_write_json;
+use lpfps_sweep::Cli;
 use lpfps_tasks::time::Dur;
 use serde::Serialize;
 
@@ -27,6 +27,11 @@ const WINDOWS_US: [u64; 13] = [
 const HEURISTIC_LEVELS: [f64; 9] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
 
 fn main() {
+    let parsed = Cli::new(
+        "fig7_ratio",
+        "Figure 7: optimal (Eq. 2) vs heuristic (Eq. 3) speed ratio",
+    )
+    .parse();
     println!("Figure 7: optimal ratio vs heuristic ratio (rho = {RHO}/us)");
     print!("{:>9}", "t_a-t_c");
     for r in HEURISTIC_LEVELS {
@@ -64,5 +69,5 @@ fn main() {
         .map(|p| p.r_heu - p.r_opt)
         .fold(f64::MIN, f64::max);
     println!("largest heuristic overshoot: {worst:.3}");
-    maybe_write_json(&points);
+    parsed.write_json(&points);
 }

@@ -6,57 +6,52 @@
 //! the average normalized power of FPS and LPFPS is measured; the final
 //! column gives LPFPS's power reduction relative to FPS at the same BCET.
 //!
-//! Usage: `cargo run --release --bin fig8_power [--json out.json] [--seeds N]`
+//! Usage: `cargo run --release --bin fig8_power -- [--json out.json]
+//! [--seeds N] [--threads N] [--help]` (see `lpfps_sweep::Cli`).
 
 use lpfps::driver::PolicyKind;
-use lpfps_bench::{maybe_write_json, power_cell, render_power_table, PowerCell, BCET_FRACTIONS};
+use lpfps_bench::{render_power_table, PowerCell, BCET_FRACTIONS};
 use lpfps_cpu::spec::CpuSpec;
-use lpfps_tasks::exec::PaperGaussian;
+use lpfps_sweep::{run_sweep, CellResult, Cli, ExecKind, SweepSpec};
 use lpfps_workloads::applications;
 
-fn seeds_from_args() -> u64 {
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--seeds" {
-            return args
-                .next()
-                .and_then(|s| s.parse().ok())
-                .expect("--seeds requires a number");
-        }
-    }
-    3
-}
-
 fn main() {
-    let cpu = CpuSpec::arm8();
-    let exec = PaperGaussian;
-    let n_seeds = seeds_from_args();
-    let mut cells: Vec<PowerCell> = Vec::new();
+    let parsed = Cli::new(
+        "fig8_power",
+        "Figure 8: average power of FPS vs LPFPS over the BCET/WCET sweep",
+    )
+    .default_seeds(3)
+    .parse();
 
-    for ts in applications() {
-        let horizon = lpfps_bench::experiment_horizon(&ts);
-        eprintln!("{}: horizon {horizon}, {n_seeds} seeds", ts.name());
-        for &frac in BCET_FRACTIONS.iter() {
-            for policy in [PolicyKind::Fps, PolicyKind::Lpfps] {
-                // Average the metric across seeds; correctness (zero
-                // misses) is asserted per seed inside power_cell.
-                let mut acc = 0.0;
-                let mut misses = 0;
-                for seed in 0..n_seeds {
-                    let cell = power_cell(&ts, &cpu, policy, &exec, frac, horizon, seed);
-                    acc += cell.average_power;
-                    misses += cell.misses;
-                }
-                cells.push(PowerCell {
-                    app: ts.name().to_string(),
-                    policy: policy.name().to_string(),
-                    bcet_fraction: frac,
-                    average_power: acc / n_seeds as f64,
-                    misses,
-                });
-            }
-        }
+    let spec = SweepSpec::grid(
+        "fig8_power",
+        &applications(),
+        &CpuSpec::arm8(),
+        &[PolicyKind::Fps, PolicyKind::Lpfps],
+        &BCET_FRACTIONS,
+        &parsed.seed_list(),
+        ExecKind::PaperGaussian,
+    );
+    let outcome = run_sweep(&spec, &parsed.run_options());
+
+    // Correctness first (previously asserted per seed inside power_cell):
+    // these sets are schedulable, so no policy may miss at any seed.
+    for r in &outcome.results {
+        assert_eq!(
+            r.misses, 0,
+            "{}/{} missed at seed {}",
+            r.app, r.policy, r.seed
+        );
     }
+
+    // The Figure-8 metric averages power across seeds per (app, policy,
+    // fraction); the grid puts seeds innermost, so each group is one
+    // contiguous chunk of the spec-ordered results.
+    let cells: Vec<PowerCell> = outcome
+        .results
+        .chunks(parsed.seeds as usize)
+        .map(|group| PowerCell::mean_over_seeds(&group.iter().collect::<Vec<&CellResult>>()))
+        .collect();
 
     println!("Figure 8: average power (1.0 = busy at full speed), FPS vs LPFPS\n");
     for ts in applications() {
@@ -107,5 +102,5 @@ fn main() {
     println!("(paper: up to 62% for INS; see EXPERIMENTS.md for the metric discussion)");
     println!("\nall Figure 8 qualitative claims verified.");
 
-    maybe_write_json(&cells);
+    parsed.emit(&cells, &outcome.metrics);
 }

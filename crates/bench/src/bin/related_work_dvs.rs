@@ -2,7 +2,7 @@
 //!
 //! The paper dismisses the AVR heuristic (Yao et al.) for the same reason
 //! it dismisses static schedules: "average-rate requirements are computed
-//! statically with fixed numbers of execution cycles, [so] the same
+//! statically with fixed numbers of execution cycles, \[so\] the same
 //! problem occurs when variations of execution time exist." This
 //! experiment makes that argument quantitative in Yao's own idealized
 //! model (continuous speeds, free transitions, free idle):
@@ -21,12 +21,12 @@
 //!
 //! Usage: `cargo run --release --bin related_work_dvs [--json out.json]`
 
-use lpfps_bench::maybe_write_json;
 use lpfps_cpu::ladder::FrequencyLadder;
 use lpfps_cpu::power::PowerModel;
 use lpfps_edf::{
     simulate_edf, simulate_edf_full_speed, DiscreteSchedule, JobSet, SpeedProfile, YdsSchedule,
 };
+use lpfps_sweep::Cli;
 use lpfps_tasks::exec::{AlwaysWcet, PaperGaussian};
 use lpfps_tasks::freq::Freq;
 use lpfps_tasks::taskset::TaskSet;
@@ -51,6 +51,11 @@ fn edf_horizon(ts: &TaskSet) -> Dur {
 }
 
 fn main() {
+    let parsed = Cli::new(
+        "related_work_dvs",
+        "SS2.2 dynamic-priority DVS baselines: EDF@1, AVR, YDS, discrete levels",
+    )
+    .parse();
     let power = PowerModel::default();
     let mut cells = Vec::new();
 
@@ -169,5 +174,5 @@ fn main() {
 
     println!("\nAVR's static rates leave the dynamic slack on the table — the gap");
     println!("run-time reclamation (LPFPS) exists to harvest.");
-    maybe_write_json(&cells);
+    parsed.write_json(&cells);
 }

@@ -1,44 +1,47 @@
-//! Renders the paper's Figure 8 panels (and the utilization sweep) as
-//! standalone SVG charts from freshly measured data.
+//! Renders the paper's Figure 8 panels as standalone SVG charts from
+//! freshly measured data.
 //!
-//! Usage: `cargo run --release --bin report_svg [--out results]`
+//! Usage: `cargo run --release --bin report_svg -- [--out results]`
 //!
-//! Writes `fig8_<app>.svg` (average power vs BCET fraction, FPS vs LPFPS)
-//! and `sweep_utilization.svg`.
+//! Writes `fig8_<app>.svg` (average power vs BCET fraction, FPS vs LPFPS).
 
 use lpfps::driver::PolicyKind;
 use lpfps_bench::chart::{render_line_chart, ChartSpec, Series};
-use lpfps_bench::{power_cell, BCET_FRACTIONS};
+use lpfps_bench::BCET_FRACTIONS;
 use lpfps_cpu::spec::CpuSpec;
-use lpfps_tasks::exec::PaperGaussian;
+use lpfps_sweep::{run_sweep, Cli, ExecKind, SweepSpec};
 use lpfps_workloads::applications;
 
-fn out_dir() -> String {
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--out" {
-            return args.next().expect("--out requires a directory");
-        }
-    }
-    "results".to_string()
-}
-
 fn main() {
-    let dir = out_dir();
+    let parsed = Cli::new("report_svg", "render Figure 8 panels as SVG charts")
+        .opt_default("--out", "DIR", "output directory", "results")
+        .parse();
+    let dir = parsed.value("--out").unwrap().to_string();
     std::fs::create_dir_all(&dir).expect("create output directory");
-    let cpu = CpuSpec::arm8();
-    let exec = PaperGaussian;
+
+    let spec = SweepSpec::grid(
+        "report_svg",
+        &applications(),
+        &CpuSpec::arm8(),
+        &[PolicyKind::Fps, PolicyKind::Lpfps],
+        &BCET_FRACTIONS,
+        &[1],
+        ExecKind::PaperGaussian,
+    );
+    let outcome = run_sweep(&spec, &parsed.run_options());
+    for r in &outcome.results {
+        assert_eq!(r.misses, 0, "{}/{} missed deadlines", r.app, r.policy);
+    }
 
     for ts in applications() {
-        let horizon = lpfps_bench::experiment_horizon(&ts);
-        let mut fps_pts = Vec::new();
-        let mut lp_pts = Vec::new();
-        for &frac in BCET_FRACTIONS.iter() {
-            let fps = power_cell(&ts, &cpu, PolicyKind::Fps, &exec, frac, horizon, 1);
-            let lp = power_cell(&ts, &cpu, PolicyKind::Lpfps, &exec, frac, horizon, 1);
-            fps_pts.push((frac, fps.average_power));
-            lp_pts.push((frac, lp.average_power));
-        }
+        let points = |policy: &str| -> Vec<(f64, f64)> {
+            outcome
+                .results
+                .iter()
+                .filter(|r| r.app == ts.name() && r.policy == policy)
+                .map(|r| (r.bcet_fraction, r.average_power))
+                .collect()
+        };
         let spec = ChartSpec {
             title: format!("Figure 8: {} — average power vs BCET/WCET", ts.name()),
             x_label: "BCET as a fraction of WCET".into(),
@@ -50,12 +53,12 @@ fn main() {
             &[
                 Series {
                     label: "FPS".into(),
-                    points: fps_pts,
+                    points: points("fps"),
                     color: "#d62728".into(),
                 },
                 Series {
                     label: "LPFPS".into(),
-                    points: lp_pts,
+                    points: points("lpfps"),
                     color: "#1f77b4".into(),
                 },
             ],
@@ -64,4 +67,5 @@ fn main() {
         std::fs::write(&path, svg).expect("write svg");
         println!("wrote {path}");
     }
+    parsed.emit(&outcome.results, &outcome.metrics);
 }

@@ -7,68 +7,24 @@
 //! cargo run --release --bin simulate -- \
 //!     [--app avionics|ins|flight_control|cnc|table1 | --taskset <file.json>] \
 //!     [--policy fps|fps-pd|static|lpfps-dvs|lpfps|lpfps-opt] \
-//!     [--bcet <fraction 0..1>] [--seed <n>] [--horizon-ms <n>] [--gantt <us-per-col>]
+//!     [--bcet <fraction 0..1>] [--seed <n>] [--horizon-ms <n>] \
+//!     [--gantt <us-per-col>] [--json <out.json>]
 //! ```
 //!
 //! `--taskset` loads a JSON task set (the serde form of
-//! [`TaskSet`](lpfps_tasks::taskset::TaskSet); see
+//! [`lpfps_tasks::taskset::TaskSet`]; see
 //! `examples/data/custom_taskset.json` for the shape).
 
-use lpfps::driver::{default_horizon, run, PolicyKind};
-use lpfps::SimConfig;
+use lpfps::driver::PolicyKind;
 use lpfps_cpu::spec::CpuSpec;
 use lpfps_kernel::gantt::Gantt;
-use lpfps_tasks::exec::PaperGaussian;
+use lpfps_sweep::{run_sweep, Cell, Cli, ExecKind, SweepSpec};
 use lpfps_tasks::taskset::TaskSet;
 use lpfps_tasks::time::{Dur, Time};
 
-struct Args {
-    app: String,
-    taskset_file: Option<String>,
-    policy: String,
-    bcet: f64,
-    seed: u64,
-    horizon_ms: Option<u64>,
-    gantt: Option<u64>,
-}
-
-fn parse_args() -> Args {
-    let mut args = Args {
-        app: "table1".into(),
-        taskset_file: None,
-        policy: "lpfps".into(),
-        bcet: 0.5,
-        seed: 0,
-        horizon_ms: None,
-        gantt: None,
-    };
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .unwrap_or_else(|| panic!("{name} requires a value"))
-        };
-        match flag.as_str() {
-            "--app" => args.app = value("--app"),
-            "--taskset" => args.taskset_file = Some(value("--taskset")),
-            "--policy" => args.policy = value("--policy"),
-            "--bcet" => args.bcet = value("--bcet").parse().expect("--bcet takes a fraction"),
-            "--seed" => args.seed = value("--seed").parse().expect("--seed takes an integer"),
-            "--horizon-ms" => {
-                args.horizon_ms = Some(value("--horizon-ms").parse().expect("integer ms"))
-            }
-            "--gantt" => args.gantt = Some(value("--gantt").parse().expect("us per column")),
-            "--help" | "-h" => {
-                println!(
-                    "usage: simulate [--app NAME | --taskset FILE.json] [--policy NAME] \
-                     [--bcet F] [--seed N] [--horizon-ms N] [--gantt US_PER_COL]"
-                );
-                std::process::exit(0);
-            }
-            other => panic!("unknown flag {other}; try --help"),
-        }
-    }
-    args
+fn die(msg: impl std::fmt::Display) -> ! {
+    eprintln!("simulate: {msg}");
+    std::process::exit(2);
 }
 
 fn workload(name: &str) -> TaskSet {
@@ -78,7 +34,9 @@ fn workload(name: &str) -> TaskSet {
         "flight_control" => lpfps_workloads::flight_control(),
         "cnc" => lpfps_workloads::cnc(),
         "table1" => lpfps_workloads::table1(),
-        other => panic!("unknown app {other}; see --help"),
+        other => die(format_args!(
+            "unknown app `{other}` (expected avionics, ins, flight_control, cnc, or table1)"
+        )),
     }
 }
 
@@ -86,43 +44,96 @@ fn policy(name: &str) -> PolicyKind {
     PolicyKind::ALL
         .into_iter()
         .find(|k| k.name() == name)
-        .unwrap_or_else(|| panic!("unknown policy {name}; see --help"))
+        .unwrap_or_else(|| {
+            let names: Vec<_> = PolicyKind::ALL.iter().map(|k| k.name()).collect();
+            die(format_args!(
+                "unknown policy `{name}` (expected one of: {})",
+                names.join(", ")
+            ))
+        })
 }
 
 fn main() {
-    let args = parse_args();
-    let base = match &args.taskset_file {
-        Some(path) => {
-            let body =
-                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-            serde_json::from_str::<TaskSet>(&body)
-                .unwrap_or_else(|e| panic!("{path} is not a valid task-set JSON: {e}"))
-        }
-        None => workload(&args.app),
-    };
-    let ts = base.with_bcet_fraction(args.bcet);
-    let kind = policy(&args.policy);
-    let cpu = CpuSpec::arm8();
-    let horizon = args
-        .horizon_ms
-        .map(Dur::from_ms)
-        .unwrap_or_else(|| default_horizon(&ts));
-    let mut cfg = SimConfig::new(horizon).with_seed(args.seed);
-    if args.gantt.is_some() {
-        cfg = cfg.with_trace();
-    }
+    let parsed = Cli::new(
+        "simulate",
+        "run one simulation cell and print the full report",
+    )
+    .opt_default("--app", "NAME", "named application workload", "table1")
+    .opt("--taskset", "FILE", "load a task-set JSON instead of --app")
+    .opt_default("--policy", "NAME", "scheduling policy", "lpfps")
+    .opt_default("--bcet", "F", "BCET as a fraction of WCET", "0.5")
+    .opt_default("--seed", "N", "execution-time seed", "0")
+    .opt("--horizon-ms", "N", "simulation horizon in milliseconds")
+    .opt(
+        "--gantt",
+        "US_PER_COL",
+        "render a Gantt chart from the trace",
+    )
+    .parse();
 
+    let base = match parsed.value("--taskset") {
+        Some(path) => {
+            let body = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| die(format_args!("cannot read {path}: {e}")));
+            serde_json::from_str::<TaskSet>(&body)
+                .unwrap_or_else(|e| die(format_args!("{path} is not a valid task-set JSON: {e}")))
+        }
+        None => workload(parsed.value("--app").unwrap()),
+    };
+    let bcet: f64 = parsed
+        .value("--bcet")
+        .unwrap()
+        .parse()
+        .unwrap_or_else(|_| die("flag `--bcet` takes a fraction in 0..=1"));
+    if !(0.0..=1.0).contains(&bcet) {
+        die("flag `--bcet` takes a fraction in 0..=1");
+    }
+    let seed: u64 = parsed
+        .value("--seed")
+        .unwrap()
+        .parse()
+        .unwrap_or_else(|_| die("flag `--seed` takes a non-negative integer"));
+    let gantt: Option<u64> = parsed.value("--gantt").map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| die("flag `--gantt` takes microseconds per column"))
+    });
+
+    let mut cell = Cell::new(
+        base.clone(),
+        CpuSpec::arm8(),
+        policy(parsed.value("--policy").unwrap()),
+    )
+    .with_exec(ExecKind::PaperGaussian)
+    .with_bcet_fraction(bcet)
+    .with_seed(seed);
+    if let Some(ms) = parsed.value("--horizon-ms") {
+        let ms = ms
+            .parse()
+            .unwrap_or_else(|_| die("flag `--horizon-ms` takes an integer"));
+        cell = cell.with_horizon(Dur::from_ms(ms));
+    }
+    if gantt.is_some() {
+        cell = cell.with_trace();
+    }
+    let horizon = cell.effective_horizon(parsed.horizon_scale);
+
+    let mut spec = SweepSpec::new("simulate");
+    spec.push(cell);
+    let outcome = run_sweep(&spec, &parsed.run_options());
+    let report = &outcome.reports[0];
+
+    let ts = base.with_bcet_fraction(bcet);
     println!("{ts}");
-    let report = run(&ts, &cpu, kind, &PaperGaussian, &cfg);
     print!("{}", report.render_detailed(&ts));
     if !report.all_deadlines_met() {
         println!("  DEADLINE MISSES: {:?}", report.misses);
     }
-    if let (Some(cols), Some(trace)) = (args.gantt, report.trace.as_ref()) {
+    if let (Some(cols), Some(trace)) = (gantt, report.trace.as_ref()) {
         println!();
         print!(
             "{}",
             Gantt::from_trace(trace, Time::ZERO + horizon).render(&ts, cols)
         );
     }
+    parsed.emit(&outcome.results, &outcome.metrics);
 }

@@ -8,15 +8,11 @@
 //! periods), keep the RM-schedulable ones, and measure both policies at
 //! BCET = 50 % of WCET.
 //!
-//! Usage: `cargo run --release --bin sweep_utilization [--json out.json]`
+//! Usage: `cargo run --release --bin sweep_utilization -- [--json out.json]`
 
-use lpfps::driver::{default_horizon, run, PolicyKind};
-use lpfps_bench::maybe_write_json;
+use lpfps::driver::PolicyKind;
 use lpfps_cpu::spec::CpuSpec;
-use lpfps_kernel::engine::SimConfig;
-use lpfps_tasks::analysis::rta_schedulable;
-use lpfps_tasks::exec::PaperGaussian;
-use lpfps_tasks::gen::{generate, GenConfig};
+use lpfps_sweep::{run_sweep, Cli, ExecKind, SweepSpec};
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -32,46 +28,56 @@ const UTILIZATIONS: [f64; 8] = [0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
 const SETS_PER_POINT: usize = 8;
 
 fn main() {
-    let cpu = CpuSpec::arm8();
-    let exec = PaperGaussian;
-    let mut points = Vec::new();
+    let parsed = Cli::new(
+        "sweep_utilization",
+        "LPFPS gain vs utilization on synthetic UUniFast task sets",
+    )
+    .parse();
+
+    let spec = SweepSpec::utilization(
+        "sweep_utilization",
+        &CpuSpec::arm8(),
+        &UTILIZATIONS,
+        SETS_PER_POINT,
+        8,
+        &[PolicyKind::Fps, PolicyKind::Lpfps],
+        0.5,
+        ExecKind::PaperGaussian,
+    );
+    let outcome = run_sweep(&spec, &parsed.run_options());
+    for r in &outcome.results {
+        assert_eq!(r.misses, 0, "{}/{} missed deadlines", r.app, r.policy);
+    }
 
     println!("Utilization sweep: 8-task UUniFast sets, BCET = 50% WCET\n");
     println!(
         "{:>5} {:>6} {:>11} {:>11} {:>10}",
         "U", "#sets", "fps", "lpfps", "reduction"
     );
-    for u in UTILIZATIONS {
-        let mut fps_acc = 0.0;
-        let mut lp_acc = 0.0;
-        let mut kept = 0usize;
-        let mut seed = 0u64;
-        while kept < SETS_PER_POINT && seed < 200 {
-            seed += 1;
-            let cfg_gen = GenConfig::new(8, u).with_bcet_fraction(0.5);
-            let ts = generate(&cfg_gen, seed ^ (u * 1000.0) as u64);
-            if !rta_schedulable(&ts) {
-                continue;
-            }
-            kept += 1;
-            let cfg = SimConfig::new(default_horizon(&ts)).with_seed(seed);
-            let fps = run(&ts, &cpu, PolicyKind::Fps, &exec, &cfg);
-            let lp = run(&ts, &cpu, PolicyKind::Lpfps, &exec, &cfg);
-            assert!(fps.all_deadlines_met() && lp.all_deadlines_met());
-            fps_acc += fps.average_power();
-            lp_acc += lp.average_power();
-        }
-        assert!(kept > 0, "no schedulable sets at U={u}");
-        let fps_power = fps_acc / kept as f64;
-        let lpfps_power = lp_acc / kept as f64;
+    // The builder emits one (fps, lpfps) pair per kept set, utilization-major.
+    let mut points = Vec::new();
+    let per_point = SETS_PER_POINT * 2;
+    for (chunk, u) in outcome.results.chunks(per_point).zip(UTILIZATIONS) {
+        let fps_power = chunk
+            .iter()
+            .filter(|r| r.policy == "fps")
+            .map(|r| r.average_power)
+            .sum::<f64>()
+            / SETS_PER_POINT as f64;
+        let lpfps_power = chunk
+            .iter()
+            .filter(|r| r.policy == "lpfps")
+            .map(|r| r.average_power)
+            .sum::<f64>()
+            / SETS_PER_POINT as f64;
         let reduction = 1.0 - lpfps_power / fps_power;
         println!(
-            "{u:>5.1} {kept:>6} {fps_power:>11.4} {lpfps_power:>11.4} {:>9.1}%",
+            "{u:>5.1} {SETS_PER_POINT:>6} {fps_power:>11.4} {lpfps_power:>11.4} {:>9.1}%",
             reduction * 100.0
         );
         points.push(SweepPoint {
             utilization: u,
-            sets: kept,
+            sets: SETS_PER_POINT,
             fps_power,
             lpfps_power,
             reduction,
@@ -90,5 +96,5 @@ fn main() {
         assert!(p.reduction > 0.0, "LPFPS should win at U={}", p.utilization);
     }
     println!("\nFPS power tracks utilization; LPFPS wins at every load level.");
-    maybe_write_json(&points);
+    parsed.emit(&points, &outcome.metrics);
 }

@@ -2,10 +2,11 @@
 //!
 //! Usage: `cargo run --release --bin table2_summary [--json out.json]`
 
-use lpfps_bench::maybe_write_json;
+use lpfps_sweep::Cli;
 use lpfps_workloads::{applications, table2};
 
 fn main() {
+    let parsed = Cli::new("table2_summary", "Table 2: the experiment task sets").parse();
     println!("Table 2: task sets for experiments");
     println!(
         "{:<16} {:>7} {:>22} {:>12}",
@@ -26,5 +27,5 @@ fn main() {
     for ts in &apps {
         println!("{ts}");
     }
-    maybe_write_json(&table2());
+    parsed.write_json(&table2());
 }

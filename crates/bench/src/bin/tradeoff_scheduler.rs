@@ -17,13 +17,11 @@
 //! heuristic; CNC (windows comparable to the 10 µs ramp) holds out
 //! longest, exactly as §5 anticipates.
 //!
-//! Usage: `cargo run --release --bin tradeoff_scheduler [--json out.json]`
+//! Usage: `cargo run --release --bin tradeoff_scheduler -- [--json out.json]`
 
-use lpfps::driver::{run, PolicyKind};
-use lpfps_bench::maybe_write_json;
+use lpfps::driver::PolicyKind;
 use lpfps_cpu::spec::CpuSpec;
-use lpfps_kernel::engine::SimConfig;
-use lpfps_tasks::exec::PaperGaussian;
+use lpfps_sweep::{run_sweep, Cell, Cli, ExecKind, SweepSpec};
 use lpfps_tasks::time::Dur;
 use lpfps_workloads::applications;
 use serde::Serialize;
@@ -44,9 +42,33 @@ const HEU_COST_NS: u64 = 100;
 const OPT_COSTS_NS: [u64; 4] = [100, 1_000, 5_000, 20_000];
 
 fn main() {
-    let cpu = CpuSpec::arm8();
-    let exec = PaperGaussian;
-    let mut cells = Vec::new();
+    let parsed = Cli::new(
+        "tradeoff_scheduler",
+        "SS5 trade-off: heuristic vs optimal ratio with scheduler cost charged",
+    )
+    .parse();
+
+    // Per app: one heuristic reference cell, then the optimal-cost ladder.
+    let mut spec = SweepSpec::new("tradeoff_scheduler");
+    for ts in applications() {
+        spec.push(
+            Cell::new(ts.clone(), CpuSpec::arm8(), PolicyKind::Lpfps)
+                .with_exec(ExecKind::PaperGaussian)
+                .with_bcet_fraction(0.4)
+                .with_seed(1)
+                .with_ratio_overhead(Dur::from_ns(HEU_COST_NS)),
+        );
+        for opt_ns in OPT_COSTS_NS {
+            spec.push(
+                Cell::new(ts.clone(), CpuSpec::arm8(), PolicyKind::LpfpsOptimal)
+                    .with_exec(ExecKind::PaperGaussian)
+                    .with_bcet_fraction(0.4)
+                    .with_seed(1)
+                    .with_ratio_overhead(Dur::from_ns(opt_ns)),
+            );
+        }
+    }
+    let outcome = run_sweep(&spec, &parsed.run_options());
 
     println!("SS5 trade-off: heuristic vs optimal ratio with scheduler cost charged\n");
     println!("(BCET = 40% of WCET; heuristic charged {HEU_COST_NS} ns per slow-down)\n");
@@ -54,36 +76,30 @@ fn main() {
         "{:<16} {:>9} {:>11} {:>11} {:>9} {:>7}",
         "application", "opt_ns", "heuristic", "optimal", "opt wins", "misses"
     );
+    let mut cells = Vec::new();
+    let mut rows = outcome.results.chunks(1 + OPT_COSTS_NS.len());
     for ts in applications() {
-        let scaled = ts.with_bcet_fraction(0.4);
-        let horizon = lpfps_bench::experiment_horizon(&scaled);
-        let heu_cfg = SimConfig::new(horizon)
-            .with_seed(1)
-            .with_ratio_overhead(Dur::from_ns(HEU_COST_NS));
-        let heu = run(&scaled, &cpu, PolicyKind::Lpfps, &exec, &heu_cfg);
-        assert!(heu.all_deadlines_met(), "{} heuristic", ts.name());
-        for opt_ns in OPT_COSTS_NS {
-            let opt_cfg = SimConfig::new(horizon)
-                .with_seed(1)
-                .with_ratio_overhead(Dur::from_ns(opt_ns));
-            let opt = run(&scaled, &cpu, PolicyKind::LpfpsOptimal, &exec, &opt_cfg);
-            let wins = opt.average_power() < heu.average_power();
+        let row = rows.next().unwrap();
+        let heu = &row[0];
+        assert_eq!(heu.misses, 0, "{} heuristic", ts.name());
+        for (opt, opt_ns) in row[1..].iter().zip(OPT_COSTS_NS) {
+            let wins = opt.average_power < heu.average_power;
             println!(
                 "{:<16} {:>9} {:>11.5} {:>11.5} {:>9} {:>7}",
                 ts.name(),
                 opt_ns,
-                heu.average_power(),
-                opt.average_power(),
+                heu.average_power,
+                opt.average_power,
                 wins,
-                opt.misses.len()
+                opt.misses
             );
             cells.push(TradeoffCell {
                 app: ts.name().into(),
                 overhead_ns: opt_ns,
-                heuristic_power: heu.average_power(),
-                optimal_power: opt.average_power(),
+                heuristic_power: heu.average_power,
+                optimal_power: opt.average_power,
                 optimal_wins: wins,
-                misses: opt.misses.len(),
+                misses: opt.misses,
             });
         }
         println!();
@@ -114,5 +130,5 @@ fn main() {
     println!("millisecond-scale workloads (ins, avionics, flight), while CNC —");
     println!("whose windows rival the 10us ramp, exactly SS5's scenario — keeps");
     println!("a sliver of benefit. The paper's choice of the heuristic stands.");
-    maybe_write_json(&cells);
+    parsed.emit(&cells, &outcome.metrics);
 }

@@ -23,17 +23,18 @@
 //! | `sweep_utilization`   | synthetic UUniFast utilization sweep |
 //! | `simulate`            | ad-hoc CLI (named apps or `--taskset file.json`) |
 //!
-//! Each binary prints a human-readable table to stdout, asserts its own
-//! qualitative claims, and, when invoked with `--json <path>`, emits
-//! machine-readable results for EXPERIMENTS.md regeneration.
+//! Each binary prints a human-readable table to stdout and asserts its own
+//! qualitative claims. Simulation grids are declared as
+//! [`lpfps_sweep::SweepSpec`]s and executed by the multi-threaded
+//! [`lpfps_sweep::run_sweep`] runner; every binary shares the
+//! [`lpfps_sweep::Cli`] flags (`--json`, `--metrics`, `--threads`,
+//! `--seeds`, `--horizon-scale`, `--quiet` — see `README.md`), so
+//! `--json <path>` emits machine-readable results for EXPERIMENTS.md
+//! regeneration and unknown flags are hard errors everywhere.
 
 pub mod chart;
 
-use lpfps::driver::{power_reduction, run, PolicyKind};
-use lpfps_cpu::spec::CpuSpec;
-use lpfps_kernel::engine::SimConfig;
-use lpfps_kernel::report::SimReport;
-use lpfps_tasks::exec::ExecModel;
+use lpfps_sweep::CellResult;
 use lpfps_tasks::taskset::TaskSet;
 use lpfps_tasks::time::Dur;
 use serde::Serialize;
@@ -41,7 +42,8 @@ use serde::Serialize;
 /// The BCET/WCET fractions swept in Figure 8 (10 % steps).
 pub const BCET_FRACTIONS: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
 
-/// One measured cell of a power experiment.
+/// One measured cell of a power experiment, possibly aggregated across
+/// seeds (the Figure-8 table averages power over the seed list).
 #[derive(Debug, Clone, Serialize)]
 pub struct PowerCell {
     /// Application name.
@@ -57,40 +59,39 @@ pub struct PowerCell {
 }
 
 impl PowerCell {
-    /// Builds a cell from a finished report.
-    pub fn from_report(report: &SimReport, bcet_fraction: f64) -> Self {
+    /// Builds a cell from a single sweep result.
+    pub fn from_result(result: &CellResult) -> Self {
         PowerCell {
-            app: report.taskset.clone(),
-            policy: report.policy.clone(),
-            bcet_fraction,
-            average_power: report.average_power(),
-            misses: report.misses.len(),
+            app: result.app.clone(),
+            policy: result.policy.clone(),
+            bcet_fraction: result.bcet_fraction,
+            average_power: result.average_power,
+            misses: result.misses,
         }
     }
-}
 
-/// Runs one `(app, policy, BCET fraction)` cell and asserts its
-/// correctness invariant (no deadline misses on these schedulable sets).
-pub fn power_cell(
-    ts: &TaskSet,
-    cpu: &CpuSpec,
-    policy: PolicyKind,
-    exec: &dyn ExecModel,
-    frac: f64,
-    horizon: Dur,
-    seed: u64,
-) -> PowerCell {
-    let scaled = ts.with_bcet_fraction(frac);
-    let cfg = SimConfig::new(horizon).with_seed(seed);
-    let report = run(&scaled, cpu, policy, exec, &cfg);
-    assert!(
-        report.all_deadlines_met(),
-        "{} under {} at BCET {frac} missed deadlines: {:?}",
-        ts.name(),
-        policy,
-        report.misses
-    );
-    PowerCell::from_report(&report, frac)
+    /// Averages power (and sums misses) over one `(app, policy, fraction)`
+    /// group of per-seed results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is empty or mixes apps/policies/fractions.
+    pub fn mean_over_seeds(group: &[&CellResult]) -> Self {
+        let first = group.first().expect("non-empty seed group");
+        assert!(
+            group.iter().all(|r| r.app == first.app
+                && r.policy == first.policy
+                && r.bcet_fraction == first.bcet_fraction),
+            "seed group must share (app, policy, fraction)"
+        );
+        PowerCell {
+            app: first.app.clone(),
+            policy: first.policy.clone(),
+            bcet_fraction: first.bcet_fraction,
+            average_power: group.iter().map(|r| r.average_power).sum::<f64>() / group.len() as f64,
+            misses: group.iter().map(|r| r.misses).sum(),
+        }
+    }
 }
 
 /// Formats a Figure-8-style table: one row per BCET fraction, one column
@@ -126,21 +127,6 @@ pub fn render_power_table(app: &str, policies: &[&str], cells: &[PowerCell]) -> 
     out
 }
 
-/// Writes `values` as pretty JSON to `path` if the user passed
-/// `--json <path>` on the command line.
-pub fn maybe_write_json<T: Serialize>(values: &T) {
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--json" {
-            let path = args.next().expect("--json requires a path");
-            let body = serde_json::to_string_pretty(values).expect("results serialize");
-            std::fs::write(&path, body).unwrap_or_else(|e| panic!("write {path}: {e}"));
-            eprintln!("wrote {path}");
-            return;
-        }
-    }
-}
-
 /// The per-application simulation horizons used by the power experiments:
 /// long enough to sample several of the longest periods (and whole
 /// hyperperiods where reachable) while keeping the full Figure-8 sweep in
@@ -149,80 +135,66 @@ pub fn experiment_horizon(ts: &TaskSet) -> Dur {
     lpfps::driver::default_horizon(ts)
 }
 
-/// Convenience: FPS-vs-LPFPS reduction for one app/fraction (the paper's
-/// headline metric).
-pub fn fps_vs_lpfps(
-    ts: &TaskSet,
-    cpu: &CpuSpec,
-    exec: &dyn ExecModel,
-    frac: f64,
-    seed: u64,
-) -> (PowerCell, PowerCell, f64) {
-    let horizon = experiment_horizon(ts);
-    let scaled = ts.with_bcet_fraction(frac);
-    let cfg = SimConfig::new(horizon).with_seed(seed);
-    let fps = run(&scaled, cpu, PolicyKind::Fps, exec, &cfg);
-    let lpfps = run(&scaled, cpu, PolicyKind::Lpfps, exec, &cfg);
-    let red = power_reduction(&fps, &lpfps);
-    (
-        PowerCell::from_report(&fps, frac),
-        PowerCell::from_report(&lpfps, frac),
-        red,
-    )
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lpfps_tasks::exec::AlwaysWcet;
+    use lpfps::driver::PolicyKind;
+    use lpfps_cpu::spec::CpuSpec;
+    use lpfps_sweep::{run_sweep, ExecKind, RunOptions, SweepSpec};
+
+    fn cells_for(policies: &[PolicyKind], fractions: &[f64], seed: u64) -> Vec<CellResult> {
+        let ts = lpfps_workloads::table1();
+        let spec = SweepSpec::grid(
+            "bench-test",
+            std::slice::from_ref(&ts),
+            &CpuSpec::arm8(),
+            policies,
+            fractions,
+            &[seed],
+            ExecKind::PaperGaussian,
+        );
+        run_sweep(&spec, &RunOptions::serial()).results
+    }
 
     #[test]
-    fn power_cell_runs_and_checks_deadlines() {
-        let ts = lpfps_workloads::table1();
-        let cpu = CpuSpec::arm8();
-        let cell = power_cell(
-            &ts,
-            &cpu,
-            PolicyKind::Fps,
-            &AlwaysWcet,
-            1.0,
-            Dur::from_us(800),
-            0,
-        );
+    fn power_cell_from_result_checks_out() {
+        let results = cells_for(&[PolicyKind::Fps], &[1.0], 0);
+        let cell = PowerCell::from_result(&results[0]);
         assert_eq!(cell.app, "table1");
         assert_eq!(cell.policy, "fps");
-        assert!((cell.average_power - 0.88).abs() < 1e-6);
+        assert!(cell.average_power > 0.5 && cell.average_power <= 1.0);
         assert_eq!(cell.misses, 0);
     }
 
     #[test]
-    fn table_renderer_includes_all_fractions() {
+    fn mean_over_seeds_averages_power_and_sums_misses() {
         let ts = lpfps_workloads::table1();
-        let cpu = CpuSpec::arm8();
-        let mut cells = Vec::new();
-        for &f in BCET_FRACTIONS.iter() {
-            for p in [PolicyKind::Fps, PolicyKind::Lpfps] {
-                cells.push(power_cell(
-                    &ts,
-                    &cpu,
-                    p,
-                    &lpfps_tasks::exec::PaperGaussian,
-                    f,
-                    Dur::from_us(800),
-                    1,
-                ));
-            }
-        }
-        let table = render_power_table("table1", &["fps", "lpfps"], &cells);
-        assert!(table.contains("== table1 =="));
-        assert_eq!(table.lines().count(), 2 + BCET_FRACTIONS.len());
+        let spec = SweepSpec::grid(
+            "bench-test",
+            std::slice::from_ref(&ts),
+            &CpuSpec::arm8(),
+            &[PolicyKind::Lpfps],
+            &[0.5],
+            &[0, 1, 2],
+            ExecKind::PaperGaussian,
+        );
+        let results = run_sweep(&spec, &RunOptions::serial()).results;
+        let group: Vec<&CellResult> = results.iter().collect();
+        let mean = PowerCell::mean_over_seeds(&group);
+        let expected = results.iter().map(|r| r.average_power).sum::<f64>() / results.len() as f64;
+        assert!((mean.average_power - expected).abs() < 1e-12);
+        assert_eq!(mean.misses, 0);
     }
 
     #[test]
-    fn fps_vs_lpfps_reports_positive_reduction() {
-        let ts = lpfps_workloads::table1();
-        let cpu = CpuSpec::arm8();
-        let (_, _, red) = fps_vs_lpfps(&ts, &cpu, &lpfps_tasks::exec::PaperGaussian, 0.5, 3);
-        assert!(red > 0.0);
+    fn table_renderer_includes_all_fractions() {
+        let cells: Vec<PowerCell> =
+            cells_for(&[PolicyKind::Fps, PolicyKind::Lpfps], &BCET_FRACTIONS, 1)
+                .iter()
+                .map(PowerCell::from_result)
+                .collect();
+        let table = render_power_table("table1", &["fps", "lpfps"], &cells);
+        assert!(table.contains("== table1 =="));
+        assert_eq!(table.lines().count(), 2 + BCET_FRACTIONS.len());
     }
 }

@@ -1,6 +1,6 @@
 //! Discrete-voltage scheduling: the Ishihara–Yasuura theorem.
 //!
-//! Reference [16] of the paper (*Voltage scheduling problem for dynamically
+//! Reference \[16\] of the paper (*Voltage scheduling problem for dynamically
 //! variable voltage processors*, ISLPED 1998) proves that on a processor
 //! with finitely many voltage levels, the minimum-energy way to execute a
 //! given amount of work in a given time uses **at most two levels, and

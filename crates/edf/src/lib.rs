@@ -5,11 +5,11 @@
 //! Systems* (Shin & Choi, DAC 1999):
 //!
 //! * the **YDS optimal offline** speed schedule of Yao, Demers & Shenker
-//!   (the paper's reference [14]) — [`yds::YdsSchedule`];
+//!   (the paper’s reference \[14\]) — [`yds::YdsSchedule`];
 //! * the **AVR (Average Rate) heuristic** from the same work —
 //!   [`profile::SpeedProfile::avr`] executed by the EDF simulator in
 //!   [`sim`];
-//! * the **Ishihara–Yasuura discrete-voltage theorem** (reference [16]):
+//! * the **Ishihara–Yasuura discrete-voltage theorem** (reference \[16\]):
 //!   realizing a continuous schedule on a finite frequency ladder with at
 //!   most two adjacent levels per segment — [`discrete`];
 //! * a full-speed EDF baseline for reference.

@@ -1,5 +1,5 @@
 //! The YDS optimal offline speed schedule (Yao, Demers & Shenker, FOCS
-//! 1995) — reference [14] of the paper.
+//! 1995) — reference \[14\] of the paper.
 //!
 //! Given a finite job set and a convex power function, the minimum-energy
 //! feasible speed schedule repeatedly finds the *critical interval*

@@ -281,6 +281,7 @@ impl<'a> Engine<'a> {
             if self.now >= self.horizon_end {
                 break;
             }
+            self.counters.events += 1;
             self.handle_events(policy);
         }
         if let Some(start) = self.gap_start.take() {
@@ -615,6 +616,7 @@ impl<'a> Engine<'a> {
     }
 
     fn full_pass(&mut self, policy: &mut dyn PowerPolicy) {
+        self.counters.sched_passes += 1;
         // L8-L11: preemption / dispatch.
         if let Some(head_prio) = self.run_q.head_priority() {
             let switch = match self.active {

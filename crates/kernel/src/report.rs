@@ -54,6 +54,13 @@ pub struct DeadlineMiss {
 /// Activity counters over a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Counters {
+    /// Decision points processed by the engine's event loop (release,
+    /// completion, ramp end, wake-up, timer). Deterministic for a given
+    /// configuration, and the denominator-free measure of simulation work
+    /// behind the sweep engine's events/sec throughput metric.
+    pub events: u64,
+    /// Scheduler passes executed at full speed (the paper's L8-L21 path).
+    pub sched_passes: u64,
     /// Jobs released.
     pub releases: u64,
     /// Jobs completed.
@@ -157,7 +164,8 @@ impl SimReport {
         let _ = writeln!(out, "  idle gaps: {}", self.idle_gaps);
         let _ = writeln!(
             out,
-            "  counters: {} releases, {} completions, {} preemptions, {} ramps, {} power-downs",
+            "  counters: {} events, {} releases, {} completions, {} preemptions, {} ramps, {} power-downs",
+            self.counters.events,
             self.counters.releases,
             self.counters.completions,
             self.counters.preemptions,

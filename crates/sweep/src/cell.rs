@@ -1,0 +1,249 @@
+//! One simulation cell: everything needed to run a single
+//! (workload × policy × BCET fraction × execution model × seed) point.
+
+use lpfps::driver::{default_horizon, run, PolicyKind};
+use lpfps::TimeoutShutdown;
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_kernel::engine::{simulate, SimConfig};
+use lpfps_kernel::report::SimReport;
+use lpfps_tasks::exec::{AlwaysWcet, ExecModel, PaperGaussian};
+use lpfps_tasks::taskset::TaskSet;
+use lpfps_tasks::time::Dur;
+use serde::Serialize;
+
+/// The execution-time models available declaratively. (Cells must be
+/// `Send + Sync + Clone`, so the model is named rather than boxed.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecKind {
+    /// Every job consumes its full WCET (the grid's deterministic edge).
+    AlwaysWcet,
+    /// The paper's Gaussian draw over [BCET, WCET] (seeded, deterministic).
+    PaperGaussian,
+}
+
+impl ExecKind {
+    /// The shared model instance behind this kind.
+    pub fn model(self) -> &'static dyn ExecModel {
+        match self {
+            ExecKind::AlwaysWcet => &AlwaysWcet,
+            ExecKind::PaperGaussian => &PaperGaussian,
+        }
+    }
+}
+
+/// A scheduling policy as selected by a sweep cell: one of the named
+/// driver policies, or the timeout-shutdown baseline (which is
+/// parameterized by its timeout and therefore not a `PolicyKind`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyChoice {
+    Kind(PolicyKind),
+    /// FPS + power-down after the given idle timeout (no exact wake timer).
+    TimeoutShutdown(Dur),
+}
+
+impl PolicyChoice {
+    /// Stable report name (`"timeout-<dur>"` for the shutdown baseline).
+    pub fn name(self) -> String {
+        match self {
+            PolicyChoice::Kind(kind) => kind.name().to_string(),
+            PolicyChoice::TimeoutShutdown(t) => format!("timeout-{t}"),
+        }
+    }
+}
+
+impl From<PolicyKind> for PolicyChoice {
+    fn from(kind: PolicyKind) -> Self {
+        PolicyChoice::Kind(kind)
+    }
+}
+
+/// A fully-specified simulation cell. Build with [`Cell::new`] and the
+/// `with_*` modifiers; run through [`crate::run_sweep`].
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Label used in results ("avionics", "u0.50/s3", ...). Defaults to the
+    /// task-set name.
+    pub app: String,
+    /// The workload, *unscaled* (the runner applies `bcet_fraction`).
+    pub ts: TaskSet,
+    /// The processor.
+    pub cpu: CpuSpec,
+    /// The scheduling policy.
+    pub policy: PolicyChoice,
+    /// The execution-time model.
+    pub exec: ExecKind,
+    /// BCET as a fraction of WCET, applied to `ts` before the run.
+    pub bcet_fraction: f64,
+    /// Seed for the per-job execution-time streams.
+    pub seed: u64,
+    /// Simulation horizon; `None` picks `default_horizon` of the scaled set.
+    pub horizon: Option<Dur>,
+    /// Context-switch cost (see [`SimConfig::context_switch`]).
+    pub context_switch: Dur,
+    /// Per-`SlowDown` scheduler cost (see [`SimConfig::ratio_overhead`]).
+    pub ratio_overhead: Dur,
+    /// Tick-driven kernel period; `None` = event-driven.
+    pub tick: Option<Dur>,
+    /// Record a full event trace (memory-heavy; off for sweeps).
+    pub trace: bool,
+}
+
+impl Cell {
+    /// A cell with the given workload/processor/policy at WCET (fraction
+    /// 1.0), seed 0, `AlwaysWcet`, default horizon, zero overheads.
+    pub fn new(ts: TaskSet, cpu: CpuSpec, policy: impl Into<PolicyChoice>) -> Self {
+        Cell {
+            app: ts.name().to_string(),
+            ts,
+            cpu,
+            policy: policy.into(),
+            exec: ExecKind::AlwaysWcet,
+            bcet_fraction: 1.0,
+            seed: 0,
+            horizon: None,
+            context_switch: Dur::ZERO,
+            ratio_overhead: Dur::ZERO,
+            tick: None,
+            trace: false,
+        }
+    }
+
+    pub fn with_app(mut self, app: impl Into<String>) -> Self {
+        self.app = app.into();
+        self
+    }
+
+    pub fn with_exec(mut self, exec: ExecKind) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    pub fn with_bcet_fraction(mut self, frac: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&frac) && frac > 0.0,
+            "BCET fraction in (0, 1]"
+        );
+        self.bcet_fraction = frac;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_horizon(mut self, horizon: Dur) -> Self {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    pub fn with_context_switch(mut self, cs: Dur) -> Self {
+        self.context_switch = cs;
+        self
+    }
+
+    pub fn with_ratio_overhead(mut self, cost: Dur) -> Self {
+        self.ratio_overhead = cost;
+        self
+    }
+
+    pub fn with_tick(mut self, tick: Dur) -> Self {
+        self.tick = Some(tick);
+        self
+    }
+
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// A short human-readable label for progress/metrics lines.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/b{:.0}%/s{}",
+            self.app,
+            self.policy.name(),
+            self.bcet_fraction * 100.0,
+            self.seed
+        )
+    }
+
+    /// The horizon this cell will simulate, after the runner's
+    /// `horizon_scale` stretch factor.
+    pub fn effective_horizon(&self, horizon_scale: f64) -> Dur {
+        let base = self
+            .horizon
+            .unwrap_or_else(|| default_horizon(&self.ts.with_bcet_fraction(self.bcet_fraction)));
+        if horizon_scale == 1.0 {
+            base
+        } else {
+            assert!(horizon_scale > 0.0, "horizon scale must be positive");
+            Dur::from_ns(((base.as_ns() as f64) * horizon_scale).round().max(1.0) as u64)
+        }
+    }
+
+    /// Runs the cell serially. Every input is by-value or `Sync`, so the
+    /// parallel runner calls this unchanged — byte-identical results by
+    /// construction.
+    pub fn run(&self, horizon_scale: f64) -> SimReport {
+        let scaled = self.ts.with_bcet_fraction(self.bcet_fraction);
+        let mut cfg = SimConfig::new(self.effective_horizon(horizon_scale))
+            .with_seed(self.seed)
+            .with_context_switch(self.context_switch)
+            .with_ratio_overhead(self.ratio_overhead);
+        if let Some(tick) = self.tick {
+            cfg = cfg.with_tick(tick);
+        }
+        if self.trace {
+            cfg = cfg.with_trace();
+        }
+        let mut report = match self.policy {
+            PolicyChoice::Kind(kind) => run(&scaled, &self.cpu, kind, self.exec.model(), &cfg),
+            PolicyChoice::TimeoutShutdown(timeout) => simulate(
+                &scaled,
+                &self.cpu,
+                &mut TimeoutShutdown::new(timeout),
+                self.exec.model(),
+                &cfg,
+            ),
+        };
+        report.taskset = self.app.clone();
+        report
+    }
+}
+
+/// The deterministic, serializable summary of one finished cell — what
+/// sweep binaries write to `--json`. Contains no wall-clock data, so
+/// parallel and serial runs serialize byte-identically.
+#[derive(Debug, Clone, Serialize)]
+pub struct CellResult {
+    /// Cell label (application or synthetic-set name).
+    pub app: String,
+    /// Policy report name.
+    pub policy: String,
+    /// BCET as a fraction of WCET.
+    pub bcet_fraction: f64,
+    /// Execution-time seed.
+    pub seed: u64,
+    /// Average normalized power (1.0 = flat-out busy processor).
+    pub average_power: f64,
+    /// Deadline misses observed.
+    pub misses: usize,
+    /// Kernel decision points processed (deterministic work measure).
+    pub events: u64,
+}
+
+impl CellResult {
+    /// Builds the summary from a cell and its finished report.
+    pub fn from_report(cell: &Cell, report: &SimReport) -> Self {
+        CellResult {
+            app: cell.app.clone(),
+            policy: cell.policy.name(),
+            bcet_fraction: cell.bcet_fraction,
+            seed: cell.seed,
+            average_power: report.average_power(),
+            misses: report.misses.len(),
+            events: report.counters.events,
+        }
+    }
+}

@@ -1,0 +1,516 @@
+//! The shared experiment CLI.
+//!
+//! Every sweep binary used to scan `std::env::args` by hand, which
+//! silently ignored typos (`--jsn out.json` ran the whole sweep and wrote
+//! nothing) and only discovered a missing `--json` path when the iterator
+//! happened to reach it. This module gives all binaries one strict parser:
+//!
+//! * uniform flags: `--json PATH`, `--metrics PATH`, `--threads N`,
+//!   `--seeds N`, `--horizon-scale F`, `--quiet`, `--help`;
+//! * binary-specific flags declared up front (`opt` / `switch`);
+//! * *errors* on unknown flags, missing values, and unparsable numbers.
+
+use crate::metrics::SweepMetrics;
+use crate::runner::RunOptions;
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What went wrong while parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// A flag the binary did not declare (typos land here).
+    UnknownFlag(String),
+    /// A valued flag appeared last with no value after it.
+    MissingValue(String),
+    /// A value that failed to parse (`--threads x`).
+    BadValue {
+        flag: String,
+        value: String,
+        expected: &'static str,
+    },
+    /// A positional argument; sweep binaries take none.
+    UnexpectedPositional(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::UnknownFlag(flag) => write!(f, "unknown flag `{flag}`"),
+            CliError::MissingValue(flag) => write!(f, "flag `{flag}` requires a value"),
+            CliError::BadValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "flag `{flag}`: `{value}` is not a valid {expected}"),
+            CliError::UnexpectedPositional(arg) => {
+                write!(f, "unexpected positional argument `{arg}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+#[derive(Debug, Clone)]
+struct OptSpec {
+    flag: &'static str,
+    value_name: &'static str,
+    help: &'static str,
+    default: Option<&'static str>,
+}
+
+#[derive(Debug, Clone)]
+struct SwitchSpec {
+    flag: &'static str,
+    help: &'static str,
+}
+
+/// Builder for a sweep binary's command line.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    name: &'static str,
+    about: &'static str,
+    default_seeds: u64,
+    opts: Vec<OptSpec>,
+    switches: Vec<SwitchSpec>,
+}
+
+impl Cli {
+    /// A CLI with the uniform sweep flags and no binary-specific ones.
+    pub fn new(name: &'static str, about: &'static str) -> Self {
+        Cli {
+            name,
+            about,
+            default_seeds: 1,
+            opts: Vec::new(),
+            switches: Vec::new(),
+        }
+    }
+
+    /// Default for `--seeds` when the flag is absent.
+    pub fn default_seeds(mut self, seeds: u64) -> Self {
+        self.default_seeds = seeds;
+        self
+    }
+
+    /// Declares a binary-specific valued flag (e.g. `--app NAME`).
+    pub fn opt(mut self, flag: &'static str, value_name: &'static str, help: &'static str) -> Self {
+        self.opts.push(OptSpec {
+            flag,
+            value_name,
+            help,
+            default: None,
+        });
+        self
+    }
+
+    /// Declares a binary-specific valued flag with a default.
+    pub fn opt_default(
+        mut self,
+        flag: &'static str,
+        value_name: &'static str,
+        help: &'static str,
+        default: &'static str,
+    ) -> Self {
+        self.opts.push(OptSpec {
+            flag,
+            value_name,
+            help,
+            default: Some(default),
+        });
+        self
+    }
+
+    /// Declares a binary-specific boolean flag (e.g. `--gantt`).
+    pub fn switch(mut self, flag: &'static str, help: &'static str) -> Self {
+        self.switches.push(SwitchSpec { flag, help });
+        self
+    }
+
+    /// The usage text.
+    pub fn usage(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "{} — {}", self.name, self.about);
+        let _ = writeln!(out, "\nUsage: {} [OPTIONS]", self.name);
+        let _ = writeln!(out, "\nOptions:");
+        let mut row = |flag: String, help: &str| {
+            let _ = writeln!(out, "  {flag:<28} {help}");
+        };
+        for o in &self.opts {
+            let help = match o.default {
+                Some(d) => format!("{} [default: {d}]", o.help),
+                None => o.help.to_string(),
+            };
+            row(format!("{} <{}>", o.flag, o.value_name), &help);
+        }
+        for s in &self.switches {
+            row(s.flag.to_string(), s.help);
+        }
+        row(
+            "--json <PATH>".into(),
+            "write deterministic results as pretty JSON",
+        );
+        row(
+            "--metrics <PATH>".into(),
+            "write SweepMetrics (wall times, throughput) as JSON",
+        );
+        row(
+            "--threads <N>".into(),
+            "worker threads [default: all cores]",
+        );
+        row(
+            "--seeds <N>".into(),
+            &format!(
+                "execution-time seeds per cell (0..N) [default: {}]",
+                self.default_seeds
+            ),
+        );
+        row(
+            "--horizon-scale <F>".into(),
+            "stretch every cell's horizon by F [default: 1.0]",
+        );
+        row("--quiet".into(), "suppress per-cell progress on stderr");
+        row("--help".into(), "print this help");
+        out
+    }
+
+    /// Parses explicit arguments (no program name). Used directly by tests;
+    /// binaries go through [`Cli::parse`].
+    pub fn try_parse(&self, args: &[String]) -> Result<Parsed, CliError> {
+        let mut parsed = Parsed {
+            json: None,
+            metrics: None,
+            threads: None,
+            seeds: self.default_seeds,
+            horizon_scale: 1.0,
+            quiet: false,
+            help: false,
+            values: BTreeMap::new(),
+            switches: BTreeSet::new(),
+        };
+        for o in &self.opts {
+            if let Some(d) = o.default {
+                parsed.values.insert(o.flag.to_string(), d.to_string());
+            }
+        }
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value_for = |flag: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| CliError::MissingValue(flag.to_string()))
+            };
+            match arg.as_str() {
+                "--help" | "-h" => parsed.help = true,
+                "--quiet" => parsed.quiet = true,
+                "--json" => parsed.json = Some(value_for("--json")?),
+                "--metrics" => parsed.metrics = Some(value_for("--metrics")?),
+                "--threads" => {
+                    let v = value_for("--threads")?;
+                    let n: usize = v.parse().map_err(|_| CliError::BadValue {
+                        flag: "--threads".into(),
+                        value: v,
+                        expected: "positive integer",
+                    })?;
+                    if n == 0 {
+                        return Err(CliError::BadValue {
+                            flag: "--threads".into(),
+                            value: "0".into(),
+                            expected: "positive integer",
+                        });
+                    }
+                    parsed.threads = Some(n);
+                }
+                "--seeds" => {
+                    let v = value_for("--seeds")?;
+                    parsed.seeds = v.parse().map_err(|_| CliError::BadValue {
+                        flag: "--seeds".into(),
+                        value: v,
+                        expected: "positive integer",
+                    })?;
+                    if parsed.seeds == 0 {
+                        return Err(CliError::BadValue {
+                            flag: "--seeds".into(),
+                            value: "0".into(),
+                            expected: "positive integer",
+                        });
+                    }
+                }
+                "--horizon-scale" => {
+                    let v = value_for("--horizon-scale")?;
+                    let scale: f64 = v.parse().map_err(|_| CliError::BadValue {
+                        flag: "--horizon-scale".into(),
+                        value: v.clone(),
+                        expected: "positive number",
+                    })?;
+                    if !(scale.is_finite() && scale > 0.0) {
+                        return Err(CliError::BadValue {
+                            flag: "--horizon-scale".into(),
+                            value: v,
+                            expected: "positive number",
+                        });
+                    }
+                    parsed.horizon_scale = scale;
+                }
+                flag if self.switches.iter().any(|s| s.flag == flag) => {
+                    parsed.switches.insert(flag.to_string());
+                }
+                flag if self.opts.iter().any(|o| o.flag == flag) => {
+                    let value = value_for(flag)?;
+                    parsed.values.insert(flag.to_string(), value);
+                }
+                flag if flag.starts_with('-') && flag.len() > 1 => {
+                    return Err(CliError::UnknownFlag(flag.to_string()));
+                }
+                positional => {
+                    return Err(CliError::UnexpectedPositional(positional.to_string()));
+                }
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// Parses the process arguments. Prints usage and exits 0 on `--help`;
+    /// prints the error plus usage to stderr and exits 2 on a bad command
+    /// line.
+    pub fn parse(&self) -> Parsed {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match self.try_parse(&args) {
+            Ok(parsed) if parsed.help => {
+                print!("{}", self.usage());
+                std::process::exit(0);
+            }
+            Ok(parsed) => parsed,
+            Err(err) => {
+                eprint!("{}: {err}\n\n{}", self.name, self.usage());
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// The parsed command line of a sweep binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Parsed {
+    /// `--json PATH`: where to write deterministic results.
+    pub json: Option<String>,
+    /// `--metrics PATH`: where to write the (nondeterministic) metrics.
+    pub metrics: Option<String>,
+    /// `--threads N` if given; `None` = all cores.
+    pub threads: Option<usize>,
+    /// `--seeds N` (or the binary's default).
+    pub seeds: u64,
+    /// `--horizon-scale F`.
+    pub horizon_scale: f64,
+    /// `--quiet`.
+    pub quiet: bool,
+    /// `--help` was requested (only observable through `try_parse`).
+    pub help: bool,
+    values: BTreeMap<String, String>,
+    switches: BTreeSet<String>,
+}
+
+impl Parsed {
+    /// The seed list sweep grids should use: `0..seeds`.
+    pub fn seed_list(&self) -> Vec<u64> {
+        (0..self.seeds).collect()
+    }
+
+    /// The value of a declared binary-specific flag.
+    pub fn value(&self, flag: &str) -> Option<&str> {
+        self.values.get(flag).map(String::as_str)
+    }
+
+    /// Whether a declared binary-specific switch was passed.
+    pub fn has(&self, flag: &str) -> bool {
+        self.switches.contains(flag)
+    }
+
+    /// Runner options implied by the uniform flags.
+    pub fn run_options(&self) -> RunOptions {
+        let mut opts = RunOptions {
+            quiet: self.quiet,
+            ..RunOptions::default()
+        };
+        if let Some(threads) = self.threads {
+            opts.threads = threads;
+        }
+        opts.horizon_scale = self.horizon_scale;
+        opts
+    }
+
+    /// Writes the deterministic results to the `--json` path, if any.
+    /// For binaries whose tables are computed rather than swept (no
+    /// [`SweepMetrics`] to report); sweeps use [`Parsed::emit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested output file cannot be written.
+    pub fn write_json<T: Serialize>(&self, results: &T) {
+        if let Some(path) = &self.json {
+            let body = serde_json::to_string_pretty(results).expect("results serialize");
+            std::fs::write(path, body).unwrap_or_else(|e| panic!("write {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+    }
+
+    /// Writes the deterministic results (`--json`) and the metrics
+    /// (`--metrics` / stderr summary). The two payloads are kept strictly
+    /// separate so results stay byte-identical across thread counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a requested output file cannot be written.
+    pub fn emit<T: Serialize>(&self, results: &T, metrics: &SweepMetrics) {
+        self.write_json(results);
+        if let Some(path) = &self.metrics {
+            let body = serde_json::to_string_pretty(metrics).expect("metrics serialize");
+            std::fs::write(path, body).unwrap_or_else(|e| panic!("write {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+        if !self.quiet {
+            eprint!("{}", metrics.render());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli() -> Cli {
+        Cli::new("test_sweep", "a test CLI")
+            .default_seeds(3)
+            .opt("--app", "NAME", "application to run")
+            .switch("--gantt", "render a Gantt chart")
+    }
+
+    fn parse(args: &[&str]) -> Result<Parsed, CliError> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        cli().try_parse(&owned)
+    }
+
+    #[test]
+    fn defaults_apply_without_flags() {
+        let p = parse(&[]).unwrap();
+        assert_eq!(p.seeds, 3);
+        assert_eq!(p.seed_list(), vec![0, 1, 2]);
+        assert_eq!(p.horizon_scale, 1.0);
+        assert!(p.json.is_none() && p.threads.is_none() && !p.quiet);
+    }
+
+    #[test]
+    fn uniform_flags_parse() {
+        let p = parse(&[
+            "--json",
+            "out.json",
+            "--threads",
+            "4",
+            "--seeds",
+            "7",
+            "--horizon-scale",
+            "0.25",
+            "--quiet",
+            "--metrics",
+            "m.json",
+        ])
+        .unwrap();
+        assert_eq!(p.json.as_deref(), Some("out.json"));
+        assert_eq!(p.metrics.as_deref(), Some("m.json"));
+        assert_eq!(p.threads, Some(4));
+        assert_eq!(p.seeds, 7);
+        assert_eq!(p.horizon_scale, 0.25);
+        assert!(p.quiet);
+        assert_eq!(p.run_options().threads, 4);
+    }
+
+    #[test]
+    fn binary_specific_flags_parse() {
+        let p = parse(&["--app", "ins", "--gantt"]).unwrap();
+        assert_eq!(p.value("--app"), Some("ins"));
+        assert!(p.has("--gantt"));
+        assert!(!parse(&[]).unwrap().has("--gantt"));
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        // The old maybe_write_json silently ignored typos like `--jsn`.
+        assert_eq!(
+            parse(&["--jsn", "out.json"]),
+            Err(CliError::UnknownFlag("--jsn".into()))
+        );
+    }
+
+    #[test]
+    fn json_without_path_is_an_error_up_front() {
+        // The old scanner only panicked when iteration happened to reach
+        // the dangling flag; now it is a parse error before any work runs.
+        assert_eq!(
+            parse(&["--json"]),
+            Err(CliError::MissingValue("--json".into()))
+        );
+        assert_eq!(
+            parse(&["--app"]),
+            Err(CliError::MissingValue("--app".into()))
+        );
+    }
+
+    #[test]
+    fn bad_numbers_are_errors() {
+        assert!(matches!(
+            parse(&["--threads", "x"]),
+            Err(CliError::BadValue { .. })
+        ));
+        assert!(matches!(
+            parse(&["--threads", "0"]),
+            Err(CliError::BadValue { .. })
+        ));
+        assert!(matches!(
+            parse(&["--seeds", "-1"]),
+            Err(CliError::BadValue { .. })
+        ));
+        assert!(matches!(
+            parse(&["--horizon-scale", "-2"]),
+            Err(CliError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn positionals_are_rejected() {
+        assert_eq!(
+            parse(&["out.json"]),
+            Err(CliError::UnexpectedPositional("out.json".into()))
+        );
+    }
+
+    #[test]
+    fn help_is_recognized_and_usage_lists_flags() {
+        let p = parse(&["--help"]).unwrap();
+        assert!(p.help);
+        let usage = cli().usage();
+        for flag in [
+            "--json",
+            "--metrics",
+            "--threads",
+            "--seeds",
+            "--horizon-scale",
+            "--quiet",
+            "--app",
+            "--gantt",
+        ] {
+            assert!(usage.contains(flag), "usage must mention {flag}");
+        }
+    }
+
+    #[test]
+    fn opt_defaults_are_visible() {
+        let cli = Cli::new("t", "t").opt_default("--out", "PATH", "output", "chart.svg");
+        let p = cli.try_parse(&[]).unwrap();
+        assert_eq!(p.value("--out"), Some("chart.svg"));
+        let p = cli
+            .try_parse(&["--out".to_string(), "x.svg".to_string()])
+            .unwrap();
+        assert_eq!(p.value("--out"), Some("x.svg"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Sweep observability: wall-clock and throughput accounting.
+//!
+//! Metrics are *not* part of the deterministic results: they contain
+//! wall-clock timings that vary run to run, so they are printed to stderr
+//! (or written to a separate `--metrics` file), never mixed into the
+//! `--json` results payload.
+
+use serde::Serialize;
+use std::time::Duration;
+
+/// Timing for one executed cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct CellMetrics {
+    /// Position in the spec (results index).
+    pub index: usize,
+    /// Human-readable cell label (`app/policy/b50%/s3`).
+    pub label: String,
+    /// Wall-clock time for this cell, nanoseconds.
+    pub wall_ns: u64,
+    /// Kernel decision points the cell processed.
+    pub events: u64,
+}
+
+impl CellMetrics {
+    /// Events per second for this cell alone.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.events as f64 * 1e9 / self.wall_ns as f64
+        }
+    }
+}
+
+/// Whole-sweep summary emitted by the runner.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepMetrics {
+    /// Sweep name (from the spec).
+    pub sweep: String,
+    /// Cells executed.
+    pub cells: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// End-to-end wall time, nanoseconds.
+    pub wall_ns: u64,
+    /// Total kernel decision points across all cells.
+    pub total_events: u64,
+    /// Per-cell timings, in spec order.
+    pub per_cell: Vec<CellMetrics>,
+}
+
+impl SweepMetrics {
+    /// Cells completed per wall-clock second.
+    pub fn cells_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.cells as f64 * 1e9 / self.wall_ns as f64
+        }
+    }
+
+    /// Kernel decision points processed per wall-clock second, across all
+    /// workers — the sweep engine's headline throughput number.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.total_events as f64 * 1e9 / self.wall_ns as f64
+        }
+    }
+
+    /// End-to-end wall time.
+    pub fn wall(&self) -> Duration {
+        Duration::from_nanos(self.wall_ns)
+    }
+
+    /// A compact multi-line summary: totals plus the slowest cells.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "sweep `{}`: {} cells on {} thread{} in {:.3?} — {:.1} cells/s, {:.2}M events/s ({} events)",
+            self.sweep,
+            self.cells,
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
+            self.wall(),
+            self.cells_per_sec(),
+            self.events_per_sec() / 1e6,
+            self.total_events,
+        );
+        let mut slowest: Vec<&CellMetrics> = self.per_cell.iter().collect();
+        slowest.sort_by_key(|m| std::cmp::Reverse(m.wall_ns));
+        for m in slowest.iter().take(3) {
+            let _ = writeln!(
+                out,
+                "  slowest: {:<36} {:>9.3?}  {:>7.2}M events/s",
+                m.label,
+                Duration::from_nanos(m.wall_ns),
+                m.events_per_sec() / 1e6,
+            );
+        }
+        out
+    }
+}

@@ -1,0 +1,227 @@
+//! The parallel sweep runner.
+//!
+//! Work-stealing over `std::thread::scope`: workers pull the next cell
+//! index from a shared atomic counter, so load balances automatically
+//! across heterogeneous cell costs with no work queue and no external
+//! dependencies. Each cell simulation is a pure function of the cell
+//! (seeded execution-time draws, integer-exact kernel), and results land
+//! in their spec-order slot — output is byte-for-byte identical for any
+//! thread count, including the serial path.
+
+use crate::cell::CellResult;
+use crate::metrics::{CellMetrics, SweepMetrics};
+use crate::spec::SweepSpec;
+use lpfps_kernel::report::SimReport;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Execution options for [`run_sweep`].
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Worker threads. Clamped to the cell count; 1 = serial.
+    pub threads: usize,
+    /// Stretch factor applied to every cell's horizon (1.0 = as specified).
+    pub horizon_scale: f64,
+    /// Suppress per-cell progress lines on stderr.
+    pub quiet: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            horizon_scale: 1.0,
+            quiet: true,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Serial execution (the reference for determinism tests).
+    pub fn serial() -> Self {
+        RunOptions {
+            threads: 1,
+            ..RunOptions::default()
+        }
+    }
+
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    pub fn with_horizon_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0, "horizon scale must be positive");
+        self.horizon_scale = scale;
+        self
+    }
+}
+
+/// Everything a sweep produces: full reports and deterministic summaries
+/// in spec order, plus (nondeterministic) timing metrics.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// One full report per cell, in spec order.
+    pub reports: Vec<SimReport>,
+    /// One deterministic summary per cell, in spec order.
+    pub results: Vec<CellResult>,
+    /// Wall-clock/throughput accounting for this run.
+    pub metrics: SweepMetrics,
+}
+
+/// Runs every cell of `spec` across `opts.threads` workers.
+///
+/// # Panics
+///
+/// Propagates panics from cell execution (e.g. a policy asserting on an
+/// illegal directive): the scope joins all workers first, so no cell
+/// result is silently dropped.
+pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> SweepOutcome {
+    let n = spec.len();
+    let workers = opts.threads.clamp(1, n.max(1));
+    let started = Instant::now();
+
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<(SimReport, CellMetrics)>>> =
+        Mutex::new((0..n).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= n {
+                    break;
+                }
+                let cell = &spec.cells[index];
+                let cell_started = Instant::now();
+                let report = cell.run(opts.horizon_scale);
+                let wall = cell_started.elapsed();
+                let metrics = CellMetrics {
+                    index,
+                    label: cell.label(),
+                    wall_ns: wall.as_nanos() as u64,
+                    events: report.counters.events,
+                };
+                if !opts.quiet {
+                    eprintln!(
+                        "[{:>4}/{n}] {:<36} {:>9.3?}",
+                        index + 1,
+                        metrics.label,
+                        wall
+                    );
+                }
+                slots.lock().expect("no worker panicked holding the lock")[index] =
+                    Some((report, metrics));
+            });
+        }
+    });
+
+    let wall_ns = started.elapsed().as_nanos() as u64;
+    let mut reports = Vec::with_capacity(n);
+    let mut results = Vec::with_capacity(n);
+    let mut per_cell = Vec::with_capacity(n);
+    for (index, slot) in slots
+        .into_inner()
+        .expect("workers joined")
+        .into_iter()
+        .enumerate()
+    {
+        let (report, metrics) =
+            slot.expect("every index below n was claimed by exactly one worker");
+        results.push(CellResult::from_report(&spec.cells[index], &report));
+        reports.push(report);
+        per_cell.push(metrics);
+    }
+    let total_events = per_cell.iter().map(|m| m.events).sum();
+
+    SweepOutcome {
+        reports,
+        results,
+        metrics: SweepMetrics {
+            sweep: spec.name.clone(),
+            cells: n,
+            threads: workers,
+            wall_ns,
+            total_events,
+            per_cell,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{Cell, ExecKind};
+    use lpfps::driver::PolicyKind;
+    use lpfps_cpu::spec::CpuSpec;
+    use lpfps_tasks::task::Task;
+    use lpfps_tasks::taskset::TaskSet;
+    use lpfps_tasks::time::Dur;
+
+    fn spec() -> SweepSpec {
+        let ts = TaskSet::rate_monotonic(
+            "t",
+            vec![
+                Task::new("a", Dur::from_us(50), Dur::from_us(10)),
+                Task::new("b", Dur::from_us(100), Dur::from_us(30)),
+            ],
+        );
+        let mut s = SweepSpec::new("test");
+        for seed in 0..6 {
+            s.push(
+                Cell::new(ts.clone(), CpuSpec::arm8(), PolicyKind::Lpfps)
+                    .with_exec(ExecKind::PaperGaussian)
+                    .with_bcet_fraction(0.4)
+                    .with_seed(seed),
+            );
+        }
+        s
+    }
+
+    #[test]
+    fn results_arrive_in_spec_order() {
+        let out = run_sweep(&spec(), &RunOptions::serial());
+        assert_eq!(out.results.len(), 6);
+        for (i, r) in out.results.iter().enumerate() {
+            assert_eq!(r.seed, i as u64);
+        }
+        assert_eq!(out.metrics.cells, 6);
+        assert_eq!(
+            out.metrics.total_events,
+            out.reports.iter().map(|r| r.counters.events).sum::<u64>()
+        );
+        assert!(out.metrics.total_events > 0);
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let spec = spec();
+        let serial = run_sweep(&spec, &RunOptions::serial());
+        for threads in 2..=4 {
+            let parallel = run_sweep(&spec, &RunOptions::serial().with_threads(threads));
+            for (a, b) in serial.reports.iter().zip(parallel.reports.iter()) {
+                assert_eq!(a.counters, b.counters);
+                assert_eq!(a.energy.total_energy(), b.energy.total_energy());
+                assert_eq!(a.responses, b.responses);
+            }
+        }
+    }
+
+    #[test]
+    fn horizon_scale_stretches_the_run() {
+        let spec = spec();
+        let short = run_sweep(&spec, &RunOptions::serial().with_horizon_scale(0.5));
+        let long = run_sweep(&spec, &RunOptions::serial());
+        assert!(short.metrics.total_events < long.metrics.total_events);
+        assert!(short.reports[0].horizon < long.reports[0].horizon);
+    }
+
+    #[test]
+    fn threads_are_clamped_to_cell_count() {
+        let out = run_sweep(&spec(), &RunOptions::serial().with_threads(64));
+        assert_eq!(out.metrics.threads, 6);
+    }
+}

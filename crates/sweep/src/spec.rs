@@ -1,0 +1,207 @@
+//! Declarative sweep grids and builder helpers for the recurring shapes.
+
+use crate::cell::{Cell, ExecKind, PolicyChoice};
+use lpfps::driver::PolicyKind;
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_tasks::analysis::rta_schedulable;
+use lpfps_tasks::gen::{generate, GenConfig};
+use lpfps_tasks::taskset::TaskSet;
+
+/// An ordered list of cells to execute. Order is significant: results come
+/// back in spec order regardless of how many worker threads ran them.
+#[derive(Debug, Clone, Default)]
+pub struct SweepSpec {
+    /// Sweep name, used in metrics output.
+    pub name: String,
+    /// The cells, in result order.
+    pub cells: Vec<Cell>,
+}
+
+impl SweepSpec {
+    /// An empty sweep; grow it with [`SweepSpec::push`].
+    pub fn new(name: impl Into<String>) -> Self {
+        SweepSpec {
+            name: name.into(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Appends one cell.
+    pub fn push(&mut self, cell: Cell) {
+        self.cells.push(cell);
+    }
+
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The Figure-8 shape (and its ablation-pair degenerations): the full
+    /// cross product `apps × policies × fractions × seeds` under one
+    /// execution model, in that nesting order (seeds innermost).
+    ///
+    /// * Figure 8 proper: all apps × `[Fps, Lpfps]` × the ten BCET
+    ///   fractions × N seeds.
+    /// * `ablation_policies`: all apps × five policies × `[0.5]` × 1 seed.
+    /// * `ablation_ratio`: one pair of policies × all fractions.
+    pub fn grid(
+        name: impl Into<String>,
+        apps: &[TaskSet],
+        cpu: &CpuSpec,
+        policies: &[PolicyKind],
+        fractions: &[f64],
+        seeds: &[u64],
+        exec: ExecKind,
+    ) -> Self {
+        let mut spec = SweepSpec::new(name);
+        for ts in apps {
+            for &policy in policies {
+                for &frac in fractions {
+                    for &seed in seeds {
+                        spec.push(
+                            Cell::new(ts.clone(), cpu.clone(), policy)
+                                .with_exec(exec)
+                                .with_bcet_fraction(frac)
+                                .with_seed(seed),
+                        );
+                    }
+                }
+            }
+        }
+        spec
+    }
+
+    /// One app under a list of policy choices (possibly parameterized, e.g.
+    /// timeout-shutdown ladders) at a single BCET fraction and seed.
+    pub fn policy_ladder(
+        name: impl Into<String>,
+        ts: &TaskSet,
+        cpu: &CpuSpec,
+        policies: &[PolicyChoice],
+        frac: f64,
+        seed: u64,
+        exec: ExecKind,
+    ) -> Self {
+        let mut spec = SweepSpec::new(name);
+        for &policy in policies {
+            spec.push(
+                Cell::new(ts.clone(), cpu.clone(), policy)
+                    .with_exec(exec)
+                    .with_bcet_fraction(frac)
+                    .with_seed(seed),
+            );
+        }
+        spec
+    }
+
+    /// The utilization-sweep shape: for each target utilization, generate
+    /// UUniFast task sets (log-uniform periods), keep the RM-schedulable
+    /// ones, and emit one cell per (set, policy). Cell labels encode the
+    /// utilization and set index (`u0.50/3`) so results group naturally.
+    // The arguments are the axes of the grid; bundling them into a
+    // config struct would just rename the problem.
+    #[allow(clippy::too_many_arguments)]
+    pub fn utilization(
+        name: impl Into<String>,
+        cpu: &CpuSpec,
+        utilizations: &[f64],
+        sets_per_point: usize,
+        tasks_per_set: usize,
+        policies: &[PolicyKind],
+        bcet_fraction: f64,
+        exec: ExecKind,
+    ) -> Self {
+        let mut spec = SweepSpec::new(name);
+        for &u in utilizations {
+            let gen_cfg = GenConfig::new(tasks_per_set, u).with_bcet_fraction(bcet_fraction);
+            let mut kept = 0usize;
+            let mut attempt = 0u64;
+            while kept < sets_per_point {
+                // Deterministic seed stream per utilization point, skipping
+                // unschedulable draws (mirrors the original binary's loop).
+                let seed = attempt ^ ((u * 1000.0) as u64);
+                attempt += 1;
+                assert!(
+                    attempt < 10_000,
+                    "could not draw {sets_per_point} RM-schedulable sets at U={u}"
+                );
+                let ts = generate(&gen_cfg, seed);
+                if !rta_schedulable(&ts) {
+                    continue;
+                }
+                for &policy in policies {
+                    spec.push(
+                        Cell::new(ts.clone(), cpu.clone(), policy)
+                            .with_exec(exec)
+                            .with_app(format!("u{u:.2}/{kept}"))
+                            .with_bcet_fraction(bcet_fraction)
+                            .with_seed(seed),
+                    );
+                }
+                kept += 1;
+            }
+        }
+        spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table1() -> TaskSet {
+        use lpfps_tasks::task::Task;
+        use lpfps_tasks::time::Dur;
+        TaskSet::rate_monotonic(
+            "table1",
+            vec![
+                Task::new("tau1", Dur::from_us(50), Dur::from_us(10)),
+                Task::new("tau2", Dur::from_us(80), Dur::from_us(20)),
+                Task::new("tau3", Dur::from_us(100), Dur::from_us(40)),
+            ],
+        )
+    }
+
+    #[test]
+    fn grid_is_a_full_cross_product_in_spec_order() {
+        let spec = SweepSpec::grid(
+            "g",
+            &[table1()],
+            &CpuSpec::arm8(),
+            &[PolicyKind::Fps, PolicyKind::Lpfps],
+            &[0.5, 1.0],
+            &[0, 1, 2],
+            ExecKind::PaperGaussian,
+        );
+        assert_eq!(spec.len(), 2 * 2 * 3);
+        // Seeds vary fastest, then fractions, then policies.
+        assert_eq!(spec.cells[0].seed, 0);
+        assert_eq!(spec.cells[1].seed, 1);
+        assert_eq!(spec.cells[0].bcet_fraction, 0.5);
+        assert_eq!(spec.cells[3].bcet_fraction, 1.0);
+        assert_eq!(spec.cells[0].policy, PolicyChoice::Kind(PolicyKind::Fps));
+        assert_eq!(spec.cells[6].policy, PolicyChoice::Kind(PolicyKind::Lpfps));
+    }
+
+    #[test]
+    fn utilization_builder_keeps_only_schedulable_sets() {
+        let spec = SweepSpec::utilization(
+            "u",
+            &CpuSpec::arm8(),
+            &[0.5],
+            2,
+            4,
+            &[PolicyKind::Fps],
+            0.5,
+            ExecKind::PaperGaussian,
+        );
+        assert_eq!(spec.len(), 2);
+        for cell in &spec.cells {
+            assert!(rta_schedulable(&cell.ts));
+            assert!(cell.app.starts_with("u0.50/"));
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! The runner's central contract: the `--json` results payload is
+//! byte-for-byte identical no matter how many worker threads executed the
+//! sweep. Everything a results file contains is a pure function of the
+//! cell (seeded draws, integer-exact kernel), and the runner writes each
+//! cell into its spec-order slot — so `--threads 8` must serialize exactly
+//! like `--threads 1`.
+
+use lpfps::driver::PolicyKind;
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_sweep::{run_sweep, Cell, ExecKind, PolicyChoice, RunOptions, SweepSpec};
+use lpfps_tasks::time::Dur;
+use lpfps_workloads::{applications, table1};
+
+fn fig8_like_spec() -> SweepSpec {
+    SweepSpec::grid(
+        "determinism",
+        &applications(),
+        &CpuSpec::arm8(),
+        &[PolicyKind::Fps, PolicyKind::Lpfps],
+        &[0.3, 0.7],
+        &[0, 1],
+        ExecKind::PaperGaussian,
+    )
+}
+
+#[test]
+fn parallel_json_is_byte_identical_to_serial_for_threads_1_through_8() {
+    let spec = fig8_like_spec();
+    let serial = run_sweep(&spec, &RunOptions::serial());
+    let reference = serde_json::to_string_pretty(&serial.results).unwrap();
+    assert!(reference.contains("average_power"));
+    for threads in 1..=8 {
+        let outcome = run_sweep(&spec, &RunOptions::serial().with_threads(threads));
+        let json = serde_json::to_string_pretty(&outcome.results).unwrap();
+        assert_eq!(
+            json, reference,
+            "results JSON diverged at --threads {threads}"
+        );
+    }
+}
+
+#[test]
+fn full_reports_match_too_not_just_the_summaries() {
+    // Stronger than the JSON check: every counter, energy total, and
+    // response time of the full SimReport must agree across thread counts.
+    let spec = fig8_like_spec();
+    let serial = run_sweep(&spec, &RunOptions::serial());
+    let parallel = run_sweep(&spec, &RunOptions::serial().with_threads(8));
+    for (a, b) in serial.reports.iter().zip(parallel.reports.iter()) {
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.energy.total_energy(), b.energy.total_energy());
+        assert_eq!(a.responses, b.responses);
+        assert_eq!(a.misses, b.misses);
+    }
+}
+
+#[test]
+fn timeout_shutdown_cells_are_deterministic_across_threads() {
+    // The non-PolicyKind path (parameterized TimeoutShutdown) goes through
+    // a different driver entry point; it must honor the same contract.
+    let choices: Vec<PolicyChoice> = vec![
+        PolicyKind::Fps.into(),
+        PolicyChoice::TimeoutShutdown(Dur::from_us(50)),
+        PolicyChoice::TimeoutShutdown(Dur::from_us(1_000)),
+    ];
+    let spec = SweepSpec::policy_ladder(
+        "shutdown-determinism",
+        &table1(),
+        &CpuSpec::arm8(),
+        &choices,
+        0.5,
+        7,
+        ExecKind::PaperGaussian,
+    );
+    let reference =
+        serde_json::to_string_pretty(&run_sweep(&spec, &RunOptions::serial()).results).unwrap();
+    for threads in 2..=8 {
+        let outcome = run_sweep(&spec, &RunOptions::serial().with_threads(threads));
+        let json = serde_json::to_string_pretty(&outcome.results).unwrap();
+        assert_eq!(json, reference, "shutdown ladder diverged at {threads}");
+    }
+}
+
+#[test]
+fn metrics_are_kept_out_of_the_results_payload() {
+    // Wall-clock timing lives in SweepMetrics, never in CellResult — this
+    // is what makes the byte-identity guarantee possible at all.
+    let mut spec = SweepSpec::new("metrics-separation");
+    spec.push(Cell::new(table1(), CpuSpec::arm8(), PolicyKind::Lpfps));
+    let outcome = run_sweep(&spec, &RunOptions::serial());
+    let json = serde_json::to_string_pretty(&outcome.results).unwrap();
+    assert!(!json.contains("wall_ns"), "timing leaked into results");
+    let metrics = serde_json::to_string_pretty(&outcome.metrics).unwrap();
+    assert!(metrics.contains("wall_ns") && metrics.contains("total_events"));
+}

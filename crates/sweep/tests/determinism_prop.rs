@@ -1,0 +1,35 @@
+//! Property test: for *arbitrary* small grids (random fraction, seeds,
+//! and thread count), the parallel runner's serialized results equal the
+//! serial runner's.
+
+use lpfps::driver::PolicyKind;
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_sweep::{run_sweep, ExecKind, RunOptions, SweepSpec};
+use lpfps_workloads::table1;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_grids_are_thread_count_invariant(
+        frac_pct in 10u64..=100,
+        seed in 0u64..=1_000,
+        threads in 2usize..=8,
+    ) {
+        let spec = SweepSpec::grid(
+            "prop",
+            &[table1()],
+            &CpuSpec::arm8(),
+            &[PolicyKind::Fps, PolicyKind::Lpfps],
+            &[frac_pct as f64 / 100.0],
+            &[seed, seed + 1],
+            ExecKind::PaperGaussian,
+        );
+        let serial = run_sweep(&spec, &RunOptions::serial());
+        let parallel = run_sweep(&spec, &RunOptions::serial().with_threads(threads));
+        let a = serde_json::to_string_pretty(&serial.results).unwrap();
+        let b = serde_json::to_string_pretty(&parallel.results).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ladder-09b96ce5ff91aea4.d: crates/bench/src/bin/ablation_ladder.rs
+
+/root/repo/target/debug/deps/ablation_ladder-09b96ce5ff91aea4: crates/bench/src/bin/ablation_ladder.rs
+
+crates/bench/src/bin/ablation_ladder.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ladder-161d397b8dc8a110.d: crates/bench/src/bin/ablation_ladder.rs
+
+/root/repo/target/debug/deps/ablation_ladder-161d397b8dc8a110: crates/bench/src/bin/ablation_ladder.rs
+
+crates/bench/src/bin/ablation_ladder.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ladder-a723bbf247ac1f02.d: crates/bench/src/bin/ablation_ladder.rs
+
+/root/repo/target/debug/deps/ablation_ladder-a723bbf247ac1f02: crates/bench/src/bin/ablation_ladder.rs
+
+crates/bench/src/bin/ablation_ladder.rs:

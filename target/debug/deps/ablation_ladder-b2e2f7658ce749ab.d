@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ladder-b2e2f7658ce749ab.d: crates/bench/src/bin/ablation_ladder.rs
+
+/root/repo/target/debug/deps/ablation_ladder-b2e2f7658ce749ab: crates/bench/src/bin/ablation_ladder.rs
+
+crates/bench/src/bin/ablation_ladder.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_overhead-73a2fe2ca4aa5364.d: crates/bench/src/bin/ablation_overhead.rs
+
+/root/repo/target/debug/deps/ablation_overhead-73a2fe2ca4aa5364: crates/bench/src/bin/ablation_overhead.rs
+
+crates/bench/src/bin/ablation_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_overhead-a0e27d231b669369.d: crates/bench/src/bin/ablation_overhead.rs
+
+/root/repo/target/debug/deps/ablation_overhead-a0e27d231b669369: crates/bench/src/bin/ablation_overhead.rs
+
+crates/bench/src/bin/ablation_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_overhead-a7573afbbe03426a.d: crates/bench/src/bin/ablation_overhead.rs
+
+/root/repo/target/debug/deps/ablation_overhead-a7573afbbe03426a: crates/bench/src/bin/ablation_overhead.rs
+
+crates/bench/src/bin/ablation_overhead.rs:

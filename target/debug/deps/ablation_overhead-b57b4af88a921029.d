@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_overhead-b57b4af88a921029.d: crates/bench/src/bin/ablation_overhead.rs
+
+/root/repo/target/debug/deps/ablation_overhead-b57b4af88a921029: crates/bench/src/bin/ablation_overhead.rs
+
+crates/bench/src/bin/ablation_overhead.rs:

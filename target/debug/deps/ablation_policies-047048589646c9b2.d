@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_policies-047048589646c9b2.d: crates/bench/src/bin/ablation_policies.rs
+
+/root/repo/target/debug/deps/ablation_policies-047048589646c9b2: crates/bench/src/bin/ablation_policies.rs
+
+crates/bench/src/bin/ablation_policies.rs:

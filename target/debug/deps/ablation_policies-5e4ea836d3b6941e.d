@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_policies-5e4ea836d3b6941e.d: crates/bench/src/bin/ablation_policies.rs
+
+/root/repo/target/debug/deps/ablation_policies-5e4ea836d3b6941e: crates/bench/src/bin/ablation_policies.rs
+
+crates/bench/src/bin/ablation_policies.rs:

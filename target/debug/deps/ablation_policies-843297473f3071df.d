@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_policies-843297473f3071df.d: crates/bench/src/bin/ablation_policies.rs
+
+/root/repo/target/debug/deps/ablation_policies-843297473f3071df: crates/bench/src/bin/ablation_policies.rs
+
+crates/bench/src/bin/ablation_policies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_policies-f96fede1227bf2b3.d: crates/bench/src/bin/ablation_policies.rs
+
+/root/repo/target/debug/deps/ablation_policies-f96fede1227bf2b3: crates/bench/src/bin/ablation_policies.rs
+
+crates/bench/src/bin/ablation_policies.rs:

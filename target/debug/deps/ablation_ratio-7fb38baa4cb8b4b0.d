@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ratio-7fb38baa4cb8b4b0.d: crates/bench/src/bin/ablation_ratio.rs
+
+/root/repo/target/debug/deps/ablation_ratio-7fb38baa4cb8b4b0: crates/bench/src/bin/ablation_ratio.rs
+
+crates/bench/src/bin/ablation_ratio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ratio-8aafe53357e4e616.d: crates/bench/src/bin/ablation_ratio.rs
+
+/root/repo/target/debug/deps/ablation_ratio-8aafe53357e4e616: crates/bench/src/bin/ablation_ratio.rs
+
+crates/bench/src/bin/ablation_ratio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ratio-a06630cd027eafac.d: crates/bench/src/bin/ablation_ratio.rs
+
+/root/repo/target/debug/deps/ablation_ratio-a06630cd027eafac: crates/bench/src/bin/ablation_ratio.rs
+
+crates/bench/src/bin/ablation_ratio.rs:

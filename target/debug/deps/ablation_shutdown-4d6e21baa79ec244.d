@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_shutdown-4d6e21baa79ec244.d: crates/bench/src/bin/ablation_shutdown.rs
+
+/root/repo/target/debug/deps/ablation_shutdown-4d6e21baa79ec244: crates/bench/src/bin/ablation_shutdown.rs
+
+crates/bench/src/bin/ablation_shutdown.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_shutdown-765f729ca0370339.d: crates/bench/src/bin/ablation_shutdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_shutdown-765f729ca0370339.rmeta: crates/bench/src/bin/ablation_shutdown.rs Cargo.toml
+
+crates/bench/src/bin/ablation_shutdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_shutdown-ce7de620d9313529.d: crates/bench/src/bin/ablation_shutdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_shutdown-ce7de620d9313529.rmeta: crates/bench/src/bin/ablation_shutdown.rs Cargo.toml
+
+crates/bench/src/bin/ablation_shutdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

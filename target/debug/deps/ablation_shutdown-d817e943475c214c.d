@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_shutdown-d817e943475c214c.d: crates/bench/src/bin/ablation_shutdown.rs
+
+/root/repo/target/debug/deps/ablation_shutdown-d817e943475c214c: crates/bench/src/bin/ablation_shutdown.rs
+
+crates/bench/src/bin/ablation_shutdown.rs:

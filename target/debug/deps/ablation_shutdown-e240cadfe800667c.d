@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_shutdown-e240cadfe800667c.d: crates/bench/src/bin/ablation_shutdown.rs
+
+/root/repo/target/debug/deps/ablation_shutdown-e240cadfe800667c: crates/bench/src/bin/ablation_shutdown.rs
+
+crates/bench/src/bin/ablation_shutdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_sleep_modes-0935d826f573579b.d: crates/bench/src/bin/ablation_sleep_modes.rs
+
+/root/repo/target/debug/deps/ablation_sleep_modes-0935d826f573579b: crates/bench/src/bin/ablation_sleep_modes.rs
+
+crates/bench/src/bin/ablation_sleep_modes.rs:

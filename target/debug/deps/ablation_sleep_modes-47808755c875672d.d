@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_sleep_modes-47808755c875672d.d: crates/bench/src/bin/ablation_sleep_modes.rs
+
+/root/repo/target/debug/deps/ablation_sleep_modes-47808755c875672d: crates/bench/src/bin/ablation_sleep_modes.rs
+
+crates/bench/src/bin/ablation_sleep_modes.rs:

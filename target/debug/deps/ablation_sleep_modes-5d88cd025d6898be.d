@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_sleep_modes-5d88cd025d6898be.d: crates/bench/src/bin/ablation_sleep_modes.rs
+
+/root/repo/target/debug/deps/ablation_sleep_modes-5d88cd025d6898be: crates/bench/src/bin/ablation_sleep_modes.rs
+
+crates/bench/src/bin/ablation_sleep_modes.rs:

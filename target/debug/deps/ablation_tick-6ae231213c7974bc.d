@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_tick-6ae231213c7974bc.d: crates/bench/src/bin/ablation_tick.rs
+
+/root/repo/target/debug/deps/ablation_tick-6ae231213c7974bc: crates/bench/src/bin/ablation_tick.rs
+
+crates/bench/src/bin/ablation_tick.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_tick-730e09e666d5b7d7.d: crates/bench/src/bin/ablation_tick.rs
+
+/root/repo/target/debug/deps/ablation_tick-730e09e666d5b7d7: crates/bench/src/bin/ablation_tick.rs
+
+crates/bench/src/bin/ablation_tick.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_tick-ba95f6bb5f0815db.d: crates/bench/src/bin/ablation_tick.rs
+
+/root/repo/target/debug/deps/ablation_tick-ba95f6bb5f0815db: crates/bench/src/bin/ablation_tick.rs
+
+crates/bench/src/bin/ablation_tick.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_tick-c402c20170c41347.d: crates/bench/src/bin/ablation_tick.rs
+
+/root/repo/target/debug/deps/ablation_tick-c402c20170c41347: crates/bench/src/bin/ablation_tick.rs
+
+crates/bench/src/bin/ablation_tick.rs:

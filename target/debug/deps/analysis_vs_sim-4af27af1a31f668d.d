@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis_vs_sim-4af27af1a31f668d.d: crates/core/tests/analysis_vs_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_vs_sim-4af27af1a31f668d.rmeta: crates/core/tests/analysis_vs_sim.rs Cargo.toml
+
+crates/core/tests/analysis_vs_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_vs_sim-6f06ad3efcfaee46.d: crates/core/tests/analysis_vs_sim.rs
+
+/root/repo/target/debug/deps/analysis_vs_sim-6f06ad3efcfaee46: crates/core/tests/analysis_vs_sim.rs
+
+crates/core/tests/analysis_vs_sim.rs:

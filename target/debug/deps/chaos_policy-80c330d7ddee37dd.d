@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_policy-80c330d7ddee37dd.d: crates/kernel/tests/chaos_policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_policy-80c330d7ddee37dd.rmeta: crates/kernel/tests/chaos_policy.rs Cargo.toml
+
+crates/kernel/tests/chaos_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_policy-b83c698e4e534124.d: crates/kernel/tests/chaos_policy.rs
+
+/root/repo/target/debug/deps/chaos_policy-b83c698e4e534124: crates/kernel/tests/chaos_policy.rs
+
+crates/kernel/tests/chaos_policy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-0c6b276102d2f262.d: crates/sweep/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-0c6b276102d2f262: crates/sweep/tests/determinism.rs
+
+crates/sweep/tests/determinism.rs:

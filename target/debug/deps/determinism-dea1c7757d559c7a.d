@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-dea1c7757d559c7a.d: crates/sweep/tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-dea1c7757d559c7a.rmeta: crates/sweep/tests/determinism.rs Cargo.toml
+
+crates/sweep/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

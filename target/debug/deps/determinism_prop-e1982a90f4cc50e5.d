@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism_prop-e1982a90f4cc50e5.d: crates/sweep/tests/determinism_prop.rs
+
+/root/repo/target/debug/deps/determinism_prop-e1982a90f4cc50e5: crates/sweep/tests/determinism_prop.rs
+
+crates/sweep/tests/determinism_prop.rs:

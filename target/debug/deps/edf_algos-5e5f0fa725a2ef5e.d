@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/edf_algos-5e5f0fa725a2ef5e.d: crates/bench/benches/edf_algos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedf_algos-5e5f0fa725a2ef5e.rmeta: crates/bench/benches/edf_algos.rs Cargo.toml
+
+crates/bench/benches/edf_algos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/energy_ordering-dce6349c5bc6d58f.d: crates/core/tests/energy_ordering.rs
+
+/root/repo/target/debug/deps/energy_ordering-dce6349c5bc6d58f: crates/core/tests/energy_ordering.rs
+
+crates/core/tests/energy_ordering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_bcet_ratio-664c8aa01e123f52.d: crates/bench/src/bin/fig1_bcet_ratio.rs
+
+/root/repo/target/debug/deps/fig1_bcet_ratio-664c8aa01e123f52: crates/bench/src/bin/fig1_bcet_ratio.rs
+
+crates/bench/src/bin/fig1_bcet_ratio.rs:

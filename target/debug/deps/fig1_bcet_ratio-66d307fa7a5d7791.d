@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_bcet_ratio-66d307fa7a5d7791.d: crates/bench/src/bin/fig1_bcet_ratio.rs
+
+/root/repo/target/debug/deps/fig1_bcet_ratio-66d307fa7a5d7791: crates/bench/src/bin/fig1_bcet_ratio.rs
+
+crates/bench/src/bin/fig1_bcet_ratio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_bcet_ratio-f5f4f17bf2ece466.d: crates/bench/src/bin/fig1_bcet_ratio.rs
+
+/root/repo/target/debug/deps/fig1_bcet_ratio-f5f4f17bf2ece466: crates/bench/src/bin/fig1_bcet_ratio.rs
+
+crates/bench/src/bin/fig1_bcet_ratio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_schedule-2fde1fd90d232b85.d: crates/bench/src/bin/fig2_schedule.rs
+
+/root/repo/target/debug/deps/fig2_schedule-2fde1fd90d232b85: crates/bench/src/bin/fig2_schedule.rs
+
+crates/bench/src/bin/fig2_schedule.rs:

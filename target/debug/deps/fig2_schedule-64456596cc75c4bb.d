@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_schedule-64456596cc75c4bb.d: crates/bench/src/bin/fig2_schedule.rs
+
+/root/repo/target/debug/deps/fig2_schedule-64456596cc75c4bb: crates/bench/src/bin/fig2_schedule.rs
+
+crates/bench/src/bin/fig2_schedule.rs:

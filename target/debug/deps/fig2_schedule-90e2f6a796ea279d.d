@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_schedule-90e2f6a796ea279d.d: crates/bench/src/bin/fig2_schedule.rs
+
+/root/repo/target/debug/deps/fig2_schedule-90e2f6a796ea279d: crates/bench/src/bin/fig2_schedule.rs
+
+crates/bench/src/bin/fig2_schedule.rs:

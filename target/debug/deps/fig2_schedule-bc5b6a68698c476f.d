@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_schedule-bc5b6a68698c476f.d: crates/bench/src/bin/fig2_schedule.rs
+
+/root/repo/target/debug/deps/fig2_schedule-bc5b6a68698c476f: crates/bench/src/bin/fig2_schedule.rs
+
+crates/bench/src/bin/fig2_schedule.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_ratio-7ae05347307924a7.d: crates/bench/src/bin/fig7_ratio.rs
+
+/root/repo/target/debug/deps/fig7_ratio-7ae05347307924a7: crates/bench/src/bin/fig7_ratio.rs
+
+crates/bench/src/bin/fig7_ratio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_ratio-ca06e5ad2da1dbe8.d: crates/bench/src/bin/fig7_ratio.rs
+
+/root/repo/target/debug/deps/fig7_ratio-ca06e5ad2da1dbe8: crates/bench/src/bin/fig7_ratio.rs
+
+crates/bench/src/bin/fig7_ratio.rs:

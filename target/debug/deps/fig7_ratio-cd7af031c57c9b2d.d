@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_ratio-cd7af031c57c9b2d.d: crates/bench/src/bin/fig7_ratio.rs
+
+/root/repo/target/debug/deps/fig7_ratio-cd7af031c57c9b2d: crates/bench/src/bin/fig7_ratio.rs
+
+crates/bench/src/bin/fig7_ratio.rs:

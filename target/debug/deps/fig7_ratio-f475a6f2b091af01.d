@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_ratio-f475a6f2b091af01.d: crates/bench/src/bin/fig7_ratio.rs
+
+/root/repo/target/debug/deps/fig7_ratio-f475a6f2b091af01: crates/bench/src/bin/fig7_ratio.rs
+
+crates/bench/src/bin/fig7_ratio.rs:

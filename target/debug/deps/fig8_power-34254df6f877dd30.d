@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_power-34254df6f877dd30.d: crates/bench/src/bin/fig8_power.rs
+
+/root/repo/target/debug/deps/fig8_power-34254df6f877dd30: crates/bench/src/bin/fig8_power.rs
+
+crates/bench/src/bin/fig8_power.rs:

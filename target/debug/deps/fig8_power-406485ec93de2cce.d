@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_power-406485ec93de2cce.d: crates/bench/src/bin/fig8_power.rs
+
+/root/repo/target/debug/deps/fig8_power-406485ec93de2cce: crates/bench/src/bin/fig8_power.rs
+
+crates/bench/src/bin/fig8_power.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_power-55d60917e7149926.d: crates/bench/src/bin/fig8_power.rs
+
+/root/repo/target/debug/deps/fig8_power-55d60917e7149926: crates/bench/src/bin/fig8_power.rs
+
+crates/bench/src/bin/fig8_power.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_power-b5878739f8ce998c.d: crates/bench/src/bin/fig8_power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_power-b5878739f8ce998c.rmeta: crates/bench/src/bin/fig8_power.rs Cargo.toml
+
+crates/bench/src/bin/fig8_power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

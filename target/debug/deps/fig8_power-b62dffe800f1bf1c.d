@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_power-b62dffe800f1bf1c.d: crates/bench/src/bin/fig8_power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_power-b62dffe800f1bf1c.rmeta: crates/bench/src/bin/fig8_power.rs Cargo.toml
+
+crates/bench/src/bin/fig8_power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

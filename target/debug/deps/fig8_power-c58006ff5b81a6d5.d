@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_power-c58006ff5b81a6d5.d: crates/bench/src/bin/fig8_power.rs
+
+/root/repo/target/debug/deps/fig8_power-c58006ff5b81a6d5: crates/bench/src/bin/fig8_power.rs
+
+crates/bench/src/bin/fig8_power.rs:

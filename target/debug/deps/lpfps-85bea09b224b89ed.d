@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lpfps-85bea09b224b89ed.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/driver.rs crates/core/src/lpfps_policy.rs crates/core/src/speed.rs
+
+/root/repo/target/debug/deps/liblpfps-85bea09b224b89ed.rlib: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/driver.rs crates/core/src/lpfps_policy.rs crates/core/src/speed.rs
+
+/root/repo/target/debug/deps/liblpfps-85bea09b224b89ed.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/driver.rs crates/core/src/lpfps_policy.rs crates/core/src/speed.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/driver.rs:
+crates/core/src/lpfps_policy.rs:
+crates/core/src/speed.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lpfps-8b11b2b888a5db3d.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/driver.rs crates/core/src/lpfps_policy.rs crates/core/src/speed.rs
+
+/root/repo/target/debug/deps/liblpfps-8b11b2b888a5db3d.rlib: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/driver.rs crates/core/src/lpfps_policy.rs crates/core/src/speed.rs
+
+/root/repo/target/debug/deps/liblpfps-8b11b2b888a5db3d.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/driver.rs crates/core/src/lpfps_policy.rs crates/core/src/speed.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/driver.rs:
+crates/core/src/lpfps_policy.rs:
+crates/core/src/speed.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/lpfps_bench-137568b7dcfd2b5c.d: crates/bench/src/lib.rs crates/bench/src/chart.rs
+
+/root/repo/target/debug/deps/lpfps_bench-137568b7dcfd2b5c: crates/bench/src/lib.rs crates/bench/src/chart.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chart.rs:

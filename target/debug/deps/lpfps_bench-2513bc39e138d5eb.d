@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lpfps_bench-2513bc39e138d5eb.d: crates/bench/src/lib.rs crates/bench/src/chart.rs
+
+/root/repo/target/debug/deps/liblpfps_bench-2513bc39e138d5eb.rlib: crates/bench/src/lib.rs crates/bench/src/chart.rs
+
+/root/repo/target/debug/deps/liblpfps_bench-2513bc39e138d5eb.rmeta: crates/bench/src/lib.rs crates/bench/src/chart.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chart.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/lpfps_bench-2c8f7b67924f462a.d: crates/bench/src/lib.rs crates/bench/src/chart.rs
+
+/root/repo/target/debug/deps/liblpfps_bench-2c8f7b67924f462a.rmeta: crates/bench/src/lib.rs crates/bench/src/chart.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chart.rs:

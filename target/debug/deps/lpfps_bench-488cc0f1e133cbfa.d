@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lpfps_bench-488cc0f1e133cbfa.d: crates/bench/src/lib.rs crates/bench/src/chart.rs
+
+/root/repo/target/debug/deps/liblpfps_bench-488cc0f1e133cbfa.rlib: crates/bench/src/lib.rs crates/bench/src/chart.rs
+
+/root/repo/target/debug/deps/liblpfps_bench-488cc0f1e133cbfa.rmeta: crates/bench/src/lib.rs crates/bench/src/chart.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chart.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/lpfps_bench-6522f464cb7079f3.d: crates/bench/src/lib.rs crates/bench/src/chart.rs
+
+/root/repo/target/debug/deps/lpfps_bench-6522f464cb7079f3: crates/bench/src/lib.rs crates/bench/src/chart.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chart.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lpfps_cpu-017abea2832343d7.d: crates/cpu/src/lib.rs crates/cpu/src/energy.rs crates/cpu/src/ladder.rs crates/cpu/src/modes.rs crates/cpu/src/power.rs crates/cpu/src/ramp.rs crates/cpu/src/spec.rs crates/cpu/src/state.rs crates/cpu/src/vf.rs
+
+/root/repo/target/debug/deps/liblpfps_cpu-017abea2832343d7.rmeta: crates/cpu/src/lib.rs crates/cpu/src/energy.rs crates/cpu/src/ladder.rs crates/cpu/src/modes.rs crates/cpu/src/power.rs crates/cpu/src/ramp.rs crates/cpu/src/spec.rs crates/cpu/src/state.rs crates/cpu/src/vf.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/energy.rs:
+crates/cpu/src/ladder.rs:
+crates/cpu/src/modes.rs:
+crates/cpu/src/power.rs:
+crates/cpu/src/ramp.rs:
+crates/cpu/src/spec.rs:
+crates/cpu/src/state.rs:
+crates/cpu/src/vf.rs:

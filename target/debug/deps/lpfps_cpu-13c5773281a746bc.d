@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/lpfps_cpu-13c5773281a746bc.d: crates/cpu/src/lib.rs crates/cpu/src/energy.rs crates/cpu/src/ladder.rs crates/cpu/src/modes.rs crates/cpu/src/power.rs crates/cpu/src/ramp.rs crates/cpu/src/spec.rs crates/cpu/src/state.rs crates/cpu/src/vf.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblpfps_cpu-13c5773281a746bc.rmeta: crates/cpu/src/lib.rs crates/cpu/src/energy.rs crates/cpu/src/ladder.rs crates/cpu/src/modes.rs crates/cpu/src/power.rs crates/cpu/src/ramp.rs crates/cpu/src/spec.rs crates/cpu/src/state.rs crates/cpu/src/vf.rs Cargo.toml
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/energy.rs:
+crates/cpu/src/ladder.rs:
+crates/cpu/src/modes.rs:
+crates/cpu/src/power.rs:
+crates/cpu/src/ramp.rs:
+crates/cpu/src/spec.rs:
+crates/cpu/src/state.rs:
+crates/cpu/src/vf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

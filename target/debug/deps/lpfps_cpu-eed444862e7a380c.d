@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/lpfps_cpu-eed444862e7a380c.d: crates/cpu/src/lib.rs crates/cpu/src/energy.rs crates/cpu/src/ladder.rs crates/cpu/src/modes.rs crates/cpu/src/power.rs crates/cpu/src/ramp.rs crates/cpu/src/spec.rs crates/cpu/src/state.rs crates/cpu/src/vf.rs
+
+/root/repo/target/debug/deps/liblpfps_cpu-eed444862e7a380c.rlib: crates/cpu/src/lib.rs crates/cpu/src/energy.rs crates/cpu/src/ladder.rs crates/cpu/src/modes.rs crates/cpu/src/power.rs crates/cpu/src/ramp.rs crates/cpu/src/spec.rs crates/cpu/src/state.rs crates/cpu/src/vf.rs
+
+/root/repo/target/debug/deps/liblpfps_cpu-eed444862e7a380c.rmeta: crates/cpu/src/lib.rs crates/cpu/src/energy.rs crates/cpu/src/ladder.rs crates/cpu/src/modes.rs crates/cpu/src/power.rs crates/cpu/src/ramp.rs crates/cpu/src/spec.rs crates/cpu/src/state.rs crates/cpu/src/vf.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/energy.rs:
+crates/cpu/src/ladder.rs:
+crates/cpu/src/modes.rs:
+crates/cpu/src/power.rs:
+crates/cpu/src/ramp.rs:
+crates/cpu/src/spec.rs:
+crates/cpu/src/state.rs:
+crates/cpu/src/vf.rs:

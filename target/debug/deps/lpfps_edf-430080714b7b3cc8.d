@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lpfps_edf-430080714b7b3cc8.d: crates/edf/src/lib.rs crates/edf/src/discrete.rs crates/edf/src/model.rs crates/edf/src/profile.rs crates/edf/src/sim.rs crates/edf/src/yds.rs
+
+/root/repo/target/debug/deps/liblpfps_edf-430080714b7b3cc8.rlib: crates/edf/src/lib.rs crates/edf/src/discrete.rs crates/edf/src/model.rs crates/edf/src/profile.rs crates/edf/src/sim.rs crates/edf/src/yds.rs
+
+/root/repo/target/debug/deps/liblpfps_edf-430080714b7b3cc8.rmeta: crates/edf/src/lib.rs crates/edf/src/discrete.rs crates/edf/src/model.rs crates/edf/src/profile.rs crates/edf/src/sim.rs crates/edf/src/yds.rs
+
+crates/edf/src/lib.rs:
+crates/edf/src/discrete.rs:
+crates/edf/src/model.rs:
+crates/edf/src/profile.rs:
+crates/edf/src/sim.rs:
+crates/edf/src/yds.rs:

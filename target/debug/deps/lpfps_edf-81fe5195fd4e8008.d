@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lpfps_edf-81fe5195fd4e8008.d: crates/edf/src/lib.rs crates/edf/src/discrete.rs crates/edf/src/model.rs crates/edf/src/profile.rs crates/edf/src/sim.rs crates/edf/src/yds.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblpfps_edf-81fe5195fd4e8008.rmeta: crates/edf/src/lib.rs crates/edf/src/discrete.rs crates/edf/src/model.rs crates/edf/src/profile.rs crates/edf/src/sim.rs crates/edf/src/yds.rs Cargo.toml
+
+crates/edf/src/lib.rs:
+crates/edf/src/discrete.rs:
+crates/edf/src/model.rs:
+crates/edf/src/profile.rs:
+crates/edf/src/sim.rs:
+crates/edf/src/yds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

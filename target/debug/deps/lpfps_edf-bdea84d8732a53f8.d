@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lpfps_edf-bdea84d8732a53f8.d: crates/edf/src/lib.rs crates/edf/src/discrete.rs crates/edf/src/model.rs crates/edf/src/profile.rs crates/edf/src/sim.rs crates/edf/src/yds.rs
+
+/root/repo/target/debug/deps/lpfps_edf-bdea84d8732a53f8: crates/edf/src/lib.rs crates/edf/src/discrete.rs crates/edf/src/model.rs crates/edf/src/profile.rs crates/edf/src/sim.rs crates/edf/src/yds.rs
+
+crates/edf/src/lib.rs:
+crates/edf/src/discrete.rs:
+crates/edf/src/model.rs:
+crates/edf/src/profile.rs:
+crates/edf/src/sim.rs:
+crates/edf/src/yds.rs:

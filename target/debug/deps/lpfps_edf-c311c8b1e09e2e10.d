@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lpfps_edf-c311c8b1e09e2e10.d: crates/edf/src/lib.rs crates/edf/src/discrete.rs crates/edf/src/model.rs crates/edf/src/profile.rs crates/edf/src/sim.rs crates/edf/src/yds.rs
+
+/root/repo/target/debug/deps/liblpfps_edf-c311c8b1e09e2e10.rmeta: crates/edf/src/lib.rs crates/edf/src/discrete.rs crates/edf/src/model.rs crates/edf/src/profile.rs crates/edf/src/sim.rs crates/edf/src/yds.rs
+
+crates/edf/src/lib.rs:
+crates/edf/src/discrete.rs:
+crates/edf/src/model.rs:
+crates/edf/src/profile.rs:
+crates/edf/src/sim.rs:
+crates/edf/src/yds.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lpfps_sweep-5cf1a68ccf475b0f.d: crates/sweep/src/lib.rs crates/sweep/src/cell.rs crates/sweep/src/cli.rs crates/sweep/src/metrics.rs crates/sweep/src/runner.rs crates/sweep/src/spec.rs
+
+/root/repo/target/debug/deps/liblpfps_sweep-5cf1a68ccf475b0f.rlib: crates/sweep/src/lib.rs crates/sweep/src/cell.rs crates/sweep/src/cli.rs crates/sweep/src/metrics.rs crates/sweep/src/runner.rs crates/sweep/src/spec.rs
+
+/root/repo/target/debug/deps/liblpfps_sweep-5cf1a68ccf475b0f.rmeta: crates/sweep/src/lib.rs crates/sweep/src/cell.rs crates/sweep/src/cli.rs crates/sweep/src/metrics.rs crates/sweep/src/runner.rs crates/sweep/src/spec.rs
+
+crates/sweep/src/lib.rs:
+crates/sweep/src/cell.rs:
+crates/sweep/src/cli.rs:
+crates/sweep/src/metrics.rs:
+crates/sweep/src/runner.rs:
+crates/sweep/src/spec.rs:

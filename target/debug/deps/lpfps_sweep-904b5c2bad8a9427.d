@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lpfps_sweep-904b5c2bad8a9427.d: crates/sweep/src/lib.rs crates/sweep/src/cell.rs crates/sweep/src/cli.rs crates/sweep/src/metrics.rs crates/sweep/src/runner.rs crates/sweep/src/spec.rs
+
+/root/repo/target/debug/deps/liblpfps_sweep-904b5c2bad8a9427.rmeta: crates/sweep/src/lib.rs crates/sweep/src/cell.rs crates/sweep/src/cli.rs crates/sweep/src/metrics.rs crates/sweep/src/runner.rs crates/sweep/src/spec.rs
+
+crates/sweep/src/lib.rs:
+crates/sweep/src/cell.rs:
+crates/sweep/src/cli.rs:
+crates/sweep/src/metrics.rs:
+crates/sweep/src/runner.rs:
+crates/sweep/src/spec.rs:

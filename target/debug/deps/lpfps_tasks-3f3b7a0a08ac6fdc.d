@@ -1,0 +1,29 @@
+/root/repo/target/debug/deps/lpfps_tasks-3f3b7a0a08ac6fdc.d: crates/tasks/src/lib.rs crates/tasks/src/analysis/mod.rs crates/tasks/src/analysis/breakdown.rs crates/tasks/src/analysis/busy_period.rs crates/tasks/src/analysis/hyperperiod.rs crates/tasks/src/analysis/opa.rs crates/tasks/src/analysis/response_time.rs crates/tasks/src/analysis/sensitivity.rs crates/tasks/src/analysis/utilization.rs crates/tasks/src/cycles.rs crates/tasks/src/exec/mod.rs crates/tasks/src/exec/bimodal.rs crates/tasks/src/exec/constant.rs crates/tasks/src/exec/cyclic.rs crates/tasks/src/exec/gaussian.rs crates/tasks/src/exec/uniform.rs crates/tasks/src/freq.rs crates/tasks/src/gen.rs crates/tasks/src/priority.rs crates/tasks/src/rng.rs crates/tasks/src/task.rs crates/tasks/src/taskset.rs crates/tasks/src/time.rs
+
+/root/repo/target/debug/deps/liblpfps_tasks-3f3b7a0a08ac6fdc.rlib: crates/tasks/src/lib.rs crates/tasks/src/analysis/mod.rs crates/tasks/src/analysis/breakdown.rs crates/tasks/src/analysis/busy_period.rs crates/tasks/src/analysis/hyperperiod.rs crates/tasks/src/analysis/opa.rs crates/tasks/src/analysis/response_time.rs crates/tasks/src/analysis/sensitivity.rs crates/tasks/src/analysis/utilization.rs crates/tasks/src/cycles.rs crates/tasks/src/exec/mod.rs crates/tasks/src/exec/bimodal.rs crates/tasks/src/exec/constant.rs crates/tasks/src/exec/cyclic.rs crates/tasks/src/exec/gaussian.rs crates/tasks/src/exec/uniform.rs crates/tasks/src/freq.rs crates/tasks/src/gen.rs crates/tasks/src/priority.rs crates/tasks/src/rng.rs crates/tasks/src/task.rs crates/tasks/src/taskset.rs crates/tasks/src/time.rs
+
+/root/repo/target/debug/deps/liblpfps_tasks-3f3b7a0a08ac6fdc.rmeta: crates/tasks/src/lib.rs crates/tasks/src/analysis/mod.rs crates/tasks/src/analysis/breakdown.rs crates/tasks/src/analysis/busy_period.rs crates/tasks/src/analysis/hyperperiod.rs crates/tasks/src/analysis/opa.rs crates/tasks/src/analysis/response_time.rs crates/tasks/src/analysis/sensitivity.rs crates/tasks/src/analysis/utilization.rs crates/tasks/src/cycles.rs crates/tasks/src/exec/mod.rs crates/tasks/src/exec/bimodal.rs crates/tasks/src/exec/constant.rs crates/tasks/src/exec/cyclic.rs crates/tasks/src/exec/gaussian.rs crates/tasks/src/exec/uniform.rs crates/tasks/src/freq.rs crates/tasks/src/gen.rs crates/tasks/src/priority.rs crates/tasks/src/rng.rs crates/tasks/src/task.rs crates/tasks/src/taskset.rs crates/tasks/src/time.rs
+
+crates/tasks/src/lib.rs:
+crates/tasks/src/analysis/mod.rs:
+crates/tasks/src/analysis/breakdown.rs:
+crates/tasks/src/analysis/busy_period.rs:
+crates/tasks/src/analysis/hyperperiod.rs:
+crates/tasks/src/analysis/opa.rs:
+crates/tasks/src/analysis/response_time.rs:
+crates/tasks/src/analysis/sensitivity.rs:
+crates/tasks/src/analysis/utilization.rs:
+crates/tasks/src/cycles.rs:
+crates/tasks/src/exec/mod.rs:
+crates/tasks/src/exec/bimodal.rs:
+crates/tasks/src/exec/constant.rs:
+crates/tasks/src/exec/cyclic.rs:
+crates/tasks/src/exec/gaussian.rs:
+crates/tasks/src/exec/uniform.rs:
+crates/tasks/src/freq.rs:
+crates/tasks/src/gen.rs:
+crates/tasks/src/priority.rs:
+crates/tasks/src/rng.rs:
+crates/tasks/src/task.rs:
+crates/tasks/src/taskset.rs:
+crates/tasks/src/time.rs:

@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/lpfps_tasks-a67a5ce509ae1d1a.d: crates/tasks/src/lib.rs crates/tasks/src/analysis/mod.rs crates/tasks/src/analysis/breakdown.rs crates/tasks/src/analysis/busy_period.rs crates/tasks/src/analysis/hyperperiod.rs crates/tasks/src/analysis/opa.rs crates/tasks/src/analysis/response_time.rs crates/tasks/src/analysis/sensitivity.rs crates/tasks/src/analysis/utilization.rs crates/tasks/src/cycles.rs crates/tasks/src/exec/mod.rs crates/tasks/src/exec/bimodal.rs crates/tasks/src/exec/constant.rs crates/tasks/src/exec/cyclic.rs crates/tasks/src/exec/gaussian.rs crates/tasks/src/exec/uniform.rs crates/tasks/src/freq.rs crates/tasks/src/gen.rs crates/tasks/src/priority.rs crates/tasks/src/rng.rs crates/tasks/src/task.rs crates/tasks/src/taskset.rs crates/tasks/src/time.rs
+
+/root/repo/target/debug/deps/lpfps_tasks-a67a5ce509ae1d1a: crates/tasks/src/lib.rs crates/tasks/src/analysis/mod.rs crates/tasks/src/analysis/breakdown.rs crates/tasks/src/analysis/busy_period.rs crates/tasks/src/analysis/hyperperiod.rs crates/tasks/src/analysis/opa.rs crates/tasks/src/analysis/response_time.rs crates/tasks/src/analysis/sensitivity.rs crates/tasks/src/analysis/utilization.rs crates/tasks/src/cycles.rs crates/tasks/src/exec/mod.rs crates/tasks/src/exec/bimodal.rs crates/tasks/src/exec/constant.rs crates/tasks/src/exec/cyclic.rs crates/tasks/src/exec/gaussian.rs crates/tasks/src/exec/uniform.rs crates/tasks/src/freq.rs crates/tasks/src/gen.rs crates/tasks/src/priority.rs crates/tasks/src/rng.rs crates/tasks/src/task.rs crates/tasks/src/taskset.rs crates/tasks/src/time.rs
+
+crates/tasks/src/lib.rs:
+crates/tasks/src/analysis/mod.rs:
+crates/tasks/src/analysis/breakdown.rs:
+crates/tasks/src/analysis/busy_period.rs:
+crates/tasks/src/analysis/hyperperiod.rs:
+crates/tasks/src/analysis/opa.rs:
+crates/tasks/src/analysis/response_time.rs:
+crates/tasks/src/analysis/sensitivity.rs:
+crates/tasks/src/analysis/utilization.rs:
+crates/tasks/src/cycles.rs:
+crates/tasks/src/exec/mod.rs:
+crates/tasks/src/exec/bimodal.rs:
+crates/tasks/src/exec/constant.rs:
+crates/tasks/src/exec/cyclic.rs:
+crates/tasks/src/exec/gaussian.rs:
+crates/tasks/src/exec/uniform.rs:
+crates/tasks/src/freq.rs:
+crates/tasks/src/gen.rs:
+crates/tasks/src/priority.rs:
+crates/tasks/src/rng.rs:
+crates/tasks/src/task.rs:
+crates/tasks/src/taskset.rs:
+crates/tasks/src/time.rs:

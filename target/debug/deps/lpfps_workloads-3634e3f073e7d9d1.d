@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/lpfps_workloads-3634e3f073e7d9d1.d: crates/workloads/src/lib.rs crates/workloads/src/avionics.rs crates/workloads/src/bcet_figure1.rs crates/workloads/src/catalog.rs crates/workloads/src/cnc.rs crates/workloads/src/flight.rs crates/workloads/src/ins.rs crates/workloads/src/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblpfps_workloads-3634e3f073e7d9d1.rmeta: crates/workloads/src/lib.rs crates/workloads/src/avionics.rs crates/workloads/src/bcet_figure1.rs crates/workloads/src/catalog.rs crates/workloads/src/cnc.rs crates/workloads/src/flight.rs crates/workloads/src/ins.rs crates/workloads/src/table1.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/avionics.rs:
+crates/workloads/src/bcet_figure1.rs:
+crates/workloads/src/catalog.rs:
+crates/workloads/src/cnc.rs:
+crates/workloads/src/flight.rs:
+crates/workloads/src/ins.rs:
+crates/workloads/src/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

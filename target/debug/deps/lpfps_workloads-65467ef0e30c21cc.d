@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lpfps_workloads-65467ef0e30c21cc.d: crates/workloads/src/lib.rs crates/workloads/src/avionics.rs crates/workloads/src/bcet_figure1.rs crates/workloads/src/catalog.rs crates/workloads/src/cnc.rs crates/workloads/src/flight.rs crates/workloads/src/ins.rs crates/workloads/src/table1.rs
+
+/root/repo/target/debug/deps/lpfps_workloads-65467ef0e30c21cc: crates/workloads/src/lib.rs crates/workloads/src/avionics.rs crates/workloads/src/bcet_figure1.rs crates/workloads/src/catalog.rs crates/workloads/src/cnc.rs crates/workloads/src/flight.rs crates/workloads/src/ins.rs crates/workloads/src/table1.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/avionics.rs:
+crates/workloads/src/bcet_figure1.rs:
+crates/workloads/src/catalog.rs:
+crates/workloads/src/cnc.rs:
+crates/workloads/src/flight.rs:
+crates/workloads/src/ins.rs:
+crates/workloads/src/table1.rs:

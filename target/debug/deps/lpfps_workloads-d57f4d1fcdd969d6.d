@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lpfps_workloads-d57f4d1fcdd969d6.d: crates/workloads/src/lib.rs crates/workloads/src/avionics.rs crates/workloads/src/bcet_figure1.rs crates/workloads/src/catalog.rs crates/workloads/src/cnc.rs crates/workloads/src/flight.rs crates/workloads/src/ins.rs crates/workloads/src/table1.rs
+
+/root/repo/target/debug/deps/liblpfps_workloads-d57f4d1fcdd969d6.rlib: crates/workloads/src/lib.rs crates/workloads/src/avionics.rs crates/workloads/src/bcet_figure1.rs crates/workloads/src/catalog.rs crates/workloads/src/cnc.rs crates/workloads/src/flight.rs crates/workloads/src/ins.rs crates/workloads/src/table1.rs
+
+/root/repo/target/debug/deps/liblpfps_workloads-d57f4d1fcdd969d6.rmeta: crates/workloads/src/lib.rs crates/workloads/src/avionics.rs crates/workloads/src/bcet_figure1.rs crates/workloads/src/catalog.rs crates/workloads/src/cnc.rs crates/workloads/src/flight.rs crates/workloads/src/ins.rs crates/workloads/src/table1.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/avionics.rs:
+crates/workloads/src/bcet_figure1.rs:
+crates/workloads/src/catalog.rs:
+crates/workloads/src/cnc.rs:
+crates/workloads/src/flight.rs:
+crates/workloads/src/ins.rs:
+crates/workloads/src/table1.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lpfps_workloads-fa52228ae052aa6f.d: crates/workloads/src/lib.rs crates/workloads/src/avionics.rs crates/workloads/src/bcet_figure1.rs crates/workloads/src/catalog.rs crates/workloads/src/cnc.rs crates/workloads/src/flight.rs crates/workloads/src/ins.rs crates/workloads/src/table1.rs
+
+/root/repo/target/debug/deps/liblpfps_workloads-fa52228ae052aa6f.rmeta: crates/workloads/src/lib.rs crates/workloads/src/avionics.rs crates/workloads/src/bcet_figure1.rs crates/workloads/src/catalog.rs crates/workloads/src/cnc.rs crates/workloads/src/flight.rs crates/workloads/src/ins.rs crates/workloads/src/table1.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/avionics.rs:
+crates/workloads/src/bcet_figure1.rs:
+crates/workloads/src/catalog.rs:
+crates/workloads/src/cnc.rs:
+crates/workloads/src/flight.rs:
+crates/workloads/src/ins.rs:
+crates/workloads/src/table1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/power_sim-6e1a5f2877bbc7d5.d: crates/bench/benches/power_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpower_sim-6e1a5f2877bbc7d5.rmeta: crates/bench/benches/power_sim.rs Cargo.toml
+
+crates/bench/benches/power_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

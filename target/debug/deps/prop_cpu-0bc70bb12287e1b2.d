@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_cpu-0bc70bb12287e1b2.d: crates/cpu/tests/prop_cpu.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_cpu-0bc70bb12287e1b2.rmeta: crates/cpu/tests/prop_cpu.rs Cargo.toml
+
+crates/cpu/tests/prop_cpu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_cpu-2210f5fa02f90473.d: crates/cpu/tests/prop_cpu.rs
+
+/root/repo/target/debug/deps/prop_cpu-2210f5fa02f90473: crates/cpu/tests/prop_cpu.rs
+
+crates/cpu/tests/prop_cpu.rs:

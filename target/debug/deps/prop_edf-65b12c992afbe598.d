@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_edf-65b12c992afbe598.d: crates/edf/tests/prop_edf.rs
+
+/root/repo/target/debug/deps/prop_edf-65b12c992afbe598: crates/edf/tests/prop_edf.rs
+
+crates/edf/tests/prop_edf.rs:

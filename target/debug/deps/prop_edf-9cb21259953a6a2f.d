@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_edf-9cb21259953a6a2f.d: crates/edf/tests/prop_edf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_edf-9cb21259953a6a2f.rmeta: crates/edf/tests/prop_edf.rs Cargo.toml
+
+crates/edf/tests/prop_edf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

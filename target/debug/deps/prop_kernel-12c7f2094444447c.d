@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_kernel-12c7f2094444447c.d: crates/kernel/tests/prop_kernel.rs
+
+/root/repo/target/debug/deps/prop_kernel-12c7f2094444447c: crates/kernel/tests/prop_kernel.rs
+
+crates/kernel/tests/prop_kernel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_tasks-87f638a4610118ca.d: crates/tasks/tests/prop_tasks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_tasks-87f638a4610118ca.rmeta: crates/tasks/tests/prop_tasks.rs Cargo.toml
+
+crates/tasks/tests/prop_tasks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

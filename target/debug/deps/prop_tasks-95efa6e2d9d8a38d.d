@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_tasks-95efa6e2d9d8a38d.d: crates/tasks/tests/prop_tasks.rs
+
+/root/repo/target/debug/deps/prop_tasks-95efa6e2d9d8a38d: crates/tasks/tests/prop_tasks.rs
+
+crates/tasks/tests/prop_tasks.rs:

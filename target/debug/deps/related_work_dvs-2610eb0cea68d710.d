@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/related_work_dvs-2610eb0cea68d710.d: crates/bench/src/bin/related_work_dvs.rs
+
+/root/repo/target/debug/deps/related_work_dvs-2610eb0cea68d710: crates/bench/src/bin/related_work_dvs.rs
+
+crates/bench/src/bin/related_work_dvs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/related_work_dvs-ae9aa1ea79d77703.d: crates/bench/src/bin/related_work_dvs.rs
+
+/root/repo/target/debug/deps/related_work_dvs-ae9aa1ea79d77703: crates/bench/src/bin/related_work_dvs.rs
+
+crates/bench/src/bin/related_work_dvs.rs:

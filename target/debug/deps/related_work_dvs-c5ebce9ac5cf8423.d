@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/related_work_dvs-c5ebce9ac5cf8423.d: crates/bench/src/bin/related_work_dvs.rs
+
+/root/repo/target/debug/deps/related_work_dvs-c5ebce9ac5cf8423: crates/bench/src/bin/related_work_dvs.rs
+
+crates/bench/src/bin/related_work_dvs.rs:

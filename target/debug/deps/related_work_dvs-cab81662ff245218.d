@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/related_work_dvs-cab81662ff245218.d: crates/bench/src/bin/related_work_dvs.rs
+
+/root/repo/target/debug/deps/related_work_dvs-cab81662ff245218: crates/bench/src/bin/related_work_dvs.rs
+
+crates/bench/src/bin/related_work_dvs.rs:

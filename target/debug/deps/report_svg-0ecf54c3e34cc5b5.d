@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report_svg-0ecf54c3e34cc5b5.d: crates/bench/src/bin/report_svg.rs
+
+/root/repo/target/debug/deps/report_svg-0ecf54c3e34cc5b5: crates/bench/src/bin/report_svg.rs
+
+crates/bench/src/bin/report_svg.rs:

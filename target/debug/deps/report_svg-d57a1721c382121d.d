@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report_svg-d57a1721c382121d.d: crates/bench/src/bin/report_svg.rs
+
+/root/repo/target/debug/deps/report_svg-d57a1721c382121d: crates/bench/src/bin/report_svg.rs
+
+crates/bench/src/bin/report_svg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report_svg-f15e9d55630e1882.d: crates/bench/src/bin/report_svg.rs
+
+/root/repo/target/debug/deps/report_svg-f15e9d55630e1882: crates/bench/src/bin/report_svg.rs
+
+crates/bench/src/bin/report_svg.rs:

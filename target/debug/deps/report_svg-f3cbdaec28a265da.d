@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report_svg-f3cbdaec28a265da.d: crates/bench/src/bin/report_svg.rs
+
+/root/repo/target/debug/deps/report_svg-f3cbdaec28a265da: crates/bench/src/bin/report_svg.rs
+
+crates/bench/src/bin/report_svg.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rta-e07eb3b57905ee08.d: crates/bench/benches/rta.rs Cargo.toml
+
+/root/repo/target/debug/deps/librta-e07eb3b57905ee08.rmeta: crates/bench/benches/rta.rs Cargo.toml
+
+crates/bench/benches/rta.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

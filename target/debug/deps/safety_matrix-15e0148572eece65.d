@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/safety_matrix-15e0148572eece65.d: crates/core/tests/safety_matrix.rs
+
+/root/repo/target/debug/deps/safety_matrix-15e0148572eece65: crates/core/tests/safety_matrix.rs
+
+crates/core/tests/safety_matrix.rs:

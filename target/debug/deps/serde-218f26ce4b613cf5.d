@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/serde-218f26ce4b613cf5.d: third_party/serde/src/lib.rs third_party/serde/src/value.rs
+
+/root/repo/target/debug/deps/libserde-218f26ce4b613cf5.rlib: third_party/serde/src/lib.rs third_party/serde/src/value.rs
+
+/root/repo/target/debug/deps/libserde-218f26ce4b613cf5.rmeta: third_party/serde/src/lib.rs third_party/serde/src/value.rs
+
+third_party/serde/src/lib.rs:
+third_party/serde/src/value.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/serde-2e37bd84a3e1dce3.d: third_party/serde/src/lib.rs third_party/serde/src/value.rs
+
+/root/repo/target/debug/deps/serde-2e37bd84a3e1dce3: third_party/serde/src/lib.rs third_party/serde/src/value.rs
+
+third_party/serde/src/lib.rs:
+third_party/serde/src/value.rs:

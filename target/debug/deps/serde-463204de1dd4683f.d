@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/serde-463204de1dd4683f.d: third_party/serde/src/lib.rs third_party/serde/src/value.rs
+
+/root/repo/target/debug/deps/libserde-463204de1dd4683f.rmeta: third_party/serde/src/lib.rs third_party/serde/src/value.rs
+
+third_party/serde/src/lib.rs:
+third_party/serde/src/value.rs:

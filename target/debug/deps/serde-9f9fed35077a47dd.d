@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/serde-9f9fed35077a47dd.d: third_party/serde/src/lib.rs third_party/serde/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-9f9fed35077a47dd.rmeta: third_party/serde/src/lib.rs third_party/serde/src/value.rs Cargo.toml
+
+third_party/serde/src/lib.rs:
+third_party/serde/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

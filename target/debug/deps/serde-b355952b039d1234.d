@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/serde-b355952b039d1234.d: third_party/serde/src/lib.rs third_party/serde/src/value.rs
+
+/root/repo/target/debug/deps/libserde-b355952b039d1234.rlib: third_party/serde/src/lib.rs third_party/serde/src/value.rs
+
+/root/repo/target/debug/deps/libserde-b355952b039d1234.rmeta: third_party/serde/src/lib.rs third_party/serde/src/value.rs
+
+third_party/serde/src/lib.rs:
+third_party/serde/src/value.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-1935cceea6721c79.d: third_party/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-1935cceea6721c79.rlib: third_party/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-1935cceea6721c79.rmeta: third_party/serde_json/src/lib.rs
+
+third_party/serde_json/src/lib.rs:

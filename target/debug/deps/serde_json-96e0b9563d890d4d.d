@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-96e0b9563d890d4d.d: third_party/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-96e0b9563d890d4d: third_party/serde_json/src/lib.rs
+
+third_party/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-ba2db1457fcc0917.d: third_party/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-ba2db1457fcc0917.rmeta: third_party/serde_json/src/lib.rs
+
+third_party/serde_json/src/lib.rs:

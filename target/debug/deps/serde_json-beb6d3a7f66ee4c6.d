@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-beb6d3a7f66ee4c6.d: third_party/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-beb6d3a7f66ee4c6.rlib: third_party/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-beb6d3a7f66ee4c6.rmeta: third_party/serde_json/src/lib.rs
+
+third_party/serde_json/src/lib.rs:

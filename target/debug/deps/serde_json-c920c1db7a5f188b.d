@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_json-c920c1db7a5f188b.d: third_party/serde_json/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_json-c920c1db7a5f188b.rmeta: third_party/serde_json/src/lib.rs Cargo.toml
+
+third_party/serde_json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_roundtrip-2a359d92a032eecd.d: crates/tasks/tests/serde_roundtrip.rs
+
+/root/repo/target/debug/deps/serde_roundtrip-2a359d92a032eecd: crates/tasks/tests/serde_roundtrip.rs
+
+crates/tasks/tests/serde_roundtrip.rs:

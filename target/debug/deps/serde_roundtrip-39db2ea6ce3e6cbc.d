@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_roundtrip-39db2ea6ce3e6cbc.d: crates/tasks/tests/serde_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_roundtrip-39db2ea6ce3e6cbc.rmeta: crates/tasks/tests/serde_roundtrip.rs Cargo.toml
+
+crates/tasks/tests/serde_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

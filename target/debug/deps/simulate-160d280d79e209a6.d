@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulate-160d280d79e209a6.d: crates/bench/src/bin/simulate.rs
+
+/root/repo/target/debug/deps/simulate-160d280d79e209a6: crates/bench/src/bin/simulate.rs
+
+crates/bench/src/bin/simulate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulate-4d3c8d71c76b8bdf.d: crates/bench/src/bin/simulate.rs
+
+/root/repo/target/debug/deps/simulate-4d3c8d71c76b8bdf: crates/bench/src/bin/simulate.rs
+
+crates/bench/src/bin/simulate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulate-58f4215b9d516f0f.d: crates/bench/src/bin/simulate.rs
+
+/root/repo/target/debug/deps/simulate-58f4215b9d516f0f: crates/bench/src/bin/simulate.rs
+
+crates/bench/src/bin/simulate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulate-6b4b30815b63a3f1.d: crates/bench/src/bin/simulate.rs
+
+/root/repo/target/debug/deps/simulate-6b4b30815b63a3f1: crates/bench/src/bin/simulate.rs
+
+crates/bench/src/bin/simulate.rs:

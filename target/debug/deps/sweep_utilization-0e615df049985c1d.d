@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_utilization-0e615df049985c1d.d: crates/bench/src/bin/sweep_utilization.rs
+
+/root/repo/target/debug/deps/sweep_utilization-0e615df049985c1d: crates/bench/src/bin/sweep_utilization.rs
+
+crates/bench/src/bin/sweep_utilization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_utilization-a623d23f0a577c45.d: crates/bench/src/bin/sweep_utilization.rs
+
+/root/repo/target/debug/deps/sweep_utilization-a623d23f0a577c45: crates/bench/src/bin/sweep_utilization.rs
+
+crates/bench/src/bin/sweep_utilization.rs:

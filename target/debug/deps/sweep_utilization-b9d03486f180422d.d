@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_utilization-b9d03486f180422d.d: crates/bench/src/bin/sweep_utilization.rs
+
+/root/repo/target/debug/deps/sweep_utilization-b9d03486f180422d: crates/bench/src/bin/sweep_utilization.rs
+
+crates/bench/src/bin/sweep_utilization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_utilization-c2c54f01c1c880c9.d: crates/bench/src/bin/sweep_utilization.rs
+
+/root/repo/target/debug/deps/sweep_utilization-c2c54f01c1c880c9: crates/bench/src/bin/sweep_utilization.rs
+
+crates/bench/src/bin/sweep_utilization.rs:

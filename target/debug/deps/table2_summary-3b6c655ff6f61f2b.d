@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_summary-3b6c655ff6f61f2b.d: crates/bench/src/bin/table2_summary.rs
+
+/root/repo/target/debug/deps/table2_summary-3b6c655ff6f61f2b: crates/bench/src/bin/table2_summary.rs
+
+crates/bench/src/bin/table2_summary.rs:

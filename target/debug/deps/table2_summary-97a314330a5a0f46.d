@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_summary-97a314330a5a0f46.d: crates/bench/src/bin/table2_summary.rs
+
+/root/repo/target/debug/deps/table2_summary-97a314330a5a0f46: crates/bench/src/bin/table2_summary.rs
+
+crates/bench/src/bin/table2_summary.rs:

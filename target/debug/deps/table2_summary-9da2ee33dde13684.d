@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_summary-9da2ee33dde13684.d: crates/bench/src/bin/table2_summary.rs
+
+/root/repo/target/debug/deps/table2_summary-9da2ee33dde13684: crates/bench/src/bin/table2_summary.rs
+
+crates/bench/src/bin/table2_summary.rs:

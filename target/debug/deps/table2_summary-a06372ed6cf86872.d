@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_summary-a06372ed6cf86872.d: crates/bench/src/bin/table2_summary.rs
+
+/root/repo/target/debug/deps/table2_summary-a06372ed6cf86872: crates/bench/src/bin/table2_summary.rs
+
+crates/bench/src/bin/table2_summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem1-3366b347d26744c8.d: crates/core/tests/theorem1.rs
+
+/root/repo/target/debug/deps/theorem1-3366b347d26744c8: crates/core/tests/theorem1.rs
+
+crates/core/tests/theorem1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tradeoff_scheduler-138ab9ac93efce9f.d: crates/bench/src/bin/tradeoff_scheduler.rs
+
+/root/repo/target/debug/deps/tradeoff_scheduler-138ab9ac93efce9f: crates/bench/src/bin/tradeoff_scheduler.rs
+
+crates/bench/src/bin/tradeoff_scheduler.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tradeoff_scheduler-76b8a0c5ba4dfb5a.d: crates/bench/src/bin/tradeoff_scheduler.rs
+
+/root/repo/target/debug/deps/tradeoff_scheduler-76b8a0c5ba4dfb5a: crates/bench/src/bin/tradeoff_scheduler.rs
+
+crates/bench/src/bin/tradeoff_scheduler.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tradeoff_scheduler-79aa4f35a1c85781.d: crates/bench/src/bin/tradeoff_scheduler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtradeoff_scheduler-79aa4f35a1c85781.rmeta: crates/bench/src/bin/tradeoff_scheduler.rs Cargo.toml
+
+crates/bench/src/bin/tradeoff_scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

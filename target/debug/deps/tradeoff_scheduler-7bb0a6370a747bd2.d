@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tradeoff_scheduler-7bb0a6370a747bd2.d: crates/bench/src/bin/tradeoff_scheduler.rs
+
+/root/repo/target/debug/deps/tradeoff_scheduler-7bb0a6370a747bd2: crates/bench/src/bin/tradeoff_scheduler.rs
+
+crates/bench/src/bin/tradeoff_scheduler.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tradeoff_scheduler-987b4ec6342e2147.d: crates/bench/src/bin/tradeoff_scheduler.rs
+
+/root/repo/target/debug/deps/tradeoff_scheduler-987b4ec6342e2147: crates/bench/src/bin/tradeoff_scheduler.rs
+
+crates/bench/src/bin/tradeoff_scheduler.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/avionics_power-4171ba90ccab572e.d: crates/core/../../examples/avionics_power.rs Cargo.toml
+
+/root/repo/target/debug/examples/libavionics_power-4171ba90ccab572e.rmeta: crates/core/../../examples/avionics_power.rs Cargo.toml
+
+crates/core/../../examples/avionics_power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/avionics_power-4f77a827946659ba.d: crates/core/../../examples/avionics_power.rs
+
+/root/repo/target/debug/examples/avionics_power-4f77a827946659ba: crates/core/../../examples/avionics_power.rs
+
+crates/core/../../examples/avionics_power.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_policy-6cac9e4dffdc01a3.d: crates/core/../../examples/custom_policy.rs
+
+/root/repo/target/debug/examples/custom_policy-6cac9e4dffdc01a3: crates/core/../../examples/custom_policy.rs
+
+crates/core/../../examples/custom_policy.rs:

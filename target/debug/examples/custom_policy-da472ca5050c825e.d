@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_policy-da472ca5050c825e.d: crates/core/../../examples/custom_policy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_policy-da472ca5050c825e.rmeta: crates/core/../../examples/custom_policy.rs Cargo.toml
+
+crates/core/../../examples/custom_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

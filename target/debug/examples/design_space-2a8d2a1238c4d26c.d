@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-2a8d2a1238c4d26c.d: crates/core/../../examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-2a8d2a1238c4d26c: crates/core/../../examples/design_space.rs
+
+crates/core/../../examples/design_space.rs:

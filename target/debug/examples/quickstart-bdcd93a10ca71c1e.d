@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-bdcd93a10ca71c1e.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-bdcd93a10ca71c1e: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/schedule_trace-e1a7b149fa8e9cfd.d: crates/core/../../examples/schedule_trace.rs
+
+/root/repo/target/debug/examples/schedule_trace-e1a7b149fa8e9cfd: crates/core/../../examples/schedule_trace.rs
+
+crates/core/../../examples/schedule_trace.rs:

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["lpfps_sweep",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"lpfps_sweep/cli/enum.CliError.html\" title=\"enum lpfps_sweep::cli::CliError\">CliError</a>",0]]],["serde",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"struct\" href=\"serde/struct.Error.html\" title=\"struct serde::Error\">Error</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[283,254]}

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_ladder-9f41b6d0e78ff183.d: crates/bench/src/bin/ablation_ladder.rs
+
+/root/repo/target/release/deps/ablation_ladder-9f41b6d0e78ff183: crates/bench/src/bin/ablation_ladder.rs
+
+crates/bench/src/bin/ablation_ladder.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_overhead-599d2c7d9384f681.d: crates/bench/src/bin/ablation_overhead.rs
+
+/root/repo/target/release/deps/ablation_overhead-599d2c7d9384f681: crates/bench/src/bin/ablation_overhead.rs
+
+crates/bench/src/bin/ablation_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_policies-eafe7db7b6a365e4.d: crates/bench/src/bin/ablation_policies.rs
+
+/root/repo/target/release/deps/ablation_policies-eafe7db7b6a365e4: crates/bench/src/bin/ablation_policies.rs
+
+crates/bench/src/bin/ablation_policies.rs:

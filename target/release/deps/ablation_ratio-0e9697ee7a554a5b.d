@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_ratio-0e9697ee7a554a5b.d: crates/bench/src/bin/ablation_ratio.rs
+
+/root/repo/target/release/deps/ablation_ratio-0e9697ee7a554a5b: crates/bench/src/bin/ablation_ratio.rs
+
+crates/bench/src/bin/ablation_ratio.rs:

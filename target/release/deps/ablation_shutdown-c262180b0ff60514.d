@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_shutdown-c262180b0ff60514.d: crates/bench/src/bin/ablation_shutdown.rs
+
+/root/repo/target/release/deps/ablation_shutdown-c262180b0ff60514: crates/bench/src/bin/ablation_shutdown.rs
+
+crates/bench/src/bin/ablation_shutdown.rs:

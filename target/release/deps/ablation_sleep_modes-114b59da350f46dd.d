@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_sleep_modes-114b59da350f46dd.d: crates/bench/src/bin/ablation_sleep_modes.rs
+
+/root/repo/target/release/deps/ablation_sleep_modes-114b59da350f46dd: crates/bench/src/bin/ablation_sleep_modes.rs
+
+crates/bench/src/bin/ablation_sleep_modes.rs:

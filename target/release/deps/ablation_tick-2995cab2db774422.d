@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_tick-2995cab2db774422.d: crates/bench/src/bin/ablation_tick.rs
+
+/root/repo/target/release/deps/ablation_tick-2995cab2db774422: crates/bench/src/bin/ablation_tick.rs
+
+crates/bench/src/bin/ablation_tick.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_schedule-8d6c9955143ced32.d: crates/bench/src/bin/fig2_schedule.rs
+
+/root/repo/target/release/deps/fig2_schedule-8d6c9955143ced32: crates/bench/src/bin/fig2_schedule.rs
+
+crates/bench/src/bin/fig2_schedule.rs:

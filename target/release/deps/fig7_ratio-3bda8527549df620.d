@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_ratio-3bda8527549df620.d: crates/bench/src/bin/fig7_ratio.rs
+
+/root/repo/target/release/deps/fig7_ratio-3bda8527549df620: crates/bench/src/bin/fig7_ratio.rs
+
+crates/bench/src/bin/fig7_ratio.rs:

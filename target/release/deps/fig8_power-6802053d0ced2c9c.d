@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_power-6802053d0ced2c9c.d: crates/bench/src/bin/fig8_power.rs
+
+/root/repo/target/release/deps/fig8_power-6802053d0ced2c9c: crates/bench/src/bin/fig8_power.rs
+
+crates/bench/src/bin/fig8_power.rs:

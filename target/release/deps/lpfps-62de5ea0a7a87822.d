@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lpfps-62de5ea0a7a87822.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/driver.rs crates/core/src/lpfps_policy.rs crates/core/src/speed.rs
+
+/root/repo/target/release/deps/liblpfps-62de5ea0a7a87822.rlib: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/driver.rs crates/core/src/lpfps_policy.rs crates/core/src/speed.rs
+
+/root/repo/target/release/deps/liblpfps-62de5ea0a7a87822.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/driver.rs crates/core/src/lpfps_policy.rs crates/core/src/speed.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/driver.rs:
+crates/core/src/lpfps_policy.rs:
+crates/core/src/speed.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/lpfps_bench-d11b926b4aa67d93.d: crates/bench/src/lib.rs crates/bench/src/chart.rs
+
+/root/repo/target/release/deps/liblpfps_bench-d11b926b4aa67d93.rlib: crates/bench/src/lib.rs crates/bench/src/chart.rs
+
+/root/repo/target/release/deps/liblpfps_bench-d11b926b4aa67d93.rmeta: crates/bench/src/lib.rs crates/bench/src/chart.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chart.rs:

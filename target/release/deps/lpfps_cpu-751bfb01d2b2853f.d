@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/lpfps_cpu-751bfb01d2b2853f.d: crates/cpu/src/lib.rs crates/cpu/src/energy.rs crates/cpu/src/ladder.rs crates/cpu/src/modes.rs crates/cpu/src/power.rs crates/cpu/src/ramp.rs crates/cpu/src/spec.rs crates/cpu/src/state.rs crates/cpu/src/vf.rs
+
+/root/repo/target/release/deps/liblpfps_cpu-751bfb01d2b2853f.rlib: crates/cpu/src/lib.rs crates/cpu/src/energy.rs crates/cpu/src/ladder.rs crates/cpu/src/modes.rs crates/cpu/src/power.rs crates/cpu/src/ramp.rs crates/cpu/src/spec.rs crates/cpu/src/state.rs crates/cpu/src/vf.rs
+
+/root/repo/target/release/deps/liblpfps_cpu-751bfb01d2b2853f.rmeta: crates/cpu/src/lib.rs crates/cpu/src/energy.rs crates/cpu/src/ladder.rs crates/cpu/src/modes.rs crates/cpu/src/power.rs crates/cpu/src/ramp.rs crates/cpu/src/spec.rs crates/cpu/src/state.rs crates/cpu/src/vf.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/energy.rs:
+crates/cpu/src/ladder.rs:
+crates/cpu/src/modes.rs:
+crates/cpu/src/power.rs:
+crates/cpu/src/ramp.rs:
+crates/cpu/src/spec.rs:
+crates/cpu/src/state.rs:
+crates/cpu/src/vf.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lpfps_edf-ffe87fbabb6b6654.d: crates/edf/src/lib.rs crates/edf/src/discrete.rs crates/edf/src/model.rs crates/edf/src/profile.rs crates/edf/src/sim.rs crates/edf/src/yds.rs
+
+/root/repo/target/release/deps/liblpfps_edf-ffe87fbabb6b6654.rlib: crates/edf/src/lib.rs crates/edf/src/discrete.rs crates/edf/src/model.rs crates/edf/src/profile.rs crates/edf/src/sim.rs crates/edf/src/yds.rs
+
+/root/repo/target/release/deps/liblpfps_edf-ffe87fbabb6b6654.rmeta: crates/edf/src/lib.rs crates/edf/src/discrete.rs crates/edf/src/model.rs crates/edf/src/profile.rs crates/edf/src/sim.rs crates/edf/src/yds.rs
+
+crates/edf/src/lib.rs:
+crates/edf/src/discrete.rs:
+crates/edf/src/model.rs:
+crates/edf/src/profile.rs:
+crates/edf/src/sim.rs:
+crates/edf/src/yds.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/lpfps_kernel-de2aded5019bef2a.d: crates/kernel/src/lib.rs crates/kernel/src/engine.rs crates/kernel/src/gantt.rs crates/kernel/src/policy.rs crates/kernel/src/queues.rs crates/kernel/src/report.rs crates/kernel/src/stats.rs crates/kernel/src/trace.rs
+
+/root/repo/target/release/deps/liblpfps_kernel-de2aded5019bef2a.rlib: crates/kernel/src/lib.rs crates/kernel/src/engine.rs crates/kernel/src/gantt.rs crates/kernel/src/policy.rs crates/kernel/src/queues.rs crates/kernel/src/report.rs crates/kernel/src/stats.rs crates/kernel/src/trace.rs
+
+/root/repo/target/release/deps/liblpfps_kernel-de2aded5019bef2a.rmeta: crates/kernel/src/lib.rs crates/kernel/src/engine.rs crates/kernel/src/gantt.rs crates/kernel/src/policy.rs crates/kernel/src/queues.rs crates/kernel/src/report.rs crates/kernel/src/stats.rs crates/kernel/src/trace.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/engine.rs:
+crates/kernel/src/gantt.rs:
+crates/kernel/src/policy.rs:
+crates/kernel/src/queues.rs:
+crates/kernel/src/report.rs:
+crates/kernel/src/stats.rs:
+crates/kernel/src/trace.rs:

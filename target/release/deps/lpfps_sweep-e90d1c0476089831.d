@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lpfps_sweep-e90d1c0476089831.d: crates/sweep/src/lib.rs crates/sweep/src/cell.rs crates/sweep/src/cli.rs crates/sweep/src/metrics.rs crates/sweep/src/runner.rs crates/sweep/src/spec.rs
+
+/root/repo/target/release/deps/liblpfps_sweep-e90d1c0476089831.rlib: crates/sweep/src/lib.rs crates/sweep/src/cell.rs crates/sweep/src/cli.rs crates/sweep/src/metrics.rs crates/sweep/src/runner.rs crates/sweep/src/spec.rs
+
+/root/repo/target/release/deps/liblpfps_sweep-e90d1c0476089831.rmeta: crates/sweep/src/lib.rs crates/sweep/src/cell.rs crates/sweep/src/cli.rs crates/sweep/src/metrics.rs crates/sweep/src/runner.rs crates/sweep/src/spec.rs
+
+crates/sweep/src/lib.rs:
+crates/sweep/src/cell.rs:
+crates/sweep/src/cli.rs:
+crates/sweep/src/metrics.rs:
+crates/sweep/src/runner.rs:
+crates/sweep/src/spec.rs:

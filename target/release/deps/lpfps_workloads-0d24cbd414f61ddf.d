@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/lpfps_workloads-0d24cbd414f61ddf.d: crates/workloads/src/lib.rs crates/workloads/src/avionics.rs crates/workloads/src/bcet_figure1.rs crates/workloads/src/catalog.rs crates/workloads/src/cnc.rs crates/workloads/src/flight.rs crates/workloads/src/ins.rs crates/workloads/src/table1.rs
+
+/root/repo/target/release/deps/liblpfps_workloads-0d24cbd414f61ddf.rlib: crates/workloads/src/lib.rs crates/workloads/src/avionics.rs crates/workloads/src/bcet_figure1.rs crates/workloads/src/catalog.rs crates/workloads/src/cnc.rs crates/workloads/src/flight.rs crates/workloads/src/ins.rs crates/workloads/src/table1.rs
+
+/root/repo/target/release/deps/liblpfps_workloads-0d24cbd414f61ddf.rmeta: crates/workloads/src/lib.rs crates/workloads/src/avionics.rs crates/workloads/src/bcet_figure1.rs crates/workloads/src/catalog.rs crates/workloads/src/cnc.rs crates/workloads/src/flight.rs crates/workloads/src/ins.rs crates/workloads/src/table1.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/avionics.rs:
+crates/workloads/src/bcet_figure1.rs:
+crates/workloads/src/catalog.rs:
+crates/workloads/src/cnc.rs:
+crates/workloads/src/flight.rs:
+crates/workloads/src/ins.rs:
+crates/workloads/src/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/related_work_dvs-0fd9a1698f5ed567.d: crates/bench/src/bin/related_work_dvs.rs
+
+/root/repo/target/release/deps/related_work_dvs-0fd9a1698f5ed567: crates/bench/src/bin/related_work_dvs.rs
+
+crates/bench/src/bin/related_work_dvs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report_svg-ff9b695914aa8e0a.d: crates/bench/src/bin/report_svg.rs
+
+/root/repo/target/release/deps/report_svg-ff9b695914aa8e0a: crates/bench/src/bin/report_svg.rs
+
+crates/bench/src/bin/report_svg.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/serde-2cf6eeda9ab9c772.d: third_party/serde/src/lib.rs third_party/serde/src/value.rs
+
+/root/repo/target/release/deps/libserde-2cf6eeda9ab9c772.rlib: third_party/serde/src/lib.rs third_party/serde/src/value.rs
+
+/root/repo/target/release/deps/libserde-2cf6eeda9ab9c772.rmeta: third_party/serde/src/lib.rs third_party/serde/src/value.rs
+
+third_party/serde/src/lib.rs:
+third_party/serde/src/value.rs:

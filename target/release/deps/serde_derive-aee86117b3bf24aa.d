@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-aee86117b3bf24aa.d: third_party/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-aee86117b3bf24aa.so: third_party/serde_derive/src/lib.rs
+
+third_party/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-728331baddefa950.d: third_party/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-728331baddefa950.rlib: third_party/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-728331baddefa950.rmeta: third_party/serde_json/src/lib.rs
+
+third_party/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulate-f6e30caf464bcefe.d: crates/bench/src/bin/simulate.rs
+
+/root/repo/target/release/deps/simulate-f6e30caf464bcefe: crates/bench/src/bin/simulate.rs
+
+crates/bench/src/bin/simulate.rs:

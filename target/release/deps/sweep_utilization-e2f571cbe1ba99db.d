@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep_utilization-e2f571cbe1ba99db.d: crates/bench/src/bin/sweep_utilization.rs
+
+/root/repo/target/release/deps/sweep_utilization-e2f571cbe1ba99db: crates/bench/src/bin/sweep_utilization.rs
+
+crates/bench/src/bin/sweep_utilization.rs:

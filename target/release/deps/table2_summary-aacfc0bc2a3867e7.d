@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_summary-aacfc0bc2a3867e7.d: crates/bench/src/bin/table2_summary.rs
+
+/root/repo/target/release/deps/table2_summary-aacfc0bc2a3867e7: crates/bench/src/bin/table2_summary.rs
+
+crates/bench/src/bin/table2_summary.rs:

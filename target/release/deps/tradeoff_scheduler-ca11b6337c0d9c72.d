@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tradeoff_scheduler-ca11b6337c0d9c72.d: crates/bench/src/bin/tradeoff_scheduler.rs
+
+/root/repo/target/release/deps/tradeoff_scheduler-ca11b6337c0d9c72: crates/bench/src/bin/tradeoff_scheduler.rs
+
+crates/bench/src/bin/tradeoff_scheduler.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libserde_derive.so: /root/repo/third_party/serde_derive/src/lib.rs

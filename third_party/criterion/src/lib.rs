@@ -1,0 +1,200 @@
+//! Vendored, dependency-free stand-in for `criterion`.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the macro/API surface the workspace's benches use — `criterion_group!`,
+//! `criterion_main!`, `Criterion::benchmark_group`, `Bencher::iter` /
+//! `iter_batched`, `BatchSize`, `black_box` — with a simple wall-clock
+//! harness: warm up briefly, time a fixed batch of iterations per sample,
+//! and print mean/min/max per-iteration times. No statistics engine, no
+//! HTML reports, no `target/criterion` state.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How much setup output to amortize per timing batch. The vendored harness
+/// only distinguishes "run the routine once per setup" from "reuse setup
+/// across a small batch"; the distinction only affects timing granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+impl BatchSize {
+    fn iters_per_setup(self) -> u64 {
+        match self {
+            BatchSize::SmallInput => 16,
+            BatchSize::LargeInput => 4,
+            BatchSize::PerIteration => 1,
+        }
+    }
+}
+
+/// Times closures handed to it by a benchmark function.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: u64,
+}
+
+impl Bencher {
+    fn new(sample_count: u64) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 32,
+            sample_count,
+        }
+    }
+
+    /// Benchmarks `routine` by timing batches of calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call so lazy initialization does not skew
+        // the first sample.
+        black_box(routine());
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+
+    /// Benchmarks `routine` over inputs produced by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let per_setup = size.iters_per_setup();
+        black_box(routine(setup()));
+        for _ in 0..self.sample_count {
+            let mut elapsed = Duration::ZERO;
+            let mut iters = 0u64;
+            while iters < self.iters_per_sample {
+                let inputs: Vec<I> = (0..per_setup).map(|_| setup()).collect();
+                let start = Instant::now();
+                for input in inputs {
+                    black_box(routine(input));
+                }
+                elapsed += start.elapsed();
+                iters += per_setup;
+            }
+            self.samples.push(elapsed / iters as u32);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<48} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().expect("non-empty");
+        let max = self.samples.iter().max().expect("non-empty");
+        println!(
+            "{id:<48} time: [{} {} {}]",
+            fmt_duration(*min),
+            fmt_duration(mean),
+            fmt_duration(*max)
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_count: u64,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark (criterion's
+    /// `sample_size`).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(1) as u64;
+        self
+    }
+
+    /// Runs one benchmark: hands a [`Bencher`] to `f` and prints the
+    /// timing summary.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_count);
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Finishes the group (no-op beyond matching the real API).
+    pub fn finish(self) {}
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_count: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Single-function benchmark without a group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(10);
+        f(&mut bencher);
+        bencher.report(&id.to_string());
+        self
+    }
+}
+
+/// Declares a benchmark group function, as in the real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,33 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: std::ops::Range<usize>,
+}
+
+/// Generates `Vec`s whose length is drawn from `size` (half-open, as in
+/// `vec(elem, 1..10)`) and whose elements come from `element`.
+pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(
+        size.start < size.end,
+        "empty size range for collection::vec"
+    );
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn try_sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + (rng.next_u64() % span) as usize;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.element.try_sample(rng)?);
+        }
+        Some(out)
+    }
+}

@@ -1,0 +1,123 @@
+//! Test execution: configuration, deterministic RNG, and the case loop.
+
+use crate::strategy::Strategy;
+
+/// Subset of proptest's configuration that this workspace sets.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum rejections (filters + `prop_assume!`) tolerated before the
+    /// test errors out as unable to generate valid inputs.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a test case did not succeed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Assertion failure: the property is violated. Aborts the test.
+    Fail(String),
+    /// `prop_assume!` rejection: the input is invalid. Retried without
+    /// counting toward the case budget.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => write!(f, "test case failed: {msg}"),
+            TestCaseError::Reject(msg) => write!(f, "input rejected: {msg}"),
+        }
+    }
+}
+
+/// Deterministic SplitMix64 stream. Seeded from the test name so every
+/// property test explores a distinct but reproducible sequence.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+fn seed_from_name(name: &str) -> u64 {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Drives `config.cases` successful executions of `body` over inputs drawn
+/// from `strategy`. Panics (failing the enclosing `#[test]`) on the first
+/// property violation, reporting the offending case index.
+pub fn run<S, F>(config: &ProptestConfig, name: &str, strategy: &S, body: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::new(seed_from_name(name));
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    while passed < config.cases {
+        if rejected > config.max_global_rejects {
+            panic!(
+                "proptest `{name}`: exceeded {} input rejections after {passed} passing cases \
+                 — strategy filters/prop_assume! are too strict",
+                config.max_global_rejects
+            );
+        }
+        let Some(input) = strategy.try_sample(&mut rng) else {
+            rejected += 1;
+            continue;
+        };
+        match body(input) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => rejected += 1,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest `{name}` failed at case {passed}: {msg}")
+            }
+        }
+    }
+}

@@ -1,0 +1,489 @@
+//! Vendored, dependency-free stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so this proc-macro
+//! crate re-implements `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! against the vendored `serde` facade (a tree-model `to_value` /
+//! `from_value` pair rather than the real visitor architecture). It parses
+//! the item's token stream by hand — no `syn`, no `quote` — and supports
+//! exactly the shapes this workspace uses:
+//!
+//! * structs with named fields (honouring `#[serde(skip)]`),
+//! * tuple structs (arity 1 serializes transparently, like serde newtypes),
+//! * enums with unit, tuple, and struct variants (externally tagged, the
+//!   serde default: `"Variant"`, `{"Variant": value}`, `{"Variant": {...}}`).
+//!
+//! Generic types are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// item model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn is_ident(tt: &TokenTree, word: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == word)
+}
+
+/// Splits a field-list or variant-list token stream on top-level commas,
+/// tracking `<`/`>` depth so commas inside generic arguments (e.g.
+/// `Vec<(Time, TraceEvent)>`) do not split.
+fn split_on_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle: i32 = 0;
+    for tt in tokens {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(tt.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Consumes leading attributes from `tokens[i..]`, returning the next index
+/// and whether any attribute was `#[serde(skip)]`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut skip = false;
+    while i + 1 < tokens.len() && is_punct(&tokens[i], '#') {
+        if let TokenTree::Group(g) = &tokens[i + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if !inner.is_empty() && is_ident(&inner[0], "serde") {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        let body = args.stream().to_string();
+                        if body.split(',').any(|a| a.trim() == "skip") {
+                            skip = true;
+                        }
+                    }
+                }
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    (i, skip)
+}
+
+/// Consumes an optional visibility (`pub`, `pub(crate)`, ...).
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if i < tokens.len() && is_ident(&tokens[i], "pub") {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Parses `name: Type, ...` named fields (with attributes and visibility).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    for piece in split_on_commas(&tokens) {
+        let (i, skip) = skip_attrs(&piece, 0);
+        let i = skip_vis(&piece, i);
+        let name = match piece.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        if !piece.get(i + 1).map(|t| is_punct(t, ':')).unwrap_or(false) {
+            return Err(format!("expected ':' after field `{name}`"));
+        }
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+/// Parses the variants of an enum body.
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    for piece in split_on_commas(&tokens) {
+        let (i, _) = skip_attrs(&piece, 0);
+        let name = match piece.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let kind = match piece.get(i + 1) {
+            None => VariantKind::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                VariantKind::Tuple(split_on_commas(&inner).len())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantKind::Struct(parse_named_fields(g.stream())?)
+            }
+            other => {
+                return Err(format!(
+                    "unsupported variant shape after `{name}`: {other:?}"
+                ))
+            }
+        };
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Item-level attributes (doc comments, other derives' helpers).
+    loop {
+        let (next, _) = skip_attrs(&tokens, i);
+        if next == i {
+            break;
+        }
+        i = next;
+    }
+    i = skip_vis(&tokens, i);
+    let is_enum = if is_ident(&tokens[i], "struct") {
+        false
+    } else if is_ident(&tokens[i], "enum") {
+        true
+    } else {
+        return Err(format!(
+            "expected `struct` or `enum`, found {:?}",
+            tokens[i]
+        ));
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+    if tokens.get(i).map(|t| is_punct(t, '<')).unwrap_or(false) {
+        return Err(format!(
+            "the vendored serde_derive does not support generic types (`{name}`)"
+        ));
+    }
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                Ok(Item::Enum {
+                    name,
+                    variants: parse_variants(g.stream())?,
+                })
+            } else {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream())?,
+                })
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && !is_enum => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Ok(Item::TupleStruct {
+                name,
+                arity: split_on_commas(&inner).len(),
+            })
+        }
+        other => Err(format!("unsupported item body for `{name}`: {other:?}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// code generation (string-built, then reparsed)
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = String::from("let mut __m = ::serde::value::Map::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                body.push_str(&format!(
+                    "__m.insert(::std::string::String::from(\"{0}\"), \
+                     ::serde::Serialize::to_value(&self.{0}));\n",
+                    f.name
+                ));
+            }
+            body.push_str("::serde::Value::Object(__m)");
+            impl_serialize(name, &body)
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+            };
+            impl_serialize(name, &body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String(\
+                         ::std::string::String::from(\"{v}\")),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => ::serde::value::variant(\"{v}\", {inner}),\n",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner =
+                            String::from("{ let mut __m = ::serde::value::Map::new();\n");
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            inner.push_str(&format!(
+                                "__m.insert(::std::string::String::from(\"{0}\"), \
+                                 ::serde::Serialize::to_value({0}));\n",
+                                f.name
+                            ));
+                        }
+                        inner.push_str("::serde::Value::Object(__m) }");
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::value::variant(\"{v}\", {inner}),\n",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            impl_serialize(name, &format!("match self {{\n{arms}\n}}"))
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn named_fields_ctor(ty: &str, fields: &[Field], map_expr: &str) -> String {
+    let mut ctor = String::new();
+    for f in fields {
+        if f.skip {
+            ctor.push_str(&format!(
+                "{}: ::core::default::Default::default(),\n",
+                f.name
+            ));
+        } else {
+            // Missing fields fall back to deserializing from Null so that
+            // `Option<T>` fields may be absent (serde's behaviour); other
+            // types turn that into a "missing field" error.
+            ctor.push_str(&format!(
+                "{0}: match {map_expr}.get(\"{0}\") {{\n\
+                     Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+                     None => ::serde::Deserialize::from_value(&::serde::Value::Null)\n\
+                         .map_err(|_| ::serde::Error::missing_field(\"{ty}\", \"{0}\"))?,\n\
+                 }},\n",
+                f.name
+            ));
+        }
+    }
+    ctor
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let ctor = named_fields_ctor(name, fields, "__m");
+            let body = format!(
+                "let __m = __value.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected a JSON object for {name}\"))?;\n\
+                 ::core::result::Result::Ok({name} {{\n{ctor}\n}})"
+            );
+            impl_deserialize(name, &body)
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!(
+                    "::core::result::Result::Ok({name}(\
+                     ::serde::Deserialize::from_value(__value)?))"
+                )
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_value(__a.get({i}).ok_or_else(|| \
+                             ::serde::Error::custom(\"tuple struct {name} is too short\"))?)?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let __a = __value.as_array().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected a JSON array for {name}\"))?;\n\
+                     ::core::result::Result::Ok({name}({}))",
+                    items.join(", ")
+                )
+            };
+            impl_deserialize(name, &body)
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{v}\" => ::core::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let build = if *n == 1 {
+                            format!(
+                                "::core::result::Result::Ok({name}::{v}(\
+                                 ::serde::Deserialize::from_value(__inner)?))",
+                                v = v.name
+                            )
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(__a.get({i})\
+                                         .ok_or_else(|| ::serde::Error::custom(\
+                                         \"variant {v} is too short\"))?)?",
+                                        v = v.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{{ let __a = __inner.as_array().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected array for {v}\"))?;\n\
+                                 ::core::result::Result::Ok({name}::{v}({items})) }}",
+                                v = v.name,
+                                items = items.join(", ")
+                            )
+                        };
+                        tagged_arms.push_str(&format!("\"{v}\" => {build},\n", v = v.name));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let ctor =
+                            named_fields_ctor(&format!("{name}::{}", v.name), fields, "__vm");
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => {{ let __vm = __inner.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object for {v}\"))?;\n\
+                             ::core::result::Result::Ok({name}::{v} {{\n{ctor}\n}}) }},\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match __value {{\n\
+                     ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => ::core::result::Result::Err(::serde::Error::custom(\
+                             &::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                         let (__tag, __inner) = __m.iter().next().expect(\"len checked\");\n\
+                         match __tag.as_str() {{\n\
+                             {tagged_arms}\
+                             __other => ::core::result::Result::Err(::serde::Error::custom(\
+                                 &::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                         }}\n\
+                     }},\n\
+                     _ => ::core::result::Result::Err(::serde::Error::custom(\
+                         \"expected a string or single-key object for {name}\")),\n\
+                 }}"
+            );
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) \
+             -> ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => gen(&item),
+        Err(msg) => format!("::core::compile_error!({msg:?});"),
+    };
+    code.parse()
+        .expect("vendored serde_derive generated invalid Rust")
+}
+
+/// Derives the vendored `serde::Serialize` (tree-model `to_value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the vendored `serde::Deserialize` (tree-model `from_value`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
