@@ -99,7 +99,9 @@ fn main() {
     println!("idle-gap distributions (why timeouts hurt short-gap workloads):");
     for (app_index, ts) in applications().iter().enumerate() {
         // The FPS report is the first cell of each app's row.
-        let report = &outcome.reports[app_index * per_app];
+        let report = outcome
+            .report(app_index * per_app)
+            .expect("ablation cells are fault-free and complete");
         println!("  {:<16} {}", ts.name(), report.idle_gaps);
     }
     println!();

@@ -120,7 +120,7 @@ fn main() {
     let mut spec = SweepSpec::new("simulate");
     spec.push(cell);
     let outcome = run_sweep(&spec, &parsed.run_options());
-    let report = &outcome.reports[0];
+    let report = outcome.report(0).expect("single simulate cell completes");
 
     let ts = base.with_bcet_fraction(bcet);
     println!("{ts}");

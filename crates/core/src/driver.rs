@@ -29,10 +29,18 @@ pub enum PolicyKind {
     /// Offline static slowdown: the whole schedule runs at the lowest
     /// single frequency that keeps the set RTA-schedulable.
     StaticSlowdown,
+    /// Full LPFPS with the graceful-degradation watchdog (see
+    /// [`LpfpsPolicy::with_watchdog`]): identical to `Lpfps` on fault-free
+    /// runs, but reverts to full speed for a cooldown after every kernel
+    /// fault report. Not part of [`PolicyKind::ALL`] — it only differs
+    /// from `Lpfps` under an injected fault model, so the paper-figure
+    /// sweeps skip it.
+    LpfpsWatchdog,
 }
 
 impl PolicyKind {
-    /// All policies, in report order.
+    /// All fault-free policies, in report order (`LpfpsWatchdog` is
+    /// excluded: it coincides with `Lpfps` except under injected faults).
     pub const ALL: [PolicyKind; 6] = [
         PolicyKind::Fps,
         PolicyKind::FpsPd,
@@ -41,6 +49,12 @@ impl PolicyKind {
         PolicyKind::Lpfps,
         PolicyKind::LpfpsOptimal,
     ];
+
+    /// The default watchdog cooldown used by [`PolicyKind::LpfpsWatchdog`]:
+    /// long enough to drain a burst of overruns at full speed on the
+    /// paper-scale task sets (periods of tens to hundreds of µs), short
+    /// enough that power management resumes within a few hyperperiods.
+    pub const DEFAULT_WATCHDOG_COOLDOWN: Dur = Dur::from_ms(1);
 
     /// The stable report name.
     pub fn name(self) -> &'static str {
@@ -51,6 +65,7 @@ impl PolicyKind {
             PolicyKind::Lpfps => "lpfps",
             PolicyKind::LpfpsOptimal => "lpfps-opt",
             PolicyKind::StaticSlowdown => "static",
+            PolicyKind::LpfpsWatchdog => "lpfps-wd",
         }
     }
 }
@@ -81,6 +96,13 @@ pub fn run(
         PolicyKind::LpfpsOptimal => {
             simulate(ts, cpu, &mut LpfpsPolicy::with_optimal_ratio(), exec, cfg)
         }
+        PolicyKind::LpfpsWatchdog => simulate(
+            ts,
+            cpu,
+            &mut LpfpsPolicy::with_watchdog(PolicyKind::DEFAULT_WATCHDOG_COOLDOWN),
+            exec,
+            cfg,
+        ),
         PolicyKind::StaticSlowdown => {
             let derated = static_slowdown_spec(ts, cpu).unwrap_or_else(|| cpu.clone());
             let mut report = simulate(ts, &derated, &mut Fps, exec, cfg);
@@ -212,8 +234,62 @@ mod tests {
     #[test]
     fn policy_names_are_unique() {
         let mut names: Vec<_> = PolicyKind::ALL.iter().map(|k| k.name()).collect();
+        names.push(PolicyKind::LpfpsWatchdog.name());
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), PolicyKind::ALL.len());
+        assert_eq!(names.len(), PolicyKind::ALL.len() + 1);
+    }
+
+    #[test]
+    fn watchdog_matches_vanilla_lpfps_on_fault_free_runs() {
+        let cpu = CpuSpec::arm8();
+        let ts = table1().with_bcet_fraction(0.5);
+        let cfg = SimConfig::new(default_horizon(&ts)).with_seed(7);
+        let exec = lpfps_tasks::exec::PaperGaussian;
+        let vanilla = run(&ts, &cpu, PolicyKind::Lpfps, &exec, &cfg);
+        let wd = run(&ts, &cpu, PolicyKind::LpfpsWatchdog, &exec, &cfg);
+        assert_eq!(wd.policy, "lpfps-wd");
+        assert_eq!(vanilla.energy.total_energy(), wd.energy.total_energy());
+        assert_eq!(vanilla.responses, wd.responses);
+        assert_eq!(wd.counters.degradations, 0);
+    }
+
+    #[test]
+    fn watchdog_recovers_overruns_that_break_vanilla_lpfps() {
+        use lpfps_faults::{FaultConfig, OverrunFault};
+        // A slack-rich set: schedulable at full speed even with every job
+        // inflated 1.5x, so FPS never misses — but vanilla LPFPS stretches
+        // jobs against WCET-based slack that overruns then consume.
+        let ts = TaskSet::rate_monotonic(
+            "slack",
+            vec![
+                Task::new("a", Dur::from_us(100), Dur::from_us(15)),
+                Task::new("b", Dur::from_us(200), Dur::from_us(30)),
+                Task::new("c", Dur::from_us(400), Dur::from_us(60)),
+            ],
+        );
+        let cpu = CpuSpec::arm8();
+        let faults = FaultConfig::none()
+            .with_seed(21)
+            .with_overrun(OverrunFault::clamped(0.3, 0.5, 1.5));
+        let cfg = SimConfig::new(Dur::from_ms(20))
+            .with_seed(9)
+            .with_faults(faults);
+        let exec = AlwaysWcet;
+        let vanilla = run(&ts, &cpu, PolicyKind::Lpfps, &exec, &cfg);
+        let wd = run(&ts, &cpu, PolicyKind::LpfpsWatchdog, &exec, &cfg);
+        assert!(vanilla.counters.overruns > 0);
+        assert!(wd.counters.degradations > 0, "watchdog never engaged");
+        assert!(
+            wd.misses.len() <= vanilla.misses.len(),
+            "watchdog ({}) must not miss more than vanilla ({})",
+            wd.misses.len(),
+            vanilla.misses.len()
+        );
+        assert!(
+            wd.all_deadlines_met(),
+            "watchdog LPFPS missed: {:?}",
+            wd.misses
+        );
     }
 }

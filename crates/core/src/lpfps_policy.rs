@@ -17,8 +17,9 @@
 //! power-down or DVS halves of the policy.
 
 use crate::speed::{r_heu, r_opt_trapezoid};
-use lpfps_kernel::policy::{PowerDirective, PowerPolicy, SchedulerContext};
+use lpfps_kernel::policy::{FaultEvent, PowerDirective, PowerPolicy, SchedulerContext};
 use lpfps_tasks::freq::Freq;
+use lpfps_tasks::time::{Dur, Time};
 
 /// How the speed ratio is computed (paper §3.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -50,6 +51,19 @@ pub struct LpfpsPolicy {
     enable_powerdown: bool,
     enable_dvs: bool,
     name: &'static str,
+    /// Graceful-degradation cooldown: after a kernel watchdog report the
+    /// policy answers `FullSpeed` (no DVS, no power-down) for this long.
+    /// `None` is the paper's vanilla policy, which ignores faults.
+    watchdog_cooldown: Option<Dur>,
+    /// End of the current degraded window, if one is in force.
+    degraded_until: Option<Time>,
+    /// WCET inflation margin for the slow-down budget, `>= 1.0`. Vanilla
+    /// LPFPS plans the stretch against `C_i - E_i`; with a margin `m` it
+    /// plans against `m*C_i - E_i`, reserving headroom for overruns of up
+    /// to `m` times the WCET — Theorem 1's argument then holds with the
+    /// inflated budget, so clamped overruns within `m` cannot push a
+    /// slowed job past the window even before the watchdog reacts.
+    overrun_margin: f64,
 }
 
 impl LpfpsPolicy {
@@ -61,16 +75,18 @@ impl LpfpsPolicy {
             enable_powerdown: true,
             enable_dvs: true,
             name: "lpfps",
+            watchdog_cooldown: None,
+            degraded_until: None,
+            overrun_margin: 1.0,
         }
     }
 
     /// Full LPFPS with the optimal ratio (the paper's future-work variant).
     pub fn with_optimal_ratio() -> Self {
         LpfpsPolicy {
-            method: RatioMethod::Optimal,
-            enable_powerdown: true,
-            enable_dvs: true,
             name: "lpfps-opt",
+            method: RatioMethod::Optimal,
+            ..LpfpsPolicy::new()
         }
     }
 
@@ -78,10 +94,9 @@ impl LpfpsPolicy {
     /// conventional kernel gains from the delay-queue timer trick alone.
     pub fn power_down_only() -> Self {
         LpfpsPolicy {
-            method: RatioMethod::Heuristic,
-            enable_powerdown: true,
-            enable_dvs: false,
             name: "fps-pd",
+            enable_dvs: false,
+            ..LpfpsPolicy::new()
         }
     }
 
@@ -89,16 +104,60 @@ impl LpfpsPolicy {
     /// lone active task still runs slowed.
     pub fn dvs_only() -> Self {
         LpfpsPolicy {
-            method: RatioMethod::Heuristic,
-            enable_powerdown: false,
-            enable_dvs: true,
             name: "lpfps-dvs",
+            enable_powerdown: false,
+            ..LpfpsPolicy::new()
         }
+    }
+
+    /// Full LPFPS with the graceful-degradation watchdog: after any kernel
+    /// fault report ([`FaultEvent`]) the policy reverts to full speed and
+    /// suppresses both DVS and power-down until `cooldown` has elapsed,
+    /// then resumes normal operation. Theorem 1's guarantee assumes jobs
+    /// stay within their WCET; when that assumption breaks at run time,
+    /// this is the recovery: stop stretching work and burn through the
+    /// backlog at maximum speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cooldown is zero (a zero-length degraded window would
+    /// make the watchdog a no-op and silently mimic vanilla LPFPS).
+    pub fn with_watchdog(cooldown: Dur) -> Self {
+        assert!(!cooldown.is_zero(), "watchdog cooldown must be positive");
+        LpfpsPolicy {
+            name: "lpfps-wd",
+            watchdog_cooldown: Some(cooldown),
+            ..LpfpsPolicy::new()
+        }
+    }
+
+    /// Adds a defensive slow-down margin: the stretch budget becomes
+    /// `margin * C_i - E_i` instead of `C_i - E_i`, trading DVS savings
+    /// for tolerance of WCET overruns up to `margin` times the budget.
+    /// Composes with [`LpfpsPolicy::with_watchdog`]: the margin prevents
+    /// the miss a clamped overrun could cause *before* detection, the
+    /// watchdog cleans up everything past the margin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the margin is not finite or below 1.0.
+    pub fn with_overrun_margin(mut self, margin: f64) -> Self {
+        assert!(
+            margin.is_finite() && margin >= 1.0,
+            "overrun margin must be >= 1"
+        );
+        self.overrun_margin = margin;
+        self
     }
 
     /// The configured ratio method.
     pub fn method(&self) -> RatioMethod {
         self.method
+    }
+
+    /// True while a watchdog degraded window is in force at `now`.
+    pub fn is_degraded(&self, now: Time) -> bool {
+        self.degraded_until.is_some_and(|until| now < until)
     }
 }
 
@@ -114,6 +173,15 @@ impl PowerPolicy for LpfpsPolicy {
     }
 
     fn decide(&mut self, ctx: &SchedulerContext<'_>) -> PowerDirective {
+        // Watchdog degraded mode: after a fault report, no power
+        // management at all until the cooldown elapses — the kernel's
+        // L1–L4 rule then keeps the processor at maximum throughput.
+        if let Some(until) = self.degraded_until {
+            if ctx.now < until {
+                return PowerDirective::FullSpeed;
+            }
+            self.degraded_until = None;
+        }
         // L12: LPFPS acts only when the run queue is empty.
         if !ctx.run_queue.is_empty() {
             return PowerDirective::FullSpeed;
@@ -167,7 +235,13 @@ impl PowerPolicy for LpfpsPolicy {
                 }
                 let window = bound.saturating_since(ctx.now);
                 let reference = ctx.cpu.reference_freq();
-                let remaining = active.wcet_remaining.time_at(reference);
+                let mut remaining = active.wcet_remaining.time_at(reference);
+                if self.overrun_margin > 1.0 {
+                    let wcet = ctx.taskset.tasks()[active.task.0].wcet();
+                    let headroom =
+                        ((self.overrun_margin - 1.0) * wcet.as_ns() as f64).ceil() as u64;
+                    remaining += Dur::from_ns(headroom);
+                }
                 if remaining >= window {
                     return PowerDirective::FullSpeed;
                 }
@@ -198,6 +272,15 @@ impl PowerPolicy for LpfpsPolicy {
                 PowerDirective::SlowDown { freq, speedup_at }
             }
         }
+    }
+
+    fn on_fault(&mut self, event: &FaultEvent) -> bool {
+        let Some(cooldown) = self.watchdog_cooldown else {
+            return false; // vanilla LPFPS: Theorem 1 is trusted blindly
+        };
+        // Repeated faults extend the window from the latest report.
+        self.degraded_until = Some(event.time() + cooldown);
+        true
     }
 }
 
@@ -426,6 +509,110 @@ mod tests {
             }
             other => panic!("expected PowerDown, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn watchdog_degrades_after_fault_and_recovers() {
+        let mut f = fixture();
+        f.delay
+            .insert(TaskId(0), Priority::new(0), Time::from_us(200));
+        let active = ActiveView {
+            task: TaskId(1),
+            wcet_remaining: Cycles::new(2_000),
+            release: Time::from_us(160),
+            deadline: Time::from_us(240),
+        };
+        let mut wd = LpfpsPolicy::with_watchdog(Dur::from_us(30));
+        assert_eq!(wd.name(), "lpfps-wd");
+
+        // Before any fault it behaves exactly like vanilla LPFPS.
+        let c = ctx(&f, Time::from_us(160), Some(active));
+        assert!(matches!(wd.decide(&c), PowerDirective::SlowDown { .. }));
+
+        // A fault at t = 165 degrades until 195: full speed only.
+        let engaged = wd.on_fault(&FaultEvent::BudgetOverrun {
+            task: TaskId(1),
+            now: Time::from_us(165),
+        });
+        assert!(engaged);
+        assert!(wd.is_degraded(Time::from_us(170)));
+        let c = ctx(&f, Time::from_us(170), Some(active));
+        assert_eq!(wd.decide(&c), PowerDirective::FullSpeed);
+
+        // Power-down is suppressed too.
+        let c = ctx(&f, Time::from_us(170), None);
+        assert_eq!(wd.decide(&c), PowerDirective::FullSpeed);
+
+        // After the cooldown the policy resumes power management (with a
+        // window that still has slack to exploit).
+        assert!(!wd.is_degraded(Time::from_us(195)));
+        let mut late = fixture();
+        late.delay
+            .insert(TaskId(0), Priority::new(0), Time::from_us(300));
+        let c = ctx(&late, Time::from_us(196), Some(active));
+        assert!(matches!(wd.decide(&c), PowerDirective::SlowDown { .. }));
+    }
+
+    #[test]
+    fn repeated_faults_extend_the_degraded_window() {
+        let mut wd = LpfpsPolicy::with_watchdog(Dur::from_us(30));
+        wd.on_fault(&FaultEvent::TimingViolation {
+            now: Time::from_us(100),
+        });
+        wd.on_fault(&FaultEvent::TimingViolation {
+            now: Time::from_us(120),
+        });
+        assert!(wd.is_degraded(Time::from_us(140)));
+        assert!(!wd.is_degraded(Time::from_us(150)));
+    }
+
+    #[test]
+    fn vanilla_lpfps_ignores_faults() {
+        let mut vanilla = LpfpsPolicy::new();
+        let engaged = vanilla.on_fault(&FaultEvent::TimingViolation {
+            now: Time::from_us(100),
+        });
+        assert!(!engaged);
+        assert!(!vanilla.is_degraded(Time::from_us(100)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cooldown must be positive")]
+    fn zero_watchdog_cooldown_rejected() {
+        let _ = LpfpsPolicy::with_watchdog(Dur::ZERO);
+    }
+
+    #[test]
+    fn overrun_margin_reserves_headroom_in_the_ratio() {
+        // Paper Example 2 fixture: 20 us of WCET in a 40 us window gives
+        // vanilla LPFPS ratio 0.5. A 1.5x margin plans for 20 + 10 = 30 us
+        // of possible demand -> ratio 0.75.
+        let mut f = fixture();
+        f.delay
+            .insert(TaskId(0), Priority::new(0), Time::from_us(200));
+        let active = ActiveView {
+            task: TaskId(1),
+            wcet_remaining: Cycles::new(2_000),
+            release: Time::from_us(160),
+            deadline: Time::from_us(240),
+        };
+        let c = ctx(&f, Time::from_us(160), Some(active));
+        let vanilla = match LpfpsPolicy::new().decide(&c) {
+            PowerDirective::SlowDown { freq, .. } => freq,
+            other => panic!("{other:?}"),
+        };
+        let margined = match LpfpsPolicy::new().with_overrun_margin(1.5).decide(&c) {
+            PowerDirective::SlowDown { freq, .. } => freq,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(vanilla, Freq::from_mhz(50));
+        assert_eq!(margined, Freq::from_mhz(75));
+    }
+
+    #[test]
+    #[should_panic(expected = "margin must be >= 1")]
+    fn sub_unit_overrun_margin_rejected() {
+        let _ = LpfpsPolicy::new().with_overrun_margin(0.9);
     }
 
     #[test]

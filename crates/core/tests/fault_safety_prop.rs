@@ -1,0 +1,117 @@
+//! Property-based verification of the safety watchdog: for random
+//! slack-rich task sets whose *overrun-inflated* demand is still
+//! RM-schedulable at full speed, LPFPS with the watchdog and a matched
+//! defensive slow-down margin meets every deadline under injected WCET
+//! overruns — the graceful-degradation analogue of Theorem 1, whose own
+//! premise (jobs never exceed their WCET) these runs deliberately
+//! violate.
+//!
+//! The margin is load-bearing: the purely reactive watchdog detects an
+//! overrun only when the WCET budget retires, by which point a slowed
+//! job may have spent the very slack the excess needs (a sub-microsecond
+//! miss is possible). Planning the stretch against `clamp * C_i - E_i`
+//! closes that window, and the watchdog still cleans up timing faults
+//! the margin cannot see (oversleeping, degraded ramps).
+
+use lpfps::driver::{run, PolicyKind};
+use lpfps::LpfpsPolicy;
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_faults::{FaultConfig, OverrunFault};
+use lpfps_kernel::engine::simulate;
+use lpfps_kernel::engine::SimConfig;
+use lpfps_tasks::analysis::rta_schedulable;
+use lpfps_tasks::exec::AlwaysWcet;
+use lpfps_tasks::gen::{generate, GenConfig};
+use lpfps_tasks::task::Task;
+use lpfps_tasks::taskset::TaskSet;
+use lpfps_tasks::time::Dur;
+use proptest::prelude::*;
+
+/// Total demand cap of every injected overrun, as a multiple of WCET.
+const CLAMP: f64 = 1.5;
+
+/// The drawn set with every WCET inflated to the overrun clamp — the
+/// worst case an offline analysis would have to admit.
+fn inflated(ts: &TaskSet) -> TaskSet {
+    let tasks = ts
+        .tasks()
+        .iter()
+        .map(|t| {
+            let wcet_ns = (t.wcet().as_ns() as f64 * CLAMP).ceil() as u64;
+            Task::new(
+                t.name(),
+                t.period(),
+                Dur::from_ns(wcet_ns.min(t.period().as_ns())),
+            )
+        })
+        .collect();
+    TaskSet::rate_monotonic("inflated", tasks)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Overruns break Theorem 1's premise, so vanilla LPFPS may miss —
+    /// but whenever the clamp-inflated set is schedulable at full speed,
+    /// the watchdog variant must not.
+    #[test]
+    fn watchdog_meets_all_deadlines_when_inflated_set_is_schedulable(
+        set_seed in 0u64..=10_000,
+        sim_seed in 0u64..=1_000,
+        fault_seed in 0u64..=1_000,
+        n in 3usize..=6,
+        util_pct in 20u64..=45,
+        prob_pct in 5u64..=40,
+    ) {
+        let cfg = GenConfig::new(n, util_pct as f64 / 100.0)
+            .with_periods(Dur::from_us(200), Dur::from_ms(20));
+        let ts = generate(&cfg, set_seed);
+        prop_assume!(rta_schedulable(&inflated(&ts)));
+
+        let faults = FaultConfig::none()
+            .with_seed(fault_seed)
+            .with_overrun(OverrunFault::clamped(prob_pct as f64 / 100.0, 0.5, CLAMP));
+        let sim = SimConfig::new(Dur::from_ms(100))
+            .with_seed(sim_seed)
+            .with_faults(faults);
+
+        let mut policy = LpfpsPolicy::with_watchdog(PolicyKind::DEFAULT_WATCHDOG_COOLDOWN)
+            .with_overrun_margin(CLAMP);
+        let wd = simulate(&ts, &CpuSpec::arm8(), &mut policy, &AlwaysWcet, &sim);
+        prop_assert!(
+            wd.all_deadlines_met(),
+            "watchdog missed {:?} on {ts} (overruns={}, degradations={})",
+            wd.misses,
+            wd.counters.overruns,
+            wd.counters.degradations
+        );
+        // The premise violation is real: faults actually injected.
+        if wd.counters.overruns > 0 {
+            prop_assert!(wd.counters.degradations > 0, "watchdog slept through overruns");
+        }
+    }
+
+    /// Fault draws are a pure function of (seeds, task, job) — never of
+    /// scheduling order — so identical configs replay identical fault
+    /// streams even across different policies.
+    #[test]
+    fn fault_streams_replay_identically_across_policies(
+        set_seed in 0u64..=10_000,
+        fault_seed in 0u64..=1_000,
+        prob_pct in 5u64..=60,
+    ) {
+        let cfg = GenConfig::new(4, 0.4)
+            .with_periods(Dur::from_us(200), Dur::from_ms(10));
+        let ts = generate(&cfg, set_seed);
+        let faults = FaultConfig::none()
+            .with_seed(fault_seed)
+            .with_overrun(OverrunFault::clamped(prob_pct as f64 / 100.0, 0.5, CLAMP));
+        let sim = SimConfig::new(Dur::from_ms(50)).with_faults(faults);
+        let cpu = CpuSpec::arm8();
+        let fps = run(&ts, &cpu, PolicyKind::Fps, &AlwaysWcet, &sim);
+        let wd = run(&ts, &cpu, PolicyKind::LpfpsWatchdog, &AlwaysWcet, &sim);
+        // Same releases, same jobs, same coin flips — the overrun count
+        // cannot depend on how the policy scheduled them.
+        prop_assert_eq!(fps.counters.overruns, wd.counters.overruns);
+    }
+}

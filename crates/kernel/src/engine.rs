@@ -24,7 +24,7 @@
 //! geometry (conservatively rounded) and energy reporting, so runs are
 //! bit-reproducible.
 
-use crate::policy::{ActiveView, PowerDirective, PowerPolicy, SchedulerContext};
+use crate::policy::{ActiveView, FaultEvent, PowerDirective, PowerPolicy, SchedulerContext};
 use crate::queues::{DelayQueue, RunQueue};
 use crate::report::{Counters, DeadlineMiss, ResponseStats, SimReport};
 use crate::stats::{IntervalStats, ResponseHistogram};
@@ -33,6 +33,7 @@ use lpfps_cpu::ramp::Ramp;
 use lpfps_cpu::spec::CpuSpec;
 use lpfps_cpu::state::CpuState;
 use lpfps_cpu::EnergyMeter;
+use lpfps_faults::FaultConfig;
 use lpfps_tasks::cycles::Cycles;
 use lpfps_tasks::exec::ExecModel;
 use lpfps_tasks::freq::Freq;
@@ -67,6 +68,11 @@ pub struct SimConfig {
     /// immediately (event-driven kernel). Completions remain event-driven
     /// either way.
     pub tick: Option<Dur>,
+    /// Deterministic fault-injection model: WCET overruns, release-notice
+    /// jitter beyond the tick model, wake-up-latency variance, and ramp
+    /// degradation. [`FaultConfig::none`] (the default) reproduces the
+    /// paper's idealized fault-free model exactly.
+    pub faults: FaultConfig,
 }
 
 impl SimConfig {
@@ -79,6 +85,7 @@ impl SimConfig {
             context_switch: Dur::ZERO,
             ratio_overhead: Dur::ZERO,
             tick: None,
+            faults: FaultConfig::none(),
         }
     }
 
@@ -119,6 +126,12 @@ impl SimConfig {
         self.tick = Some(tick);
         self
     }
+
+    /// Injects the given fault model into the run.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
 }
 
 /// One live (released, unfinished) job.
@@ -131,6 +144,9 @@ struct LiveJob {
     realized_remaining: Cycles,
     /// WCET-view remaining demand `C_i - E_i` (what the scheduler sees).
     wcet_remaining: Cycles,
+    /// The watchdog already reported this job's budget overrun (each job
+    /// fires at most one [`FaultEvent::BudgetOverrun`]).
+    budget_exceeded: bool,
 }
 
 /// Per-task runtime bookkeeping.
@@ -203,6 +219,18 @@ fn quantize_to_tick(arrival: Time, tick: Option<Dur>) -> Time {
     }
 }
 
+/// When the kernel *notices* the release of job `job_index` of `tid`:
+/// the true arrival, plus any injected interrupt-delivery jitter, rounded
+/// up to the tick boundary. Deadlines and response times always use the
+/// true arrival.
+fn noticed_release(cfg: &SimConfig, tid: TaskId, job_index: u64, arrival: Time) -> Time {
+    let jittered = match &cfg.faults.release_jitter {
+        Some(j) => arrival + j.delay(cfg.seed, cfg.faults.seed, tid.0, job_index),
+        None => arrival,
+    };
+    quantize_to_tick(jittered, cfg.tick)
+}
+
 /// Runs one simulation of `ts` on `cpu` under `policy`, with realized
 /// execution times drawn from `exec`.
 ///
@@ -236,7 +264,7 @@ impl<'a> Engine<'a> {
         let mut wcet_cycles = Vec::with_capacity(ts.len());
         for (id, task, prio) in ts.iter() {
             let arrival = Time::ZERO + task.phase();
-            delay_q.insert(id, prio, quantize_to_tick(arrival, cfg.tick));
+            delay_q.insert(id, prio, noticed_release(cfg, id, 0, arrival));
             tasks.push(TaskRt {
                 pending_arrival: arrival,
                 next_index: 0,
@@ -306,6 +334,9 @@ impl<'a> Engine<'a> {
         if let Some(c) = self.completion_time() {
             t = t.min(c);
         }
+        if let Some(b) = self.budget_exhaust_time() {
+            t = t.min(b);
+        }
         match self.mode {
             ProcMode::Ramping { end, .. } => t = t.min(end),
             ProcMode::PowerDown { wake_at, .. } => t = t.min(wake_at),
@@ -332,7 +363,27 @@ impl<'a> Engine<'a> {
     }
 
     fn completion_time(&self) -> Option<Time> {
-        let total = self.frontier_work()?;
+        self.time_to_retire_total(self.frontier_work()?)
+    }
+
+    /// When the active job's WCET budget exhausts with realized work still
+    /// outstanding — the watchdog's budget-timer event. Only an injected
+    /// overrun can make `realized > wcet`, so this is `None` in fault-free
+    /// runs; it also stops firing once the job's overrun was reported.
+    fn budget_exhaust_time(&self) -> Option<Time> {
+        let tid = self.active?;
+        let job = self.tasks[tid.0].job.as_ref()?;
+        if job.budget_exceeded || job.wcet_remaining >= job.realized_remaining {
+            return None;
+        }
+        self.time_to_retire_total(self.pending_overhead + job.wcet_remaining)
+    }
+
+    /// When the processor will have retired `total` cycles under the
+    /// current mode (`None` while asleep or waking, or if the in-flight
+    /// ramp segment cannot retire that much — the ramp end is already an
+    /// event candidate and the time is recomputed once settled).
+    fn time_to_retire_total(&self, total: Cycles) -> Option<Time> {
         if total.is_zero() {
             return Some(self.now);
         }
@@ -344,8 +395,6 @@ impl<'a> Engine<'a> {
                 let done = ramp.work_by(off, reference);
                 ramp.time_to_retire(done + total, reference)
                     .map(|t_off| started + t_off)
-                // If the ramp cannot retire it, the ramp end is already a
-                // candidate; completion is recomputed in the settled mode.
             }
             ProcMode::PowerDown { .. } | ProcMode::WakingUp { .. } => None,
         }
@@ -454,7 +503,17 @@ impl<'a> Engine<'a> {
         // Wake timer fires / wake-up completes.
         match self.mode {
             ProcMode::PowerDown { wake_at, mode } if self.now >= wake_at => {
-                let delay = self.cpu.sleep_modes()[mode].wakeup_delay(self.cpu.reference_freq());
+                let mut delay =
+                    self.cpu.sleep_modes()[mode].wakeup_delay(self.cpu.reference_freq());
+                if let Some(j) = &self.cfg.faults.wakeup_jitter {
+                    // Keyed by the power-down ordinal: the counter was
+                    // incremented when this sleep was entered.
+                    delay += j.extra(
+                        self.cfg.seed,
+                        self.cfg.faults.seed,
+                        self.counters.power_downs,
+                    );
+                }
                 self.mode = ProcMode::WakingUp {
                     until: self.now + delay,
                 };
@@ -467,14 +526,63 @@ impl<'a> Engine<'a> {
             _ => {}
         }
         // Releases (the scheduler's L5-L7).
-        for (tid, release) in self.delay_q.pop_due(self.now) {
-            self.spawn_job(tid, release);
+        let due = self.delay_q.pop_due(self.now);
+        if !due.is_empty() {
+            // Watchdog invariant: a release must find the processor settled
+            // at full speed, or at worst at an instant where a planned
+            // return to full has already come due (instant-ramp and
+            // zero-latency-wake processors hit exactly the boundary). The
+            // policy's own timers guarantee this fault-free; injected
+            // wake-up or ramp faults break it.
+            let overslept = match self.mode {
+                ProcMode::Settled(f) => {
+                    f != self.cpu.full_freq() && self.speedup_at.is_none_or(|s| s > self.now)
+                }
+                ProcMode::Ramping { .. } => true,
+                ProcMode::PowerDown { .. } => true,
+                ProcMode::WakingUp { until } => until > self.now,
+            };
+            if overslept {
+                self.counters.watchdog_faults += 1;
+                self.push_trace(TraceEvent::TimingViolation);
+                if policy.on_fault(&FaultEvent::TimingViolation { now: self.now }) {
+                    self.counters.degradations += 1;
+                }
+            }
+            for (tid, release) in due {
+                self.spawn_job(tid, release);
+            }
             need_sched = true;
         }
         // Completion of the active job.
         if let Some(total) = self.frontier_work() {
             if total.is_zero() {
                 self.complete_active();
+                need_sched = true;
+            }
+        }
+        // Budget exhaustion: the active job retired its full WCET budget
+        // with work still outstanding (only possible under an injected
+        // overrun). Reported once per job, exactly when the budget
+        // timer would fire in a real kernel.
+        if let Some(tid) = self.active {
+            let exhausted = self.tasks[tid.0].job.as_ref().is_some_and(|job| {
+                !job.budget_exceeded
+                    && job.wcet_remaining.is_zero()
+                    && !job.realized_remaining.is_zero()
+            });
+            if exhausted {
+                if let Some(job) = self.tasks[tid.0].job.as_mut() {
+                    job.budget_exceeded = true;
+                }
+                self.counters.watchdog_faults += 1;
+                self.push_trace(TraceEvent::BudgetOverrun { task: tid });
+                if policy.on_fault(&FaultEvent::BudgetOverrun {
+                    task: tid,
+                    now: self.now,
+                }) {
+                    self.counters.degradations += 1;
+                }
                 need_sched = true;
             }
         }
@@ -537,12 +645,25 @@ impl<'a> Engine<'a> {
         // Response times and deadlines are measured from the *true*
         // arrival, even when a tick-driven kernel noticed it late.
         let arrival = rt.pending_arrival;
+        let wcet = self.wcet_cycles[tid.0];
+        // An injected overrun blows through the entire WCET budget and
+        // keeps going: realized demand becomes `wcet + extra`. The
+        // scheduler still sees only the WCET view.
+        let mut demand = realized.min(wcet);
+        if let Some(o) = &self.cfg.faults.overrun {
+            let extra = o.extra_cycles(self.cfg.seed, self.cfg.faults.seed, tid.0, index, wcet);
+            if !extra.is_zero() {
+                demand = wcet + extra;
+                self.counters.overruns += 1;
+            }
+        }
         rt.job = Some(LiveJob {
             index,
             release: arrival,
             deadline: arrival + task.deadline(),
-            realized_remaining: realized.min(self.wcet_cycles[tid.0]),
-            wcet_remaining: self.wcet_cycles[tid.0],
+            realized_remaining: demand,
+            wcet_remaining: wcet,
+            budget_exceeded: false,
         });
         rt.next_index += 1;
         rt.pending_arrival = arrival + task.period();
@@ -576,14 +697,18 @@ impl<'a> Engine<'a> {
             });
         }
         let next_arrival = rt.pending_arrival;
+        let next_index = rt.next_index;
         self.push_trace(TraceEvent::Complete {
             task: tid,
             job: job.index,
             response,
             met,
         });
-        self.delay_q
-            .insert(tid, prio, quantize_to_tick(next_arrival, self.cfg.tick));
+        self.delay_q.insert(
+            tid,
+            prio,
+            noticed_release(self.cfg, tid, next_index, next_arrival),
+        );
     }
 
     // ----- the scheduler ----------------------------------------------------
@@ -766,7 +891,13 @@ impl<'a> Engine<'a> {
             self.speedup_at = None;
         }
         let r_to = target.ratio_to(self.cpu.reference_freq());
-        let ramp = Ramp::from_ratios(r_from.clamp(0.0, 1.0), r_to, self.cpu.ramp_rate_per_us());
+        let mut rate = self.cpu.ramp_rate_per_us();
+        if let Some(d) = &self.cfg.faults.ramp_degradation {
+            // A degraded regulator ramps slower than the spec the policy
+            // planned with; keyed by the ramp ordinal.
+            rate *= d.factor(self.cfg.seed, self.cfg.faults.seed, self.counters.ramps);
+        }
+        let ramp = Ramp::from_ratios(r_from.clamp(0.0, 1.0), r_to, rate);
         let dur = ramp.duration();
         if dur.is_zero() {
             self.mode = ProcMode::Settled(target);
@@ -806,28 +937,27 @@ impl<'a> Engine<'a> {
         for (i, rt) in self.tasks.iter().enumerate() {
             if let Some(job) = rt.job {
                 // A job whose work retired exactly at the horizon boundary
-                // has effectively completed on time; the loop just exited
-                // before its completion event was processed.
+                // has effectively completed there; the loop just exited
+                // before its completion event was processed. Judged under
+                // the single convention documented on `DeadlineMiss`:
+                // completing at the deadline is on time, so a boundary
+                // completion misses only a strictly earlier deadline, and
+                // an unfinished job misses any deadline at or before the
+                // horizon end.
                 let done_at_boundary = active == Some(TaskId(i))
                     && job.realized_remaining.is_zero()
                     && overhead.is_zero();
-                if done_at_boundary {
-                    if job.deadline < self.horizon_end {
-                        self.misses.push(DeadlineMiss {
-                            task: TaskId(i),
-                            job: job.index,
-                            deadline: job.deadline,
-                            completed_at: Some(self.horizon_end),
-                        });
-                    }
-                    continue;
-                }
-                if job.deadline <= self.horizon_end {
+                let completed_at = done_at_boundary.then_some(self.horizon_end);
+                let missed = match completed_at {
+                    Some(t) => job.deadline < t,
+                    None => job.deadline <= self.horizon_end,
+                };
+                if missed {
                     self.misses.push(DeadlineMiss {
                         task: TaskId(i),
                         job: job.index,
                         deadline: job.deadline,
-                        completed_at: None,
+                        completed_at,
                     });
                 }
             }
@@ -1298,6 +1428,249 @@ mod tests {
         );
         assert_eq!(event.responses, ticked.responses);
         assert_eq!(event.energy.total_energy(), ticked.energy.total_energy());
+    }
+
+    // ----- horizon boundary convention (see `DeadlineMiss` docs) ----------
+
+    #[test]
+    fn deadline_exactly_at_horizon_met_when_work_retires_at_boundary() {
+        // U = 1.0: the job's 100 us of work retires exactly at the 100 us
+        // horizon, where its deadline also lies. Completing *at* the
+        // deadline is on time, so this must not be recorded as a miss.
+        let ts = TaskSet::rate_monotonic(
+            "boundary",
+            vec![Task::new("t", Dur::from_us(100), Dur::from_us(100))],
+        );
+        let report = run_fps(&ts, Dur::from_us(100));
+        assert!(
+            report.all_deadlines_met(),
+            "boundary completion misreported: {:?}",
+            report.misses
+        );
+    }
+
+    #[test]
+    fn deadline_exactly_at_horizon_missed_when_work_remains() {
+        // U = 1.2: task b cannot finish its first job by t = 100 us, where
+        // both its deadline and the horizon lie. The deadline has passed
+        // without completion, so the miss must be recorded even though the
+        // completion event itself lies beyond the simulated window.
+        let ts = TaskSet::rate_monotonic(
+            "boundary-miss",
+            vec![
+                Task::new("a", Dur::from_us(50), Dur::from_us(30)),
+                Task::new("b", Dur::from_us(100), Dur::from_us(60)),
+            ],
+        );
+        let report = run_fps(&ts, Dur::from_us(100));
+        let miss = report
+            .misses
+            .iter()
+            .find(|m| m.task == TaskId(1))
+            .expect("task b's first job must miss at the horizon");
+        assert_eq!(miss.deadline, Time::from_us(100));
+        assert_eq!(miss.completed_at, None);
+    }
+
+    // ----- fault injection and the watchdog -------------------------------
+
+    use lpfps_faults::{FaultConfig, OverrunFault, RampDegradation, ReleaseJitter, WakeupJitter};
+
+    #[test]
+    fn fault_free_runs_report_no_faults() {
+        // Across all three directive paths (full speed, power-down,
+        // slow-down) the idealized model never trips the watchdog.
+        let ts = TaskSet::rate_monotonic(
+            "solo",
+            vec![Task::new("t", Dur::from_us(100), Dur::from_us(25))],
+        );
+        let cpu = CpuSpec::arm8();
+        let cfg = SimConfig::new(Dur::from_ms(1));
+        let policies: [&mut dyn PowerPolicy; 3] = [
+            &mut AlwaysFullSpeed,
+            &mut PowerDownWhenIdle,
+            &mut HalfSpeedWhenAlone,
+        ];
+        for policy in policies {
+            let report = simulate(&ts, &cpu, policy, &AlwaysWcet, &cfg);
+            assert_eq!(report.counters.overruns, 0, "{}", report.policy);
+            assert_eq!(report.counters.watchdog_faults, 0, "{}", report.policy);
+            assert_eq!(report.counters.degradations, 0, "{}", report.policy);
+        }
+    }
+
+    #[test]
+    fn overrun_faults_inject_and_budget_watchdog_detects() {
+        let ts = table1();
+        let cpu = CpuSpec::arm8();
+        let faults = FaultConfig::none()
+            .with_seed(7)
+            .with_overrun(OverrunFault::clamped(0.2, 0.3, 1.3));
+        let cfg = SimConfig::new(Dur::from_ms(4))
+            .with_seed(3)
+            .with_faults(faults);
+        let report = simulate(&ts, &cpu, &mut AlwaysFullSpeed, &AlwaysWcet, &cfg);
+        assert!(report.counters.overruns > 0, "no overruns fired");
+        assert!(report.counters.watchdog_faults > 0, "watchdog silent");
+        // At full speed the only detectable fault is a budget overrun, and
+        // each overrunning job fires at most once.
+        assert!(report.counters.watchdog_faults <= report.counters.overruns);
+        // The default policy ignores faults.
+        assert_eq!(report.counters.degradations, 0);
+    }
+
+    #[test]
+    fn overrun_injection_is_deterministic() {
+        let ts = table1();
+        let cpu = CpuSpec::arm8();
+        let faults = FaultConfig::none()
+            .with_seed(11)
+            .with_overrun(OverrunFault::unbounded(0.3, 0.2));
+        let cfg = SimConfig::new(Dur::from_ms(4))
+            .with_seed(5)
+            .with_faults(faults);
+        let a = simulate(&ts, &cpu, &mut AlwaysFullSpeed, &AlwaysWcet, &cfg);
+        let b = simulate(&ts, &cpu, &mut AlwaysFullSpeed, &AlwaysWcet, &cfg);
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.energy.total_energy(), b.energy.total_energy());
+        assert_eq!(a.misses, b.misses);
+    }
+
+    #[test]
+    fn wakeup_jitter_trips_the_timing_watchdog() {
+        // The policy wakes exactly `wakeup_delay` before the next release;
+        // any extra latency means the release catches the processor still
+        // waking up — a timing violation, but not (here) a deadline miss.
+        let ts = TaskSet::rate_monotonic(
+            "solo",
+            vec![Task::new("t", Dur::from_us(100), Dur::from_us(25))],
+        );
+        let cpu = CpuSpec::arm8();
+        let faults = FaultConfig::none()
+            .with_seed(9)
+            .with_wakeup_jitter(WakeupJitter::uniform(Dur::from_us(5)));
+        let cfg = SimConfig::new(Dur::from_ms(1)).with_faults(faults);
+        let report = simulate(&ts, &cpu, &mut PowerDownWhenIdle, &AlwaysWcet, &cfg);
+        assert!(report.counters.power_downs > 0);
+        assert!(
+            report.counters.watchdog_faults > 0,
+            "late wake-ups must be caught"
+        );
+        // 5 us of start latency against 75 us of slack: still on time.
+        assert!(report.all_deadlines_met(), "misses: {:?}", report.misses);
+    }
+
+    /// A set where the slowed low-priority task is still running when the
+    /// speed-up timer fires, so the up-ramp back to full is on the critical
+    /// path to the next release — exactly where ramp degradation bites.
+    fn ramp_critical_set() -> TaskSet {
+        TaskSet::rate_monotonic(
+            "ramp-critical",
+            vec![
+                Task::new("a", Dur::from_us(100), Dur::from_us(10)),
+                Task::new("b", Dur::from_us(400), Dur::from_us(150)),
+            ],
+        )
+    }
+
+    #[test]
+    fn ramp_degradation_slows_transitions_and_is_detected() {
+        // At half the nominal ramp rate, the up-ramp the policy planned to
+        // finish exactly at the next release is still in flight when the
+        // release pops.
+        let cpu = CpuSpec::arm8();
+        let faults = FaultConfig::none().with_ramp_degradation(RampDegradation::constant(0.5));
+        let cfg = SimConfig::new(Dur::from_ms(1)).with_faults(faults);
+        let report = simulate(
+            &ramp_critical_set(),
+            &cpu,
+            &mut HalfSpeedWhenAlone,
+            &AlwaysWcet,
+            &cfg,
+        );
+        assert!(report.counters.ramps > 0);
+        assert!(
+            report.counters.watchdog_faults > 0,
+            "degraded ramps must be caught oversleeping"
+        );
+    }
+
+    #[test]
+    fn release_jitter_delays_notice_but_not_deadlines() {
+        let ts = TaskSet::rate_monotonic(
+            "solo",
+            vec![Task::new("t", Dur::from_us(100), Dur::from_us(25))],
+        );
+        let cpu = CpuSpec::arm8();
+        let clean = simulate(
+            &ts,
+            &cpu,
+            &mut AlwaysFullSpeed,
+            &AlwaysWcet,
+            &SimConfig::new(Dur::from_ms(1)),
+        );
+        let faults = FaultConfig::none()
+            .with_seed(13)
+            .with_release_jitter(ReleaseJitter::uniform(Dur::from_us(10)));
+        let jittered = simulate(
+            &ts,
+            &cpu,
+            &mut AlwaysFullSpeed,
+            &AlwaysWcet,
+            &SimConfig::new(Dur::from_ms(1)).with_faults(faults),
+        );
+        // Responses are measured from the true arrival, so delayed notice
+        // inflates them; 10 us of jitter against 75 us of slack stays safe.
+        assert!(jittered.responses[0].max_response > clean.responses[0].max_response);
+        assert!(jittered.all_deadlines_met());
+    }
+
+    /// A policy that degrades on faults: full speed (no power management)
+    /// for a cooldown after every watchdog report — the kernel-level test
+    /// double for the real `lpfps-wd` policy in the `lpfps` crate.
+    struct DegradeOnFault {
+        inner: HalfSpeedWhenAlone,
+        degraded_until: Option<Time>,
+    }
+
+    impl PowerPolicy for DegradeOnFault {
+        fn name(&self) -> &'static str {
+            "test-degrade"
+        }
+        fn decide(&mut self, ctx: &SchedulerContext<'_>) -> PowerDirective {
+            if self.degraded_until.is_some_and(|t| ctx.now < t) {
+                return PowerDirective::FullSpeed;
+            }
+            self.degraded_until = None;
+            self.inner.decide(ctx)
+        }
+        fn on_fault(&mut self, event: &FaultEvent) -> bool {
+            self.degraded_until = Some(event.time() + Dur::from_us(500));
+            true
+        }
+    }
+
+    #[test]
+    fn degrading_policy_counts_degradations_and_recovers() {
+        let ts = ramp_critical_set();
+        let cpu = CpuSpec::arm8();
+        let faults = FaultConfig::none().with_ramp_degradation(RampDegradation::constant(0.5));
+        let cfg = SimConfig::new(Dur::from_ms(5)).with_faults(faults);
+        let mut policy = DegradeOnFault {
+            inner: HalfSpeedWhenAlone,
+            degraded_until: None,
+        };
+        let report = simulate(&ts, &cpu, &mut policy, &AlwaysWcet, &cfg);
+        assert!(report.counters.degradations > 0);
+        assert_eq!(
+            report.counters.degradations,
+            report.counters.watchdog_faults
+        );
+        // The cooldown (500 us) is shorter than the horizon (5 ms), so the
+        // policy resumes slowing down and gets caught again: more than one
+        // degradation episode, yet still more ramps than faults.
+        assert!(report.counters.degradations > 1);
+        assert!(report.all_deadlines_met(), "misses: {:?}", report.misses);
     }
 
     #[test]

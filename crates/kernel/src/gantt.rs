@@ -83,6 +83,8 @@ impl Gantt {
                 TraceEvent::Wakeup => conditions.push((t, ProcCondition::Idle)),
                 TraceEvent::IdleStart => conditions.push((t, ProcCondition::Idle)),
                 TraceEvent::Release { .. } => {}
+                // Watchdog annotations carry no processor-condition change.
+                TraceEvent::BudgetOverrun { .. } | TraceEvent::TimingViolation => {}
             }
         }
         close(&mut running, end, &mut segments);

@@ -114,6 +114,44 @@ impl SchedulerContext<'_> {
     }
 }
 
+/// A runtime safety violation detected by the kernel's watchdog checks.
+///
+/// Under the paper's idealized model neither event can occur: jobs never
+/// exceed their WCET, and every power transition completes before the next
+/// release (the policy's timers guarantee it). Under an injected
+/// [`FaultConfig`](lpfps_faults::FaultConfig) — or on real hardware — both
+/// happen, and the kernel reports them to the policy the instant they are
+/// detected so it can degrade gracefully (e.g. revert to full speed and
+/// suppress further power management for a cooldown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// The active job retired its entire WCET budget and still has work
+    /// left — detected exactly when the budget exhausts, like a kernel
+    /// execution-budget timer.
+    BudgetOverrun {
+        /// The overrunning task.
+        task: TaskId,
+        /// Detection instant.
+        now: Time,
+    },
+    /// A release occurred while the processor was not settled at full
+    /// speed (asleep, waking up, or mid-ramp): a power transition the
+    /// policy planned to finish in time did not.
+    TimingViolation {
+        /// Detection instant.
+        now: Time,
+    },
+}
+
+impl FaultEvent {
+    /// The detection instant.
+    pub fn time(&self) -> Time {
+        match self {
+            FaultEvent::BudgetOverrun { now, .. } | FaultEvent::TimingViolation { now } => *now,
+        }
+    }
+}
+
 /// A scheduling policy's power decision hook.
 pub trait PowerPolicy {
     /// A short stable name for reports ("fps", "lpfps", ...).
@@ -123,6 +161,19 @@ pub trait PowerPolicy {
     /// when the processor is settled at full speed (the kernel's L1–L4
     /// handling guarantees this).
     fn decide(&mut self, ctx: &SchedulerContext<'_>) -> PowerDirective;
+
+    /// Notifies the policy of a detected safety violation. Returns `true`
+    /// if the policy *engaged a degraded mode* in response (counted as a
+    /// `degradation` in [`Counters`](crate::report::Counters)); the
+    /// default implementation ignores faults and returns `false`.
+    ///
+    /// The kernel follows every notification with a scheduler pass, so a
+    /// policy that starts answering [`PowerDirective::FullSpeed`] here is
+    /// immediately re-consulted — the L1–L4 rule then raises the clock and
+    /// voltage to maximum before anything else runs.
+    fn on_fault(&mut self, _event: &FaultEvent) -> bool {
+        false
+    }
 }
 
 /// The trivial policy: always full speed. This *is* the conventional FPS

@@ -38,6 +38,19 @@ impl ResponseStats {
 }
 
 /// A recorded deadline miss.
+///
+/// # Boundary convention
+///
+/// A job is on time **iff it completes at or before its deadline**;
+/// completing *exactly at* the deadline is on time. The same rule is
+/// applied at the simulation horizon: a job whose work retires exactly at
+/// the horizon boundary counts as completed there, so it misses only if
+/// its deadline lies strictly before the horizon end, while a job with
+/// work still remaining at the horizon misses whenever its deadline is at
+/// or before the horizon end (`deadline <= horizon_end`) — by then the
+/// deadline has passed without completion. Jobs whose deadlines lie
+/// beyond the horizon are never judged (the simulation cannot know their
+/// fate).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DeadlineMiss {
     /// The violating task.
@@ -73,6 +86,16 @@ pub struct Counters {
     pub ramps: u64,
     /// Power-down entries.
     pub power_downs: u64,
+    /// Jobs released with an injected WCET overrun (realized demand above
+    /// the budget). Zero without a fault model.
+    pub overruns: u64,
+    /// Watchdog detections: budget exhaustions plus timing violations
+    /// (releases caught while the processor was not settled at full
+    /// speed). Zero under the idealized model.
+    pub watchdog_faults: u64,
+    /// Faults after which the policy reported engaging a degraded mode
+    /// (see [`PowerPolicy::on_fault`](crate::policy::PowerPolicy)).
+    pub degradations: u64,
 }
 
 /// The complete result of one simulation run.
@@ -172,6 +195,13 @@ impl SimReport {
             self.counters.ramps,
             self.counters.power_downs
         );
+        if self.counters.overruns + self.counters.watchdog_faults + self.counters.degradations > 0 {
+            let _ = writeln!(
+                out,
+                "  faults: {} overruns injected, {} watchdog detections, {} degradations engaged",
+                self.counters.overruns, self.counters.watchdog_faults, self.counters.degradations
+            );
+        }
         out
     }
 

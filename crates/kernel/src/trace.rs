@@ -36,6 +36,13 @@ pub enum TraceEvent {
     Wakeup,
     /// The processor began spinning the NOP idle loop.
     IdleStart,
+    /// The watchdog caught `task` exhausting its WCET budget with work
+    /// still outstanding (an injected overrun; see
+    /// [`FaultEvent`](crate::policy::FaultEvent)).
+    BudgetOverrun { task: TaskId },
+    /// The watchdog caught a release while the processor was not settled
+    /// at full speed (a power transition overslept its plan).
+    TimingViolation,
 }
 
 /// A timestamped sequence of kernel events.
@@ -131,6 +138,10 @@ impl core::fmt::Display for TraceEvent {
             }
             TraceEvent::Wakeup => write!(f, "wake-up"),
             TraceEvent::IdleStart => write!(f, "idle (NOP loop)"),
+            TraceEvent::BudgetOverrun { task } => write!(f, "budget overrun by {task}"),
+            TraceEvent::TimingViolation => {
+                write!(f, "timing violation (release while not at full speed)")
+            }
         }
     }
 }

@@ -4,6 +4,7 @@
 use lpfps::driver::{default_horizon, run, PolicyKind};
 use lpfps::TimeoutShutdown;
 use lpfps_cpu::spec::CpuSpec;
+use lpfps_faults::FaultConfig;
 use lpfps_kernel::engine::{simulate, SimConfig};
 use lpfps_kernel::report::SimReport;
 use lpfps_tasks::exec::{AlwaysWcet, ExecModel, PaperGaussian};
@@ -84,6 +85,9 @@ pub struct Cell {
     pub ratio_overhead: Dur,
     /// Tick-driven kernel period; `None` = event-driven.
     pub tick: Option<Dur>,
+    /// Deterministic fault-injection model ([`FaultConfig::none`] = the
+    /// idealized fault-free kernel).
+    pub faults: FaultConfig,
     /// Record a full event trace (memory-heavy; off for sweeps).
     pub trace: bool,
 }
@@ -104,6 +108,7 @@ impl Cell {
             context_switch: Dur::ZERO,
             ratio_overhead: Dur::ZERO,
             tick: None,
+            faults: FaultConfig::none(),
             trace: false,
         }
     }
@@ -152,6 +157,11 @@ impl Cell {
         self
     }
 
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
         self
@@ -159,13 +169,18 @@ impl Cell {
 
     /// A short human-readable label for progress/metrics lines.
     pub fn label(&self) -> String {
-        format!(
+        let mut label = format!(
             "{}/{}/b{:.0}%/s{}",
             self.app,
             self.policy.name(),
             self.bcet_fraction * 100.0,
             self.seed
-        )
+        );
+        if !self.faults.is_none() {
+            label.push('/');
+            label.push_str(&self.faults.label());
+        }
+        label
     }
 
     /// The horizon this cell will simulate, after the runner's
@@ -194,6 +209,7 @@ impl Cell {
         if let Some(tick) = self.tick {
             cfg = cfg.with_tick(tick);
         }
+        cfg = cfg.with_faults(self.faults);
         if self.trace {
             cfg = cfg.with_trace();
         }
@@ -212,6 +228,28 @@ impl Cell {
     }
 }
 
+/// How a sweep cell finished.
+///
+/// Deterministic: cell execution is a pure function of the cell, so a
+/// given cell either always completes or always fails with the same
+/// message — across thread counts and re-runs alike. (Wall-clock facts
+/// such as soft-timeout retries live in
+/// [`CellMetrics`](crate::metrics::CellMetrics), never here.)
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum CellStatus {
+    /// The simulation ran to its horizon.
+    Ok,
+    /// Cell execution panicked; the payload message is preserved.
+    Failed { message: String },
+}
+
+impl CellStatus {
+    /// True if the cell completed.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CellStatus::Ok)
+    }
+}
+
 /// The deterministic, serializable summary of one finished cell — what
 /// sweep binaries write to `--json`. Contains no wall-clock data, so
 /// parallel and serial runs serialize byte-identically.
@@ -225,12 +263,20 @@ pub struct CellResult {
     pub bcet_fraction: f64,
     /// Execution-time seed.
     pub seed: u64,
+    /// Active fault-model label (`"none"` for the idealized kernel).
+    pub faults: String,
     /// Average normalized power (1.0 = flat-out busy processor).
     pub average_power: f64,
     /// Deadline misses observed.
     pub misses: usize,
+    /// Watchdog degradations engaged (see
+    /// [`Counters::degradations`](lpfps_kernel::report::Counters)).
+    pub degradations: u64,
     /// Kernel decision points processed (deterministic work measure).
     pub events: u64,
+    /// How the cell finished; the numeric fields above are zero when not
+    /// [`CellStatus::Ok`].
+    pub status: CellStatus,
 }
 
 impl CellResult {
@@ -241,9 +287,29 @@ impl CellResult {
             policy: cell.policy.name(),
             bcet_fraction: cell.bcet_fraction,
             seed: cell.seed,
+            faults: cell.faults.label(),
             average_power: report.average_power(),
             misses: report.misses.len(),
+            degradations: report.counters.degradations,
             events: report.counters.events,
+            status: CellStatus::Ok,
+        }
+    }
+
+    /// The summary of a cell whose execution panicked: identity fields
+    /// from the cell, zeroed measurements, and the panic message.
+    pub fn failed(cell: &Cell, message: String) -> Self {
+        CellResult {
+            app: cell.app.clone(),
+            policy: cell.policy.name(),
+            bcet_fraction: cell.bcet_fraction,
+            seed: cell.seed,
+            faults: cell.faults.label(),
+            average_power: 0.0,
+            misses: 0,
+            degradations: 0,
+            events: 0,
+            status: CellStatus::Failed { message },
         }
     }
 }

@@ -477,6 +477,26 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_and_non_positive_horizon_scales_are_errors() {
+        // Regression: these used to reach `RunOptions::with_horizon_scale`
+        // (an assert) or, worse, silently produce zero-length horizons.
+        for bad in ["NaN", "nan", "0", "0.0", "-1", "inf", "-inf", "infinity"] {
+            assert!(
+                matches!(
+                    parse(&["--horizon-scale", bad]),
+                    Err(CliError::BadValue { .. })
+                ),
+                "--horizon-scale {bad} must be rejected"
+            );
+        }
+        // The boundary stays permissive: any finite positive value parses.
+        for good in ["0.001", "1", "1e3"] {
+            let p = parse(&["--horizon-scale", good]).unwrap();
+            assert!(p.horizon_scale > 0.0 && p.horizon_scale.is_finite());
+        }
+    }
+
+    #[test]
     fn positionals_are_rejected() {
         assert_eq!(
             parse(&["out.json"]),

@@ -12,7 +12,9 @@
 //! * [`runner`] — [`run_sweep`] executes a spec across worker threads
 //!   (work-stealing over `std::thread::scope`, no external dependencies)
 //!   and returns results in spec order, byte-for-byte identical to the
-//!   serial path.
+//!   serial path. Cells are crash-isolated: a panicking cell becomes a
+//!   typed [`cell::CellStatus::Failed`] entry instead of aborting the
+//!   sweep, and an optional soft per-cell timeout grants one retry.
 //! * [`cli`] — the uniform experiment command line (`--json`, `--metrics`,
 //!   `--threads`, `--seeds`, `--horizon-scale`, `--quiet`), which *errors*
 //!   on unknown flags instead of silently ignoring them.
@@ -26,7 +28,7 @@ pub mod metrics;
 pub mod runner;
 pub mod spec;
 
-pub use cell::{Cell, CellResult, ExecKind, PolicyChoice};
+pub use cell::{Cell, CellResult, CellStatus, ExecKind, PolicyChoice};
 pub use cli::{Cli, CliError, Parsed};
 pub use metrics::{CellMetrics, SweepMetrics};
 pub use runner::{run_sweep, RunOptions, SweepOutcome};

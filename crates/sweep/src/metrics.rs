@@ -17,8 +17,12 @@ pub struct CellMetrics {
     pub label: String,
     /// Wall-clock time for this cell, nanoseconds.
     pub wall_ns: u64,
-    /// Kernel decision points the cell processed.
+    /// Kernel decision points the cell processed (0 for failed cells).
     pub events: u64,
+    /// Times the cell was executed (2 after a soft-timeout retry).
+    pub attempts: u32,
+    /// True when the first attempt exceeded the soft per-cell budget.
+    pub timed_out: bool,
 }
 
 impl CellMetrics {
@@ -45,6 +49,8 @@ pub struct SweepMetrics {
     pub wall_ns: u64,
     /// Total kernel decision points across all cells.
     pub total_events: u64,
+    /// Cells that finished [`CellStatus::Failed`](crate::cell::CellStatus).
+    pub failures: usize,
     /// Per-cell timings, in spec order.
     pub per_cell: Vec<CellMetrics>,
 }
@@ -90,6 +96,14 @@ impl SweepMetrics {
             self.events_per_sec() / 1e6,
             self.total_events,
         );
+        if self.failures > 0 {
+            let _ = writeln!(
+                out,
+                "  {} cell{} FAILED (see statuses in the results payload)",
+                self.failures,
+                if self.failures == 1 { "" } else { "s" },
+            );
+        }
         let mut slowest: Vec<&CellMetrics> = self.per_cell.iter().collect();
         slowest.sort_by_key(|m| std::cmp::Reverse(m.wall_ns));
         for m in slowest.iter().take(3) {

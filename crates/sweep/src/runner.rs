@@ -7,14 +7,24 @@
 //! (seeded execution-time draws, integer-exact kernel), and results land
 //! in their spec-order slot — output is byte-for-byte identical for any
 //! thread count, including the serial path.
+//!
+//! Cells are crash-isolated: a panicking cell is caught, recorded as
+//! [`CellStatus::Failed`](crate::cell::CellStatus) with its panic message, and every other cell
+//! still runs to completion. Failure is deterministic (same pure
+//! function), so even a sweep containing failing cells serializes
+//! byte-identically at any thread count. An optional *soft* per-cell
+//! timeout flags cells that exceed their wall-clock budget and grants one
+//! retry; since results are deterministic, the timeout affects only the
+//! (nondeterministic) metrics, never the results.
 
 use crate::cell::CellResult;
 use crate::metrics::{CellMetrics, SweepMetrics};
 use crate::spec::SweepSpec;
 use lpfps_kernel::report::SimReport;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Execution options for [`run_sweep`].
 #[derive(Debug, Clone)]
@@ -25,6 +35,11 @@ pub struct RunOptions {
     pub horizon_scale: f64,
     /// Suppress per-cell progress lines on stderr.
     pub quiet: bool,
+    /// Soft wall-clock budget per cell: a completed cell that exceeded it
+    /// is re-run once (transient contention gets a second chance) and
+    /// flagged `timed_out` in its [`CellMetrics`]. `None` disables the
+    /// check. Deterministic results are unaffected either way.
+    pub cell_timeout: Option<Duration>,
 }
 
 impl Default for RunOptions {
@@ -35,6 +50,7 @@ impl Default for RunOptions {
                 .unwrap_or(1),
             horizon_scale: 1.0,
             quiet: true,
+            cell_timeout: None,
         }
     }
 }
@@ -58,35 +74,71 @@ impl RunOptions {
         self.horizon_scale = scale;
         self
     }
+
+    /// Sets the soft per-cell wall-clock budget.
+    pub fn with_cell_timeout(mut self, timeout: Duration) -> Self {
+        self.cell_timeout = Some(timeout);
+        self
+    }
 }
 
 /// Everything a sweep produces: full reports and deterministic summaries
 /// in spec order, plus (nondeterministic) timing metrics.
 #[derive(Debug)]
 pub struct SweepOutcome {
-    /// One full report per cell, in spec order.
-    pub reports: Vec<SimReport>,
-    /// One deterministic summary per cell, in spec order.
+    /// One full report per cell, in spec order; `None` where the cell
+    /// failed (see the matching [`CellResult::status`]).
+    pub reports: Vec<Option<SimReport>>,
+    /// One deterministic summary per cell, in spec order — including
+    /// failed cells, whose [`CellStatus::Failed`](crate::cell::CellStatus) carries the panic
+    /// message.
     pub results: Vec<CellResult>,
     /// Wall-clock/throughput accounting for this run.
     pub metrics: SweepMetrics,
 }
 
+impl SweepOutcome {
+    /// The full report of cell `index`, if it completed.
+    pub fn report(&self, index: usize) -> Option<&SimReport> {
+        self.reports.get(index)?.as_ref()
+    }
+
+    /// True when every cell completed.
+    pub fn all_ok(&self) -> bool {
+        self.results.iter().all(|r| r.status.is_ok())
+    }
+
+    /// The summaries of cells that failed, in spec order.
+    pub fn failures(&self) -> impl Iterator<Item = &CellResult> {
+        self.results.iter().filter(|r| !r.status.is_ok())
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "cell panicked with a non-string payload".to_string()
+    }
+}
+
 /// Runs every cell of `spec` across `opts.threads` workers.
 ///
-/// # Panics
-///
-/// Propagates panics from cell execution (e.g. a policy asserting on an
-/// illegal directive): the scope joins all workers first, so no cell
-/// result is silently dropped.
+/// Panics inside cell execution do **not** propagate: the offending cell
+/// is reported as [`CellStatus::Failed`](crate::cell::CellStatus) (with the panic message) and the
+/// sweep completes. Only runner-internal invariant violations (a poisoned
+/// slot lock, an unclaimed slot) still panic.
 pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> SweepOutcome {
     let n = spec.len();
     let workers = opts.threads.clamp(1, n.max(1));
     let started = Instant::now();
 
     let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<(SimReport, CellMetrics)>>> =
-        Mutex::new((0..n).map(|_| None).collect());
+    type Slot = (Result<SimReport, String>, CellMetrics);
+    let slots: Mutex<Vec<Option<Slot>>> = Mutex::new((0..n).map(|_| None).collect());
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -97,24 +149,55 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> SweepOutcome {
                 }
                 let cell = &spec.cells[index];
                 let cell_started = Instant::now();
-                let report = cell.run(opts.horizon_scale);
-                let wall = cell_started.elapsed();
+                let mut attempts = 1;
+                let mut outcome = catch_unwind(AssertUnwindSafe(|| cell.run(opts.horizon_scale)))
+                    .map_err(panic_message);
+                let mut wall = cell_started.elapsed();
+                let mut timed_out = false;
+                if let Some(budget) = opts.cell_timeout {
+                    // Soft timeout: one bounded retry for completed cells
+                    // that blew their budget (panics are deterministic and
+                    // never retried). The result cannot change — only the
+                    // recorded timing does.
+                    if outcome.is_ok() && wall > budget {
+                        timed_out = true;
+                        attempts = 2;
+                        let retry_started = Instant::now();
+                        outcome = catch_unwind(AssertUnwindSafe(|| cell.run(opts.horizon_scale)))
+                            .map_err(panic_message);
+                        wall = retry_started.elapsed();
+                    }
+                }
                 let metrics = CellMetrics {
                     index,
                     label: cell.label(),
                     wall_ns: wall.as_nanos() as u64,
-                    events: report.counters.events,
+                    events: outcome.as_ref().map_or(0, |r| r.counters.events),
+                    attempts,
+                    timed_out,
                 };
                 if !opts.quiet {
-                    eprintln!(
-                        "[{:>4}/{n}] {:<36} {:>9.3?}",
-                        index + 1,
-                        metrics.label,
-                        wall
-                    );
+                    match &outcome {
+                        Ok(_) => eprintln!(
+                            "[{:>4}/{n}] {:<36} {:>9.3?}{}",
+                            index + 1,
+                            metrics.label,
+                            wall,
+                            if timed_out {
+                                "  (over budget, retried)"
+                            } else {
+                                ""
+                            }
+                        ),
+                        Err(message) => eprintln!(
+                            "[{:>4}/{n}] {:<36} FAILED: {message}",
+                            index + 1,
+                            metrics.label
+                        ),
+                    }
                 }
                 slots.lock().expect("no worker panicked holding the lock")[index] =
-                    Some((report, metrics));
+                    Some((outcome, metrics));
             });
         }
     });
@@ -129,13 +212,22 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> SweepOutcome {
         .into_iter()
         .enumerate()
     {
-        let (report, metrics) =
+        let (outcome, metrics) =
             slot.expect("every index below n was claimed by exactly one worker");
-        results.push(CellResult::from_report(&spec.cells[index], &report));
-        reports.push(report);
+        match outcome {
+            Ok(report) => {
+                results.push(CellResult::from_report(&spec.cells[index], &report));
+                reports.push(Some(report));
+            }
+            Err(message) => {
+                results.push(CellResult::failed(&spec.cells[index], message));
+                reports.push(None);
+            }
+        }
         per_cell.push(metrics);
     }
     let total_events = per_cell.iter().map(|m| m.events).sum();
+    let failures = results.iter().filter(|r| !r.status.is_ok()).count();
 
     SweepOutcome {
         reports,
@@ -146,6 +238,7 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> SweepOutcome {
             threads: workers,
             wall_ns,
             total_events,
+            failures,
             per_cell,
         },
     }
@@ -154,7 +247,7 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> SweepOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cell::{Cell, ExecKind};
+    use crate::cell::{Cell, CellStatus, ExecKind};
     use lpfps::driver::PolicyKind;
     use lpfps_cpu::spec::CpuSpec;
     use lpfps_tasks::task::Task;
@@ -189,9 +282,15 @@ mod tests {
             assert_eq!(r.seed, i as u64);
         }
         assert_eq!(out.metrics.cells, 6);
+        assert_eq!(out.metrics.failures, 0);
+        assert!(out.all_ok());
         assert_eq!(
             out.metrics.total_events,
-            out.reports.iter().map(|r| r.counters.events).sum::<u64>()
+            out.reports
+                .iter()
+                .flatten()
+                .map(|r| r.counters.events)
+                .sum::<u64>()
         );
         assert!(out.metrics.total_events > 0);
     }
@@ -203,6 +302,7 @@ mod tests {
         for threads in 2..=4 {
             let parallel = run_sweep(&spec, &RunOptions::serial().with_threads(threads));
             for (a, b) in serial.reports.iter().zip(parallel.reports.iter()) {
+                let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
                 assert_eq!(a.counters, b.counters);
                 assert_eq!(a.energy.total_energy(), b.energy.total_energy());
                 assert_eq!(a.responses, b.responses);
@@ -216,12 +316,97 @@ mod tests {
         let short = run_sweep(&spec, &RunOptions::serial().with_horizon_scale(0.5));
         let long = run_sweep(&spec, &RunOptions::serial());
         assert!(short.metrics.total_events < long.metrics.total_events);
-        assert!(short.reports[0].horizon < long.reports[0].horizon);
+        assert!(short.report(0).unwrap().horizon < long.report(0).unwrap().horizon);
     }
 
     #[test]
     fn threads_are_clamped_to_cell_count() {
         let out = run_sweep(&spec(), &RunOptions::serial().with_threads(64));
         assert_eq!(out.metrics.threads, 6);
+    }
+
+    /// A spec whose middle cell always panics (zero horizon trips the
+    /// kernel's `SimConfig` assertion).
+    fn spec_with_poison() -> SweepSpec {
+        let mut s = spec();
+        let bad = s.cells[2].clone().with_horizon(Dur::ZERO);
+        s.cells[2] = bad;
+        s
+    }
+
+    #[test]
+    fn panicking_cell_is_isolated() {
+        let spec = spec_with_poison();
+        let out = run_sweep(&spec, &RunOptions::serial());
+        assert_eq!(out.results.len(), 6);
+        assert_eq!(out.metrics.failures, 1);
+        assert!(!out.all_ok());
+        assert!(out.reports[2].is_none());
+        assert!(out.report(2).is_none());
+        match &out.results[2].status {
+            CellStatus::Failed { message } => {
+                assert!(
+                    message.contains("horizon"),
+                    "panic message should be preserved, got: {message}"
+                );
+            }
+            CellStatus::Ok => panic!("poison cell must fail"),
+        }
+        assert_eq!(out.results[2].events, 0);
+        assert_eq!(out.failures().count(), 1);
+        // Every other cell still ran to completion.
+        for (i, r) in out.results.iter().enumerate() {
+            if i != 2 {
+                assert!(r.status.is_ok());
+                assert!(out.reports[i].is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn failing_sweeps_stay_deterministic_across_thread_counts() {
+        let spec = spec_with_poison();
+        let reference = serde_json::to_string(&run_sweep(&spec, &RunOptions::serial()).results)
+            .expect("results serialize");
+        for threads in 1..=8 {
+            let out = run_sweep(&spec, &RunOptions::serial().with_threads(threads));
+            let json = serde_json::to_string(&out.results).expect("results serialize");
+            assert_eq!(json, reference, "results diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn soft_timeout_retries_once_without_changing_results() {
+        let spec = spec();
+        let plain = run_sweep(&spec, &RunOptions::serial());
+        // A zero budget forces every cell over it: each gets exactly one
+        // retry, flagged in metrics, with byte-identical results.
+        let timed = run_sweep(
+            &spec,
+            &RunOptions::serial().with_cell_timeout(Duration::ZERO),
+        );
+        for m in &timed.metrics.per_cell {
+            assert_eq!(m.attempts, 2);
+            assert!(m.timed_out);
+        }
+        for m in &plain.metrics.per_cell {
+            assert_eq!(m.attempts, 1);
+            assert!(!m.timed_out);
+        }
+        let a = serde_json::to_string(&plain.results).unwrap();
+        let b = serde_json::to_string(&timed.results).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn panicking_cells_are_never_retried() {
+        let spec = spec_with_poison();
+        let out = run_sweep(
+            &spec,
+            &RunOptions::serial().with_cell_timeout(Duration::ZERO),
+        );
+        assert_eq!(out.metrics.per_cell[2].attempts, 1);
+        assert!(!out.metrics.per_cell[2].timed_out);
+        assert_eq!(out.metrics.failures, 1);
     }
 }

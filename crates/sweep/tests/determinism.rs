@@ -47,6 +47,10 @@ fn full_reports_match_too_not_just_the_summaries() {
     let serial = run_sweep(&spec, &RunOptions::serial());
     let parallel = run_sweep(&spec, &RunOptions::serial().with_threads(8));
     for (a, b) in serial.reports.iter().zip(parallel.reports.iter()) {
+        let (a, b) = (
+            a.as_ref().expect("fault-free cell completes"),
+            b.as_ref().expect("fault-free cell completes"),
+        );
         assert_eq!(a.counters, b.counters);
         assert_eq!(a.energy.total_energy(), b.energy.total_energy());
         assert_eq!(a.responses, b.responses);

@@ -1,10 +1,13 @@
 //! Property test: for *arbitrary* small grids (random fraction, seeds,
 //! and thread count), the parallel runner's serialized results equal the
-//! serial runner's.
+//! serial runner's — including grids with injected faults and grids
+//! containing a cell that panics.
 
 use lpfps::driver::PolicyKind;
 use lpfps_cpu::spec::CpuSpec;
-use lpfps_sweep::{run_sweep, ExecKind, RunOptions, SweepSpec};
+use lpfps_faults::{FaultConfig, OverrunFault, ReleaseJitter, WakeupJitter};
+use lpfps_sweep::{run_sweep, Cell, ExecKind, RunOptions, SweepSpec};
+use lpfps_tasks::time::Dur;
 use lpfps_workloads::table1;
 use proptest::prelude::*;
 
@@ -27,6 +30,55 @@ proptest! {
             ExecKind::PaperGaussian,
         );
         let serial = run_sweep(&spec, &RunOptions::serial());
+        let parallel = run_sweep(&spec, &RunOptions::serial().with_threads(threads));
+        let a = serde_json::to_string_pretty(&serial.results).unwrap();
+        let b = serde_json::to_string_pretty(&parallel.results).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Fault draws are counter-based (seed, task, job) rather than drawn
+    /// from a shared sequential stream, so injected faults — overruns,
+    /// release jitter, wake-up jitter — must not disturb the thread-count
+    /// invariance, and neither must a panicking cell in the middle of the
+    /// grid.
+    #[test]
+    fn faulted_grids_with_failures_are_thread_count_invariant(
+        fault_seed in 0u64..=1_000,
+        prob_pct in 1u64..=60,
+        jitter_us in 0u64..=20,
+        threads in 2usize..=8,
+    ) {
+        let mut faults = FaultConfig::none()
+            .with_seed(fault_seed)
+            .with_overrun(OverrunFault::clamped(prob_pct as f64 / 100.0, 0.5, 1.5))
+            .with_wakeup_jitter(WakeupJitter::uniform(Dur::from_us(1)));
+        if jitter_us > 0 {
+            faults = faults.with_release_jitter(ReleaseJitter::uniform(Dur::from_us(jitter_us)));
+        }
+        let mut spec = SweepSpec::new("prop-faults");
+        for (i, policy) in [PolicyKind::Fps, PolicyKind::Lpfps, PolicyKind::LpfpsWatchdog]
+            .into_iter()
+            .enumerate()
+        {
+            let cell = Cell::new(table1(), CpuSpec::arm8(), policy)
+                .with_exec(ExecKind::PaperGaussian)
+                .with_bcet_fraction(0.5)
+                .with_seed(i as u64)
+                .with_faults(faults);
+            spec.push(cell);
+        }
+        // A poisoned cell mid-grid: failures must serialize identically too.
+        spec.push(
+            Cell::new(table1(), CpuSpec::arm8(), PolicyKind::Lpfps)
+                .with_horizon(Dur::ZERO),
+        );
+        spec.push(
+            Cell::new(table1(), CpuSpec::arm8(), PolicyKind::Lpfps)
+                .with_faults(faults)
+                .with_seed(9),
+        );
+        let serial = run_sweep(&spec, &RunOptions::serial());
+        prop_assert_eq!(serial.metrics.failures, 1);
         let parallel = run_sweep(&spec, &RunOptions::serial().with_threads(threads));
         let a = serde_json::to_string_pretty(&serial.results).unwrap();
         let b = serde_json::to_string_pretty(&parallel.results).unwrap();

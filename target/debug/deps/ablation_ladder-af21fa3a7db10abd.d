@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_ladder-af21fa3a7db10abd.d: crates/bench/src/bin/ablation_ladder.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_ladder-af21fa3a7db10abd.rmeta: crates/bench/src/bin/ablation_ladder.rs Cargo.toml
+
+crates/bench/src/bin/ablation_ladder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

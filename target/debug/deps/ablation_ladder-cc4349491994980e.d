@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ladder-cc4349491994980e.d: crates/bench/src/bin/ablation_ladder.rs
+
+/root/repo/target/debug/deps/ablation_ladder-cc4349491994980e: crates/bench/src/bin/ablation_ladder.rs
+
+crates/bench/src/bin/ablation_ladder.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ladder-df9a74156db83e63.d: crates/bench/src/bin/ablation_ladder.rs
+
+/root/repo/target/debug/deps/ablation_ladder-df9a74156db83e63: crates/bench/src/bin/ablation_ladder.rs
+
+crates/bench/src/bin/ablation_ladder.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ladder-f08cc2cbfc9d5e12.d: crates/bench/src/bin/ablation_ladder.rs
+
+/root/repo/target/debug/deps/ablation_ladder-f08cc2cbfc9d5e12: crates/bench/src/bin/ablation_ladder.rs
+
+crates/bench/src/bin/ablation_ladder.rs:

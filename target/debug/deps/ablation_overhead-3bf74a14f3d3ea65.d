@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_overhead-3bf74a14f3d3ea65.d: crates/bench/src/bin/ablation_overhead.rs
+
+/root/repo/target/debug/deps/ablation_overhead-3bf74a14f3d3ea65: crates/bench/src/bin/ablation_overhead.rs
+
+crates/bench/src/bin/ablation_overhead.rs:

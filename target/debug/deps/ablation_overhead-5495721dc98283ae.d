@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_overhead-5495721dc98283ae.d: crates/bench/src/bin/ablation_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_overhead-5495721dc98283ae.rmeta: crates/bench/src/bin/ablation_overhead.rs Cargo.toml
+
+crates/bench/src/bin/ablation_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_overhead-6a67da4d99e76552.d: crates/bench/src/bin/ablation_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_overhead-6a67da4d99e76552.rmeta: crates/bench/src/bin/ablation_overhead.rs Cargo.toml
+
+crates/bench/src/bin/ablation_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

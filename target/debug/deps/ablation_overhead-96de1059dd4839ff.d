@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_overhead-96de1059dd4839ff.d: crates/bench/src/bin/ablation_overhead.rs
+
+/root/repo/target/debug/deps/ablation_overhead-96de1059dd4839ff: crates/bench/src/bin/ablation_overhead.rs
+
+crates/bench/src/bin/ablation_overhead.rs:

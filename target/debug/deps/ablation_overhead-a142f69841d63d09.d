@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_overhead-a142f69841d63d09.d: crates/bench/src/bin/ablation_overhead.rs
+
+/root/repo/target/debug/deps/ablation_overhead-a142f69841d63d09: crates/bench/src/bin/ablation_overhead.rs
+
+crates/bench/src/bin/ablation_overhead.rs:

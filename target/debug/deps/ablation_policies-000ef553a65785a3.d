@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_policies-000ef553a65785a3.d: crates/bench/src/bin/ablation_policies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_policies-000ef553a65785a3.rmeta: crates/bench/src/bin/ablation_policies.rs Cargo.toml
+
+crates/bench/src/bin/ablation_policies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_policies-07922baf41fc0149.d: crates/bench/src/bin/ablation_policies.rs
+
+/root/repo/target/debug/deps/ablation_policies-07922baf41fc0149: crates/bench/src/bin/ablation_policies.rs
+
+crates/bench/src/bin/ablation_policies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_policies-a020327dc084db0e.d: crates/bench/src/bin/ablation_policies.rs
+
+/root/repo/target/debug/deps/ablation_policies-a020327dc084db0e: crates/bench/src/bin/ablation_policies.rs
+
+crates/bench/src/bin/ablation_policies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_policies-b43fd991a87d2ba7.d: crates/bench/src/bin/ablation_policies.rs
+
+/root/repo/target/debug/deps/ablation_policies-b43fd991a87d2ba7: crates/bench/src/bin/ablation_policies.rs
+
+crates/bench/src/bin/ablation_policies.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_ratio-0a92fa919c6b371e.d: crates/bench/src/bin/ablation_ratio.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_ratio-0a92fa919c6b371e.rmeta: crates/bench/src/bin/ablation_ratio.rs Cargo.toml
+
+crates/bench/src/bin/ablation_ratio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_ratio-2ecd4dab530fe012.d: crates/bench/src/bin/ablation_ratio.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_ratio-2ecd4dab530fe012.rmeta: crates/bench/src/bin/ablation_ratio.rs Cargo.toml
+
+crates/bench/src/bin/ablation_ratio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ratio-376363dd4ea81709.d: crates/bench/src/bin/ablation_ratio.rs
+
+/root/repo/target/debug/deps/ablation_ratio-376363dd4ea81709: crates/bench/src/bin/ablation_ratio.rs
+
+crates/bench/src/bin/ablation_ratio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ratio-40ad701d5be4ddac.d: crates/bench/src/bin/ablation_ratio.rs
+
+/root/repo/target/debug/deps/ablation_ratio-40ad701d5be4ddac: crates/bench/src/bin/ablation_ratio.rs
+
+crates/bench/src/bin/ablation_ratio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ratio-b7777bd7d7ac89c5.d: crates/bench/src/bin/ablation_ratio.rs
+
+/root/repo/target/debug/deps/ablation_ratio-b7777bd7d7ac89c5: crates/bench/src/bin/ablation_ratio.rs
+
+crates/bench/src/bin/ablation_ratio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_shutdown-2a529ce3462d4806.d: crates/bench/src/bin/ablation_shutdown.rs
+
+/root/repo/target/debug/deps/ablation_shutdown-2a529ce3462d4806: crates/bench/src/bin/ablation_shutdown.rs
+
+crates/bench/src/bin/ablation_shutdown.rs:

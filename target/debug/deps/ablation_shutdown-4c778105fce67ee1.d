@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_shutdown-4c778105fce67ee1.d: crates/bench/src/bin/ablation_shutdown.rs
+
+/root/repo/target/debug/deps/ablation_shutdown-4c778105fce67ee1: crates/bench/src/bin/ablation_shutdown.rs
+
+crates/bench/src/bin/ablation_shutdown.rs:

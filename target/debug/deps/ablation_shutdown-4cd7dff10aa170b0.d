@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_shutdown-4cd7dff10aa170b0.d: crates/bench/src/bin/ablation_shutdown.rs
+
+/root/repo/target/debug/deps/ablation_shutdown-4cd7dff10aa170b0: crates/bench/src/bin/ablation_shutdown.rs
+
+crates/bench/src/bin/ablation_shutdown.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_shutdown-6cbd3acec2778f94.d: crates/bench/src/bin/ablation_shutdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_shutdown-6cbd3acec2778f94.rmeta: crates/bench/src/bin/ablation_shutdown.rs Cargo.toml
+
+crates/bench/src/bin/ablation_shutdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_shutdown-a502afd8306409bf.d: crates/bench/src/bin/ablation_shutdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_shutdown-a502afd8306409bf.rmeta: crates/bench/src/bin/ablation_shutdown.rs Cargo.toml
+
+crates/bench/src/bin/ablation_shutdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

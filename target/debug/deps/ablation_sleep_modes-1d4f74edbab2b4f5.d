@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_sleep_modes-1d4f74edbab2b4f5.d: crates/bench/src/bin/ablation_sleep_modes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_sleep_modes-1d4f74edbab2b4f5.rmeta: crates/bench/src/bin/ablation_sleep_modes.rs Cargo.toml
+
+crates/bench/src/bin/ablation_sleep_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_sleep_modes-2710c705ad627671.d: crates/bench/src/bin/ablation_sleep_modes.rs
+
+/root/repo/target/debug/deps/ablation_sleep_modes-2710c705ad627671: crates/bench/src/bin/ablation_sleep_modes.rs
+
+crates/bench/src/bin/ablation_sleep_modes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_sleep_modes-4e9b76fbe86f257d.d: crates/bench/src/bin/ablation_sleep_modes.rs
+
+/root/repo/target/debug/deps/ablation_sleep_modes-4e9b76fbe86f257d: crates/bench/src/bin/ablation_sleep_modes.rs
+
+crates/bench/src/bin/ablation_sleep_modes.rs:

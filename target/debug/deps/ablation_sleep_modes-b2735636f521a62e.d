@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_sleep_modes-b2735636f521a62e.d: crates/bench/src/bin/ablation_sleep_modes.rs
+
+/root/repo/target/debug/deps/ablation_sleep_modes-b2735636f521a62e: crates/bench/src/bin/ablation_sleep_modes.rs
+
+crates/bench/src/bin/ablation_sleep_modes.rs:

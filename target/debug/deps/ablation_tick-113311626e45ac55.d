@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_tick-113311626e45ac55.d: crates/bench/src/bin/ablation_tick.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_tick-113311626e45ac55.rmeta: crates/bench/src/bin/ablation_tick.rs Cargo.toml
+
+crates/bench/src/bin/ablation_tick.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

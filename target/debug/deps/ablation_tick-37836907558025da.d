@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_tick-37836907558025da.d: crates/bench/src/bin/ablation_tick.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_tick-37836907558025da.rmeta: crates/bench/src/bin/ablation_tick.rs Cargo.toml
+
+crates/bench/src/bin/ablation_tick.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_tick-60d7c5584cc8bf47.d: crates/bench/src/bin/ablation_tick.rs
+
+/root/repo/target/debug/deps/ablation_tick-60d7c5584cc8bf47: crates/bench/src/bin/ablation_tick.rs
+
+crates/bench/src/bin/ablation_tick.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_tick-7b3027f6befed11f.d: crates/bench/src/bin/ablation_tick.rs
+
+/root/repo/target/debug/deps/ablation_tick-7b3027f6befed11f: crates/bench/src/bin/ablation_tick.rs
+
+crates/bench/src/bin/ablation_tick.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_tick-abd682bee5a6b69e.d: crates/bench/src/bin/ablation_tick.rs
+
+/root/repo/target/debug/deps/ablation_tick-abd682bee5a6b69e: crates/bench/src/bin/ablation_tick.rs
+
+crates/bench/src/bin/ablation_tick.rs:

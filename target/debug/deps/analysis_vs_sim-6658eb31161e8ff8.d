@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_vs_sim-6658eb31161e8ff8.d: crates/core/tests/analysis_vs_sim.rs
+
+/root/repo/target/debug/deps/analysis_vs_sim-6658eb31161e8ff8: crates/core/tests/analysis_vs_sim.rs
+
+crates/core/tests/analysis_vs_sim.rs:

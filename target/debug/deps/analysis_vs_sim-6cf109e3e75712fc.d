@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis_vs_sim-6cf109e3e75712fc.d: crates/core/tests/analysis_vs_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_vs_sim-6cf109e3e75712fc.rmeta: crates/core/tests/analysis_vs_sim.rs Cargo.toml
+
+crates/core/tests/analysis_vs_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_vs_sim-a8d7e373c9d6af96.d: crates/core/tests/analysis_vs_sim.rs
+
+/root/repo/target/debug/deps/analysis_vs_sim-a8d7e373c9d6af96: crates/core/tests/analysis_vs_sim.rs
+
+crates/core/tests/analysis_vs_sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_policy-dae9e79ff978c142.d: crates/kernel/tests/chaos_policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_policy-dae9e79ff978c142.rmeta: crates/kernel/tests/chaos_policy.rs Cargo.toml
+
+crates/kernel/tests/chaos_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_policy-ff8b816344871599.d: crates/kernel/tests/chaos_policy.rs
+
+/root/repo/target/debug/deps/chaos_policy-ff8b816344871599: crates/kernel/tests/chaos_policy.rs
+
+crates/kernel/tests/chaos_policy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-2674459e76c7b85a.d: crates/sweep/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-2674459e76c7b85a: crates/sweep/tests/determinism.rs
+
+crates/sweep/tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-441b6746d757c884.d: crates/sweep/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-441b6746d757c884: crates/sweep/tests/determinism.rs
+
+crates/sweep/tests/determinism.rs:

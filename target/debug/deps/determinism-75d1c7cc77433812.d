@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-75d1c7cc77433812.d: crates/sweep/tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-75d1c7cc77433812.rmeta: crates/sweep/tests/determinism.rs Cargo.toml
+
+crates/sweep/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism_prop-08afa70712ac00b9.d: crates/sweep/tests/determinism_prop.rs
+
+/root/repo/target/debug/deps/determinism_prop-08afa70712ac00b9: crates/sweep/tests/determinism_prop.rs
+
+crates/sweep/tests/determinism_prop.rs:

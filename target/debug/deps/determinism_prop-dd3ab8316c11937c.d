@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism_prop-dd3ab8316c11937c.d: crates/sweep/tests/determinism_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism_prop-dd3ab8316c11937c.rmeta: crates/sweep/tests/determinism_prop.rs Cargo.toml
+
+crates/sweep/tests/determinism_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

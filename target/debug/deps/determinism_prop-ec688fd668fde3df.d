@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism_prop-ec688fd668fde3df.d: crates/sweep/tests/determinism_prop.rs
+
+/root/repo/target/debug/deps/determinism_prop-ec688fd668fde3df: crates/sweep/tests/determinism_prop.rs
+
+crates/sweep/tests/determinism_prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/edf_algos-a3ced2aed14bb812.d: crates/bench/benches/edf_algos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedf_algos-a3ced2aed14bb812.rmeta: crates/bench/benches/edf_algos.rs Cargo.toml
+
+crates/bench/benches/edf_algos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

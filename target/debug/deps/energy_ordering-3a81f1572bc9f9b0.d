@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/energy_ordering-3a81f1572bc9f9b0.d: crates/core/tests/energy_ordering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenergy_ordering-3a81f1572bc9f9b0.rmeta: crates/core/tests/energy_ordering.rs Cargo.toml
+
+crates/core/tests/energy_ordering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/energy_ordering-61b815802e8222c2.d: crates/core/tests/energy_ordering.rs
+
+/root/repo/target/debug/deps/energy_ordering-61b815802e8222c2: crates/core/tests/energy_ordering.rs
+
+crates/core/tests/energy_ordering.rs:

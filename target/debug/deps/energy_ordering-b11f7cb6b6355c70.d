@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/energy_ordering-b11f7cb6b6355c70.d: crates/core/tests/energy_ordering.rs
+
+/root/repo/target/debug/deps/energy_ordering-b11f7cb6b6355c70: crates/core/tests/energy_ordering.rs
+
+crates/core/tests/energy_ordering.rs:

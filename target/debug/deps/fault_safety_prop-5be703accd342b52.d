@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_safety_prop-5be703accd342b52.d: crates/core/tests/fault_safety_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_safety_prop-5be703accd342b52.rmeta: crates/core/tests/fault_safety_prop.rs Cargo.toml
+
+crates/core/tests/fault_safety_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_safety_prop-812283b4cbf6cd08.d: crates/core/tests/fault_safety_prop.rs
+
+/root/repo/target/debug/deps/fault_safety_prop-812283b4cbf6cd08: crates/core/tests/fault_safety_prop.rs
+
+crates/core/tests/fault_safety_prop.rs:

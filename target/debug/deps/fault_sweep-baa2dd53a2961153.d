@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_sweep-baa2dd53a2961153.d: crates/bench/src/bin/fault_sweep.rs
+
+/root/repo/target/debug/deps/fault_sweep-baa2dd53a2961153: crates/bench/src/bin/fault_sweep.rs
+
+crates/bench/src/bin/fault_sweep.rs:

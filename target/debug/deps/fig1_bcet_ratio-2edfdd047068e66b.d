@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_bcet_ratio-2edfdd047068e66b.d: crates/bench/src/bin/fig1_bcet_ratio.rs
+
+/root/repo/target/debug/deps/fig1_bcet_ratio-2edfdd047068e66b: crates/bench/src/bin/fig1_bcet_ratio.rs
+
+crates/bench/src/bin/fig1_bcet_ratio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_bcet_ratio-5148c0d2003574bd.d: crates/bench/src/bin/fig1_bcet_ratio.rs
+
+/root/repo/target/debug/deps/fig1_bcet_ratio-5148c0d2003574bd: crates/bench/src/bin/fig1_bcet_ratio.rs
+
+crates/bench/src/bin/fig1_bcet_ratio.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_bcet_ratio-b9cdcded3990d176.d: crates/bench/src/bin/fig1_bcet_ratio.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_bcet_ratio-b9cdcded3990d176.rmeta: crates/bench/src/bin/fig1_bcet_ratio.rs Cargo.toml
+
+crates/bench/src/bin/fig1_bcet_ratio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_bcet_ratio-f62d758db4a6d926.d: crates/bench/src/bin/fig1_bcet_ratio.rs
+
+/root/repo/target/debug/deps/fig1_bcet_ratio-f62d758db4a6d926: crates/bench/src/bin/fig1_bcet_ratio.rs
+
+crates/bench/src/bin/fig1_bcet_ratio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_schedule-17e7ca82b436a2f1.d: crates/bench/src/bin/fig2_schedule.rs
+
+/root/repo/target/debug/deps/fig2_schedule-17e7ca82b436a2f1: crates/bench/src/bin/fig2_schedule.rs
+
+crates/bench/src/bin/fig2_schedule.rs:

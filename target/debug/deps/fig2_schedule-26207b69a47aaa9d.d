@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_schedule-26207b69a47aaa9d.d: crates/bench/src/bin/fig2_schedule.rs
+
+/root/repo/target/debug/deps/fig2_schedule-26207b69a47aaa9d: crates/bench/src/bin/fig2_schedule.rs
+
+crates/bench/src/bin/fig2_schedule.rs:

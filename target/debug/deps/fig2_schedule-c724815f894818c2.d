@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_schedule-c724815f894818c2.d: crates/bench/src/bin/fig2_schedule.rs
+
+/root/repo/target/debug/deps/fig2_schedule-c724815f894818c2: crates/bench/src/bin/fig2_schedule.rs
+
+crates/bench/src/bin/fig2_schedule.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_schedule-d14a46184a3ba9ac.d: crates/bench/src/bin/fig2_schedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_schedule-d14a46184a3ba9ac.rmeta: crates/bench/src/bin/fig2_schedule.rs Cargo.toml
+
+crates/bench/src/bin/fig2_schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

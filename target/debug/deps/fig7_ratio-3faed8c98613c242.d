@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_ratio-3faed8c98613c242.d: crates/bench/src/bin/fig7_ratio.rs
+
+/root/repo/target/debug/deps/fig7_ratio-3faed8c98613c242: crates/bench/src/bin/fig7_ratio.rs
+
+crates/bench/src/bin/fig7_ratio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_ratio-7acfe7e321ea969b.d: crates/bench/src/bin/fig7_ratio.rs
+
+/root/repo/target/debug/deps/fig7_ratio-7acfe7e321ea969b: crates/bench/src/bin/fig7_ratio.rs
+
+crates/bench/src/bin/fig7_ratio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_ratio-ae874ad6615c9724.d: crates/bench/src/bin/fig7_ratio.rs
+
+/root/repo/target/debug/deps/fig7_ratio-ae874ad6615c9724: crates/bench/src/bin/fig7_ratio.rs
+
+crates/bench/src/bin/fig7_ratio.rs:

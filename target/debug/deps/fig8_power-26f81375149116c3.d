@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_power-26f81375149116c3.d: crates/bench/src/bin/fig8_power.rs
+
+/root/repo/target/debug/deps/fig8_power-26f81375149116c3: crates/bench/src/bin/fig8_power.rs
+
+crates/bench/src/bin/fig8_power.rs:

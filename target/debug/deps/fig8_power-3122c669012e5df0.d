@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_power-3122c669012e5df0.d: crates/bench/src/bin/fig8_power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_power-3122c669012e5df0.rmeta: crates/bench/src/bin/fig8_power.rs Cargo.toml
+
+crates/bench/src/bin/fig8_power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_power-92f74472d265f79f.d: crates/bench/src/bin/fig8_power.rs
+
+/root/repo/target/debug/deps/fig8_power-92f74472d265f79f: crates/bench/src/bin/fig8_power.rs
+
+crates/bench/src/bin/fig8_power.rs:

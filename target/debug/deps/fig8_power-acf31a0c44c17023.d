@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_power-acf31a0c44c17023.d: crates/bench/src/bin/fig8_power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_power-acf31a0c44c17023.rmeta: crates/bench/src/bin/fig8_power.rs Cargo.toml
+
+crates/bench/src/bin/fig8_power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

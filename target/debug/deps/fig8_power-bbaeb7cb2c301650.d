@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_power-bbaeb7cb2c301650.d: crates/bench/src/bin/fig8_power.rs
+
+/root/repo/target/debug/deps/fig8_power-bbaeb7cb2c301650: crates/bench/src/bin/fig8_power.rs
+
+crates/bench/src/bin/fig8_power.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernel_throughput-54792bafdb31dcd4.d: crates/bench/benches/kernel_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel_throughput-54792bafdb31dcd4.rmeta: crates/bench/benches/kernel_throughput.rs Cargo.toml
+
+crates/bench/benches/kernel_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lpfps-1bd2e913b0314513.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/driver.rs crates/core/src/lpfps_policy.rs crates/core/src/speed.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblpfps-1bd2e913b0314513.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/driver.rs crates/core/src/lpfps_policy.rs crates/core/src/speed.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/driver.rs:
+crates/core/src/lpfps_policy.rs:
+crates/core/src/speed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

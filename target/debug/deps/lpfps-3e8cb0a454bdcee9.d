@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lpfps-3e8cb0a454bdcee9.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/driver.rs crates/core/src/lpfps_policy.rs crates/core/src/speed.rs
+
+/root/repo/target/debug/deps/lpfps-3e8cb0a454bdcee9: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/driver.rs crates/core/src/lpfps_policy.rs crates/core/src/speed.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/driver.rs:
+crates/core/src/lpfps_policy.rs:
+crates/core/src/speed.rs:

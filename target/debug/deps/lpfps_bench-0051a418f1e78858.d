@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lpfps_bench-0051a418f1e78858.d: crates/bench/src/lib.rs crates/bench/src/chart.rs
+
+/root/repo/target/debug/deps/liblpfps_bench-0051a418f1e78858.rlib: crates/bench/src/lib.rs crates/bench/src/chart.rs
+
+/root/repo/target/debug/deps/liblpfps_bench-0051a418f1e78858.rmeta: crates/bench/src/lib.rs crates/bench/src/chart.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chart.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lpfps_bench-0aed72c111f38aa0.d: crates/bench/src/lib.rs crates/bench/src/chart.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblpfps_bench-0aed72c111f38aa0.rmeta: crates/bench/src/lib.rs crates/bench/src/chart.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/chart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

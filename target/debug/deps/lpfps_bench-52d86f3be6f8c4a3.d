@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/lpfps_bench-52d86f3be6f8c4a3.d: crates/bench/src/lib.rs crates/bench/src/chart.rs
+
+/root/repo/target/debug/deps/lpfps_bench-52d86f3be6f8c4a3: crates/bench/src/lib.rs crates/bench/src/chart.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chart.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/lpfps_bench-5c4b364142561d9d.d: crates/bench/src/lib.rs crates/bench/src/chart.rs
+
+/root/repo/target/debug/deps/lpfps_bench-5c4b364142561d9d: crates/bench/src/lib.rs crates/bench/src/chart.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chart.rs:

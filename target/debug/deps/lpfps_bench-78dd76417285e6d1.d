@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/lpfps_bench-78dd76417285e6d1.d: crates/bench/src/lib.rs crates/bench/src/chart.rs
+
+/root/repo/target/debug/deps/lpfps_bench-78dd76417285e6d1: crates/bench/src/lib.rs crates/bench/src/chart.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chart.rs:

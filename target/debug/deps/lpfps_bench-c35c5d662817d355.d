@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/lpfps_bench-c35c5d662817d355.d: crates/bench/src/lib.rs crates/bench/src/chart.rs
+
+/root/repo/target/debug/deps/liblpfps_bench-c35c5d662817d355.rmeta: crates/bench/src/lib.rs crates/bench/src/chart.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chart.rs:

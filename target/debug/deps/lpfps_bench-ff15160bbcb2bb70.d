@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lpfps_bench-ff15160bbcb2bb70.d: crates/bench/src/lib.rs crates/bench/src/chart.rs
+
+/root/repo/target/debug/deps/liblpfps_bench-ff15160bbcb2bb70.rlib: crates/bench/src/lib.rs crates/bench/src/chart.rs
+
+/root/repo/target/debug/deps/liblpfps_bench-ff15160bbcb2bb70.rmeta: crates/bench/src/lib.rs crates/bench/src/chart.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chart.rs:

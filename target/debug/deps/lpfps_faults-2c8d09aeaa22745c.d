@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lpfps_faults-2c8d09aeaa22745c.d: crates/faults/src/lib.rs
+
+/root/repo/target/debug/deps/liblpfps_faults-2c8d09aeaa22745c.rlib: crates/faults/src/lib.rs
+
+/root/repo/target/debug/deps/liblpfps_faults-2c8d09aeaa22745c.rmeta: crates/faults/src/lib.rs
+
+crates/faults/src/lib.rs:

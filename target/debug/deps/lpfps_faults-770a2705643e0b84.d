@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lpfps_faults-770a2705643e0b84.d: crates/faults/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblpfps_faults-770a2705643e0b84.rmeta: crates/faults/src/lib.rs Cargo.toml
+
+crates/faults/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lpfps_faults-7fab8cfd1560311d.d: crates/faults/src/lib.rs
+
+/root/repo/target/debug/deps/liblpfps_faults-7fab8cfd1560311d.rmeta: crates/faults/src/lib.rs
+
+crates/faults/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lpfps_faults-89fbc80c1161be15.d: crates/faults/src/lib.rs
+
+/root/repo/target/debug/deps/lpfps_faults-89fbc80c1161be15: crates/faults/src/lib.rs
+
+crates/faults/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lpfps_kernel-296fa45ae216b79a.d: crates/kernel/src/lib.rs crates/kernel/src/engine.rs crates/kernel/src/gantt.rs crates/kernel/src/policy.rs crates/kernel/src/queues.rs crates/kernel/src/report.rs crates/kernel/src/stats.rs crates/kernel/src/trace.rs
+
+/root/repo/target/debug/deps/lpfps_kernel-296fa45ae216b79a: crates/kernel/src/lib.rs crates/kernel/src/engine.rs crates/kernel/src/gantt.rs crates/kernel/src/policy.rs crates/kernel/src/queues.rs crates/kernel/src/report.rs crates/kernel/src/stats.rs crates/kernel/src/trace.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/engine.rs:
+crates/kernel/src/gantt.rs:
+crates/kernel/src/policy.rs:
+crates/kernel/src/queues.rs:
+crates/kernel/src/report.rs:
+crates/kernel/src/stats.rs:
+crates/kernel/src/trace.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lpfps_kernel-392a3c62d7d5da8a.d: crates/kernel/src/lib.rs crates/kernel/src/engine.rs crates/kernel/src/gantt.rs crates/kernel/src/policy.rs crates/kernel/src/queues.rs crates/kernel/src/report.rs crates/kernel/src/stats.rs crates/kernel/src/trace.rs
+
+/root/repo/target/debug/deps/liblpfps_kernel-392a3c62d7d5da8a.rlib: crates/kernel/src/lib.rs crates/kernel/src/engine.rs crates/kernel/src/gantt.rs crates/kernel/src/policy.rs crates/kernel/src/queues.rs crates/kernel/src/report.rs crates/kernel/src/stats.rs crates/kernel/src/trace.rs
+
+/root/repo/target/debug/deps/liblpfps_kernel-392a3c62d7d5da8a.rmeta: crates/kernel/src/lib.rs crates/kernel/src/engine.rs crates/kernel/src/gantt.rs crates/kernel/src/policy.rs crates/kernel/src/queues.rs crates/kernel/src/report.rs crates/kernel/src/stats.rs crates/kernel/src/trace.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/engine.rs:
+crates/kernel/src/gantt.rs:
+crates/kernel/src/policy.rs:
+crates/kernel/src/queues.rs:
+crates/kernel/src/report.rs:
+crates/kernel/src/stats.rs:
+crates/kernel/src/trace.rs:

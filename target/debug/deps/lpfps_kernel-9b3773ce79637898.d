@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lpfps_kernel-9b3773ce79637898.d: crates/kernel/src/lib.rs crates/kernel/src/engine.rs crates/kernel/src/gantt.rs crates/kernel/src/policy.rs crates/kernel/src/queues.rs crates/kernel/src/report.rs crates/kernel/src/stats.rs crates/kernel/src/trace.rs
+
+/root/repo/target/debug/deps/liblpfps_kernel-9b3773ce79637898.rmeta: crates/kernel/src/lib.rs crates/kernel/src/engine.rs crates/kernel/src/gantt.rs crates/kernel/src/policy.rs crates/kernel/src/queues.rs crates/kernel/src/report.rs crates/kernel/src/stats.rs crates/kernel/src/trace.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/engine.rs:
+crates/kernel/src/gantt.rs:
+crates/kernel/src/policy.rs:
+crates/kernel/src/queues.rs:
+crates/kernel/src/report.rs:
+crates/kernel/src/stats.rs:
+crates/kernel/src/trace.rs:

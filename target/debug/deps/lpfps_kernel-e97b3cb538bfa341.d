@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/lpfps_kernel-e97b3cb538bfa341.d: crates/kernel/src/lib.rs crates/kernel/src/engine.rs crates/kernel/src/gantt.rs crates/kernel/src/policy.rs crates/kernel/src/queues.rs crates/kernel/src/report.rs crates/kernel/src/stats.rs crates/kernel/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblpfps_kernel-e97b3cb538bfa341.rmeta: crates/kernel/src/lib.rs crates/kernel/src/engine.rs crates/kernel/src/gantt.rs crates/kernel/src/policy.rs crates/kernel/src/queues.rs crates/kernel/src/report.rs crates/kernel/src/stats.rs crates/kernel/src/trace.rs Cargo.toml
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/engine.rs:
+crates/kernel/src/gantt.rs:
+crates/kernel/src/policy.rs:
+crates/kernel/src/queues.rs:
+crates/kernel/src/report.rs:
+crates/kernel/src/stats.rs:
+crates/kernel/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lpfps_sweep-fcc6223eba65a969.d: crates/sweep/src/lib.rs crates/sweep/src/cell.rs crates/sweep/src/cli.rs crates/sweep/src/metrics.rs crates/sweep/src/runner.rs crates/sweep/src/spec.rs
+
+/root/repo/target/debug/deps/liblpfps_sweep-fcc6223eba65a969.rmeta: crates/sweep/src/lib.rs crates/sweep/src/cell.rs crates/sweep/src/cli.rs crates/sweep/src/metrics.rs crates/sweep/src/runner.rs crates/sweep/src/spec.rs
+
+crates/sweep/src/lib.rs:
+crates/sweep/src/cell.rs:
+crates/sweep/src/cli.rs:
+crates/sweep/src/metrics.rs:
+crates/sweep/src/runner.rs:
+crates/sweep/src/spec.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/power_sim-d443f76fd9a5139f.d: crates/bench/benches/power_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpower_sim-d443f76fd9a5139f.rmeta: crates/bench/benches/power_sim.rs Cargo.toml
+
+crates/bench/benches/power_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_kernel-3979da5d421276cd.d: crates/kernel/tests/prop_kernel.rs
+
+/root/repo/target/debug/deps/prop_kernel-3979da5d421276cd: crates/kernel/tests/prop_kernel.rs
+
+crates/kernel/tests/prop_kernel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_kernel-3dd3ecb375aadc45.d: crates/kernel/tests/prop_kernel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_kernel-3dd3ecb375aadc45.rmeta: crates/kernel/tests/prop_kernel.rs Cargo.toml
+
+crates/kernel/tests/prop_kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/related_work_dvs-830e94be77698dae.d: crates/bench/src/bin/related_work_dvs.rs
+
+/root/repo/target/debug/deps/related_work_dvs-830e94be77698dae: crates/bench/src/bin/related_work_dvs.rs
+
+crates/bench/src/bin/related_work_dvs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/related_work_dvs-861cc1c2418ce77e.d: crates/bench/src/bin/related_work_dvs.rs
+
+/root/repo/target/debug/deps/related_work_dvs-861cc1c2418ce77e: crates/bench/src/bin/related_work_dvs.rs
+
+crates/bench/src/bin/related_work_dvs.rs:

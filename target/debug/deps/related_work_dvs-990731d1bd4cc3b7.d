@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/related_work_dvs-990731d1bd4cc3b7.d: crates/bench/src/bin/related_work_dvs.rs Cargo.toml
+
+/root/repo/target/debug/deps/librelated_work_dvs-990731d1bd4cc3b7.rmeta: crates/bench/src/bin/related_work_dvs.rs Cargo.toml
+
+crates/bench/src/bin/related_work_dvs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/related_work_dvs-c7088df83ca41cdb.d: crates/bench/src/bin/related_work_dvs.rs
+
+/root/repo/target/debug/deps/related_work_dvs-c7088df83ca41cdb: crates/bench/src/bin/related_work_dvs.rs
+
+crates/bench/src/bin/related_work_dvs.rs:

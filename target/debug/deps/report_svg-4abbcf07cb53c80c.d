@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report_svg-4abbcf07cb53c80c.d: crates/bench/src/bin/report_svg.rs
+
+/root/repo/target/debug/deps/report_svg-4abbcf07cb53c80c: crates/bench/src/bin/report_svg.rs
+
+crates/bench/src/bin/report_svg.rs:

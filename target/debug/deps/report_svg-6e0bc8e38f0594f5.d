@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/report_svg-6e0bc8e38f0594f5.d: crates/bench/src/bin/report_svg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreport_svg-6e0bc8e38f0594f5.rmeta: crates/bench/src/bin/report_svg.rs Cargo.toml
+
+crates/bench/src/bin/report_svg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report_svg-b2cffdc9e4acecb7.d: crates/bench/src/bin/report_svg.rs
+
+/root/repo/target/debug/deps/report_svg-b2cffdc9e4acecb7: crates/bench/src/bin/report_svg.rs
+
+crates/bench/src/bin/report_svg.rs:

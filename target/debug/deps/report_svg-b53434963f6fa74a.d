@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/report_svg-b53434963f6fa74a.d: crates/bench/src/bin/report_svg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreport_svg-b53434963f6fa74a.rmeta: crates/bench/src/bin/report_svg.rs Cargo.toml
+
+crates/bench/src/bin/report_svg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

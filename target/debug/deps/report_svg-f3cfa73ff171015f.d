@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report_svg-f3cfa73ff171015f.d: crates/bench/src/bin/report_svg.rs
+
+/root/repo/target/debug/deps/report_svg-f3cfa73ff171015f: crates/bench/src/bin/report_svg.rs
+
+crates/bench/src/bin/report_svg.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rta-0fe45bd06355c069.d: crates/bench/benches/rta.rs Cargo.toml
+
+/root/repo/target/debug/deps/librta-0fe45bd06355c069.rmeta: crates/bench/benches/rta.rs Cargo.toml
+
+crates/bench/benches/rta.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

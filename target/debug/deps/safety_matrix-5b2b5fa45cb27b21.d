@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/safety_matrix-5b2b5fa45cb27b21.d: crates/core/tests/safety_matrix.rs
+
+/root/repo/target/debug/deps/safety_matrix-5b2b5fa45cb27b21: crates/core/tests/safety_matrix.rs
+
+crates/core/tests/safety_matrix.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/safety_matrix-7434aa3b0f369c0a.d: crates/core/tests/safety_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsafety_matrix-7434aa3b0f369c0a.rmeta: crates/core/tests/safety_matrix.rs Cargo.toml
+
+crates/core/tests/safety_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

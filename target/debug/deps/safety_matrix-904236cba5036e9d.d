@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/safety_matrix-904236cba5036e9d.d: crates/core/tests/safety_matrix.rs
+
+/root/repo/target/debug/deps/safety_matrix-904236cba5036e9d: crates/core/tests/safety_matrix.rs
+
+crates/core/tests/safety_matrix.rs:

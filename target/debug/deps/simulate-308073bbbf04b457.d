@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulate-308073bbbf04b457.d: crates/bench/src/bin/simulate.rs
+
+/root/repo/target/debug/deps/simulate-308073bbbf04b457: crates/bench/src/bin/simulate.rs
+
+crates/bench/src/bin/simulate.rs:

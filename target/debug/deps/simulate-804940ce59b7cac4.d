@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulate-804940ce59b7cac4.d: crates/bench/src/bin/simulate.rs
+
+/root/repo/target/debug/deps/simulate-804940ce59b7cac4: crates/bench/src/bin/simulate.rs
+
+crates/bench/src/bin/simulate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulate-a738b2205e20cceb.d: crates/bench/src/bin/simulate.rs
+
+/root/repo/target/debug/deps/simulate-a738b2205e20cceb: crates/bench/src/bin/simulate.rs
+
+crates/bench/src/bin/simulate.rs:

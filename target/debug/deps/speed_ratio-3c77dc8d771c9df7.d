@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/speed_ratio-3c77dc8d771c9df7.d: crates/bench/benches/speed_ratio.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspeed_ratio-3c77dc8d771c9df7.rmeta: crates/bench/benches/speed_ratio.rs Cargo.toml
+
+crates/bench/benches/speed_ratio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

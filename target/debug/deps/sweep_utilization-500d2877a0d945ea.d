@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep_utilization-500d2877a0d945ea.d: crates/bench/src/bin/sweep_utilization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep_utilization-500d2877a0d945ea.rmeta: crates/bench/src/bin/sweep_utilization.rs Cargo.toml
+
+crates/bench/src/bin/sweep_utilization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

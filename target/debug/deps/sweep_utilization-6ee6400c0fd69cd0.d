@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_utilization-6ee6400c0fd69cd0.d: crates/bench/src/bin/sweep_utilization.rs
+
+/root/repo/target/debug/deps/sweep_utilization-6ee6400c0fd69cd0: crates/bench/src/bin/sweep_utilization.rs
+
+crates/bench/src/bin/sweep_utilization.rs:

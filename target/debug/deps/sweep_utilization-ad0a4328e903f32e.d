@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep_utilization-ad0a4328e903f32e.d: crates/bench/src/bin/sweep_utilization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep_utilization-ad0a4328e903f32e.rmeta: crates/bench/src/bin/sweep_utilization.rs Cargo.toml
+
+crates/bench/src/bin/sweep_utilization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_utilization-dee5a27804d8f179.d: crates/bench/src/bin/sweep_utilization.rs
+
+/root/repo/target/debug/deps/sweep_utilization-dee5a27804d8f179: crates/bench/src/bin/sweep_utilization.rs
+
+crates/bench/src/bin/sweep_utilization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_utilization-fb234275c5dbbceb.d: crates/bench/src/bin/sweep_utilization.rs
+
+/root/repo/target/debug/deps/sweep_utilization-fb234275c5dbbceb: crates/bench/src/bin/sweep_utilization.rs
+
+crates/bench/src/bin/sweep_utilization.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_summary-45fee242f4874821.d: crates/bench/src/bin/table2_summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_summary-45fee242f4874821.rmeta: crates/bench/src/bin/table2_summary.rs Cargo.toml
+
+crates/bench/src/bin/table2_summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_summary-7842d2d1c6b55a3b.d: crates/bench/src/bin/table2_summary.rs
+
+/root/repo/target/debug/deps/table2_summary-7842d2d1c6b55a3b: crates/bench/src/bin/table2_summary.rs
+
+crates/bench/src/bin/table2_summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_summary-7e151ca73a83ba99.d: crates/bench/src/bin/table2_summary.rs
+
+/root/repo/target/debug/deps/table2_summary-7e151ca73a83ba99: crates/bench/src/bin/table2_summary.rs
+
+crates/bench/src/bin/table2_summary.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_summary-a841ac8da4a0464e.d: crates/bench/src/bin/table2_summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_summary-a841ac8da4a0464e.rmeta: crates/bench/src/bin/table2_summary.rs Cargo.toml
+
+crates/bench/src/bin/table2_summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_summary-afd7ba69a1fe45f9.d: crates/bench/src/bin/table2_summary.rs
+
+/root/repo/target/debug/deps/table2_summary-afd7ba69a1fe45f9: crates/bench/src/bin/table2_summary.rs
+
+crates/bench/src/bin/table2_summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem1-1af5ef6c67c60492.d: crates/core/tests/theorem1.rs
+
+/root/repo/target/debug/deps/theorem1-1af5ef6c67c60492: crates/core/tests/theorem1.rs
+
+crates/core/tests/theorem1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theorem1-423fc414bca23917.d: crates/core/tests/theorem1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheorem1-423fc414bca23917.rmeta: crates/core/tests/theorem1.rs Cargo.toml
+
+crates/core/tests/theorem1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem1-44395b9b437837a4.d: crates/core/tests/theorem1.rs
+
+/root/repo/target/debug/deps/theorem1-44395b9b437837a4: crates/core/tests/theorem1.rs
+
+crates/core/tests/theorem1.rs:

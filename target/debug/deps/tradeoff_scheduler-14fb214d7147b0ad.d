@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tradeoff_scheduler-14fb214d7147b0ad.d: crates/bench/src/bin/tradeoff_scheduler.rs
+
+/root/repo/target/debug/deps/tradeoff_scheduler-14fb214d7147b0ad: crates/bench/src/bin/tradeoff_scheduler.rs
+
+crates/bench/src/bin/tradeoff_scheduler.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tradeoff_scheduler-1a6e2619c8c25a3e.d: crates/bench/src/bin/tradeoff_scheduler.rs
+
+/root/repo/target/debug/deps/tradeoff_scheduler-1a6e2619c8c25a3e: crates/bench/src/bin/tradeoff_scheduler.rs
+
+crates/bench/src/bin/tradeoff_scheduler.rs:

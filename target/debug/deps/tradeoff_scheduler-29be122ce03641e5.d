@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tradeoff_scheduler-29be122ce03641e5.d: crates/bench/src/bin/tradeoff_scheduler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtradeoff_scheduler-29be122ce03641e5.rmeta: crates/bench/src/bin/tradeoff_scheduler.rs Cargo.toml
+
+crates/bench/src/bin/tradeoff_scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

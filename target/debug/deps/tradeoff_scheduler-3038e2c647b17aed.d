@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tradeoff_scheduler-3038e2c647b17aed.d: crates/bench/src/bin/tradeoff_scheduler.rs
+
+/root/repo/target/debug/deps/tradeoff_scheduler-3038e2c647b17aed: crates/bench/src/bin/tradeoff_scheduler.rs
+
+crates/bench/src/bin/tradeoff_scheduler.rs:

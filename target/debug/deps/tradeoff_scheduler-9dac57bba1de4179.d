@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tradeoff_scheduler-9dac57bba1de4179.d: crates/bench/src/bin/tradeoff_scheduler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtradeoff_scheduler-9dac57bba1de4179.rmeta: crates/bench/src/bin/tradeoff_scheduler.rs Cargo.toml
+
+crates/bench/src/bin/tradeoff_scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

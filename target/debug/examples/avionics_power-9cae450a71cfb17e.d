@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/avionics_power-9cae450a71cfb17e.d: crates/core/../../examples/avionics_power.rs Cargo.toml
+
+/root/repo/target/debug/examples/libavionics_power-9cae450a71cfb17e.rmeta: crates/core/../../examples/avionics_power.rs Cargo.toml
+
+crates/core/../../examples/avionics_power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

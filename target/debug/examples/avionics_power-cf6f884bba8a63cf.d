@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/avionics_power-cf6f884bba8a63cf.d: crates/core/../../examples/avionics_power.rs
+
+/root/repo/target/debug/examples/avionics_power-cf6f884bba8a63cf: crates/core/../../examples/avionics_power.rs
+
+crates/core/../../examples/avionics_power.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/avionics_power-fb91ab1a42aff944.d: crates/core/../../examples/avionics_power.rs
+
+/root/repo/target/debug/examples/avionics_power-fb91ab1a42aff944: crates/core/../../examples/avionics_power.rs
+
+crates/core/../../examples/avionics_power.rs:

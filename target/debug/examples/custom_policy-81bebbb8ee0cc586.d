@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_policy-81bebbb8ee0cc586.d: crates/core/../../examples/custom_policy.rs
+
+/root/repo/target/debug/examples/custom_policy-81bebbb8ee0cc586: crates/core/../../examples/custom_policy.rs
+
+crates/core/../../examples/custom_policy.rs:

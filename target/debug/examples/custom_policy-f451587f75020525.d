@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_policy-f451587f75020525.d: crates/core/../../examples/custom_policy.rs
+
+/root/repo/target/debug/examples/custom_policy-f451587f75020525: crates/core/../../examples/custom_policy.rs
+
+crates/core/../../examples/custom_policy.rs:

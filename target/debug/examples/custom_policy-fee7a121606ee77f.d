@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_policy-fee7a121606ee77f.d: crates/core/../../examples/custom_policy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_policy-fee7a121606ee77f.rmeta: crates/core/../../examples/custom_policy.rs Cargo.toml
+
+crates/core/../../examples/custom_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

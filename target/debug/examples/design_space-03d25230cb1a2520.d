@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-03d25230cb1a2520.d: crates/core/../../examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-03d25230cb1a2520: crates/core/../../examples/design_space.rs
+
+crates/core/../../examples/design_space.rs:

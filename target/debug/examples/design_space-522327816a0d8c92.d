@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-522327816a0d8c92.d: crates/core/../../examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-522327816a0d8c92: crates/core/../../examples/design_space.rs
+
+crates/core/../../examples/design_space.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-57337d66226169cf.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-57337d66226169cf: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9d59e74b070619de.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9d59e74b070619de: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/schedule_trace-6eaa5103bebf9a5a.d: crates/core/../../examples/schedule_trace.rs
+
+/root/repo/target/debug/examples/schedule_trace-6eaa5103bebf9a5a: crates/core/../../examples/schedule_trace.rs
+
+crates/core/../../examples/schedule_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/schedule_trace-ac6ce03d2f336449.d: crates/core/../../examples/schedule_trace.rs
+
+/root/repo/target/debug/examples/schedule_trace-ac6ce03d2f336449: crates/core/../../examples/schedule_trace.rs
+
+crates/core/../../examples/schedule_trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/schedule_trace-ad6151e244cdf87f.d: crates/core/../../examples/schedule_trace.rs Cargo.toml
+
+/root/repo/target/debug/examples/libschedule_trace-ad6151e244cdf87f.rmeta: crates/core/../../examples/schedule_trace.rs Cargo.toml
+
+crates/core/../../examples/schedule_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,9 +1,9 @@
 (function() {
-    const implementors = Object.fromEntries([["lpfps_sweep",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/convert/trait.From.html\" title=\"trait core::convert::From\">From</a>&lt;PolicyKind&gt; for <a class=\"enum\" href=\"lpfps_sweep/cell/enum.PolicyChoice.html\" title=\"enum lpfps_sweep::cell::PolicyChoice\">PolicyChoice</a>",0]]]]);
+    const implementors = Object.fromEntries([["lpfps_sweep",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/convert/trait.From.html\" title=\"trait core::convert::From\">From</a>&lt;<a class=\"enum\" href=\"lpfps/driver/enum.PolicyKind.html\" title=\"enum lpfps::driver::PolicyKind\">PolicyKind</a>&gt; for <a class=\"enum\" href=\"lpfps_sweep/cell/enum.PolicyChoice.html\" title=\"enum lpfps_sweep::cell::PolicyChoice\">PolicyChoice</a>",0]]],["lpfps_sweep",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/convert/trait.From.html\" title=\"trait core::convert::From\">From</a>&lt;PolicyKind&gt; for <a class=\"enum\" href=\"lpfps_sweep/cell/enum.PolicyChoice.html\" title=\"enum lpfps_sweep::cell::PolicyChoice\">PolicyChoice</a>",0]]]]);
     if (window.register_implementors) {
         window.register_implementors(implementors);
     } else {
         window.pending_implementors = implementors;
     }
 })()
-//{"start":59,"fragment_lengths":[316]}
+//{"start":59,"fragment_lengths":[422,317]}

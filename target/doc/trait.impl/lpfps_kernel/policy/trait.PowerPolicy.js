@@ -1,9 +1,9 @@
 (function() {
-    const implementors = Object.fromEntries([["lpfps",[["impl PowerPolicy for <a class=\"struct\" href=\"lpfps/baselines/struct.TimeoutShutdown.html\" title=\"struct lpfps::baselines::TimeoutShutdown\">TimeoutShutdown</a>",0],["impl PowerPolicy for <a class=\"struct\" href=\"lpfps/lpfps_policy/struct.LpfpsPolicy.html\" title=\"struct lpfps::lpfps_policy::LpfpsPolicy\">LpfpsPolicy</a>",0]]],["lpfps_kernel",[]]]);
+    const implementors = Object.fromEntries([["lpfps",[["impl <a class=\"trait\" href=\"lpfps_kernel/policy/trait.PowerPolicy.html\" title=\"trait lpfps_kernel::policy::PowerPolicy\">PowerPolicy</a> for <a class=\"struct\" href=\"lpfps/baselines/struct.TimeoutShutdown.html\" title=\"struct lpfps::baselines::TimeoutShutdown\">TimeoutShutdown</a>",0],["impl <a class=\"trait\" href=\"lpfps_kernel/policy/trait.PowerPolicy.html\" title=\"trait lpfps_kernel::policy::PowerPolicy\">PowerPolicy</a> for <a class=\"struct\" href=\"lpfps/lpfps_policy/struct.LpfpsPolicy.html\" title=\"struct lpfps::lpfps_policy::LpfpsPolicy\">LpfpsPolicy</a>",0]]],["lpfps",[["impl PowerPolicy for <a class=\"struct\" href=\"lpfps/baselines/struct.TimeoutShutdown.html\" title=\"struct lpfps::baselines::TimeoutShutdown\">TimeoutShutdown</a>",0],["impl PowerPolicy for <a class=\"struct\" href=\"lpfps/lpfps_policy/struct.LpfpsPolicy.html\" title=\"struct lpfps::lpfps_policy::LpfpsPolicy\">LpfpsPolicy</a>",0]]],["lpfps_kernel",[]]]);
     if (window.register_implementors) {
         window.register_implementors(implementors);
     } else {
         window.pending_implementors = implementors;
     }
 })()
-//{"start":59,"fragment_lengths":[347,20]}
+//{"start":59,"fragment_lengths":[597,348,20]}

@@ -1,9 +1,9 @@
 (function() {
-    const implementors = Object.fromEntries([["fig2_schedule",[["impl ExecModel for <a class=\"struct\" href=\"fig2_schedule/struct.Figure2b.html\" title=\"struct fig2_schedule::Figure2b\">Figure2b</a>",0]]],["lpfps_tasks",[]]]);
+    const implementors = Object.fromEntries([["fig2_schedule",[["impl <a class=\"trait\" href=\"lpfps_tasks/exec/trait.ExecModel.html\" title=\"trait lpfps_tasks::exec::ExecModel\">ExecModel</a> for <a class=\"struct\" href=\"fig2_schedule/struct.Figure2b.html\" title=\"struct fig2_schedule::Figure2b\">Figure2b</a>",0]]],["fig2_schedule",[["impl ExecModel for <a class=\"struct\" href=\"fig2_schedule/struct.Figure2b.html\" title=\"struct fig2_schedule::Figure2b\">Figure2b</a>",0]]],["lpfps_tasks",[]]]);
     if (window.register_implementors) {
         window.register_implementors(implementors);
     } else {
         window.pending_implementors = implementors;
     }
 })()
-//{"start":59,"fragment_lengths":[162,19]}
+//{"start":59,"fragment_lengths":[277,163,19]}

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_ladder-38139f47b93ffeeb.d: crates/bench/src/bin/ablation_ladder.rs
+
+/root/repo/target/release/deps/ablation_ladder-38139f47b93ffeeb: crates/bench/src/bin/ablation_ladder.rs
+
+crates/bench/src/bin/ablation_ladder.rs:

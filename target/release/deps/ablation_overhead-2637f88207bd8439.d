@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_overhead-2637f88207bd8439.d: crates/bench/src/bin/ablation_overhead.rs
+
+/root/repo/target/release/deps/ablation_overhead-2637f88207bd8439: crates/bench/src/bin/ablation_overhead.rs
+
+crates/bench/src/bin/ablation_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_policies-fc2ed78d6095b151.d: crates/bench/src/bin/ablation_policies.rs
+
+/root/repo/target/release/deps/ablation_policies-fc2ed78d6095b151: crates/bench/src/bin/ablation_policies.rs
+
+crates/bench/src/bin/ablation_policies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_ratio-e3f2b015c2a8e2e9.d: crates/bench/src/bin/ablation_ratio.rs
+
+/root/repo/target/release/deps/ablation_ratio-e3f2b015c2a8e2e9: crates/bench/src/bin/ablation_ratio.rs
+
+crates/bench/src/bin/ablation_ratio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_shutdown-85a574401cf1b137.d: crates/bench/src/bin/ablation_shutdown.rs
+
+/root/repo/target/release/deps/ablation_shutdown-85a574401cf1b137: crates/bench/src/bin/ablation_shutdown.rs
+
+crates/bench/src/bin/ablation_shutdown.rs:

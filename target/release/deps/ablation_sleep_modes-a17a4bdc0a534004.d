@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_sleep_modes-a17a4bdc0a534004.d: crates/bench/src/bin/ablation_sleep_modes.rs
+
+/root/repo/target/release/deps/ablation_sleep_modes-a17a4bdc0a534004: crates/bench/src/bin/ablation_sleep_modes.rs
+
+crates/bench/src/bin/ablation_sleep_modes.rs:

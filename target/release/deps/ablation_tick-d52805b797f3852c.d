@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_tick-d52805b797f3852c.d: crates/bench/src/bin/ablation_tick.rs
+
+/root/repo/target/release/deps/ablation_tick-d52805b797f3852c: crates/bench/src/bin/ablation_tick.rs
+
+crates/bench/src/bin/ablation_tick.rs:

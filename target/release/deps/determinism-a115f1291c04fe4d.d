@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-a115f1291c04fe4d.d: crates/sweep/tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-a115f1291c04fe4d: crates/sweep/tests/determinism.rs
+
+crates/sweep/tests/determinism.rs:

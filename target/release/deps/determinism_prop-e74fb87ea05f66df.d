@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism_prop-e74fb87ea05f66df.d: crates/sweep/tests/determinism_prop.rs
+
+/root/repo/target/release/deps/determinism_prop-e74fb87ea05f66df: crates/sweep/tests/determinism_prop.rs
+
+crates/sweep/tests/determinism_prop.rs:

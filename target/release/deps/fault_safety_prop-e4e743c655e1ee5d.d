@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_safety_prop-e4e743c655e1ee5d.d: crates/core/tests/fault_safety_prop.rs
+
+/root/repo/target/release/deps/fault_safety_prop-e4e743c655e1ee5d: crates/core/tests/fault_safety_prop.rs
+
+crates/core/tests/fault_safety_prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_sweep-95ada77712c2cf5d.d: crates/bench/src/bin/fault_sweep.rs
+
+/root/repo/target/release/deps/fault_sweep-95ada77712c2cf5d: crates/bench/src/bin/fault_sweep.rs
+
+crates/bench/src/bin/fault_sweep.rs:

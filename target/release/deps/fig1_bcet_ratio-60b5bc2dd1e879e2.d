@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_bcet_ratio-60b5bc2dd1e879e2.d: crates/bench/src/bin/fig1_bcet_ratio.rs
+
+/root/repo/target/release/deps/fig1_bcet_ratio-60b5bc2dd1e879e2: crates/bench/src/bin/fig1_bcet_ratio.rs
+
+crates/bench/src/bin/fig1_bcet_ratio.rs:

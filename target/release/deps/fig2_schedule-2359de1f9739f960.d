@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_schedule-2359de1f9739f960.d: crates/bench/src/bin/fig2_schedule.rs
+
+/root/repo/target/release/deps/fig2_schedule-2359de1f9739f960: crates/bench/src/bin/fig2_schedule.rs
+
+crates/bench/src/bin/fig2_schedule.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_ratio-b8c29d0eebe14069.d: crates/bench/src/bin/fig7_ratio.rs
+
+/root/repo/target/release/deps/fig7_ratio-b8c29d0eebe14069: crates/bench/src/bin/fig7_ratio.rs
+
+crates/bench/src/bin/fig7_ratio.rs:

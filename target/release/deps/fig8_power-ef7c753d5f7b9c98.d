@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_power-ef7c753d5f7b9c98.d: crates/bench/src/bin/fig8_power.rs
+
+/root/repo/target/release/deps/fig8_power-ef7c753d5f7b9c98: crates/bench/src/bin/fig8_power.rs
+
+crates/bench/src/bin/fig8_power.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/lpfps_bench-f2a34ff84487c11f.d: crates/bench/src/lib.rs crates/bench/src/chart.rs
+
+/root/repo/target/release/deps/liblpfps_bench-f2a34ff84487c11f.rlib: crates/bench/src/lib.rs crates/bench/src/chart.rs
+
+/root/repo/target/release/deps/liblpfps_bench-f2a34ff84487c11f.rmeta: crates/bench/src/lib.rs crates/bench/src/chart.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chart.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lpfps_faults-9b0f0156b2cfc56b.d: crates/faults/src/lib.rs
+
+/root/repo/target/release/deps/liblpfps_faults-9b0f0156b2cfc56b.rlib: crates/faults/src/lib.rs
+
+/root/repo/target/release/deps/liblpfps_faults-9b0f0156b2cfc56b.rmeta: crates/faults/src/lib.rs
+
+crates/faults/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lpfps_sweep-ee9af015c7fa04fe.d: crates/sweep/src/lib.rs crates/sweep/src/cell.rs crates/sweep/src/cli.rs crates/sweep/src/metrics.rs crates/sweep/src/runner.rs crates/sweep/src/spec.rs
+
+/root/repo/target/release/deps/liblpfps_sweep-ee9af015c7fa04fe.rlib: crates/sweep/src/lib.rs crates/sweep/src/cell.rs crates/sweep/src/cli.rs crates/sweep/src/metrics.rs crates/sweep/src/runner.rs crates/sweep/src/spec.rs
+
+/root/repo/target/release/deps/liblpfps_sweep-ee9af015c7fa04fe.rmeta: crates/sweep/src/lib.rs crates/sweep/src/cell.rs crates/sweep/src/cli.rs crates/sweep/src/metrics.rs crates/sweep/src/runner.rs crates/sweep/src/spec.rs
+
+crates/sweep/src/lib.rs:
+crates/sweep/src/cell.rs:
+crates/sweep/src/cli.rs:
+crates/sweep/src/metrics.rs:
+crates/sweep/src/runner.rs:
+crates/sweep/src/spec.rs:

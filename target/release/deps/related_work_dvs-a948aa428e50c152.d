@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/related_work_dvs-a948aa428e50c152.d: crates/bench/src/bin/related_work_dvs.rs
+
+/root/repo/target/release/deps/related_work_dvs-a948aa428e50c152: crates/bench/src/bin/related_work_dvs.rs
+
+crates/bench/src/bin/related_work_dvs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report_svg-69298cfe145a2704.d: crates/bench/src/bin/report_svg.rs
+
+/root/repo/target/release/deps/report_svg-69298cfe145a2704: crates/bench/src/bin/report_svg.rs
+
+crates/bench/src/bin/report_svg.rs:

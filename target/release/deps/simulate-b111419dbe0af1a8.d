@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulate-b111419dbe0af1a8.d: crates/bench/src/bin/simulate.rs
+
+/root/repo/target/release/deps/simulate-b111419dbe0af1a8: crates/bench/src/bin/simulate.rs
+
+crates/bench/src/bin/simulate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep_utilization-286b5390571d530b.d: crates/bench/src/bin/sweep_utilization.rs
+
+/root/repo/target/release/deps/sweep_utilization-286b5390571d530b: crates/bench/src/bin/sweep_utilization.rs
+
+crates/bench/src/bin/sweep_utilization.rs:

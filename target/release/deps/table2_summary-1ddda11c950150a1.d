@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_summary-1ddda11c950150a1.d: crates/bench/src/bin/table2_summary.rs
+
+/root/repo/target/release/deps/table2_summary-1ddda11c950150a1: crates/bench/src/bin/table2_summary.rs
+
+crates/bench/src/bin/table2_summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tradeoff_scheduler-1bdba67153a15501.d: crates/bench/src/bin/tradeoff_scheduler.rs
+
+/root/repo/target/release/deps/tradeoff_scheduler-1bdba67153a15501: crates/bench/src/bin/tradeoff_scheduler.rs
+
+crates/bench/src/bin/tradeoff_scheduler.rs:
