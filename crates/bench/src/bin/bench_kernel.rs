@@ -1,0 +1,343 @@
+//! The kernel performance trajectory: measures single-simulation latency
+//! (four paper workloads × {fps, lpfps}) and end-to-end sweep throughput
+//! (the utilization-sweep grid at 1 and N threads), and maintains the
+//! committed `BENCH_kernel.json` that every future perf PR is judged
+//! against.
+//!
+//! Usage:
+//!   bench_kernel                      measure and print the table
+//!   bench_kernel --quick              reduced grid/reps (CI smoke)
+//!   bench_kernel --snapshot F.json    measure, write the raw snapshot
+//!   bench_kernel --baseline F.json --trajectory BENCH_kernel.json
+//!                                     measure "after", pair with the
+//!                                     "before" snapshot, write the
+//!                                     before/after trajectory
+//!   bench_kernel --golden             print the golden-report
+//!                                     fingerprint table (the constants
+//!                                     pinned by tests/golden_determinism)
+//!
+//! All simulated work is deterministic (`counters.events` is a pure
+//! function of the grid), so events/sec is comparable across engine
+//! versions: the numerator never changes, only the wall clock does.
+
+use lpfps::driver::{run, PolicyKind};
+use lpfps_bench::fingerprint::report_fingerprint;
+use lpfps_bench::golden::golden_runs;
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_kernel::engine::SimConfig;
+use lpfps_sweep::{run_sweep, ExecKind, RunOptions, SweepSpec};
+use lpfps_tasks::exec::PaperGaussian;
+use lpfps_tasks::taskset::TaskSet;
+use lpfps_workloads::{avionics, cnc, ins, table1};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Latency of one full simulation of a (workload, policy) cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SingleSim {
+    app: String,
+    policy: String,
+    /// Kernel decision points per simulation (deterministic).
+    events: u64,
+    /// Best-of-rounds mean wall time per simulation, nanoseconds.
+    ns_per_sim: u64,
+    events_per_sec: f64,
+}
+
+/// One timed execution of the utilization-sweep grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SweepRun {
+    name: String,
+    threads: u64,
+    cells: u64,
+    /// Total kernel decision points across the grid (deterministic).
+    total_events: u64,
+    /// Best-of-rounds wall time, nanoseconds.
+    wall_ns: u64,
+    cells_per_sec: f64,
+    events_per_sec: f64,
+}
+
+/// Everything one invocation measures.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Snapshot {
+    singles: Vec<SingleSim>,
+    sweeps: Vec<SweepRun>,
+}
+
+/// The committed before/after trajectory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Trajectory {
+    schema: String,
+    generated_by: String,
+    host_threads: u64,
+    /// Speedup of the single-thread utilization sweep (after/before
+    /// events per second) — the acceptance headline.
+    single_thread_sweep_speedup: f64,
+    /// Speedup of the same sweep at all host threads.
+    parallel_sweep_speedup: f64,
+    /// Geometric-mean single-simulation speedup over the workload matrix.
+    single_sim_speedup_geomean: f64,
+    before: Snapshot,
+    after: Snapshot,
+}
+
+fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Times `rounds` batches of `sims` runs and returns the best mean
+/// nanoseconds per run plus the (deterministic) event count of one run.
+fn time_single(ts: &TaskSet, policy: PolicyKind, rounds: usize, budget_ns: u64) -> (u64, u64) {
+    let cpu = CpuSpec::arm8();
+    let ts = ts.with_bcet_fraction(0.5);
+    let cfg = SimConfig::new(lpfps::driver::default_horizon(&ts)).with_seed(7);
+    let probe = run(&ts, &cpu, policy, &PaperGaussian, &cfg);
+    let events = probe.counters.events;
+    let t0 = Instant::now();
+    std::hint::black_box(run(&ts, &cpu, policy, &PaperGaussian, &cfg));
+    let once = t0.elapsed().as_nanos().max(1) as u64;
+    let sims = (budget_ns / once).clamp(1, 10_000) as usize;
+    let mut best = u64::MAX;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        for _ in 0..sims {
+            std::hint::black_box(run(&ts, &cpu, policy, &PaperGaussian, &cfg));
+        }
+        best = best.min(start.elapsed().as_nanos() as u64 / sims as u64);
+    }
+    (best, events)
+}
+
+/// The utilization-sweep grid the throughput numbers run on — the same
+/// UUniFast construction as the `sweep_utilization` experiment.
+fn sweep_grid(quick: bool) -> SweepSpec {
+    let utilizations: &[f64] = if quick {
+        &[0.3, 0.6]
+    } else {
+        &[0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+    };
+    SweepSpec::utilization(
+        "bench_utilization",
+        &CpuSpec::arm8(),
+        utilizations,
+        if quick { 2 } else { 8 },
+        8,
+        &[PolicyKind::Fps, PolicyKind::Lpfps],
+        0.5,
+        ExecKind::PaperGaussian,
+    )
+}
+
+fn time_sweep(spec: &SweepSpec, threads: usize, rounds: usize) -> SweepRun {
+    let opts = RunOptions::serial().with_threads(threads);
+    let mut best: Option<SweepRun> = None;
+    for _ in 0..rounds {
+        let outcome = run_sweep(spec, &opts);
+        let m = &outcome.metrics;
+        let run = SweepRun {
+            name: spec.name.clone(),
+            threads: m.threads as u64,
+            cells: m.cells as u64,
+            total_events: m.total_events,
+            wall_ns: m.wall_ns,
+            cells_per_sec: m.cells_per_sec(),
+            events_per_sec: m.events_per_sec(),
+        };
+        if best.as_ref().is_none_or(|b| run.wall_ns < b.wall_ns) {
+            best = Some(run);
+        }
+    }
+    best.expect("at least one round")
+}
+
+fn measure(quick: bool) -> Snapshot {
+    let rounds = if quick { 1 } else { 3 };
+    let budget_ns = if quick { 20_000_000 } else { 300_000_000 };
+    let mut singles = Vec::new();
+    for (name, ts) in [
+        ("table1", table1()),
+        ("avionics", avionics()),
+        ("cnc", cnc()),
+        ("ins", ins()),
+    ] {
+        for policy in [PolicyKind::Fps, PolicyKind::Lpfps] {
+            let (ns_per_sim, events) = time_single(&ts, policy, rounds, budget_ns);
+            eprintln!(
+                "  single {name}/{policy}: {:.3} µs/sim, {events} events",
+                ns_per_sim as f64 / 1e3
+            );
+            singles.push(SingleSim {
+                app: name.to_string(),
+                policy: policy.name().to_string(),
+                events,
+                ns_per_sim,
+                events_per_sec: events as f64 * 1e9 / ns_per_sim.max(1) as f64,
+            });
+        }
+    }
+    let spec = sweep_grid(quick);
+    let mut sweeps = Vec::new();
+    for threads in [1, host_threads()] {
+        let run = time_sweep(&spec, threads, rounds);
+        eprintln!(
+            "  sweep {} @ {} thread(s): {:.1} cells/s, {:.2}M events/s",
+            run.name,
+            run.threads,
+            run.cells_per_sec,
+            run.events_per_sec / 1e6
+        );
+        sweeps.push(run);
+        if host_threads() == 1 {
+            break;
+        }
+    }
+    Snapshot { singles, sweeps }
+}
+
+fn render(snap: &Snapshot) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:<10} {:>12} {:>14} {:>12}",
+        "app", "policy", "events/sim", "ns/sim", "Mevents/s"
+    );
+    for s in &snap.singles {
+        let _ = writeln!(
+            out,
+            "{:<10} {:<10} {:>12} {:>14} {:>12.2}",
+            s.app,
+            s.policy,
+            s.events,
+            s.ns_per_sim,
+            s.events_per_sec / 1e6
+        );
+    }
+    for s in &snap.sweeps {
+        let _ = writeln!(
+            out,
+            "sweep {} @ {:>2} thread(s): {:>6} cells in {:>10} ns — {:.1} cells/s, {:.2}M events/s",
+            s.name,
+            s.threads,
+            s.cells,
+            s.wall_ns,
+            s.cells_per_sec,
+            s.events_per_sec / 1e6
+        );
+    }
+    out
+}
+
+fn geomean(ratios: impl Iterator<Item = f64>) -> f64 {
+    let (mut log_sum, mut n) = (0.0f64, 0u32);
+    for r in ratios {
+        log_sum += r.ln();
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+fn sweep_speedup(before: &Snapshot, after: &Snapshot, threads_one: bool) -> f64 {
+    let pick = |s: &Snapshot| {
+        s.sweeps
+            .iter()
+            .find(|r| (r.threads == 1) == threads_one)
+            .map(|r| r.events_per_sec)
+    };
+    match (pick(before), pick(after)) {
+        (Some(b), Some(a)) if b > 0.0 => a / b,
+        _ => 1.0,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let value = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a value");
+                std::process::exit(2);
+            })
+        })
+    };
+    for (i, a) in args.iter().enumerate() {
+        let known_flag = matches!(
+            a.as_str(),
+            "--quick" | "--golden" | "--snapshot" | "--baseline" | "--trajectory"
+        );
+        let is_value = i > 0
+            && matches!(
+                args[i - 1].as_str(),
+                "--snapshot" | "--baseline" | "--trajectory"
+            );
+        if !known_flag && !is_value {
+            eprintln!("error: unknown argument `{a}`");
+            eprintln!("usage: bench_kernel [--quick] [--golden] [--snapshot F] [--baseline F --trajectory F]");
+            std::process::exit(2);
+        }
+    }
+
+    if has("--golden") {
+        println!("golden report fingerprints (pin these in tests/golden_determinism.rs):");
+        for (label, report) in golden_runs() {
+            println!("    (\"{label}\", 0x{:016x}),", report_fingerprint(&report));
+        }
+        return;
+    }
+
+    let quick = has("--quick");
+    eprintln!(
+        "measuring kernel performance ({} mode, {} host threads)...",
+        if quick { "quick" } else { "full" },
+        host_threads()
+    );
+    let snapshot = measure(quick);
+    print!("{}", render(&snapshot));
+
+    if let Some(path) = value("--snapshot") {
+        let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+        std::fs::write(path, json + "\n").expect("snapshot written");
+        eprintln!("snapshot written to {path}");
+    }
+
+    if let Some(baseline_path) = value("--baseline") {
+        let out = value("--trajectory").cloned().unwrap_or_else(|| {
+            eprintln!("error: --baseline needs --trajectory OUT");
+            std::process::exit(2);
+        });
+        let raw = std::fs::read_to_string(baseline_path).expect("baseline snapshot readable");
+        let before: Snapshot = serde_json::from_str(&raw).expect("baseline snapshot parses");
+        let trajectory = Trajectory {
+            schema: "lpfps/bench-kernel/v1".to_string(),
+            generated_by: "bench_kernel --baseline".to_string(),
+            host_threads: host_threads() as u64,
+            single_thread_sweep_speedup: sweep_speedup(&before, &snapshot, true),
+            parallel_sweep_speedup: sweep_speedup(&before, &snapshot, false),
+            single_sim_speedup_geomean: geomean(before.singles.iter().zip(&snapshot.singles).map(
+                |(b, a)| {
+                    debug_assert_eq!((&b.app, &b.policy), (&a.app, &a.policy));
+                    b.ns_per_sim as f64 / a.ns_per_sim.max(1) as f64
+                },
+            )),
+            before,
+            after: snapshot.clone(),
+        };
+        println!(
+            "\nsingle-thread sweep speedup: {:.2}x   parallel: {:.2}x   single-sim geomean: {:.2}x",
+            trajectory.single_thread_sweep_speedup,
+            trajectory.parallel_sweep_speedup,
+            trajectory.single_sim_speedup_geomean
+        );
+        let json = serde_json::to_string_pretty(&trajectory).expect("trajectory serializes");
+        std::fs::write(&out, json + "\n").expect("trajectory written");
+        eprintln!("trajectory written to {out}");
+    }
+}

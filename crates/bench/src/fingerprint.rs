@@ -1,0 +1,42 @@
+//! Content fingerprints of simulation reports.
+//!
+//! The golden determinism tests pin a 64-bit hash of the *entire*
+//! [`SimReport`] — counters, energy accounting, per-task responses,
+//! histograms, misses, idle gaps — captured on a reference engine. Any
+//! engine change that alters a single byte of any field for a fixed
+//! `(taskset, cpu, policy, exec, cfg)` flips the fingerprint, so hot-path
+//! optimizations are provably behaviorally invisible.
+
+use lpfps_kernel::report::SimReport;
+
+/// 64-bit FNV-1a.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The canonical content hash of a full report: FNV-1a over its JSON
+/// serialization (field order is declaration order, floats print via
+/// Rust's shortest-roundtrip formatter, so the byte stream — and hence
+/// the hash — is a pure function of the report's value).
+pub fn report_fingerprint(report: &SimReport) -> u64 {
+    let json = serde_json::to_string(report).expect("reports serialize");
+    fnv1a(json.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+}

@@ -1,0 +1,57 @@
+//! The golden workload matrix behind the engine's determinism tests and
+//! the benchmark suite.
+//!
+//! All four paper workloads × {fps, lpfps, lpfps-wd}, fault-free and
+//! under an injected WCET-overrun model, at fixed seeds. The matrix is a
+//! shared definition so `tests/golden_determinism.rs` (which pins the
+//! fingerprints) and `bench_kernel --golden` (which regenerates them)
+//! can never drift apart.
+
+use lpfps::driver::PolicyKind;
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_faults::{FaultConfig, OverrunFault};
+use lpfps_kernel::report::SimReport;
+use lpfps_sweep::{Cell, ExecKind};
+use lpfps_workloads::{avionics, cnc, ins, table1};
+
+/// The execution-time seed every golden cell runs with.
+pub const GOLDEN_SEED: u64 = 42;
+
+/// The fault-stream seed of the faulted half of the matrix.
+pub const GOLDEN_FAULT_SEED: u64 = 7;
+
+/// The golden cells, in a fixed, documented order: workload-major,
+/// policy-minor, fault-free matrix first, then the overrun-fault matrix.
+pub fn golden_cells() -> Vec<Cell> {
+    let cpu = CpuSpec::arm8();
+    let policies = [
+        PolicyKind::Fps,
+        PolicyKind::Lpfps,
+        PolicyKind::LpfpsWatchdog,
+    ];
+    let overrun = FaultConfig::none()
+        .with_seed(GOLDEN_FAULT_SEED)
+        .with_overrun(OverrunFault::clamped(0.2, 0.3, 1.3));
+    let mut cells = Vec::new();
+    for faults in [FaultConfig::none(), overrun] {
+        for ts in [table1(), avionics(), cnc(), ins()] {
+            for policy in policies {
+                cells.push(
+                    Cell::new(ts.clone(), cpu.clone(), policy)
+                        .with_exec(ExecKind::PaperGaussian)
+                        .with_bcet_fraction(0.5)
+                        .with_seed(GOLDEN_SEED)
+                        .with_faults(faults),
+                );
+            }
+        }
+    }
+    cells
+}
+
+/// Runs every golden cell, yielding `(label, report)` in matrix order.
+pub fn golden_runs() -> impl Iterator<Item = (String, SimReport)> {
+    golden_cells()
+        .into_iter()
+        .map(|cell| (cell.label(), cell.run(1.0)))
+}

@@ -33,6 +33,8 @@
 //! regeneration and unknown flags are hard errors everywhere.
 
 pub mod chart;
+pub mod fingerprint;
+pub mod golden;
 
 use lpfps_sweep::CellResult;
 use lpfps_tasks::taskset::TaskSet;
