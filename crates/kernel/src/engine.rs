@@ -205,6 +205,9 @@ struct Engine<'a> {
     task_energy: Vec<f64>,
     histograms: Vec<ResponseHistogram>,
     trace: Option<Trace>,
+    /// Scratch buffer for due releases, reused across scheduler passes
+    /// (see [`DelayQueue::pop_due_into`]).
+    due_scratch: Vec<(TaskId, Time)>,
 }
 
 /// Rounds an arrival up to the next tick boundary (identity for
@@ -299,6 +302,7 @@ impl<'a> Engine<'a> {
             task_energy: vec![0.0; ts.len()],
             histograms: vec![ResponseHistogram::new(); ts.len()],
             trace: if cfg.trace { Some(Trace::new()) } else { None },
+            due_scratch: Vec::new(),
         }
     }
 
@@ -525,8 +529,11 @@ impl<'a> Engine<'a> {
             }
             _ => {}
         }
-        // Releases (the scheduler's L5-L7).
-        let due = self.delay_q.pop_due(self.now);
+        // Releases (the scheduler's L5-L7). The scratch buffer is moved
+        // out while job spawns borrow `self` and put back afterwards, so
+        // steady-state passes allocate nothing.
+        let mut due = std::mem::take(&mut self.due_scratch);
+        self.delay_q.pop_due_into(self.now, &mut due);
         if !due.is_empty() {
             // Watchdog invariant: a release must find the processor settled
             // at full speed, or at worst at an instant where a planned
@@ -549,11 +556,12 @@ impl<'a> Engine<'a> {
                     self.counters.degradations += 1;
                 }
             }
-            for (tid, release) in due {
+            for &(tid, release) in &due {
                 self.spawn_job(tid, release);
             }
             need_sched = true;
         }
+        self.due_scratch = due;
         // Completion of the active job.
         if let Some(total) = self.frontier_work() {
             if total.is_zero() {

@@ -33,7 +33,10 @@ use lpfps_tasks::time::Time;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct RunQueue {
-    // Sorted ascending by priority level (head = index 0 = most urgent).
+    // Sorted *descending* by priority level, so the head (most urgent =
+    // lowest level) sits at the back and `pop` is an O(1) `Vec::pop`
+    // instead of a front `remove(0)` memmove. Equal priorities keep the
+    // front-sorted queue's semantics: the most recent insert pops first.
     entries: Vec<(Priority, TaskId)>,
 }
 
@@ -54,27 +57,23 @@ impl RunQueue {
             !self.contains(task),
             "task {task} is already in the run queue"
         );
-        let pos = self.entries.partition_point(|&(p, _)| p < prio);
+        let pos = self.entries.partition_point(|&(p, _)| p >= prio);
         self.entries.insert(pos, (prio, task));
     }
 
     /// The highest-priority queued task, if any.
     pub fn head(&self) -> Option<TaskId> {
-        self.entries.first().map(|&(_, t)| t)
+        self.entries.last().map(|&(_, t)| t)
     }
 
     /// The priority of the head, if any.
     pub fn head_priority(&self) -> Option<Priority> {
-        self.entries.first().map(|&(p, _)| p)
+        self.entries.last().map(|&(p, _)| p)
     }
 
     /// Removes and returns the highest-priority task.
     pub fn pop(&mut self) -> Option<TaskId> {
-        if self.entries.is_empty() {
-            None
-        } else {
-            Some(self.entries.remove(0).1)
-        }
+        self.entries.pop().map(|(_, t)| t)
     }
 
     /// True if no task is queued.
@@ -94,7 +93,7 @@ impl RunQueue {
 
     /// Iterates queued tasks from highest to lowest priority.
     pub fn iter(&self) -> impl Iterator<Item = TaskId> + '_ {
-        self.entries.iter().map(|&(_, t)| t)
+        self.entries.iter().rev().map(|&(_, t)| t)
     }
 }
 
@@ -141,12 +140,24 @@ impl DelayQueue {
 
     /// Removes and returns every task whose release time is `<= now`, in
     /// release order (the scheduler's L5–L7 loop).
+    ///
+    /// Allocates a fresh `Vec` per call; the engine's hot path uses
+    /// [`DelayQueue::pop_due_into`] with a reusable scratch buffer
+    /// instead.
     pub fn pop_due(&mut self, now: Time) -> Vec<(TaskId, Time)> {
+        let mut due = Vec::new();
+        self.pop_due_into(now, &mut due);
+        due
+    }
+
+    /// Removes every task whose release time is `<= now` into `due` (in
+    /// release order), clearing it first. The allocation-free form of
+    /// [`DelayQueue::pop_due`]: a caller-provided scratch buffer amortizes
+    /// to zero allocations across scheduler passes.
+    pub fn pop_due_into(&mut self, now: Time, due: &mut Vec<(TaskId, Time)>) {
+        due.clear();
         let split = self.entries.partition_point(|&(r, _, _)| r <= now);
-        self.entries
-            .drain(..split)
-            .map(|(r, _, t)| (t, r))
-            .collect()
+        due.extend(self.entries.drain(..split).map(|(r, _, t)| (t, r)));
     }
 
     /// True if no task is waiting.
@@ -240,6 +251,37 @@ mod tests {
     fn pop_due_on_empty_queue_is_empty() {
         let mut q = DelayQueue::new();
         assert!(q.pop_due(Time::from_us(1_000)).is_empty());
+    }
+
+    #[test]
+    fn pop_due_into_matches_pop_due_and_reuses_the_buffer() {
+        let mut a = DelayQueue::new();
+        let mut b = DelayQueue::new();
+        for (id, us) in [(0usize, 100u64), (1, 150), (2, 200)] {
+            a.insert(TaskId(id), Priority::new(id as u32), Time::from_us(us));
+            b.insert(TaskId(id), Priority::new(id as u32), Time::from_us(us));
+        }
+        let mut scratch = Vec::new();
+        a.pop_due_into(Time::from_us(150), &mut scratch);
+        assert_eq!(scratch, b.pop_due(Time::from_us(150)));
+        let capacity = scratch.capacity();
+        // A later pass clears stale contents and reuses the allocation.
+        a.pop_due_into(Time::from_us(200), &mut scratch);
+        assert_eq!(scratch, vec![(TaskId(2), Time::from_us(200))]);
+        assert_eq!(scratch.capacity(), capacity);
+    }
+
+    #[test]
+    fn run_queue_equal_priorities_pop_most_recently_inserted_first() {
+        // The historical front-sorted queue inserted new entries *before*
+        // existing equals; the back-popped layout must preserve that.
+        let mut q = RunQueue::new();
+        q.insert(TaskId(0), Priority::new(1));
+        q.insert(TaskId(1), Priority::new(1));
+        q.insert(TaskId(2), Priority::new(0));
+        assert_eq!(q.pop(), Some(TaskId(2)));
+        assert_eq!(q.pop(), Some(TaskId(1)));
+        assert_eq!(q.pop(), Some(TaskId(0)));
     }
 
     #[test]
