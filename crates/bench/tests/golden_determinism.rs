@@ -62,6 +62,55 @@ fn reports_match_pre_optimization_engine() {
     assert_eq!(checked, GOLDEN.len(), "golden matrix lost cells");
 }
 
+/// The workspace-reuse path must be invisible too: running the whole
+/// golden matrix through ONE recycled [`SimWorkspace`] — every cell after
+/// the first inherits dirty buffers from a *different* workload and
+/// policy — still reproduces the pinned pre-optimization fingerprints.
+#[test]
+fn workspace_reuse_reproduces_the_golden_matrix() {
+    use lpfps_bench::golden::golden_cells;
+    use lpfps_kernel::engine::SimWorkspace;
+    let mut ws = SimWorkspace::new();
+    for (cell, (label, expected)) in golden_cells().into_iter().zip(GOLDEN) {
+        let report = cell.run_in(1.0, &mut ws);
+        assert_eq!(
+            report_fingerprint(&report),
+            expected,
+            "workspace-reuse report for `{label}` diverged"
+        );
+    }
+}
+
+/// Sweep-equivalence over the per-worker-workspace runner: the full
+/// golden matrix as one sweep must fingerprint identically at every
+/// thread count 1..=8 (different thread counts slice the cell stream
+/// into different per-workspace sequences).
+#[test]
+fn sweep_reports_identical_across_thread_counts() {
+    use lpfps_bench::golden::golden_cells;
+    use lpfps_sweep::{run_sweep, RunOptions, SweepSpec};
+    let mut spec = SweepSpec::new("golden");
+    for cell in golden_cells() {
+        spec.push(cell);
+    }
+    let fingerprints = |threads: usize| -> Vec<u64> {
+        run_sweep(&spec, &RunOptions::serial().with_threads(threads))
+            .reports
+            .iter()
+            .map(|r| report_fingerprint(r.as_ref().expect("golden cells complete")))
+            .collect()
+    };
+    let reference = fingerprints(1);
+    assert_eq!(reference.len(), GOLDEN.len());
+    for threads in 2..=8 {
+        assert_eq!(
+            fingerprints(threads),
+            reference,
+            "sweep reports diverged at {threads} threads"
+        );
+    }
+}
+
 #[test]
 fn fingerprint_is_sensitive_to_the_config() {
     // Sanity check that the hash actually discriminates: a different seed

@@ -5,7 +5,7 @@
 use crate::baselines::{static_slowdown_spec, Fps};
 use crate::lpfps_policy::LpfpsPolicy;
 use lpfps_cpu::spec::CpuSpec;
-use lpfps_kernel::engine::{simulate, SimConfig};
+use lpfps_kernel::engine::{simulate_in, SimConfig, SimWorkspace};
 use lpfps_kernel::report::SimReport;
 use lpfps_tasks::analysis::hyperperiod::hyperperiod;
 use lpfps_tasks::exec::ExecModel;
@@ -88,24 +88,48 @@ pub fn run(
     exec: &dyn ExecModel,
     cfg: &SimConfig,
 ) -> SimReport {
+    run_in(ts, cpu, kind, exec, cfg, &mut SimWorkspace::new())
+}
+
+/// [`run`] with a caller-provided [`SimWorkspace`], so batch drivers (the
+/// sweep runner's worker threads) recycle the kernel's queue and task
+/// buffers across cells instead of reallocating them per simulation.
+pub fn run_in(
+    ts: &TaskSet,
+    cpu: &CpuSpec,
+    kind: PolicyKind,
+    exec: &dyn ExecModel,
+    cfg: &SimConfig,
+    ws: &mut SimWorkspace,
+) -> SimReport {
     match kind {
-        PolicyKind::Fps => simulate(ts, cpu, &mut Fps, exec, cfg),
-        PolicyKind::FpsPd => simulate(ts, cpu, &mut LpfpsPolicy::power_down_only(), exec, cfg),
-        PolicyKind::LpfpsDvsOnly => simulate(ts, cpu, &mut LpfpsPolicy::dvs_only(), exec, cfg),
-        PolicyKind::Lpfps => simulate(ts, cpu, &mut LpfpsPolicy::new(), exec, cfg),
-        PolicyKind::LpfpsOptimal => {
-            simulate(ts, cpu, &mut LpfpsPolicy::with_optimal_ratio(), exec, cfg)
+        PolicyKind::Fps => simulate_in(ts, cpu, &mut Fps, exec, cfg, ws),
+        PolicyKind::FpsPd => {
+            simulate_in(ts, cpu, &mut LpfpsPolicy::power_down_only(), exec, cfg, ws)
         }
-        PolicyKind::LpfpsWatchdog => simulate(
+        PolicyKind::LpfpsDvsOnly => {
+            simulate_in(ts, cpu, &mut LpfpsPolicy::dvs_only(), exec, cfg, ws)
+        }
+        PolicyKind::Lpfps => simulate_in(ts, cpu, &mut LpfpsPolicy::new(), exec, cfg, ws),
+        PolicyKind::LpfpsOptimal => simulate_in(
+            ts,
+            cpu,
+            &mut LpfpsPolicy::with_optimal_ratio(),
+            exec,
+            cfg,
+            ws,
+        ),
+        PolicyKind::LpfpsWatchdog => simulate_in(
             ts,
             cpu,
             &mut LpfpsPolicy::with_watchdog(PolicyKind::DEFAULT_WATCHDOG_COOLDOWN),
             exec,
             cfg,
+            ws,
         ),
         PolicyKind::StaticSlowdown => {
             let derated = static_slowdown_spec(ts, cpu).unwrap_or_else(|| cpu.clone());
-            let mut report = simulate(ts, &derated, &mut Fps, exec, cfg);
+            let mut report = simulate_in(ts, &derated, &mut Fps, exec, cfg, ws);
             report.policy = PolicyKind::StaticSlowdown.name().to_string();
             report
         }

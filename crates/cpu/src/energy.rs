@@ -27,10 +27,15 @@ use std::collections::BTreeMap;
 /// // 20% power for 1 ms = 0.0002 normalized joule-equivalents.
 /// assert!((meter.total_energy() - 2e-4).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct EnergyMeter {
     total_energy: f64,
-    per_state: BTreeMap<StateKind, StateBucket>,
+    /// One slot per [`StateKind`], indexed by declaration order — a plain
+    /// array store on the simulation hot path (the meter is charged on
+    /// every advance) where a `BTreeMap` lookup used to sit. A kind was
+    /// "entered" iff its residency is non-zero (charges are only ever
+    /// positive), which the serialized form below relies on.
+    buckets: [StateBucket; StateKind::ALL.len()],
 }
 
 /// Residency and energy attributed to one state kind.
@@ -50,13 +55,19 @@ impl EnergyMeter {
 
     /// Charges `dur` spent in `state` on processor `cpu`.
     pub fn accumulate(&mut self, cpu: &crate::spec::CpuSpec, state: CpuState, dur: Dur) {
+        self.accumulate_with_power(state, cpu.state_power(state), dur);
+    }
+
+    /// Charges `dur` spent in `state` drawing `power`, for callers that
+    /// already hold `state_power(state)` — the kernel memoizes it per mode
+    /// segment so ramp-power quadrature is not re-run on every advance.
+    pub fn accumulate_with_power(&mut self, state: CpuState, power: f64, dur: Dur) {
         if dur.is_zero() {
             return;
         }
-        let power = cpu.state_power(state);
         let energy = power * dur.as_secs_f64();
         self.total_energy += energy;
-        let bucket = self.per_state.entry(state.kind()).or_default();
+        let bucket = &mut self.buckets[state.kind() as usize];
         bucket.residency += dur;
         bucket.energy += energy;
     }
@@ -78,20 +89,69 @@ impl EnergyMeter {
 
     /// The bucket for one state kind (zero if never entered).
     pub fn bucket(&self, kind: StateKind) -> StateBucket {
-        self.per_state.get(&kind).copied().unwrap_or_default()
+        self.buckets[kind as usize]
     }
 
     /// Iterates non-empty buckets in report order.
     pub fn buckets(&self) -> impl Iterator<Item = (StateKind, StateBucket)> + '_ {
-        self.per_state.iter().map(|(&k, &b)| (k, b))
+        StateKind::ALL
+            .into_iter()
+            .map(|k| (k, self.bucket(k)))
+            .filter(|(_, b)| !b.residency.is_zero())
     }
 
     /// Total residency across all states (should equal elapsed sim time;
     /// the kernel asserts this).
     pub fn total_residency(&self) -> Dur {
-        self.per_state
-            .values()
+        self.buckets
+            .iter()
             .fold(Dur::ZERO, |acc, b| acc + b.residency)
+    }
+}
+
+/// Serializes exactly like the historical
+/// `{ total_energy, per_state: BTreeMap<StateKind, StateBucket> }` layout:
+/// `per_state` is an object holding only the entered kinds, in
+/// [`StateKind::ALL`] (= `BTreeMap` iteration) order — so report JSON and
+/// the golden fingerprints over it are unchanged by the array-backed
+/// representation.
+impl Serialize for EnergyMeter {
+    fn to_value(&self) -> serde::Value {
+        let mut per_state = serde::Map::new();
+        for (kind, bucket) in self.buckets() {
+            match kind.to_value() {
+                serde::Value::String(key) => per_state.insert(key, bucket.to_value()),
+                other => unreachable!("unit variant serializes to a string, got {other:?}"),
+            }
+        }
+        let mut map = serde::Map::new();
+        map.insert("total_energy".to_string(), self.total_energy.to_value());
+        map.insert("per_state".to_string(), serde::Value::Object(per_state));
+        serde::Value::Object(map)
+    }
+}
+
+impl Deserialize for EnergyMeter {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected an object for EnergyMeter"))?;
+        let total_energy = f64::from_value(
+            obj.get("total_energy")
+                .ok_or_else(|| serde::Error::missing_field("EnergyMeter", "total_energy"))?,
+        )?;
+        let per_state = BTreeMap::<StateKind, StateBucket>::from_value(
+            obj.get("per_state")
+                .ok_or_else(|| serde::Error::missing_field("EnergyMeter", "per_state"))?,
+        )?;
+        let mut buckets = [StateBucket::default(); StateKind::ALL.len()];
+        for (kind, bucket) in per_state {
+            buckets[kind as usize] = bucket;
+        }
+        Ok(EnergyMeter {
+            total_energy,
+            buckets,
+        })
     }
 }
 

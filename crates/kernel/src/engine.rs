@@ -208,6 +208,81 @@ struct Engine<'a> {
     /// Scratch buffer for due releases, reused across scheduler passes
     /// (see [`DelayQueue::pop_due_into`]).
     due_scratch: Vec<(TaskId, Time)>,
+    /// Cached `(completion, budget-exhaust)` event-time candidates, the
+    /// expensive part of [`Engine::next_event_time`]. `None` means stale.
+    ///
+    /// The candidates are pure functions of the active job's remaining
+    /// work, `pending_overhead`, the processor mode, and `now`-at-fill, so
+    /// the cache must be dropped whenever any of those move: on retirement
+    /// (any executing advance, even one too short to retire a whole cycle
+    /// — a fresh computation at the new `now` re-rounds), on every mode
+    /// change, on dispatch/completion (the active task changes), when
+    /// overhead is charged, and when a job's budget flag trips. Between
+    /// those points — same-instant event cascades and non-executing
+    /// advances — the cached times are exact, which
+    /// [`Engine::next_event_time`] re-proves under `debug_assertions`.
+    event_cache: Option<(Option<Time>, Option<Time>)>,
+    /// Memoized `(state, state_power(state))` for the current processor
+    /// mode segment. Keyed by the state value itself, so it needs no
+    /// invalidation; it exists because `state_power` runs voltage-curve
+    /// math (16-panel quadrature for ramps) that is constant across every
+    /// advance within one segment, and was previously recomputed twice per
+    /// advance (energy metering + per-task attribution).
+    power_memo: Option<(CpuState, f64)>,
+}
+
+/// Reusable simulation buffers, for callers that run many simulations in
+/// sequence (sweeps): [`simulate_in`] recycles these allocations across
+/// runs, so a worker thread allocates queue and bookkeeping storage once
+/// instead of once per cell.
+///
+/// # Lifetime contract
+///
+/// Only buffers that never escape into the [`SimReport`] live here — the
+/// run/delay queues, per-task runtime slots, WCET cycle counts, and the
+/// release scratch buffer. Report fields (responses, histograms, energy,
+/// misses, traces) are freshly allocated by every run *by design*: sweeps
+/// keep all reports alive side by side, so recycling them is impossible.
+/// The workspace is inert between runs (cleared on entry, contents
+/// unspecified after a run) and carries no result state: reusing one
+/// workspace across different cells cannot couple their reports.
+///
+/// # Examples
+///
+/// ```
+/// use lpfps_kernel::engine::{simulate_in, SimConfig, SimWorkspace};
+/// use lpfps_kernel::policy::AlwaysFullSpeed;
+/// use lpfps_cpu::spec::CpuSpec;
+/// use lpfps_tasks::exec::AlwaysWcet;
+/// use lpfps_tasks::task::Task;
+/// use lpfps_tasks::taskset::TaskSet;
+/// use lpfps_tasks::time::Dur;
+///
+/// let ts = TaskSet::rate_monotonic(
+///     "solo",
+///     vec![Task::new("t", Dur::from_us(100), Dur::from_us(25))],
+/// );
+/// let cpu = CpuSpec::arm8();
+/// let cfg = SimConfig::new(Dur::from_us(400));
+/// let mut ws = SimWorkspace::new();
+/// let a = simulate_in(&ts, &cpu, &mut AlwaysFullSpeed, &AlwaysWcet, &cfg, &mut ws);
+/// let b = simulate_in(&ts, &cpu, &mut AlwaysFullSpeed, &AlwaysWcet, &cfg, &mut ws);
+/// assert_eq!(a.counters, b.counters);
+/// ```
+#[derive(Debug, Default)]
+pub struct SimWorkspace {
+    run_q: RunQueue,
+    delay_q: DelayQueue,
+    tasks: Vec<TaskRt>,
+    wcet_cycles: Vec<Cycles>,
+    due_scratch: Vec<(TaskId, Time)>,
+}
+
+impl SimWorkspace {
+    /// An empty workspace; buffers grow on first use and are kept after.
+    pub fn new() -> Self {
+        SimWorkspace::default()
+    }
 }
 
 /// Rounds an arrival up to the next tick boundary (identity for
@@ -250,21 +325,57 @@ pub fn simulate(
     exec: &dyn ExecModel,
     cfg: &SimConfig,
 ) -> SimReport {
+    simulate_in(ts, cpu, policy, exec, cfg, &mut SimWorkspace::new())
+}
+
+/// [`simulate`] with caller-provided buffer storage: behaviorally
+/// identical (reports are byte-for-byte the same), but queue and
+/// bookkeeping allocations are recycled from `ws` and returned to it
+/// afterwards — the per-worker fast path of sweep runners.
+///
+/// # Panics
+///
+/// As [`simulate`].
+pub fn simulate_in(
+    ts: &TaskSet,
+    cpu: &CpuSpec,
+    policy: &mut dyn PowerPolicy,
+    exec: &dyn ExecModel,
+    cfg: &SimConfig,
+    ws: &mut SimWorkspace,
+) -> SimReport {
     assert!(
         !cfg.horizon.is_zero(),
         "simulation horizon must be positive"
     );
-    let mut engine = Engine::new(ts, cpu, exec, cfg);
+    let mut engine = Engine::new(ts, cpu, exec, cfg, ws);
     engine.run(policy);
-    engine.into_report(policy.name())
+    engine.into_report(policy.name(), ws)
 }
 
 impl<'a> Engine<'a> {
-    fn new(ts: &'a TaskSet, cpu: &'a CpuSpec, exec: &'a dyn ExecModel, cfg: &'a SimConfig) -> Self {
+    fn new(
+        ts: &'a TaskSet,
+        cpu: &'a CpuSpec,
+        exec: &'a dyn ExecModel,
+        cfg: &'a SimConfig,
+        ws: &mut SimWorkspace,
+    ) -> Self {
         let reference = cpu.reference_freq();
-        let mut delay_q = DelayQueue::new();
-        let mut tasks = Vec::with_capacity(ts.len());
-        let mut wcet_cycles = Vec::with_capacity(ts.len());
+        // Adopt the workspace buffers (cleared; contents between runs are
+        // unspecified). They return to `ws` in `into_report`.
+        let mut run_q = std::mem::take(&mut ws.run_q);
+        run_q.clear();
+        let mut delay_q = std::mem::take(&mut ws.delay_q);
+        delay_q.clear();
+        let mut tasks = std::mem::take(&mut ws.tasks);
+        tasks.clear();
+        let mut wcet_cycles = std::mem::take(&mut ws.wcet_cycles);
+        wcet_cycles.clear();
+        let mut due_scratch = std::mem::take(&mut ws.due_scratch);
+        due_scratch.clear();
+        tasks.reserve(ts.len());
+        wcet_cycles.reserve(ts.len());
         for (id, task, prio) in ts.iter() {
             let arrival = Time::ZERO + task.phase();
             delay_q.insert(id, prio, noticed_release(cfg, id, 0, arrival));
@@ -282,7 +393,7 @@ impl<'a> Engine<'a> {
             cfg,
             now: Time::ZERO,
             horizon_end: Time::ZERO + cfg.horizon,
-            run_q: RunQueue::new(),
+            run_q,
             delay_q,
             tasks,
             wcet_cycles,
@@ -302,7 +413,9 @@ impl<'a> Engine<'a> {
             task_energy: vec![0.0; ts.len()],
             histograms: vec![ResponseHistogram::new(); ts.len()],
             trace: if cfg.trace { Some(Trace::new()) } else { None },
-            due_scratch: Vec::new(),
+            due_scratch,
+            event_cache: None,
+            power_memo: None,
         }
     }
 
@@ -330,15 +443,43 @@ impl<'a> Engine<'a> {
 
     // ----- event timing ---------------------------------------------------
 
-    fn next_event_time(&self) -> Time {
+    /// Marks the completion/budget candidates stale; see
+    /// [`Engine::event_cache`] for the exhaustive list of call sites.
+    fn invalidate_event_cache(&mut self) {
+        self.event_cache = None;
+    }
+
+    /// The cached `(completion, budget-exhaust)` candidates, recomputed
+    /// only when an invalidation point was crossed since the last query.
+    fn cached_event_candidates(&mut self) -> (Option<Time>, Option<Time>) {
+        match self.event_cache {
+            Some(cached) => {
+                debug_assert_eq!(
+                    cached,
+                    (self.completion_time(), self.budget_exhaust_time()),
+                    "event cache out of sync with a fresh computation at t={}",
+                    self.now
+                );
+                cached
+            }
+            None => {
+                let fresh = (self.completion_time(), self.budget_exhaust_time());
+                self.event_cache = Some(fresh);
+                fresh
+            }
+        }
+    }
+
+    fn next_event_time(&mut self) -> Time {
         let mut t = Time::MAX;
         if let Some(r) = self.delay_q.head_release() {
             t = t.min(r);
         }
-        if let Some(c) = self.completion_time() {
+        let (completion, budget) = self.cached_event_candidates();
+        if let Some(c) = completion {
             t = t.min(c);
         }
-        if let Some(b) = self.budget_exhaust_time() {
+        if let Some(b) = budget {
             t = t.min(b);
         }
         match self.mode {
@@ -443,6 +584,19 @@ impl<'a> Engine<'a> {
         Freq::from_khz(khz)
     }
 
+    /// `state_power(state)` through the per-segment memo: the quadrature
+    /// runs once per distinct state, not once (or twice) per advance.
+    fn state_power_memo(&mut self, state: CpuState) -> f64 {
+        match self.power_memo {
+            Some((cached_state, power)) if cached_state == state => power,
+            _ => {
+                let power = self.cpu.state_power(state);
+                self.power_memo = Some((state, power));
+                power
+            }
+        }
+    }
+
     fn advance_to(&mut self, t: Time) {
         debug_assert!(t >= self.now);
         let dur = t.saturating_since(self.now);
@@ -451,10 +605,11 @@ impl<'a> Engine<'a> {
             return;
         }
         let state = self.current_cpu_state();
-        self.meter.accumulate(self.cpu, state, dur);
+        let power = self.state_power_memo(state);
+        self.meter.accumulate_with_power(state, power, dur);
         if state.executes_work() {
             if let Some(tid) = self.active {
-                self.task_energy[tid.0] += self.cpu.state_power(state) * dur.as_secs_f64();
+                self.task_energy[tid.0] += power * dur.as_secs_f64();
             }
             let reference = self.cpu.reference_freq();
             let retired = match self.mode {
@@ -467,6 +622,10 @@ impl<'a> Engine<'a> {
                 _ => Cycles::ZERO,
             };
             self.retire(retired);
+            // Remaining work moved (and even a sub-cycle advance re-rounds
+            // a fresh computation at the new `now`): the candidates are
+            // stale.
+            self.invalidate_event_cache();
         }
         self.now = t;
     }
@@ -498,6 +657,7 @@ impl<'a> Engine<'a> {
         if let ProcMode::Ramping { end, target, .. } = self.mode {
             if self.now >= end {
                 self.mode = ProcMode::Settled(target);
+                self.invalidate_event_cache();
                 self.push_trace(TraceEvent::RampEnd { freq: target });
                 if target == self.cpu.full_freq() {
                     need_sched = true;
@@ -521,20 +681,23 @@ impl<'a> Engine<'a> {
                 self.mode = ProcMode::WakingUp {
                     until: self.now + delay,
                 };
+                self.invalidate_event_cache();
                 self.push_trace(TraceEvent::Wakeup);
             }
             ProcMode::WakingUp { until } if self.now >= until => {
                 self.mode = ProcMode::Settled(self.cpu.full_freq());
+                self.invalidate_event_cache();
                 need_sched = true;
             }
             _ => {}
         }
-        // Releases (the scheduler's L5-L7). The scratch buffer is moved
-        // out while job spawns borrow `self` and put back afterwards, so
-        // steady-state passes allocate nothing.
-        let mut due = std::mem::take(&mut self.due_scratch);
-        self.delay_q.pop_due_into(self.now, &mut due);
-        if !due.is_empty() {
+        // Releases (the scheduler's L5-L7). The head peek skips the drain
+        // entirely on the (majority of) decision points with nothing due;
+        // the scratch buffer is moved out while job spawns borrow `self`
+        // and put back afterwards, so steady-state passes allocate nothing.
+        if self.delay_q.head_release().is_some_and(|r| r <= self.now) {
+            let mut due = std::mem::take(&mut self.due_scratch);
+            self.delay_q.pop_due_into(self.now, &mut due);
             // Watchdog invariant: a release must find the processor settled
             // at full speed, or at worst at an instant where a planned
             // return to full has already come due (instant-ramp and
@@ -560,8 +723,8 @@ impl<'a> Engine<'a> {
                 self.spawn_job(tid, release);
             }
             need_sched = true;
+            self.due_scratch = due;
         }
-        self.due_scratch = due;
         // Completion of the active job.
         if let Some(total) = self.frontier_work() {
             if total.is_zero() {
@@ -583,6 +746,7 @@ impl<'a> Engine<'a> {
                 if let Some(job) = self.tasks[tid.0].job.as_mut() {
                     job.budget_exceeded = true;
                 }
+                self.invalidate_event_cache();
                 self.counters.watchdog_faults += 1;
                 self.push_trace(TraceEvent::BudgetOverrun { task: tid });
                 if policy.on_fault(&FaultEvent::BudgetOverrun {
@@ -611,6 +775,7 @@ impl<'a> Engine<'a> {
                     && matches!(self.mode, ProcMode::Settled(f) if f == self.cpu.full_freq());
                 if idle && wake_at > self.now {
                     self.mode = ProcMode::PowerDown { wake_at, mode: 0 };
+                    self.invalidate_event_cache();
                     self.counters.power_downs += 1;
                     self.push_trace(TraceEvent::EnterPowerDown { wake_at });
                 }
@@ -688,6 +853,7 @@ impl<'a> Engine<'a> {
             .active
             .take()
             .expect("completion without an active task");
+        self.invalidate_event_cache();
         let prio = self.ts.priority(tid);
         let rt = &mut self.tasks[tid.0];
         let job = rt.job.take().expect("active task must hold a live job");
@@ -782,6 +948,7 @@ impl<'a> Engine<'a> {
                 }
                 self.last_dispatched = Some(next);
                 self.active = Some(next);
+                self.invalidate_event_cache();
             }
         }
 
@@ -837,6 +1004,7 @@ impl<'a> Engine<'a> {
                     "the processor must be awake before the next release"
                 );
                 self.mode = ProcMode::PowerDown { wake_at, mode };
+                self.invalidate_event_cache();
                 self.counters.power_downs += 1;
                 self.push_trace(TraceEvent::EnterPowerDown { wake_at });
             }
@@ -863,6 +1031,7 @@ impl<'a> Engine<'a> {
                 );
                 if enter_at == self.now {
                     self.mode = ProcMode::PowerDown { wake_at, mode: 0 };
+                    self.invalidate_event_cache();
                     self.counters.power_downs += 1;
                     self.push_trace(TraceEvent::EnterPowerDown { wake_at });
                 } else {
@@ -886,6 +1055,7 @@ impl<'a> Engine<'a> {
                 if !self.cfg.ratio_overhead.is_zero() {
                     self.pending_overhead +=
                         Cycles::from_time_at(self.cfg.ratio_overhead, self.cpu.reference_freq());
+                    self.invalidate_event_cache();
                 }
                 self.speedup_at = Some(speedup_at);
                 self.begin_ramp_from_ratio(1.0, freq, policy);
@@ -909,6 +1079,7 @@ impl<'a> Engine<'a> {
         let dur = ramp.duration();
         if dur.is_zero() {
             self.mode = ProcMode::Settled(target);
+            self.invalidate_event_cache();
             if target == full {
                 self.full_pass(policy);
             }
@@ -925,6 +1096,7 @@ impl<'a> Engine<'a> {
             end: self.now + dur,
             target,
         };
+        self.invalidate_event_cache();
     }
 
     fn note_idle_transition(&mut self) {
@@ -978,7 +1150,13 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn into_report(self, policy_name: &str) -> SimReport {
+    fn into_report(self, policy_name: &str, ws: &mut SimWorkspace) -> SimReport {
+        // Return the recycled buffers to the workspace for the next run.
+        ws.run_q = self.run_q;
+        ws.delay_q = self.delay_q;
+        ws.tasks = self.tasks;
+        ws.wcet_cycles = self.wcet_cycles;
+        ws.due_scratch = self.due_scratch;
         SimReport {
             policy: policy_name.to_string(),
             taskset: self.ts.name().to_string(),

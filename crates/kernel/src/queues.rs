@@ -81,6 +81,11 @@ impl RunQueue {
         self.entries.is_empty()
     }
 
+    /// Empties the queue, keeping its allocation (workspace reuse).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// The number of queued tasks.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -163,6 +168,11 @@ impl DelayQueue {
     /// True if no task is waiting.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Empties the queue, keeping its allocation (workspace reuse).
+    pub fn clear(&mut self) {
+        self.entries.clear();
     }
 
     /// The number of waiting tasks.

@@ -1,11 +1,11 @@
 //! One simulation cell: everything needed to run a single
 //! (workload × policy × BCET fraction × execution model × seed) point.
 
-use lpfps::driver::{default_horizon, run, PolicyKind};
+use lpfps::driver::{default_horizon, run_in, PolicyKind};
 use lpfps::TimeoutShutdown;
 use lpfps_cpu::spec::CpuSpec;
 use lpfps_faults::FaultConfig;
-use lpfps_kernel::engine::{simulate, SimConfig};
+use lpfps_kernel::engine::{simulate_in, SimConfig, SimWorkspace};
 use lpfps_kernel::report::SimReport;
 use lpfps_tasks::exec::{AlwaysWcet, ExecModel, PaperGaussian};
 use lpfps_tasks::taskset::TaskSet;
@@ -201,6 +201,13 @@ impl Cell {
     /// parallel runner calls this unchanged — byte-identical results by
     /// construction.
     pub fn run(&self, horizon_scale: f64) -> SimReport {
+        self.run_in(horizon_scale, &mut SimWorkspace::new())
+    }
+
+    /// [`Cell::run`] with a caller-provided [`SimWorkspace`]. The parallel
+    /// runner gives each worker thread one workspace for its whole batch,
+    /// so a sweep's kernel-buffer allocations are O(threads), not O(cells).
+    pub fn run_in(&self, horizon_scale: f64, ws: &mut SimWorkspace) -> SimReport {
         let scaled = self.ts.with_bcet_fraction(self.bcet_fraction);
         let mut cfg = SimConfig::new(self.effective_horizon(horizon_scale))
             .with_seed(self.seed)
@@ -214,13 +221,16 @@ impl Cell {
             cfg = cfg.with_trace();
         }
         let mut report = match self.policy {
-            PolicyChoice::Kind(kind) => run(&scaled, &self.cpu, kind, self.exec.model(), &cfg),
-            PolicyChoice::TimeoutShutdown(timeout) => simulate(
+            PolicyChoice::Kind(kind) => {
+                run_in(&scaled, &self.cpu, kind, self.exec.model(), &cfg, ws)
+            }
+            PolicyChoice::TimeoutShutdown(timeout) => simulate_in(
                 &scaled,
                 &self.cpu,
                 &mut TimeoutShutdown::new(timeout),
                 self.exec.model(),
                 &cfg,
+                ws,
             ),
         };
         report.taskset = self.app.clone();

@@ -20,6 +20,7 @@
 use crate::cell::CellResult;
 use crate::metrics::{CellMetrics, SweepMetrics};
 use crate::spec::SweepSpec;
+use lpfps_kernel::engine::SimWorkspace;
 use lpfps_kernel::report::SimReport;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -142,62 +143,74 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> SweepOutcome {
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                if index >= n {
-                    break;
-                }
-                let cell = &spec.cells[index];
-                let cell_started = Instant::now();
-                let mut attempts = 1;
-                let mut outcome = catch_unwind(AssertUnwindSafe(|| cell.run(opts.horizon_scale)))
+            scope.spawn(|| {
+                // One workspace per worker for the whole batch: kernel
+                // queue/task buffers are allocated O(threads) per sweep,
+                // not O(cells). A panicking cell leaves the workspace
+                // empty-but-valid (its buffers were moved into the dead
+                // engine), so the next cell simply reallocates.
+                let mut ws = SimWorkspace::new();
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= n {
+                        break;
+                    }
+                    let cell = &spec.cells[index];
+                    let cell_started = Instant::now();
+                    let mut attempts = 1;
+                    let mut outcome = catch_unwind(AssertUnwindSafe(|| {
+                        cell.run_in(opts.horizon_scale, &mut ws)
+                    }))
                     .map_err(panic_message);
-                let mut wall = cell_started.elapsed();
-                let mut timed_out = false;
-                if let Some(budget) = opts.cell_timeout {
-                    // Soft timeout: one bounded retry for completed cells
-                    // that blew their budget (panics are deterministic and
-                    // never retried). The result cannot change — only the
-                    // recorded timing does.
-                    if outcome.is_ok() && wall > budget {
-                        timed_out = true;
-                        attempts = 2;
-                        let retry_started = Instant::now();
-                        outcome = catch_unwind(AssertUnwindSafe(|| cell.run(opts.horizon_scale)))
+                    let mut wall = cell_started.elapsed();
+                    let mut timed_out = false;
+                    if let Some(budget) = opts.cell_timeout {
+                        // Soft timeout: one bounded retry for completed cells
+                        // that blew their budget (panics are deterministic and
+                        // never retried). The result cannot change — only the
+                        // recorded timing does.
+                        if outcome.is_ok() && wall > budget {
+                            timed_out = true;
+                            attempts = 2;
+                            let retry_started = Instant::now();
+                            outcome = catch_unwind(AssertUnwindSafe(|| {
+                                cell.run_in(opts.horizon_scale, &mut ws)
+                            }))
                             .map_err(panic_message);
-                        wall = retry_started.elapsed();
+                            wall = retry_started.elapsed();
+                        }
                     }
-                }
-                let metrics = CellMetrics {
-                    index,
-                    label: cell.label(),
-                    wall_ns: wall.as_nanos() as u64,
-                    events: outcome.as_ref().map_or(0, |r| r.counters.events),
-                    attempts,
-                    timed_out,
-                };
-                if !opts.quiet {
-                    match &outcome {
-                        Ok(_) => eprintln!(
-                            "[{:>4}/{n}] {:<36} {:>9.3?}{}",
-                            index + 1,
-                            metrics.label,
-                            wall,
-                            if timed_out {
-                                "  (over budget, retried)"
-                            } else {
-                                ""
-                            }
-                        ),
-                        Err(message) => eprintln!(
-                            "[{:>4}/{n}] {:<36} FAILED: {message}",
-                            index + 1,
-                            metrics.label
-                        ),
+                    let metrics = CellMetrics {
+                        index,
+                        label: cell.label(),
+                        wall_ns: wall.as_nanos() as u64,
+                        events: outcome.as_ref().map_or(0, |r| r.counters.events),
+                        attempts,
+                        timed_out,
+                    };
+                    if !opts.quiet {
+                        match &outcome {
+                            Ok(_) => eprintln!(
+                                "[{:>4}/{n}] {:<36} {:>9.3?}{}",
+                                index + 1,
+                                metrics.label,
+                                wall,
+                                if timed_out {
+                                    "  (over budget, retried)"
+                                } else {
+                                    ""
+                                }
+                            ),
+                            Err(message) => eprintln!(
+                                "[{:>4}/{n}] {:<36} FAILED: {message}",
+                                index + 1,
+                                metrics.label
+                            ),
+                        }
                     }
+                    slots.lock().expect("no worker panicked holding the lock")[index] =
+                        Some((outcome, metrics));
                 }
-                slots.lock().expect("no worker panicked holding the lock")[index] =
-                    Some((outcome, metrics));
             });
         }
     });

@@ -68,7 +68,7 @@ impl ExecModel for Cyclic {
         } else {
             let sigma = (w - b) * self.jitter_frac / 6.0;
             let mut rng = job_stream(seed, task_id.0, job_index);
-            let (z, _) = rng.next_gaussian_pair();
+            let z = rng.next_gaussian();
             mean + sigma * z
         };
         clamp_demand(demand, task.bcet(), task.wcet())

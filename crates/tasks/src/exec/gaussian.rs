@@ -45,7 +45,7 @@ impl ExecModel for PaperGaussian {
         let mean = 0.5 * (b + w);
         let sigma = (w - b) / 6.0;
         let mut rng = job_stream(seed, task_id.0, job_index);
-        let (z, _) = rng.next_gaussian_pair();
+        let z = rng.next_gaussian();
         clamp_demand(mean + sigma * z, task.bcet(), task.wcet())
     }
 

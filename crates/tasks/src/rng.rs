@@ -53,6 +53,18 @@ impl SplitMix64 {
         let theta = 2.0 * core::f64::consts::PI * u2;
         (r * theta.cos(), r * theta.sin())
     }
+
+    /// One standard-normal draw: bit-identical to the *first* element of
+    /// [`SplitMix64::next_gaussian_pair`] (same two uniforms consumed, same
+    /// float ops), without evaluating the discarded `sin` branch — the
+    /// per-release fast path for samplers that use one draw per job.
+    pub fn next_gaussian(&mut self) -> f64 {
+        let u1 = self.next_f64_open();
+        let u2 = self.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * core::f64::consts::PI * u2;
+        r * theta.cos()
+    }
 }
 
 /// Derives the independent stream for one job's draws.
@@ -115,6 +127,17 @@ mod tests {
         let n = 100_000;
         let mean: f64 = (0..n).map(|_| s.next_f64()).sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn single_gaussian_matches_first_of_pair() {
+        // The fast path must stay bit-identical to the pair's first draw
+        // (the golden fingerprints depend on it).
+        for seed in 0..100 {
+            let a = SplitMix64::new(seed).next_gaussian();
+            let (b, _) = SplitMix64::new(seed).next_gaussian_pair();
+            assert_eq!(a.to_bits(), b.to_bits(), "diverged at state {seed}");
+        }
     }
 
     #[test]
