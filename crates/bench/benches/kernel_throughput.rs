@@ -1,26 +1,30 @@
 //! Kernel simulator throughput: simulated events per second of host time.
 //!
-//! Measures the cost of simulating one hyperperiod of the Table 1 example
-//! and of the CNC controller under FPS and LPFPS — the knob that decides
-//! how long the Figure 8 sweeps take.
+//! Measures single-simulation latency over the full paper workload matrix
+//! (Table 1, avionics, CNC, INS — under FPS and LPFPS) — the knob that
+//! decides how long the Figure 8 sweeps take. The `reused-workspace`
+//! variants run through one recycled [`SimWorkspace`], the sweep runner's
+//! hot path. `benches/sweep_throughput.rs` covers the end-to-end grid.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use lpfps::driver::{run, PolicyKind};
+use lpfps::driver::{default_horizon, run, run_in, PolicyKind};
 use lpfps_cpu::spec::CpuSpec;
-use lpfps_kernel::engine::SimConfig;
+use lpfps_kernel::engine::{SimConfig, SimWorkspace};
 use lpfps_tasks::exec::PaperGaussian;
-use lpfps_tasks::time::Dur;
-use lpfps_workloads::{cnc, table1};
+use lpfps_workloads::{avionics, cnc, ins, table1};
 
 fn bench_kernel(c: &mut Criterion) {
     let cpu = CpuSpec::arm8();
     let mut group = c.benchmark_group("kernel_throughput");
 
-    for (name, ts, horizon) in [
-        ("table1", table1(), Dur::from_us(400)),
-        ("cnc", cnc(), Dur::from_us(9_600)),
+    for (name, ts) in [
+        ("table1", table1()),
+        ("avionics", avionics()),
+        ("cnc", cnc()),
+        ("ins", ins()),
     ] {
         let ts = ts.with_bcet_fraction(0.5);
+        let horizon = default_horizon(&ts);
         for policy in [PolicyKind::Fps, PolicyKind::Lpfps] {
             group.bench_function(format!("{name}/{policy}"), |b| {
                 b.iter_batched(
@@ -30,6 +34,12 @@ fn bench_kernel(c: &mut Criterion) {
                 )
             });
         }
+        // The sweep runner's path: buffers recycled across iterations.
+        let cfg = SimConfig::new(horizon).with_seed(7);
+        let mut ws = SimWorkspace::new();
+        group.bench_function(format!("{name}/lpfps/reused-workspace"), |b| {
+            b.iter(|| run_in(&ts, &cpu, PolicyKind::Lpfps, &PaperGaussian, &cfg, &mut ws))
+        });
     }
     group.finish();
 }
