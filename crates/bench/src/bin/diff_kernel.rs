@@ -1,0 +1,99 @@
+//! Differential oracle run: the optimized kernel against the naive
+//! reference simulator (`lpfps-oracle`), field for field.
+//!
+//! All four catalog workloads × {fps, fps-pd, lpfps, lpfps-wd}, fault-free
+//! and under the overrun stream (p = 0.1), with tracing enabled so the
+//! comparison also covers the per-segment energy stream. Any divergence
+//! prints the first differing field with both values and exits nonzero —
+//! this is the CI gate proving the engine's optimizations (event-horizon
+//! cache, power memo, workspace reuse, tuned queues) are behaviorally
+//! invisible.
+//!
+//! Usage: `cargo run --release --bin diff_kernel -- [--horizon-scale F]`
+
+use lpfps::driver::PolicyKind;
+use lpfps_bench::golden::oracle_report;
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_faults::{FaultConfig, OverrunFault};
+use lpfps_oracle::first_divergence;
+use lpfps_sweep::{Cell, Cli, ExecKind};
+use lpfps_workloads::{avionics, cnc, ins, table1};
+
+fn main() {
+    let parsed = Cli::new(
+        "diff_kernel",
+        "differential check: optimized kernel vs naive oracle simulator",
+    )
+    .parse();
+
+    let policies = [
+        PolicyKind::Fps,
+        PolicyKind::FpsPd,
+        PolicyKind::Lpfps,
+        PolicyKind::LpfpsWatchdog,
+    ];
+    let overrun = FaultConfig::none()
+        .with_seed(7)
+        .with_overrun(OverrunFault::clamped(0.1, 0.3, 1.3));
+
+    let mut cells = Vec::new();
+    for faults in [FaultConfig::none(), overrun] {
+        for ts in [table1(), avionics(), cnc(), ins()] {
+            for policy in policies {
+                cells.push(
+                    Cell::new(ts.clone(), CpuSpec::arm8(), policy)
+                        .with_exec(ExecKind::PaperGaussian)
+                        .with_bcet_fraction(0.5)
+                        .with_seed(42)
+                        .with_faults(faults)
+                        .with_trace(),
+                );
+            }
+        }
+    }
+    if parsed.horizon_scale != 1.0 {
+        // The uniform flag scales through the cell horizon so engine and
+        // oracle stay on the exact same configuration.
+        for cell in &mut cells {
+            let h = cell.effective_horizon(parsed.horizon_scale);
+            *cell = cell.clone().with_horizon(h);
+        }
+    }
+
+    println!(
+        "{:<42} {:>10} {:>10} {:>8}",
+        "cell", "events", "trace", "verdict"
+    );
+    let mut divergences = 0;
+    for cell in &cells {
+        let engine = cell.run(1.0);
+        let oracle = oracle_report(cell).expect("all diff cells use PolicyKind policies");
+        let verdict = match first_divergence(&engine, &oracle) {
+            None => "ok".to_string(),
+            Some(d) => {
+                divergences += 1;
+                eprintln!("{}: engine diverged from the oracle\n{d}\n", cell.label());
+                "DIVERGED".to_string()
+            }
+        };
+        println!(
+            "{:<42} {:>10} {:>10} {:>8}",
+            cell.label(),
+            engine.counters.events,
+            engine.trace.as_ref().map_or(0, |t| t.len()),
+            verdict
+        );
+    }
+
+    if divergences > 0 {
+        eprintln!(
+            "{divergences}/{} cells diverged from the oracle",
+            cells.len()
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "all {} cells match the naive reference simulator field for field",
+        cells.len()
+    );
+}

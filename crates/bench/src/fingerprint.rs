@@ -39,4 +39,25 @@ mod tests {
         assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
     }
+
+    #[test]
+    fn fnv1a_is_order_sensitive() {
+        // The whole point of hashing the serialized report is that field
+        // and event *order* matter; a multiplicative chained hash must not
+        // collapse permutations (unlike, say, a byte-sum).
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+        assert_ne!(fnv1a(b"\x00\x01"), fnv1a(b"\x01\x00"));
+        assert_ne!(fnv1a(b"release,dispatch"), fnv1a(b"dispatch,release"));
+    }
+
+    #[test]
+    fn fnv1a_discriminates_single_bit_flips() {
+        let base = b"lpfps-report".to_vec();
+        let reference = fnv1a(&base);
+        for i in 0..base.len() {
+            let mut flipped = base.clone();
+            flipped[i] ^= 1;
+            assert_ne!(fnv1a(&flipped), reference, "blind to a flip at byte {i}");
+        }
+    }
 }

@@ -10,8 +10,10 @@
 use lpfps::driver::PolicyKind;
 use lpfps_cpu::spec::CpuSpec;
 use lpfps_faults::{FaultConfig, OverrunFault};
+use lpfps_kernel::engine::SimConfig;
 use lpfps_kernel::report::SimReport;
-use lpfps_sweep::{Cell, ExecKind};
+use lpfps_oracle::{first_divergence, oracle_run};
+use lpfps_sweep::{Cell, ExecKind, PolicyChoice};
 use lpfps_workloads::{avionics, cnc, ins, table1};
 
 /// The execution-time seed every golden cell runs with.
@@ -54,4 +56,47 @@ pub fn golden_runs() -> impl Iterator<Item = (String, SimReport)> {
     golden_cells()
         .into_iter()
         .map(|cell| (cell.label(), cell.run(1.0)))
+}
+
+/// Runs a cell through the naive reference simulator (`lpfps-oracle`)
+/// under the exact configuration [`Cell::run`] builds, or `None` for the
+/// timeout-shutdown policy (which has no `PolicyKind` dispatch).
+pub fn oracle_report(cell: &Cell) -> Option<SimReport> {
+    let PolicyChoice::Kind(kind) = cell.policy else {
+        return None;
+    };
+    let scaled = cell.ts.with_bcet_fraction(cell.bcet_fraction);
+    let mut cfg = SimConfig::new(cell.effective_horizon(1.0))
+        .with_seed(cell.seed)
+        .with_context_switch(cell.context_switch)
+        .with_ratio_overhead(cell.ratio_overhead);
+    if let Some(tick) = cell.tick {
+        cfg = cfg.with_tick(tick);
+    }
+    cfg = cfg.with_faults(cell.faults);
+    if cell.trace {
+        cfg = cfg.with_trace();
+    }
+    let mut report = oracle_run(&scaled, &cell.cpu, kind, cell.exec.model(), &cfg);
+    report.taskset = cell.app.clone();
+    Some(report)
+}
+
+/// Explains a golden fingerprint mismatch: instead of "hash A != hash B",
+/// run the cell through the naive oracle and report either the first
+/// diverging field (an engine bug) or full agreement (an intentional
+/// behavior change whose fingerprints need regenerating).
+pub fn diagnose_mismatch(cell: &Cell, engine: &SimReport) -> String {
+    let Some(oracle) = oracle_report(cell) else {
+        return "no oracle dispatch for this policy; diff the serialized reports by hand".into();
+    };
+    match first_divergence(engine, &oracle) {
+        Some(d) => format!(
+            "the engine DISAGREES with the naive reference simulator — likely an engine bug.\n{d}"
+        ),
+        None => "the engine agrees with the naive reference simulator field for field — \
+                 the behavior change looks intentional; regenerate the pinned fingerprints \
+                 with `cargo run --release --bin bench_kernel -- --golden`."
+            .into(),
+    }
 }

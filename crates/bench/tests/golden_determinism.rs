@@ -13,7 +13,7 @@
 //! a perf PR): `cargo run --release --bin bench_kernel -- --golden`.
 
 use lpfps_bench::fingerprint::report_fingerprint;
-use lpfps_bench::golden::golden_runs;
+use lpfps_bench::golden::{diagnose_mismatch, golden_cells};
 
 /// `(label, fingerprint)` in golden-matrix order (see
 /// [`lpfps_bench::golden::golden_cells`]).
@@ -47,16 +47,24 @@ const GOLDEN: [(&str, u64); 24] = [
 #[test]
 fn reports_match_pre_optimization_engine() {
     let mut checked = 0;
-    for ((label, report), (expected_label, expected)) in golden_runs().zip(GOLDEN) {
+    for (cell, (expected_label, expected)) in golden_cells().into_iter().zip(GOLDEN) {
+        let label = cell.label();
         assert_eq!(
             label, expected_label,
             "golden matrix order drifted from the pinned table"
         );
-        assert_eq!(
-            report_fingerprint(&report),
-            expected,
-            "report for `{label}` diverged from the pre-optimization engine"
-        );
+        let report = cell.run(1.0);
+        let fp = report_fingerprint(&report);
+        // On mismatch, don't just dump two hashes: ask the oracle where
+        // the report actually diverged (or whether it agrees, meaning the
+        // change is intentional and the pins need regenerating).
+        if fp != expected {
+            panic!(
+                "report for `{label}` diverged from the pre-optimization engine \
+                 ({fp:#018x} != {expected:#018x})\n{}",
+                diagnose_mismatch(&cell, &report)
+            );
+        }
         checked += 1;
     }
     assert_eq!(checked, GOLDEN.len(), "golden matrix lost cells");
@@ -73,11 +81,14 @@ fn workspace_reuse_reproduces_the_golden_matrix() {
     let mut ws = SimWorkspace::new();
     for (cell, (label, expected)) in golden_cells().into_iter().zip(GOLDEN) {
         let report = cell.run_in(1.0, &mut ws);
-        assert_eq!(
-            report_fingerprint(&report),
-            expected,
-            "workspace-reuse report for `{label}` diverged"
-        );
+        let fp = report_fingerprint(&report);
+        if fp != expected {
+            panic!(
+                "workspace-reuse report for `{label}` diverged \
+                 ({fp:#018x} != {expected:#018x})\n{}",
+                diagnose_mismatch(&cell, &report)
+            );
+        }
     }
 }
 

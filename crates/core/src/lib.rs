@@ -54,11 +54,13 @@
 pub mod baselines;
 pub mod driver;
 pub mod lpfps_policy;
+pub mod ratio_log;
 pub mod speed;
 
 pub use baselines::{Fps, TimeoutShutdown};
 pub use driver::{default_horizon, power_reduction, run, PolicyKind};
 pub use lpfps_policy::{LpfpsPolicy, RatioMethod};
+pub use ratio_log::{RatioLogger, RatioSample};
 
 // Convenience re-exports so downstream users need only this crate for the
 // common simulation workflow.

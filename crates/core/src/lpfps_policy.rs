@@ -17,7 +17,7 @@
 //! power-down or DVS halves of the policy.
 
 use crate::speed::{r_heu, r_opt_trapezoid};
-use lpfps_kernel::policy::{FaultEvent, PowerDirective, PowerPolicy, SchedulerContext};
+use lpfps_kernel::policy::{ActiveView, FaultEvent, PowerDirective, PowerPolicy, SchedulerContext};
 use lpfps_tasks::freq::Freq;
 use lpfps_tasks::time::{Dur, Time};
 
@@ -159,6 +159,37 @@ impl LpfpsPolicy {
     pub fn is_degraded(&self, now: Time) -> bool {
         self.degraded_until.is_some_and(|until| now < until)
     }
+
+    /// The slow-down stretch budget at this decision point: the active
+    /// job's WCET-view remaining work (inflated by the overrun margin) and
+    /// the window to the safe completion bound, or `None` when there is no
+    /// exploitable slack (no bound, or `remaining >= window`).
+    ///
+    /// Pure with respect to the policy state, and the *single* place this
+    /// arithmetic lives: [`PowerPolicy::decide`] consumes it to pick the
+    /// ladder frequency, and [`RatioLogger`](crate::ratio_log::RatioLogger)
+    /// consumes it to record the `(r_heu, r_opt)` pair per decision, so
+    /// the instrumented view cannot drift from what the policy actually
+    /// computed.
+    pub fn slowdown_budget(
+        &self,
+        ctx: &SchedulerContext<'_>,
+        active: &ActiveView,
+    ) -> Option<(Dur, Dur)> {
+        let bound = ctx.safe_completion_bound()?;
+        if bound <= ctx.now {
+            return None;
+        }
+        let window = bound.saturating_since(ctx.now);
+        let reference = ctx.cpu.reference_freq();
+        let mut remaining = active.wcet_remaining.time_at(reference);
+        if self.overrun_margin > 1.0 {
+            let wcet = ctx.taskset.tasks()[active.task.0].wcet();
+            let headroom = ((self.overrun_margin - 1.0) * wcet.as_ns() as f64).ceil() as u64;
+            remaining += Dur::from_ns(headroom);
+        }
+        (remaining < window).then_some((remaining, window))
+    }
 }
 
 impl Default for LpfpsPolicy {
@@ -227,24 +258,10 @@ impl PowerPolicy for LpfpsPolicy {
                 if !self.enable_dvs {
                     return PowerDirective::FullSpeed;
                 }
-                let Some(bound) = ctx.safe_completion_bound() else {
+                let Some((remaining, window)) = self.slowdown_budget(ctx, &active) else {
                     return PowerDirective::FullSpeed;
                 };
-                if bound <= ctx.now {
-                    return PowerDirective::FullSpeed;
-                }
-                let window = bound.saturating_since(ctx.now);
                 let reference = ctx.cpu.reference_freq();
-                let mut remaining = active.wcet_remaining.time_at(reference);
-                if self.overrun_margin > 1.0 {
-                    let wcet = ctx.taskset.tasks()[active.task.0].wcet();
-                    let headroom =
-                        ((self.overrun_margin - 1.0) * wcet.as_ns() as f64).ceil() as u64;
-                    remaining += Dur::from_ns(headroom);
-                }
-                if remaining >= window {
-                    return PowerDirective::FullSpeed;
-                }
                 let ratio = match self.method {
                     RatioMethod::Heuristic => r_heu(remaining, window),
                     RatioMethod::Optimal => {
@@ -265,7 +282,7 @@ impl PowerPolicy for LpfpsPolicy {
                 // at full speed when the next task arrives (§3.2: "the
                 // active task should complete ahead by this delay").
                 let ramp_back = ctx.cpu.ramp_duration(freq, ctx.cpu.full_freq());
-                let speedup_at = bound.saturating_sub(ramp_back);
+                let speedup_at = (ctx.now + window).saturating_sub(ramp_back);
                 if speedup_at <= ctx.now {
                     return PowerDirective::FullSpeed;
                 }

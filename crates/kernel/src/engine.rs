@@ -73,6 +73,19 @@ pub struct SimConfig {
     /// degradation. [`FaultConfig::none`] (the default) reproduces the
     /// paper's idealized fault-free model exactly.
     pub faults: FaultConfig,
+    /// Bypass the cached event-horizon candidates: recompute the
+    /// completion/budget-exhaust times fresh at every query instead of
+    /// serving them from `Engine::event_cache`. Slower, behaviorally
+    /// identical by construction — the differential tests flip this to
+    /// prove the cache is transparent on arbitrary schedules.
+    pub force_event_recompute: bool,
+    /// Deliberately *skip* the dispatch-site cache invalidation (and the
+    /// debug-mode coherence re-proof that would catch it), leaving a stale
+    /// completion candidate armed across a context switch. Exists only so
+    /// the oracle's differential harness can demonstrate it detects a real
+    /// cache-coherence bug with a first-divergence diagnostic; never set
+    /// it outside tests.
+    pub inject_stale_dispatch_cache: bool,
 }
 
 impl SimConfig {
@@ -86,6 +99,8 @@ impl SimConfig {
             ratio_overhead: Dur::ZERO,
             tick: None,
             faults: FaultConfig::none(),
+            force_event_recompute: false,
+            inject_stale_dispatch_cache: false,
         }
     }
 
@@ -130,6 +145,20 @@ impl SimConfig {
     /// Injects the given fault model into the run.
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Disables the event-horizon cache (see
+    /// [`SimConfig::force_event_recompute`]).
+    pub fn with_force_event_recompute(mut self) -> Self {
+        self.force_event_recompute = true;
+        self
+    }
+
+    /// Arms the deliberate cache-coherence bug (see
+    /// [`SimConfig::inject_stale_dispatch_cache`]). Test-only.
+    pub fn with_stale_dispatch_cache(mut self) -> Self {
+        self.inject_stale_dispatch_cache = true;
         self
     }
 }
@@ -452,11 +481,14 @@ impl<'a> Engine<'a> {
     /// The cached `(completion, budget-exhaust)` candidates, recomputed
     /// only when an invalidation point was crossed since the last query.
     fn cached_event_candidates(&mut self) -> (Option<Time>, Option<Time>) {
+        if self.cfg.force_event_recompute {
+            return (self.completion_time(), self.budget_exhaust_time());
+        }
         match self.event_cache {
             Some(cached) => {
-                debug_assert_eq!(
-                    cached,
-                    (self.completion_time(), self.budget_exhaust_time()),
+                debug_assert!(
+                    self.cfg.inject_stale_dispatch_cache
+                        || cached == (self.completion_time(), self.budget_exhaust_time()),
                     "event cache out of sync with a fresh computation at t={}",
                     self.now
                 );
@@ -607,6 +639,10 @@ impl<'a> Engine<'a> {
         let state = self.current_cpu_state();
         let power = self.state_power_memo(state);
         self.meter.accumulate_with_power(state, power, dur);
+        // Stamped at the segment *start* (`self.now` is still the old
+        // instant here): consecutive segments tile the horizon exactly,
+        // which the oracle's invariant checker relies on.
+        self.push_trace(TraceEvent::EnergySegment { state, power, dur });
         if state.executes_work() {
             if let Some(tid) = self.active {
                 self.task_energy[tid.0] += power * dur.as_secs_f64();
@@ -948,7 +984,9 @@ impl<'a> Engine<'a> {
                 }
                 self.last_dispatched = Some(next);
                 self.active = Some(next);
-                self.invalidate_event_cache();
+                if !self.cfg.inject_stale_dispatch_cache {
+                    self.invalidate_event_cache();
+                }
             }
         }
 

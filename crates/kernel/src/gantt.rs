@@ -83,8 +83,11 @@ impl Gantt {
                 TraceEvent::Wakeup => conditions.push((t, ProcCondition::Idle)),
                 TraceEvent::IdleStart => conditions.push((t, ProcCondition::Idle)),
                 TraceEvent::Release { .. } => {}
-                // Watchdog annotations carry no processor-condition change.
-                TraceEvent::BudgetOverrun { .. } | TraceEvent::TimingViolation => {}
+                // Watchdog annotations and energy bookkeeping carry no
+                // processor-condition change.
+                TraceEvent::BudgetOverrun { .. }
+                | TraceEvent::TimingViolation
+                | TraceEvent::EnergySegment { .. } => {}
             }
         }
         close(&mut running, end, &mut segments);

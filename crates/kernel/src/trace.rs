@@ -4,6 +4,7 @@
 //! snapshots of Figures 3 and 5) and back the assertions in the
 //! integration tests. Tracing is optional — long power sweeps disable it.
 
+use lpfps_cpu::state::CpuState;
 use lpfps_tasks::freq::Freq;
 use lpfps_tasks::task::TaskId;
 use lpfps_tasks::time::{Dur, Time};
@@ -43,6 +44,18 @@ pub enum TraceEvent {
     /// The watchdog caught a release while the processor was not settled
     /// at full speed (a power transition overslept its plan).
     TimingViolation,
+    /// One constant-power span between two decision points, stamped at the
+    /// span's *start* instant: the processor state it occupied, the power
+    /// it drew, and how long it lasted. The engine emits one for every
+    /// non-zero advance, so consecutive segments tile the horizon exactly;
+    /// the invariant checker (`lpfps-oracle`) replays them through a fresh
+    /// [`EnergyMeter`](lpfps_cpu::EnergyMeter) to re-derive the report's
+    /// energy integral bit-for-bit and to prove busy-time conservation.
+    EnergySegment {
+        state: CpuState,
+        power: f64,
+        dur: Dur,
+    },
 }
 
 /// A timestamped sequence of kernel events.
@@ -141,6 +154,9 @@ impl core::fmt::Display for TraceEvent {
             TraceEvent::BudgetOverrun { task } => write!(f, "budget overrun by {task}"),
             TraceEvent::TimingViolation => {
                 write!(f, "timing violation (release while not at full speed)")
+            }
+            TraceEvent::EnergySegment { state, power, dur } => {
+                write!(f, "energy segment {state:?} for {dur} at {power:.6} W")
             }
         }
     }

@@ -1,0 +1,156 @@
+//! Structural first-divergence diff between two [`SimReport`]s.
+//!
+//! A fingerprint mismatch tells you *that* two reports differ; this module
+//! tells you *where*. Both reports are serialized to `serde_json` values
+//! and walked in lockstep, depth-first in field order, and the first leaf
+//! (or structural) difference is returned with its dotted path — e.g.
+//! `trace.events[214].event.Dispatch.task` — and both values rendered.
+//!
+//! The walk deliberately runs over the serialized form, not the structs:
+//! it needs no per-field plumbing when the report grows, and the path it
+//! prints matches the JSON artifacts the sweep CLI emits.
+
+use lpfps_kernel::report::SimReport;
+use serde_json::{to_value, Value};
+use std::fmt;
+
+/// The first point where two reports disagree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Dotted path from the report root, array steps as `[i]`.
+    pub path: String,
+    /// The left (conventionally: engine) value at `path`, rendered as JSON.
+    pub left: String,
+    /// The right (conventionally: oracle) value at `path`, rendered as JSON.
+    pub right: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "first divergence at `{}`:\n  left:  {}\n  right: {}",
+            self.path, self.left, self.right
+        )
+    }
+}
+
+/// Compares two reports field for field and returns the first divergence
+/// in serialization order, or `None` if they are identical.
+///
+/// Float fields are compared through their serialized values, i.e. with
+/// `f64` bit semantics as `serde_json` preserves them — the differential
+/// harness demands *bitwise* energy equality, not approximate equality.
+pub fn first_divergence(left: &SimReport, right: &SimReport) -> Option<Divergence> {
+    let l = to_value(left).expect("SimReport serializes infallibly");
+    let r = to_value(right).expect("SimReport serializes infallibly");
+    walk("report", &l, &r)
+}
+
+fn walk(path: &str, left: &Value, right: &Value) -> Option<Divergence> {
+    match (left, right) {
+        (Value::Object(l), Value::Object(r)) => {
+            for (key, lv) in l.iter() {
+                match r.get(key) {
+                    Some(rv) => {
+                        if let Some(d) = walk(&format!("{path}.{key}"), lv, rv) {
+                            return Some(d);
+                        }
+                    }
+                    None => return Some(leaf(&format!("{path}.{key}"), Some(lv), None)),
+                }
+            }
+            for (key, rv) in r.iter() {
+                if l.get(key).is_none() {
+                    return Some(leaf(&format!("{path}.{key}"), None, Some(rv)));
+                }
+            }
+            None
+        }
+        (Value::Array(l), Value::Array(r)) => {
+            for (i, (lv, rv)) in l.iter().zip(r.iter()).enumerate() {
+                if let Some(d) = walk(&format!("{path}[{i}]"), lv, rv) {
+                    return Some(d);
+                }
+            }
+            if l.len() != r.len() {
+                let i = l.len().min(r.len());
+                return Some(leaf(&format!("{path}[{i}]"), l.get(i), r.get(i)));
+            }
+            None
+        }
+        _ => (left != right).then(|| leaf(path, Some(left), Some(right))),
+    }
+}
+
+fn leaf(path: &str, left: Option<&Value>, right: Option<&Value>) -> Divergence {
+    let render = |v: Option<&Value>| match v {
+        Some(v) => serde_json::to_string(v).expect("Value serializes infallibly"),
+        None => "<absent>".to_string(),
+    };
+    Divergence {
+        path: path.to_string(),
+        left: render(left),
+        right: render(right),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpfps::driver::{default_horizon, run, PolicyKind};
+    use lpfps_cpu::spec::CpuSpec;
+    use lpfps_kernel::engine::SimConfig;
+    use lpfps_tasks::exec::AlwaysWcet;
+    use lpfps_tasks::task::Task;
+    use lpfps_tasks::taskset::TaskSet;
+    use lpfps_tasks::time::Dur;
+
+    fn table1() -> TaskSet {
+        TaskSet::rate_monotonic(
+            "table1",
+            vec![
+                Task::new("tau1", Dur::from_us(50), Dur::from_us(10)),
+                Task::new("tau2", Dur::from_us(80), Dur::from_us(20)),
+                Task::new("tau3", Dur::from_us(100), Dur::from_us(40)),
+            ],
+        )
+    }
+
+    #[test]
+    fn identical_reports_have_no_divergence() {
+        let ts = table1();
+        let cpu = CpuSpec::arm8();
+        let cfg = SimConfig::new(default_horizon(&ts));
+        let a = run(&ts, &cpu, PolicyKind::Lpfps, &AlwaysWcet, &cfg);
+        let b = run(&ts, &cpu, PolicyKind::Lpfps, &AlwaysWcet, &cfg);
+        assert_eq!(first_divergence(&a, &b), None);
+    }
+
+    #[test]
+    fn scalar_field_divergence_is_located_by_path() {
+        let ts = table1();
+        let cpu = CpuSpec::arm8();
+        let cfg = SimConfig::new(default_horizon(&ts));
+        let a = run(&ts, &cpu, PolicyKind::Fps, &AlwaysWcet, &cfg);
+        let mut b = a.clone();
+        b.counters.dispatches += 1;
+        let d = first_divergence(&a, &b).expect("must diverge");
+        assert_eq!(d.path, "report.counters.dispatches");
+        assert_ne!(d.left, d.right);
+    }
+
+    #[test]
+    fn length_mismatch_points_at_first_extra_element() {
+        let ts = table1();
+        let cpu = CpuSpec::arm8();
+        let cfg = SimConfig::new(default_horizon(&ts));
+        let a = run(&ts, &cpu, PolicyKind::Fps, &AlwaysWcet, &cfg);
+        let mut b = a.clone();
+        let n = b.responses.len();
+        b.responses.pop();
+        let d = first_divergence(&a, &b).expect("must diverge");
+        assert_eq!(d.path, format!("report.responses[{}]", n - 1));
+        assert_eq!(d.right, "<absent>");
+    }
+}

@@ -1,0 +1,33 @@
+//! # lpfps-oracle
+//!
+//! The differential oracle for the LPFPS kernel: everything in this crate
+//! exists to catch a kernel optimization that silently changed behavior.
+//!
+//! Three independent lines of defense:
+//!
+//! * [`sim::oracle_simulate`] — a deliberately *naive* reference
+//!   simulator: a direct transcription of the paper's Figure 4 with no
+//!   event-horizon cache, no power memo, no workspace reuse, and dumb
+//!   queue structures. The differential tests assert the optimized engine
+//!   matches it **field for field, bit for bit** on the full workload ×
+//!   policy × fault matrix.
+//! * [`invariants::check_report`] — a trace checker enforcing the paper's
+//!   guarantees as machine-checked invariants (fixed-priority dispatch
+//!   order, full-speed releases, speed changes only at scheduler
+//!   invocations, power-downs strictly inside idle gaps, energy
+//!   consistency, …), plus [`invariants::check_theorem1`] for the
+//!   `r_heu >= r_opt` safety bound over [`lpfps::RatioLogger`] samples.
+//! * [`diff::first_divergence`] — a structural report diff that turns
+//!   "hash mismatch" into "first diverging field, with both values",
+//!   reused by the golden suite and the `diff_kernel` bench binary.
+
+pub mod diff;
+pub mod invariants;
+pub(crate) mod queues;
+pub mod run;
+pub mod sim;
+
+pub use diff::{first_divergence, Divergence};
+pub use invariants::{check_report, check_theorem1, Violation};
+pub use run::{effective_cpu, oracle_run};
+pub use sim::oracle_simulate;

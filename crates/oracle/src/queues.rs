@@ -1,0 +1,182 @@
+//! Deliberately naive scheduler queues.
+//!
+//! The kernel keeps both queues as sorted vectors tuned for its hot path
+//! (descending run queue with an O(1) back-pop, an allocation-free due
+//! drain). The oracle uses the *dumbest* structures that implement the
+//! same abstract semantics — an insertion-ordered `Vec` scanned linearly
+//! for the run queue, a `BTreeSet` for the delay queue — so a bug in the
+//! kernel's clever ordering cannot be reproduced here by construction.
+//!
+//! Semantics mirrored exactly:
+//!
+//! * run queue: pop returns a maximal-priority task, and among equal
+//!   priorities the most recently inserted one (the kernel's back-pop on
+//!   a stable descending sort gives LIFO within a priority level);
+//! * delay queue: due tasks drain in ascending `(release, priority, id)`
+//!   order — the `BTreeSet` key is that exact tuple.
+
+use lpfps_kernel::queues::{DelayQueue, RunQueue};
+use lpfps_tasks::task::{Priority, TaskId};
+use lpfps_tasks::time::Time;
+use std::collections::BTreeSet;
+
+/// Insertion-ordered run queue with linear-scan selection.
+#[derive(Debug, Default)]
+pub(crate) struct NaiveRunQueue {
+    entries: Vec<(TaskId, Priority)>,
+}
+
+impl NaiveRunQueue {
+    pub fn new() -> Self {
+        NaiveRunQueue::default()
+    }
+
+    /// # Panics
+    ///
+    /// Panics if the task is already queued (same contract as the kernel).
+    pub fn insert(&mut self, task: TaskId, prio: Priority) {
+        assert!(
+            !self.entries.iter().any(|&(t, _)| t == task),
+            "task {task} is already in the run queue"
+        );
+        self.entries.push((task, prio));
+    }
+
+    /// Index of the task `pop` would return: maximal priority, most
+    /// recently inserted among equals (`>=` keeps replacing on ties, so
+    /// the scan settles on the latest index).
+    fn best_index(&self) -> Option<usize> {
+        let mut best: Option<(usize, Priority)> = None;
+        for (i, &(_, p)) in self.entries.iter().enumerate() {
+            best = match best {
+                Some((bi, bp)) if bp.is_higher_than(p) => Some((bi, bp)),
+                _ => Some((i, p)),
+            };
+        }
+        best.map(|(i, _)| i)
+    }
+
+    pub fn head_priority(&self) -> Option<Priority> {
+        self.best_index().map(|i| self.entries[i].1)
+    }
+
+    pub fn pop(&mut self) -> Option<TaskId> {
+        let i = self.best_index()?;
+        Some(self.entries.remove(i).0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// A kernel [`RunQueue`] with the same contents, for the
+    /// [`SchedulerContext`](lpfps_kernel::policy::SchedulerContext) view
+    /// handed to policies. Inserting in stored (chronological) order
+    /// reproduces the kernel queue's LIFO-within-priority layout.
+    pub fn materialize(&self) -> RunQueue {
+        let mut q = RunQueue::new();
+        for &(task, prio) in &self.entries {
+            q.insert(task, prio);
+        }
+        q
+    }
+}
+
+/// `BTreeSet`-backed delay queue keyed by `(release, priority, id)`.
+#[derive(Debug, Default)]
+pub(crate) struct NaiveDelayQueue {
+    entries: BTreeSet<(Time, Priority, TaskId)>,
+}
+
+impl NaiveDelayQueue {
+    pub fn new() -> Self {
+        NaiveDelayQueue::default()
+    }
+
+    /// # Panics
+    ///
+    /// Panics if the task is already queued.
+    pub fn insert(&mut self, task: TaskId, prio: Priority, release: Time) {
+        assert!(
+            !self.entries.iter().any(|&(_, _, t)| t == task),
+            "task {task} is already in the delay queue"
+        );
+        self.entries.insert((release, prio, task));
+    }
+
+    pub fn head_release(&self) -> Option<Time> {
+        self.entries.first().map(|&(r, _, _)| r)
+    }
+
+    /// Removes every task with `release <= now`, in key order.
+    pub fn pop_due(&mut self, now: Time) -> Vec<(TaskId, Time)> {
+        let mut due = Vec::new();
+        while let Some(&(release, prio, task)) = self.entries.first() {
+            if release > now {
+                break;
+            }
+            self.entries.remove(&(release, prio, task));
+            due.push((task, release));
+        }
+        due
+    }
+
+    /// A kernel [`DelayQueue`] with the same contents.
+    pub fn materialize(&self) -> DelayQueue {
+        let mut q = DelayQueue::new();
+        for &(release, prio, task) in &self.entries {
+            q.insert(task, prio, release);
+        }
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_queue_matches_kernel_tie_semantics() {
+        // Two equal-priority tasks: the most recent insert pops first,
+        // exactly like the kernel's back-pop (verified against it).
+        let mut naive = NaiveRunQueue::new();
+        let mut kernel = RunQueue::new();
+        for (t, p) in [(0, 1), (1, 0), (2, 1), (3, 0)] {
+            naive.insert(TaskId(t), Priority::new(p));
+            kernel.insert(TaskId(t), Priority::new(p));
+        }
+        loop {
+            assert_eq!(naive.head_priority(), kernel.head_priority());
+            let (a, b) = (naive.pop(), kernel.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn delay_queue_drains_in_kernel_order() {
+        let mut naive = NaiveDelayQueue::new();
+        let mut kernel = DelayQueue::new();
+        let entries = [(0, 0, 500u64), (1, 1, 200), (2, 2, 200), (3, 3, 700)];
+        for &(t, p, us) in &entries {
+            naive.insert(TaskId(t), Priority::new(p), Time::from_us(us));
+            kernel.insert(TaskId(t), Priority::new(p), Time::from_us(us));
+        }
+        assert_eq!(naive.head_release(), kernel.head_release());
+        assert_eq!(
+            naive.pop_due(Time::from_us(500)),
+            kernel.pop_due(Time::from_us(500))
+        );
+        assert_eq!(naive.head_release(), kernel.head_release());
+    }
+
+    #[test]
+    #[should_panic(expected = "already in the run queue")]
+    fn duplicate_run_insert_panics() {
+        let mut q = NaiveRunQueue::new();
+        q.insert(TaskId(0), Priority::new(0));
+        q.insert(TaskId(0), Priority::new(1));
+    }
+}

@@ -1,0 +1,73 @@
+//! Policy-kind dispatch for the oracle, mirroring [`lpfps::driver::run`].
+//!
+//! The driver maps a [`PolicyKind`] onto a concrete policy value (and, for
+//! the static baseline, a derated processor). The oracle must make the
+//! *same* mapping decisions — a divergence should only ever implicate the
+//! simulation engines, never the harness — so this module transcribes
+//! `driver::run_in` onto [`oracle_simulate`].
+
+use crate::sim::oracle_simulate;
+use lpfps::baselines::{static_slowdown_spec, Fps};
+use lpfps::driver::PolicyKind;
+use lpfps::lpfps_policy::LpfpsPolicy;
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_kernel::engine::SimConfig;
+use lpfps_kernel::report::SimReport;
+use lpfps_tasks::exec::ExecModel;
+use lpfps_tasks::taskset::TaskSet;
+
+/// The processor spec a policy kind actually runs on: the derated static
+/// operating point for `static`, the given spec for everything else.
+///
+/// The invariant checker compares segment powers against the spec, so
+/// callers checking a `static` report must derate first — this helper
+/// makes that decision in one place, matching [`lpfps::driver::run`].
+pub fn effective_cpu(ts: &TaskSet, cpu: &CpuSpec, policy_name: &str) -> CpuSpec {
+    if policy_name == PolicyKind::StaticSlowdown.name() {
+        static_slowdown_spec(ts, cpu).unwrap_or_else(|| cpu.clone())
+    } else {
+        cpu.clone()
+    }
+}
+
+/// Runs one experiment cell through the reference simulator, with the same
+/// policy construction as [`lpfps::driver::run`] (including the
+/// `StaticSlowdown` derate-then-rename path).
+///
+/// # Panics
+///
+/// As [`oracle_simulate`].
+pub fn oracle_run(
+    ts: &TaskSet,
+    cpu: &CpuSpec,
+    kind: PolicyKind,
+    exec: &dyn ExecModel,
+    cfg: &SimConfig,
+) -> SimReport {
+    match kind {
+        PolicyKind::Fps => oracle_simulate(ts, cpu, &mut Fps, exec, cfg),
+        PolicyKind::FpsPd => {
+            oracle_simulate(ts, cpu, &mut LpfpsPolicy::power_down_only(), exec, cfg)
+        }
+        PolicyKind::LpfpsDvsOnly => {
+            oracle_simulate(ts, cpu, &mut LpfpsPolicy::dvs_only(), exec, cfg)
+        }
+        PolicyKind::Lpfps => oracle_simulate(ts, cpu, &mut LpfpsPolicy::new(), exec, cfg),
+        PolicyKind::LpfpsOptimal => {
+            oracle_simulate(ts, cpu, &mut LpfpsPolicy::with_optimal_ratio(), exec, cfg)
+        }
+        PolicyKind::LpfpsWatchdog => oracle_simulate(
+            ts,
+            cpu,
+            &mut LpfpsPolicy::with_watchdog(PolicyKind::DEFAULT_WATCHDOG_COOLDOWN),
+            exec,
+            cfg,
+        ),
+        PolicyKind::StaticSlowdown => {
+            let derated = static_slowdown_spec(ts, cpu).unwrap_or_else(|| cpu.clone());
+            let mut report = oracle_simulate(ts, &derated, &mut Fps, exec, cfg);
+            report.policy = PolicyKind::StaticSlowdown.name().to_string();
+            report
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! The differential harness: the optimized kernel against the naive
+//! reference simulator, field for field, over the full workload × policy
+//! × fault matrix — plus the sabotage test proving the oracle actually
+//! discriminates.
+
+use lpfps::driver::{default_horizon, run, PolicyKind};
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_faults::{FaultConfig, OverrunFault};
+use lpfps_kernel::engine::SimConfig;
+use lpfps_oracle::{first_divergence, oracle_run};
+use lpfps_tasks::taskset::TaskSet;
+use lpfps_workloads::{avionics, cnc, ins, table1};
+
+/// The differential matrix: every paper workload under the policies that
+/// exercise distinct engine paths (plain FPS, power-down only, the full
+/// heuristic, and the fault-reactive watchdog).
+const POLICIES: [PolicyKind; 4] = [
+    PolicyKind::Fps,
+    PolicyKind::FpsPd,
+    PolicyKind::Lpfps,
+    PolicyKind::LpfpsWatchdog,
+];
+
+fn workloads() -> Vec<TaskSet> {
+    vec![table1(), avionics(), cnc(), ins()]
+}
+
+/// Overrun stream at p = 0.1, the acceptance criterion's fault model.
+fn overrun_faults() -> FaultConfig {
+    FaultConfig::none()
+        .with_seed(7)
+        .with_overrun(OverrunFault::clamped(0.1, 0.3, 1.3))
+}
+
+fn assert_matches_oracle(ts: &TaskSet, kind: PolicyKind, faults: FaultConfig) {
+    let cpu = CpuSpec::arm8();
+    let scaled = ts.with_bcet_fraction(0.5);
+    // Trace on: the comparison then also covers the per-segment energy
+    // stream, not just the integrated report.
+    let cfg = SimConfig::new(default_horizon(&scaled))
+        .with_seed(42)
+        .with_faults(faults)
+        .with_trace();
+    let engine = run(&scaled, &cpu, kind, &lpfps_tasks::exec::PaperGaussian, &cfg);
+    let oracle = oracle_run(&scaled, &cpu, kind, &lpfps_tasks::exec::PaperGaussian, &cfg);
+    if let Some(d) = first_divergence(&engine, &oracle) {
+        panic!("{}/{} diverged from the oracle\n{d}", ts.name(), kind);
+    }
+}
+
+#[test]
+fn engine_matches_oracle_fault_free() {
+    for ts in workloads() {
+        for kind in POLICIES {
+            assert_matches_oracle(&ts, kind, FaultConfig::none());
+        }
+    }
+}
+
+#[test]
+fn engine_matches_oracle_under_overruns() {
+    for ts in workloads() {
+        for kind in POLICIES {
+            assert_matches_oracle(&ts, kind, overrun_faults());
+        }
+    }
+}
+
+#[test]
+fn engine_matches_oracle_on_every_policy_kind() {
+    // The remaining kinds (ablations and the static baseline, including
+    // its derate-then-rename path) on the motivating example.
+    for kind in [
+        PolicyKind::LpfpsDvsOnly,
+        PolicyKind::LpfpsOptimal,
+        PolicyKind::StaticSlowdown,
+    ] {
+        assert_matches_oracle(&table1(), kind, FaultConfig::none());
+        assert_matches_oracle(&table1(), kind, overrun_faults());
+    }
+}
+
+#[test]
+fn engine_matches_oracle_with_kernel_overheads() {
+    use lpfps_tasks::time::Dur;
+    // Context-switch + slow-down overheads and a tick-driven kernel walk
+    // the `pending_overhead` and quantization paths.
+    let cpu = CpuSpec::arm8();
+    let scaled = table1().with_bcet_fraction(0.5);
+    let cfg = SimConfig::new(default_horizon(&scaled))
+        .with_seed(42)
+        .with_context_switch(Dur::from_ns(500))
+        .with_ratio_overhead(Dur::from_ns(800))
+        .with_tick(Dur::from_us(1))
+        .with_trace();
+    for kind in POLICIES {
+        let engine = run(&scaled, &cpu, kind, &lpfps_tasks::exec::PaperGaussian, &cfg);
+        let oracle = oracle_run(&scaled, &cpu, kind, &lpfps_tasks::exec::PaperGaussian, &cfg);
+        if let Some(d) = first_divergence(&engine, &oracle) {
+            panic!("table1/{kind} with overheads diverged from the oracle\n{d}");
+        }
+    }
+}
+
+/// The non-vacuity proof: an engine with one cache-invalidation site
+/// disabled (the dispatch site, via the test-only
+/// `SimConfig::with_stale_dispatch_cache` hook) must diverge from the
+/// oracle, and the diff must say where.
+#[test]
+fn sabotaged_event_cache_is_caught() {
+    let cpu = CpuSpec::arm8();
+    let ts = table1();
+    let cfg = SimConfig::new(default_horizon(&ts)).with_trace();
+    let sabotaged_cfg = cfg.clone().with_stale_dispatch_cache();
+    let sabotaged = run(
+        &ts,
+        &cpu,
+        PolicyKind::Fps,
+        &lpfps_tasks::exec::AlwaysWcet,
+        &sabotaged_cfg,
+    );
+    let oracle = oracle_run(
+        &ts,
+        &cpu,
+        PolicyKind::Fps,
+        &lpfps_tasks::exec::AlwaysWcet,
+        &cfg,
+    );
+    let d = first_divergence(&sabotaged, &oracle)
+        .expect("a stale dispatch-time event cache must produce an observable divergence");
+    // The diagnostic must locate a concrete field, not just say "differs".
+    assert!(d.path.starts_with("report."), "unexpected path {}", d.path);
+    assert_ne!(d.left, d.right);
+}

@@ -1,0 +1,212 @@
+//! The invariant checker against real kernel traces: clean runs must be
+//! violation-free, doctored traces must not be.
+
+use lpfps::driver::{default_horizon, run, PolicyKind};
+use lpfps::{simulate, RatioLogger};
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_faults::{FaultConfig, OverrunFault};
+use lpfps_kernel::engine::SimConfig;
+use lpfps_kernel::report::SimReport;
+use lpfps_kernel::trace::{Trace, TraceEvent};
+use lpfps_oracle::{check_report, check_theorem1, effective_cpu};
+use lpfps_tasks::taskset::TaskSet;
+use lpfps_workloads::{avionics, cnc, ins, table1};
+
+fn traced(ts: &TaskSet, kind: PolicyKind, faults: FaultConfig) -> (TaskSet, SimReport) {
+    let scaled = ts.with_bcet_fraction(0.5);
+    let cfg = SimConfig::new(default_horizon(&scaled))
+        .with_seed(42)
+        .with_faults(faults)
+        .with_trace();
+    let report = run(
+        &scaled,
+        &CpuSpec::arm8(),
+        kind,
+        &lpfps_tasks::exec::PaperGaussian,
+        &cfg,
+    );
+    (scaled, report)
+}
+
+#[test]
+fn clean_runs_satisfy_every_invariant() {
+    let overrun = FaultConfig::none()
+        .with_seed(7)
+        .with_overrun(OverrunFault::clamped(0.1, 0.3, 1.3));
+    for ts in [table1(), avionics(), cnc(), ins()] {
+        for kind in [
+            PolicyKind::Fps,
+            PolicyKind::FpsPd,
+            PolicyKind::Lpfps,
+            PolicyKind::LpfpsWatchdog,
+        ] {
+            for faults in [FaultConfig::none(), overrun] {
+                let (scaled, report) = traced(&ts, kind, faults);
+                let cpu = effective_cpu(&scaled, &CpuSpec::arm8(), &report.policy);
+                let violations = check_report(&scaled, &cpu, &report);
+                assert!(
+                    violations.is_empty(),
+                    "{}/{kind}: {} violations, first: {}",
+                    ts.name(),
+                    violations.len(),
+                    violations[0]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn static_baseline_checks_against_its_derated_spec() {
+    let (scaled, report) = traced(&table1(), PolicyKind::StaticSlowdown, FaultConfig::none());
+    let cpu = effective_cpu(&scaled, &CpuSpec::arm8(), &report.policy);
+    let violations = check_report(&scaled, &cpu, &report);
+    assert!(violations.is_empty(), "first: {}", violations[0]);
+}
+
+/// Rebuilds a trace with `f` applied to every `(time, event)` pair.
+fn doctor(trace: &Trace, mut f: impl FnMut(usize, TraceEvent) -> TraceEvent) -> Trace {
+    let mut out = Trace::new();
+    for (i, (t, ev)) in trace.iter().enumerate() {
+        out.push(t, f(i, ev));
+    }
+    out
+}
+
+fn lpfps_table1_traced() -> (TaskSet, SimReport) {
+    traced(&table1(), PolicyKind::Lpfps, FaultConfig::none())
+}
+
+#[test]
+fn corrupted_segment_power_is_detected() {
+    let (ts, mut report) = lpfps_table1_traced();
+    let trace = report.trace.take().expect("traced");
+    let mut hit = false;
+    report.trace = Some(doctor(&trace, |_, ev| match ev {
+        TraceEvent::EnergySegment { state, power, dur } if !hit && power > 0.0 => {
+            hit = true;
+            TraceEvent::EnergySegment {
+                state,
+                power: power * 1.01,
+                dur,
+            }
+        }
+        ev => ev,
+    }));
+    let violations = check_report(&ts, &CpuSpec::arm8(), &report);
+    // The inflated segment breaks both the power-model check and the
+    // energy replay.
+    assert!(violations.iter().any(|v| v.invariant == "segment-power"));
+    assert!(violations.iter().any(|v| v.invariant == "energy-replay"));
+}
+
+#[test]
+fn corrupted_counters_are_detected() {
+    let (ts, mut report) = lpfps_table1_traced();
+    report.counters.dispatches += 1;
+    let violations = check_report(&ts, &CpuSpec::arm8(), &report);
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.invariant == "counter-consistency" && v.detail.contains("dispatches")),
+        "got: {violations:?}"
+    );
+}
+
+#[test]
+fn out_of_priority_dispatch_is_detected() {
+    let (ts, mut report) = lpfps_table1_traced();
+    let trace = report.trace.take().expect("traced");
+    // Retarget every dispatch of the highest-priority task (tau1, TaskId 0)
+    // to the lowest-priority one while tau1 stays live — a fixed-priority
+    // violation the checker must flag.
+    use lpfps_tasks::task::TaskId;
+    report.trace = Some(doctor(&trace, |_, ev| match ev {
+        TraceEvent::Dispatch {
+            task: TaskId(0),
+            job,
+        } => TraceEvent::Dispatch {
+            task: TaskId(2),
+            job,
+        },
+        ev => ev,
+    }));
+    let violations = check_report(&ts, &CpuSpec::arm8(), &report);
+    assert!(
+        violations.iter().any(|v| v.invariant == "fp-dispatch"),
+        "got: {violations:?}"
+    );
+}
+
+#[test]
+fn truncated_segment_tiling_is_detected() {
+    let (ts, mut report) = lpfps_table1_traced();
+    let trace = report.trace.take().expect("traced");
+    let mut shrunk = false;
+    report.trace = Some(doctor(&trace, |_, ev| match ev {
+        TraceEvent::EnergySegment { state, power, dur }
+            if !shrunk && dur > lpfps_tasks::time::Dur::from_ns(1) =>
+        {
+            shrunk = true;
+            TraceEvent::EnergySegment {
+                state,
+                power,
+                dur: dur - lpfps_tasks::time::Dur::from_ns(1),
+            }
+        }
+        ev => ev,
+    }));
+    let violations = check_report(&ts, &CpuSpec::arm8(), &report);
+    assert!(
+        violations.iter().any(|v| v.invariant == "segment-tiling"),
+        "got: {violations:?}"
+    );
+}
+
+#[test]
+fn theorem1_holds_on_every_workload() {
+    // Drive the instrumented policy directly so every slow-down decision
+    // logs its (r_heu, r_opt) pair, then check Theorem 1 over the stream.
+    for ts in [table1(), avionics(), cnc(), ins()] {
+        let scaled = ts.with_bcet_fraction(0.5);
+        let cfg = SimConfig::new(default_horizon(&scaled)).with_seed(42);
+        let mut logger = RatioLogger::new(lpfps::LpfpsPolicy::new());
+        simulate(
+            &scaled,
+            &CpuSpec::arm8(),
+            &mut logger,
+            &lpfps_tasks::exec::PaperGaussian,
+            &cfg,
+        );
+        assert!(
+            !logger.samples().is_empty(),
+            "{}: no slow-downs sampled",
+            ts.name()
+        );
+        let violations = check_theorem1(logger.samples());
+        assert!(
+            violations.is_empty(),
+            "{}: first: {}",
+            ts.name(),
+            violations[0]
+        );
+    }
+}
+
+#[test]
+fn theorem1_checker_flags_inverted_samples() {
+    use lpfps::RatioSample;
+    use lpfps_tasks::freq::Freq;
+    use lpfps_tasks::time::{Dur, Time};
+    let bad = RatioSample {
+        now: Time::from_us(10),
+        remaining: Dur::from_us(5),
+        window: Dur::from_us(10),
+        r_heu: 0.4,
+        r_opt: 0.5,
+        freq: Freq::from_mhz(50),
+    };
+    let violations = check_theorem1(&[bad]);
+    assert_eq!(violations.len(), 1);
+    assert_eq!(violations[0].invariant, "theorem1");
+}

@@ -6,7 +6,7 @@
 //! happened to reach it. This module gives all binaries one strict parser:
 //!
 //! * uniform flags: `--json PATH`, `--metrics PATH`, `--threads N`,
-//!   `--seeds N`, `--horizon-scale F`, `--quiet`, `--help`;
+//!   `--seeds N`, `--horizon-scale F`, `--check N`, `--quiet`, `--help`;
 //! * binary-specific flags declared up front (`opt` / `switch`);
 //! * *errors* on unknown flags, missing values, and unparsable numbers.
 
@@ -170,6 +170,10 @@ impl Cli {
             "--horizon-scale <F>".into(),
             "stretch every cell's horizon by F [default: 1.0]",
         );
+        row(
+            "--check <N>".into(),
+            "invariant-check N sampled cells after the sweep [default: 0 = off]",
+        );
         row("--quiet".into(), "suppress per-cell progress on stderr");
         row("--help".into(), "print this help");
         out
@@ -184,6 +188,7 @@ impl Cli {
             threads: None,
             seeds: self.default_seeds,
             horizon_scale: 1.0,
+            check: 0,
             quiet: false,
             help: false,
             values: BTreeMap::new(),
@@ -253,6 +258,14 @@ impl Cli {
                     }
                     parsed.horizon_scale = scale;
                 }
+                "--check" => {
+                    let v = value_for("--check")?;
+                    parsed.check = v.parse().map_err(|_| CliError::BadValue {
+                        flag: "--check".into(),
+                        value: v,
+                        expected: "non-negative integer",
+                    })?;
+                }
                 flag if self.switches.iter().any(|s| s.flag == flag) => {
                     parsed.switches.insert(flag.to_string());
                 }
@@ -303,6 +316,8 @@ pub struct Parsed {
     pub seeds: u64,
     /// `--horizon-scale F`.
     pub horizon_scale: f64,
+    /// `--check N`: sampled invariant checks after the sweep (0 = off).
+    pub check: usize,
     /// `--quiet`.
     pub quiet: bool,
     /// `--help` was requested (only observable through `try_parse`).
@@ -337,6 +352,7 @@ impl Parsed {
             opts.threads = threads;
         }
         opts.horizon_scale = self.horizon_scale;
+        opts.check_sample = self.check;
         opts
     }
 
@@ -423,6 +439,22 @@ mod tests {
         assert_eq!(p.horizon_scale, 0.25);
         assert!(p.quiet);
         assert_eq!(p.run_options().threads, 4);
+    }
+
+    #[test]
+    fn check_flag_parses_and_reaches_run_options() {
+        let p = parse(&["--check", "8"]).unwrap();
+        assert_eq!(p.check, 8);
+        assert_eq!(p.run_options().check_sample, 8);
+        assert_eq!(parse(&[]).unwrap().run_options().check_sample, 0);
+        assert!(matches!(
+            parse(&["--check", "x"]),
+            Err(CliError::BadValue { .. })
+        ));
+        assert_eq!(
+            parse(&["--check"]),
+            Err(CliError::MissingValue("--check".into()))
+        );
     }
 
     #[test]

@@ -16,19 +16,24 @@
 //!   typed [`cell::CellStatus::Failed`] entry instead of aborting the
 //!   sweep, and an optional soft per-cell timeout grants one retry.
 //! * [`cli`] — the uniform experiment command line (`--json`, `--metrics`,
-//!   `--threads`, `--seeds`, `--horizon-scale`, `--quiet`), which *errors*
-//!   on unknown flags instead of silently ignoring them.
+//!   `--threads`, `--seeds`, `--horizon-scale`, `--check`, `--quiet`),
+//!   which *errors* on unknown flags instead of silently ignoring them.
+//! * [`check`] — the `--check N` invariant-sampling pass: after a sweep,
+//!   re-run N evenly-spaced cells with tracing and push their traces
+//!   through the oracle's invariant checker (`lpfps-oracle`).
 //! * [`metrics`] — per-cell and whole-sweep wall-clock/throughput
 //!   accounting ([`SweepMetrics`]), kept strictly separate from the
 //!   deterministic results payload.
 
 pub mod cell;
+pub mod check;
 pub mod cli;
 pub mod metrics;
 pub mod runner;
 pub mod spec;
 
 pub use cell::{Cell, CellResult, CellStatus, ExecKind, PolicyChoice};
+pub use check::{check_sampled_cells, CellCheck};
 pub use cli::{Cli, CliError, Parsed};
 pub use metrics::{CellMetrics, SweepMetrics};
 pub use runner::{run_sweep, RunOptions, SweepOutcome};

@@ -41,6 +41,11 @@ pub struct RunOptions {
     /// flagged `timed_out` in its [`CellMetrics`]. `None` disables the
     /// check. Deterministic results are unaffected either way.
     pub cell_timeout: Option<Duration>,
+    /// After the sweep, re-run this many evenly-spaced completed cells
+    /// with tracing and push each trace through the oracle's invariant
+    /// checker ([`crate::check`]); any violation panics with the cell and
+    /// trace position. `0` disables the pass (the default).
+    pub check_sample: usize,
 }
 
 impl Default for RunOptions {
@@ -52,6 +57,7 @@ impl Default for RunOptions {
             horizon_scale: 1.0,
             quiet: true,
             cell_timeout: None,
+            check_sample: 0,
         }
     }
 }
@@ -79,6 +85,12 @@ impl RunOptions {
     /// Sets the soft per-cell wall-clock budget.
     pub fn with_cell_timeout(mut self, timeout: Duration) -> Self {
         self.cell_timeout = Some(timeout);
+        self
+    }
+
+    /// Enables the post-sweep invariant sampling pass over `n` cells.
+    pub fn with_check_sample(mut self, n: usize) -> Self {
+        self.check_sample = n;
         self
     }
 }
@@ -242,7 +254,7 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> SweepOutcome {
     let total_events = per_cell.iter().map(|m| m.events).sum();
     let failures = results.iter().filter(|r| !r.status.is_ok()).count();
 
-    SweepOutcome {
+    let outcome = SweepOutcome {
         reports,
         results,
         metrics: SweepMetrics {
@@ -254,7 +266,41 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> SweepOutcome {
             failures,
             per_cell,
         },
+    };
+
+    if opts.check_sample > 0 {
+        let checks = crate::check::check_sampled_cells(
+            spec,
+            &outcome,
+            opts.check_sample,
+            opts.horizon_scale,
+        );
+        let mut broken = 0;
+        for check in &checks {
+            if !opts.quiet {
+                eprintln!(
+                    "[check] {:<36} {}",
+                    check.label,
+                    if check.is_ok() {
+                        "ok".to_string()
+                    } else {
+                        format!("{} violations", check.violations.len())
+                    }
+                );
+            }
+            for v in &check.violations {
+                eprintln!("[check] cell {} ({}): {v}", check.index, check.label);
+                broken += 1;
+            }
+        }
+        assert!(
+            broken == 0,
+            "invariant check failed: {broken} violations across {} sampled cells (see stderr)",
+            checks.len()
+        );
     }
+
+    outcome
 }
 
 #[cfg(test)]

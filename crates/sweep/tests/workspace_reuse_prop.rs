@@ -1,0 +1,99 @@
+//! Property test: a recycled [`SimWorkspace`] is behaviorally invisible.
+//! Whatever ran in a workspace before — other workloads, other policies,
+//! faulted runs, even a cell that *panicked mid-simulation* and left the
+//! buffers in whatever state the unwind abandoned them in — the next
+//! report out of that workspace must serialize byte-identically to the
+//! same cell run in a fresh workspace, traces included.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use lpfps::driver::PolicyKind;
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_faults::{FaultConfig, OverrunFault, ReleaseJitter};
+use lpfps_kernel::engine::SimWorkspace;
+use lpfps_sweep::{Cell, ExecKind};
+use lpfps_tasks::time::Dur;
+use lpfps_workloads::{avionics, cnc, ins, table1};
+use proptest::prelude::*;
+
+/// Runs an adversarial warm-up mix through the workspace: every catalog
+/// workload (including the widest, INS, so every per-task buffer grows
+/// past the target cell's needs), a faulted traced run, and a
+/// zero-horizon cell whose mid-run panic abandons the buffers wherever
+/// the unwind left them.
+fn dirty(ws: &mut SimWorkspace, seed: u64) {
+    let faults = FaultConfig::none()
+        .with_seed(seed)
+        .with_overrun(OverrunFault::clamped(0.3, 0.5, 1.5))
+        .with_release_jitter(ReleaseJitter::uniform(Dur::from_us(20)));
+    for (i, ts) in [ins(), avionics(), cnc(), table1()].into_iter().enumerate() {
+        let cell = Cell::new(ts, CpuSpec::arm8(), PolicyKind::LpfpsWatchdog)
+            .with_exec(ExecKind::PaperGaussian)
+            .with_bcet_fraction(0.4)
+            .with_seed(seed ^ i as u64)
+            .with_faults(faults)
+            .with_trace();
+        cell.run_in(0.05, ws);
+    }
+    // The panic poison: Dur::ZERO horizons abort mid-setup/run; the
+    // workspace must recover from an unwind-interrupted simulation.
+    let poisoned = Cell::new(table1(), CpuSpec::arm8(), PolicyKind::Lpfps).with_horizon(Dur::ZERO);
+    let outcome = catch_unwind(AssertUnwindSafe(|| poisoned.run_in(1.0, ws)));
+    assert!(outcome.is_err(), "the zero-horizon poison cell must panic");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn dirty_workspace_reports_are_bit_identical(
+        workload in 0usize..4,
+        policy in 0usize..4,
+        seed in 0u64..=1_000,
+        frac_pct in 10u64..=100,
+        faulted in proptest::bool::ANY,
+    ) {
+        let ts = [table1(), avionics(), cnc(), ins()][workload].clone();
+        let kind = [
+            PolicyKind::Fps,
+            PolicyKind::FpsPd,
+            PolicyKind::Lpfps,
+            PolicyKind::LpfpsWatchdog,
+        ][policy];
+        let mut cell = Cell::new(ts, CpuSpec::arm8(), kind)
+            .with_exec(ExecKind::PaperGaussian)
+            .with_bcet_fraction(frac_pct as f64 / 100.0)
+            .with_seed(seed)
+            .with_trace();
+        if faulted {
+            cell = cell.with_faults(
+                FaultConfig::none()
+                    .with_seed(seed)
+                    .with_overrun(OverrunFault::clamped(0.2, 0.3, 1.3)),
+            );
+        }
+
+        let fresh = cell.run_in(0.2, &mut SimWorkspace::new());
+
+        let mut ws = SimWorkspace::new();
+        dirty(&mut ws, seed);
+        let reused = cell.run_in(0.2, &mut ws);
+
+        let a = serde_json::to_string(&fresh).unwrap();
+        let b = serde_json::to_string(&reused).unwrap();
+        prop_assert_eq!(a, b);
+
+        // And the workspace stays sound for a *different* follow-up cell.
+        let follow = Cell::new(cnc(), CpuSpec::arm8_multimode(), PolicyKind::Lpfps)
+            .with_exec(ExecKind::PaperGaussian)
+            .with_bcet_fraction(0.5)
+            .with_seed(seed + 1)
+            .with_trace();
+        let follow_fresh = follow.run_in(0.1, &mut SimWorkspace::new());
+        let follow_reused = follow.run_in(0.1, &mut ws);
+        prop_assert_eq!(
+            serde_json::to_string(&follow_fresh).unwrap(),
+            serde_json::to_string(&follow_reused).unwrap()
+        );
+    }
+}
