@@ -1,9 +1,11 @@
 //! Differential oracle run: the optimized kernel against the naive
 //! reference simulator (`lpfps-oracle`), field for field.
 //!
-//! All four catalog workloads × {fps, fps-pd, lpfps, lpfps-wd}, fault-free
-//! and under the overrun stream (p = 0.1), with tracing enabled so the
-//! comparison also covers the per-segment energy stream. Any divergence
+//! All four catalog workloads × {fps, fps-pd, lpfps, lpfps-wd, edf,
+//! cc-edf}, fault-free and under the overrun stream (p = 0.1), with
+//! tracing enabled so the comparison also covers the per-segment energy
+//! stream — the EDF columns exercise the shared engine's deadline-ordered
+//! dispatch against the oracle's naive transcription. Any divergence
 //! prints the first differing field with both values and exits nonzero —
 //! this is the CI gate proving the engine's optimizations (event-horizon
 //! cache, power memo, workspace reuse, tuned queues) are behaviorally
@@ -31,6 +33,8 @@ fn main() {
         PolicyKind::FpsPd,
         PolicyKind::Lpfps,
         PolicyKind::LpfpsWatchdog,
+        PolicyKind::Edf,
+        PolicyKind::CcEdf,
     ];
     let overrun = FaultConfig::none()
         .with_seed(7)

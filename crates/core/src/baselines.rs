@@ -14,7 +14,8 @@
 //!   the processor.
 
 use lpfps_cpu::spec::CpuSpec;
-use lpfps_kernel::policy::{PowerDirective, PowerPolicy, SchedulerContext};
+use lpfps_kernel::discipline::Discipline;
+use lpfps_kernel::policy::{PolicyCore, PowerDirective, PowerPolicy, SchedulerContext};
 use lpfps_tasks::analysis::response_time::rta_schedulable;
 use lpfps_tasks::freq::Freq;
 use lpfps_tasks::taskset::TaskSet;
@@ -55,11 +56,13 @@ impl TimeoutShutdown {
     }
 }
 
-impl PowerPolicy for TimeoutShutdown {
+impl PolicyCore for TimeoutShutdown {
     fn name(&self) -> &'static str {
         "timeout-pd"
     }
+}
 
+impl PowerPolicy for TimeoutShutdown {
     fn decide(&mut self, ctx: &SchedulerContext<'_>) -> PowerDirective {
         if ctx.active.is_some() || !ctx.run_queue.is_empty() {
             return PowerDirective::FullSpeed;
@@ -75,6 +78,29 @@ impl PowerPolicy for TimeoutShutdown {
             return PowerDirective::FullSpeed;
         }
         PowerDirective::PowerDownAt { enter_at, wake_at }
+    }
+}
+
+/// The plain earliest-deadline-first baseline: full speed, NOP busy-wait
+/// when idle, dispatched by the kernel's [`Edf`](lpfps_kernel::Edf)
+/// discipline instead of fixed priorities.
+///
+/// Behaviorally this is [`Fps`] with a different run-queue order — the
+/// point of keeping it as a distinct policy is the report label: runs
+/// tagged `"edf"` are the deadline-driven comparison column in the
+/// FP-vs-EDF experiments, not a variant of the paper's scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EdfFps;
+
+impl PolicyCore for EdfFps {
+    fn name(&self) -> &'static str {
+        "edf"
+    }
+}
+
+impl<D: Discipline> PowerPolicy<D> for EdfFps {
+    fn decide(&mut self, _ctx: &SchedulerContext<'_, D>) -> PowerDirective {
+        PowerDirective::FullSpeed
     }
 }
 

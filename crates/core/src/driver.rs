@@ -2,10 +2,11 @@
 //! and report its average power — the machinery behind every figure and
 //! table reproduction in `lpfps-bench`.
 
-use crate::baselines::{static_slowdown_spec, Fps};
+use crate::baselines::{static_slowdown_spec, EdfFps, Fps};
 use crate::lpfps_policy::LpfpsPolicy;
 use lpfps_cpu::spec::CpuSpec;
-use lpfps_kernel::engine::{simulate_in, SimConfig, SimWorkspace};
+use lpfps_kernel::discipline::Edf as EdfDispatch;
+use lpfps_kernel::engine::{simulate_in, simulate_in_for, SimConfig, SimWorkspace};
 use lpfps_kernel::report::SimReport;
 use lpfps_tasks::analysis::hyperperiod::hyperperiod;
 use lpfps_tasks::exec::ExecModel;
@@ -36,6 +37,18 @@ pub enum PolicyKind {
     /// from `Lpfps` under an injected fault model, so the paper-figure
     /// sweeps skip it.
     LpfpsWatchdog,
+    /// Plain earliest-deadline-first at full speed (NOP idle loop): the
+    /// deadline-driven counterpart of [`PolicyKind::Fps`], dispatched by
+    /// the kernel's [`Edf`](lpfps_kernel::Edf) discipline. Not part of
+    /// [`PolicyKind::ALL`] — the paper's figures are fixed-priority only;
+    /// the EDF columns live in the `fp_vs_edf` experiment.
+    Edf,
+    /// Cycle-conserving EDF (Pillai & Shin, SOSP 2001, in spirit): the
+    /// LPFPS power manager — exact power-down from the delay queue plus
+    /// lone-task DVS — running under EDF dispatch instead of fixed
+    /// priorities. Not part of [`PolicyKind::ALL`] for the same reason as
+    /// [`PolicyKind::Edf`].
+    CcEdf,
 }
 
 impl PolicyKind {
@@ -66,6 +79,8 @@ impl PolicyKind {
             PolicyKind::LpfpsOptimal => "lpfps-opt",
             PolicyKind::StaticSlowdown => "static",
             PolicyKind::LpfpsWatchdog => "lpfps-wd",
+            PolicyKind::Edf => "edf",
+            PolicyKind::CcEdf => "cc-edf",
         }
     }
 }
@@ -132,6 +147,10 @@ pub fn run_in(
             let mut report = simulate_in(ts, &derated, &mut Fps, exec, cfg, ws);
             report.policy = PolicyKind::StaticSlowdown.name().to_string();
             report
+        }
+        PolicyKind::Edf => simulate_in_for::<EdfDispatch>(ts, cpu, &mut EdfFps, exec, cfg, ws),
+        PolicyKind::CcEdf => {
+            simulate_in_for::<EdfDispatch>(ts, cpu, &mut LpfpsPolicy::cc_edf(), exec, cfg, ws)
         }
     }
 }
@@ -259,9 +278,31 @@ mod tests {
     fn policy_names_are_unique() {
         let mut names: Vec<_> = PolicyKind::ALL.iter().map(|k| k.name()).collect();
         names.push(PolicyKind::LpfpsWatchdog.name());
+        names.push(PolicyKind::Edf.name());
+        names.push(PolicyKind::CcEdf.name());
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), PolicyKind::ALL.len() + 1);
+        assert_eq!(names.len(), PolicyKind::ALL.len() + 3);
+    }
+
+    #[test]
+    fn edf_kinds_run_through_the_shared_kernel() {
+        let cpu = CpuSpec::arm8();
+        let cfg = SimConfig::new(default_horizon(&table1()));
+        let edf = run(&table1(), &cpu, PolicyKind::Edf, &AlwaysWcet, &cfg);
+        assert_eq!(edf.policy, "edf");
+        assert_eq!(edf.discipline, "edf");
+        assert!(edf.all_deadlines_met(), "misses: {:?}", edf.misses);
+        let cc = run(&table1(), &cpu, PolicyKind::CcEdf, &AlwaysWcet, &cfg);
+        assert_eq!(cc.policy, "cc-edf");
+        assert_eq!(cc.discipline, "edf");
+        assert!(cc.all_deadlines_met(), "misses: {:?}", cc.misses);
+        // The power manager only helps: cc-edf never burns more than
+        // full-speed EDF on the same schedule.
+        assert!(cc.average_power() < edf.average_power());
+        // FP runs stay tagged with the default discipline.
+        let fps = run(&table1(), &cpu, PolicyKind::Fps, &AlwaysWcet, &cfg);
+        assert_eq!(fps.discipline, "fp");
     }
 
     #[test]

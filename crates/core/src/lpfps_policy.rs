@@ -17,7 +17,10 @@
 //! power-down or DVS halves of the policy.
 
 use crate::speed::{r_heu, r_opt_trapezoid};
-use lpfps_kernel::policy::{ActiveView, FaultEvent, PowerDirective, PowerPolicy, SchedulerContext};
+use lpfps_kernel::discipline::Discipline;
+use lpfps_kernel::policy::{
+    ActiveView, FaultEvent, PolicyCore, PowerDirective, PowerPolicy, SchedulerContext,
+};
 use lpfps_tasks::freq::Freq;
 use lpfps_tasks::time::{Dur, Time};
 
@@ -40,7 +43,7 @@ pub enum RatioMethod {
 ///
 /// ```
 /// use lpfps::LpfpsPolicy;
-/// use lpfps_kernel::policy::PowerPolicy;
+/// use lpfps_kernel::policy::PolicyCore;
 ///
 /// assert_eq!(LpfpsPolicy::new().name(), "lpfps");
 /// assert_eq!(LpfpsPolicy::power_down_only().name(), "fps-pd");
@@ -131,6 +134,23 @@ impl LpfpsPolicy {
         }
     }
 
+    /// The cycle-conserving EDF configuration: the same exact-knowledge
+    /// power-down and lone-task slow-down decisions, intended to run under
+    /// the kernel's [`Edf`](lpfps_kernel::discipline::Edf) discipline
+    /// (see [`PolicyKind::CcEdf`](crate::driver::PolicyKind)). The decision
+    /// logic is discipline-independent — it consumes only queue occupancy,
+    /// the delay-queue head, and the active job's WCET-remaining work — so
+    /// this is the deadline-driven counterpart of LPFPS in the spirit of
+    /// Pillai & Shin's cycle-conserving EDF: unused cycles (early
+    /// completions shrink `C_i - E_i`) immediately lower the speed the
+    /// lone-task stretch plans with.
+    pub fn cc_edf() -> Self {
+        LpfpsPolicy {
+            name: "cc-edf",
+            ..LpfpsPolicy::new()
+        }
+    }
+
     /// Adds a defensive slow-down margin: the stretch budget becomes
     /// `margin * C_i - E_i` instead of `C_i - E_i`, trading DVS savings
     /// for tolerance of WCET overruns up to `margin` times the budget.
@@ -171,9 +191,9 @@ impl LpfpsPolicy {
     /// consumes it to record the `(r_heu, r_opt)` pair per decision, so
     /// the instrumented view cannot drift from what the policy actually
     /// computed.
-    pub fn slowdown_budget(
+    pub fn slowdown_budget<D: Discipline>(
         &self,
-        ctx: &SchedulerContext<'_>,
+        ctx: &SchedulerContext<'_, D>,
         active: &ActiveView,
     ) -> Option<(Dur, Dur)> {
         let bound = ctx.safe_completion_bound()?;
@@ -198,12 +218,27 @@ impl Default for LpfpsPolicy {
     }
 }
 
-impl PowerPolicy for LpfpsPolicy {
+impl PolicyCore for LpfpsPolicy {
     fn name(&self) -> &'static str {
         self.name
     }
 
-    fn decide(&mut self, ctx: &SchedulerContext<'_>) -> PowerDirective {
+    fn on_fault(&mut self, event: &FaultEvent) -> bool {
+        let Some(cooldown) = self.watchdog_cooldown else {
+            return false; // vanilla LPFPS: Theorem 1 is trusted blindly
+        };
+        // Repeated faults extend the window from the latest report.
+        self.degraded_until = Some(event.time() + cooldown);
+        true
+    }
+}
+
+// Generic over the discipline: the L12–L21 decisions read only queue
+// occupancy and the delay-queue head, which exist under any discipline.
+// Under `FixedPriority` this is the paper's LPFPS; under `Edf` it is the
+// cycle-conserving EDF configuration (see [`LpfpsPolicy::cc_edf`]).
+impl<D: Discipline> PowerPolicy<D> for LpfpsPolicy {
+    fn decide(&mut self, ctx: &SchedulerContext<'_, D>) -> PowerDirective {
         // Watchdog degraded mode: after a fault report, no power
         // management at all until the cooldown elapses — the kernel's
         // L1–L4 rule then keeps the processor at maximum throughput.
@@ -289,15 +324,6 @@ impl PowerPolicy for LpfpsPolicy {
                 PowerDirective::SlowDown { freq, speedup_at }
             }
         }
-    }
-
-    fn on_fault(&mut self, event: &FaultEvent) -> bool {
-        let Some(cooldown) = self.watchdog_cooldown else {
-            return false; // vanilla LPFPS: Theorem 1 is trusted blindly
-        };
-        // Repeated faults extend the window from the latest report.
-        self.degraded_until = Some(event.time() + cooldown);
-        true
     }
 }
 

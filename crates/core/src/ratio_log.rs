@@ -10,7 +10,7 @@
 
 use crate::lpfps_policy::LpfpsPolicy;
 use crate::speed::{r_heu, r_opt_trapezoid};
-use lpfps_kernel::policy::{FaultEvent, PowerDirective, PowerPolicy, SchedulerContext};
+use lpfps_kernel::policy::{FaultEvent, PolicyCore, PowerDirective, PowerPolicy, SchedulerContext};
 use lpfps_tasks::freq::Freq;
 use lpfps_tasks::time::{Dur, Time};
 
@@ -72,11 +72,17 @@ impl RatioLogger {
     }
 }
 
-impl PowerPolicy for RatioLogger {
+impl PolicyCore for RatioLogger {
     fn name(&self) -> &'static str {
         self.inner.name()
     }
 
+    fn on_fault(&mut self, event: &FaultEvent) -> bool {
+        self.inner.on_fault(event)
+    }
+}
+
+impl PowerPolicy for RatioLogger {
     fn decide(&mut self, ctx: &SchedulerContext<'_>) -> PowerDirective {
         let directive = self.inner.decide(ctx);
         if let PowerDirective::SlowDown { freq, .. } = directive {
@@ -95,10 +101,6 @@ impl PowerPolicy for RatioLogger {
             });
         }
         directive
-    }
-
-    fn on_fault(&mut self, event: &FaultEvent) -> bool {
-        self.inner.on_fault(event)
     }
 }
 

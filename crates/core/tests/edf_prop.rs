@@ -1,0 +1,75 @@
+//! Property-based checks for the EDF side of the unified kernel.
+//!
+//! EDF is optimal on a uniprocessor: any implicit-deadline periodic set
+//! with total utilization at most 1 is schedulable, so the shared engine
+//! running under the `Edf` discipline at full speed must never miss a
+//! deadline on such a set — even when rate-monotonic priorities would
+//! (the drawn sets need not pass RTA). The fixed-priority side needs no
+//! property here: the 24-cell golden fingerprint matrix in
+//! `lpfps-bench` witnesses bit-identity with the pre-refactor engine.
+
+use lpfps::driver::{run, PolicyKind};
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_kernel::engine::SimConfig;
+use lpfps_tasks::exec::{AlwaysWcet, PaperGaussian};
+use lpfps_tasks::gen::{generate, GenConfig};
+use lpfps_tasks::time::Dur;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// EDF at full speed meets every deadline whenever utilization <= 1,
+    /// under worst-case execution — the Liu & Layland bound that makes
+    /// EDF the reference discipline.
+    #[test]
+    fn edf_full_speed_never_misses_when_utilization_at_most_one(
+        set_seed in 0u64..=10_000,
+        n in 3usize..=8,
+        util_pct in 20u64..=95,
+    ) {
+        let cfg = GenConfig::new(n, util_pct as f64 / 100.0)
+            .with_periods(Dur::from_us(200), Dur::from_ms(20));
+        let ts = generate(&cfg, set_seed);
+        prop_assume!(ts.utilization() <= 1.0);
+
+        let sim = SimConfig::new(Dur::from_ms(100));
+        let report = run(&ts, &CpuSpec::arm8(), PolicyKind::Edf, &AlwaysWcet, &sim);
+        prop_assert_eq!(report.discipline, "edf");
+        prop_assert!(
+            report.all_deadlines_met(),
+            "EDF missed {:?} on {ts} at U={:.3}",
+            report.misses,
+            ts.utilization()
+        );
+    }
+
+    /// Full-speed EDF and full-speed FPS are both work-conserving
+    /// schedules of the same job stream on the same clock: only the
+    /// dispatch *order* differs, so the busy intervals — and hence the
+    /// average power — coincide exactly.
+    #[test]
+    fn full_speed_power_is_dispatch_order_invariant(
+        set_seed in 0u64..=10_000,
+        sim_seed in 0u64..=1_000,
+        n in 3usize..=6,
+        util_pct in 20u64..=80,
+    ) {
+        let cfg = GenConfig::new(n, util_pct as f64 / 100.0)
+            .with_periods(Dur::from_us(200), Dur::from_ms(10))
+            .with_bcet_fraction(0.5);
+        let ts = generate(&cfg, set_seed);
+        let sim = SimConfig::new(Dur::from_ms(50)).with_seed(sim_seed);
+        let cpu = CpuSpec::arm8();
+
+        let fps = run(&ts, &cpu, PolicyKind::Fps, &PaperGaussian, &sim);
+        let edf = run(&ts, &cpu, PolicyKind::Edf, &PaperGaussian, &sim);
+        prop_assert!(
+            (fps.average_power() - edf.average_power()).abs() < 1e-9,
+            "fps={} edf={}",
+            fps.average_power(),
+            edf.average_power()
+        );
+        prop_assert_eq!(fps.counters.completions, edf.counters.completions);
+    }
+}

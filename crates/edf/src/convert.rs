@@ -1,0 +1,132 @@
+//! The one documented seam between this crate's idealized real-valued
+//! time model and the kernel's integer grids.
+//!
+//! The YDS/AVR analyses work in Yao's model: speeds are fractions of the
+//! reference clock in `f64`, work is `f64` nanoseconds of unit-speed
+//! execution. The kernel (`lpfps_kernel`) is integer-exact: durations
+//! are whole nanoseconds ([`Dur`]), clock frequencies are whole kilohertz
+//! quantized up to the processor's ladder ([`Freq`]). Any experiment that
+//! feeds an offline speed schedule from this crate into the shared kernel
+//! must cross that boundary **here and only here**, so the rounding
+//! direction is fixed in one place:
+//!
+//! * **speeds round up** — a real-valued speed maps to the smallest
+//!   ladder frequency that is at least as fast ([`speed_to_freq`]).
+//!   Rounding down could turn a feasible schedule infeasible; rounding up
+//!   only wastes energy.
+//! * **work rounds up** — fractional nanoseconds of demanded work map to
+//!   the next whole-nanosecond [`Dur`] ([`work_to_dur`]). Under-counting
+//!   demand could fabricate slack that does not exist.
+//!
+//! Both choices are conservative in the schedulability direction: the
+//! integer realization never promises more than the real-valued analysis
+//! proved.
+
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_tasks::freq::Freq;
+use lpfps_tasks::time::Dur;
+
+/// Maps a fractional speed (`1.0` = the reference clock) onto the
+/// processor's frequency ladder, rounding **up** to the next ladder level
+/// so the realized clock is never slower than the analysis assumed.
+///
+/// Speeds at or below zero clamp to the ladder floor; speeds above `1.0`
+/// clamp to the reference frequency (the analyses never exceed it, but a
+/// caller-side epsilon may).
+///
+/// # Examples
+///
+/// ```
+/// use lpfps_cpu::spec::CpuSpec;
+/// use lpfps_edf::convert::speed_to_freq;
+/// use lpfps_tasks::freq::Freq;
+///
+/// let cpu = CpuSpec::arm8(); // 100 MHz reference, 1 MHz ladder steps
+/// assert_eq!(speed_to_freq(0.5, &cpu), Freq::from_mhz(50));
+/// // Just over a level rounds up, never down.
+/// assert_eq!(speed_to_freq(0.5001, &cpu), Freq::from_mhz(51));
+/// ```
+pub fn speed_to_freq(speed: f64, cpu: &CpuSpec) -> Freq {
+    let reference = cpu.reference_freq();
+    if speed >= 1.0 {
+        return reference;
+    }
+    // Ceil to whole kHz first (the Freq grid), then up to the ladder.
+    let khz = (speed.max(0.0) * reference.as_khz() as f64).ceil() as u64;
+    cpu.ladder().quantize_up(Freq::from_khz(khz.max(1)))
+}
+
+/// Maps fractional nanoseconds of unit-speed work onto the kernel's
+/// integer duration grid, rounding **up** so demand is never
+/// under-counted.
+///
+/// Negative inputs (a numerically-noisy "nothing left") map to
+/// [`Dur::ZERO`].
+///
+/// # Examples
+///
+/// ```
+/// use lpfps_edf::convert::work_to_dur;
+/// use lpfps_tasks::time::Dur;
+///
+/// assert_eq!(work_to_dur(999.25), Dur::from_ns(1000));
+/// assert_eq!(work_to_dur(1000.0), Dur::from_us(1));
+/// ```
+pub fn work_to_dur(ns: f64) -> Dur {
+    if ns <= 0.0 {
+        return Dur::ZERO;
+    }
+    Dur::from_ns(ns.ceil() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speed_boundaries_round_up_onto_the_ladder() {
+        let cpu = CpuSpec::arm8();
+        let step_khz = cpu.ladder().step().as_khz();
+        // Exactly on a level: identity.
+        assert_eq!(speed_to_freq(0.5, &cpu), Freq::from_mhz(50));
+        // An epsilon above a level costs one full step, never zero.
+        let eps = 1.0 / cpu.reference_freq().as_khz() as f64; // one kHz
+        let up = speed_to_freq(0.5 + eps, &cpu);
+        assert_eq!(up.as_khz(), Freq::from_mhz(50).as_khz() + step_khz);
+        // An epsilon below a level stays on that level (ceil, not round).
+        assert_eq!(speed_to_freq(0.5 - eps / 2.0, &cpu), Freq::from_mhz(50));
+    }
+
+    #[test]
+    fn speed_extremes_clamp_to_the_ladder_range() {
+        let cpu = CpuSpec::arm8();
+        assert_eq!(speed_to_freq(0.0, &cpu), cpu.ladder().min());
+        assert_eq!(speed_to_freq(-1.0, &cpu), cpu.ladder().min());
+        assert_eq!(speed_to_freq(1.0, &cpu), cpu.reference_freq());
+        assert_eq!(speed_to_freq(1.5, &cpu), cpu.reference_freq());
+    }
+
+    #[test]
+    fn realized_freq_is_never_slower_than_the_speed() {
+        let cpu = CpuSpec::arm8();
+        let reference = cpu.reference_freq().as_khz() as f64;
+        for i in 0..=1000 {
+            let speed = f64::from(i) / 1000.0;
+            let f = speed_to_freq(speed, &cpu);
+            assert!(
+                f.as_khz() as f64 >= speed * reference,
+                "speed {speed} realized as {f}, slower than demanded"
+            );
+        }
+    }
+
+    #[test]
+    fn work_boundaries_round_up_onto_the_nanosecond_grid() {
+        assert_eq!(work_to_dur(0.0), Dur::ZERO);
+        assert_eq!(work_to_dur(-0.5), Dur::ZERO);
+        assert_eq!(work_to_dur(0.25), Dur::from_ns(1));
+        assert_eq!(work_to_dur(1.0), Dur::from_ns(1));
+        assert_eq!(work_to_dur(1.0 + f64::EPSILON * 2.0), Dur::from_ns(2));
+        assert_eq!(work_to_dur(12_345.0), Dur::from_ns(12_345));
+    }
+}

@@ -1,11 +1,23 @@
 //! An EDF simulator for piecewise-constant speed profiles — the execution
 //! substrate for the AVR heuristic and the full-speed EDF baseline.
 //!
+//! **Oracle-only.** This is *not* the project's EDF scheduler: run-time
+//! EDF goes through the shared kernel's `lpfps_kernel::discipline::Edf`
+//! discipline (see `PolicyKind::Edf` / `PolicyKind::CcEdf` in the
+//! driver), where it gets the full processor physics, the differential
+//! oracle, and the invariant checker. This module survives only as the
+//! idealized-model cross-check the YDS/AVR *offline* analyses are scored
+//! against: Yao's model (continuous speeds, instantaneous transitions,
+//! free idle) cannot be expressed through the kernel's `SlowDown`
+//! contract, which permits reduced speed only when the active task is the
+//! lone runnable job. Keep it tiny; do not grow scheduling features here.
+//!
 //! The model is the idealized one of Yao et al.: continuous speeds,
 //! instantaneous changes, zero idle power. Internally the simulator works
 //! in `f64` nanoseconds (speeds are fractional, so completions fall off
 //! the integer grid); determinism is preserved because the computation is
-//! a fixed sequence of IEEE-754 operations.
+//! a fixed sequence of IEEE-754 operations. Crossing from this model to
+//! the kernel's integer grids goes through [`crate::convert`] only.
 
 use crate::model::JobSet;
 use crate::profile::SpeedProfile;

@@ -1,0 +1,194 @@
+//! The dispatch discipline: which released job runs next.
+//!
+//! The engine's event machinery (releases, completions, budget policing,
+//! ramps, power-down timers, energy integration) is independent of *how*
+//! jobs are ordered; only three decisions depend on it:
+//!
+//! 1. the **ordering key** a job is queued under,
+//! 2. the **preemption test** between the queue head and the active job,
+//! 3. the **queue comparator** (smaller key = more urgent, so the shared
+//!    descending [`RunQueue`] layout serves every discipline).
+//!
+//! [`Discipline`] captures exactly those three, as a zero-sized type
+//! parameter of the engine — dispatch stays monomorphized, no dyn calls on
+//! the hot path. [`FixedPriority`] reproduces the paper's scheduler
+//! byte-for-byte (its key *is* the task's [`Priority`]); [`Edf`] orders by
+//! absolute job deadline with `(priority, task id)` as the deterministic
+//! tie-break.
+//!
+//! # Key ordering contract
+//!
+//! `Self::Key` must order with **smaller = more urgent** (the fixed-
+//! priority convention: lower level = higher priority). The run queue
+//! sorts descending with the head at the back, so `pop` is O(1) and ties
+//! drain most-recent-insert-first — semantics every discipline inherits
+//! unchanged.
+//!
+//! `preempts(candidate, incumbent)` may be *stricter* than the key order:
+//! EDF does not preempt on a deadline tie (a context switch would buy
+//! nothing), even though the full key tuple is totally ordered.
+
+use crate::engine::SimWorkspace;
+use crate::queues::RunQueue;
+use core::fmt::Debug;
+use lpfps_tasks::task::{Priority, TaskId};
+use lpfps_tasks::time::Time;
+
+/// A dispatch discipline: how released jobs are ordered and when the queue
+/// head preempts the active job.
+///
+/// Implementations are zero-sized marker types; the engine is generic over
+/// them, so each discipline gets its own monomorphized dispatch path.
+pub trait Discipline: Copy + Default + 'static {
+    /// The per-job ordering key. Smaller keys are more urgent (see the
+    /// module docs for the full ordering contract).
+    type Key: Copy + Ord + Debug;
+
+    /// The stable discipline tag reports carry (`"fp"`, `"edf"`).
+    const NAME: &'static str;
+
+    /// The key under which a job of `task` with fixed priority `prio` and
+    /// absolute deadline `deadline` is queued.
+    fn key(prio: Priority, deadline: Time, task: TaskId) -> Self::Key;
+
+    /// True if a queued job with key `candidate` preempts the active job
+    /// with key `incumbent`.
+    fn preempts(candidate: Self::Key, incumbent: Self::Key) -> bool;
+
+    /// Detaches this discipline's run-queue buffer from the workspace
+    /// (each key type recycles its own allocation).
+    #[doc(hidden)]
+    fn take_run_queue(ws: &mut SimWorkspace) -> RunQueue<Self::Key>;
+
+    /// Returns the run-queue buffer to the workspace after a simulation.
+    #[doc(hidden)]
+    fn restore_run_queue(ws: &mut SimWorkspace, q: RunQueue<Self::Key>);
+}
+
+/// The paper's fixed-priority discipline: jobs are ordered by their task's
+/// static [`Priority`]; the head preempts iff it is strictly
+/// higher-priority ([`Priority::is_higher_than`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FixedPriority;
+
+impl Discipline for FixedPriority {
+    type Key = Priority;
+
+    const NAME: &'static str = "fp";
+
+    #[inline]
+    fn key(prio: Priority, _deadline: Time, _task: TaskId) -> Priority {
+        prio
+    }
+
+    #[inline]
+    fn preempts(candidate: Priority, incumbent: Priority) -> bool {
+        candidate.is_higher_than(incumbent)
+    }
+
+    fn take_run_queue(ws: &mut SimWorkspace) -> RunQueue<Priority> {
+        std::mem::take(&mut ws.run_q)
+    }
+
+    fn restore_run_queue(ws: &mut SimWorkspace, q: RunQueue<Priority>) {
+        ws.run_q = q;
+    }
+}
+
+/// The ordering key of [`Edf`]: absolute deadline first, then the fixed
+/// priority and task id as a deterministic tie-break (derived
+/// lexicographic `Ord`). Every live job's key is distinct — a periodic
+/// task has at most one live job — so EDF traces are fully reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EdfKey {
+    /// Absolute deadline of the queued job.
+    pub deadline: Time,
+    /// The task's fixed priority (RM/DM order), breaking deadline ties.
+    pub prio: Priority,
+    /// The task id, breaking residual ties deterministically.
+    pub task: TaskId,
+}
+
+/// Earliest-deadline-first dispatch: the live job with the earliest
+/// absolute deadline runs. Deadline ties dispatch in fixed-priority order
+/// but never preempt — switching between two jobs with the same deadline
+/// cannot help, so the incumbent keeps the processor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Edf;
+
+impl Discipline for Edf {
+    type Key = EdfKey;
+
+    const NAME: &'static str = "edf";
+
+    #[inline]
+    fn key(prio: Priority, deadline: Time, task: TaskId) -> EdfKey {
+        EdfKey {
+            deadline,
+            prio,
+            task,
+        }
+    }
+
+    #[inline]
+    fn preempts(candidate: EdfKey, incumbent: EdfKey) -> bool {
+        // Strictly earlier deadline only: no preemption on ties.
+        candidate.deadline < incumbent.deadline
+    }
+
+    fn take_run_queue(ws: &mut SimWorkspace) -> RunQueue<EdfKey> {
+        std::mem::take(&mut ws.edf_run_q)
+    }
+
+    fn restore_run_queue(ws: &mut SimWorkspace, q: RunQueue<EdfKey>) {
+        ws.edf_run_q = q;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(dl_us: u64, prio: u32, id: usize) -> EdfKey {
+        Edf::key(Priority::new(prio), Time::from_us(dl_us), TaskId(id))
+    }
+
+    #[test]
+    fn fp_key_is_the_priority() {
+        let k = FixedPriority::key(Priority::new(3), Time::from_us(100), TaskId(7));
+        assert_eq!(k, Priority::new(3));
+        assert!(FixedPriority::preempts(Priority::new(1), Priority::new(2)));
+        assert!(!FixedPriority::preempts(Priority::new(2), Priority::new(2)));
+        assert!(!FixedPriority::preempts(Priority::new(3), Priority::new(2)));
+    }
+
+    #[test]
+    fn edf_orders_by_deadline_then_priority_then_id() {
+        assert!(key(100, 5, 9) < key(200, 0, 0));
+        assert!(key(100, 1, 9) < key(100, 2, 0));
+        assert!(key(100, 1, 3) < key(100, 1, 4));
+    }
+
+    #[test]
+    fn edf_preempts_only_on_strictly_earlier_deadlines() {
+        assert!(Edf::preempts(key(100, 5, 1), key(200, 0, 0)));
+        // Deadline tie: the incumbent keeps the processor even against a
+        // higher fixed priority.
+        assert!(!Edf::preempts(key(100, 0, 0), key(100, 5, 1)));
+        assert!(!Edf::preempts(key(200, 0, 0), key(100, 5, 1)));
+    }
+
+    #[test]
+    fn edf_key_matches_shared_queue_layout() {
+        // Smaller key = more urgent: the shared descending run queue must
+        // pop the earliest deadline first.
+        let mut q = RunQueue::new();
+        q.insert(TaskId(0), key(300, 0, 0));
+        q.insert(TaskId(1), key(100, 2, 1));
+        q.insert(TaskId(2), key(200, 1, 2));
+        assert_eq!(q.head_key(), Some(key(100, 2, 1)));
+        assert_eq!(q.pop(), Some(TaskId(1)));
+        assert_eq!(q.pop(), Some(TaskId(2)));
+        assert_eq!(q.pop(), Some(TaskId(0)));
+    }
+}

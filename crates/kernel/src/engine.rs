@@ -24,6 +24,7 @@
 //! geometry (conservatively rounded) and energy reporting, so runs are
 //! bit-reproducible.
 
+use crate::discipline::{Discipline, EdfKey, FixedPriority};
 use crate::policy::{ActiveView, FaultEvent, PowerDirective, PowerPolicy, SchedulerContext};
 use crate::queues::{DelayQueue, RunQueue};
 use crate::report::{Counters, DeadlineMiss, ResponseStats, SimReport};
@@ -206,14 +207,14 @@ enum ProcMode {
     WakingUp { until: Time },
 }
 
-struct Engine<'a> {
+struct Engine<'a, D: Discipline> {
     ts: &'a TaskSet,
     cpu: &'a CpuSpec,
     exec: &'a dyn ExecModel,
     cfg: &'a SimConfig,
     now: Time,
     horizon_end: Time,
-    run_q: RunQueue,
+    run_q: RunQueue<D::Key>,
     delay_q: DelayQueue,
     tasks: Vec<TaskRt>,
     wcet_cycles: Vec<Cycles>,
@@ -300,7 +301,10 @@ struct Engine<'a> {
 /// ```
 #[derive(Debug, Default)]
 pub struct SimWorkspace {
-    run_q: RunQueue,
+    // Each discipline recycles its own run-queue allocation (the key types
+    // differ); `Discipline::take_run_queue` picks the matching field.
+    pub(crate) run_q: RunQueue,
+    pub(crate) edf_run_q: RunQueue<EdfKey>,
     delay_q: DelayQueue,
     tasks: Vec<TaskRt>,
     wcet_cycles: Vec<Cycles>,
@@ -373,16 +377,35 @@ pub fn simulate_in(
     cfg: &SimConfig,
     ws: &mut SimWorkspace,
 ) -> SimReport {
+    simulate_in_for::<FixedPriority>(ts, cpu, policy, exec, cfg, ws)
+}
+
+/// [`simulate_in`] under an explicit dispatch [`Discipline`] `D`: the same
+/// engine, event machinery, fault model, and workspace reuse, with dispatch
+/// order and preemption decided by `D`. `simulate`/`simulate_in` are the
+/// fixed-priority specialization.
+///
+/// # Panics
+///
+/// As [`simulate`].
+pub fn simulate_in_for<D: Discipline>(
+    ts: &TaskSet,
+    cpu: &CpuSpec,
+    policy: &mut dyn PowerPolicy<D>,
+    exec: &dyn ExecModel,
+    cfg: &SimConfig,
+    ws: &mut SimWorkspace,
+) -> SimReport {
     assert!(
         !cfg.horizon.is_zero(),
         "simulation horizon must be positive"
     );
-    let mut engine = Engine::new(ts, cpu, exec, cfg, ws);
+    let mut engine = Engine::<D>::new(ts, cpu, exec, cfg, ws);
     engine.run(policy);
     engine.into_report(policy.name(), ws)
 }
 
-impl<'a> Engine<'a> {
+impl<'a, D: Discipline> Engine<'a, D> {
     fn new(
         ts: &'a TaskSet,
         cpu: &'a CpuSpec,
@@ -393,7 +416,7 @@ impl<'a> Engine<'a> {
         let reference = cpu.reference_freq();
         // Adopt the workspace buffers (cleared; contents between runs are
         // unspecified). They return to `ws` in `into_report`.
-        let mut run_q = std::mem::take(&mut ws.run_q);
+        let mut run_q = D::take_run_queue(ws);
         run_q.clear();
         let mut delay_q = std::mem::take(&mut ws.delay_q);
         delay_q.clear();
@@ -448,7 +471,7 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn run(&mut self, policy: &mut dyn PowerPolicy) {
+    fn run(&mut self, policy: &mut dyn PowerPolicy<D>) {
         loop {
             let t_next = self.next_event_time().min(self.horizon_end);
             self.advance_to(t_next);
@@ -686,7 +709,7 @@ impl<'a> Engine<'a> {
 
     // ----- event handling ---------------------------------------------------
 
-    fn handle_events(&mut self, policy: &mut dyn PowerPolicy) {
+    fn handle_events(&mut self, policy: &mut dyn PowerPolicy<D>) {
         let mut need_sched = false;
 
         // Ramp settles.
@@ -881,7 +904,9 @@ impl<'a> Engine<'a> {
             task: tid,
             job: index,
         });
-        self.run_q.insert(tid, prio);
+        let key = self.key_of(tid);
+        debug_assert_eq!(key, D::key(prio, arrival + task.deadline(), tid));
+        self.run_q.insert(tid, key);
     }
 
     fn complete_active(&mut self) {
@@ -923,7 +948,7 @@ impl<'a> Engine<'a> {
 
     // ----- the scheduler ----------------------------------------------------
 
-    fn scheduler_step(&mut self, policy: &mut dyn PowerPolicy) {
+    fn scheduler_step(&mut self, policy: &mut dyn PowerPolicy<D>) {
         let full = self.cpu.full_freq();
         match self.mode {
             ProcMode::Settled(f) if f == full => self.full_pass(policy),
@@ -950,13 +975,14 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn full_pass(&mut self, policy: &mut dyn PowerPolicy) {
+    fn full_pass(&mut self, policy: &mut dyn PowerPolicy<D>) {
         self.counters.sched_passes += 1;
-        // L8-L11: preemption / dispatch.
-        if let Some(head_prio) = self.run_q.head_priority() {
+        // L8-L11: preemption / dispatch, decided by the discipline. Under
+        // `FixedPriority` this is exactly the paper's priority test.
+        if let Some(head_key) = self.run_q.head_key() {
             let switch = match self.active {
                 None => true,
-                Some(cur) => head_prio.is_higher_than(self.ts.priority(cur)),
+                Some(cur) => D::preempts(head_key, self.key_of(cur)),
             };
             if switch {
                 let next = self.run_q.pop().expect("head exists");
@@ -966,7 +992,8 @@ impl<'a> Engine<'a> {
                         task: cur,
                         by: next,
                     });
-                    self.run_q.insert(cur, self.ts.priority(cur));
+                    let cur_key = self.key_of(cur);
+                    self.run_q.insert(cur, cur_key);
                 }
                 let job_index = self.tasks[next.0]
                     .job
@@ -1008,6 +1035,16 @@ impl<'a> Engine<'a> {
         self.note_idle_transition();
     }
 
+    /// The discipline key of a task's live job (dispatchable tasks always
+    /// hold one: a preempted task keeps its `LiveJob` in `TaskRt.job`).
+    fn key_of(&self, task: TaskId) -> D::Key {
+        let job = self.tasks[task.0]
+            .job
+            .as_ref()
+            .expect("a runnable task holds a live job");
+        D::key(self.ts.priority(task), job.deadline, task)
+    }
+
     fn active_view(&self) -> Option<ActiveView> {
         let tid = self.active?;
         let job = self.tasks[tid.0].job.as_ref()?;
@@ -1019,7 +1056,7 @@ impl<'a> Engine<'a> {
         })
     }
 
-    fn apply_directive(&mut self, directive: PowerDirective, policy: &mut dyn PowerPolicy) {
+    fn apply_directive(&mut self, directive: PowerDirective, policy: &mut dyn PowerPolicy<D>) {
         match directive {
             PowerDirective::FullSpeed => {}
             PowerDirective::PowerDown { wake_at, mode } => {
@@ -1101,7 +1138,12 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn begin_ramp_from_ratio(&mut self, r_from: f64, target: Freq, policy: &mut dyn PowerPolicy) {
+    fn begin_ramp_from_ratio(
+        &mut self,
+        r_from: f64,
+        target: Freq,
+        policy: &mut dyn PowerPolicy<D>,
+    ) {
         let full = self.cpu.full_freq();
         if target == full {
             self.speedup_at = None;
@@ -1190,13 +1232,14 @@ impl<'a> Engine<'a> {
 
     fn into_report(self, policy_name: &str, ws: &mut SimWorkspace) -> SimReport {
         // Return the recycled buffers to the workspace for the next run.
-        ws.run_q = self.run_q;
+        D::restore_run_queue(ws, self.run_q);
         ws.delay_q = self.delay_q;
         ws.tasks = self.tasks;
         ws.wcet_cycles = self.wcet_cycles;
         ws.due_scratch = self.due_scratch;
         SimReport {
             policy: policy_name.to_string(),
+            discipline: D::NAME,
             taskset: self.ts.name().to_string(),
             horizon: self.cfg.horizon,
             energy: self.meter,
@@ -1357,10 +1400,13 @@ mod tests {
     #[derive(Debug)]
     struct PowerDownWhenIdle;
 
-    impl PowerPolicy for PowerDownWhenIdle {
+    impl crate::policy::PolicyCore for PowerDownWhenIdle {
         fn name(&self) -> &'static str {
             "test-pd"
         }
+    }
+
+    impl PowerPolicy for PowerDownWhenIdle {
         fn decide(&mut self, ctx: &SchedulerContext<'_>) -> PowerDirective {
             if ctx.active.is_none() && ctx.run_queue.is_empty() {
                 if let Some(head) = ctx.next_arrival() {
@@ -1402,10 +1448,13 @@ mod tests {
     #[derive(Debug)]
     struct HalfSpeedWhenAlone;
 
-    impl PowerPolicy for HalfSpeedWhenAlone {
+    impl crate::policy::PolicyCore for HalfSpeedWhenAlone {
         fn name(&self) -> &'static str {
             "test-slow"
         }
+    }
+
+    impl PowerPolicy for HalfSpeedWhenAlone {
         fn decide(&mut self, ctx: &SchedulerContext<'_>) -> PowerDirective {
             let Some(_active) = ctx.active else {
                 return PowerDirective::FullSpeed;
@@ -1857,20 +1906,23 @@ mod tests {
         degraded_until: Option<Time>,
     }
 
-    impl PowerPolicy for DegradeOnFault {
+    impl crate::policy::PolicyCore for DegradeOnFault {
         fn name(&self) -> &'static str {
             "test-degrade"
         }
+        fn on_fault(&mut self, event: &FaultEvent) -> bool {
+            self.degraded_until = Some(event.time() + Dur::from_us(500));
+            true
+        }
+    }
+
+    impl PowerPolicy for DegradeOnFault {
         fn decide(&mut self, ctx: &SchedulerContext<'_>) -> PowerDirective {
             if self.degraded_until.is_some_and(|t| ctx.now < t) {
                 return PowerDirective::FullSpeed;
             }
             self.degraded_until = None;
             self.inner.decide(ctx)
-        }
-        fn on_fault(&mut self, event: &FaultEvent) -> bool {
-            self.degraded_until = Some(event.time() + Dur::from_us(500));
-            true
         }
     }
 

@@ -1,8 +1,12 @@
 //! # lpfps-kernel
 //!
-//! A deterministic discrete-event simulator of a fixed-priority preemptive
-//! real-time kernel, built for the reproduction of *Power Conscious Fixed
-//! Priority Scheduling for Hard Real-Time Systems* (Shin & Choi, DAC 1999).
+//! A deterministic discrete-event simulator of a preemptive real-time
+//! kernel, built for the reproduction of *Power Conscious Fixed Priority
+//! Scheduling for Hard Real-Time Systems* (Shin & Choi, DAC 1999). The
+//! dispatch discipline is pluggable (see [`discipline`]): the default
+//! [`FixedPriority`] reproduces the paper's scheduler exactly, and
+//! [`Edf`] drives the same engine by earliest absolute deadline for the
+//! deadline-driven baselines.
 //!
 //! The kernel model is the one the paper builds on (Katcher et al.; Burns,
 //! Tindell & Wellings): a priority-ordered **run queue** of released tasks
@@ -45,6 +49,7 @@
 //! assert!((report.average_power() - 0.88).abs() < 1e-6);
 //! ```
 
+pub mod discipline;
 pub mod engine;
 pub mod gantt;
 pub mod policy;
@@ -53,8 +58,9 @@ pub mod report;
 pub mod stats;
 pub mod trace;
 
-pub use engine::{simulate, SimConfig};
-pub use policy::{ActiveView, PowerDirective, PowerPolicy, SchedulerContext};
+pub use discipline::{Discipline, Edf, EdfKey, FixedPriority};
+pub use engine::{simulate, simulate_in_for, SimConfig};
+pub use policy::{ActiveView, PolicyCore, PowerDirective, PowerPolicy, SchedulerContext};
 pub use report::{Counters, DeadlineMiss, ResponseStats, SimReport};
 pub use stats::{IntervalStats, ResponseHistogram};
 pub use trace::{Trace, TraceEvent};

@@ -14,6 +14,7 @@
 //! *WCET-remaining* work (never its realized demand — the scheduler cannot
 //! see the future), the delay-queue head, and the processor spec.
 
+use crate::discipline::{Discipline, FixedPriority};
 use crate::queues::{DelayQueue, RunQueue};
 use lpfps_cpu::spec::CpuSpec;
 use lpfps_tasks::cycles::Cycles;
@@ -71,14 +72,18 @@ pub struct ActiveView {
 }
 
 /// Everything a policy may consult when deciding.
+///
+/// Generic over the dispatch [`Discipline`] `D` (default: the paper's
+/// [`FixedPriority`]); the run queue is keyed by `D::Key`, so a policy can
+/// inspect queue occupancy under any discipline.
 #[derive(Debug)]
-pub struct SchedulerContext<'a> {
+pub struct SchedulerContext<'a, D: Discipline = FixedPriority> {
     /// Current simulation time (`t_c`).
     pub now: Time,
     /// The active job, if one is dispatched.
     pub active: Option<ActiveView>,
     /// The run queue (released, waiting tasks).
-    pub run_queue: &'a RunQueue,
+    pub run_queue: &'a RunQueue<D::Key>,
     /// The delay queue (completed tasks awaiting their next period); its
     /// head release is the paper's `t_a`.
     pub delay_queue: &'a DelayQueue,
@@ -88,7 +93,7 @@ pub struct SchedulerContext<'a> {
     pub taskset: &'a TaskSet,
 }
 
-impl SchedulerContext<'_> {
+impl<D: Discipline> SchedulerContext<'_, D> {
     /// The paper's `t_a`: the next arrival time at the head of the delay
     /// queue, if any task is waiting there.
     pub fn next_arrival(&self) -> Option<Time> {
@@ -152,15 +157,13 @@ impl FaultEvent {
     }
 }
 
-/// A scheduling policy's power decision hook.
-pub trait PowerPolicy {
+/// The discipline-independent core of a policy: identity and fault
+/// handling. Split from [`PowerPolicy`] so these methods stay unambiguous
+/// on policies that implement [`PowerPolicy`] for several disciplines
+/// (nothing in their signatures could pin the discipline down).
+pub trait PolicyCore {
     /// A short stable name for reports ("fps", "lpfps", ...).
     fn name(&self) -> &'static str;
-
-    /// Decides the processor directive after a scheduler pass. Called only
-    /// when the processor is settled at full speed (the kernel's L1–L4
-    /// handling guarantees this).
-    fn decide(&mut self, ctx: &SchedulerContext<'_>) -> PowerDirective;
 
     /// Notifies the policy of a detected safety violation. Returns `true`
     /// if the policy *engaged a degraded mode* in response (counted as a
@@ -176,17 +179,28 @@ pub trait PowerPolicy {
     }
 }
 
+/// A scheduling policy's power decision hook under discipline `D`
+/// (default: the paper's [`FixedPriority`]).
+pub trait PowerPolicy<D: Discipline = FixedPriority>: PolicyCore {
+    /// Decides the processor directive after a scheduler pass. Called only
+    /// when the processor is settled at full speed (the kernel's L1–L4
+    /// handling guarantees this).
+    fn decide(&mut self, ctx: &SchedulerContext<'_, D>) -> PowerDirective;
+}
+
 /// The trivial policy: always full speed. This *is* the conventional FPS
 /// scheduler of the paper's comparison (idle time burns the NOP loop).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct AlwaysFullSpeed;
 
-impl PowerPolicy for AlwaysFullSpeed {
+impl PolicyCore for AlwaysFullSpeed {
     fn name(&self) -> &'static str {
         "fps"
     }
+}
 
-    fn decide(&mut self, _ctx: &SchedulerContext<'_>) -> PowerDirective {
+impl<D: Discipline> PowerPolicy<D> for AlwaysFullSpeed {
+    fn decide(&mut self, _ctx: &SchedulerContext<'_, D>) -> PowerDirective {
         PowerDirective::FullSpeed
     }
 }
@@ -210,7 +224,7 @@ mod tests {
         let (ts, cpu) = fixture();
         let run = RunQueue::new();
         let delay = DelayQueue::new();
-        let ctx = SchedulerContext {
+        let ctx: SchedulerContext = SchedulerContext {
             now: Time::ZERO,
             active: None,
             run_queue: &run,
@@ -234,7 +248,7 @@ mod tests {
             release: Time::from_us(100),
             deadline: Time::from_us(200),
         };
-        let ctx = SchedulerContext {
+        let ctx: SchedulerContext = SchedulerContext {
             now: Time::from_us(120),
             active: Some(active),
             run_queue: &run,
@@ -259,7 +273,7 @@ mod tests {
             release: Time::from_us(100),
             deadline: Time::from_us(200),
         };
-        let ctx = SchedulerContext {
+        let ctx: SchedulerContext = SchedulerContext {
             now: Time::from_us(120),
             active: Some(active),
             run_queue: &run,
@@ -275,7 +289,7 @@ mod tests {
         let (ts, cpu) = fixture();
         let run = RunQueue::new();
         let delay = DelayQueue::new();
-        let ctx = SchedulerContext {
+        let ctx: SchedulerContext = SchedulerContext {
             now: Time::ZERO,
             active: None,
             run_queue: &run,

@@ -1,8 +1,9 @@
 //! The two kernel queues of the paper's scheduler model (Katcher et al.;
 //! Burns, Tindell & Wellings).
 //!
-//! * The **run queue** holds released, unfinished tasks ordered by fixed
-//!   priority; the head is the next task to dispatch.
+//! * The **run queue** holds released, unfinished tasks ordered by the
+//!   dispatch discipline's urgency key (fixed priority by default); the
+//!   head is the next task to dispatch.
 //! * The **delay queue** holds tasks that completed their current job and
 //!   wait for their next period, ordered by release time; the head gives
 //!   the *exact* next arrival — the knowledge LPFPS exploits for both
@@ -15,7 +16,12 @@
 use lpfps_tasks::task::{Priority, TaskId};
 use lpfps_tasks::time::Time;
 
-/// Priority-ordered queue of released, runnable tasks.
+/// Urgency-ordered queue of released, runnable tasks.
+///
+/// Generic over the [`Discipline`](crate::discipline::Discipline) ordering
+/// key `K`, with **smaller key = more urgent** (the fixed-priority
+/// convention). The default `K` is [`Priority`], the paper's fixed-priority
+/// queue.
 ///
 /// # Examples
 ///
@@ -31,47 +37,57 @@ use lpfps_tasks::time::Time;
 /// assert_eq!(q.pop(), Some(TaskId(2)));
 /// assert!(q.is_empty());
 /// ```
-#[derive(Debug, Clone, Default)]
-pub struct RunQueue {
-    // Sorted *descending* by priority level, so the head (most urgent =
-    // lowest level) sits at the back and `pop` is an O(1) `Vec::pop`
-    // instead of a front `remove(0)` memmove. Equal priorities keep the
-    // front-sorted queue's semantics: the most recent insert pops first.
-    entries: Vec<(Priority, TaskId)>,
+#[derive(Debug, Clone)]
+pub struct RunQueue<K = Priority> {
+    // Sorted *descending* by key, so the head (most urgent = smallest key)
+    // sits at the back and `pop` is an O(1) `Vec::pop` instead of a front
+    // `remove(0)` memmove. Equal keys keep the front-sorted queue's
+    // semantics: the most recent insert pops first.
+    entries: Vec<(K, TaskId)>,
 }
 
-impl RunQueue {
+// Hand-written so the empty queue exists for every key type (a derived
+// `Default` would needlessly require `K: Default`).
+impl<K> Default for RunQueue<K> {
+    fn default() -> Self {
+        RunQueue {
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<K: Copy + Ord> RunQueue<K> {
     /// Creates an empty run queue.
     pub fn new() -> Self {
         RunQueue::default()
     }
 
-    /// Inserts a task at its priority position.
+    /// Inserts a task at its urgency position.
     ///
     /// # Panics
     ///
     /// Panics if the task is already queued (a periodic task has at most
     /// one live job in this kernel model).
-    pub fn insert(&mut self, task: TaskId, prio: Priority) {
+    pub fn insert(&mut self, task: TaskId, key: K) {
         assert!(
             !self.contains(task),
             "task {task} is already in the run queue"
         );
-        let pos = self.entries.partition_point(|&(p, _)| p >= prio);
-        self.entries.insert(pos, (prio, task));
+        let pos = self.entries.partition_point(|&(k, _)| k >= key);
+        self.entries.insert(pos, (key, task));
     }
 
-    /// The highest-priority queued task, if any.
+    /// The most urgent queued task, if any.
     pub fn head(&self) -> Option<TaskId> {
         self.entries.last().map(|&(_, t)| t)
     }
 
-    /// The priority of the head, if any.
-    pub fn head_priority(&self) -> Option<Priority> {
-        self.entries.last().map(|&(p, _)| p)
+    /// The ordering key of the head, if any.
+    pub fn head_key(&self) -> Option<K> {
+        self.entries.last().map(|&(k, _)| k)
     }
 
-    /// Removes and returns the highest-priority task.
+    /// Removes and returns the most urgent task.
     pub fn pop(&mut self) -> Option<TaskId> {
         self.entries.pop().map(|(_, t)| t)
     }
@@ -96,9 +112,17 @@ impl RunQueue {
         self.entries.iter().any(|&(_, t)| t == task)
     }
 
-    /// Iterates queued tasks from highest to lowest priority.
+    /// Iterates queued tasks from most to least urgent.
     pub fn iter(&self) -> impl Iterator<Item = TaskId> + '_ {
         self.entries.iter().rev().map(|&(_, t)| t)
+    }
+}
+
+impl RunQueue<Priority> {
+    /// The priority of the head, if any (fixed-priority-specific alias of
+    /// [`RunQueue::head_key`]).
+    pub fn head_priority(&self) -> Option<Priority> {
+        self.head_key()
     }
 }
 

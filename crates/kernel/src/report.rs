@@ -6,7 +6,7 @@ use lpfps_cpu::energy::EnergyMeter;
 use lpfps_cpu::state::StateKind;
 use lpfps_tasks::task::TaskId;
 use lpfps_tasks::time::{Dur, Time};
-use serde::{Deserialize, Serialize};
+use serde::{value, Deserialize, Error, Map, Serialize, Value};
 
 /// Per-task response-time statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -99,10 +99,16 @@ pub struct Counters {
 }
 
 /// The complete result of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimReport {
     /// Policy name ("fps", "lpfps", ...).
     pub policy: String,
+    /// The dispatch discipline the run was scheduled under
+    /// ([`Discipline::NAME`](crate::discipline::Discipline::NAME): "fp",
+    /// "edf"). Serialized only when it differs from `"fp"`, so every
+    /// fixed-priority report keeps its pre-discipline byte layout; absent
+    /// tags deserialize as `"fp"`.
+    pub discipline: &'static str,
     /// Task-set name.
     pub taskset: String,
     /// Simulated horizon.
@@ -126,6 +132,58 @@ pub struct SimReport {
     pub histograms: Vec<ResponseHistogram>,
     /// The event trace, if tracing was enabled.
     pub trace: Option<Trace>,
+}
+
+// Hand-written (not derived) for exactly one reason: the `discipline` tag
+// is emitted only when it differs from "fp", keeping every fixed-priority
+// report — including the committed results and the golden fingerprint
+// matrix — byte-identical to the pre-discipline serialization. All other
+// fields follow the derive's declaration-order layout.
+impl Serialize for SimReport {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        map.insert(String::from("policy"), self.policy.to_value());
+        if self.discipline != "fp" {
+            map.insert(String::from("discipline"), self.discipline.to_value());
+        }
+        map.insert(String::from("taskset"), self.taskset.to_value());
+        map.insert(String::from("horizon"), self.horizon.to_value());
+        map.insert(String::from("energy"), self.energy.to_value());
+        map.insert(String::from("misses"), self.misses.to_value());
+        map.insert(String::from("responses"), self.responses.to_value());
+        map.insert(String::from("counters"), self.counters.to_value());
+        map.insert(String::from("idle_gaps"), self.idle_gaps.to_value());
+        map.insert(String::from("task_energy"), self.task_energy.to_value());
+        map.insert(String::from("histograms"), self.histograms.to_value());
+        map.insert(String::from("trace"), self.trace.to_value());
+        Value::Object(map)
+    }
+}
+
+impl Deserialize for SimReport {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let map = v
+            .as_object()
+            .ok_or_else(|| Error::custom("expected an object for SimReport"))?;
+        let field = |name: &str| value::expect_field(map, "SimReport", name);
+        Ok(SimReport {
+            policy: String::from_value(field("policy")?)?,
+            discipline: match map.get("discipline") {
+                Some(tag) => <&'static str>::from_value(tag)?,
+                None => "fp",
+            },
+            taskset: String::from_value(field("taskset")?)?,
+            horizon: Dur::from_value(field("horizon")?)?,
+            energy: EnergyMeter::from_value(field("energy")?)?,
+            misses: Vec::from_value(field("misses")?)?,
+            responses: Vec::from_value(field("responses")?)?,
+            counters: Counters::from_value(field("counters")?)?,
+            idle_gaps: IntervalStats::from_value(field("idle_gaps")?)?,
+            task_energy: Vec::from_value(field("task_energy")?)?,
+            histograms: Vec::from_value(field("histograms")?)?,
+            trace: Option::from_value(map.get("trace").unwrap_or(&Value::Null))?,
+        })
+    }
 }
 
 impl SimReport {
@@ -244,6 +302,7 @@ mod tests {
     fn report_summary_mentions_policy_and_power() {
         let report = SimReport {
             policy: "fps".into(),
+            discipline: "fp",
             taskset: "table1".into(),
             horizon: Dur::from_ms(1),
             energy: EnergyMeter::new(),
@@ -259,5 +318,34 @@ mod tests {
         assert!(line.contains("fps"));
         assert!(line.contains("avg_power=0.0000"));
         assert!(report.all_deadlines_met());
+    }
+
+    #[test]
+    fn discipline_tag_serializes_only_for_non_fp_runs() {
+        let mut report = SimReport {
+            policy: "fps".into(),
+            discipline: "fp",
+            taskset: "table1".into(),
+            horizon: Dur::from_ms(1),
+            energy: EnergyMeter::new(),
+            misses: vec![],
+            responses: vec![],
+            counters: Counters::default(),
+            idle_gaps: IntervalStats::new(),
+            task_energy: vec![],
+            histograms: vec![],
+            trace: None,
+        };
+        // FP reports keep the pre-discipline byte layout: no tag at all.
+        let fp = report.to_value();
+        assert!(fp.get("discipline").is_none());
+        let back = SimReport::from_value(&fp).expect("fp round-trip");
+        assert_eq!(back.discipline, "fp");
+
+        report.discipline = "edf";
+        let edf = report.to_value();
+        assert_eq!(edf["discipline"], "edf");
+        let back = SimReport::from_value(&edf).expect("edf round-trip");
+        assert_eq!(back.discipline, "edf");
     }
 }

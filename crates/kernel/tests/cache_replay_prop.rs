@@ -15,7 +15,9 @@
 use lpfps_cpu::spec::CpuSpec;
 use lpfps_faults::{FaultConfig, OverrunFault, RampDegradation, ReleaseJitter, WakeupJitter};
 use lpfps_kernel::engine::{simulate, SimConfig};
-use lpfps_kernel::policy::{AlwaysFullSpeed, PowerDirective, PowerPolicy, SchedulerContext};
+use lpfps_kernel::policy::{
+    AlwaysFullSpeed, PolicyCore, PowerDirective, PowerPolicy, SchedulerContext,
+};
 use lpfps_tasks::exec::PaperGaussian;
 use lpfps_tasks::freq::Freq;
 use lpfps_tasks::rng::SplitMix64;
@@ -32,11 +34,13 @@ struct ChaosPolicy {
     rng: SplitMix64,
 }
 
-impl PowerPolicy for ChaosPolicy {
+impl PolicyCore for ChaosPolicy {
     fn name(&self) -> &'static str {
         "chaos"
     }
+}
 
+impl PowerPolicy for ChaosPolicy {
     fn decide(&mut self, ctx: &SchedulerContext<'_>) -> PowerDirective {
         let roll = self.rng.next_u64() % 4;
         match (ctx.active, roll) {

@@ -14,7 +14,8 @@
 //! | `segment-tiling` | energy segments tile `[0, horizon)` exactly, and every event sits on a segment boundary (busy-time conservation) | engine contract |
 //! | `energy-replay` | replaying the segments through a fresh [`EnergyMeter`] reproduces the report's energy integral bit-for-bit | engine contract |
 //! | `segment-power` | each segment's recorded power equals `CpuSpec::state_power` of its state | Eqs. for the power model |
-//! | `fp-dispatch` | a dispatched task is never outranked by a released, unfinished task (fixed-priority order) | Fig. 4 L8–L11 |
+//! | `fp-dispatch` | a dispatched task is never outranked by a released, unfinished task (fixed-priority order; FP reports) | Fig. 4 L8–L11 |
+//! | `edf-dispatch` | a dispatched task is never outranked by a live task with a strictly earlier absolute deadline (EDF reports) | EDF dispatch rule |
 //! | `dispatch-at-full-speed` | dispatches happen only with the clock settled at (or just settled to) full speed | Fig. 4 L1–L4 |
 //! | `slowdown-solo` | a downward ramp starts only when exactly one job is live | Fig. 4 L16–L19 |
 //! | `release-at-full-speed` | a release finding the processor below full speed is flagged by a preceding `TimingViolation` unless the transition resolves at that instant | watchdog contract |
@@ -85,7 +86,10 @@ pub fn check_report(ts: &TaskSet, cpu: &CpuSpec, report: &SimReport) -> Vec<Viol
     check_segment_tiling(&events, report.horizon, &mut out);
     check_energy_replay(trace, report, &mut out);
     check_segment_power(&events, cpu, &mut out);
-    check_fp_dispatch(&events, ts, &mut out);
+    match report.discipline {
+        "edf" => check_edf_dispatch(&events, ts, &mut out),
+        _ => check_fp_dispatch(&events, ts, &mut out),
+    }
     check_dispatch_at_full_speed(&events, cpu, &mut out);
     check_slowdown_solo(&events, cpu, &mut out);
     check_release_at_full_speed(&events, cpu, &mut out);
@@ -254,6 +258,54 @@ fn check_fp_dispatch(events: &[(Time, TraceEvent)], ts: &TaskSet, out: &mut Vec<
             }
         }
         live_after(&mut live, &ev);
+    }
+}
+
+fn check_edf_dispatch(events: &[(Time, TraceEvent)], ts: &TaskSet, out: &mut Vec<Violation>) {
+    use std::collections::BTreeMap;
+    // Absolute deadlines are reconstructed from job indices: the engine
+    // stamps `Release` at the *noticed* time (jitter, tick quantization),
+    // but assigns deadlines from the nominal arrival, which for job `k`
+    // of a periodic task is `phase + k*period`.
+    let mut deadlines: BTreeMap<TaskId, Time> = BTreeMap::new();
+    for (i, &(t, ev)) in events.iter().enumerate() {
+        match ev {
+            TraceEvent::Release { task, job } => {
+                let spec = ts.task(task);
+                let arrival = Time::ZERO + spec.phase() + spec.period() * job;
+                deadlines.insert(task, arrival + spec.deadline());
+            }
+            TraceEvent::Complete { task, .. } => {
+                deadlines.remove(&task);
+            }
+            TraceEvent::Dispatch { task, .. } => {
+                let Some(&own) = deadlines.get(&task) else {
+                    violation(
+                        out,
+                        i,
+                        t,
+                        "edf-dispatch",
+                        format!("{task} dispatched with no live job"),
+                    );
+                    continue;
+                };
+                for (&other, &d) in &deadlines {
+                    if other != task && d < own {
+                        violation(
+                            out,
+                            i,
+                            t,
+                            "edf-dispatch",
+                            format!(
+                                "{task} (deadline {own}) dispatched while {other} \
+                                 (deadline {d}) is live"
+                            ),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
     }
 }
 

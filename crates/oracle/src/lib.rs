@@ -10,13 +10,16 @@
 //!   event-horizon cache, no power memo, no workspace reuse, and dumb
 //!   queue structures. The differential tests assert the optimized engine
 //!   matches it **field for field, bit for bit** on the full workload ×
-//!   policy × fault matrix.
+//!   policy × fault matrix. Like the engine, it is generic over the
+//!   dispatch discipline ([`sim::oracle_simulate_for`] runs the EDF
+//!   cells).
 //! * [`invariants::check_report`] — a trace checker enforcing the paper's
-//!   guarantees as machine-checked invariants (fixed-priority dispatch
-//!   order, full-speed releases, speed changes only at scheduler
-//!   invocations, power-downs strictly inside idle gaps, energy
-//!   consistency, …), plus [`invariants::check_theorem1`] for the
-//!   `r_heu >= r_opt` safety bound over [`lpfps::RatioLogger`] samples.
+//!   guarantees as machine-checked invariants (dispatch order under the
+//!   report's discipline — fixed-priority or EDF — full-speed releases,
+//!   speed changes only at scheduler invocations, power-downs strictly
+//!   inside idle gaps, energy consistency, …), plus
+//!   [`invariants::check_theorem1`] for the `r_heu >= r_opt` safety bound
+//!   over [`lpfps::RatioLogger`] samples.
 //! * [`diff::first_divergence`] — a structural report diff that turns
 //!   "hash mismatch" into "first diverging field, with both values",
 //!   reused by the golden suite and the `diff_kernel` bench binary.
@@ -30,4 +33,4 @@ pub mod sim;
 pub use diff::{first_divergence, Divergence};
 pub use invariants::{check_report, check_theorem1, Violation};
 pub use run::{effective_cpu, oracle_run};
-pub use sim::oracle_simulate;
+pub use sim::{oracle_simulate, oracle_simulate_for};

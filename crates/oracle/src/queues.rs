@@ -9,9 +9,10 @@
 //!
 //! Semantics mirrored exactly:
 //!
-//! * run queue: pop returns a maximal-priority task, and among equal
-//!   priorities the most recently inserted one (the kernel's back-pop on
-//!   a stable descending sort gives LIFO within a priority level);
+//! * run queue: pop returns a minimal-key (most urgent) task under the
+//!   dispatch discipline's ordering key, and among equal keys the most
+//!   recently inserted one (the kernel's back-pop on a stable descending
+//!   sort gives LIFO within a key level);
 //! * delay queue: due tasks drain in ascending `(release, priority, id)`
 //!   order — the `BTreeSet` key is that exact tuple.
 
@@ -20,13 +21,22 @@ use lpfps_tasks::task::{Priority, TaskId};
 use lpfps_tasks::time::Time;
 use std::collections::BTreeSet;
 
-/// Insertion-ordered run queue with linear-scan selection.
-#[derive(Debug, Default)]
-pub(crate) struct NaiveRunQueue {
-    entries: Vec<(TaskId, Priority)>,
+/// Insertion-ordered run queue with linear-scan selection, generic over
+/// the discipline's urgency key (smaller = more urgent, like the kernel).
+#[derive(Debug)]
+pub(crate) struct NaiveRunQueue<K = Priority> {
+    entries: Vec<(TaskId, K)>,
 }
 
-impl NaiveRunQueue {
+impl<K> Default for NaiveRunQueue<K> {
+    fn default() -> Self {
+        NaiveRunQueue {
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<K: Copy + Ord> NaiveRunQueue<K> {
     pub fn new() -> Self {
         NaiveRunQueue::default()
     }
@@ -34,29 +44,29 @@ impl NaiveRunQueue {
     /// # Panics
     ///
     /// Panics if the task is already queued (same contract as the kernel).
-    pub fn insert(&mut self, task: TaskId, prio: Priority) {
+    pub fn insert(&mut self, task: TaskId, key: K) {
         assert!(
             !self.entries.iter().any(|&(t, _)| t == task),
             "task {task} is already in the run queue"
         );
-        self.entries.push((task, prio));
+        self.entries.push((task, key));
     }
 
-    /// Index of the task `pop` would return: maximal priority, most
-    /// recently inserted among equals (`>=` keeps replacing on ties, so
-    /// the scan settles on the latest index).
+    /// Index of the task `pop` would return: minimal key, most recently
+    /// inserted among equals (only a strictly smaller incumbent survives
+    /// the scan, so ties settle on the latest index).
     fn best_index(&self) -> Option<usize> {
-        let mut best: Option<(usize, Priority)> = None;
-        for (i, &(_, p)) in self.entries.iter().enumerate() {
+        let mut best: Option<(usize, K)> = None;
+        for (i, &(_, k)) in self.entries.iter().enumerate() {
             best = match best {
-                Some((bi, bp)) if bp.is_higher_than(p) => Some((bi, bp)),
-                _ => Some((i, p)),
+                Some((bi, bk)) if bk < k => Some((bi, bk)),
+                _ => Some((i, k)),
             };
         }
         best.map(|(i, _)| i)
     }
 
-    pub fn head_priority(&self) -> Option<Priority> {
+    pub fn head_key(&self) -> Option<K> {
         self.best_index().map(|i| self.entries[i].1)
     }
 
@@ -72,11 +82,11 @@ impl NaiveRunQueue {
     /// A kernel [`RunQueue`] with the same contents, for the
     /// [`SchedulerContext`](lpfps_kernel::policy::SchedulerContext) view
     /// handed to policies. Inserting in stored (chronological) order
-    /// reproduces the kernel queue's LIFO-within-priority layout.
-    pub fn materialize(&self) -> RunQueue {
+    /// reproduces the kernel queue's LIFO-within-key layout.
+    pub fn materialize(&self) -> RunQueue<K> {
         let mut q = RunQueue::new();
-        for &(task, prio) in &self.entries {
-            q.insert(task, prio);
+        for &(task, key) in &self.entries {
+            q.insert(task, key);
         }
         q
     }
@@ -146,7 +156,7 @@ mod tests {
             kernel.insert(TaskId(t), Priority::new(p));
         }
         loop {
-            assert_eq!(naive.head_priority(), kernel.head_priority());
+            assert_eq!(naive.head_key(), kernel.head_priority());
             let (a, b) = (naive.pop(), kernel.pop());
             assert_eq!(a, b);
             if a.is_none() {

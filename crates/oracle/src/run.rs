@@ -6,11 +6,12 @@
 //! simulation engines, never the harness — so this module transcribes
 //! `driver::run_in` onto [`oracle_simulate`].
 
-use crate::sim::oracle_simulate;
-use lpfps::baselines::{static_slowdown_spec, Fps};
+use crate::sim::{oracle_simulate, oracle_simulate_for};
+use lpfps::baselines::{static_slowdown_spec, EdfFps, Fps};
 use lpfps::driver::PolicyKind;
 use lpfps::lpfps_policy::LpfpsPolicy;
 use lpfps_cpu::spec::CpuSpec;
+use lpfps_kernel::discipline::Edf as EdfDispatch;
 use lpfps_kernel::engine::SimConfig;
 use lpfps_kernel::report::SimReport;
 use lpfps_tasks::exec::ExecModel;
@@ -68,6 +69,10 @@ pub fn oracle_run(
             let mut report = oracle_simulate(ts, &derated, &mut Fps, exec, cfg);
             report.policy = PolicyKind::StaticSlowdown.name().to_string();
             report
+        }
+        PolicyKind::Edf => oracle_simulate_for::<EdfDispatch>(ts, cpu, &mut EdfFps, exec, cfg),
+        PolicyKind::CcEdf => {
+            oracle_simulate_for::<EdfDispatch>(ts, cpu, &mut LpfpsPolicy::cc_edf(), exec, cfg)
         }
     }
 }

@@ -31,6 +31,7 @@ use lpfps_cpu::ramp::Ramp;
 use lpfps_cpu::spec::CpuSpec;
 use lpfps_cpu::state::CpuState;
 use lpfps_cpu::EnergyMeter;
+use lpfps_kernel::discipline::{Discipline, FixedPriority};
 use lpfps_kernel::engine::SimConfig;
 use lpfps_kernel::policy::{ActiveView, FaultEvent, PowerDirective, PowerPolicy, SchedulerContext};
 use lpfps_kernel::report::{Counters, DeadlineMiss, ResponseStats, SimReport};
@@ -81,14 +82,14 @@ enum ProcMode {
     },
 }
 
-struct Oracle<'a> {
+struct Oracle<'a, D: Discipline> {
     ts: &'a TaskSet,
     cpu: &'a CpuSpec,
     exec: &'a dyn ExecModel,
     cfg: &'a SimConfig,
     now: Time,
     horizon_end: Time,
-    run_q: NaiveRunQueue,
+    run_q: NaiveRunQueue<D::Key>,
     delay_q: NaiveDelayQueue,
     tasks: Vec<TaskRt>,
     wcet_cycles: Vec<Cycles>,
@@ -148,16 +149,33 @@ pub fn oracle_simulate(
     exec: &dyn ExecModel,
     cfg: &SimConfig,
 ) -> SimReport {
+    oracle_simulate_for::<FixedPriority>(ts, cpu, policy, exec, cfg)
+}
+
+/// [`oracle_simulate`] under an explicit dispatch discipline `D` —
+/// the reference counterpart of
+/// [`lpfps_kernel::engine::simulate_in_for`].
+///
+/// # Panics
+///
+/// As [`oracle_simulate`].
+pub fn oracle_simulate_for<D: Discipline>(
+    ts: &TaskSet,
+    cpu: &CpuSpec,
+    policy: &mut dyn PowerPolicy<D>,
+    exec: &dyn ExecModel,
+    cfg: &SimConfig,
+) -> SimReport {
     assert!(
         !cfg.horizon.is_zero(),
         "simulation horizon must be positive"
     );
-    let mut oracle = Oracle::new(ts, cpu, exec, cfg);
+    let mut oracle = Oracle::<D>::new(ts, cpu, exec, cfg);
     oracle.run(policy);
     oracle.into_report(policy.name())
 }
 
-impl<'a> Oracle<'a> {
+impl<'a, D: Discipline> Oracle<'a, D> {
     fn new(ts: &'a TaskSet, cpu: &'a CpuSpec, exec: &'a dyn ExecModel, cfg: &'a SimConfig) -> Self {
         let reference = cpu.reference_freq();
         let mut delay_q = NaiveDelayQueue::new();
@@ -203,7 +221,7 @@ impl<'a> Oracle<'a> {
         }
     }
 
-    fn run(&mut self, policy: &mut dyn PowerPolicy) {
+    fn run(&mut self, policy: &mut dyn PowerPolicy<D>) {
         loop {
             let t_next = self.next_event_time().min(self.horizon_end);
             self.advance_to(t_next);
@@ -375,7 +393,7 @@ impl<'a> Oracle<'a> {
 
     // ----- event handling (same order as the kernel, Fig. 4 L1–L21) --------
 
-    fn handle_events(&mut self, policy: &mut dyn PowerPolicy) {
+    fn handle_events(&mut self, policy: &mut dyn PowerPolicy<D>) {
         let mut need_sched = false;
 
         // Ramp settles.
@@ -538,7 +556,17 @@ impl<'a> Oracle<'a> {
             task: tid,
             job: index,
         });
-        self.run_q.insert(tid, prio);
+        self.run_q
+            .insert(tid, D::key(prio, arrival + task.deadline(), tid));
+    }
+
+    /// The discipline key of a runnable (queued or active) task.
+    fn key_of(&self, task: TaskId) -> D::Key {
+        let job = self.tasks[task.0]
+            .job
+            .as_ref()
+            .expect("a runnable task holds a live job");
+        D::key(self.ts.priority(task), job.deadline, task)
     }
 
     fn complete_active(&mut self) {
@@ -579,7 +607,7 @@ impl<'a> Oracle<'a> {
 
     // ----- the scheduler ----------------------------------------------------
 
-    fn scheduler_step(&mut self, policy: &mut dyn PowerPolicy) {
+    fn scheduler_step(&mut self, policy: &mut dyn PowerPolicy<D>) {
         let full = self.cpu.full_freq();
         match self.mode {
             ProcMode::Settled(f) if f == full => self.full_pass(policy),
@@ -603,13 +631,13 @@ impl<'a> Oracle<'a> {
         }
     }
 
-    fn full_pass(&mut self, policy: &mut dyn PowerPolicy) {
+    fn full_pass(&mut self, policy: &mut dyn PowerPolicy<D>) {
         self.counters.sched_passes += 1;
-        // L8–L11: preemption / dispatch.
-        if let Some(head_prio) = self.run_q.head_priority() {
+        // L8–L11: preemption / dispatch, in the discipline's key order.
+        if let Some(head_key) = self.run_q.head_key() {
             let switch = match self.active {
                 None => true,
-                Some(cur) => head_prio.is_higher_than(self.ts.priority(cur)),
+                Some(cur) => D::preempts(head_key, self.key_of(cur)),
             };
             if switch {
                 let next = self.run_q.pop().expect("head exists");
@@ -619,7 +647,8 @@ impl<'a> Oracle<'a> {
                         task: cur,
                         by: next,
                     });
-                    self.run_q.insert(cur, self.ts.priority(cur));
+                    let cur_key = self.key_of(cur);
+                    self.run_q.insert(cur, cur_key);
                 }
                 let job_index = self.tasks[next.0]
                     .job
@@ -671,7 +700,7 @@ impl<'a> Oracle<'a> {
         })
     }
 
-    fn apply_directive(&mut self, directive: PowerDirective, policy: &mut dyn PowerPolicy) {
+    fn apply_directive(&mut self, directive: PowerDirective, policy: &mut dyn PowerPolicy<D>) {
         match directive {
             PowerDirective::FullSpeed => {}
             PowerDirective::PowerDown { wake_at, mode } => {
@@ -748,7 +777,12 @@ impl<'a> Oracle<'a> {
         }
     }
 
-    fn begin_ramp_from_ratio(&mut self, r_from: f64, target: Freq, policy: &mut dyn PowerPolicy) {
+    fn begin_ramp_from_ratio(
+        &mut self,
+        r_from: f64,
+        target: Freq,
+        policy: &mut dyn PowerPolicy<D>,
+    ) {
         let full = self.cpu.full_freq();
         if target == full {
             self.speedup_at = None;
@@ -826,6 +860,7 @@ impl<'a> Oracle<'a> {
     fn into_report(self, policy_name: &str) -> SimReport {
         SimReport {
             policy: policy_name.to_string(),
+            discipline: D::NAME,
             taskset: self.ts.name().to_string(),
             horizon: self.cfg.horizon,
             energy: self.meter,

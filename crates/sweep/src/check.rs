@@ -106,6 +106,7 @@ mod tests {
             (0, PolicyKind::Fps),
             (1, PolicyKind::Lpfps),
             (2, PolicyKind::Lpfps),
+            (3, PolicyKind::CcEdf),
         ] {
             s.push(
                 Cell::new(ts.clone(), CpuSpec::arm8(), kind)
@@ -119,10 +120,12 @@ mod tests {
 
     #[test]
     fn sampled_cells_pass_on_a_healthy_sweep() {
+        // Sampling everything covers the EDF cell too, so the checker's
+        // edf-dispatch invariant runs against a real sweep replay.
         let spec = spec();
         let outcome = run_sweep(&spec, &RunOptions::serial());
-        let checks = check_sampled_cells(&spec, &outcome, 2, 1.0);
-        assert_eq!(checks.len(), 2);
+        let checks = check_sampled_cells(&spec, &outcome, 4, 1.0);
+        assert_eq!(checks.len(), 4);
         for c in &checks {
             assert!(c.is_ok(), "{}: {}", c.label, c.violations[0]);
         }
@@ -138,7 +141,7 @@ mod tests {
         // completed cell gets checked, the failed one is skipped.
         let checks = check_sampled_cells(&spec, &outcome, 10, 1.0);
         let indices: Vec<usize> = checks.iter().map(|c| c.index).collect();
-        assert_eq!(indices, vec![0, 2]);
+        assert_eq!(indices, vec![0, 2, 3]);
     }
 
     #[test]

@@ -187,6 +187,27 @@ mod tests {
     }
 
     #[test]
+    fn grid_runs_edf_cells_through_the_shared_kernel() {
+        let spec = SweepSpec::grid(
+            "edf-grid",
+            &[table1()],
+            &CpuSpec::arm8(),
+            &[PolicyKind::Edf, PolicyKind::CcEdf],
+            &[0.5],
+            &[42],
+            ExecKind::PaperGaussian,
+        );
+        assert_eq!(spec.len(), 2);
+        let edf = spec.cells[0].run(1.0);
+        assert_eq!(edf.policy, "edf");
+        assert_eq!(edf.discipline, "edf");
+        assert!(edf.all_deadlines_met(), "misses: {:?}", edf.misses);
+        let cc = spec.cells[1].run(1.0);
+        assert_eq!(cc.policy, "cc-edf");
+        assert!(cc.average_power() < edf.average_power());
+    }
+
+    #[test]
     fn utilization_builder_keeps_only_schedulable_sets() {
         let spec = SweepSpec::utilization(
             "u",

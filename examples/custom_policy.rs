@@ -13,7 +13,7 @@ use lpfps::driver::{default_horizon, run, PolicyKind};
 use lpfps::SimConfig;
 use lpfps_cpu::spec::CpuSpec;
 use lpfps_kernel::engine::simulate;
-use lpfps_kernel::policy::{PowerDirective, PowerPolicy, SchedulerContext};
+use lpfps_kernel::policy::{PolicyCore, PowerDirective, PowerPolicy, SchedulerContext};
 use lpfps_tasks::exec::PaperGaussian;
 use lpfps_tasks::freq::Freq;
 use lpfps_workloads::ins;
@@ -35,11 +35,13 @@ impl HalfOrFull {
     }
 }
 
-impl PowerPolicy for HalfOrFull {
+impl PolicyCore for HalfOrFull {
     fn name(&self) -> &'static str {
         "half-or-full"
     }
+}
 
+impl PowerPolicy for HalfOrFull {
     fn decide(&mut self, ctx: &SchedulerContext<'_>) -> PowerDirective {
         if !ctx.run_queue.is_empty() {
             return PowerDirective::FullSpeed;
