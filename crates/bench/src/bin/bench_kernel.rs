@@ -94,17 +94,17 @@ fn time_single(ts: &TaskSet, policy: PolicyKind, rounds: usize, budget_ns: u64) 
     let cpu = CpuSpec::arm8();
     let ts = ts.with_bcet_fraction(0.5);
     let cfg = SimConfig::new(lpfps::driver::default_horizon(&ts)).with_seed(7);
-    let probe = run(&ts, &cpu, policy, &PaperGaussian, &cfg);
+    let probe = run(&ts, &cpu, policy, &PaperGaussian, &cfg).expect("benchmark cell is valid");
     let events = probe.counters.events;
     let t0 = Instant::now();
-    std::hint::black_box(run(&ts, &cpu, policy, &PaperGaussian, &cfg));
+    let _ = std::hint::black_box(run(&ts, &cpu, policy, &PaperGaussian, &cfg));
     let once = t0.elapsed().as_nanos().max(1) as u64;
     let sims = (budget_ns / once).clamp(1, 10_000) as usize;
     let mut best = u64::MAX;
     for _ in 0..rounds {
         let start = Instant::now();
         for _ in 0..sims {
-            std::hint::black_box(run(&ts, &cpu, policy, &PaperGaussian, &cfg));
+            let _ = std::hint::black_box(run(&ts, &cpu, policy, &PaperGaussian, &cfg));
         }
         best = best.min(start.elapsed().as_nanos() as u64 / sims as u64);
     }

@@ -70,7 +70,7 @@ fn main() {
     );
     let mut divergences = 0;
     for cell in &cells {
-        let engine = cell.run(1.0);
+        let engine = cell.run(1.0).expect("all diff cells are valid simulations");
         let oracle = oracle_report(cell).expect("all diff cells use PolicyKind policies");
         let verdict = match first_divergence(&engine, &oracle) {
             None => "ok".to_string(),

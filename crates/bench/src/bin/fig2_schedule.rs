@@ -116,7 +116,7 @@ fn main() {
     let cfg = SimConfig::new(horizon).with_trace();
 
     println!("=== Figure 2(a): Table 1 at WCET under FPS ===\n");
-    let fps = simulate(&ts, &cpu, &mut AlwaysFullSpeed, &AlwaysWcet, &cfg);
+    let fps = simulate(&ts, &cpu, &mut AlwaysFullSpeed, &AlwaysWcet, &cfg).expect("valid cell");
     let trace_a = fps.trace.as_ref().expect("traced");
     let gantt = Gantt::from_trace(trace_a, Time::from_us(400));
     print!("{}", gantt.render(&ts, 5));
@@ -130,7 +130,7 @@ fn main() {
 
     println!("\n=== Figure 2(b): early completions under LPFPS ===\n");
     let mut lpfps = LpfpsPolicy::new();
-    let lp = simulate(&ts, &cpu, &mut lpfps, &Figure2b, &cfg);
+    let lp = simulate(&ts, &cpu, &mut lpfps, &Figure2b, &cfg).expect("valid cell");
     let trace_b = lp.trace.as_ref().expect("traced");
     let gantt = Gantt::from_trace(trace_b, Time::from_us(400));
     print!("{}", gantt.render(&ts, 5));

@@ -18,7 +18,7 @@
 use lpfps::driver::PolicyKind;
 use lpfps_cpu::spec::CpuSpec;
 use lpfps_kernel::gantt::Gantt;
-use lpfps_sweep::{run_sweep, Cell, Cli, ExecKind, SweepSpec};
+use lpfps_sweep::{run_sweep, Cell, CellStatus, Cli, ExecKind, SweepSpec};
 use lpfps_tasks::taskset::TaskSet;
 use lpfps_tasks::time::{Dur, Time};
 
@@ -75,8 +75,14 @@ fn main() {
         Some(path) => {
             let body = std::fs::read_to_string(path)
                 .unwrap_or_else(|e| die(format_args!("cannot read {path}: {e}")));
-            serde_json::from_str::<TaskSet>(&body)
-                .unwrap_or_else(|e| die(format_args!("{path} is not a valid task-set JSON: {e}")))
+            let ts = serde_json::from_str::<TaskSet>(&body)
+                .unwrap_or_else(|e| die(format_args!("{path} is not a valid task-set JSON: {e}")));
+            // Deserialization is shape-only; check the scheduling rules
+            // here so a broken file dies with the precise task-set error
+            // instead of a downstream symptom (e.g. a zero hyperperiod).
+            lpfps_tasks::error::validate_task_set(&ts)
+                .unwrap_or_else(|e| die(format_args!("{path}: invalid task set: {e}")));
+            ts
         }
         None => workload(parsed.value("--app").unwrap()),
     };
@@ -120,7 +126,13 @@ fn main() {
     let mut spec = SweepSpec::new("simulate");
     spec.push(cell);
     let outcome = run_sweep(&spec, &parsed.run_options());
-    let report = outcome.report(0).expect("single simulate cell completes");
+    let report = match outcome.report(0) {
+        Some(report) => report,
+        None => match &outcome.results[0].status {
+            CellStatus::Failed { error } => die(format_args!("{}", error.message)),
+            CellStatus::Ok => die("simulation produced no report"),
+        },
+    };
 
     let ts = base.with_bcet_fraction(bcet);
     println!("{ts}");

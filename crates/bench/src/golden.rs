@@ -53,9 +53,12 @@ pub fn golden_cells() -> Vec<Cell> {
 
 /// Runs every golden cell, yielding `(label, report)` in matrix order.
 pub fn golden_runs() -> impl Iterator<Item = (String, SimReport)> {
-    golden_cells()
-        .into_iter()
-        .map(|cell| (cell.label(), cell.run(1.0)))
+    golden_cells().into_iter().map(|cell| {
+        let report = cell
+            .run(1.0)
+            .expect("every golden cell is a valid simulation");
+        (cell.label(), report)
+    })
 }
 
 /// Runs a cell through the naive reference simulator (`lpfps-oracle`)
@@ -77,7 +80,8 @@ pub fn oracle_report(cell: &Cell) -> Option<SimReport> {
     if cell.trace {
         cfg = cfg.with_trace();
     }
-    let mut report = oracle_run(&scaled, &cell.cpu, kind, cell.exec.model(), &cfg);
+    let mut report = oracle_run(&scaled, &cell.cpu, kind, cell.exec.model(), &cfg)
+        .expect("every golden cell is a valid simulation for the oracle too");
     report.taskset = cell.app.clone();
     Some(report)
 }

@@ -53,7 +53,7 @@ fn reports_match_pre_optimization_engine() {
             label, expected_label,
             "golden matrix order drifted from the pinned table"
         );
-        let report = cell.run(1.0);
+        let report = cell.run(1.0).unwrap();
         let fp = report_fingerprint(&report);
         // On mismatch, don't just dump two hashes: ask the oracle where
         // the report actually diverged (or whether it agrees, meaning the
@@ -80,7 +80,7 @@ fn workspace_reuse_reproduces_the_golden_matrix() {
     use lpfps_kernel::engine::SimWorkspace;
     let mut ws = SimWorkspace::new();
     for (cell, (label, expected)) in golden_cells().into_iter().zip(GOLDEN) {
-        let report = cell.run_in(1.0, &mut ws);
+        let report = cell.run_in(1.0, &mut ws).unwrap();
         let fp = report_fingerprint(&report);
         if fp != expected {
             panic!(
@@ -129,8 +129,8 @@ fn fingerprint_is_sensitive_to_the_config() {
     use lpfps_bench::golden::golden_cells;
     for cell in golden_cells().into_iter().take(3) {
         let label = cell.label();
-        let a = report_fingerprint(&cell.clone().run(1.0));
-        let b = report_fingerprint(&cell.with_seed(43).run(1.0));
+        let a = report_fingerprint(&cell.clone().run(1.0).unwrap());
+        let b = report_fingerprint(&cell.with_seed(43).run(1.0).unwrap());
         assert_ne!(a, b, "fingerprint blind to the seed for `{label}`");
     }
 }

@@ -282,11 +282,12 @@ mod tests {
             &mut LpfpsPolicy::power_down_only(),
             &AlwaysWcet,
             &cfg,
-        );
+        )
+        .unwrap();
         let mut timeout = TimeoutShutdown::new(Dur::from_us(50));
-        let with_timeout = simulate(&ts, &cpu, &mut timeout, &AlwaysWcet, &cfg);
+        let with_timeout = simulate(&ts, &cpu, &mut timeout, &AlwaysWcet, &cfg).unwrap();
         let mut fps = Fps;
-        let plain = simulate(&ts, &cpu, &mut fps, &AlwaysWcet, &cfg);
+        let plain = simulate(&ts, &cpu, &mut fps, &AlwaysWcet, &cfg).unwrap();
 
         assert!(with_timeout.all_deadlines_met());
         // The timeout policy sits strictly between FPS and exact power-down.
@@ -295,7 +296,7 @@ mod tests {
         // And with a timeout longer than every idle interval it degenerates
         // to plain FPS.
         let mut long = TimeoutShutdown::new(Dur::from_us(80));
-        let degenerate = simulate(&ts, &cpu, &mut long, &AlwaysWcet, &cfg);
+        let degenerate = simulate(&ts, &cpu, &mut long, &AlwaysWcet, &cfg).unwrap();
         assert!((degenerate.average_power() - plain.average_power()).abs() < 1e-9);
         assert_eq!(degenerate.counters.power_downs, 0);
     }
@@ -309,7 +310,7 @@ mod tests {
         let cpu = CpuSpec::arm8();
         let cfg = SimConfig::new(Dur::from_ms(1));
         let mut tight = TimeoutShutdown::new(Dur::from_ns(74_950));
-        let report = simulate(&ts, &cpu, &mut tight, &AlwaysWcet, &cfg);
+        let report = simulate(&ts, &cpu, &mut tight, &AlwaysWcet, &cfg).unwrap();
         assert!(report.all_deadlines_met());
     }
 

@@ -7,6 +7,7 @@ use crate::lpfps_policy::LpfpsPolicy;
 use lpfps_cpu::spec::CpuSpec;
 use lpfps_kernel::discipline::Edf as EdfDispatch;
 use lpfps_kernel::engine::{simulate_in, simulate_in_for, SimConfig, SimWorkspace};
+use lpfps_kernel::error::SimError;
 use lpfps_kernel::report::SimReport;
 use lpfps_tasks::analysis::hyperperiod::hyperperiod;
 use lpfps_tasks::exec::ExecModel;
@@ -96,19 +97,29 @@ impl core::fmt::Display for PolicyKind {
 /// `StaticSlowdown` derates the processor to its offline operating point
 /// first (falling back to the full-speed processor if the set has no
 /// feasible slowdown) and then runs the plain FPS policy on it.
+///
+/// # Errors
+///
+/// As [`lpfps_kernel::engine::simulate`]: malformed inputs (which can
+/// arrive unvalidated via `Deserialize`) and exhausted resource budgets
+/// surface as a typed [`SimError`] instead of a panic.
 pub fn run(
     ts: &TaskSet,
     cpu: &CpuSpec,
     kind: PolicyKind,
     exec: &dyn ExecModel,
     cfg: &SimConfig,
-) -> SimReport {
+) -> Result<SimReport, SimError> {
     run_in(ts, cpu, kind, exec, cfg, &mut SimWorkspace::new())
 }
 
 /// [`run`] with a caller-provided [`SimWorkspace`], so batch drivers (the
 /// sweep runner's worker threads) recycle the kernel's queue and task
 /// buffers across cells instead of reallocating them per simulation.
+///
+/// # Errors
+///
+/// As [`run`].
 pub fn run_in(
     ts: &TaskSet,
     cpu: &CpuSpec,
@@ -116,7 +127,7 @@ pub fn run_in(
     exec: &dyn ExecModel,
     cfg: &SimConfig,
     ws: &mut SimWorkspace,
-) -> SimReport {
+) -> Result<SimReport, SimError> {
     match kind {
         PolicyKind::Fps => simulate_in(ts, cpu, &mut Fps, exec, cfg, ws),
         PolicyKind::FpsPd => {
@@ -144,9 +155,9 @@ pub fn run_in(
         ),
         PolicyKind::StaticSlowdown => {
             let derated = static_slowdown_spec(ts, cpu).unwrap_or_else(|| cpu.clone());
-            let mut report = simulate_in(ts, &derated, &mut Fps, exec, cfg, ws);
+            let mut report = simulate_in(ts, &derated, &mut Fps, exec, cfg, ws)?;
             report.policy = PolicyKind::StaticSlowdown.name().to_string();
-            report
+            Ok(report)
         }
         PolicyKind::Edf => simulate_in_for::<EdfDispatch>(ts, cpu, &mut EdfFps, exec, cfg, ws),
         PolicyKind::CcEdf => {
@@ -159,22 +170,23 @@ pub fn run_in(
 /// longest periods, rounded up to whole hyperperiods when the hyperperiod
 /// is in reach (so synchronous schedules are sampled over full cycles).
 ///
-/// # Panics
-///
-/// Panics if the set is empty (cannot happen for constructed sets).
+/// An empty set (possible only via `Deserialize`) yields a zero horizon,
+/// which the kernel then rejects with a typed error; extreme periods
+/// saturate rather than wrap, and the oversized horizon is likewise
+/// rejected downstream.
 pub fn default_horizon(ts: &TaskSet) -> Dur {
     let max_period = ts
         .iter()
         .map(|(_, t, _)| t.period())
         .max()
-        .expect("task sets are non-empty");
-    let target = max_period * 5;
+        .unwrap_or(Dur::ZERO);
+    let target = max_period.checked_mul(5).unwrap_or(Dur::MAX);
     match hyperperiod(ts) {
-        Some(h) if h <= target => {
+        Some(h) if !h.is_zero() && h <= target => {
             let k = target.as_ns().div_ceil(h.as_ns());
-            h * k
+            h.checked_mul(k).unwrap_or(Dur::MAX)
         }
-        Some(h) if h <= target * 2 => h,
+        Some(h) if h <= target.checked_mul(2).unwrap_or(Dur::MAX) => h,
         _ => target,
     }
 }
@@ -200,6 +212,18 @@ mod tests {
                 Task::new("tau3", Dur::from_us(100), Dur::from_us(40)),
             ],
         )
+    }
+
+    /// Shadows `super::run` for the (valid-input) tests below, which all
+    /// expect a report, not a `Result`.
+    fn run(
+        ts: &TaskSet,
+        cpu: &CpuSpec,
+        kind: PolicyKind,
+        exec: &dyn ExecModel,
+        cfg: &SimConfig,
+    ) -> SimReport {
+        super::run(ts, cpu, kind, exec, cfg).unwrap()
     }
 
     #[test]

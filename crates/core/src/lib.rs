@@ -1,3 +1,11 @@
+// The library boundary is panic-free: untrusted input must surface as a
+// typed error (`lpfps_kernel::SimError`), never abort the process. Tests
+// and binaries may still unwrap freely.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 //! # lpfps
 //!
 //! A faithful, tested reproduction of **Low Power Fixed Priority
@@ -45,8 +53,8 @@
 //! ]);
 //! let cpu = CpuSpec::arm8();
 //! let cfg = SimConfig::new(default_horizon(&ts));
-//! let fps = run(&ts, &cpu, PolicyKind::Fps, &AlwaysWcet, &cfg);
-//! let lpfps = run(&ts, &cpu, PolicyKind::Lpfps, &AlwaysWcet, &cfg);
+//! let fps = run(&ts, &cpu, PolicyKind::Fps, &AlwaysWcet, &cfg).unwrap();
+//! let lpfps = run(&ts, &cpu, PolicyKind::Lpfps, &AlwaysWcet, &cfg).unwrap();
 //! assert!(lpfps.all_deadlines_met());
 //! assert!(power_reduction(&fps, &lpfps) > 0.0);
 //! ```

@@ -276,9 +276,12 @@ impl<D: Discipline> PowerPolicy<D> for LpfpsPolicy {
                     return PowerDirective::FullSpeed;
                 };
                 // Sleeping must actually beat spinning the NOP loop.
-                let sleep_energy = modes[mode]
-                    .window_energy(window, reference)
-                    .expect("selected mode fits the window");
+                // `best_mode_for` only returns modes that fit the window,
+                // so `window_energy` is `Some` here; staying awake is the
+                // safe answer if that ever stops holding.
+                let Some(sleep_energy) = modes[mode].window_energy(window, reference) else {
+                    return PowerDirective::FullSpeed;
+                };
                 if sleep_energy >= ctx.cpu.power().idle_nop() * window.as_secs_f64() {
                     return PowerDirective::FullSpeed;
                 }

@@ -86,19 +86,22 @@ impl PowerPolicy for RatioLogger {
     fn decide(&mut self, ctx: &SchedulerContext<'_>) -> PowerDirective {
         let directive = self.inner.decide(ctx);
         if let PowerDirective::SlowDown { freq, .. } = directive {
-            let active = ctx.active.expect("a slow-down implies an active task");
-            let (remaining, window) = self
-                .inner
-                .slowdown_budget(ctx, &active)
-                .expect("a slow-down implies exploitable slack");
-            self.samples.push(RatioSample {
-                now: ctx.now,
-                remaining,
-                window,
-                r_heu: r_heu(remaining, window),
-                r_opt: r_opt_trapezoid(remaining, window, ctx.cpu.ramp_rate_per_us()),
-                freq,
-            });
+            // A slow-down implies an active task with exploitable slack;
+            // if either ever fails to hold, drop the sample rather than
+            // abort the simulation — the log is diagnostic, not load-
+            // bearing.
+            if let Some(active) = ctx.active {
+                if let Some((remaining, window)) = self.inner.slowdown_budget(ctx, &active) {
+                    self.samples.push(RatioSample {
+                        now: ctx.now,
+                        remaining,
+                        window,
+                        r_heu: r_heu(remaining, window),
+                        r_opt: r_opt_trapezoid(remaining, window, ctx.cpu.ramp_rate_per_us()),
+                        freq,
+                    });
+                }
+            }
         }
         directive
     }
@@ -129,9 +132,9 @@ mod tests {
         let ts = table1();
         let cpu = CpuSpec::arm8();
         let cfg = SimConfig::new(Dur::from_ms(2));
-        let plain = simulate(&ts, &cpu, &mut LpfpsPolicy::new(), &AlwaysWcet, &cfg);
+        let plain = simulate(&ts, &cpu, &mut LpfpsPolicy::new(), &AlwaysWcet, &cfg).unwrap();
         let mut logger = RatioLogger::new(LpfpsPolicy::new());
-        let logged = simulate(&ts, &cpu, &mut logger, &AlwaysWcet, &cfg);
+        let logged = simulate(&ts, &cpu, &mut logger, &AlwaysWcet, &cfg).unwrap();
         assert_eq!(plain.counters, logged.counters);
         assert_eq!(plain.energy.total_energy(), logged.energy.total_energy());
         assert!(!logger.samples().is_empty(), "table1 must exercise DVS");
@@ -150,7 +153,8 @@ mod tests {
             &mut logger,
             &AlwaysWcet,
             &SimConfig::new(Dur::from_ms(2)),
-        );
+        )
+        .unwrap();
         for s in logger.samples() {
             assert!(s.r_heu > 0.0 && s.r_heu <= 1.0, "ratio in (0, 1]: {s:?}");
         }

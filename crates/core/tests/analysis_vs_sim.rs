@@ -24,7 +24,7 @@ fn simulated_responses_never_exceed_rta_bounds() {
         let cfg = SimConfig::new(horizon_for(&ts));
         // At WCET, under every policy (LPFPS must not stretch past bounds).
         for policy in [PolicyKind::Fps, PolicyKind::Lpfps, PolicyKind::LpfpsOptimal] {
-            let report = run(&ts, &cpu, policy, &AlwaysWcet, &cfg);
+            let report = run(&ts, &cpu, policy, &AlwaysWcet, &cfg).unwrap();
             let rta = response_times(&ts, &RtaConfig::default());
             for (i, stats) in report.responses.iter().enumerate() {
                 if stats.completed == 0 {
@@ -64,7 +64,7 @@ fn critical_instant_attains_the_rta_bound() {
     let cpu = CpuSpec::arm8();
     for ts in applications().into_iter().chain([table1()]) {
         let cfg = SimConfig::new(horizon_for(&ts));
-        let report = run(&ts, &cpu, PolicyKind::Fps, &AlwaysWcet, &cfg);
+        let report = run(&ts, &cpu, PolicyKind::Fps, &AlwaysWcet, &cfg).unwrap();
         let rta = response_times(&ts, &RtaConfig::default());
         for (i, stats) in report.responses.iter().enumerate() {
             let bound = rta[i].response().expect("schedulable");
@@ -86,7 +86,7 @@ fn fps_busy_time_matches_utilization_at_wcet() {
     let ts = table1();
     let hyper = lpfps_tasks::analysis::hyperperiod(&ts).unwrap();
     let cfg = SimConfig::new(hyper * 5);
-    let report = run(&ts, &cpu, PolicyKind::Fps, &AlwaysWcet, &cfg);
+    let report = run(&ts, &cpu, PolicyKind::Fps, &AlwaysWcet, &cfg).unwrap();
     let expected: Dur = ts
         .iter()
         .map(|(_, t, _)| t.wcet() * ((hyper * 5) / t.period()))
@@ -134,14 +134,16 @@ fn lpfps_never_lowers_throughput() {
             PolicyKind::Fps,
             &lpfps_tasks::exec::PaperGaussian,
             &cfg,
-        );
+        )
+        .unwrap();
         let lp = run(
             &ts,
             &cpu,
             PolicyKind::Lpfps,
             &lpfps_tasks::exec::PaperGaussian,
             &cfg,
-        );
+        )
+        .unwrap();
         assert_eq!(fps.counters.releases, lp.counters.releases, "{}", ts.name());
         // Completions can differ by the handful of jobs in flight at the
         // horizon (LPFPS stretches them), never by more than the task count.

@@ -34,7 +34,7 @@ proptest! {
         prop_assume!(ts.utilization() <= 1.0);
 
         let sim = SimConfig::new(Dur::from_ms(100));
-        let report = run(&ts, &CpuSpec::arm8(), PolicyKind::Edf, &AlwaysWcet, &sim);
+        let report = run(&ts, &CpuSpec::arm8(), PolicyKind::Edf, &AlwaysWcet, &sim).unwrap();
         prop_assert_eq!(report.discipline, "edf");
         prop_assert!(
             report.all_deadlines_met(),
@@ -62,8 +62,8 @@ proptest! {
         let sim = SimConfig::new(Dur::from_ms(50)).with_seed(sim_seed);
         let cpu = CpuSpec::arm8();
 
-        let fps = run(&ts, &cpu, PolicyKind::Fps, &PaperGaussian, &sim);
-        let edf = run(&ts, &cpu, PolicyKind::Edf, &PaperGaussian, &sim);
+        let fps = run(&ts, &cpu, PolicyKind::Fps, &PaperGaussian, &sim).unwrap();
+        let edf = run(&ts, &cpu, PolicyKind::Edf, &PaperGaussian, &sim).unwrap();
         prop_assert!(
             (fps.average_power() - edf.average_power()).abs() < 1e-9,
             "fps={} edf={}",

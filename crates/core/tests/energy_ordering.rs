@@ -23,7 +23,11 @@ fn policy_family_is_energy_ordered_on_all_workloads() {
     for ts in applications() {
         let ts = ts.with_bcet_fraction(0.5);
         let cfg = SimConfig::new(horizon_for(&ts)).with_seed(2);
-        let p = |k: PolicyKind| run(&ts, &cpu, k, &PaperGaussian, &cfg).average_power();
+        let p = |k: PolicyKind| {
+            run(&ts, &cpu, k, &PaperGaussian, &cfg)
+                .unwrap()
+                .average_power()
+        };
         let fps = p(PolicyKind::Fps);
         let pd = p(PolicyKind::FpsPd);
         let dvs = p(PolicyKind::LpfpsDvsOnly);
@@ -51,8 +55,8 @@ fn reduction_grows_monotonically_as_bcet_shrinks() {
         for frac in [0.2, 0.5, 0.8] {
             let scaled = ts.with_bcet_fraction(frac);
             let cfg = SimConfig::new(horizon).with_seed(4);
-            let fps = run(&scaled, &cpu, PolicyKind::Fps, &PaperGaussian, &cfg);
-            let lp = run(&scaled, &cpu, PolicyKind::Lpfps, &PaperGaussian, &cfg);
+            let fps = run(&scaled, &cpu, PolicyKind::Fps, &PaperGaussian, &cfg).unwrap();
+            let lp = run(&scaled, &cpu, PolicyKind::Lpfps, &PaperGaussian, &cfg).unwrap();
             let red = power_reduction(&fps, &lp);
             assert!(
                 red < last + 0.02,
@@ -70,8 +74,8 @@ fn reports_are_bitwise_reproducible() {
     for ts in applications() {
         let ts = ts.with_bcet_fraction(0.3);
         let cfg = SimConfig::new(horizon_for(&ts)).with_seed(17);
-        let a = run(&ts, &cpu, PolicyKind::Lpfps, &PaperGaussian, &cfg);
-        let b = run(&ts, &cpu, PolicyKind::Lpfps, &PaperGaussian, &cfg);
+        let a = run(&ts, &cpu, PolicyKind::Lpfps, &PaperGaussian, &cfg).unwrap();
+        let b = run(&ts, &cpu, PolicyKind::Lpfps, &PaperGaussian, &cfg).unwrap();
         assert_eq!(
             a.energy.total_energy().to_bits(),
             b.energy.total_energy().to_bits()
@@ -100,8 +104,8 @@ proptest! {
         prop_assume!(rta_schedulable(&ts));
         let cpu = CpuSpec::arm8();
         let cfg = SimConfig::new(Dur::from_ms(150)).with_seed(seed);
-        let fps = run(&ts, &cpu, PolicyKind::Fps, &PaperGaussian, &cfg);
-        let lp = run(&ts, &cpu, PolicyKind::Lpfps, &PaperGaussian, &cfg);
+        let fps = run(&ts, &cpu, PolicyKind::Fps, &PaperGaussian, &cfg).unwrap();
+        let lp = run(&ts, &cpu, PolicyKind::Lpfps, &PaperGaussian, &cfg).unwrap();
         prop_assert!(lp.all_deadlines_met(), "misses: {:?}", lp.misses);
         prop_assert!(
             lp.average_power() <= fps.average_power() * 1.001,

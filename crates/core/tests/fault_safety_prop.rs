@@ -77,7 +77,7 @@ proptest! {
 
         let mut policy = LpfpsPolicy::with_watchdog(PolicyKind::DEFAULT_WATCHDOG_COOLDOWN)
             .with_overrun_margin(CLAMP);
-        let wd = simulate(&ts, &CpuSpec::arm8(), &mut policy, &AlwaysWcet, &sim);
+        let wd = simulate(&ts, &CpuSpec::arm8(), &mut policy, &AlwaysWcet, &sim).unwrap();
         prop_assert!(
             wd.all_deadlines_met(),
             "watchdog missed {:?} on {ts} (overruns={}, degradations={})",
@@ -108,8 +108,8 @@ proptest! {
             .with_overrun(OverrunFault::clamped(prob_pct as f64 / 100.0, 0.5, CLAMP));
         let sim = SimConfig::new(Dur::from_ms(50)).with_faults(faults);
         let cpu = CpuSpec::arm8();
-        let fps = run(&ts, &cpu, PolicyKind::Fps, &AlwaysWcet, &sim);
-        let wd = run(&ts, &cpu, PolicyKind::LpfpsWatchdog, &AlwaysWcet, &sim);
+        let fps = run(&ts, &cpu, PolicyKind::Fps, &AlwaysWcet, &sim).unwrap();
+        let wd = run(&ts, &cpu, PolicyKind::LpfpsWatchdog, &AlwaysWcet, &sim).unwrap();
         // Same releases, same jobs, same coin flips — the overrun count
         // cannot depend on how the policy scheduled them.
         prop_assert_eq!(fps.counters.overruns, wd.counters.overruns);

@@ -26,7 +26,7 @@ fn check_all(ts: &TaskSet) {
             for seed in [0u64, 1] {
                 let scaled = ts.with_bcet_fraction(frac);
                 let cfg = SimConfig::new(horizon).with_seed(seed);
-                let report = run(&scaled, &cpu, policy, &PaperGaussian, &cfg);
+                let report = run(&scaled, &cpu, policy, &PaperGaussian, &cfg).unwrap();
                 assert!(
                     report.all_deadlines_met(),
                     "{} / {policy} / frac {frac} / seed {seed}: {:?}",
@@ -74,28 +74,28 @@ fn alternative_execution_models_are_safe_too() {
         let horizon = test_horizon(&ts);
         let cfg = SimConfig::new(horizon).with_seed(9);
         for policy in [PolicyKind::Lpfps, PolicyKind::LpfpsOptimal] {
-            let uni = run(&ts, &cpu, policy, &UniformBetween, &cfg);
+            let uni = run(&ts, &cpu, policy, &UniformBetween, &cfg).unwrap();
             assert!(
                 uni.all_deadlines_met(),
                 "{} uniform: {:?}",
                 ts.name(),
                 uni.misses
             );
-            let bi = run(&ts, &cpu, policy, &Bimodal::new(0.1), &cfg);
+            let bi = run(&ts, &cpu, policy, &Bimodal::new(0.1), &cfg).unwrap();
             assert!(
                 bi.all_deadlines_met(),
                 "{} bimodal: {:?}",
                 ts.name(),
                 bi.misses
             );
-            let wcet = run(&ts, &cpu, policy, &AlwaysWcet, &cfg);
+            let wcet = run(&ts, &cpu, policy, &AlwaysWcet, &cfg).unwrap();
             assert!(
                 wcet.all_deadlines_met(),
                 "{} wcet: {:?}",
                 ts.name(),
                 wcet.misses
             );
-            let cyc = run(&ts, &cpu, policy, &Cyclic::new(12, 0.3), &cfg);
+            let cyc = run(&ts, &cpu, policy, &Cyclic::new(12, 0.3), &cfg).unwrap();
             assert!(
                 cyc.all_deadlines_met(),
                 "{} cyclic: {:?}",
@@ -124,7 +124,7 @@ fn phase_shifted_releases_are_safe() {
     let ts = TaskSet::rate_monotonic("table1-phased", tasks).with_bcet_fraction(0.3);
     let cfg = SimConfig::new(Dur::from_ms(4)).with_seed(3);
     for policy in PolicyKind::ALL {
-        let report = run(&ts, &cpu, policy, &PaperGaussian, &cfg);
+        let report = run(&ts, &cpu, policy, &PaperGaussian, &cfg).unwrap();
         assert!(
             report.all_deadlines_met(),
             "{policy} with phases: {:?}",

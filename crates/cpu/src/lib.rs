@@ -1,3 +1,11 @@
+// The library boundary is panic-free: untrusted input must surface as a
+// typed error (`error::CpuSpecError`), never abort the process. Tests and
+// binaries may still unwrap freely.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 //! # lpfps-cpu
 //!
 //! The DVS processor and CMOS power model for the reproduction of *Power
@@ -37,6 +45,7 @@
 //! ```
 
 pub mod energy;
+pub mod error;
 pub mod ladder;
 pub mod modes;
 pub mod power;
@@ -46,6 +55,7 @@ pub mod state;
 pub mod vf;
 
 pub use energy::EnergyMeter;
+pub use error::{validate_cpu_spec, CpuSpecError};
 pub use ladder::FrequencyLadder;
 pub use modes::{best_mode_for, SleepMode};
 pub use power::PowerModel;

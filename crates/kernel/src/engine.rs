@@ -25,17 +25,20 @@
 //! bit-reproducible.
 
 use crate::discipline::{Discipline, EdfKey, FixedPriority};
+use crate::error::{BudgetKind, PartialDiagnostic, SimError};
 use crate::policy::{ActiveView, FaultEvent, PowerDirective, PowerPolicy, SchedulerContext};
 use crate::queues::{DelayQueue, RunQueue};
 use crate::report::{Counters, DeadlineMiss, ResponseStats, SimReport};
 use crate::stats::{IntervalStats, ResponseHistogram};
 use crate::trace::{Trace, TraceEvent};
+use lpfps_cpu::error::validate_cpu_spec;
 use lpfps_cpu::ramp::Ramp;
 use lpfps_cpu::spec::CpuSpec;
 use lpfps_cpu::state::CpuState;
 use lpfps_cpu::EnergyMeter;
 use lpfps_faults::FaultConfig;
 use lpfps_tasks::cycles::Cycles;
+use lpfps_tasks::error::{validate_task_set, MAX_TIME_PARAM};
 use lpfps_tasks::exec::ExecModel;
 use lpfps_tasks::freq::Freq;
 use lpfps_tasks::task::TaskId;
@@ -87,6 +90,21 @@ pub struct SimConfig {
     /// cache-coherence bug with a first-divergence diagnostic; never set
     /// it outside tests.
     pub inject_stale_dispatch_cache: bool,
+    /// Cooperative budget on decision points (events): when the count
+    /// exceeds the limit the run stops with
+    /// [`SimError::BudgetExhausted`](crate::error::SimError) carrying
+    /// partial progress, instead of grinding on. `None` (the default) is
+    /// unbounded and reproduces all committed results exactly.
+    pub max_events: Option<u64>,
+    /// Cooperative budget on energy segments (non-empty advances between
+    /// decision points); `None` (the default) is unbounded.
+    pub max_segments: Option<u64>,
+    /// Cooperative budget on host wall-clock time, sampled every 65 536
+    /// events so the `Instant` reads cannot dominate short runs; `None`
+    /// (the default) is unbounded. The check never influences scheduling —
+    /// it only decides whether the run is allowed to continue — so
+    /// reports from runs that finish stay bit-reproducible.
+    pub wall_budget: Option<std::time::Duration>,
 }
 
 impl SimConfig {
@@ -102,7 +120,27 @@ impl SimConfig {
             faults: FaultConfig::none(),
             force_event_recompute: false,
             inject_stale_dispatch_cache: false,
+            max_events: None,
+            max_segments: None,
+            wall_budget: None,
         }
+    }
+
+    /// Validates the configuration, returning it unchanged on success.
+    ///
+    /// The same checks run at the head of every `simulate*` call;
+    /// validating eagerly just surfaces the error where the config is
+    /// built.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`](crate::error::SimError) for a zero
+    /// horizon or zero tick;
+    /// [`SimError::TimeOverflow`](crate::error::SimError) for a horizon
+    /// beyond [`MAX_TIME_PARAM`].
+    pub fn validated(self) -> Result<Self, SimError> {
+        validate_sim_config(&self)?;
+        Ok(self)
     }
 
     /// Sets the execution-time seed.
@@ -162,6 +200,49 @@ impl SimConfig {
         self.inject_stale_dispatch_cache = true;
         self
     }
+
+    /// Caps the number of decision points (see [`SimConfig::max_events`]).
+    pub fn with_max_events(mut self, limit: u64) -> Self {
+        self.max_events = Some(limit);
+        self
+    }
+
+    /// Caps the number of energy segments (see
+    /// [`SimConfig::max_segments`]).
+    pub fn with_max_segments(mut self, limit: u64) -> Self {
+        self.max_segments = Some(limit);
+        self
+    }
+
+    /// Caps host wall-clock time (see [`SimConfig::wall_budget`]).
+    pub fn with_wall_budget(mut self, budget: std::time::Duration) -> Self {
+        self.wall_budget = Some(budget);
+        self
+    }
+}
+
+/// The boundary checks shared by [`SimConfig::validated`] and every
+/// `simulate*` entry point (public so the reference oracle applies the
+/// byte-identical checks, keeping error paths diffable field for field).
+pub fn validate_sim_config(cfg: &SimConfig) -> Result<(), SimError> {
+    if cfg.horizon.is_zero() {
+        return Err(SimError::InvalidConfig {
+            reason: "simulation horizon must be positive".to_string(),
+        });
+    }
+    if cfg.horizon > MAX_TIME_PARAM {
+        return Err(SimError::TimeOverflow {
+            what: "simulation horizon",
+        });
+    }
+    if let Some(tick) = cfg.tick {
+        if tick.is_zero() {
+            return Err(SimError::InvalidConfig {
+                reason: "a tick-driven kernel needs a positive tick".to_string(),
+            });
+        }
+    }
+    Ok(())
 }
 
 /// One live (released, unfinished) job.
@@ -259,6 +340,11 @@ struct Engine<'a, D: Discipline> {
     /// advance within one segment, and was previously recomputed twice per
     /// advance (energy metering + per-task attribution).
     power_memo: Option<(CpuState, f64)>,
+    /// Energy segments integrated so far. Engine-local on purpose: it
+    /// backs the `max_segments` budget and the partial diagnostics, and
+    /// must *not* live in [`Counters`] (which is serialized into every
+    /// report and would perturb the committed result fingerprints).
+    segments_done: u64,
 }
 
 /// Reusable simulation buffers, for callers that run many simulations in
@@ -295,8 +381,8 @@ struct Engine<'a, D: Discipline> {
 /// let cpu = CpuSpec::arm8();
 /// let cfg = SimConfig::new(Dur::from_us(400));
 /// let mut ws = SimWorkspace::new();
-/// let a = simulate_in(&ts, &cpu, &mut AlwaysFullSpeed, &AlwaysWcet, &cfg, &mut ws);
-/// let b = simulate_in(&ts, &cpu, &mut AlwaysFullSpeed, &AlwaysWcet, &cfg, &mut ws);
+/// let a = simulate_in(&ts, &cpu, &mut AlwaysFullSpeed, &AlwaysWcet, &cfg, &mut ws).unwrap();
+/// let b = simulate_in(&ts, &cpu, &mut AlwaysFullSpeed, &AlwaysWcet, &cfg, &mut ws).unwrap();
 /// assert_eq!(a.counters, b.counters);
 /// ```
 #[derive(Debug, Default)]
@@ -324,8 +410,12 @@ fn quantize_to_tick(arrival: Time, tick: Option<Dur>) -> Time {
     match tick {
         None => arrival,
         Some(t) => {
+            // Saturates instead of overflowing: a release quantized past
+            // `Time::MAX` can only come from an (unbounded) injected
+            // jitter, and a saturated instant simply never comes due
+            // within any horizon.
             let ticks = arrival.as_ns().div_ceil(t.as_ns());
-            Time::from_ns(ticks * t.as_ns())
+            Time::from_ns(ticks.saturating_mul(t.as_ns()))
         }
     }
 }
@@ -336,7 +426,8 @@ fn quantize_to_tick(arrival: Time, tick: Option<Dur>) -> Time {
 /// true arrival.
 fn noticed_release(cfg: &SimConfig, tid: TaskId, job_index: u64, arrival: Time) -> Time {
     let jittered = match &cfg.faults.release_jitter {
-        Some(j) => arrival + j.delay(cfg.seed, cfg.faults.seed, tid.0, job_index),
+        // Saturating: the jitter bound is caller-controlled and unbounded.
+        Some(j) => arrival.saturating_add(j.delay(cfg.seed, cfg.faults.seed, tid.0, job_index)),
         None => arrival,
     };
     quantize_to_tick(jittered, cfg.tick)
@@ -345,19 +436,25 @@ fn noticed_release(cfg: &SimConfig, tid: TaskId, job_index: u64, arrival: Time) 
 /// Runs one simulation of `ts` on `cpu` under `policy`, with realized
 /// execution times drawn from `exec`.
 ///
-/// # Panics
+/// Deadline misses are **not** errors; they are recorded in the report so
+/// experiments can observe unschedulable configurations.
 ///
-/// Panics if the horizon is zero, or if the policy issues an illegal
-/// directive (power-down with runnable work, a slow-down frequency outside
-/// the ladder, ...). Deadline misses do **not** panic; they are recorded
-/// in the report so experiments can observe unschedulable configurations.
+/// # Errors
+///
+/// [`SimError`] if the inputs fail boundary validation (zero horizon,
+/// malformed task set or processor spec — both can arrive unvalidated via
+/// `Deserialize`), if a configured resource budget runs out, or if the
+/// policy issues an illegal directive (power-down with runnable work, a
+/// slow-down frequency outside the ladder, ...). On valid inputs with no
+/// budgets the run is infallible in practice and byte-identical to the
+/// pre-taxonomy engine.
 pub fn simulate(
     ts: &TaskSet,
     cpu: &CpuSpec,
     policy: &mut dyn PowerPolicy,
     exec: &dyn ExecModel,
     cfg: &SimConfig,
-) -> SimReport {
+) -> Result<SimReport, SimError> {
     simulate_in(ts, cpu, policy, exec, cfg, &mut SimWorkspace::new())
 }
 
@@ -366,9 +463,10 @@ pub fn simulate(
 /// bookkeeping allocations are recycled from `ws` and returned to it
 /// afterwards — the per-worker fast path of sweep runners.
 ///
-/// # Panics
+/// # Errors
 ///
-/// As [`simulate`].
+/// As [`simulate`]. The buffers return to `ws` on the error path too, so
+/// a failing cell costs a sweep worker nothing on the next cell.
 pub fn simulate_in(
     ts: &TaskSet,
     cpu: &CpuSpec,
@@ -376,7 +474,7 @@ pub fn simulate_in(
     exec: &dyn ExecModel,
     cfg: &SimConfig,
     ws: &mut SimWorkspace,
-) -> SimReport {
+) -> Result<SimReport, SimError> {
     simulate_in_for::<FixedPriority>(ts, cpu, policy, exec, cfg, ws)
 }
 
@@ -385,7 +483,7 @@ pub fn simulate_in(
 /// order and preemption decided by `D`. `simulate`/`simulate_in` are the
 /// fixed-priority specialization.
 ///
-/// # Panics
+/// # Errors
 ///
 /// As [`simulate`].
 pub fn simulate_in_for<D: Discipline>(
@@ -395,14 +493,24 @@ pub fn simulate_in_for<D: Discipline>(
     exec: &dyn ExecModel,
     cfg: &SimConfig,
     ws: &mut SimWorkspace,
-) -> SimReport {
-    assert!(
-        !cfg.horizon.is_zero(),
-        "simulation horizon must be positive"
-    );
+) -> Result<SimReport, SimError> {
+    // Boundary validation: `TaskSet` and `CpuSpec` implement
+    // `Deserialize`, so malformed values can exist without any
+    // constructor assert having fired. After these checks every time
+    // parameter is at most `u64::MAX / 4` ns, which makes the engine's
+    // remaining raw time arithmetic provably overflow-free (any sum of
+    // two in-range quantities fits in `u64::MAX / 2`).
+    validate_sim_config(cfg)?;
+    validate_task_set(ts)?;
+    validate_cpu_spec(cpu)?;
     let mut engine = Engine::<D>::new(ts, cpu, exec, cfg, ws);
-    engine.run(policy);
-    engine.into_report(policy.name(), ws)
+    match engine.run(policy) {
+        Ok(()) => Ok(engine.into_report(policy.name(), ws)),
+        Err(e) => {
+            engine.restore_workspace(ws);
+            Err(e)
+        }
+    }
 }
 
 impl<'a, D: Discipline> Engine<'a, D> {
@@ -468,10 +576,12 @@ impl<'a, D: Discipline> Engine<'a, D> {
             due_scratch,
             event_cache: None,
             power_memo: None,
+            segments_done: 0,
         }
     }
 
-    fn run(&mut self, policy: &mut dyn PowerPolicy<D>) {
+    fn run(&mut self, policy: &mut dyn PowerPolicy<D>) -> Result<(), SimError> {
+        let wall_start = self.cfg.wall_budget.map(|_| std::time::Instant::now());
         loop {
             let t_next = self.next_event_time().min(self.horizon_end);
             self.advance_to(t_next);
@@ -479,7 +589,8 @@ impl<'a, D: Discipline> Engine<'a, D> {
                 break;
             }
             self.counters.events += 1;
-            self.handle_events(policy);
+            self.check_budgets(wall_start)?;
+            self.handle_events(policy)?;
         }
         if let Some(start) = self.gap_start.take() {
             self.idle_gaps
@@ -491,6 +602,45 @@ impl<'a, D: Discipline> Engine<'a, D> {
             self.cfg.horizon,
             "energy residency must cover the whole horizon"
         );
+        Ok(())
+    }
+
+    /// Cooperative resource budgets, checked once per decision point: a
+    /// pathological (but valid) configuration surfaces as a typed error
+    /// with partial progress attached instead of an unbounded loop.
+    fn check_budgets(&self, wall_start: Option<std::time::Instant>) -> Result<(), SimError> {
+        if let Some(limit) = self.cfg.max_events {
+            if self.counters.events > limit {
+                return Err(self.budget_exhausted(BudgetKind::Events, limit));
+            }
+        }
+        if let Some(limit) = self.cfg.max_segments {
+            if self.segments_done > limit {
+                return Err(self.budget_exhausted(BudgetKind::Segments, limit));
+            }
+        }
+        if let (Some(budget), Some(start)) = (self.cfg.wall_budget, wall_start) {
+            // Reading an `Instant` per decision point would dominate short
+            // runs; sample the clock every 65 536 events.
+            if self.counters.events & 0xFFFF == 0 && start.elapsed() > budget {
+                return Err(self.budget_exhausted(BudgetKind::WallClock, budget.as_millis() as u64));
+            }
+        }
+        Ok(())
+    }
+
+    fn budget_exhausted(&self, budget: BudgetKind, limit: u64) -> SimError {
+        SimError::BudgetExhausted {
+            budget,
+            limit,
+            diagnostic: PartialDiagnostic {
+                sim_time: self.now,
+                events: self.counters.events,
+                segments: self.segments_done,
+                completions: self.counters.completions,
+                deadline_misses: self.misses.len(),
+            },
+        }
     }
 
     // ----- event timing ---------------------------------------------------
@@ -588,13 +738,16 @@ impl<'a, D: Discipline> Engine<'a, D> {
             return Some(self.now);
         }
         let reference = self.cpu.reference_freq();
+        // Saturating adds: `time_at`/`time_to_retire` saturate to "never"
+        // (`Dur::MAX`) on degenerate inputs, and a candidate clamped at
+        // `Time::MAX` is equally "never" once min'd with the horizon.
         match self.mode {
-            ProcMode::Settled(f) => Some(self.now + total.time_at(f)),
+            ProcMode::Settled(f) => Some(self.now.saturating_add(total.time_at(f))),
             ProcMode::Ramping { ramp, started, .. } => {
                 let off = self.now.saturating_since(started);
                 let done = ramp.work_by(off, reference);
                 ramp.time_to_retire(done + total, reference)
-                    .map(|t_off| started + t_off)
+                    .map(|t_off| started.saturating_add(t_off))
             }
             ProcMode::PowerDown { .. } | ProcMode::WakingUp { .. } => None,
         }
@@ -661,6 +814,7 @@ impl<'a, D: Discipline> Engine<'a, D> {
         }
         let state = self.current_cpu_state();
         let power = self.state_power_memo(state);
+        self.segments_done += 1;
         self.meter.accumulate_with_power(state, power, dur);
         // Stamped at the segment *start* (`self.now` is still the old
         // instant here): consecutive segments tile the horizon exactly,
@@ -709,7 +863,7 @@ impl<'a, D: Discipline> Engine<'a, D> {
 
     // ----- event handling ---------------------------------------------------
 
-    fn handle_events(&mut self, policy: &mut dyn PowerPolicy<D>) {
+    fn handle_events(&mut self, policy: &mut dyn PowerPolicy<D>) -> Result<(), SimError> {
         let mut need_sched = false;
 
         // Ramp settles.
@@ -738,7 +892,8 @@ impl<'a, D: Discipline> Engine<'a, D> {
                     );
                 }
                 self.mode = ProcMode::WakingUp {
-                    until: self.now + delay,
+                    // Saturating: injected wake-up jitter is unbounded.
+                    until: self.now.saturating_add(delay),
                 };
                 self.invalidate_event_cache();
                 self.push_trace(TraceEvent::Wakeup);
@@ -787,7 +942,7 @@ impl<'a, D: Discipline> Engine<'a, D> {
         // Completion of the active job.
         if let Some(total) = self.frontier_work() {
             if total.is_zero() {
-                self.complete_active();
+                self.complete_active()?;
                 need_sched = true;
             }
         }
@@ -842,9 +997,10 @@ impl<'a, D: Discipline> Engine<'a, D> {
         }
 
         if need_sched {
-            self.scheduler_step(policy);
+            self.scheduler_step(policy)?;
         }
         self.track_idle_gap();
+        Ok(())
     }
 
     /// Opens/closes the "no task runnable" gap around the current instant.
@@ -889,10 +1045,14 @@ impl<'a, D: Discipline> Engine<'a, D> {
                 self.counters.overruns += 1;
             }
         }
+        // Overflow-free: the job spawned because its release came due, so
+        // `arrival < horizon_end`, and every validated time parameter is
+        // at most `u64::MAX / 4` ns.
+        let deadline = arrival + task.deadline();
         rt.job = Some(LiveJob {
             index,
             release: arrival,
-            deadline: arrival + task.deadline(),
+            deadline,
             realized_remaining: demand,
             wcet_remaining: wcet,
             budget_exceeded: false,
@@ -904,20 +1064,23 @@ impl<'a, D: Discipline> Engine<'a, D> {
             task: tid,
             job: index,
         });
-        let key = self.key_of(tid);
-        debug_assert_eq!(key, D::key(prio, arrival + task.deadline(), tid));
-        self.run_q.insert(tid, key);
+        self.run_q.insert(tid, D::key(prio, deadline, tid));
     }
 
-    fn complete_active(&mut self) {
-        let tid = self
-            .active
-            .take()
-            .expect("completion without an active task");
+    fn complete_active(&mut self) -> Result<(), SimError> {
+        let Some(tid) = self.active.take() else {
+            return Err(SimError::InternalInvariant {
+                what: "completion without an active task",
+            });
+        };
         self.invalidate_event_cache();
         let prio = self.ts.priority(tid);
         let rt = &mut self.tasks[tid.0];
-        let job = rt.job.take().expect("active task must hold a live job");
+        let Some(job) = rt.job.take() else {
+            return Err(SimError::InternalInvariant {
+                what: "active task must hold a live job",
+            });
+        };
         let response = self.now.saturating_since(job.release);
         let met = self.now <= job.deadline;
         self.responses[tid.0].record(response);
@@ -944,11 +1107,12 @@ impl<'a, D: Discipline> Engine<'a, D> {
             prio,
             noticed_release(self.cfg, tid, next_index, next_arrival),
         );
+        Ok(())
     }
 
     // ----- the scheduler ----------------------------------------------------
 
-    fn scheduler_step(&mut self, policy: &mut dyn PowerPolicy<D>) {
+    fn scheduler_step(&mut self, policy: &mut dyn PowerPolicy<D>) -> Result<(), SimError> {
         let full = self.cpu.full_freq();
         match self.mode {
             ProcMode::Settled(f) if f == full => self.full_pass(policy),
@@ -956,7 +1120,7 @@ impl<'a, D: Discipline> Engine<'a, D> {
             // voltage to the maximum first; the pass re-runs when settled.
             ProcMode::Settled(f) => {
                 let r = f.ratio_to(self.cpu.reference_freq());
-                self.begin_ramp_from_ratio(r, full, policy);
+                self.begin_ramp_from_ratio(r, full, policy)
             }
             ProcMode::Ramping {
                 ramp,
@@ -966,40 +1130,47 @@ impl<'a, D: Discipline> Engine<'a, D> {
             } => {
                 if target != full {
                     let r_now = ramp.ratio_at(self.now.saturating_since(started));
-                    self.begin_ramp_from_ratio(r_now, full, policy);
+                    self.begin_ramp_from_ratio(r_now, full, policy)
+                } else {
+                    // Already heading to full: the pass runs at ramp end.
+                    Ok(())
                 }
-                // Already heading to full: the pass runs at ramp end.
             }
             // The pass runs when the wake-up completes.
-            ProcMode::PowerDown { .. } | ProcMode::WakingUp { .. } => {}
+            ProcMode::PowerDown { .. } | ProcMode::WakingUp { .. } => Ok(()),
         }
     }
 
-    fn full_pass(&mut self, policy: &mut dyn PowerPolicy<D>) {
+    fn full_pass(&mut self, policy: &mut dyn PowerPolicy<D>) -> Result<(), SimError> {
         self.counters.sched_passes += 1;
         // L8-L11: preemption / dispatch, decided by the discipline. Under
         // `FixedPriority` this is exactly the paper's priority test.
         if let Some(head_key) = self.run_q.head_key() {
             let switch = match self.active {
                 None => true,
-                Some(cur) => D::preempts(head_key, self.key_of(cur)),
+                Some(cur) => D::preempts(head_key, self.key_of(cur)?),
             };
             if switch {
-                let next = self.run_q.pop().expect("head exists");
+                let Some(next) = self.run_q.pop() else {
+                    return Err(SimError::InternalInvariant {
+                        what: "run queue emptied between head peek and pop",
+                    });
+                };
                 if let Some(cur) = self.active.take() {
                     self.counters.preemptions += 1;
                     self.push_trace(TraceEvent::Preempt {
                         task: cur,
                         by: next,
                     });
-                    let cur_key = self.key_of(cur);
+                    let cur_key = self.key_of(cur)?;
                     self.run_q.insert(cur, cur_key);
                 }
-                let job_index = self.tasks[next.0]
-                    .job
-                    .as_ref()
-                    .expect("queued task holds a live job")
-                    .index;
+                let Some(job) = self.tasks[next.0].job.as_ref() else {
+                    return Err(SimError::InternalInvariant {
+                        what: "queued task holds a live job",
+                    });
+                };
+                let job_index = job.index;
                 self.counters.dispatches += 1;
                 self.push_trace(TraceEvent::Dispatch {
                     task: next,
@@ -1031,18 +1202,20 @@ impl<'a, D: Discipline> Engine<'a, D> {
             };
             policy.decide(&ctx)
         };
-        self.apply_directive(directive, policy);
+        self.apply_directive(directive, policy)?;
         self.note_idle_transition();
+        Ok(())
     }
 
     /// The discipline key of a task's live job (dispatchable tasks always
     /// hold one: a preempted task keeps its `LiveJob` in `TaskRt.job`).
-    fn key_of(&self, task: TaskId) -> D::Key {
-        let job = self.tasks[task.0]
-            .job
-            .as_ref()
-            .expect("a runnable task holds a live job");
-        D::key(self.ts.priority(task), job.deadline, task)
+    fn key_of(&self, task: TaskId) -> Result<D::Key, SimError> {
+        let Some(job) = self.tasks[task.0].job.as_ref() else {
+            return Err(SimError::InternalInvariant {
+                what: "a runnable task holds a live job",
+            });
+        };
+        Ok(D::key(self.ts.priority(task), job.deadline, task))
     }
 
     fn active_view(&self) -> Option<ActiveView> {
@@ -1056,54 +1229,82 @@ impl<'a, D: Discipline> Engine<'a, D> {
         })
     }
 
-    fn apply_directive(&mut self, directive: PowerDirective, policy: &mut dyn PowerPolicy<D>) {
+    /// Applies the policy's decision, refusing illegal directives with
+    /// [`SimError::InvalidDirective`]: policies are pluggable (and may act
+    /// on deserialized, hostile-adjacent state), so their directives are
+    /// checked like any other untrusted input.
+    fn apply_directive(
+        &mut self,
+        directive: PowerDirective,
+        policy: &mut dyn PowerPolicy<D>,
+    ) -> Result<(), SimError> {
         match directive {
-            PowerDirective::FullSpeed => {}
+            PowerDirective::FullSpeed => Ok(()),
             PowerDirective::PowerDown { wake_at, mode } => {
-                assert!(
-                    self.active.is_none() && self.run_q.is_empty(),
-                    "power-down requires an idle kernel (no active task, empty run queue)"
-                );
-                assert!(wake_at >= self.now, "wake-up timer must not be in the past");
-                assert!(
-                    mode < self.cpu.sleep_modes().len(),
-                    "sleep mode index out of range"
-                );
-                let head = self
-                    .delay_q
-                    .head_release()
-                    .expect("with all tasks waiting, the delay queue cannot be empty");
+                if self.active.is_some() || !self.run_q.is_empty() {
+                    return Err(SimError::InvalidDirective {
+                        reason: "power-down requires an idle kernel \
+                                 (no active task, empty run queue)",
+                    });
+                }
+                if wake_at < self.now {
+                    return Err(SimError::InvalidDirective {
+                        reason: "wake-up timer must not be in the past",
+                    });
+                }
+                if mode >= self.cpu.sleep_modes().len() {
+                    return Err(SimError::InvalidDirective {
+                        reason: "sleep mode index out of range",
+                    });
+                }
+                let Some(head) = self.delay_q.head_release() else {
+                    return Err(SimError::InternalInvariant {
+                        what: "with all tasks waiting, the delay queue cannot be empty",
+                    });
+                };
                 let delay = self.cpu.sleep_modes()[mode].wakeup_delay(self.cpu.reference_freq());
-                assert!(
-                    wake_at + delay <= head,
-                    "the processor must be awake before the next release"
-                );
+                // Checked: `wake_at` is policy-supplied and unbounded; an
+                // overflowing wake instant certainly misses the release.
+                if wake_at.checked_add(delay).is_none_or(|w| w > head) {
+                    return Err(SimError::InvalidDirective {
+                        reason: "the processor must be awake before the next release",
+                    });
+                }
                 self.mode = ProcMode::PowerDown { wake_at, mode };
                 self.invalidate_event_cache();
                 self.counters.power_downs += 1;
                 self.push_trace(TraceEvent::EnterPowerDown { wake_at });
+                Ok(())
             }
             PowerDirective::PowerDownAt { enter_at, wake_at } => {
-                assert!(
-                    self.active.is_none() && self.run_q.is_empty(),
-                    "timeout shutdown requires an idle kernel"
-                );
-                assert!(
-                    enter_at >= self.now,
-                    "shutdown timeout must not be in the past"
-                );
-                assert!(
-                    wake_at > enter_at,
-                    "wake-up must follow the shutdown instant"
-                );
-                let head = self
-                    .delay_q
-                    .head_release()
-                    .expect("with all tasks waiting, the delay queue cannot be empty");
-                assert!(
-                    wake_at + self.cpu.wakeup_delay() <= head,
-                    "the processor must be awake before the next release"
-                );
+                if self.active.is_some() || !self.run_q.is_empty() {
+                    return Err(SimError::InvalidDirective {
+                        reason: "timeout shutdown requires an idle kernel",
+                    });
+                }
+                if enter_at < self.now {
+                    return Err(SimError::InvalidDirective {
+                        reason: "shutdown timeout must not be in the past",
+                    });
+                }
+                if wake_at <= enter_at {
+                    return Err(SimError::InvalidDirective {
+                        reason: "wake-up must follow the shutdown instant",
+                    });
+                }
+                let Some(head) = self.delay_q.head_release() else {
+                    return Err(SimError::InternalInvariant {
+                        what: "with all tasks waiting, the delay queue cannot be empty",
+                    });
+                };
+                if wake_at
+                    .checked_add(self.cpu.wakeup_delay())
+                    .is_none_or(|w| w > head)
+                {
+                    return Err(SimError::InvalidDirective {
+                        reason: "the processor must be awake before the next release",
+                    });
+                }
                 if enter_at == self.now {
                     self.mode = ProcMode::PowerDown { wake_at, mode: 0 };
                     self.invalidate_event_cache();
@@ -1112,18 +1313,21 @@ impl<'a, D: Discipline> Engine<'a, D> {
                 } else {
                     self.pd_timer = Some((enter_at, wake_at));
                 }
+                Ok(())
             }
             PowerDirective::SlowDown { freq, speedup_at } => {
-                assert!(
-                    self.active.is_some() && self.run_q.is_empty(),
-                    "slow-down requires exactly the active task to be runnable"
-                );
-                assert!(
-                    self.cpu.ladder().contains(freq),
-                    "slow-down frequency must be a ladder level"
-                );
+                if self.active.is_none() || !self.run_q.is_empty() {
+                    return Err(SimError::InvalidDirective {
+                        reason: "slow-down requires exactly the active task to be runnable",
+                    });
+                }
+                if !self.cpu.ladder().contains(freq) {
+                    return Err(SimError::InvalidDirective {
+                        reason: "slow-down frequency must be a ladder level",
+                    });
+                }
                 if freq >= self.cpu.full_freq() || speedup_at <= self.now {
-                    return; // nothing to gain; stay at full speed
+                    return Ok(()); // nothing to gain; stay at full speed
                 }
                 // The ratio computation itself costs scheduler cycles,
                 // executed before the task's work continues (paper §5).
@@ -1133,7 +1337,7 @@ impl<'a, D: Discipline> Engine<'a, D> {
                     self.invalidate_event_cache();
                 }
                 self.speedup_at = Some(speedup_at);
-                self.begin_ramp_from_ratio(1.0, freq, policy);
+                self.begin_ramp_from_ratio(1.0, freq, policy)
             }
         }
     }
@@ -1143,7 +1347,7 @@ impl<'a, D: Discipline> Engine<'a, D> {
         r_from: f64,
         target: Freq,
         policy: &mut dyn PowerPolicy<D>,
-    ) {
+    ) -> Result<(), SimError> {
         let full = self.cpu.full_freq();
         if target == full {
             self.speedup_at = None;
@@ -1161,9 +1365,9 @@ impl<'a, D: Discipline> Engine<'a, D> {
             self.mode = ProcMode::Settled(target);
             self.invalidate_event_cache();
             if target == full {
-                self.full_pass(policy);
+                self.full_pass(policy)?;
             }
-            return;
+            return Ok(());
         }
         self.push_trace(TraceEvent::RampStart {
             from: self.ratio_to_freq(r_from),
@@ -1173,10 +1377,14 @@ impl<'a, D: Discipline> Engine<'a, D> {
         self.mode = ProcMode::Ramping {
             ramp,
             started: self.now,
-            end: self.now + dur,
+            // Saturating: a degenerate (but valid) ramp rate can make the
+            // duration astronomically long; an end clamped at `Time::MAX`
+            // just never settles within the horizon.
+            end: self.now.saturating_add(dur),
             target,
         };
         self.invalidate_event_cache();
+        Ok(())
     }
 
     fn note_idle_transition(&mut self) {
@@ -1230,6 +1438,18 @@ impl<'a, D: Discipline> Engine<'a, D> {
         }
     }
 
+    /// Returns the recycled buffers to the workspace without producing a
+    /// report — the error path of [`simulate_in_for`]. A failed cell must
+    /// not leak the buffers: the next run on this workspace still pays
+    /// zero allocations.
+    fn restore_workspace(self, ws: &mut SimWorkspace) {
+        D::restore_run_queue(ws, self.run_q);
+        ws.delay_q = self.delay_q;
+        ws.tasks = self.tasks;
+        ws.wcet_cycles = self.wcet_cycles;
+        ws.due_scratch = self.due_scratch;
+    }
+
     fn into_report(self, policy_name: &str, ws: &mut SimWorkspace) -> SimReport {
         // Return the recycled buffers to the workspace for the next run.
         D::restore_run_queue(ws, self.run_q);
@@ -1271,6 +1491,20 @@ mod tests {
                 Task::new("tau3", Dur::from_us(100), Dur::from_us(40)),
             ],
         )
+    }
+
+    /// Shadows [`super::simulate`] with an unwrapping wrapper: every test
+    /// in this module runs valid inputs, where the `Result` surface is
+    /// infallible by construction. Error-path tests call
+    /// `super::simulate` explicitly.
+    fn simulate(
+        ts: &TaskSet,
+        cpu: &CpuSpec,
+        policy: &mut dyn PowerPolicy,
+        exec: &dyn ExecModel,
+        cfg: &SimConfig,
+    ) -> SimReport {
+        super::simulate(ts, cpu, policy, exec, cfg).unwrap()
     }
 
     fn run_fps(ts: &TaskSet, horizon: Dur) -> SimReport {
@@ -1950,15 +2184,216 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "horizon must be positive")]
     fn zero_horizon_rejected() {
         let cpu = CpuSpec::arm8();
-        let _ = simulate(
+        let err = super::simulate(
             &table1(),
             &cpu,
             &mut AlwaysFullSpeed,
             &AlwaysWcet,
             &SimConfig::new(Dur::ZERO),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), "invalid-config");
+        assert!(
+            err.to_string().contains("horizon must be positive"),
+            "message was: {err}"
         );
+    }
+
+    #[test]
+    fn oversized_horizon_is_a_time_overflow() {
+        use lpfps_tasks::error::MAX_TIME_PARAM;
+        let cpu = CpuSpec::arm8();
+        let err = super::simulate(
+            &table1(),
+            &cpu,
+            &mut AlwaysFullSpeed,
+            &AlwaysWcet,
+            &SimConfig::new(Dur::from_ns(MAX_TIME_PARAM.as_ns() + 1)),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), "time-overflow");
+        // And the largest admissible horizon must still run (the engine's
+        // internal arithmetic is overflow-free right up to the bound).
+        let ts = TaskSet::rate_monotonic(
+            "huge",
+            vec![Task::new(
+                "t",
+                Dur::from_ns(MAX_TIME_PARAM.as_ns()),
+                Dur::from_us(1),
+            )],
+        );
+        let report = super::simulate(
+            &ts,
+            &cpu,
+            &mut AlwaysFullSpeed,
+            &AlwaysWcet,
+            &SimConfig::new(MAX_TIME_PARAM),
+        )
+        .unwrap();
+        assert_eq!(report.counters.releases, 1);
+    }
+
+    #[test]
+    fn deserialized_malformed_task_set_is_rejected_not_aborted() {
+        // Serde bypasses the panicking constructors: a zero-period task
+        // can exist in memory. The boundary validation must catch it.
+        let json = serde_json::to_string(&table1()).unwrap();
+        let doctored = json.replace("\"period\":50000", "\"period\":0");
+        assert_ne!(json, doctored);
+        let ts: TaskSet = serde_json::from_str(&doctored).unwrap();
+        let cpu = CpuSpec::arm8();
+        let err = super::simulate(
+            &ts,
+            &cpu,
+            &mut AlwaysFullSpeed,
+            &AlwaysWcet,
+            &SimConfig::new(Dur::from_us(400)),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), "invalid-task-set");
+        assert!(err.to_string().contains("period must be positive"));
+    }
+
+    #[test]
+    fn event_budget_cuts_off_with_partial_progress() {
+        use crate::error::{BudgetKind, SimError};
+        let cfg = SimConfig::new(Dur::from_ms(10)).with_max_events(50);
+        let cpu = CpuSpec::arm8();
+        let err =
+            super::simulate(&table1(), &cpu, &mut AlwaysFullSpeed, &AlwaysWcet, &cfg).unwrap_err();
+        let SimError::BudgetExhausted {
+            budget,
+            limit,
+            diagnostic,
+        } = err
+        else {
+            panic!("expected BudgetExhausted, got {err:?}");
+        };
+        assert_eq!(budget, BudgetKind::Events);
+        assert_eq!(limit, 50);
+        assert_eq!(diagnostic.events, 51);
+        assert!(diagnostic.sim_time > Time::ZERO);
+        assert!(diagnostic.completions > 0, "made no progress at all?");
+        // A budget at least as large as the run's demand never trips.
+        let full = SimConfig::new(Dur::from_ms(10)).with_max_events(1_000_000);
+        let report =
+            super::simulate(&table1(), &cpu, &mut AlwaysFullSpeed, &AlwaysWcet, &full).unwrap();
+        assert!(report.all_deadlines_met());
+    }
+
+    #[test]
+    fn segment_budget_cuts_off_with_partial_progress() {
+        use crate::error::{BudgetKind, SimError};
+        let cfg = SimConfig::new(Dur::from_ms(10)).with_max_segments(20);
+        let cpu = CpuSpec::arm8();
+        let err =
+            super::simulate(&table1(), &cpu, &mut AlwaysFullSpeed, &AlwaysWcet, &cfg).unwrap_err();
+        let SimError::BudgetExhausted { budget, .. } = err else {
+            panic!("expected BudgetExhausted, got {err:?}");
+        };
+        assert_eq!(budget, BudgetKind::Segments);
+    }
+
+    #[test]
+    fn budgeted_run_that_finishes_is_byte_identical_to_unbudgeted() {
+        // Budgets are cooperative cut-offs, not behavior: a run that fits
+        // its budget must produce exactly the report of an unbounded run.
+        let cpu = CpuSpec::arm8();
+        let plain = SimConfig::new(Dur::from_us(400));
+        let budgeted = SimConfig::new(Dur::from_us(400))
+            .with_max_events(1_000_000)
+            .with_max_segments(1_000_000)
+            .with_wall_budget(std::time::Duration::from_secs(3600));
+        let a = simulate(&table1(), &cpu, &mut AlwaysFullSpeed, &AlwaysWcet, &plain);
+        let b = simulate(
+            &table1(),
+            &cpu,
+            &mut AlwaysFullSpeed,
+            &AlwaysWcet,
+            &budgeted,
+        );
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.responses, b.responses);
+        assert_eq!(a.energy.total_energy(), b.energy.total_energy());
+    }
+
+    /// A deliberately broken policy: powers down with a wake timer that
+    /// lands after the next release (minus its wake-up latency).
+    #[derive(Debug)]
+    struct OversleepingPolicy;
+
+    impl crate::policy::PolicyCore for OversleepingPolicy {
+        fn name(&self) -> &'static str {
+            "test-oversleep"
+        }
+    }
+
+    impl PowerPolicy for OversleepingPolicy {
+        fn decide(&mut self, ctx: &SchedulerContext<'_>) -> PowerDirective {
+            if ctx.active.is_none() && ctx.run_queue.is_empty() {
+                if let Some(head) = ctx.next_arrival() {
+                    return PowerDirective::PowerDown {
+                        wake_at: head, // too late: wake-up latency overshoots
+                        mode: 0,
+                    };
+                }
+            }
+            PowerDirective::FullSpeed
+        }
+    }
+
+    #[test]
+    fn illegal_directive_is_a_typed_error_not_a_panic() {
+        let ts = TaskSet::rate_monotonic(
+            "solo",
+            vec![Task::new("t", Dur::from_us(100), Dur::from_us(25))],
+        );
+        let cpu = CpuSpec::arm8();
+        let err = super::simulate(
+            &ts,
+            &cpu,
+            &mut OversleepingPolicy,
+            &AlwaysWcet,
+            &SimConfig::new(Dur::from_ms(1)),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), "invalid-directive");
+        assert!(err.to_string().contains("awake before the next release"));
+    }
+
+    #[test]
+    fn workspace_survives_a_failing_run() {
+        // The buffers must come back to the workspace on the error path:
+        // a valid run through the same workspace afterwards matches a
+        // fresh-workspace run exactly.
+        let cpu = CpuSpec::arm8();
+        let mut ws = SimWorkspace::new();
+        let bad = SimConfig::new(Dur::from_ms(10)).with_max_events(10);
+        let err = simulate_in(
+            &table1(),
+            &cpu,
+            &mut AlwaysFullSpeed,
+            &AlwaysWcet,
+            &bad,
+            &mut ws,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), "budget-exhausted");
+        let good = SimConfig::new(Dur::from_us(400));
+        let reused = simulate_in(
+            &table1(),
+            &cpu,
+            &mut AlwaysFullSpeed,
+            &AlwaysWcet,
+            &good,
+            &mut ws,
+        )
+        .unwrap();
+        let fresh = simulate(&table1(), &cpu, &mut AlwaysFullSpeed, &AlwaysWcet, &good);
+        assert_eq!(reused.counters, fresh.counters);
+        assert_eq!(reused.responses, fresh.responses);
+        assert_eq!(reused.energy.total_energy(), fresh.energy.total_energy());
     }
 }

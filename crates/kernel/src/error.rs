@@ -1,0 +1,248 @@
+//! The simulation kernel's typed error taxonomy.
+//!
+//! Everything that can go wrong at the `simulate*` boundary is a variant
+//! of [`SimError`]: malformed task sets and processor specs (delegated to
+//! the owning crates' validators), impossible configurations, time
+//! arithmetic that would leave the representable range, exhausted
+//! cooperative resource budgets, policies issuing illegal directives, and
+//! — as a last resort — internal invariant breaches that would previously
+//! have aborted the process.
+//!
+//! Inputs that pass validation run exactly as before, byte for byte: the
+//! taxonomy only replaces aborts, never behavior. Each variant maps to a
+//! stable [`SimError::kind`] slug so sweep runners can aggregate failures
+//! per kind without parsing prose.
+
+use core::fmt;
+use lpfps_cpu::error::CpuSpecError;
+use lpfps_tasks::error::TaskSetError;
+use lpfps_tasks::time::Time;
+
+/// Which cooperative resource budget ran out (see
+/// [`SimConfig`](crate::engine::SimConfig) `max_events` / `max_segments` /
+/// `wall_budget`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// Decision-point (event) count.
+    Events,
+    /// Energy-segment count (non-empty inter-event advances).
+    Segments,
+    /// Host wall-clock time (limit reported in milliseconds).
+    WallClock,
+}
+
+impl fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetKind::Events => write!(f, "event"),
+            BudgetKind::Segments => write!(f, "segment"),
+            BudgetKind::WallClock => write!(f, "wall-clock (ms)"),
+        }
+    }
+}
+
+/// How far a budget-limited run got before it was cut off: the partial
+/// progress the caller can report instead of a silent hang.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PartialDiagnostic {
+    /// Simulated time reached.
+    pub sim_time: Time,
+    /// Decision points handled.
+    pub events: u64,
+    /// Energy segments integrated.
+    pub segments: u64,
+    /// Jobs completed.
+    pub completions: u64,
+    /// Deadline misses recorded so far.
+    pub deadline_misses: usize,
+}
+
+impl fmt::Display for PartialDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "t={}, {} events, {} segments, {} completions, {} misses",
+            self.sim_time, self.events, self.segments, self.completions, self.deadline_misses
+        )
+    }
+}
+
+/// Why a simulation could not run (or finish).
+///
+/// `Display` strings are stable (pinned by error-message snapshot tests);
+/// [`SimError::kind`] gives a machine-stable slug per variant.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The task set failed validation (zero period, `C > T`, ...).
+    TaskSet(TaskSetError),
+    /// The processor spec failed validation (empty ladder, bad ramp, ...).
+    CpuSpec(CpuSpecError),
+    /// The simulation configuration is impossible (zero horizon, zero
+    /// tick, ...).
+    InvalidConfig {
+        /// What rule the configuration broke.
+        reason: String,
+    },
+    /// A time quantity left the representable range (e.g. a horizon beyond
+    /// [`MAX_TIME_PARAM`](lpfps_tasks::error::MAX_TIME_PARAM)).
+    TimeOverflow {
+        /// Which quantity overflowed.
+        what: &'static str,
+    },
+    /// A cooperative resource budget ran out before the horizon; the run
+    /// is cut off with partial progress attached.
+    BudgetExhausted {
+        /// Which budget ran out.
+        budget: BudgetKind,
+        /// The configured limit.
+        limit: u64,
+        /// Progress at the moment the budget tripped.
+        diagnostic: PartialDiagnostic,
+    },
+    /// A power policy issued a directive the kernel must refuse
+    /// (power-down with runnable work, an off-ladder frequency, ...).
+    InvalidDirective {
+        /// What rule the directive broke.
+        reason: &'static str,
+    },
+    /// An engine invariant failed. Reaching this is a kernel bug — the
+    /// typed surface exists so embedding processes survive it.
+    InternalInvariant {
+        /// The invariant that did not hold.
+        what: &'static str,
+    },
+}
+
+impl SimError {
+    /// A stable machine-readable slug for the variant, used by sweep
+    /// runners to aggregate failures per kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimError::TaskSet(_) => "invalid-task-set",
+            SimError::CpuSpec(_) => "invalid-cpu-spec",
+            SimError::InvalidConfig { .. } => "invalid-config",
+            SimError::TimeOverflow { .. } => "time-overflow",
+            SimError::BudgetExhausted { .. } => "budget-exhausted",
+            SimError::InvalidDirective { .. } => "invalid-directive",
+            SimError::InternalInvariant { .. } => "internal-invariant",
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::TaskSet(e) => write!(f, "invalid task set: {e}"),
+            SimError::CpuSpec(e) => write!(f, "invalid processor spec: {e}"),
+            SimError::InvalidConfig { reason } => {
+                write!(f, "invalid simulation config: {reason}")
+            }
+            SimError::TimeOverflow { what } => {
+                write!(f, "time overflow: {what} exceeds the representable range")
+            }
+            SimError::BudgetExhausted {
+                budget,
+                limit,
+                diagnostic,
+            } => write!(
+                f,
+                "{budget} budget of {limit} exhausted before the horizon ({diagnostic})"
+            ),
+            SimError::InvalidDirective { reason } => {
+                write!(f, "illegal power directive: {reason}")
+            }
+            SimError::InternalInvariant { what } => {
+                write!(f, "internal invariant violated: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::TaskSet(e) => Some(e),
+            SimError::CpuSpec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TaskSetError> for SimError {
+    fn from(e: TaskSetError) -> Self {
+        SimError::TaskSet(e)
+    }
+}
+
+impl From<CpuSpecError> for SimError {
+    fn from(e: CpuSpecError) -> Self {
+        SimError::CpuSpec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct_and_stable() {
+        let errs = [
+            SimError::TaskSet(TaskSetError::Empty),
+            SimError::CpuSpec(CpuSpecError::NoSleepModes),
+            SimError::InvalidConfig { reason: "x".into() },
+            SimError::TimeOverflow { what: "x" },
+            SimError::BudgetExhausted {
+                budget: BudgetKind::Events,
+                limit: 1,
+                diagnostic: PartialDiagnostic::default(),
+            },
+            SimError::InvalidDirective { reason: "x" },
+            SimError::InternalInvariant { what: "x" },
+        ];
+        let kinds: Vec<_> = errs.iter().map(SimError::kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                "invalid-task-set",
+                "invalid-cpu-spec",
+                "invalid-config",
+                "time-overflow",
+                "budget-exhausted",
+                "invalid-directive",
+                "internal-invariant",
+            ]
+        );
+    }
+
+    #[test]
+    fn display_nests_the_source_error() {
+        let e = SimError::TaskSet(TaskSetError::Empty);
+        assert_eq!(e.to_string(), "invalid task set: task set is empty");
+        let e = SimError::BudgetExhausted {
+            budget: BudgetKind::Events,
+            limit: 10,
+            diagnostic: PartialDiagnostic {
+                sim_time: Time::from_us(5),
+                events: 11,
+                segments: 4,
+                completions: 2,
+                deadline_misses: 0,
+            },
+        };
+        assert_eq!(
+            e.to_string(),
+            "event budget of 10 exhausted before the horizon \
+             (t=5us, 11 events, 4 segments, 2 completions, 0 misses)"
+        );
+    }
+
+    #[test]
+    fn source_chains_to_the_owning_crate() {
+        use std::error::Error;
+        let e = SimError::TaskSet(TaskSetError::Empty);
+        assert!(e.source().is_some());
+        let e = SimError::TimeOverflow { what: "horizon" };
+        assert!(e.source().is_none());
+    }
+}

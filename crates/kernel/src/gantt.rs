@@ -210,7 +210,7 @@ mod tests {
         let ts = table1();
         let cpu = CpuSpec::arm8();
         let cfg = SimConfig::new(Dur::from_us(horizon_us)).with_trace();
-        let report = simulate(&ts, &cpu, &mut AlwaysFullSpeed, &AlwaysWcet, &cfg);
+        let report = simulate(&ts, &cpu, &mut AlwaysFullSpeed, &AlwaysWcet, &cfg).unwrap();
         let gantt = Gantt::from_trace(report.trace.as_ref().unwrap(), Time::from_us(horizon_us));
         (ts, gantt)
     }

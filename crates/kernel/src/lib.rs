@@ -1,3 +1,11 @@
+// The library boundary is panic-free: untrusted input must surface as a
+// typed error (`error::SimError`), never abort the process. Tests and
+// binaries may still unwrap freely.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 //! # lpfps-kernel
 //!
 //! A deterministic discrete-event simulator of a preemptive real-time
@@ -43,7 +51,7 @@
 //!     &mut AlwaysFullSpeed,
 //!     &AlwaysWcet,
 //!     &SimConfig::new(Dur::from_us(400)),
-//! );
+//! ).unwrap();
 //! assert!(report.all_deadlines_met());
 //! // FPS burns the 15% schedule slack in the NOP loop: 0.85 + 0.15*0.2.
 //! assert!((report.average_power() - 0.88).abs() < 1e-6);
@@ -51,6 +59,7 @@
 
 pub mod discipline;
 pub mod engine;
+pub mod error;
 pub mod gantt;
 pub mod policy;
 pub mod queues;
@@ -60,6 +69,7 @@ pub mod trace;
 
 pub use discipline::{Discipline, Edf, EdfKey, FixedPriority};
 pub use engine::{simulate, simulate_in_for, SimConfig};
+pub use error::{BudgetKind, PartialDiagnostic, SimError};
 pub use policy::{ActiveView, PolicyCore, PowerDirective, PowerPolicy, SchedulerContext};
 pub use report::{Counters, DeadlineMiss, ResponseStats, SimReport};
 pub use stats::{IntervalStats, ResponseHistogram};

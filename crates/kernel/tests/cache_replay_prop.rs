@@ -112,9 +112,9 @@ fn replay_pair(
             let mut policy = ChaosPolicy {
                 rng: SplitMix64::new(seed),
             };
-            simulate(ts, cpu, &mut policy, &PaperGaussian, cfg)
+            simulate(ts, cpu, &mut policy, &PaperGaussian, cfg).unwrap()
         } else {
-            simulate(ts, cpu, &mut AlwaysFullSpeed, &PaperGaussian, cfg)
+            simulate(ts, cpu, &mut AlwaysFullSpeed, &PaperGaussian, cfg).unwrap()
         }
     };
     let cached = run(cfg);
@@ -215,7 +215,8 @@ fn stale_cache_injection_breaks_replay_equality() {
         },
         &PaperGaussian,
         &cfg,
-    );
+    )
+    .unwrap();
     let stale = simulate(
         &ts,
         &cpu,
@@ -224,7 +225,8 @@ fn stale_cache_injection_breaks_replay_equality() {
         },
         &PaperGaussian,
         &cfg.clone().with_stale_dispatch_cache(),
-    );
+    )
+    .unwrap();
     assert_ne!(
         serde_json::to_string(&clean).unwrap(),
         serde_json::to_string(&stale).unwrap(),

@@ -109,7 +109,7 @@ proptest! {
         let horizon = Dur::from_ms(20);
         let cfg = SimConfig::new(horizon).with_seed(seed);
         let mut policy = ChaosPolicy { rng: SplitMix64::new(seed) };
-        let report = simulate(&ts, &cpu, &mut policy, &PaperGaussian, &cfg);
+        let report = simulate(&ts, &cpu, &mut policy, &PaperGaussian, &cfg).unwrap();
 
         // Accounting invariants hold regardless of the policy's quality.
         prop_assert_eq!(report.energy.total_residency(), horizon);
@@ -146,7 +146,7 @@ proptest! {
             .with_context_switch(Dur::from_us(cs_us))
             .with_ratio_overhead(Dur::from_us(1));
         let mut policy = ChaosPolicy { rng: SplitMix64::new(seed ^ 0xDEAD) };
-        let report = simulate(&ts, &cpu, &mut policy, &PaperGaussian, &cfg);
+        let report = simulate(&ts, &cpu, &mut policy, &PaperGaussian, &cfg).unwrap();
         prop_assert_eq!(report.energy.total_residency(), horizon);
         prop_assert!(report.average_power() <= 1.0 + 1e-9);
     }

@@ -1,0 +1,133 @@
+//! Golden snapshots of the boundary error messages.
+//!
+//! The `Display` strings of [`SimError`] (and the domain errors it wraps)
+//! are part of the tool's surface: sweep progress lines, `CellError`
+//! payloads in results JSON, and CLI diagnostics all print them verbatim.
+//! These tests pin the exact text of the five most common validation
+//! failures — plus the budget-exhaustion diagnostic shape — so a refactor
+//! that drifts a message fails here by name instead of silently changing
+//! every downstream artifact.
+//!
+//! Malformed inputs are built through the `Deserialize` back door (the
+//! validating constructors refuse to build them), exactly as a hostile
+//! JSON spec would arrive.
+
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_kernel::engine::{simulate, SimConfig};
+use lpfps_kernel::error::SimError;
+use lpfps_kernel::policy::AlwaysFullSpeed;
+use lpfps_tasks::exec::AlwaysWcet;
+use lpfps_tasks::task::{Priority, Task};
+use lpfps_tasks::taskset::TaskSet;
+use lpfps_tasks::time::Dur;
+use serde::{Deserialize, Map, Serialize, Value};
+
+/// Builds a `Task` value tree with the given nanosecond fields and
+/// deserializes it unvalidated.
+fn smuggle_task(name: &str, period: u64, deadline: u64, wcet: u64, bcet: u64) -> Task {
+    let mut m = Map::new();
+    m.insert("name".to_string(), Value::String(name.to_string()));
+    for (key, ns) in [
+        ("period", period),
+        ("deadline", deadline),
+        ("wcet", wcet),
+        ("bcet", bcet),
+        ("phase", 0),
+    ] {
+        m.insert(key.to_string(), Dur::from_ns(ns).to_value());
+    }
+    Task::from_value(&Value::Object(m)).expect("the field map matches `Task`'s shape")
+}
+
+/// Same back door for a whole `TaskSet`.
+fn smuggle_task_set(tasks: &[Task]) -> TaskSet {
+    let mut m = Map::new();
+    m.insert("name".to_string(), Value::String("snapshot".to_string()));
+    m.insert("tasks".to_string(), tasks.to_vec().to_value());
+    let prios: Vec<Priority> = (0..tasks.len() as u32).map(Priority::new).collect();
+    m.insert("priorities".to_string(), prios.to_value());
+    TaskSet::from_value(&Value::Object(m)).expect("the field map matches `TaskSet`'s shape")
+}
+
+/// Runs the smuggled inputs through the boundary and returns the error.
+fn boundary_error(ts: &TaskSet, cpu: &CpuSpec, cfg: &SimConfig) -> SimError {
+    simulate(ts, cpu, &mut AlwaysFullSpeed, &AlwaysWcet, cfg)
+        .expect_err("snapshot inputs are all invalid")
+}
+
+#[test]
+fn empty_task_set_message() {
+    let ts = smuggle_task_set(&[]);
+    let err = boundary_error(&ts, &CpuSpec::arm8(), &SimConfig::new(Dur::from_ms(1)));
+    assert_eq!(err.to_string(), "invalid task set: task set is empty");
+    assert_eq!(err.kind(), "invalid-task-set");
+}
+
+#[test]
+fn zero_period_message() {
+    let ts = smuggle_task_set(&[smuggle_task("tau1", 0, 50_000, 10_000, 10_000)]);
+    let err = boundary_error(&ts, &CpuSpec::arm8(), &SimConfig::new(Dur::from_ms(1)));
+    assert_eq!(
+        err.to_string(),
+        "invalid task set: task `tau1`: period must be positive"
+    );
+    assert_eq!(err.kind(), "invalid-task-set");
+}
+
+#[test]
+fn wcet_exceeds_period_message() {
+    let ts = smuggle_task_set(&[smuggle_task("tau1", 50_000, 50_000, 60_000, 10_000)]);
+    let err = boundary_error(&ts, &CpuSpec::arm8(), &SimConfig::new(Dur::from_ms(1)));
+    assert_eq!(
+        err.to_string(),
+        "invalid task set: task `tau1`: WCET exceeds its period"
+    );
+    assert_eq!(err.kind(), "invalid-task-set");
+}
+
+#[test]
+fn zero_horizon_message() {
+    let ts = smuggle_task_set(&[smuggle_task("tau1", 50_000, 50_000, 10_000, 10_000)]);
+    let err = boundary_error(&ts, &CpuSpec::arm8(), &SimConfig::new(Dur::ZERO));
+    assert_eq!(
+        err.to_string(),
+        "invalid simulation config: simulation horizon must be positive"
+    );
+    assert_eq!(err.kind(), "invalid-config");
+}
+
+#[test]
+fn missing_sleep_modes_message() {
+    // Empty the sleep-mode family through the value tree; the builders
+    // refuse to construct this.
+    let mut tree = CpuSpec::arm8().to_value();
+    match &mut tree {
+        Value::Object(m) => m.insert("sleep_modes".to_string(), Value::Array(vec![])),
+        _ => unreachable!("CpuSpec serializes as an object"),
+    }
+    let cpu = CpuSpec::from_value(&tree).expect("the mutated tree still matches the shape");
+    let ts = smuggle_task_set(&[smuggle_task("tau1", 50_000, 50_000, 10_000, 10_000)]);
+    let err = boundary_error(&ts, &cpu, &SimConfig::new(Dur::from_ms(1)));
+    assert_eq!(
+        err.to_string(),
+        "invalid processor spec: a processor needs at least one sleep mode"
+    );
+    assert_eq!(err.kind(), "invalid-cpu-spec");
+}
+
+#[test]
+fn budget_exhausted_message_carries_the_partial_diagnostic() {
+    let ts = smuggle_task_set(&[smuggle_task("tau1", 50_000, 50_000, 10_000, 10_000)]);
+    let cfg = SimConfig::new(Dur::from_ms(10)).with_max_events(3);
+    let err = boundary_error(&ts, &CpuSpec::arm8(), &cfg);
+    assert_eq!(err.kind(), "budget-exhausted");
+    let msg = err.to_string();
+    assert!(
+        msg.starts_with("event budget of 3 exhausted before the horizon (t="),
+        "diagnostic shape drifted: {msg}"
+    );
+    assert!(
+        msg.contains("events") && msg.contains("segments") && msg.contains("completions"),
+        "partial diagnostic lost a field: {msg}"
+    );
+}

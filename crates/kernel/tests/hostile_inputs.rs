@@ -1,0 +1,371 @@
+//! Adversarial inputs against the panic-free boundary.
+//!
+//! `TaskSet`, `CpuSpec`, and `SimConfig` all implement `Deserialize`, so
+//! values that no validating constructor would ever produce can still
+//! reach `simulate` — a malformed JSON sweep spec, a hand-edited results
+//! file, a fuzzer. The contract under test: **every** such input yields
+//! either a valid report or a typed [`SimError`]; the library never
+//! panics. Each property runs the engine under `catch_unwind` so a panic
+//! anywhere inside the boundary fails the case by name instead of
+//! aborting the harness.
+//!
+//! Four property blocks (120 + 80 + 80 + 120 = 400 cases per run):
+//!
+//! 1. task sets smuggled past validation field by field,
+//! 2. processor specs with mutated numeric leaves,
+//! 3. extreme simulation configs (horizon/tick/budget corners),
+//! 4. hostile parameters fed straight to the validating constructors.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_kernel::engine::{simulate, SimConfig};
+use lpfps_kernel::error::SimError;
+use lpfps_kernel::policy::AlwaysFullSpeed;
+use lpfps_tasks::error::MAX_TIME_PARAM_NS;
+use lpfps_tasks::exec::AlwaysWcet;
+use lpfps_tasks::task::{Priority, Task};
+use lpfps_tasks::taskset::TaskSet;
+use lpfps_tasks::time::Dur;
+use proptest::prelude::*;
+use serde::{Deserialize, Map, Number, Serialize, Value};
+
+/// Maps a raw draw onto the adversarial corners of the `u64` range: zero,
+/// one, ordinary magnitudes, and the neighborhoods of [`MAX_TIME_PARAM_NS`]
+/// and `u64::MAX` where unchecked time arithmetic would wrap.
+fn warp(raw: u64, sel: u8) -> u64 {
+    match sel % 8 {
+        0 => 0,
+        1 => 1,
+        2 => raw % 1_000_000,
+        3 => MAX_TIME_PARAM_NS - (raw % 1_000),
+        4 => MAX_TIME_PARAM_NS.saturating_add(1 + raw % 1_000),
+        5 => u64::MAX - (raw % 1_000),
+        6 => u64::MAX,
+        _ => raw,
+    }
+}
+
+/// Builds a [`Task`] through the `Deserialize` back door, bypassing every
+/// constructor check: the field map mirrors the struct's serialized shape,
+/// so any nanosecond values — zero periods, `C > T`, near-`u64::MAX`
+/// phases — come out the other side as a live `Task`.
+fn smuggle_task(name: &str, period: u64, deadline: u64, wcet: u64, bcet: u64, phase: u64) -> Task {
+    let mut m = Map::new();
+    m.insert("name".to_string(), Value::String(name.to_string()));
+    for (key, ns) in [
+        ("period", period),
+        ("deadline", deadline),
+        ("wcet", wcet),
+        ("bcet", bcet),
+        ("phase", phase),
+    ] {
+        m.insert(key.to_string(), Dur::from_ns(ns).to_value());
+    }
+    Task::from_value(&Value::Object(m)).expect("the field map matches `Task`'s shape")
+}
+
+/// Same back door for a whole [`TaskSet`], including mismatched or
+/// duplicated priority vectors.
+fn smuggle_task_set(tasks: &[Task], priorities: &[u32]) -> TaskSet {
+    let mut m = Map::new();
+    m.insert("name".to_string(), Value::String("hostile".to_string()));
+    m.insert("tasks".to_string(), tasks.to_vec().to_value());
+    let prios: Vec<Priority> = priorities.iter().map(|p| Priority::new(*p)).collect();
+    m.insert("priorities".to_string(), prios.to_value());
+    TaskSet::from_value(&Value::Object(m)).expect("the field map matches `TaskSet`'s shape")
+}
+
+/// A small task set built through the validating constructors, for
+/// properties that attack a *different* input dimension.
+fn valid_probe_set() -> TaskSet {
+    let tasks = vec![
+        Task::validated("a", Dur::from_us(50), Dur::from_us(10)).expect("valid"),
+        Task::validated("b", Dur::from_us(80), Dur::from_us(20)).expect("valid"),
+    ];
+    TaskSet::try_rate_monotonic("probe", tasks).expect("valid")
+}
+
+/// Runs the engine under `catch_unwind`; `Err` means the library panicked,
+/// which is exactly what the taxonomy promises never happens.
+fn run_guarded(
+    ts: &TaskSet,
+    cpu: &CpuSpec,
+    cfg: &SimConfig,
+) -> Result<Result<lpfps_kernel::report::SimReport, SimError>, String> {
+    catch_unwind(AssertUnwindSafe(|| {
+        simulate(ts, cpu, &mut AlwaysFullSpeed, &AlwaysWcet, cfg)
+    }))
+    .map_err(|payload| {
+        payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string())
+    })
+}
+
+/// Counts the numeric leaves of a serialized value, so a mutation index
+/// can be drawn uniformly over them.
+fn count_numbers(v: &Value) -> usize {
+    match v {
+        Value::Number(_) => 1,
+        Value::Array(items) => items.iter().map(count_numbers).sum(),
+        Value::Object(m) => m.iter().map(|(_, v)| count_numbers(v)).sum(),
+        _ => 0,
+    }
+}
+
+/// Replaces the `target`-th numeric leaf (pre-order) with `replacement`.
+fn replace_number(v: &mut Value, target: &mut usize, replacement: &Number) -> bool {
+    match v {
+        Value::Number(n) => {
+            if *target == 0 {
+                *n = *replacement;
+                return true;
+            }
+            *target -= 1;
+            false
+        }
+        Value::Array(items) => items
+            .iter_mut()
+            .any(|item| replace_number(item, target, replacement)),
+        Value::Object(m) => m
+            .iter_mut()
+            .any(|(_, item)| replace_number(item, target, replacement)),
+        _ => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    /// Malformed task sets — zero periods, `C > T`, inverted BCETs,
+    /// over-large phases, duplicated or miscounted priorities — reach the
+    /// boundary unvalidated and must come back as typed errors, never
+    /// panics. Structurally *valid* draws must instead complete (budget
+    /// exhaustion included: the event cap below also bounds the runtime
+    /// of accidental 1 ns-period sets).
+    #[test]
+    fn smuggled_task_sets_yield_typed_errors_not_panics(
+        raw_tasks in proptest::collection::vec(
+            ((0u64..=u64::MAX, 0u8..8), (0u64..=u64::MAX, 0u8..8), (0u64..=u64::MAX, 0u8..8), (0u64..=u64::MAX, 0u8..8)),
+            1..5,
+        ),
+        priorities in proptest::collection::vec(0u32..4, 0..6),
+        horizon_sel in 0u8..8,
+        horizon_raw in 0u64..=u64::MAX,
+    ) {
+        let tasks: Vec<Task> = raw_tasks
+            .iter()
+            .enumerate()
+            .map(|(i, ((p_raw, p_sel), (d_raw, d_sel), (c_raw, c_sel), (b_raw, b_sel)))| {
+                smuggle_task(
+                    &format!("t{i}"),
+                    warp(*p_raw, *p_sel),
+                    warp(*d_raw, *d_sel),
+                    warp(*c_raw, *c_sel),
+                    warp(*b_raw, *b_sel),
+                    // Keep phases small so valid draws stay representative;
+                    // the config block attacks the phase/horizon axis.
+                    c_raw % 1_000,
+                )
+            })
+            .collect();
+        let ts = smuggle_task_set(&tasks, &priorities);
+        let horizon = warp(horizon_raw, horizon_sel);
+        let cfg = SimConfig::new(Dur::from_ns(horizon)).with_max_events(100_000);
+
+        let outcome = run_guarded(&ts, &CpuSpec::arm8(), &cfg);
+        prop_assert!(outcome.is_ok(), "engine panicked: {}", outcome.unwrap_err());
+        let result = outcome.unwrap();
+
+        // Clearly-invalid structure must be *rejected*, not merely
+        // survived. The config is validated first, so the task-set kind is
+        // only guaranteed when the horizon itself is admissible.
+        let config_valid = horizon > 0 && horizon <= MAX_TIME_PARAM_NS;
+        let structurally_broken = priorities.len() != tasks.len()
+            || tasks.iter().any(|t| t.period().is_zero());
+        if config_valid && structurally_broken {
+            prop_assert!(
+                matches!(result, Err(SimError::TaskSet(_))),
+                "malformed task set slipped through: {result:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(80))]
+
+    /// Degenerate processor specs: serialize the four-mode ARM8 spec,
+    /// overwrite one numeric leaf (a ladder bound, a voltage, a power
+    /// fraction, a ramp rate, a wake-up latency ...) with an adversarial
+    /// number, and push the result through `Deserialize` into `simulate`.
+    /// Outcome must be a report or a typed error — in particular
+    /// `SimError::CpuSpec` for broken ladders and sleep modes.
+    #[test]
+    fn mutated_cpu_specs_yield_typed_errors_not_panics(
+        leaf_raw in 0usize..1_000,
+        int_raw in 0u64..=u64::MAX,
+        sel in 0u8..16,
+    ) {
+        let mut tree = CpuSpec::arm8_multimode().to_value();
+        let leaves = count_numbers(&tree);
+        prop_assert!(leaves > 0, "spec serialized without numeric leaves");
+        let replacement = match sel {
+            0..=7 => Number::PosInt(warp(int_raw, sel)),
+            8 => Number::Float(f64::NAN),
+            9 => Number::Float(f64::INFINITY),
+            10 => Number::Float(f64::NEG_INFINITY),
+            11 => Number::Float(-1.0),
+            12 => Number::Float(0.0),
+            13 => Number::Float(1e308),
+            14 => Number::NegInt(-1),
+            _ => Number::Float(1e-300),
+        };
+        let mut target = leaf_raw % leaves;
+        prop_assert!(replace_number(&mut tree, &mut target, &replacement));
+
+        // A type-level mismatch (float where a u64 field lives) is a typed
+        // serde error — fine; the property only cares about values that
+        // make it through deserialization.
+        let Ok(cpu) = CpuSpec::from_value(&tree) else { return Ok(()); };
+        let cfg = SimConfig::new(Dur::from_ms(1)).with_max_events(100_000);
+        let outcome = run_guarded(&valid_probe_set(), &cpu, &cfg);
+        prop_assert!(outcome.is_ok(), "engine panicked: {}", outcome.unwrap_err());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(80))]
+
+    /// Extreme configurations on valid workloads: horizons at zero /
+    /// `MAX_TIME_PARAM` / `u64::MAX`, zero and enormous ticks (written
+    /// directly to the public field, bypassing the builder's assert the
+    /// way a deserialized config would), and budget caps from 0 upward.
+    /// Horizon-scale extremes are the sweep-layer face of the same axis.
+    #[test]
+    fn extreme_configs_yield_typed_errors_not_panics(
+        horizon_raw in 0u64..=u64::MAX,
+        horizon_sel in 0u8..8,
+        tick_raw in 0u64..=u64::MAX,
+        tick_sel in 0u8..9,
+        (events_cap, segments_cap, use_segment_cap)
+            in (0u64..200_000, 0u64..200_000, proptest::bool::ANY),
+    ) {
+        let horizon = warp(horizon_raw, horizon_sel);
+        let mut cfg = SimConfig::new(Dur::from_ns(horizon)).with_max_events(events_cap);
+        if use_segment_cap {
+            cfg = cfg.with_max_segments(segments_cap);
+        }
+        if tick_sel < 8 {
+            cfg.tick = Some(Dur::from_ns(warp(tick_raw, tick_sel)));
+        }
+
+        let outcome = run_guarded(&valid_probe_set(), &CpuSpec::arm8(), &cfg);
+        prop_assert!(outcome.is_ok(), "engine panicked: {}", outcome.unwrap_err());
+        let result = outcome.unwrap();
+
+        if horizon == 0 {
+            prop_assert!(
+                matches!(result, Err(SimError::InvalidConfig { .. })),
+                "zero horizon slipped through: {result:?}"
+            );
+        } else if horizon > MAX_TIME_PARAM_NS {
+            prop_assert!(
+                matches!(result, Err(SimError::TimeOverflow { .. })),
+                "over-large horizon slipped through: {result:?}"
+            );
+        } else if matches!(cfg.tick, Some(t) if t.is_zero()) {
+            prop_assert!(
+                matches!(result, Err(SimError::InvalidConfig { .. })),
+                "zero tick slipped through: {result:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    /// The validating constructors themselves, fed hostile parameters:
+    /// they are the documented *fallible* front door, so they must return
+    /// `Err` — never panic — for every rejected input, and every value
+    /// they accept must then simulate without tripping a boundary check.
+    #[test]
+    fn validating_constructors_reject_without_panicking(
+        period_raw in 0u64..=u64::MAX, period_sel in 0u8..8,
+        wcet_raw in 0u64..=u64::MAX, wcet_sel in 0u8..8,
+        fraction_millis in -2_000i64..2_001,
+        ramp_scale in 0u8..6,
+    ) {
+        let fraction = fraction_millis as f64 / 1_000.0;
+        let period = warp(period_raw, period_sel);
+        let wcet = warp(wcet_raw, wcet_sel);
+        let outcome = catch_unwind(|| {
+            Task::validated("tau", Dur::from_ns(period), Dur::from_ns(wcet))
+                .and_then(|t| {
+                    let t2 = Task::validated(
+                        "tau2",
+                        Dur::from_ns(period.saturating_mul(2)),
+                        Dur::from_ns(wcet),
+                    )?;
+                    TaskSet::try_rate_monotonic("ctor", vec![t, t2])
+                })
+                .and_then(|ts| ts.try_with_bcet_fraction(fraction))
+        });
+        prop_assert!(outcome.is_ok(), "constructor panicked");
+        if let Ok(Ok(ref ts)) = outcome {
+            let cfg = SimConfig::new(Dur::from_us(500)).with_max_events(100_000);
+            let guarded = run_guarded(ts, &CpuSpec::arm8(), &cfg);
+            prop_assert!(guarded.is_ok(), "engine panicked on a validated set");
+            let result = guarded.unwrap();
+            prop_assert!(
+                !matches!(
+                    result,
+                    Err(SimError::TaskSet(_)) | Err(SimError::CpuSpec(_))
+                ),
+                "boundary re-rejected a constructor-validated input: {result:?}"
+            );
+        }
+        if period == 0 || wcet == 0 || wcet > period {
+            prop_assert!(
+                matches!(outcome, Ok(Err(_))),
+                "hostile task parameters were accepted"
+            );
+        }
+
+        let ramp = match ramp_scale {
+            0 => 0.0,
+            1 => -1.0,
+            2 => f64::NAN,
+            3 => f64::INFINITY,
+            4 => 1e-12,
+            _ => 0.07,
+        };
+        let spec = catch_unwind(|| {
+            CpuSpec::validated(
+                lpfps_cpu::ladder::FrequencyLadder::default(),
+                lpfps_cpu::power::PowerModel::default(),
+                ramp,
+                10,
+            )
+        });
+        prop_assert!(spec.is_ok(), "CpuSpec::validated panicked");
+        if !(ramp.is_finite() && ramp > 0.0) {
+            prop_assert!(matches!(spec, Ok(Err(_))), "bad ramp rate accepted");
+        }
+    }
+}
+
+/// Sleep-mode degeneracy is only reachable through the fallible builder
+/// (or serde); both must reject the empty family with the same typed
+/// error.
+#[test]
+fn empty_sleep_mode_family_is_rejected() {
+    let err = CpuSpec::arm8()
+        .try_with_sleep_modes(vec![])
+        .expect_err("an empty sleep-mode family must be rejected");
+    assert_eq!(err.to_string(), "a processor needs at least one sleep mode");
+}

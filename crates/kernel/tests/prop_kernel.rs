@@ -83,7 +83,7 @@ proptest! {
         let hyper = lpfps_tasks::analysis::hyperperiod(&ts).expect("small LCM");
         let cpu = CpuSpec::arm8();
         let cfg = SimConfig::new(hyper * 2).with_seed(seed);
-        let report = simulate(&ts, &cpu, &mut AlwaysFullSpeed, &AlwaysWcet, &cfg);
+        let report = simulate(&ts, &cpu, &mut AlwaysFullSpeed, &AlwaysWcet, &cfg).unwrap();
 
         // 1. A schedulable harmonic set never misses.
         prop_assert!(report.all_deadlines_met());
@@ -119,7 +119,7 @@ proptest! {
         );
         let cpu = CpuSpec::arm8();
         let horizon = Dur::from_us(base_period * 10);
-        let report = simulate(&ts, &cpu, &mut AlwaysFullSpeed, &AlwaysWcet, &SimConfig::new(horizon));
+        let report = simulate(&ts, &cpu, &mut AlwaysFullSpeed, &AlwaysWcet, &SimConfig::new(horizon)).unwrap();
         let u = wcet as f64 / base_period as f64;
         let expected = u + (1.0 - u) * 0.2;
         prop_assert!((report.average_power() - expected).abs() < 1e-9,
@@ -145,11 +145,11 @@ proptest! {
         let plain = simulate(
             &ts, &cpu, &mut AlwaysFullSpeed, &lpfps_tasks::exec::PaperGaussian,
             &SimConfig::new(horizon).with_seed(seed),
-        );
+        ).unwrap();
         let traced = simulate(
             &ts, &cpu, &mut AlwaysFullSpeed, &lpfps_tasks::exec::PaperGaussian,
             &SimConfig::new(horizon).with_seed(seed).with_trace(),
-        );
+        ).unwrap();
         prop_assert_eq!(plain.energy.total_energy(), traced.energy.total_energy());
         prop_assert_eq!(plain.counters, traced.counters);
         prop_assert!(traced.trace.is_some() && plain.trace.is_none());

@@ -42,8 +42,15 @@ impl fmt::Display for Divergence {
 /// `f64` bit semantics as `serde_json` preserves them — the differential
 /// harness demands *bitwise* energy equality, not approximate equality.
 pub fn first_divergence(left: &SimReport, right: &SimReport) -> Option<Divergence> {
-    let l = to_value(left).expect("SimReport serializes infallibly");
-    let r = to_value(right).expect("SimReport serializes infallibly");
+    // `SimReport` serializes infallibly; if that ever stops holding, the
+    // unserializable side is itself the divergence.
+    let (Ok(l), Ok(r)) = (to_value(left), to_value(right)) else {
+        return Some(Divergence {
+            path: "report".to_string(),
+            left: "<unserializable>".to_string(),
+            right: "<unserializable>".to_string(),
+        });
+    };
     walk("report", &l, &r)
 }
 
@@ -85,7 +92,7 @@ fn walk(path: &str, left: &Value, right: &Value) -> Option<Divergence> {
 
 fn leaf(path: &str, left: Option<&Value>, right: Option<&Value>) -> Divergence {
     let render = |v: Option<&Value>| match v {
-        Some(v) => serde_json::to_string(v).expect("Value serializes infallibly"),
+        Some(v) => serde_json::to_string(v).unwrap_or_else(|_| "<unserializable>".to_string()),
         None => "<absent>".to_string(),
     };
     Divergence {
@@ -122,8 +129,8 @@ mod tests {
         let ts = table1();
         let cpu = CpuSpec::arm8();
         let cfg = SimConfig::new(default_horizon(&ts));
-        let a = run(&ts, &cpu, PolicyKind::Lpfps, &AlwaysWcet, &cfg);
-        let b = run(&ts, &cpu, PolicyKind::Lpfps, &AlwaysWcet, &cfg);
+        let a = run(&ts, &cpu, PolicyKind::Lpfps, &AlwaysWcet, &cfg).unwrap();
+        let b = run(&ts, &cpu, PolicyKind::Lpfps, &AlwaysWcet, &cfg).unwrap();
         assert_eq!(first_divergence(&a, &b), None);
     }
 
@@ -132,7 +139,7 @@ mod tests {
         let ts = table1();
         let cpu = CpuSpec::arm8();
         let cfg = SimConfig::new(default_horizon(&ts));
-        let a = run(&ts, &cpu, PolicyKind::Fps, &AlwaysWcet, &cfg);
+        let a = run(&ts, &cpu, PolicyKind::Fps, &AlwaysWcet, &cfg).unwrap();
         let mut b = a.clone();
         b.counters.dispatches += 1;
         let d = first_divergence(&a, &b).expect("must diverge");
@@ -145,7 +152,7 @@ mod tests {
         let ts = table1();
         let cpu = CpuSpec::arm8();
         let cfg = SimConfig::new(default_horizon(&ts));
-        let a = run(&ts, &cpu, PolicyKind::Fps, &AlwaysWcet, &cfg);
+        let a = run(&ts, &cpu, PolicyKind::Fps, &AlwaysWcet, &cfg).unwrap();
         let mut b = a.clone();
         let n = b.responses.len();
         b.responses.pop();

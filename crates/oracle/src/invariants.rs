@@ -71,15 +71,18 @@ impl fmt::Display for Violation {
 /// the `static` policy that is the derated spec (see
 /// [`crate::run::effective_cpu`]).
 ///
-/// # Panics
-///
-/// Panics if the report carries no trace (run the cell with
-/// `SimConfig::with_trace(true)`).
+/// An untraced report cannot be checked; that is reported as a violation
+/// of its own, not a panic.
 pub fn check_report(ts: &TaskSet, cpu: &CpuSpec, report: &SimReport) -> Vec<Violation> {
-    let trace = report
-        .trace
-        .as_ref()
-        .expect("invariant checking requires a traced report (SimConfig::with_trace)");
+    let Some(trace) = report.trace.as_ref() else {
+        return vec![Violation {
+            index: 0,
+            at: Time::ZERO,
+            invariant: "traced-report",
+            detail: "invariant checking requires a traced report (SimConfig::with_trace)"
+                .to_string(),
+        }];
+    };
     let events: Vec<(Time, TraceEvent)> = trace.iter().collect();
     let mut out = Vec::new();
     check_monotone_time(&events, &mut out);
@@ -192,8 +195,19 @@ fn check_energy_replay(trace: &Trace, report: &SimReport, out: &mut Vec<Violatio
             meter.accumulate_with_power(state, power, dur);
         }
     }
-    let replayed = serde_json::to_value(&meter).expect("EnergyMeter serializes infallibly");
-    let recorded = serde_json::to_value(&report.energy).expect("EnergyMeter serializes infallibly");
+    let (Ok(replayed), Ok(recorded)) = (
+        serde_json::to_value(&meter),
+        serde_json::to_value(&report.energy),
+    ) else {
+        violation(
+            out,
+            trace.len().saturating_sub(1),
+            Time::ZERO + report.horizon,
+            "energy-replay",
+            "energy meter failed to serialize for bitwise comparison".to_string(),
+        );
+        return;
+    };
     if replayed != recorded {
         violation(
             out,

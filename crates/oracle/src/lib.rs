@@ -1,3 +1,11 @@
+// The library boundary is panic-free: untrusted input must surface as a
+// typed error (`lpfps_kernel::SimError`) or a reported `Violation`, never
+// abort the process. Tests and binaries may still unwrap freely.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 //! # lpfps-oracle
 //!
 //! The differential oracle for the LPFPS kernel: everything in this crate

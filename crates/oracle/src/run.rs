@@ -13,6 +13,7 @@ use lpfps::lpfps_policy::LpfpsPolicy;
 use lpfps_cpu::spec::CpuSpec;
 use lpfps_kernel::discipline::Edf as EdfDispatch;
 use lpfps_kernel::engine::SimConfig;
+use lpfps_kernel::error::SimError;
 use lpfps_kernel::report::SimReport;
 use lpfps_tasks::exec::ExecModel;
 use lpfps_tasks::taskset::TaskSet;
@@ -35,7 +36,7 @@ pub fn effective_cpu(ts: &TaskSet, cpu: &CpuSpec, policy_name: &str) -> CpuSpec 
 /// policy construction as [`lpfps::driver::run`] (including the
 /// `StaticSlowdown` derate-then-rename path).
 ///
-/// # Panics
+/// # Errors
 ///
 /// As [`oracle_simulate`].
 pub fn oracle_run(
@@ -44,7 +45,7 @@ pub fn oracle_run(
     kind: PolicyKind,
     exec: &dyn ExecModel,
     cfg: &SimConfig,
-) -> SimReport {
+) -> Result<SimReport, SimError> {
     match kind {
         PolicyKind::Fps => oracle_simulate(ts, cpu, &mut Fps, exec, cfg),
         PolicyKind::FpsPd => {
@@ -66,9 +67,9 @@ pub fn oracle_run(
         ),
         PolicyKind::StaticSlowdown => {
             let derated = static_slowdown_spec(ts, cpu).unwrap_or_else(|| cpu.clone());
-            let mut report = oracle_simulate(ts, &derated, &mut Fps, exec, cfg);
+            let mut report = oracle_simulate(ts, &derated, &mut Fps, exec, cfg)?;
             report.policy = PolicyKind::StaticSlowdown.name().to_string();
-            report
+            Ok(report)
         }
         PolicyKind::Edf => oracle_simulate_for::<EdfDispatch>(ts, cpu, &mut EdfFps, exec, cfg),
         PolicyKind::CcEdf => {

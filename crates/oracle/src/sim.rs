@@ -27,17 +27,20 @@
 //! harness asserts.
 
 use crate::queues::{NaiveDelayQueue, NaiveRunQueue};
+use lpfps_cpu::error::validate_cpu_spec;
 use lpfps_cpu::ramp::Ramp;
 use lpfps_cpu::spec::CpuSpec;
 use lpfps_cpu::state::CpuState;
 use lpfps_cpu::EnergyMeter;
 use lpfps_kernel::discipline::{Discipline, FixedPriority};
-use lpfps_kernel::engine::SimConfig;
+use lpfps_kernel::engine::{validate_sim_config, SimConfig};
+use lpfps_kernel::error::{BudgetKind, PartialDiagnostic, SimError};
 use lpfps_kernel::policy::{ActiveView, FaultEvent, PowerDirective, PowerPolicy, SchedulerContext};
 use lpfps_kernel::report::{Counters, DeadlineMiss, ResponseStats, SimReport};
 use lpfps_kernel::stats::{IntervalStats, ResponseHistogram};
 use lpfps_kernel::trace::{Trace, TraceEvent};
 use lpfps_tasks::cycles::Cycles;
+use lpfps_tasks::error::validate_task_set;
 use lpfps_tasks::exec::ExecModel;
 use lpfps_tasks::freq::Freq;
 use lpfps_tasks::task::TaskId;
@@ -109,6 +112,10 @@ struct Oracle<'a, D: Discipline> {
     task_energy: Vec<f64>,
     histograms: Vec<ResponseHistogram>,
     trace: Option<Trace>,
+    /// Energy segments integrated so far — the `max_segments` budget's
+    /// progress counter, mirroring the engine's (and, like it, kept out of
+    /// the serialized [`Counters`]).
+    segments_done: u64,
 }
 
 /// Rounds an arrival up to the next tick boundary (identity for
@@ -118,7 +125,7 @@ fn quantize_to_tick(arrival: Time, tick: Option<Dur>) -> Time {
         None => arrival,
         Some(t) => {
             let ticks = arrival.as_ns().div_ceil(t.as_ns());
-            Time::from_ns(ticks * t.as_ns())
+            Time::from_ns(ticks.saturating_mul(t.as_ns()))
         }
     }
 }
@@ -126,7 +133,9 @@ fn quantize_to_tick(arrival: Time, tick: Option<Dur>) -> Time {
 /// When the kernel notices the release of job `job_index` of `tid`.
 fn noticed_release(cfg: &SimConfig, tid: TaskId, job_index: u64, arrival: Time) -> Time {
     let jittered = match &cfg.faults.release_jitter {
-        Some(j) => arrival + j.delay(cfg.seed, cfg.faults.seed, tid.0, job_index),
+        // Jitter is policy-shaped, not validated: saturate to the "never"
+        // sentinel rather than wrap (mirrors the engine).
+        Some(j) => arrival.saturating_add(j.delay(cfg.seed, cfg.faults.seed, tid.0, job_index)),
         None => arrival,
     };
     quantize_to_tick(jittered, cfg.tick)
@@ -134,12 +143,14 @@ fn noticed_release(cfg: &SimConfig, tid: TaskId, job_index: u64, arrival: Time) 
 
 /// Runs one reference simulation of `ts` on `cpu` under `policy`.
 ///
-/// Same contract as [`lpfps_kernel::engine::simulate`]: panics on a zero
-/// horizon or an illegal policy directive; deadline misses are recorded,
-/// not fatal. The report must equal the engine's field for field (see the
-/// differential tests).
+/// Same contract as [`lpfps_kernel::engine::simulate`]: malformed inputs,
+/// exhausted budgets, and illegal policy directives surface as the *same*
+/// typed [`SimError`] the engine returns (the validators are shared, so
+/// error paths stay diffable field for field); deadline misses are
+/// recorded, not fatal. On success the report must equal the engine's
+/// field for field (see the differential tests).
 ///
-/// # Panics
+/// # Errors
 ///
 /// As [`lpfps_kernel::engine::simulate`].
 pub fn oracle_simulate(
@@ -148,7 +159,7 @@ pub fn oracle_simulate(
     policy: &mut dyn PowerPolicy,
     exec: &dyn ExecModel,
     cfg: &SimConfig,
-) -> SimReport {
+) -> Result<SimReport, SimError> {
     oracle_simulate_for::<FixedPriority>(ts, cpu, policy, exec, cfg)
 }
 
@@ -156,7 +167,7 @@ pub fn oracle_simulate(
 /// the reference counterpart of
 /// [`lpfps_kernel::engine::simulate_in_for`].
 ///
-/// # Panics
+/// # Errors
 ///
 /// As [`oracle_simulate`].
 pub fn oracle_simulate_for<D: Discipline>(
@@ -165,14 +176,15 @@ pub fn oracle_simulate_for<D: Discipline>(
     policy: &mut dyn PowerPolicy<D>,
     exec: &dyn ExecModel,
     cfg: &SimConfig,
-) -> SimReport {
-    assert!(
-        !cfg.horizon.is_zero(),
-        "simulation horizon must be positive"
-    );
+) -> Result<SimReport, SimError> {
+    // Same validators in the same order as `simulate_in_for`, so a
+    // rejected input rejects identically on both sides of the diff.
+    validate_sim_config(cfg)?;
+    validate_task_set(ts)?;
+    validate_cpu_spec(cpu)?;
     let mut oracle = Oracle::<D>::new(ts, cpu, exec, cfg);
-    oracle.run(policy);
-    oracle.into_report(policy.name())
+    oracle.run(policy)?;
+    Ok(oracle.into_report(policy.name()))
 }
 
 impl<'a, D: Discipline> Oracle<'a, D> {
@@ -218,10 +230,12 @@ impl<'a, D: Discipline> Oracle<'a, D> {
             task_energy: vec![0.0; ts.len()],
             histograms: vec![ResponseHistogram::new(); ts.len()],
             trace: if cfg.trace { Some(Trace::new()) } else { None },
+            segments_done: 0,
         }
     }
 
-    fn run(&mut self, policy: &mut dyn PowerPolicy<D>) {
+    fn run(&mut self, policy: &mut dyn PowerPolicy<D>) -> Result<(), SimError> {
+        let wall_start = self.cfg.wall_budget.map(|_| std::time::Instant::now());
         loop {
             let t_next = self.next_event_time().min(self.horizon_end);
             self.advance_to(t_next);
@@ -229,13 +243,51 @@ impl<'a, D: Discipline> Oracle<'a, D> {
                 break;
             }
             self.counters.events += 1;
-            self.handle_events(policy);
+            self.check_budgets(wall_start)?;
+            self.handle_events(policy)?;
         }
         if let Some(start) = self.gap_start.take() {
             self.idle_gaps
                 .record(self.horizon_end.saturating_since(start));
         }
         self.record_unfinished_misses();
+        Ok(())
+    }
+
+    /// Cooperative budget checks, once per decision point — the same
+    /// placement and thresholds as the engine's, so a budget trips at the
+    /// identical event with the identical diagnostic.
+    fn check_budgets(&self, wall_start: Option<std::time::Instant>) -> Result<(), SimError> {
+        if let Some(limit) = self.cfg.max_events {
+            if self.counters.events > limit {
+                return Err(self.budget_exhausted(BudgetKind::Events, limit));
+            }
+        }
+        if let Some(limit) = self.cfg.max_segments {
+            if self.segments_done > limit {
+                return Err(self.budget_exhausted(BudgetKind::Segments, limit));
+            }
+        }
+        if let (Some(budget), Some(start)) = (self.cfg.wall_budget, wall_start) {
+            if self.counters.events & 0xFFFF == 0 && start.elapsed() > budget {
+                return Err(self.budget_exhausted(BudgetKind::WallClock, budget.as_millis() as u64));
+            }
+        }
+        Ok(())
+    }
+
+    fn budget_exhausted(&self, budget: BudgetKind, limit: u64) -> SimError {
+        SimError::BudgetExhausted {
+            budget,
+            limit,
+            diagnostic: PartialDiagnostic {
+                sim_time: self.now,
+                events: self.counters.events,
+                segments: self.segments_done,
+                completions: self.counters.completions,
+                deadline_misses: self.misses.len(),
+            },
+        }
     }
 
     // ----- event timing (recomputed fresh at every query) -------------------
@@ -290,13 +342,16 @@ impl<'a, D: Discipline> Oracle<'a, D> {
             return Some(self.now);
         }
         let reference = self.cpu.reference_freq();
+        // Saturating: a completion beyond the representable range is
+        // "never", and the horizon minimum cuts it off (mirrors the
+        // engine).
         match self.mode {
-            ProcMode::Settled(f) => Some(self.now + total.time_at(f)),
+            ProcMode::Settled(f) => Some(self.now.saturating_add(total.time_at(f))),
             ProcMode::Ramping { ramp, started, .. } => {
                 let off = self.now.saturating_since(started);
                 let done = ramp.work_by(off, reference);
                 ramp.time_to_retire(done + total, reference)
-                    .map(|t_off| started + t_off)
+                    .map(|t_off| started.saturating_add(t_off))
             }
             ProcMode::PowerDown { .. } | ProcMode::WakingUp { .. } => None,
         }
@@ -353,6 +408,7 @@ impl<'a, D: Discipline> Oracle<'a, D> {
         // `state_power` is pure, so this is the same `f64` the engine's
         // memo serves — energy stays bitwise comparable.
         let power = self.cpu.state_power(state);
+        self.segments_done += 1;
         self.meter.accumulate_with_power(state, power, dur);
         self.push_trace(TraceEvent::EnergySegment { state, power, dur });
         if state.executes_work() {
@@ -393,7 +449,7 @@ impl<'a, D: Discipline> Oracle<'a, D> {
 
     // ----- event handling (same order as the kernel, Fig. 4 L1–L21) --------
 
-    fn handle_events(&mut self, policy: &mut dyn PowerPolicy<D>) {
+    fn handle_events(&mut self, policy: &mut dyn PowerPolicy<D>) -> Result<(), SimError> {
         let mut need_sched = false;
 
         // Ramp settles.
@@ -420,7 +476,7 @@ impl<'a, D: Discipline> Oracle<'a, D> {
                     );
                 }
                 self.mode = ProcMode::WakingUp {
-                    until: self.now + delay,
+                    until: self.now.saturating_add(delay),
                 };
                 self.push_trace(TraceEvent::Wakeup);
             }
@@ -456,7 +512,7 @@ impl<'a, D: Discipline> Oracle<'a, D> {
         // Completion of the active job.
         if let Some(total) = self.frontier_work() {
             if total.is_zero() {
-                self.complete_active();
+                self.complete_active()?;
                 need_sched = true;
             }
         }
@@ -505,9 +561,10 @@ impl<'a, D: Discipline> Oracle<'a, D> {
         }
 
         if need_sched {
-            self.scheduler_step(policy);
+            self.scheduler_step(policy)?;
         }
         self.track_idle_gap();
+        Ok(())
     }
 
     fn track_idle_gap(&mut self) {
@@ -561,22 +618,28 @@ impl<'a, D: Discipline> Oracle<'a, D> {
     }
 
     /// The discipline key of a runnable (queued or active) task.
-    fn key_of(&self, task: TaskId) -> D::Key {
-        let job = self.tasks[task.0]
-            .job
-            .as_ref()
-            .expect("a runnable task holds a live job");
-        D::key(self.ts.priority(task), job.deadline, task)
+    fn key_of(&self, task: TaskId) -> Result<D::Key, SimError> {
+        let Some(job) = self.tasks[task.0].job.as_ref() else {
+            return Err(SimError::InternalInvariant {
+                what: "a runnable task holds a live job",
+            });
+        };
+        Ok(D::key(self.ts.priority(task), job.deadline, task))
     }
 
-    fn complete_active(&mut self) {
-        let tid = self
-            .active
-            .take()
-            .expect("completion without an active task");
+    fn complete_active(&mut self) -> Result<(), SimError> {
+        let Some(tid) = self.active.take() else {
+            return Err(SimError::InternalInvariant {
+                what: "completion without an active task",
+            });
+        };
         let prio = self.ts.priority(tid);
         let rt = &mut self.tasks[tid.0];
-        let job = rt.job.take().expect("active task must hold a live job");
+        let Some(job) = rt.job.take() else {
+            return Err(SimError::InternalInvariant {
+                what: "active task must hold a live job",
+            });
+        };
         let response = self.now.saturating_since(job.release);
         let met = self.now <= job.deadline;
         self.responses[tid.0].record(response);
@@ -603,18 +666,19 @@ impl<'a, D: Discipline> Oracle<'a, D> {
             prio,
             noticed_release(self.cfg, tid, next_index, next_arrival),
         );
+        Ok(())
     }
 
     // ----- the scheduler ----------------------------------------------------
 
-    fn scheduler_step(&mut self, policy: &mut dyn PowerPolicy<D>) {
+    fn scheduler_step(&mut self, policy: &mut dyn PowerPolicy<D>) -> Result<(), SimError> {
         let full = self.cpu.full_freq();
         match self.mode {
             ProcMode::Settled(f) if f == full => self.full_pass(policy),
             // L1–L4: raise to maximum first, re-run when settled.
             ProcMode::Settled(f) => {
                 let r = f.ratio_to(self.cpu.reference_freq());
-                self.begin_ramp_from_ratio(r, full, policy);
+                self.begin_ramp_from_ratio(r, full, policy)
             }
             ProcMode::Ramping {
                 ramp,
@@ -624,37 +688,44 @@ impl<'a, D: Discipline> Oracle<'a, D> {
             } => {
                 if target != full {
                     let r_now = ramp.ratio_at(self.now.saturating_since(started));
-                    self.begin_ramp_from_ratio(r_now, full, policy);
+                    self.begin_ramp_from_ratio(r_now, full, policy)
+                } else {
+                    Ok(())
                 }
             }
-            ProcMode::PowerDown { .. } | ProcMode::WakingUp { .. } => {}
+            ProcMode::PowerDown { .. } | ProcMode::WakingUp { .. } => Ok(()),
         }
     }
 
-    fn full_pass(&mut self, policy: &mut dyn PowerPolicy<D>) {
+    fn full_pass(&mut self, policy: &mut dyn PowerPolicy<D>) -> Result<(), SimError> {
         self.counters.sched_passes += 1;
         // L8–L11: preemption / dispatch, in the discipline's key order.
         if let Some(head_key) = self.run_q.head_key() {
             let switch = match self.active {
                 None => true,
-                Some(cur) => D::preempts(head_key, self.key_of(cur)),
+                Some(cur) => D::preempts(head_key, self.key_of(cur)?),
             };
             if switch {
-                let next = self.run_q.pop().expect("head exists");
+                let Some(next) = self.run_q.pop() else {
+                    return Err(SimError::InternalInvariant {
+                        what: "run queue emptied between head peek and pop",
+                    });
+                };
                 if let Some(cur) = self.active.take() {
                     self.counters.preemptions += 1;
                     self.push_trace(TraceEvent::Preempt {
                         task: cur,
                         by: next,
                     });
-                    let cur_key = self.key_of(cur);
+                    let cur_key = self.key_of(cur)?;
                     self.run_q.insert(cur, cur_key);
                 }
-                let job_index = self.tasks[next.0]
-                    .job
-                    .as_ref()
-                    .expect("queued task holds a live job")
-                    .index;
+                let Some(job) = self.tasks[next.0].job.as_ref() else {
+                    return Err(SimError::InternalInvariant {
+                        what: "queued task holds a live job",
+                    });
+                };
+                let job_index = job.index;
                 self.counters.dispatches += 1;
                 self.push_trace(TraceEvent::Dispatch {
                     task: next,
@@ -685,8 +756,9 @@ impl<'a, D: Discipline> Oracle<'a, D> {
             };
             policy.decide(&ctx)
         };
-        self.apply_directive(directive, policy);
+        self.apply_directive(directive, policy)?;
         self.note_idle_transition();
+        Ok(())
     }
 
     fn active_view(&self) -> Option<ActiveView> {
@@ -700,53 +772,77 @@ impl<'a, D: Discipline> Oracle<'a, D> {
         })
     }
 
-    fn apply_directive(&mut self, directive: PowerDirective, policy: &mut dyn PowerPolicy<D>) {
+    fn apply_directive(
+        &mut self,
+        directive: PowerDirective,
+        policy: &mut dyn PowerPolicy<D>,
+    ) -> Result<(), SimError> {
         match directive {
-            PowerDirective::FullSpeed => {}
+            PowerDirective::FullSpeed => Ok(()),
             PowerDirective::PowerDown { wake_at, mode } => {
-                assert!(
-                    self.active.is_none() && self.run_q.is_empty(),
-                    "power-down requires an idle kernel (no active task, empty run queue)"
-                );
-                assert!(wake_at >= self.now, "wake-up timer must not be in the past");
-                assert!(
-                    mode < self.cpu.sleep_modes().len(),
-                    "sleep mode index out of range"
-                );
-                let head = self
-                    .delay_q
-                    .head_release()
-                    .expect("with all tasks waiting, the delay queue cannot be empty");
+                if self.active.is_some() || !self.run_q.is_empty() {
+                    return Err(SimError::InvalidDirective {
+                        reason:
+                            "power-down requires an idle kernel (no active task, empty run queue)",
+                    });
+                }
+                if wake_at < self.now {
+                    return Err(SimError::InvalidDirective {
+                        reason: "wake-up timer must not be in the past",
+                    });
+                }
+                if mode >= self.cpu.sleep_modes().len() {
+                    return Err(SimError::InvalidDirective {
+                        reason: "sleep mode index out of range",
+                    });
+                }
+                let Some(head) = self.delay_q.head_release() else {
+                    return Err(SimError::InternalInvariant {
+                        what: "with all tasks waiting, the delay queue cannot be empty",
+                    });
+                };
                 let delay = self.cpu.sleep_modes()[mode].wakeup_delay(self.cpu.reference_freq());
-                assert!(
-                    wake_at + delay <= head,
-                    "the processor must be awake before the next release"
-                );
+                // `wake_at` is policy-supplied and unbounded: checked, not
+                // raw, addition before the oversleep comparison.
+                if wake_at.checked_add(delay).is_none_or(|w| w > head) {
+                    return Err(SimError::InvalidDirective {
+                        reason: "the processor must be awake before the next release",
+                    });
+                }
                 self.mode = ProcMode::PowerDown { wake_at, mode };
                 self.counters.power_downs += 1;
                 self.push_trace(TraceEvent::EnterPowerDown { wake_at });
+                Ok(())
             }
             PowerDirective::PowerDownAt { enter_at, wake_at } => {
-                assert!(
-                    self.active.is_none() && self.run_q.is_empty(),
-                    "timeout shutdown requires an idle kernel"
-                );
-                assert!(
-                    enter_at >= self.now,
-                    "shutdown timeout must not be in the past"
-                );
-                assert!(
-                    wake_at > enter_at,
-                    "wake-up must follow the shutdown instant"
-                );
-                let head = self
-                    .delay_q
-                    .head_release()
-                    .expect("with all tasks waiting, the delay queue cannot be empty");
-                assert!(
-                    wake_at + self.cpu.wakeup_delay() <= head,
-                    "the processor must be awake before the next release"
-                );
+                if self.active.is_some() || !self.run_q.is_empty() {
+                    return Err(SimError::InvalidDirective {
+                        reason: "timeout shutdown requires an idle kernel",
+                    });
+                }
+                if enter_at < self.now {
+                    return Err(SimError::InvalidDirective {
+                        reason: "shutdown timeout must not be in the past",
+                    });
+                }
+                if wake_at <= enter_at {
+                    return Err(SimError::InvalidDirective {
+                        reason: "wake-up must follow the shutdown instant",
+                    });
+                }
+                let Some(head) = self.delay_q.head_release() else {
+                    return Err(SimError::InternalInvariant {
+                        what: "with all tasks waiting, the delay queue cannot be empty",
+                    });
+                };
+                if wake_at
+                    .checked_add(self.cpu.wakeup_delay())
+                    .is_none_or(|w| w > head)
+                {
+                    return Err(SimError::InvalidDirective {
+                        reason: "the processor must be awake before the next release",
+                    });
+                }
                 if enter_at == self.now {
                     self.mode = ProcMode::PowerDown { wake_at, mode: 0 };
                     self.counters.power_downs += 1;
@@ -754,25 +850,28 @@ impl<'a, D: Discipline> Oracle<'a, D> {
                 } else {
                     self.pd_timer = Some((enter_at, wake_at));
                 }
+                Ok(())
             }
             PowerDirective::SlowDown { freq, speedup_at } => {
-                assert!(
-                    self.active.is_some() && self.run_q.is_empty(),
-                    "slow-down requires exactly the active task to be runnable"
-                );
-                assert!(
-                    self.cpu.ladder().contains(freq),
-                    "slow-down frequency must be a ladder level"
-                );
+                if self.active.is_none() || !self.run_q.is_empty() {
+                    return Err(SimError::InvalidDirective {
+                        reason: "slow-down requires exactly the active task to be runnable",
+                    });
+                }
+                if !self.cpu.ladder().contains(freq) {
+                    return Err(SimError::InvalidDirective {
+                        reason: "slow-down frequency must be a ladder level",
+                    });
+                }
                 if freq >= self.cpu.full_freq() || speedup_at <= self.now {
-                    return;
+                    return Ok(());
                 }
                 if !self.cfg.ratio_overhead.is_zero() {
                     self.pending_overhead +=
                         Cycles::from_time_at(self.cfg.ratio_overhead, self.cpu.reference_freq());
                 }
                 self.speedup_at = Some(speedup_at);
-                self.begin_ramp_from_ratio(1.0, freq, policy);
+                self.begin_ramp_from_ratio(1.0, freq, policy)
             }
         }
     }
@@ -782,7 +881,7 @@ impl<'a, D: Discipline> Oracle<'a, D> {
         r_from: f64,
         target: Freq,
         policy: &mut dyn PowerPolicy<D>,
-    ) {
+    ) -> Result<(), SimError> {
         let full = self.cpu.full_freq();
         if target == full {
             self.speedup_at = None;
@@ -797,9 +896,9 @@ impl<'a, D: Discipline> Oracle<'a, D> {
         if dur.is_zero() {
             self.mode = ProcMode::Settled(target);
             if target == full {
-                self.full_pass(policy);
+                self.full_pass(policy)?;
             }
-            return;
+            return Ok(());
         }
         self.push_trace(TraceEvent::RampStart {
             from: self.ratio_to_freq(r_from),
@@ -809,9 +908,12 @@ impl<'a, D: Discipline> Oracle<'a, D> {
         self.mode = ProcMode::Ramping {
             ramp,
             started: self.now,
-            end: self.now + dur,
+            // A degenerate (fault-injected) ramp rate can stretch past the
+            // representable range; the horizon minimum cuts it off.
+            end: self.now.saturating_add(dur),
             target,
         };
+        Ok(())
     }
 
     fn note_idle_transition(&mut self) {

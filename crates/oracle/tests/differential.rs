@@ -41,8 +41,8 @@ fn assert_matches_oracle(ts: &TaskSet, kind: PolicyKind, faults: FaultConfig) {
         .with_seed(42)
         .with_faults(faults)
         .with_trace();
-    let engine = run(&scaled, &cpu, kind, &lpfps_tasks::exec::PaperGaussian, &cfg);
-    let oracle = oracle_run(&scaled, &cpu, kind, &lpfps_tasks::exec::PaperGaussian, &cfg);
+    let engine = run(&scaled, &cpu, kind, &lpfps_tasks::exec::PaperGaussian, &cfg).unwrap();
+    let oracle = oracle_run(&scaled, &cpu, kind, &lpfps_tasks::exec::PaperGaussian, &cfg).unwrap();
     if let Some(d) = first_divergence(&engine, &oracle) {
         panic!("{}/{} diverged from the oracle\n{d}", ts.name(), kind);
     }
@@ -94,12 +94,48 @@ fn engine_matches_oracle_with_kernel_overheads() {
         .with_tick(Dur::from_us(1))
         .with_trace();
     for kind in POLICIES {
-        let engine = run(&scaled, &cpu, kind, &lpfps_tasks::exec::PaperGaussian, &cfg);
-        let oracle = oracle_run(&scaled, &cpu, kind, &lpfps_tasks::exec::PaperGaussian, &cfg);
+        let engine = run(&scaled, &cpu, kind, &lpfps_tasks::exec::PaperGaussian, &cfg).unwrap();
+        let oracle =
+            oracle_run(&scaled, &cpu, kind, &lpfps_tasks::exec::PaperGaussian, &cfg).unwrap();
         if let Some(d) = first_divergence(&engine, &oracle) {
             panic!("table1/{kind} with overheads diverged from the oracle\n{d}");
         }
     }
+}
+
+/// Error paths must be as differential as success paths: the engine and
+/// the oracle reject the same inputs with the *same* typed error, and a
+/// budget cut-off trips at the same event with the same diagnostic.
+#[test]
+fn engine_and_oracle_reject_identically() {
+    let cpu = CpuSpec::arm8();
+    let ts = table1();
+    let exec = lpfps_tasks::exec::AlwaysWcet;
+
+    // Invalid config: zero horizon.
+    let zero = SimConfig::new(lpfps_tasks::time::Dur::ZERO);
+    let e = run(&ts, &cpu, PolicyKind::Fps, &exec, &zero).unwrap_err();
+    let o = oracle_run(&ts, &cpu, PolicyKind::Fps, &exec, &zero).unwrap_err();
+    assert_eq!(e, o);
+    assert_eq!(e.kind(), "invalid-config");
+
+    // Malformed task set smuggled past the constructors via Deserialize.
+    let json = serde_json::to_string(&ts).unwrap();
+    let bad: TaskSet =
+        serde_json::from_str(&json.replace("\"period\":50000", "\"period\":0")).unwrap();
+    let cfg = SimConfig::new(default_horizon(&ts));
+    let e = run(&bad, &cpu, PolicyKind::Lpfps, &exec, &cfg).unwrap_err();
+    let o = oracle_run(&bad, &cpu, PolicyKind::Lpfps, &exec, &cfg).unwrap_err();
+    assert_eq!(e, o);
+    assert_eq!(e.kind(), "invalid-task-set");
+
+    // A budget cut-off carries an identical partial-progress diagnostic
+    // on both sides — same event, same sim time, same segment count.
+    let tight = SimConfig::new(default_horizon(&ts)).with_max_events(25);
+    let e = run(&ts, &cpu, PolicyKind::Lpfps, &exec, &tight).unwrap_err();
+    let o = oracle_run(&ts, &cpu, PolicyKind::Lpfps, &exec, &tight).unwrap_err();
+    assert_eq!(e, o);
+    assert_eq!(e.kind(), "budget-exhausted");
 }
 
 /// The non-vacuity proof: an engine with one cache-invalidation site
@@ -118,14 +154,16 @@ fn sabotaged_event_cache_is_caught() {
         PolicyKind::Fps,
         &lpfps_tasks::exec::AlwaysWcet,
         &sabotaged_cfg,
-    );
+    )
+    .unwrap();
     let oracle = oracle_run(
         &ts,
         &cpu,
         PolicyKind::Fps,
         &lpfps_tasks::exec::AlwaysWcet,
         &cfg,
-    );
+    )
+    .unwrap();
     let d = first_divergence(&sabotaged, &oracle)
         .expect("a stale dispatch-time event cache must produce an observable divergence");
     // The diagnostic must locate a concrete field, not just say "differs".

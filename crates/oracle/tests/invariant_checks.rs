@@ -24,7 +24,8 @@ fn traced(ts: &TaskSet, kind: PolicyKind, faults: FaultConfig) -> (TaskSet, SimR
         kind,
         &lpfps_tasks::exec::PaperGaussian,
         &cfg,
-    );
+    )
+    .unwrap();
     (scaled, report)
 }
 
@@ -177,7 +178,8 @@ fn theorem1_holds_on_every_workload() {
             &mut logger,
             &lpfps_tasks::exec::PaperGaussian,
             &cfg,
-        );
+        )
+        .unwrap();
         assert!(
             !logger.samples().is_empty(),
             "{}: no slow-downs sampled",

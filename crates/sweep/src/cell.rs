@@ -6,11 +6,12 @@ use lpfps::TimeoutShutdown;
 use lpfps_cpu::spec::CpuSpec;
 use lpfps_faults::FaultConfig;
 use lpfps_kernel::engine::{simulate_in, SimConfig, SimWorkspace};
+use lpfps_kernel::error::SimError;
 use lpfps_kernel::report::SimReport;
 use lpfps_tasks::exec::{AlwaysWcet, ExecModel, PaperGaussian};
 use lpfps_tasks::taskset::TaskSet;
 use lpfps_tasks::time::Dur;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// The execution-time models available declaratively. (Cells must be
 /// `Send + Sync + Clone`, so the model is named rather than boxed.)
@@ -200,14 +201,23 @@ impl Cell {
     /// Runs the cell serially. Every input is by-value or `Sync`, so the
     /// parallel runner calls this unchanged — byte-identical results by
     /// construction.
-    pub fn run(&self, horizon_scale: f64) -> SimReport {
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] the underlying simulation rejects the cell with
+    /// (invalid inputs, overflow-scale horizons, exhausted budgets).
+    pub fn run(&self, horizon_scale: f64) -> Result<SimReport, SimError> {
         self.run_in(horizon_scale, &mut SimWorkspace::new())
     }
 
     /// [`Cell::run`] with a caller-provided [`SimWorkspace`]. The parallel
     /// runner gives each worker thread one workspace for its whole batch,
     /// so a sweep's kernel-buffer allocations are O(threads), not O(cells).
-    pub fn run_in(&self, horizon_scale: f64, ws: &mut SimWorkspace) -> SimReport {
+    ///
+    /// # Errors
+    ///
+    /// As [`Cell::run`].
+    pub fn run_in(&self, horizon_scale: f64, ws: &mut SimWorkspace) -> Result<SimReport, SimError> {
         let scaled = self.ts.with_bcet_fraction(self.bcet_fraction);
         let mut cfg = SimConfig::new(self.effective_horizon(horizon_scale))
             .with_seed(self.seed)
@@ -222,7 +232,7 @@ impl Cell {
         }
         let mut report = match self.policy {
             PolicyChoice::Kind(kind) => {
-                run_in(&scaled, &self.cpu, kind, self.exec.model(), &cfg, ws)
+                run_in(&scaled, &self.cpu, kind, self.exec.model(), &cfg, ws)?
             }
             PolicyChoice::TimeoutShutdown(timeout) => simulate_in(
                 &scaled,
@@ -231,10 +241,69 @@ impl Cell {
                 self.exec.model(),
                 &cfg,
                 ws,
-            ),
+            )?,
         };
         report.taskset = self.app.clone();
-        report
+        Ok(report)
+    }
+}
+
+/// Why a sweep cell failed: a stable machine-readable kind (the
+/// [`SimError::kind`] slug, or `"panic"` for a caught panic), the full
+/// human-readable message, and the cell's coordinates in the sweep grid —
+/// so a failure inside a thousand-cell results file is self-locating
+/// without cross-referencing indices.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellError {
+    /// Stable error-kind slug (`"invalid-config"`, `"budget-exhausted"`,
+    /// ..., or `"panic"`).
+    pub kind: String,
+    /// The rendered error (or panic payload) message.
+    pub message: String,
+    /// The failing cell's application label.
+    pub app: String,
+    /// The failing cell's policy report name.
+    pub policy: String,
+    /// The failing cell's execution-time seed.
+    pub seed: u64,
+}
+
+impl CellError {
+    /// The structured record of a cell a simulation rejected with a typed
+    /// error.
+    pub fn from_sim(cell: &Cell, err: &SimError) -> Self {
+        CellError {
+            kind: err.kind().to_string(),
+            message: err.to_string(),
+            app: cell.app.clone(),
+            policy: cell.policy.name(),
+            seed: cell.seed,
+        }
+    }
+
+    /// The structured record of a cell whose execution *panicked* — the
+    /// containment path for defects the typed taxonomy missed.
+    pub fn from_panic(cell: &Cell, message: String) -> Self {
+        CellError {
+            kind: "panic".to_string(),
+            message,
+            app: cell.app.clone(),
+            policy: cell.policy.name(),
+            seed: cell.seed,
+        }
+    }
+
+    /// A legacy record deserialized from the pre-`CellError` JSON shape
+    /// (`{"Failed":{"message":"..."}}`): message only, no kind or
+    /// coordinates recorded.
+    fn legacy(message: String) -> Self {
+        CellError {
+            kind: "panic".to_string(),
+            message,
+            app: String::new(),
+            policy: String::new(),
+            seed: 0,
+        }
     }
 }
 
@@ -242,15 +311,51 @@ impl Cell {
 ///
 /// Deterministic: cell execution is a pure function of the cell, so a
 /// given cell either always completes or always fails with the same
-/// message — across thread counts and re-runs alike. (Wall-clock facts
+/// error — across thread counts and re-runs alike. (Wall-clock facts
 /// such as soft-timeout retries live in
 /// [`CellMetrics`](crate::metrics::CellMetrics), never here.)
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub enum CellStatus {
     /// The simulation ran to its horizon.
     Ok,
-    /// Cell execution panicked; the payload message is preserved.
-    Failed { message: String },
+    /// The cell was rejected with a typed error, or its execution
+    /// panicked; [`CellError`] preserves the kind and origin.
+    Failed { error: CellError },
+}
+
+// Hand-written to keep the *old* JSON shape parseable: committed results
+// predating `CellError` serialized failures as
+// `{"Failed":{"message":"..."}}`. The derive would accept only the new
+// `{"Failed":{"error":{...}}}` shape, so this impl aliases the legacy
+// field onto a coordinate-less `CellError` of kind `"panic"` (the only
+// failure mode that era had).
+impl Deserialize for CellStatus {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        if value.as_str() == Some("Ok") {
+            return Ok(CellStatus::Ok);
+        }
+        let failed = value
+            .as_object()
+            .and_then(|m| m.get("Failed"))
+            .and_then(serde::Value::as_object)
+            .ok_or_else(|| {
+                serde::Error::custom("expected \"Ok\" or a {\"Failed\": {...}} object")
+            })?;
+        if let Some(error) = failed.get("error") {
+            return Ok(CellStatus::Failed {
+                error: CellError::from_value(error)?,
+            });
+        }
+        let message = failed
+            .get("message")
+            .and_then(serde::Value::as_str)
+            .ok_or_else(|| {
+                serde::Error::custom("Failed cell carries neither `error` nor a legacy `message`")
+            })?;
+        Ok(CellStatus::Failed {
+            error: CellError::legacy(message.to_string()),
+        })
+    }
 }
 
 impl CellStatus {
@@ -262,8 +367,10 @@ impl CellStatus {
 
 /// The deterministic, serializable summary of one finished cell — what
 /// sweep binaries write to `--json`. Contains no wall-clock data, so
-/// parallel and serial runs serialize byte-identically.
-#[derive(Debug, Clone, Serialize)]
+/// parallel and serial runs serialize byte-identically. Round-trips
+/// through JSON, including results committed under the legacy failure
+/// shape (see the [`CellStatus`] deserializer).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CellResult {
     /// Cell label (application or synthetic-set name).
     pub app: String,
@@ -306,9 +413,9 @@ impl CellResult {
         }
     }
 
-    /// The summary of a cell whose execution panicked: identity fields
-    /// from the cell, zeroed measurements, and the panic message.
-    pub fn failed(cell: &Cell, message: String) -> Self {
+    /// The summary of a cell that failed: identity fields from the cell,
+    /// zeroed measurements, and the structured error.
+    pub fn failed(cell: &Cell, error: CellError) -> Self {
         CellResult {
             app: cell.app.clone(),
             policy: cell.policy.name(),
@@ -319,7 +426,52 @@ impl CellResult {
             misses: 0,
             degradations: 0,
             events: 0,
-            status: CellStatus::Failed { message },
+            status: CellStatus::Failed { error },
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Committed results predate `CellError`; the legacy failure shape
+    /// must keep parsing (satellite requirement of the error-taxonomy PR).
+    #[test]
+    fn legacy_failed_json_shape_still_parses() {
+        let legacy = r#"{"Failed":{"message":"attempt to add with overflow"}}"#;
+        let status: CellStatus = serde_json::from_str(legacy).unwrap();
+        assert_eq!(
+            status,
+            CellStatus::Failed {
+                error: CellError::legacy("attempt to add with overflow".to_string()),
+            }
+        );
+        assert!(!status.is_ok());
+    }
+
+    #[test]
+    fn new_failed_json_shape_round_trips() {
+        let status = CellStatus::Failed {
+            error: CellError {
+                kind: "invalid-config".to_string(),
+                message: "invalid simulation config: simulation horizon must be positive"
+                    .to_string(),
+                app: "avionics".to_string(),
+                policy: "lpfps".to_string(),
+                seed: 7,
+            },
+        };
+        let json = serde_json::to_string(&status).unwrap();
+        let back: CellStatus = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, status);
+    }
+
+    #[test]
+    fn ok_status_round_trips_as_plain_string() {
+        let json = serde_json::to_string(&CellStatus::Ok).unwrap();
+        assert_eq!(json, "\"Ok\"");
+        let back: CellStatus = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, CellStatus::Ok);
     }
 }

@@ -56,7 +56,24 @@ fn sample_indices(outcome: &SweepOutcome, sample: usize) -> Vec<usize> {
 /// Re-runs one cell with tracing and checks every trace invariant.
 fn check_cell(cell: &Cell, index: usize, horizon_scale: f64) -> CellCheck {
     let traced = cell.clone().with_trace();
-    let report = traced.run(horizon_scale);
+    // Only completed cells are sampled, and a cell is a pure function of
+    // its spec — a replay that fails where the sweep succeeded is itself
+    // a determinism violation worth reporting.
+    let report = match traced.run(horizon_scale) {
+        Ok(report) => report,
+        Err(err) => {
+            return CellCheck {
+                index,
+                label: cell.label(),
+                violations: vec![Violation {
+                    index: 0,
+                    at: lpfps_tasks::time::Time::ZERO,
+                    invariant: "replay-determinism",
+                    detail: format!("traced replay of a completed cell failed: {err}"),
+                }],
+            }
+        }
+    };
     let scaled = cell.ts.with_bcet_fraction(cell.bcet_fraction);
     let cpu = effective_cpu(&scaled, &cell.cpu, &report.policy);
     CellCheck {

@@ -12,9 +12,11 @@
 //! * [`runner`] — [`run_sweep`] executes a spec across worker threads
 //!   (work-stealing over `std::thread::scope`, no external dependencies)
 //!   and returns results in spec order, byte-for-byte identical to the
-//!   serial path. Cells are crash-isolated: a panicking cell becomes a
-//!   typed [`cell::CellStatus::Failed`] entry instead of aborting the
-//!   sweep, and an optional soft per-cell timeout grants one retry.
+//!   serial path. Cells are failure-isolated: a cell rejected with a
+//!   typed `SimError` — or, as a last resort, one that panics — becomes a
+//!   [`cell::CellStatus::Failed`] entry carrying a structured
+//!   [`cell::CellError`] instead of aborting the sweep, and an optional
+//!   soft per-cell timeout grants one retry.
 //! * [`cli`] — the uniform experiment command line (`--json`, `--metrics`,
 //!   `--threads`, `--seeds`, `--horizon-scale`, `--check`, `--quiet`),
 //!   which *errors* on unknown flags instead of silently ignoring them.
@@ -32,7 +34,7 @@ pub mod metrics;
 pub mod runner;
 pub mod spec;
 
-pub use cell::{Cell, CellResult, CellStatus, ExecKind, PolicyChoice};
+pub use cell::{Cell, CellError, CellResult, CellStatus, ExecKind, PolicyChoice};
 pub use check::{check_sampled_cells, CellCheck};
 pub use cli::{Cli, CliError, Parsed};
 pub use metrics::{CellMetrics, SweepMetrics};

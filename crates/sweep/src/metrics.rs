@@ -6,6 +6,7 @@
 //! `--json` results payload.
 
 use serde::Serialize;
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// Timing for one executed cell.
@@ -51,6 +52,11 @@ pub struct SweepMetrics {
     pub total_events: u64,
     /// Cells that finished [`CellStatus::Failed`](crate::cell::CellStatus).
     pub failures: usize,
+    /// Failure count per error kind (`"invalid-config"`,
+    /// `"budget-exhausted"`, ..., `"panic"`), sorted by kind. Empty for a
+    /// clean sweep. Deterministic, unlike the timings — derived from the
+    /// results, not the clock.
+    pub failure_kinds: BTreeMap<String, usize>,
     /// Per-cell timings, in spec order.
     pub per_cell: Vec<CellMetrics>,
 }
@@ -97,11 +103,17 @@ impl SweepMetrics {
             self.total_events,
         );
         if self.failures > 0 {
+            let kinds: Vec<String> = self
+                .failure_kinds
+                .iter()
+                .map(|(kind, count)| format!("{kind}: {count}"))
+                .collect();
             let _ = writeln!(
                 out,
-                "  {} cell{} FAILED (see statuses in the results payload)",
+                "  {} cell{} FAILED [{}] (see statuses in the results payload)",
                 self.failures,
                 if self.failures == 1 { "" } else { "s" },
+                kinds.join(", "),
             );
         }
         let mut slowest: Vec<&CellMetrics> = self.per_cell.iter().collect();

@@ -8,20 +8,26 @@
 //! in their spec-order slot — output is byte-for-byte identical for any
 //! thread count, including the serial path.
 //!
-//! Cells are crash-isolated: a panicking cell is caught, recorded as
-//! [`CellStatus::Failed`](crate::cell::CellStatus) with its panic message, and every other cell
-//! still runs to completion. Failure is deterministic (same pure
-//! function), so even a sweep containing failing cells serializes
-//! byte-identically at any thread count. An optional *soft* per-cell
-//! timeout flags cells that exceed their wall-clock budget and grants one
-//! retry; since results are deterministic, the timeout affects only the
-//! (nondeterministic) metrics, never the results.
+//! Cells are failure-isolated: a cell the simulation rejects with a typed
+//! [`SimError`](lpfps_kernel::error::SimError) — and, as a last line of
+//! defense, a cell that *panics* — is recorded as
+//! [`CellStatus::Failed`](crate::cell::CellStatus) carrying a structured
+//! [`CellError`] (error kind, message, and the cell's grid coordinates),
+//! and every other cell still runs to completion. Failure is
+//! deterministic (same pure function), so even a sweep containing failing
+//! cells serializes byte-identically at any thread count, and
+//! [`SweepMetrics::failure_kinds`] counts failures per error kind. An
+//! optional *soft* per-cell timeout flags cells that exceed their
+//! wall-clock budget and grants one retry; since results are
+//! deterministic, the timeout affects only the (nondeterministic)
+//! metrics, never the results.
 
-use crate::cell::CellResult;
+use crate::cell::{Cell, CellError, CellResult, CellStatus};
 use crate::metrics::{CellMetrics, SweepMetrics};
 use crate::spec::SweepSpec;
 use lpfps_kernel::engine::SimWorkspace;
 use lpfps_kernel::report::SimReport;
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -103,8 +109,8 @@ pub struct SweepOutcome {
     /// failed (see the matching [`CellResult::status`]).
     pub reports: Vec<Option<SimReport>>,
     /// One deterministic summary per cell, in spec order — including
-    /// failed cells, whose [`CellStatus::Failed`](crate::cell::CellStatus) carries the panic
-    /// message.
+    /// failed cells, whose [`CellStatus::Failed`](crate::cell::CellStatus)
+    /// carries the structured [`CellError`].
     pub results: Vec<CellResult>,
     /// Wall-clock/throughput accounting for this run.
     pub metrics: SweepMetrics,
@@ -138,19 +144,36 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Runs one cell behind the containment boundary: a typed [`SimError`]
+/// and a caught panic both land as a structured [`CellError`] (the panic
+/// under kind `"panic"`), so the sweep never aborts on a bad cell.
+fn run_cell(
+    cell: &Cell,
+    horizon_scale: f64,
+    ws: &mut SimWorkspace,
+) -> Result<SimReport, CellError> {
+    match catch_unwind(AssertUnwindSafe(|| cell.run_in(horizon_scale, ws))) {
+        Ok(Ok(report)) => Ok(report),
+        Ok(Err(err)) => Err(CellError::from_sim(cell, &err)),
+        Err(payload) => Err(CellError::from_panic(cell, panic_message(payload))),
+    }
+}
+
 /// Runs every cell of `spec` across `opts.threads` workers.
 ///
-/// Panics inside cell execution do **not** propagate: the offending cell
-/// is reported as [`CellStatus::Failed`](crate::cell::CellStatus) (with the panic message) and the
-/// sweep completes. Only runner-internal invariant violations (a poisoned
-/// slot lock, an unclaimed slot) still panic.
+/// Failures inside cell execution — typed
+/// [`SimError`](lpfps_kernel::error::SimError)s and panics alike
+/// — do **not** propagate: the offending cell is reported as
+/// [`CellStatus::Failed`](crate::cell::CellStatus) with a structured
+/// [`CellError`] and the sweep completes. Only runner-internal invariant
+/// violations (a poisoned slot lock, an unclaimed slot) still panic.
 pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> SweepOutcome {
     let n = spec.len();
     let workers = opts.threads.clamp(1, n.max(1));
     let started = Instant::now();
 
     let next = AtomicUsize::new(0);
-    type Slot = (Result<SimReport, String>, CellMetrics);
+    type Slot = (Result<SimReport, CellError>, CellMetrics);
     let slots: Mutex<Vec<Option<Slot>>> = Mutex::new((0..n).map(|_| None).collect());
 
     std::thread::scope(|scope| {
@@ -170,25 +193,19 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> SweepOutcome {
                     let cell = &spec.cells[index];
                     let cell_started = Instant::now();
                     let mut attempts = 1;
-                    let mut outcome = catch_unwind(AssertUnwindSafe(|| {
-                        cell.run_in(opts.horizon_scale, &mut ws)
-                    }))
-                    .map_err(panic_message);
+                    let mut outcome = run_cell(cell, opts.horizon_scale, &mut ws);
                     let mut wall = cell_started.elapsed();
                     let mut timed_out = false;
                     if let Some(budget) = opts.cell_timeout {
                         // Soft timeout: one bounded retry for completed cells
-                        // that blew their budget (panics are deterministic and
-                        // never retried). The result cannot change — only the
-                        // recorded timing does.
+                        // that blew their budget (failures — typed errors and
+                        // panics — are deterministic and never retried). The
+                        // result cannot change — only the recorded timing does.
                         if outcome.is_ok() && wall > budget {
                             timed_out = true;
                             attempts = 2;
                             let retry_started = Instant::now();
-                            outcome = catch_unwind(AssertUnwindSafe(|| {
-                                cell.run_in(opts.horizon_scale, &mut ws)
-                            }))
-                            .map_err(panic_message);
+                            outcome = run_cell(cell, opts.horizon_scale, &mut ws);
                             wall = retry_started.elapsed();
                         }
                     }
@@ -213,10 +230,12 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> SweepOutcome {
                                     ""
                                 }
                             ),
-                            Err(message) => eprintln!(
-                                "[{:>4}/{n}] {:<36} FAILED: {message}",
+                            Err(error) => eprintln!(
+                                "[{:>4}/{n}] {:<36} FAILED ({}): {}",
                                 index + 1,
-                                metrics.label
+                                metrics.label,
+                                error.kind,
+                                error.message
                             ),
                         }
                     }
@@ -244,8 +263,8 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> SweepOutcome {
                 results.push(CellResult::from_report(&spec.cells[index], &report));
                 reports.push(Some(report));
             }
-            Err(message) => {
-                results.push(CellResult::failed(&spec.cells[index], message));
+            Err(error) => {
+                results.push(CellResult::failed(&spec.cells[index], error));
                 reports.push(None);
             }
         }
@@ -253,6 +272,12 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> SweepOutcome {
     }
     let total_events = per_cell.iter().map(|m| m.events).sum();
     let failures = results.iter().filter(|r| !r.status.is_ok()).count();
+    let mut failure_kinds: BTreeMap<String, usize> = BTreeMap::new();
+    for r in &results {
+        if let CellStatus::Failed { error } = &r.status {
+            *failure_kinds.entry(error.kind.clone()).or_insert(0) += 1;
+        }
+    }
 
     let outcome = SweepOutcome {
         reports,
@@ -264,6 +289,7 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> SweepOutcome {
             wall_ns,
             total_events,
             failures,
+            failure_kinds,
             per_cell,
         },
     };
@@ -384,8 +410,8 @@ mod tests {
         assert_eq!(out.metrics.threads, 6);
     }
 
-    /// A spec whose middle cell always panics (zero horizon trips the
-    /// kernel's `SimConfig` assertion).
+    /// A spec whose middle cell always fails (zero horizon is rejected by
+    /// the kernel's `SimConfig` validation with a typed error).
     fn spec_with_poison() -> SweepSpec {
         let mut s = spec();
         let bad = s.cells[2].clone().with_horizon(Dur::ZERO);
@@ -394,20 +420,32 @@ mod tests {
     }
 
     #[test]
-    fn panicking_cell_is_isolated() {
+    fn failing_cell_is_isolated() {
         let spec = spec_with_poison();
         let out = run_sweep(&spec, &RunOptions::serial());
         assert_eq!(out.results.len(), 6);
         assert_eq!(out.metrics.failures, 1);
+        assert_eq!(
+            out.metrics.failure_kinds.get("invalid-config").copied(),
+            Some(1)
+        );
+        assert_eq!(out.metrics.failure_kinds.len(), 1);
         assert!(!out.all_ok());
         assert!(out.reports[2].is_none());
         assert!(out.report(2).is_none());
         match &out.results[2].status {
-            CellStatus::Failed { message } => {
+            CellStatus::Failed { error } => {
+                assert_eq!(error.kind, "invalid-config");
                 assert!(
-                    message.contains("horizon"),
-                    "panic message should be preserved, got: {message}"
+                    error.message.contains("horizon"),
+                    "error message should name the offending field, got: {}",
+                    error.message
                 );
+                // The error is self-locating: it carries the cell's
+                // coordinates in the sweep grid.
+                assert_eq!(error.app, "t");
+                assert_eq!(error.policy, "lpfps");
+                assert_eq!(error.seed, 2);
             }
             CellStatus::Ok => panic!("poison cell must fail"),
         }
@@ -418,6 +456,31 @@ mod tests {
             if i != 2 {
                 assert!(r.status.is_ok());
                 assert!(out.reports[i].is_some());
+            }
+        }
+    }
+
+    /// The last line of defense: a genuine panic inside cell execution
+    /// (not a typed error) is still caught and lands under the reserved
+    /// `"panic"` kind. Driven through `effective_horizon`'s scale
+    /// assertion by building `RunOptions` with a field literal, bypassing
+    /// the builder's own validation.
+    #[test]
+    fn genuine_panic_maps_to_the_panic_kind() {
+        let opts = RunOptions {
+            horizon_scale: -1.0,
+            ..RunOptions::serial()
+        };
+        let out = run_sweep(&spec(), &opts);
+        assert_eq!(out.metrics.failures, 6);
+        assert_eq!(out.metrics.failure_kinds.get("panic").copied(), Some(6));
+        for r in &out.results {
+            match &r.status {
+                CellStatus::Failed { error } => {
+                    assert_eq!(error.kind, "panic");
+                    assert!(error.message.contains("horizon scale"));
+                }
+                CellStatus::Ok => panic!("every cell must fail under a negative scale"),
             }
         }
     }

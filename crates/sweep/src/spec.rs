@@ -198,11 +198,11 @@ mod tests {
             ExecKind::PaperGaussian,
         );
         assert_eq!(spec.len(), 2);
-        let edf = spec.cells[0].run(1.0);
+        let edf = spec.cells[0].run(1.0).unwrap();
         assert_eq!(edf.policy, "edf");
         assert_eq!(edf.discipline, "edf");
         assert!(edf.all_deadlines_met(), "misses: {:?}", edf.misses);
-        let cc = spec.cells[1].run(1.0);
+        let cc = spec.cells[1].run(1.0).unwrap();
         assert_eq!(cc.policy, "cc-edf");
         assert!(cc.average_power() < edf.average_power());
     }

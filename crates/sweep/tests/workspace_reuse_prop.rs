@@ -1,26 +1,27 @@
 //! Property test: a recycled [`SimWorkspace`] is behaviorally invisible.
 //! Whatever ran in a workspace before — other workloads, other policies,
-//! faulted runs, even a cell that *panicked mid-simulation* and left the
-//! buffers in whatever state the unwind abandoned them in — the next
-//! report out of that workspace must serialize byte-identically to the
-//! same cell run in a fresh workspace, traces included.
+//! faulted runs, even a simulation that *aborted mid-run* (a tripped
+//! event budget) and left the buffers in whatever state the dead engine
+//! took them to — the next report out of that workspace must serialize
+//! byte-identically to the same cell run in a fresh workspace, traces
+//! included.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-
-use lpfps::driver::PolicyKind;
+use lpfps::baselines::Fps;
+use lpfps::driver::{default_horizon, PolicyKind};
 use lpfps_cpu::spec::CpuSpec;
 use lpfps_faults::{FaultConfig, OverrunFault, ReleaseJitter};
-use lpfps_kernel::engine::SimWorkspace;
+use lpfps_kernel::engine::{simulate_in, SimConfig, SimWorkspace};
 use lpfps_sweep::{Cell, ExecKind};
+use lpfps_tasks::exec::AlwaysWcet;
 use lpfps_tasks::time::Dur;
 use lpfps_workloads::{avionics, cnc, ins, table1};
 use proptest::prelude::*;
 
 /// Runs an adversarial warm-up mix through the workspace: every catalog
 /// workload (including the widest, INS, so every per-task buffer grows
-/// past the target cell's needs), a faulted traced run, and a
-/// zero-horizon cell whose mid-run panic abandons the buffers wherever
-/// the unwind left them.
+/// past the target cell's needs), a faulted traced run, a zero-horizon
+/// cell (rejected up front with a typed error), and a budget-aborted
+/// simulation that abandons the buffers mid-run.
 fn dirty(ws: &mut SimWorkspace, seed: u64) {
     let faults = FaultConfig::none()
         .with_seed(seed)
@@ -33,13 +34,24 @@ fn dirty(ws: &mut SimWorkspace, seed: u64) {
             .with_seed(seed ^ i as u64)
             .with_faults(faults)
             .with_trace();
-        cell.run_in(0.05, ws);
+        cell.run_in(0.05, ws).unwrap();
     }
-    // The panic poison: Dur::ZERO horizons abort mid-setup/run; the
-    // workspace must recover from an unwind-interrupted simulation.
+    // The validation poison: a zero horizon is rejected with a typed
+    // error before the engine ever touches the workspace.
     let poisoned = Cell::new(table1(), CpuSpec::arm8(), PolicyKind::Lpfps).with_horizon(Dur::ZERO);
-    let outcome = catch_unwind(AssertUnwindSafe(|| poisoned.run_in(1.0, ws)));
-    assert!(outcome.is_err(), "the zero-horizon poison cell must panic");
+    assert!(
+        poisoned.run_in(1.0, ws).is_err(),
+        "the zero-horizon poison cell must be rejected"
+    );
+    // The abandonment poison: a tight event budget aborts a simulation
+    // *mid-run*; the buffers moved into the dead engine are lost and the
+    // workspace must recover empty-but-valid.
+    let ts = table1();
+    let tight = SimConfig::new(default_horizon(&ts)).with_max_events(40);
+    assert!(
+        simulate_in(&ts, &CpuSpec::arm8(), &mut Fps, &AlwaysWcet, &tight, ws).is_err(),
+        "the event-budget poison must fail mid-run"
+    );
 }
 
 proptest! {
@@ -73,11 +85,11 @@ proptest! {
             );
         }
 
-        let fresh = cell.run_in(0.2, &mut SimWorkspace::new());
+        let fresh = cell.run_in(0.2, &mut SimWorkspace::new()).unwrap();
 
         let mut ws = SimWorkspace::new();
         dirty(&mut ws, seed);
-        let reused = cell.run_in(0.2, &mut ws);
+        let reused = cell.run_in(0.2, &mut ws).unwrap();
 
         let a = serde_json::to_string(&fresh).unwrap();
         let b = serde_json::to_string(&reused).unwrap();
@@ -89,8 +101,8 @@ proptest! {
             .with_bcet_fraction(0.5)
             .with_seed(seed + 1)
             .with_trace();
-        let follow_fresh = follow.run_in(0.1, &mut SimWorkspace::new());
-        let follow_reused = follow.run_in(0.1, &mut ws);
+        let follow_fresh = follow.run_in(0.1, &mut SimWorkspace::new()).unwrap();
+        let follow_reused = follow.run_in(0.1, &mut ws).unwrap();
         prop_assert_eq!(
             serde_json::to_string(&follow_fresh).unwrap(),
             serde_json::to_string(&follow_reused).unwrap()

@@ -128,7 +128,11 @@ pub fn busy_period_responses(ts: &TaskSet) -> Option<Vec<BusyPeriodOutcome>> {
         };
         let run = run.0;
         // Run until the job completes or the next release, whichever first.
-        let next_event = next_release.iter().copied().min().expect("non-empty set");
+        // A live task exists, so `n >= 1` and the minimum exists; the
+        // fallback keeps this path panic-free rather than aborting.
+        let Some(next_event) = next_release.iter().copied().min() else {
+            break;
+        };
         let finish = now + remaining[run];
         if finish <= next_event {
             now = finish;

@@ -56,12 +56,9 @@ pub fn audsley(tasks: &[Task]) -> Option<Vec<Priority>> {
             None => return None,
         }
     }
-    Some(
-        assigned
-            .into_iter()
-            .map(|p| p.expect("all assigned"))
-            .collect(),
-    )
+    // Every slot was filled by the loop above (each level assigns exactly
+    // one task); `collect::<Option<..>>` propagates instead of panicking.
+    assigned.into_iter().collect()
 }
 
 /// Builds a total trial order placing `cand` at `level`, the other

@@ -124,7 +124,9 @@ pub fn response_time(ts: &TaskSet, id: TaskId, cfg: &RtaConfig) -> RtaOutcome {
                 .map(|&(t, c)| (r + jitter).div_ceil(t) * c)
                 .sum::<u128>();
         if next == r {
-            let resp = u64::try_from(r + jitter).expect("response time overflows u64 ns");
+            // `r <= limit <= u64::MAX`, so only a pathological jitter can
+            // push past u64; saturating keeps the analysis panic-free.
+            let resp = u64::try_from(r + jitter).unwrap_or(u64::MAX);
             return RtaOutcome::Schedulable(Dur::from_ns(resp));
         }
         r = next;

@@ -43,15 +43,15 @@ impl Cycles {
     }
 
     /// The work performed when running for `d` at frequency `f`, rounded
-    /// *down* (a partial cycle does not retire).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the result does not fit in `u64`.
+    /// *down* (a partial cycle does not retire). Saturates at `u64::MAX`
+    /// cycles: validated inputs (see `lpfps_tasks::error`) never reach the
+    /// saturation point, and for hostile inputs a pinned-at-maximum work
+    /// amount is detected by the kernel's overflow boundary checks instead
+    /// of aborting the process.
     pub fn from_time_at(d: Dur, f: Freq) -> Self {
         // cycles = ns * kHz / 1e6  (1 kHz = 1e3 cycles/s = 1e-6 cycles/ns)
         let c = (d.as_ns() as u128 * f.as_khz() as u128) / 1_000_000;
-        Cycles(u64::try_from(c).expect("cycle count overflows u64"))
+        Cycles(u64::try_from(c).unwrap_or(u64::MAX))
     }
 
     /// The raw cycle count.
@@ -62,17 +62,21 @@ impl Cycles {
     /// The wall-clock time to retire this many cycles at frequency `f`,
     /// rounded *up* (the last cycle must fully complete).
     ///
-    /// # Panics
-    ///
-    /// Panics if `f` is zero, or if the result does not fit in `u64`
-    /// nanoseconds.
+    /// A stopped clock (`f == 0`) or a duration beyond `u64` nanoseconds
+    /// both saturate to [`Dur::MAX`] — "this work never finishes" — rather
+    /// than aborting. Validated processor specs have a nonzero minimum
+    /// frequency, so the saturated path is unreachable on the happy path
+    /// (kept as a `debug_assert!` below).
     pub fn time_at(self, f: Freq) -> Dur {
-        assert!(!f.is_zero(), "cannot execute work at a stopped clock");
+        debug_assert!(!f.is_zero(), "cannot execute work at a stopped clock");
+        if f.is_zero() {
+            return Dur::MAX;
+        }
         // ns = cycles * 1e6 / kHz, ceiling division.
         let num = self.0 as u128 * 1_000_000;
         let den = f.as_khz() as u128;
         let ns = num.div_ceil(den);
-        Dur::from_ns(u64::try_from(ns).expect("duration overflows u64 ns"))
+        Dur::from_ns(u64::try_from(ns).unwrap_or(u64::MAX))
     }
 
     /// True if no work remains.
@@ -179,9 +183,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "stopped clock")]
-    fn time_at_zero_frequency_panics() {
-        let _ = Cycles::new(1).time_at(Freq::ZERO);
+    #[cfg_attr(debug_assertions, should_panic(expected = "stopped clock"))]
+    fn time_at_zero_frequency_saturates() {
+        // Debug builds trap the programming error; release builds
+        // saturate to "this work never finishes".
+        assert_eq!(Cycles::new(1).time_at(Freq::ZERO), Dur::MAX);
     }
 
     #[test]

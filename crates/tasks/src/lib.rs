@@ -1,3 +1,11 @@
+// The library boundary is panic-free: untrusted input must surface as a
+// typed error (`error::TaskSetError`), never abort the process. Tests and
+// binaries may still unwrap freely.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 //! # lpfps-tasks
 //!
 //! Periodic task model, fixed-priority assignment, schedulability analysis,
@@ -39,6 +47,7 @@
 
 pub mod analysis;
 pub mod cycles;
+pub mod error;
 pub mod exec;
 pub mod freq;
 pub mod gen;
@@ -49,6 +58,7 @@ pub mod taskset;
 pub mod time;
 
 pub use cycles::Cycles;
+pub use error::TaskSetError;
 pub use freq::Freq;
 pub use task::{Priority, Task, TaskId};
 pub use taskset::TaskSet;

@@ -31,8 +31,8 @@ fn main() {
     for frac in [0.2, 0.4, 0.6, 0.8, 1.0] {
         let ts = base.with_bcet_fraction(frac);
         let cfg = SimConfig::new(horizon).with_seed(7);
-        let fps = run(&ts, &cpu, PolicyKind::Fps, &PaperGaussian, &cfg);
-        let lp = run(&ts, &cpu, PolicyKind::Lpfps, &PaperGaussian, &cfg);
+        let fps = run(&ts, &cpu, PolicyKind::Fps, &PaperGaussian, &cfg).unwrap();
+        let lp = run(&ts, &cpu, PolicyKind::Lpfps, &PaperGaussian, &cfg).unwrap();
         assert!(fps.all_deadlines_met() && lp.all_deadlines_met());
 
         let split: Vec<String> = [

@@ -89,9 +89,9 @@ fn main() {
     let cfg = SimConfig::new(default_horizon(&ts)).with_seed(11);
     let exec = PaperGaussian;
 
-    let fps = run(&ts, &cpu, PolicyKind::Fps, &exec, &cfg);
-    let mine = simulate(&ts, &cpu, &mut HalfOrFull::new(&cpu), &exec, &cfg);
-    let lpfps = run(&ts, &cpu, PolicyKind::Lpfps, &exec, &cfg);
+    let fps = run(&ts, &cpu, PolicyKind::Fps, &exec, &cfg).unwrap();
+    let mine = simulate(&ts, &cpu, &mut HalfOrFull::new(&cpu), &exec, &cfg).unwrap();
+    let lpfps = run(&ts, &cpu, PolicyKind::Lpfps, &exec, &cfg).unwrap();
 
     for r in [&fps, &mine, &lpfps] {
         assert!(r.all_deadlines_met(), "{} missed deadlines", r.policy);

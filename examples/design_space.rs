@@ -21,8 +21,8 @@ use lpfps_tasks::freq::Freq;
 fn saving(cpu: &CpuSpec) -> f64 {
     let ts = lpfps_workloads::ins().with_bcet_fraction(0.3);
     let cfg = SimConfig::new(default_horizon(&ts)).with_seed(5);
-    let fps = run(&ts, cpu, PolicyKind::Fps, &PaperGaussian, &cfg);
-    let lp = run(&ts, cpu, PolicyKind::Lpfps, &PaperGaussian, &cfg);
+    let fps = run(&ts, cpu, PolicyKind::Fps, &PaperGaussian, &cfg).unwrap();
+    let lp = run(&ts, cpu, PolicyKind::Lpfps, &PaperGaussian, &cfg).unwrap();
     assert!(fps.all_deadlines_met() && lp.all_deadlines_met());
     power_reduction(&fps, &lp)
 }

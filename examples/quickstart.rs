@@ -45,8 +45,8 @@ fn main() {
     let cpu = CpuSpec::arm8();
     let cfg = SimConfig::new(default_horizon(&ts)).with_seed(42);
     let exec = PaperGaussian; // the paper's clamped-Gaussian execution times
-    let fps = run(&ts, &cpu, PolicyKind::Fps, &exec, &cfg);
-    let lpfps = run(&ts, &cpu, PolicyKind::Lpfps, &exec, &cfg);
+    let fps = run(&ts, &cpu, PolicyKind::Fps, &exec, &cfg).unwrap();
+    let lpfps = run(&ts, &cpu, PolicyKind::Lpfps, &exec, &cfg).unwrap();
 
     // 4. Both keep every deadline; LPFPS burns less power.
     assert!(fps.all_deadlines_met() && lpfps.all_deadlines_met());

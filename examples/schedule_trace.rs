@@ -19,7 +19,7 @@ fn main() {
     let horizon = Dur::from_us(9_600); // one CNC hyperperiod
     let cfg = SimConfig::new(horizon).with_seed(3).with_trace();
 
-    let report = simulate(&ts, &cpu, &mut LpfpsPolicy::new(), &PaperGaussian, &cfg);
+    let report = simulate(&ts, &cpu, &mut LpfpsPolicy::new(), &PaperGaussian, &cfg).unwrap();
     assert!(report.all_deadlines_met(), "misses: {:?}", report.misses);
     let trace = report.trace.as_ref().expect("tracing enabled");
 

@@ -39,6 +39,11 @@ impl Map {
         self.entries.iter().map(|(k, v)| (k, v))
     }
 
+    /// Mutable counterpart of [`Map::iter`], in insertion order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&String, &mut Value)> {
+        self.entries.iter_mut().map(|(k, v)| (&*k, v))
+    }
+
     pub fn keys(&self) -> impl Iterator<Item = &String> {
         self.entries.iter().map(|(k, _)| k)
     }

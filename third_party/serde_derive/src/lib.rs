@@ -14,6 +14,10 @@
 //!
 //! Generic types are rejected with a compile error.
 
+// Vendored stub, not library surface: internal `expect`/`panic!` here are
+// build-time assertions, exempt from the workspace's panic-free boundary.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 // ---------------------------------------------------------------------------

@@ -5,6 +5,10 @@
 //! `serde` tree model: serialization renders a [`Value`], deserialization
 //! parses JSON text into a [`Value`] and hands it to `Deserialize`.
 
+// Vendored stub, not library surface: internal `expect`/`panic!` here are
+// build-time assertions, exempt from the workspace's panic-free boundary.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 pub use serde::{Error, Map, Number, Value};
 
 use serde::{Deserialize, Serialize};
