@@ -23,6 +23,7 @@
 use lpfps::driver::{run, PolicyKind};
 use lpfps_bench::fingerprint::report_fingerprint;
 use lpfps_bench::golden::golden_runs;
+use lpfps_bench::long_horizon::{run_long_horizon, LongHorizonResults};
 use lpfps_cpu::spec::CpuSpec;
 use lpfps_kernel::engine::SimConfig;
 use lpfps_sweep::{run_sweep, ExecKind, RunOptions, SweepSpec};
@@ -65,7 +66,15 @@ struct Snapshot {
     sweeps: Vec<SweepRun>,
 }
 
-/// The committed before/after trajectory.
+/// The committed before/after trajectory (schema
+/// `lpfps/bench-kernel/v2`).
+///
+/// v2 changes over v1: `parallel_sweep_speedup` is nullable — `null`
+/// (with `parallel_sweep_note` explaining why) on single-core hosts where
+/// no distinct all-threads sweep exists, instead of the misleading `1.0`
+/// v1 recorded there — and the `long_horizon` section records the
+/// steady-state fast-forward speedups with their equivalence-checked
+/// event counts.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Trajectory {
     schema: String,
@@ -74,10 +83,16 @@ struct Trajectory {
     /// Speedup of the single-thread utilization sweep (after/before
     /// events per second) — the acceptance headline.
     single_thread_sweep_speedup: f64,
-    /// Speedup of the same sweep at all host threads.
-    parallel_sweep_speedup: f64,
+    /// Speedup of the same sweep at all host threads; `null` when the
+    /// host has one core (see `parallel_sweep_note`).
+    parallel_sweep_speedup: Option<f64>,
+    /// Present exactly when `parallel_sweep_speedup` is `null`.
+    parallel_sweep_note: Option<String>,
     /// Geometric-mean single-simulation speedup over the workload matrix.
     single_sim_speedup_geomean: f64,
+    /// Fast-forward vs forced-full wall times at the committed scale
+    /// (byte-identical reports asserted during measurement).
+    long_horizon: LongHorizonResults,
     before: Snapshot,
     after: Snapshot,
 }
@@ -315,27 +330,51 @@ fn main() {
         });
         let raw = std::fs::read_to_string(baseline_path).expect("baseline snapshot readable");
         let before: Snapshot = serde_json::from_str(&raw).expect("baseline snapshot parses");
+        let (parallel_sweep_speedup, parallel_sweep_note) = if host_threads() > 1 {
+            (Some(sweep_speedup(&before, &snapshot, false)), None)
+        } else {
+            (
+                None,
+                Some(
+                    "single-core host: the all-threads sweep is the single-thread sweep, \
+                     so no distinct parallel speedup exists"
+                        .to_string(),
+                ),
+            )
+        };
+        eprintln!("measuring long-horizon fast-forward speedups (scale 50)...");
+        let long_horizon = run_long_horizon(50.0, if quick { 1 } else { 3 });
         let trajectory = Trajectory {
-            schema: "lpfps/bench-kernel/v1".to_string(),
+            schema: "lpfps/bench-kernel/v2".to_string(),
             generated_by: "bench_kernel --baseline".to_string(),
             host_threads: host_threads() as u64,
             single_thread_sweep_speedup: sweep_speedup(&before, &snapshot, true),
-            parallel_sweep_speedup: sweep_speedup(&before, &snapshot, false),
+            parallel_sweep_speedup,
+            parallel_sweep_note,
             single_sim_speedup_geomean: geomean(before.singles.iter().zip(&snapshot.singles).map(
                 |(b, a)| {
                     debug_assert_eq!((&b.app, &b.policy), (&a.app, &a.policy));
                     b.ns_per_sim as f64 / a.ns_per_sim.max(1) as f64
                 },
             )),
+            long_horizon,
             before,
             after: snapshot.clone(),
         };
         println!(
-            "\nsingle-thread sweep speedup: {:.2}x   parallel: {:.2}x   single-sim geomean: {:.2}x",
+            "\nsingle-thread sweep speedup: {:.2}x   parallel: {}   single-sim geomean: {:.2}x",
             trajectory.single_thread_sweep_speedup,
-            trajectory.parallel_sweep_speedup,
+            trajectory
+                .parallel_sweep_speedup
+                .map_or("n/a (single core)".to_string(), |s| format!("{s:.2}x")),
             trajectory.single_sim_speedup_geomean
         );
+        for row in &trajectory.long_horizon.rows {
+            println!(
+                "long-horizon {}/{} @ scale {}: {:.1}x",
+                row.app, row.policy, row.horizon_scale, row.speedup
+            );
+        }
         let json = serde_json::to_string_pretty(&trajectory).expect("trajectory serializes");
         std::fs::write(&out, json + "\n").expect("trajectory written");
         eprintln!("trajectory written to {out}");

@@ -11,12 +11,20 @@
 //! cache, power memo, workspace reuse, tuned queues) are behaviorally
 //! invisible.
 //!
+//! A second matrix covers the steady-state fast-forward: the same
+//! workload × policy grid under `AlwaysWcet` without tracing (the
+//! detector's eligible regime), where each cell is checked two ways —
+//! the fast-forwarding engine against the naive oracle (which always
+//! simulates every event), and against its own forced-full run
+//! byte-for-byte.
+//!
 //! Usage: `cargo run --release --bin diff_kernel -- [--horizon-scale F]`
 
 use lpfps::driver::PolicyKind;
 use lpfps_bench::golden::oracle_report;
 use lpfps_cpu::spec::CpuSpec;
 use lpfps_faults::{FaultConfig, OverrunFault};
+use lpfps_kernel::engine::SimWorkspace;
 use lpfps_oracle::first_divergence;
 use lpfps_sweep::{Cell, Cli, ExecKind};
 use lpfps_workloads::{avionics, cnc, ins, table1};
@@ -89,15 +97,73 @@ fn main() {
         );
     }
 
-    if divergences > 0 {
-        eprintln!(
-            "{divergences}/{} cells diverged from the oracle",
-            cells.len()
+    // Second matrix: the steady-state fast-forward's eligible regime
+    // (AlwaysWcet, fault-free, no trace). Each cell is diffed two ways:
+    // the fast-forwarding engine against the naive oracle, and against
+    // its own forced-full run, byte for byte.
+    let mut ff_cells = Vec::new();
+    for ts in [table1(), avionics(), cnc(), ins()] {
+        for policy in policies {
+            ff_cells.push(
+                Cell::new(ts.clone(), CpuSpec::arm8(), policy)
+                    .with_exec(ExecKind::AlwaysWcet)
+                    .with_seed(42),
+            );
+        }
+    }
+    if parsed.horizon_scale != 1.0 {
+        for cell in &mut ff_cells {
+            let h = cell.effective_horizon(parsed.horizon_scale);
+            *cell = cell.clone().with_horizon(h);
+        }
+    }
+
+    println!(
+        "\nfast-forward matrix (AlwaysWcet, detector eligible):\n{:<42} {:>10} {:>8} {:>8}",
+        "cell", "events", "cycles", "verdict"
+    );
+    let mut ws = SimWorkspace::new();
+    for cell in &ff_cells {
+        let fast = cell
+            .run_opts(1.0, &mut ws, false)
+            .expect("all diff cells are valid simulations");
+        let cycles = ws.fast_forward_stats().cycles_detected;
+        let full = cell
+            .run_opts(1.0, &mut ws, true)
+            .expect("all diff cells are valid simulations");
+        let oracle = oracle_report(cell).expect("all diff cells use PolicyKind policies");
+        let mut verdict = "ok".to_string();
+        if let Some(d) = first_divergence(&fast, &oracle) {
+            divergences += 1;
+            eprintln!(
+                "{}: fast-forward engine diverged from the oracle\n{d}\n",
+                cell.label()
+            );
+            verdict = "DIVERGED".to_string();
+        }
+        let fast_json = serde_json::to_string(&fast).expect("report serializes");
+        let full_json = serde_json::to_string(&full).expect("report serializes");
+        if fast_json != full_json {
+            divergences += 1;
+            eprintln!(
+                "{}: fast-forward report is not byte-identical to the forced-full report",
+                cell.label()
+            );
+            verdict = "DIVERGED".to_string();
+        }
+        println!(
+            "{:<42} {:>10} {:>8} {:>8}",
+            cell.label(),
+            fast.counters.events,
+            cycles,
+            verdict
         );
+    }
+
+    let total = cells.len() + ff_cells.len();
+    if divergences > 0 {
+        eprintln!("{divergences}/{total} cells diverged from the oracle");
         std::process::exit(1);
     }
-    eprintln!(
-        "all {} cells match the naive reference simulator field for field",
-        cells.len()
-    );
+    eprintln!("all {total} cells match the naive reference simulator field for field");
 }

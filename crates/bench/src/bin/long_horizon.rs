@@ -1,0 +1,44 @@
+//! Long-horizon fast-forward benchmark: steady-state detection ON vs
+//! forced-full simulation on the catalog workloads, with byte-identical
+//! reports asserted for every pair (the run aborts on any divergence).
+//!
+//! Usage:
+//!   long_horizon                      full run at --horizon-scale 50
+//!   long_horizon --quick              CI smoke at scale 10, one round
+//!   long_horizon --horizon-scale F    explicit scale (overrides both)
+//!   long_horizon --json results.json  write the result table as JSON
+
+use lpfps_bench::long_horizon::{render, run_long_horizon};
+use lpfps_sweep::Cli;
+
+fn main() {
+    let parsed = Cli::new(
+        "long_horizon",
+        "steady-state fast-forward vs full simulation (byte-identical by assertion)",
+    )
+    .switch("--quick", "CI smoke: horizon scale 10, one timing round")
+    .parse();
+
+    let quick = parsed.has("--quick");
+    // The uniform `--horizon-scale` default of 1.0 is a no-op stretch;
+    // this benchmark only makes sense at a large scale, so an untouched
+    // flag means "the committed default" (50), and `--quick` means the CI
+    // smoke scale (10). An explicit flag wins over both.
+    let scale = if parsed.horizon_scale != 1.0 {
+        parsed.horizon_scale
+    } else if quick {
+        10.0
+    } else {
+        50.0
+    };
+    let rounds = if quick { 1 } else { 3 };
+
+    eprintln!("long_horizon: scale {scale}, best of {rounds} round(s), equivalence asserted");
+    let results = run_long_horizon(scale, rounds);
+    print!("{}", render(&results));
+    parsed.write_json(&results);
+    eprintln!(
+        "all {} cells byte-identical between fast-forward and full simulation",
+        results.rows.len()
+    );
+}

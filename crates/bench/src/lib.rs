@@ -35,6 +35,7 @@
 pub mod chart;
 pub mod fingerprint;
 pub mod golden;
+pub mod long_horizon;
 
 use lpfps_sweep::CellResult;
 use lpfps_tasks::taskset::TaskSet;

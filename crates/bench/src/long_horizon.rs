@@ -1,0 +1,190 @@
+//! The long-horizon benchmark behind the steady-state fast-forward
+//! acceptance numbers.
+//!
+//! Deterministic cells (`AlwaysWcet`) on the paper's catalog workloads,
+//! run at a large `--horizon-scale`, once with the kernel's steady-state
+//! detector enabled and once forced through the full event-by-event
+//! simulation. Both runs must serialize to byte-identical reports — the
+//! measurement *is* the equivalence gate — and the wall-clock ratio is
+//! the committed speedup in `BENCH_kernel.json`.
+
+use lpfps::driver::PolicyKind;
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_kernel::engine::SimWorkspace;
+use lpfps_sweep::{Cell, ExecKind};
+use lpfps_tasks::analysis::hyperperiod;
+use lpfps_workloads::{avionics, cnc, ins, table1};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One workload's measured fast-forward vs full-simulation pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LongHorizonRow {
+    /// Workload name.
+    pub app: String,
+    /// Policy name.
+    pub policy: String,
+    /// Horizon stretch factor the pair ran at.
+    pub horizon_scale: f64,
+    /// Kernel decision points in the report (identical for both runs).
+    pub events: u64,
+    /// Whole hyperperiods the detector skipped.
+    pub cycles_detected: u64,
+    /// Decision points covered by extrapolation instead of simulation.
+    pub events_skipped: u64,
+    /// Best-of-rounds wall time of the forced-full run, nanoseconds.
+    pub full_ns: u64,
+    /// Best-of-rounds wall time of the fast-forward run, nanoseconds.
+    pub fast_ns: u64,
+    /// `full_ns / fast_ns` — the headline number.
+    pub speedup: f64,
+}
+
+/// The full benchmark result set for one invocation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LongHorizonResults {
+    /// Horizon stretch factor shared by every row.
+    pub horizon_scale: f64,
+    /// One row per (workload, policy) pair, in catalog order.
+    pub rows: Vec<LongHorizonRow>,
+}
+
+/// The benchmark cells: catalog workloads under LPFPS with every job at
+/// its WCET — the deterministic regime where a real schedule settles into
+/// a steady state within a few hyperperiods.
+///
+/// Each cell's base horizon is exactly **one hyperperiod**, so the
+/// uniform `--horizon-scale N` means "simulate N whole cycles". (The
+/// catalog's default horizons are a handful of longest-periods, which for
+/// avionics is a *fraction* of its 118 s hyperperiod — no stretch of that
+/// base would ever complete two full cycles for the detector to match.)
+pub fn long_horizon_cells() -> Vec<Cell> {
+    [table1(), avionics(), cnc(), ins()]
+        .into_iter()
+        .map(|ts| {
+            let h = hyperperiod(&ts).expect("catalog hyperperiods are representable");
+            Cell::new(ts, CpuSpec::arm8(), PolicyKind::Lpfps)
+                .with_exec(ExecKind::AlwaysWcet)
+                .with_horizon(h)
+        })
+        .collect()
+}
+
+/// Times one `(cell, force_full)` combination, best of `rounds`, and
+/// returns the report of the last run alongside the best wall time.
+fn time_cell(
+    cell: &Cell,
+    scale: f64,
+    force_full: bool,
+    rounds: usize,
+) -> (lpfps_kernel::report::SimReport, u64, u64, u64) {
+    let mut ws = SimWorkspace::new();
+    let mut best = u64::MAX;
+    let mut report = None;
+    let mut cycles = 0;
+    let mut skipped = 0;
+    for _ in 0..rounds.max(1) {
+        let start = Instant::now();
+        let r = cell
+            .run_opts(scale, &mut ws, force_full)
+            .expect("benchmark cell is a valid simulation");
+        best = best.min(start.elapsed().as_nanos().max(1) as u64);
+        let ff = ws.fast_forward_stats();
+        cycles = ff.cycles_detected;
+        skipped = ff.events_skipped;
+        report = Some(r);
+    }
+    (
+        report.expect("at least one round ran"),
+        best,
+        cycles,
+        skipped,
+    )
+}
+
+/// Runs the benchmark at `scale`, asserting byte-identical reports
+/// between the fast-forward and forced-full runs of every cell.
+///
+/// # Panics
+///
+/// Panics if any cell's two reports differ in a single serialized byte —
+/// that is the point: a speedup measured against a divergent slow path
+/// would be meaningless.
+pub fn run_long_horizon(scale: f64, rounds: usize) -> LongHorizonResults {
+    let mut rows = Vec::new();
+    for cell in long_horizon_cells() {
+        let (fast_report, fast_ns, cycles, skipped) = time_cell(&cell, scale, false, rounds);
+        let (full_report, full_ns, _, _) = time_cell(&cell, scale, true, rounds);
+        let fast_json = serde_json::to_string(&fast_report).expect("report serializes");
+        let full_json = serde_json::to_string(&full_report).expect("report serializes");
+        assert_eq!(
+            fast_json,
+            full_json,
+            "{}: fast-forward report differs from the full simulation",
+            cell.label()
+        );
+        assert!(
+            cycles > 0,
+            "{}: detector failed to engage on a deterministic workload",
+            cell.label()
+        );
+        rows.push(LongHorizonRow {
+            app: cell.app.clone(),
+            policy: cell.policy.name(),
+            horizon_scale: scale,
+            events: fast_report.counters.events,
+            cycles_detected: cycles,
+            events_skipped: skipped,
+            full_ns,
+            fast_ns,
+            speedup: full_ns as f64 / fast_ns.max(1) as f64,
+        });
+    }
+    LongHorizonResults {
+        horizon_scale: scale,
+        rows,
+    }
+}
+
+/// Renders the result table.
+pub fn render(results: &LongHorizonResults) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:<8} {:>8} {:>10} {:>10} {:>12} {:>12} {:>9}",
+        "app", "policy", "cycles", "events", "skipped", "full ns", "fast ns", "speedup"
+    );
+    for r in &results.rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:<8} {:>8} {:>10} {:>10} {:>12} {:>12} {:>8.1}x",
+            r.app,
+            r.policy,
+            r.cycles_detected,
+            r.events,
+            r.events_skipped,
+            r.full_ns,
+            r.fast_ns,
+            r.speedup
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The equivalence assertion inside `run_long_horizon` is the test;
+    /// a small scale keeps it fast in debug builds.
+    #[test]
+    fn fast_forward_matches_full_on_every_catalog_workload() {
+        let results = run_long_horizon(3.0, 1);
+        assert_eq!(results.rows.len(), 4);
+        for row in &results.rows {
+            assert!(row.cycles_detected > 0, "{}: no cycles skipped", row.app);
+            assert!(row.events_skipped > 0, "{}: nothing extrapolated", row.app);
+        }
+    }
+}

@@ -60,6 +60,11 @@ impl PolicyCore for TimeoutShutdown {
     fn name(&self) -> &'static str {
         "timeout-pd"
     }
+
+    fn steady_digest(&self, _now: lpfps_tasks::time::Time) -> Option<u64> {
+        // Run-time stateless: the timeout is configuration, not history.
+        Some(0)
+    }
 }
 
 impl PowerPolicy for TimeoutShutdown {
@@ -95,6 +100,10 @@ pub struct EdfFps;
 impl PolicyCore for EdfFps {
     fn name(&self) -> &'static str {
         "edf"
+    }
+
+    fn steady_digest(&self, _now: lpfps_tasks::time::Time) -> Option<u64> {
+        Some(0)
     }
 }
 

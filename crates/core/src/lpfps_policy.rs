@@ -231,6 +231,19 @@ impl PolicyCore for LpfpsPolicy {
         self.degraded_until = Some(event.time() + cooldown);
         true
     }
+
+    fn steady_digest(&self, now: Time) -> Option<u64> {
+        // The only run-time state is the watchdog cooldown. Canonical form:
+        // an expired window digests exactly like no window at all, because
+        // `decide` lazily clears it and behaves identically either way; a
+        // live window digests its *remaining* span (re-based to `now`).
+        match self.degraded_until {
+            Some(until) if until > now => {
+                Some(until.saturating_since(now).as_ns().saturating_add(1))
+            }
+            _ => Some(0),
+        }
+    }
 }
 
 // Generic over the discipline: the L12–L21 decisions read only queue

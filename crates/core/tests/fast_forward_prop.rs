@@ -1,0 +1,175 @@
+//! Property-based equivalence of the steady-state fast-forward.
+//!
+//! For random schedulable task sets with representable hyperperiods,
+//! every policy the driver dispatches must produce a **bit-identical
+//! serialized report** whether the kernel's cycle detector is allowed to
+//! skip whole hyperperiods or the run is forced through the full
+//! event-by-event simulation — at several horizon scales, including ones
+//! where dozens of cycles are extrapolated. A second property pins the
+//! eligibility rule: a faulted run never fast-forwards, because fault
+//! draws are a function of the absolute job index and would not repeat
+//! cycle for cycle.
+
+use lpfps::driver::{run_in, PolicyKind};
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_faults::{FaultConfig, OverrunFault};
+use lpfps_kernel::engine::{SimConfig, SimWorkspace};
+use lpfps_tasks::analysis::{hyperperiod, rta_schedulable};
+use lpfps_tasks::exec::AlwaysWcet;
+use lpfps_tasks::task::Task;
+use lpfps_tasks::taskset::TaskSet;
+use lpfps_tasks::time::Dur;
+use proptest::prelude::*;
+use serde::Serialize;
+
+const POLICIES: [PolicyKind; 5] = [
+    PolicyKind::Fps,
+    PolicyKind::Lpfps,
+    PolicyKind::LpfpsWatchdog,
+    PolicyKind::Edf,
+    PolicyKind::CcEdf,
+];
+
+/// Periods drawn from a divisor-friendly pool so hyperperiods stay small
+/// enough for several whole cycles to fit in a test-sized horizon. (Fully
+/// random periods give astronomically large hyperperiods, which only
+/// exercises the detector's *ineligible* path — covered separately by the
+/// hostile-input tests.)
+const PERIOD_POOL_US: [u64; 6] = [100, 200, 400, 500, 800, 1000];
+
+/// A small task set with pool periods and utilization low enough that
+/// every policy schedules it.
+fn pool_set(n: usize, picks: &[usize], wcet_pcts: &[u64]) -> TaskSet {
+    let tasks: Vec<Task> = (0..n)
+        .map(|i| {
+            let period = Dur::from_us(PERIOD_POOL_US[picks[i] % PERIOD_POOL_US.len()]);
+            // 2%..=12% of the period each, so n <= 6 stays well under the
+            // RM bound and LPFPS has genuine slack to stretch into.
+            let wcet_ns = period.as_ns() * (2 + wcet_pcts[i] % 11) / 100;
+            Task::new(format!("t{i}"), period, Dur::from_ns(wcet_ns.max(1)))
+        })
+        .collect();
+    TaskSet::rate_monotonic("prop", tasks)
+}
+
+fn report_json<T: Serialize>(report: &T) -> String {
+    serde_json::to_string(report).expect("report serializes")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Detector-on vs forced-full: bit-identical serialized reports for
+    /// every policy at horizon scales 1 (no cycle ever completes twice),
+    /// 3 (one skip), and 17 (a dozen-plus extrapolated cycles).
+    #[test]
+    fn fast_forward_is_bit_identical_to_full_simulation(
+        n in 2usize..=5,
+        picks in proptest::collection::vec(0usize..6, 5..6),
+        wcet_pcts in proptest::collection::vec(0u64..100, 5..6),
+        seed in 0u64..=1_000,
+    ) {
+        let ts = pool_set(n, &picks, &wcet_pcts);
+        prop_assume!(rta_schedulable(&ts));
+        let h = hyperperiod(&ts).expect("pool hyperperiods are tiny");
+        let cpu = CpuSpec::arm8();
+        for scale in [1u64, 3, 17] {
+            let cfg = SimConfig::new(h * scale).with_seed(seed);
+            let full_cfg = SimConfig::new(h * scale)
+                .with_seed(seed)
+                .with_force_full_simulation();
+            for kind in POLICIES {
+                let mut ws = SimWorkspace::new();
+                let fast = run_in(&ts, &cpu, kind, &AlwaysWcet, &cfg, &mut ws).unwrap();
+                let ff = ws.fast_forward_stats();
+                let full = run_in(&ts, &cpu, kind, &AlwaysWcet, &full_cfg, &mut ws).unwrap();
+                prop_assert_eq!(ws.fast_forward_stats().cycles_detected, 0,
+                    "force_full_simulation must disable the detector");
+                prop_assert_eq!(
+                    report_json(&fast), report_json(&full),
+                    "{}/scale {} diverged (cycles_detected={}, events_skipped={})",
+                    kind.name(), scale, ff.cycles_detected, ff.events_skipped
+                );
+                if scale == 1 {
+                    // One hyperperiod can never contain two matching
+                    // release boundaries a whole hyperperiod apart.
+                    prop_assert_eq!(ff.cycles_detected, 0);
+                }
+            }
+        }
+    }
+
+    /// Fault streams index jobs absolutely, so no two cycles are alike:
+    /// a faulted run must never fast-forward, and (trivially, both sides
+    /// simulating fully) stays bit-identical under the flag.
+    #[test]
+    fn faulted_runs_never_fast_forward(
+        n in 2usize..=5,
+        picks in proptest::collection::vec(0usize..6, 5..6),
+        wcet_pcts in proptest::collection::vec(0u64..100, 5..6),
+        seed in 0u64..=1_000,
+        fault_seed in 0u64..=1_000,
+    ) {
+        let ts = pool_set(n, &picks, &wcet_pcts);
+        prop_assume!(rta_schedulable(&ts));
+        let h = hyperperiod(&ts).expect("pool hyperperiods are tiny");
+        let faults = FaultConfig::none()
+            .with_seed(fault_seed)
+            .with_overrun(OverrunFault::clamped(0.2, 0.3, 1.3));
+        let cfg = SimConfig::new(h * 9).with_seed(seed).with_faults(faults);
+        let cpu = CpuSpec::arm8();
+        for kind in POLICIES {
+            let mut ws = SimWorkspace::new();
+            let faulted = run_in(&ts, &cpu, kind, &AlwaysWcet, &cfg, &mut ws).unwrap();
+            let ff = ws.fast_forward_stats();
+            prop_assert_eq!(ff.cycles_detected, 0, "{}: faulted run fast-forwarded", kind.name());
+            prop_assert_eq!(ff.events_skipped, 0);
+            let full = run_in(
+                &ts, &cpu, kind, &AlwaysWcet,
+                &cfg.clone().with_force_full_simulation(), &mut ws,
+            ).unwrap();
+            prop_assert_eq!(report_json(&faulted), report_json(&full));
+        }
+    }
+}
+
+/// Deterministic smoke outside proptest: the motivating example engages
+/// the detector and extrapolates most of a long run.
+#[test]
+fn table1_long_run_actually_skips_cycles() {
+    let ts = TaskSet::rate_monotonic(
+        "table1",
+        vec![
+            Task::new("tau1", Dur::from_us(50), Dur::from_us(10)),
+            Task::new("tau2", Dur::from_us(80), Dur::from_us(20)),
+            Task::new("tau3", Dur::from_us(100), Dur::from_us(40)),
+        ],
+    );
+    let h = hyperperiod(&ts).unwrap();
+    assert_eq!(h, Dur::from_us(400));
+    let cfg = SimConfig::new(h * 40);
+    let mut ws = SimWorkspace::new();
+    let fast = run_in(
+        &ts,
+        &CpuSpec::arm8(),
+        PolicyKind::Lpfps,
+        &AlwaysWcet,
+        &cfg,
+        &mut ws,
+    )
+    .unwrap();
+    let ff = ws.fast_forward_stats();
+    assert!(ff.cycles_detected >= 30, "got {}", ff.cycles_detected);
+    assert!(ff.events_skipped > 0);
+    let full = run_in(
+        &ts,
+        &CpuSpec::arm8(),
+        PolicyKind::Lpfps,
+        &AlwaysWcet,
+        &cfg.with_force_full_simulation(),
+        &mut ws,
+    )
+    .unwrap();
+    assert_eq!(report_json(&fast), report_json(&full));
+    assert!(fast.all_deadlines_met());
+}

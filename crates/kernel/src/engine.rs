@@ -30,6 +30,10 @@ use crate::policy::{ActiveView, FaultEvent, PowerDirective, PowerPolicy, Schedul
 use crate::queues::{DelayQueue, RunQueue};
 use crate::report::{Counters, DeadlineMiss, ResponseStats, SimReport};
 use crate::stats::{IntervalStats, ResponseHistogram};
+use crate::steady::{
+    Checkpoint, CycleBaseline, FastForwardStats, JobSnapshot, ModeSnapshot, SteadyDetector,
+    SteadySnapshot, TapeSegment, TaskSnapshot,
+};
 use crate::trace::{Trace, TraceEvent};
 use lpfps_cpu::error::validate_cpu_spec;
 use lpfps_cpu::ramp::Ramp;
@@ -105,6 +109,12 @@ pub struct SimConfig {
     /// it only decides whether the run is allowed to continue — so
     /// reports from runs that finish stay bit-reproducible.
     pub wall_budget: Option<std::time::Duration>,
+    /// Disable the steady-state cycle detector and simulate every event of
+    /// the horizon, even when the run is eligible for fast-forwarding.
+    /// Reports are bit-identical either way (the equivalence gates assert
+    /// it); this switch keeps the slow path reachable for A/B comparison
+    /// and benchmarking. See DESIGN.md §12.
+    pub force_full_simulation: bool,
 }
 
 impl SimConfig {
@@ -123,6 +133,7 @@ impl SimConfig {
             max_events: None,
             max_segments: None,
             wall_budget: None,
+            force_full_simulation: false,
         }
     }
 
@@ -217,6 +228,13 @@ impl SimConfig {
     /// Caps host wall-clock time (see [`SimConfig::wall_budget`]).
     pub fn with_wall_budget(mut self, budget: std::time::Duration) -> Self {
         self.wall_budget = Some(budget);
+        self
+    }
+
+    /// Disables steady-state fast-forwarding (see
+    /// [`SimConfig::force_full_simulation`]).
+    pub fn with_force_full_simulation(mut self) -> Self {
+        self.force_full_simulation = true;
         self
     }
 }
@@ -345,6 +363,12 @@ struct Engine<'a, D: Discipline> {
     /// must *not* live in [`Counters`] (which is serialized into every
     /// report and would perturb the committed result fingerprints).
     segments_done: u64,
+    /// The steady-state cycle detector; `None` when the run is ineligible
+    /// (see [`SteadyDetector::for_run`]) or after it fired once.
+    steady: Option<SteadyDetector>,
+    /// What the detector did — side-channel output through the workspace,
+    /// never part of the serialized report.
+    ff_stats: FastForwardStats,
 }
 
 /// Reusable simulation buffers, for callers that run many simulations in
@@ -395,12 +419,26 @@ pub struct SimWorkspace {
     tasks: Vec<TaskRt>,
     wcet_cycles: Vec<Cycles>,
     due_scratch: Vec<(TaskId, Time)>,
+    /// Steady-state detector statistics of the most recent run on this
+    /// workspace (success *or* failure; overwritten every run, so stale
+    /// values never leak across cells).
+    ff_stats: FastForwardStats,
 }
 
 impl SimWorkspace {
     /// An empty workspace; buffers grow on first use and are kept after.
     pub fn new() -> Self {
         SimWorkspace::default()
+    }
+
+    /// What the steady-state detector did during the most recent run on
+    /// this workspace: zero cycles when the run was ineligible (faults,
+    /// tracing, budgets, an index-dependent execution model, ...) or when
+    /// no recurrence was observed. Side-channel on purpose — the numbers
+    /// must not live in [`SimReport`], whose serialized form is asserted
+    /// bit-identical with the detector on and off.
+    pub fn fast_forward_stats(&self) -> FastForwardStats {
+        self.ff_stats
     }
 }
 
@@ -577,6 +615,8 @@ impl<'a, D: Discipline> Engine<'a, D> {
             event_cache: None,
             power_memo: None,
             segments_done: 0,
+            steady: SteadyDetector::for_run(cfg, exec, ts),
+            ff_stats: FastForwardStats::default(),
         }
     }
 
@@ -586,6 +626,18 @@ impl<'a, D: Discipline> Engine<'a, D> {
             let t_next = self.next_event_time().min(self.horizon_end);
             self.advance_to(t_next);
             if self.now >= self.horizon_end {
+                break;
+            }
+            // Checkpoint *before* this decision point's events are counted
+            // or handled: a detected recurrence shifts the whole live state
+            // forward by `k` hyperperiods, and the iteration then processes
+            // the shifted instant's events exactly as a full simulation
+            // arriving there would.
+            self.steady_checkpoint(policy)?;
+            if self.now >= self.horizon_end {
+                // Fast-forward landed exactly on the horizon. A full run
+                // never handles events *at* the horizon (the break above
+                // fires first), so neither may we.
                 break;
             }
             self.counters.events += 1;
@@ -816,6 +868,23 @@ impl<'a, D: Discipline> Engine<'a, D> {
         let power = self.state_power_memo(state);
         self.segments_done += 1;
         self.meter.accumulate_with_power(state, power, dur);
+        if let Some(d) = self.steady.as_mut() {
+            // Record the cycle's energy tape (only once a first checkpoint
+            // anchors it): replaying these exact `(state, power, dur)`
+            // triples repeats the full run's f64 additions verbatim.
+            if d.last.is_some() {
+                d.tape.push(TapeSegment {
+                    state,
+                    power,
+                    dur,
+                    task: if state.executes_work() {
+                        self.active
+                    } else {
+                        None
+                    },
+                });
+            }
+        }
         // Stamped at the segment *start* (`self.now` is still the old
         // instant here): consecutive segments tile the horizon exactly,
         // which the oracle's invariant checker relies on.
@@ -1397,6 +1466,244 @@ impl<'a, D: Discipline> Engine<'a, D> {
         self.was_idle = idle;
     }
 
+    // ----- steady-state cycle detection ---------------------------------------
+
+    /// Takes a state snapshot at the first decision point at (or past) the
+    /// detector's target instant. When the snapshot equals the previous one
+    /// and the two sit exactly one hyperperiod apart, the simulation is in
+    /// steady state and [`Engine::fast_forward`] jumps over every remaining
+    /// whole cycle; otherwise the snapshot becomes the new reference (this
+    /// also rides out start-of-run transients — offsets and phases only
+    /// delay the first match, they never prevent it).
+    fn steady_checkpoint(&mut self, policy: &mut dyn PowerPolicy<D>) -> Result<(), SimError> {
+        let Some(mut d) = self.steady.take() else {
+            return Ok(());
+        };
+        if self.now < d.next_target {
+            self.steady = Some(d);
+            return Ok(());
+        }
+        // An opaque policy (digest `None`) disables the detector for the
+        // rest of the run: leave `self.steady` empty.
+        let Some(digest) = policy.steady_digest(self.now) else {
+            return Ok(());
+        };
+        let snapshot = self.capture_snapshot(digest);
+        match d.last.take() {
+            Some(cp)
+                if self.now.saturating_since(cp.at) == d.hyperperiod && cp.snapshot == snapshot =>
+            {
+                // Steady state proven. Skip every remaining whole cycle;
+                // the detector is spent either way (after the jump the tail
+                // is shorter than one hyperperiod).
+                let k = self.horizon_end.saturating_since(self.now) / d.hyperperiod;
+                if k > 0 {
+                    self.fast_forward(k, d.hyperperiod, &cp.baseline, &d.tape)?;
+                }
+            }
+            _ => {
+                d.last = Some(Checkpoint {
+                    at: self.now,
+                    snapshot,
+                    baseline: self.capture_baseline(),
+                });
+                d.tape.clear();
+                d.next_target = self.now.saturating_add(d.hyperperiod);
+                self.steady = Some(d);
+            }
+        }
+        Ok(())
+    }
+
+    /// The complete decision-relevant state at `self.now`, with every
+    /// absolute instant re-based to `self.now` (signed: a delay-queue
+    /// release sits in the past after a late completion). Excludes
+    /// accumulators (extrapolated instead), caches (transparent), and the
+    /// per-job indices (strictly growing; eligibility guarantees nothing
+    /// decision-relevant reads them).
+    fn capture_snapshot(&self, policy_digest: u64) -> SteadySnapshot {
+        let now = self.now.as_ns() as i128;
+        let rel = |t: Time| t.as_ns() as i128 - now;
+        SteadySnapshot {
+            run_q: self.run_q.iter().collect(),
+            delay_q: self.delay_q.iter().map(|(t, r)| (t, rel(r))).collect(),
+            tasks: self
+                .tasks
+                .iter()
+                .map(|rt| TaskSnapshot {
+                    pending_arrival: rel(rt.pending_arrival),
+                    job: rt.job.as_ref().map(|j| JobSnapshot {
+                        release: rel(j.release),
+                        deadline: rel(j.deadline),
+                        realized_remaining: j.realized_remaining,
+                        wcet_remaining: j.wcet_remaining,
+                        budget_exceeded: j.budget_exceeded,
+                    }),
+                })
+                .collect(),
+            active: self.active,
+            mode: match self.mode {
+                ProcMode::Settled(f) => ModeSnapshot::Settled(f),
+                ProcMode::Ramping {
+                    ramp,
+                    started,
+                    end,
+                    target,
+                } => ModeSnapshot::Ramping {
+                    ramp,
+                    started: rel(started),
+                    end: rel(end),
+                    target,
+                },
+                ProcMode::PowerDown { wake_at, mode } => ModeSnapshot::PowerDown {
+                    wake_at: rel(wake_at),
+                    mode,
+                },
+                ProcMode::WakingUp { until } => ModeSnapshot::WakingUp { until: rel(until) },
+            },
+            speedup_at: self.speedup_at.map(rel),
+            pd_timer: self.pd_timer.map(|(a, b)| (rel(a), rel(b))),
+            pending_overhead: self.pending_overhead,
+            last_dispatched: self.last_dispatched,
+            was_idle: self.was_idle,
+            gap_start: self.gap_start.map(rel),
+            policy_digest,
+        }
+    }
+
+    /// Accumulator values at the current checkpoint; the next checkpoint's
+    /// values minus these are exactly one steady-state cycle's worth.
+    fn capture_baseline(&self) -> CycleBaseline {
+        CycleBaseline {
+            counters: self.counters,
+            responses: self.responses.clone(),
+            histograms: self.histograms.clone(),
+            idle_gaps: self.idle_gaps,
+            misses_len: self.misses.len(),
+            next_index: self.tasks.iter().map(|rt| rt.next_index).collect(),
+        }
+    }
+
+    /// Jumps the simulation forward by `k` whole hyperperiods `h`:
+    ///
+    /// 1. replays the recorded energy tape `k` times through the public
+    ///    meter path, repeating the full run's exact f64 operation
+    ///    sequence (energy stays bit-identical — no closed form does);
+    /// 2. extrapolates every integer accumulator by `k` copies of its
+    ///    per-cycle delta, and appends time/index-shifted copies of the
+    ///    cycle's deadline misses in chronological order;
+    /// 3. shifts every absolute instant of the live state by `k * h` and
+    ///    rebuilds the run queue (EDF keys embed absolute deadlines),
+    ///    preserving the equal-key pop order.
+    ///
+    /// Afterwards the engine state equals — bit for bit — what a full
+    /// simulation would hold on arriving at the shifted instant, so the
+    /// caller simply continues the event loop through the residual tail.
+    fn fast_forward(
+        &mut self,
+        k: u64,
+        h: Dur,
+        baseline: &CycleBaseline,
+        tape: &[TapeSegment],
+    ) -> Result<(), SimError> {
+        let shift = h * k;
+        // Energy: replay the cycle's segment tape k times.
+        for _ in 0..k {
+            for seg in tape {
+                self.meter
+                    .accumulate_with_power(seg.state, seg.power, seg.dur);
+                if let Some(tid) = seg.task {
+                    self.task_energy[tid.0] += seg.power * seg.dur.as_secs_f64();
+                }
+            }
+        }
+        self.segments_done += tape.len() as u64 * k;
+        // Integer statistics: add k copies of the per-cycle delta.
+        let events_per_cycle = self.counters.events - baseline.counters.events;
+        self.counters.extrapolate_from(&baseline.counters, k);
+        for (r, b) in self.responses.iter_mut().zip(&baseline.responses) {
+            r.extrapolate_from(b, k);
+        }
+        for (hg, b) in self.histograms.iter_mut().zip(&baseline.histograms) {
+            hg.extrapolate_from(b, k);
+        }
+        self.idle_gaps.extrapolate_from(&baseline.idle_gaps, k);
+        // Jobs released per cycle, per task: shifts indices below.
+        let jpc: Vec<u64> = self
+            .tasks
+            .iter()
+            .zip(&baseline.next_index)
+            .map(|(rt, &b)| rt.next_index - b)
+            .collect();
+        // Deadline misses: each skipped cycle repeats the recorded cycle's
+        // misses with job indices and instants shifted; appending cycle by
+        // cycle preserves the report's chronological order.
+        let window: Vec<DeadlineMiss> = self.misses[baseline.misses_len..].to_vec();
+        for c in 1..=k {
+            let off = h * c;
+            for m in &window {
+                self.misses.push(DeadlineMiss {
+                    task: m.task,
+                    job: m.job + c * jpc[m.task.0],
+                    deadline: m.deadline + off,
+                    completed_at: m.completed_at.map(|t| t + off),
+                });
+            }
+        }
+        // Live state: shift every absolute instant by k hyperperiods.
+        for (rt, &per_cycle) in self.tasks.iter_mut().zip(&jpc) {
+            rt.pending_arrival += shift;
+            rt.next_index += k * per_cycle;
+            if let Some(job) = rt.job.as_mut() {
+                job.index += k * per_cycle;
+                job.release += shift;
+                job.deadline += shift;
+            }
+        }
+        self.delay_q.shift(shift);
+        self.mode = match self.mode {
+            ProcMode::Settled(f) => ProcMode::Settled(f),
+            ProcMode::Ramping {
+                ramp,
+                started,
+                end,
+                target,
+            } => ProcMode::Ramping {
+                ramp,
+                started: started + shift,
+                end: end + shift,
+                target,
+            },
+            ProcMode::PowerDown { wake_at, mode } => ProcMode::PowerDown {
+                wake_at: wake_at + shift,
+                mode,
+            },
+            ProcMode::WakingUp { until } => ProcMode::WakingUp {
+                until: until + shift,
+            },
+        };
+        self.speedup_at = self.speedup_at.map(|t| t + shift);
+        self.pd_timer = self
+            .pd_timer
+            .map(|(enter, wake)| (enter + shift, wake + shift));
+        self.gap_start = self.gap_start.map(|t| t + shift);
+        self.now += shift;
+        // Rebuild the run queue through the shifted deadlines (EDF keys
+        // embed absolute time). Re-inserting in reverse iteration order —
+        // least urgent first — preserves the "most recent insert pops
+        // first" tie convention among equal keys.
+        let order: Vec<TaskId> = self.run_q.iter().collect();
+        self.run_q.clear();
+        for &tid in order.iter().rev() {
+            let key = self.key_of(tid)?;
+            self.run_q.insert(tid, key);
+        }
+        self.invalidate_event_cache();
+        self.ff_stats.cycles_detected = k;
+        self.ff_stats.events_skipped = events_per_cycle * k;
+        Ok(())
+    }
+
     // ----- finishing ----------------------------------------------------------
 
     fn record_unfinished_misses(&mut self) {
@@ -1448,6 +1755,7 @@ impl<'a, D: Discipline> Engine<'a, D> {
         ws.tasks = self.tasks;
         ws.wcet_cycles = self.wcet_cycles;
         ws.due_scratch = self.due_scratch;
+        ws.ff_stats = self.ff_stats;
     }
 
     fn into_report(self, policy_name: &str, ws: &mut SimWorkspace) -> SimReport {
@@ -1457,6 +1765,7 @@ impl<'a, D: Discipline> Engine<'a, D> {
         ws.tasks = self.tasks;
         ws.wcet_cycles = self.wcet_cycles;
         ws.due_scratch = self.due_scratch;
+        ws.ff_stats = self.ff_stats;
         SimReport {
             policy: policy_name.to_string(),
             discipline: D::NAME,

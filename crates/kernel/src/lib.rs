@@ -65,6 +65,7 @@ pub mod policy;
 pub mod queues;
 pub mod report;
 pub mod stats;
+pub mod steady;
 pub mod trace;
 
 pub use discipline::{Discipline, Edf, EdfKey, FixedPriority};
@@ -73,4 +74,5 @@ pub use error::{BudgetKind, PartialDiagnostic, SimError};
 pub use policy::{ActiveView, PolicyCore, PowerDirective, PowerPolicy, SchedulerContext};
 pub use report::{Counters, DeadlineMiss, ResponseStats, SimReport};
 pub use stats::{IntervalStats, ResponseHistogram};
+pub use steady::FastForwardStats;
 pub use trace::{Trace, TraceEvent};

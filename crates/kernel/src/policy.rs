@@ -177,6 +177,24 @@ pub trait PolicyCore {
     fn on_fault(&mut self, _event: &FaultEvent) -> bool {
         false
     }
+
+    /// A canonical digest of the policy's internal state at `now`, for the
+    /// engine's steady-state cycle detector: two instants with equal
+    /// digests (and equal kernel state) must make this policy behave
+    /// identically from then on.
+    ///
+    /// The digest must be *canonical* — any absolute times folded in must
+    /// be re-based to `now`, and state that no longer influences decisions
+    /// (an expired cooldown, a consumed one-shot flag) must not perturb it,
+    /// or the detector will never observe a recurrence.
+    ///
+    /// Returning `None` (the default) declares the policy opaque and
+    /// disables fast-forwarding for the run — the safe answer for stateful
+    /// policies that log, randomize, or otherwise depend on history.
+    /// Stateless policies should return `Some(0)`.
+    fn steady_digest(&self, _now: Time) -> Option<u64> {
+        None
+    }
 }
 
 /// A scheduling policy's power decision hook under discipline `D`
@@ -196,6 +214,10 @@ pub struct AlwaysFullSpeed;
 impl PolicyCore for AlwaysFullSpeed {
     fn name(&self) -> &'static str {
         "fps"
+    }
+
+    fn steady_digest(&self, _now: Time) -> Option<u64> {
+        Some(0)
     }
 }
 

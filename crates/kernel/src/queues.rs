@@ -14,7 +14,7 @@
 //! giving deterministic iteration for traces and tests.
 
 use lpfps_tasks::task::{Priority, TaskId};
-use lpfps_tasks::time::Time;
+use lpfps_tasks::time::{Dur, Time};
 
 /// Urgency-ordered queue of released, runnable tasks.
 ///
@@ -187,6 +187,16 @@ impl DelayQueue {
         due.clear();
         let split = self.entries.partition_point(|&(r, _, _)| r <= now);
         due.extend(self.entries.drain(..split).map(|(r, _, t)| (t, r)));
+    }
+
+    /// Shifts every queued release forward by `by` (the steady-state
+    /// fast-forward's state jump). A uniform shift preserves the
+    /// `(release, priority, id)` ordering, so the sorted invariant holds
+    /// without re-sorting.
+    pub(crate) fn shift(&mut self, by: Dur) {
+        for entry in &mut self.entries {
+            entry.0 = entry.0.saturating_add(by);
+        }
     }
 
     /// True if no task is waiting.

@@ -81,6 +81,15 @@ impl IntervalStats {
             self.total / self.count
         }
     }
+
+    /// Adds `k` copies of the per-cycle delta (`self - baseline`) — the
+    /// steady-state fast-forward's extrapolation step. `min`/`max` are
+    /// already correct: later cycles repeat the same interval lengths, so
+    /// the extremes were absorbed during the recorded cycle.
+    pub(crate) fn extrapolate_from(&mut self, baseline: &IntervalStats, k: u64) {
+        self.count += (self.count - baseline.count) * k;
+        self.total += (self.total - baseline.total) * k;
+    }
 }
 
 impl core::fmt::Display for IntervalStats {
@@ -180,6 +189,17 @@ impl ResponseHistogram {
             }
         }
         None
+    }
+
+    /// Adds `k` copies of the per-cycle delta (`self - baseline`) to every
+    /// bucket and the miss count — the steady-state fast-forward's
+    /// extrapolation step (each skipped cycle records exactly the same
+    /// response-to-deadline fractions as the observed one).
+    pub(crate) fn extrapolate_from(&mut self, baseline: &ResponseHistogram, k: u64) {
+        for (b, base) in self.buckets.iter_mut().zip(&baseline.buckets) {
+            *b += (*b - base) * k;
+        }
+        self.misses += (self.misses - baseline.misses) * k;
     }
 
     /// A compact sparkline-style rendering (`#` columns scaled to the

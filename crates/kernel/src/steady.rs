@@ -1,0 +1,324 @@
+//! Steady-state cycle detection: the data structures behind the engine's
+//! analytic fast-forward of long horizons.
+//!
+//! A synchronous periodic task set driven by an index-invariant execution
+//! model repeats its entire (dispatch, speed, power-mode) pattern once the
+//! *complete* simulator state recurs one hyperperiod apart. The engine
+//! snapshots its state at hyperperiod-spaced decision points; when two
+//! consecutive snapshots are equal, every remaining whole cycle is a
+//! byte-identical repeat, so the engine extrapolates the integer statistics
+//! in O(1), replays the recorded energy tape once per skipped cycle (f64
+//! addition is not associative, so energy must repeat the *exact* operation
+//! sequence of the full run to stay bit-identical), shifts the live state
+//! forward, and simulates only the residual tail. See DESIGN.md §12.
+//!
+//! Everything here is engine-internal except [`FastForwardStats`], the
+//! side-channel counters surfaced through
+//! [`SimWorkspace`](crate::engine::SimWorkspace) — deliberately *not* part
+//! of [`SimReport`](crate::report::SimReport), whose serialized form must
+//! stay identical whether or not the detector engaged.
+
+use crate::engine::SimConfig;
+use crate::report::Counters;
+use crate::report::ResponseStats;
+use crate::stats::{IntervalStats, ResponseHistogram};
+use lpfps_cpu::ramp::Ramp;
+use lpfps_cpu::state::CpuState;
+use lpfps_tasks::analysis::hyperperiod;
+use lpfps_tasks::cycles::Cycles;
+use lpfps_tasks::exec::ExecModel;
+use lpfps_tasks::freq::Freq;
+use lpfps_tasks::task::TaskId;
+use lpfps_tasks::taskset::TaskSet;
+use lpfps_tasks::time::{Dur, Time};
+
+/// What the steady-state detector did during one run.
+///
+/// Lives outside the report on purpose: the detector defaults on, and the
+/// committed result fingerprints must not move, so these counters travel
+/// through the workspace
+/// ([`SimWorkspace::fast_forward_stats`](crate::engine::SimWorkspace::fast_forward_stats))
+/// instead of the serialized [`SimReport`](crate::report::SimReport).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FastForwardStats {
+    /// Whole hyperperiod cycles skipped analytically (0 when the detector
+    /// was ineligible or never matched).
+    pub cycles_detected: u64,
+    /// Decision-point events those skipped cycles would have simulated.
+    pub events_skipped: u64,
+}
+
+/// One energy segment of the recorded cycle: exactly the arguments the
+/// engine's advance passed to
+/// [`EnergyMeter::accumulate_with_power`](lpfps_cpu::EnergyMeter::accumulate_with_power),
+/// plus the task the segment's energy was attributed to (if any). Replaying
+/// the tape repeats the full run's f64 operation sequence verbatim.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TapeSegment {
+    pub state: CpuState,
+    pub power: f64,
+    pub dur: Dur,
+    /// `Some` iff the segment executed work with an active task — the
+    /// condition under which the engine charges `task_energy`.
+    pub task: Option<TaskId>,
+}
+
+/// The processor mode with all absolute instants re-based to the snapshot
+/// time (signed: a delay-queue release can sit in the past after a late
+/// completion, and nothing constrains the sign of a re-based instant).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum ModeSnapshot {
+    Settled(Freq),
+    Ramping {
+        ramp: Ramp,
+        started: i128,
+        end: i128,
+        target: Freq,
+    },
+    PowerDown {
+        wake_at: i128,
+        mode: usize,
+    },
+    WakingUp {
+        until: i128,
+    },
+}
+
+/// A live job with instants re-based to the snapshot time. The job `index`
+/// is deliberately absent: it grows every cycle, and eligibility already
+/// guarantees (via [`ExecModel::index_invariant`]) that nothing downstream
+/// depends on it except the report fields the fast-forward extrapolates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct JobSnapshot {
+    pub release: i128,
+    pub deadline: i128,
+    pub realized_remaining: Cycles,
+    pub wcet_remaining: Cycles,
+    pub budget_exceeded: bool,
+}
+
+/// Per-task runtime state, re-based. `next_index` is excluded for the same
+/// reason as the job index (it is the per-cycle *delta* of `next_index`
+/// that matters, and that lives in [`CycleBaseline`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct TaskSnapshot {
+    pub pending_arrival: i128,
+    pub job: Option<JobSnapshot>,
+}
+
+/// The complete decision-relevant simulator state at one instant, with
+/// every absolute time re-based to that instant. Two equal snapshots one
+/// hyperperiod apart prove the simulation is in steady state: all inputs
+/// (releases, execution demands, tick boundaries) are hyperperiod-periodic
+/// under the eligibility rules, so equal state evolves identically.
+///
+/// Accumulators (energy meter, counters, response stats, misses,
+/// histograms, idle gaps, task energy) are excluded by design — they grow
+/// monotonically and are extrapolated instead. Caches (`event_cache`,
+/// `power_memo`) are excluded because they are behaviorally transparent.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SteadySnapshot {
+    /// Run-queue contents in iteration (most-urgent-first) order. The keys
+    /// themselves are derivable from static priorities and the per-job
+    /// deadlines captured below, so storing the order fixes the queue.
+    pub run_q: Vec<TaskId>,
+    /// Delay-queue `(task, re-based release)` pairs in queue order.
+    pub delay_q: Vec<(TaskId, i128)>,
+    pub tasks: Vec<TaskSnapshot>,
+    pub active: Option<TaskId>,
+    pub mode: ModeSnapshot,
+    pub speedup_at: Option<i128>,
+    pub pd_timer: Option<(i128, i128)>,
+    pub pending_overhead: Cycles,
+    pub last_dispatched: Option<TaskId>,
+    pub was_idle: bool,
+    pub gap_start: Option<i128>,
+    /// The policy's self-reported state digest
+    /// ([`PolicyCore::steady_digest`](crate::policy::PolicyCore::steady_digest)).
+    pub policy_digest: u64,
+}
+
+/// Accumulator values at a checkpoint: the per-cycle deltas (current minus
+/// baseline at the *next* checkpoint) are what one steady-state cycle
+/// contributes, and every skipped cycle contributes exactly the same.
+#[derive(Debug, Clone)]
+pub(crate) struct CycleBaseline {
+    pub counters: Counters,
+    pub responses: Vec<ResponseStats>,
+    pub histograms: Vec<ResponseHistogram>,
+    pub idle_gaps: IntervalStats,
+    pub misses_len: usize,
+    /// Per-task `next_index` — the delta is the task's jobs-per-cycle.
+    pub next_index: Vec<u64>,
+}
+
+/// One stored checkpoint: where it was taken, the state snapshot, and the
+/// accumulator baseline for delta extraction.
+#[derive(Debug, Clone)]
+pub(crate) struct Checkpoint {
+    pub at: Time,
+    pub snapshot: SteadySnapshot,
+    pub baseline: CycleBaseline,
+}
+
+/// The engine's steady-state detector: armed only for eligible runs, it
+/// checkpoints at hyperperiod-spaced decision points and records the energy
+/// tape of the cycle in between.
+#[derive(Debug)]
+pub(crate) struct SteadyDetector {
+    pub hyperperiod: Dur,
+    /// The next instant at (or after) which to take a checkpoint.
+    pub next_target: Time,
+    pub last: Option<Checkpoint>,
+    /// Energy segments since the last checkpoint (tiles exactly one
+    /// hyperperiod when two checkpoints sit one hyperperiod apart).
+    pub tape: Vec<TapeSegment>,
+}
+
+impl SteadyDetector {
+    /// Arms the detector for a run, or returns `None` when any eligibility
+    /// rule fails and the run must simulate in full:
+    ///
+    /// * `force_full_simulation` — the explicit A/B escape hatch;
+    /// * any injected fault stream — fault draws are keyed by job index
+    ///   and engine ordinals, which are not hyperperiod-periodic;
+    /// * tracing — a trace must contain every event, skipped or not;
+    /// * the deliberate stale-cache bug injection;
+    /// * `max_events` / `max_segments` budgets — they count *simulated*
+    ///   work, and a fast-forwarded run would finish where a full run
+    ///   exhausts (the wall-clock budget stays allowed: it never
+    ///   influences results, only whether the run may continue);
+    /// * an execution model whose draws depend on the job index;
+    /// * a hyperperiod that overflows `u64` nanoseconds ([`hyperperiod`]
+    ///   returns `None` for co-prime hostile sets) or exceeds the horizon;
+    /// * a tick that does not divide the hyperperiod (the release
+    ///   quantization pattern would not repeat cycle to cycle).
+    pub fn for_run(cfg: &SimConfig, exec: &dyn ExecModel, ts: &TaskSet) -> Option<Self> {
+        if cfg.force_full_simulation
+            || !cfg.faults.is_none()
+            || cfg.trace
+            || cfg.inject_stale_dispatch_cache
+            || cfg.max_events.is_some()
+            || cfg.max_segments.is_some()
+            || !exec.index_invariant()
+        {
+            return None;
+        }
+        let h = hyperperiod(ts)?;
+        if h > cfg.horizon {
+            return None;
+        }
+        if let Some(tick) = cfg.tick {
+            if !(h % tick).is_zero() {
+                return None;
+            }
+        }
+        Some(SteadyDetector {
+            hyperperiod: h,
+            next_target: Time::ZERO + h,
+            last: None,
+            tape: Vec::new(),
+        })
+    }
+}
+
+impl Counters {
+    /// Adds `k` copies of the per-cycle delta (`self - baseline`) to every
+    /// counter. All counters extrapolate linearly because every event of a
+    /// steady-state cycle repeats identically in each subsequent cycle.
+    pub(crate) fn extrapolate_from(&mut self, baseline: &Counters, k: u64) {
+        self.events += (self.events - baseline.events) * k;
+        self.sched_passes += (self.sched_passes - baseline.sched_passes) * k;
+        self.releases += (self.releases - baseline.releases) * k;
+        self.completions += (self.completions - baseline.completions) * k;
+        self.preemptions += (self.preemptions - baseline.preemptions) * k;
+        self.dispatches += (self.dispatches - baseline.dispatches) * k;
+        self.ramps += (self.ramps - baseline.ramps) * k;
+        self.power_downs += (self.power_downs - baseline.power_downs) * k;
+        self.overruns += (self.overruns - baseline.overruns) * k;
+        self.watchdog_faults += (self.watchdog_faults - baseline.watchdog_faults) * k;
+        self.degradations += (self.degradations - baseline.degradations) * k;
+    }
+}
+
+impl ResponseStats {
+    /// Adds `k` copies of the per-cycle delta. `max_response` is already
+    /// correct: later cycles repeat the same response values, so the
+    /// maximum was absorbed during the recorded cycle.
+    pub(crate) fn extrapolate_from(&mut self, baseline: &ResponseStats, k: u64) {
+        self.completed += (self.completed - baseline.completed) * k;
+        self.total_response += (self.total_response - baseline.total_response) * k;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_extrapolate_each_field_linearly() {
+        let base = Counters {
+            events: 10,
+            sched_passes: 5,
+            releases: 3,
+            completions: 2,
+            preemptions: 1,
+            dispatches: 4,
+            ramps: 2,
+            power_downs: 1,
+            overruns: 0,
+            watchdog_faults: 0,
+            degradations: 0,
+        };
+        let mut cur = Counters {
+            events: 30,
+            sched_passes: 15,
+            releases: 9,
+            completions: 8,
+            preemptions: 3,
+            dispatches: 10,
+            ramps: 6,
+            power_downs: 3,
+            overruns: 0,
+            watchdog_faults: 0,
+            degradations: 0,
+        };
+        cur.extrapolate_from(&base, 2);
+        assert_eq!(cur.events, 30 + 2 * 20);
+        assert_eq!(cur.sched_passes, 15 + 2 * 10);
+        assert_eq!(cur.releases, 9 + 2 * 6);
+        assert_eq!(cur.completions, 8 + 2 * 6);
+        assert_eq!(cur.preemptions, 3 + 2 * 2);
+        assert_eq!(cur.dispatches, 10 + 2 * 6);
+        assert_eq!(cur.ramps, 6 + 2 * 4);
+        assert_eq!(cur.power_downs, 3 + 2 * 2);
+    }
+
+    #[test]
+    fn response_stats_extrapolate_preserving_max() {
+        let mut base = ResponseStats::default();
+        base.record(Dur::from_us(40));
+        let mut cur = base;
+        cur.record(Dur::from_us(10));
+        cur.record(Dur::from_us(20));
+        cur.extrapolate_from(&base, 3);
+        assert_eq!(cur.completed, 1 + 2 + 3 * 2);
+        assert_eq!(cur.max_response, Dur::from_us(40));
+        assert_eq!(
+            cur.total_response,
+            Dur::from_us(40 + 30) + Dur::from_us(30) * 3
+        );
+    }
+
+    #[test]
+    fn zero_cycles_is_the_identity() {
+        let base = Counters::default();
+        let mut cur = Counters {
+            events: 7,
+            ..Counters::default()
+        };
+        let before = cur;
+        cur.extrapolate_from(&base, 0);
+        assert_eq!(cur, before);
+    }
+}

@@ -359,6 +359,61 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Hyperperiod overflow must *degrade*, never derail: near-co-prime
+    /// giant periods push `lcm` past the representable range, so
+    /// `hyperperiod()` returns `None`, the steady-state detector never
+    /// arms, and the run completes as a plain full simulation —
+    /// byte-identical to one with the detector explicitly forced off.
+    #[test]
+    fn hyperperiod_overflow_degrades_to_full_simulation(
+        offsets in proptest::collection::vec(0u64..1_000, 3..4),
+        seed in 0u64..=1_000,
+    ) {
+        // Large primes minus small offsets: pairwise lcm around 1e18 µs,
+        // far beyond Dur's range once multiplied out.
+        let primes = [999_999_937u64, 999_999_893, 999_999_883];
+        let tasks: Vec<Task> = primes
+            .iter()
+            .zip(&offsets)
+            .enumerate()
+            .map(|(i, (&p, &off))| {
+                Task::new(
+                    format!("t{i}"),
+                    Dur::from_us(p - off),
+                    Dur::from_us(1_000),
+                )
+            })
+            .collect();
+        let ts = TaskSet::rate_monotonic("coprime", tasks);
+        prop_assert!(
+            lpfps_tasks::analysis::hyperperiod(&ts).is_none(),
+            "these periods must overflow the hyperperiod"
+        );
+        let cfg = SimConfig::new(Dur::from_ms(5_000)).with_seed(seed);
+        let outcome = catch_unwind(|| {
+            let fast = simulate(&ts, &CpuSpec::arm8(), &mut AlwaysFullSpeed, &AlwaysWcet, &cfg)?;
+            let full = simulate(
+                &ts,
+                &CpuSpec::arm8(),
+                &mut AlwaysFullSpeed,
+                &AlwaysWcet,
+                &cfg.clone().with_force_full_simulation(),
+            )?;
+            Ok::<_, SimError>((fast, full))
+        });
+        prop_assert!(outcome.is_ok(), "engine panicked on overflow-scale periods");
+        let (fast, full) = outcome.unwrap().expect("hostile-but-valid set simulates");
+        prop_assert_eq!(fast.counters, full.counters);
+        prop_assert_eq!(
+            fast.energy.total_energy().to_bits(),
+            full.energy.total_energy().to_bits()
+        );
+    }
+}
+
 /// Sleep-mode degeneracy is only reachable through the fallible builder
 /// (or serde); both must reject the empty family with the same typed
 /// error.

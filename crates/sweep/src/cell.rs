@@ -218,11 +218,32 @@ impl Cell {
     ///
     /// As [`Cell::run`].
     pub fn run_in(&self, horizon_scale: f64, ws: &mut SimWorkspace) -> Result<SimReport, SimError> {
+        self.run_opts(horizon_scale, ws, false)
+    }
+
+    /// [`Cell::run_in`] with the steady-state fast-forward optionally
+    /// forced off (`force_full = true` maps to
+    /// [`SimConfig::with_force_full_simulation`]). Reports are
+    /// bit-identical either way; the flag exists for A/B timing and
+    /// differential testing.
+    ///
+    /// # Errors
+    ///
+    /// As [`Cell::run`].
+    pub fn run_opts(
+        &self,
+        horizon_scale: f64,
+        ws: &mut SimWorkspace,
+        force_full: bool,
+    ) -> Result<SimReport, SimError> {
         let scaled = self.ts.with_bcet_fraction(self.bcet_fraction);
         let mut cfg = SimConfig::new(self.effective_horizon(horizon_scale))
             .with_seed(self.seed)
             .with_context_switch(self.context_switch)
             .with_ratio_overhead(self.ratio_overhead);
+        if force_full {
+            cfg = cfg.with_force_full_simulation();
+        }
         if let Some(tick) = self.tick {
             cfg = cfg.with_tick(tick);
         }

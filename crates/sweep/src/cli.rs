@@ -174,6 +174,10 @@ impl Cli {
             "--check <N>".into(),
             "invariant-check N sampled cells after the sweep [default: 0 = off]",
         );
+        row(
+            "--no-fast-forward".into(),
+            "disable steady-state fast-forward (results are identical; timing only)",
+        );
         row("--quiet".into(), "suppress per-cell progress on stderr");
         row("--help".into(), "print this help");
         out
@@ -189,6 +193,7 @@ impl Cli {
             seeds: self.default_seeds,
             horizon_scale: 1.0,
             check: 0,
+            no_fast_forward: false,
             quiet: false,
             help: false,
             values: BTreeMap::new(),
@@ -209,6 +214,7 @@ impl Cli {
             match arg.as_str() {
                 "--help" | "-h" => parsed.help = true,
                 "--quiet" => parsed.quiet = true,
+                "--no-fast-forward" => parsed.no_fast_forward = true,
                 "--json" => parsed.json = Some(value_for("--json")?),
                 "--metrics" => parsed.metrics = Some(value_for("--metrics")?),
                 "--threads" => {
@@ -318,6 +324,8 @@ pub struct Parsed {
     pub horizon_scale: f64,
     /// `--check N`: sampled invariant checks after the sweep (0 = off).
     pub check: usize,
+    /// `--no-fast-forward`: force full event-by-event simulation.
+    pub no_fast_forward: bool,
     /// `--quiet`.
     pub quiet: bool,
     /// `--help` was requested (only observable through `try_parse`).
@@ -353,6 +361,7 @@ impl Parsed {
         }
         opts.horizon_scale = self.horizon_scale;
         opts.check_sample = self.check;
+        opts.no_fast_forward = self.no_fast_forward;
         opts
     }
 
@@ -458,6 +467,16 @@ mod tests {
     }
 
     #[test]
+    fn no_fast_forward_parses_and_reaches_run_options() {
+        let p = parse(&["--no-fast-forward"]).unwrap();
+        assert!(p.no_fast_forward);
+        assert!(p.run_options().no_fast_forward);
+        let p = parse(&[]).unwrap();
+        assert!(!p.no_fast_forward);
+        assert!(!p.run_options().no_fast_forward);
+    }
+
+    #[test]
     fn binary_specific_flags_parse() {
         let p = parse(&["--app", "ins", "--gantt"]).unwrap();
         assert_eq!(p.value("--app"), Some("ins"));
@@ -547,6 +566,7 @@ mod tests {
             "--threads",
             "--seeds",
             "--horizon-scale",
+            "--no-fast-forward",
             "--quiet",
             "--app",
             "--gantt",

@@ -24,6 +24,12 @@ pub struct CellMetrics {
     pub attempts: u32,
     /// True when the first attempt exceeded the soft per-cell budget.
     pub timed_out: bool,
+    /// Whole hyperperiods the kernel's steady-state detector skipped
+    /// (0 when the cell was ineligible or no recurrence was found).
+    pub cycles_detected: u64,
+    /// Decision points covered by extrapolation instead of simulation.
+    /// `events` already includes them — this is how many were free.
+    pub events_skipped: u64,
 }
 
 impl CellMetrics {
@@ -50,6 +56,11 @@ pub struct SweepMetrics {
     pub wall_ns: u64,
     /// Total kernel decision points across all cells.
     pub total_events: u64,
+    /// Total hyperperiods skipped by steady-state fast-forward.
+    pub cycles_detected: u64,
+    /// Total decision points extrapolated instead of simulated (already
+    /// counted inside `total_events`).
+    pub events_skipped: u64,
     /// Cells that finished [`CellStatus::Failed`](crate::cell::CellStatus).
     pub failures: usize,
     /// Failure count per error kind (`"invalid-config"`,
@@ -102,6 +113,15 @@ impl SweepMetrics {
             self.events_per_sec() / 1e6,
             self.total_events,
         );
+        if self.cycles_detected > 0 {
+            let _ = writeln!(
+                out,
+                "  fast-forward: {} hyperperiod{} skipped, {} of those events extrapolated",
+                self.cycles_detected,
+                if self.cycles_detected == 1 { "" } else { "s" },
+                self.events_skipped,
+            );
+        }
         if self.failures > 0 {
             let kinds: Vec<String> = self
                 .failure_kinds

@@ -27,6 +27,7 @@ use crate::metrics::{CellMetrics, SweepMetrics};
 use crate::spec::SweepSpec;
 use lpfps_kernel::engine::SimWorkspace;
 use lpfps_kernel::report::SimReport;
+use lpfps_kernel::steady::FastForwardStats;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -52,6 +53,11 @@ pub struct RunOptions {
     /// checker ([`crate::check`]); any violation panics with the cell and
     /// trace position. `0` disables the pass (the default).
     pub check_sample: usize,
+    /// Force every cell through the full event-by-event simulation,
+    /// disabling the kernel's steady-state fast-forward. Results are
+    /// bit-identical either way (the kernel guarantees it); the flag
+    /// exists for A/B timing and differential testing.
+    pub no_fast_forward: bool,
 }
 
 impl Default for RunOptions {
@@ -64,6 +70,7 @@ impl Default for RunOptions {
             quiet: true,
             cell_timeout: None,
             check_sample: 0,
+            no_fast_forward: false,
         }
     }
 }
@@ -97,6 +104,12 @@ impl RunOptions {
     /// Enables the post-sweep invariant sampling pass over `n` cells.
     pub fn with_check_sample(mut self, n: usize) -> Self {
         self.check_sample = n;
+        self
+    }
+
+    /// Disables the steady-state fast-forward for every cell.
+    pub fn with_no_fast_forward(mut self) -> Self {
+        self.no_fast_forward = true;
         self
     }
 }
@@ -147,15 +160,29 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// Runs one cell behind the containment boundary: a typed [`SimError`]
 /// and a caught panic both land as a structured [`CellError`] (the panic
 /// under kind `"panic"`), so the sweep never aborts on a bad cell.
+///
+/// The returned [`FastForwardStats`] are the workspace's side-channel for
+/// this run — read immediately after a completed cell (a panicked cell
+/// would leave the previous cell's stats behind, so failures report
+/// zeros).
 fn run_cell(
     cell: &Cell,
     horizon_scale: f64,
     ws: &mut SimWorkspace,
-) -> Result<SimReport, CellError> {
-    match catch_unwind(AssertUnwindSafe(|| cell.run_in(horizon_scale, ws))) {
-        Ok(Ok(report)) => Ok(report),
-        Ok(Err(err)) => Err(CellError::from_sim(cell, &err)),
-        Err(payload) => Err(CellError::from_panic(cell, panic_message(payload))),
+    force_full: bool,
+) -> (Result<SimReport, CellError>, FastForwardStats) {
+    match catch_unwind(AssertUnwindSafe(|| {
+        cell.run_opts(horizon_scale, ws, force_full)
+    })) {
+        Ok(Ok(report)) => (Ok(report), ws.fast_forward_stats()),
+        Ok(Err(err)) => (
+            Err(CellError::from_sim(cell, &err)),
+            FastForwardStats::default(),
+        ),
+        Err(payload) => (
+            Err(CellError::from_panic(cell, panic_message(payload))),
+            FastForwardStats::default(),
+        ),
     }
 }
 
@@ -193,7 +220,8 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> SweepOutcome {
                     let cell = &spec.cells[index];
                     let cell_started = Instant::now();
                     let mut attempts = 1;
-                    let mut outcome = run_cell(cell, opts.horizon_scale, &mut ws);
+                    let (mut outcome, mut ff) =
+                        run_cell(cell, opts.horizon_scale, &mut ws, opts.no_fast_forward);
                     let mut wall = cell_started.elapsed();
                     let mut timed_out = false;
                     if let Some(budget) = opts.cell_timeout {
@@ -205,7 +233,8 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> SweepOutcome {
                             timed_out = true;
                             attempts = 2;
                             let retry_started = Instant::now();
-                            outcome = run_cell(cell, opts.horizon_scale, &mut ws);
+                            (outcome, ff) =
+                                run_cell(cell, opts.horizon_scale, &mut ws, opts.no_fast_forward);
                             wall = retry_started.elapsed();
                         }
                     }
@@ -216,6 +245,8 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> SweepOutcome {
                         events: outcome.as_ref().map_or(0, |r| r.counters.events),
                         attempts,
                         timed_out,
+                        cycles_detected: ff.cycles_detected,
+                        events_skipped: ff.events_skipped,
                     };
                     if !opts.quiet {
                         match &outcome {
@@ -271,6 +302,8 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> SweepOutcome {
         per_cell.push(metrics);
     }
     let total_events = per_cell.iter().map(|m| m.events).sum();
+    let cycles_detected = per_cell.iter().map(|m| m.cycles_detected).sum();
+    let events_skipped = per_cell.iter().map(|m| m.events_skipped).sum();
     let failures = results.iter().filter(|r| !r.status.is_ok()).count();
     let mut failure_kinds: BTreeMap<String, usize> = BTreeMap::new();
     for r in &results {
@@ -288,6 +321,8 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> SweepOutcome {
             threads: workers,
             wall_ns,
             total_events,
+            cycles_detected,
+            events_skipped,
             failures,
             failure_kinds,
             per_cell,
@@ -393,6 +428,38 @@ mod tests {
                 assert_eq!(a.responses, b.responses);
             }
         }
+    }
+
+    /// Deterministic cells (AlwaysWcet) settle into a steady state, so
+    /// the fast-forward engages — and must not move a single result bit
+    /// relative to `--no-fast-forward`.
+    #[test]
+    fn fast_forward_engages_and_results_match_forced_full() {
+        let ts = TaskSet::rate_monotonic(
+            "t",
+            vec![
+                Task::new("a", Dur::from_us(50), Dur::from_us(10)),
+                Task::new("b", Dur::from_us(100), Dur::from_us(30)),
+            ],
+        );
+        let mut spec = SweepSpec::new("ff");
+        spec.push(Cell::new(ts, CpuSpec::arm8(), PolicyKind::Lpfps));
+        let opts = RunOptions::serial().with_horizon_scale(8.0);
+        let fast = run_sweep(&spec, &opts);
+        let full = run_sweep(&spec, &opts.clone().with_no_fast_forward());
+        assert!(fast.metrics.cycles_detected > 0, "detector must engage");
+        assert!(fast.metrics.events_skipped > 0);
+        assert_eq!(full.metrics.cycles_detected, 0, "flag must disable it");
+        assert_eq!(full.metrics.events_skipped, 0);
+        let a = serde_json::to_string(&fast.results).unwrap();
+        let b = serde_json::to_string(&full.results).unwrap();
+        assert_eq!(a, b, "fast-forward must not change deterministic results");
+        let (ra, rb) = (fast.report(0).unwrap(), full.report(0).unwrap());
+        assert_eq!(ra.counters, rb.counters);
+        assert_eq!(
+            ra.energy.total_energy().to_bits(),
+            rb.energy.total_energy().to_bits()
+        );
     }
 
     #[test]

@@ -30,6 +30,10 @@ impl ExecModel for AlwaysWcet {
     fn name(&self) -> &'static str {
         "always-wcet"
     }
+
+    fn index_invariant(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

@@ -39,6 +39,16 @@ pub trait ExecModel: Debug + Send + Sync {
 
     /// A short human-readable name for reports.
     fn name(&self) -> &'static str;
+
+    /// True iff [`sample`](Self::sample) ignores `job_index` entirely —
+    /// every job of a task draws the same demand. Kernels exploit this for
+    /// steady-state cycle detection: an index-invariant workload repeats
+    /// exactly each hyperperiod, while index-dependent draws (the Gaussian
+    /// and cyclic models) make every cycle unique. Defaults to `false`,
+    /// the conservative answer.
+    fn index_invariant(&self) -> bool {
+        false
+    }
 }
 
 /// Clamps a floating-point nanosecond demand into the legal `[min, wcet]`
