@@ -15,6 +15,12 @@
 //!   bench_kernel --golden             print the golden-report
 //!                                     fingerprint table (the constants
 //!                                     pinned by tests/golden_determinism)
+//!   bench_kernel --remeasure BENCH_kernel.json --label L [--note N]
+//!                                     re-run the single-thread sweep
+//!                                     under the current engine and
+//!                                     append a labelled follow-up row
+//!                                     to the committed trajectory
+//!                                     (before/after pair untouched)
 //!
 //! All simulated work is deterministic (`counters.events` is a pure
 //! function of the grid), so events/sec is comparable across engine
@@ -66,6 +72,21 @@ struct Snapshot {
     sweeps: Vec<SweepRun>,
 }
 
+/// A labelled follow-up measurement appended by `--remeasure` — e.g. the
+/// probes-off sweep taken after the observability seam landed — recorded
+/// next to (never instead of) the committed before/after pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Remeasurement {
+    label: String,
+    note: String,
+    /// The single-thread utilization sweep under the current engine.
+    sweep: SweepRun,
+    /// events/sec relative to the committed `after` single-thread sweep
+    /// (1.0 = identical throughput; the run-to-run noise band on this
+    /// host is a few percent).
+    vs_after_sweep_ratio: f64,
+}
+
 /// The committed before/after trajectory (schema
 /// `lpfps/bench-kernel/v2`).
 ///
@@ -93,6 +114,9 @@ struct Trajectory {
     /// Fast-forward vs forced-full wall times at the committed scale
     /// (byte-identical reports asserted during measurement).
     long_horizon: LongHorizonResults,
+    /// Follow-up rows appended by `--remeasure`; `None` in files written
+    /// before the flag existed (absent fields deserialize as `Option`).
+    remeasurements: Option<Vec<Remeasurement>>,
     before: Snapshot,
     after: Snapshot,
 }
@@ -286,16 +310,26 @@ fn main() {
     for (i, a) in args.iter().enumerate() {
         let known_flag = matches!(
             a.as_str(),
-            "--quick" | "--golden" | "--snapshot" | "--baseline" | "--trajectory"
+            "--quick"
+                | "--golden"
+                | "--snapshot"
+                | "--baseline"
+                | "--trajectory"
+                | "--remeasure"
+                | "--label"
+                | "--note"
         );
         let is_value = i > 0
             && matches!(
                 args[i - 1].as_str(),
-                "--snapshot" | "--baseline" | "--trajectory"
+                "--snapshot" | "--baseline" | "--trajectory" | "--remeasure" | "--label" | "--note"
             );
         if !known_flag && !is_value {
             eprintln!("error: unknown argument `{a}`");
-            eprintln!("usage: bench_kernel [--quick] [--golden] [--snapshot F] [--baseline F --trajectory F]");
+            eprintln!(
+                "usage: bench_kernel [--quick] [--golden] [--snapshot F] \
+                 [--baseline F --trajectory F] [--remeasure F --label L [--note N]]"
+            );
             std::process::exit(2);
         }
     }
@@ -309,6 +343,48 @@ fn main() {
     }
 
     let quick = has("--quick");
+
+    if let Some(path) = value("--remeasure").cloned() {
+        let label = value("--label").cloned().unwrap_or_else(|| {
+            eprintln!("error: --remeasure needs --label L");
+            std::process::exit(2);
+        });
+        let note = value("--note").cloned().unwrap_or_default();
+        let raw = std::fs::read_to_string(&path).expect("trajectory readable");
+        let mut trajectory: Trajectory = serde_json::from_str(&raw).expect("trajectory parses");
+        let after = trajectory
+            .after
+            .sweeps
+            .iter()
+            .find(|s| s.threads == 1)
+            .expect("committed trajectory has a single-thread sweep")
+            .clone();
+        eprintln!(
+            "re-measuring the single-thread utilization sweep ({} mode)...",
+            if quick { "quick" } else { "full" }
+        );
+        let sweep = time_sweep(&sweep_grid(quick), 1, if quick { 1 } else { 3 });
+        let vs_after_sweep_ratio = sweep.events_per_sec / after.events_per_sec;
+        println!(
+            "remeasure `{label}`: {:.2}M events/s vs committed {:.2}M events/s — ratio {:.3}",
+            sweep.events_per_sec / 1e6,
+            after.events_per_sec / 1e6,
+            vs_after_sweep_ratio
+        );
+        let rows = trajectory.remeasurements.get_or_insert_with(Vec::new);
+        rows.retain(|r| r.label != label);
+        rows.push(Remeasurement {
+            label,
+            note,
+            sweep,
+            vs_after_sweep_ratio,
+        });
+        let json = serde_json::to_string_pretty(&trajectory).expect("trajectory serializes");
+        std::fs::write(&path, json + "\n").expect("trajectory written");
+        eprintln!("trajectory updated at {path}");
+        return;
+    }
+
     eprintln!(
         "measuring kernel performance ({} mode, {} host threads)...",
         if quick { "quick" } else { "full" },
@@ -358,6 +434,7 @@ fn main() {
                 },
             )),
             long_horizon,
+            remeasurements: None,
             before,
             after: snapshot.clone(),
         };

@@ -225,4 +225,5 @@ fn main() {
         cells: outcome.results.clone(),
     };
     parsed.emit(&payload, &outcome.metrics);
+    parsed.maybe_export_trace(&spec, &outcome);
 }

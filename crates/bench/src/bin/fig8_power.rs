@@ -103,4 +103,5 @@ fn main() {
     println!("\nall Figure 8 qualitative claims verified.");
 
     parsed.emit(&cells, &outcome.metrics);
+    parsed.maybe_export_trace(&spec, &outcome);
 }

@@ -113,4 +113,5 @@ fn main() {
          carry over from fixed priorities to deadline order."
     );
     parsed.emit(cells, &outcome.metrics);
+    parsed.maybe_export_trace(&spec, &outcome);
 }

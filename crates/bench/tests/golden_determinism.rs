@@ -122,6 +122,42 @@ fn sweep_reports_identical_across_thread_counts() {
     }
 }
 
+/// Observability is free, proven against the pinned history: the full
+/// golden matrix run through the probed engine entry points — with a
+/// recording [`JobRecorder`] *and* a [`TraceProbe`] attached — must still
+/// reproduce the pre-optimization fingerprints byte for byte. Probes may
+/// observe the simulation; they may never perturb it (not even its
+/// fast-forward eligibility).
+#[test]
+fn probed_engine_reproduces_the_golden_matrix() {
+    use lpfps_bench::golden::golden_cells;
+    use lpfps_kernel::engine::SimWorkspace;
+    use lpfps_obs::{JobRecorder, TraceProbe};
+    let mut ws = SimWorkspace::new();
+    for (cell, (label, expected)) in golden_cells().into_iter().zip(GOLDEN) {
+        let mut rec = JobRecorder::new();
+        let report = cell.run_probed_opts(1.0, &mut ws, false, &mut rec).unwrap();
+        let fp = report_fingerprint(&report);
+        if fp != expected {
+            panic!(
+                "JobRecorder-probed report for `{label}` diverged \
+                 ({fp:#018x} != {expected:#018x})\n{}",
+                diagnose_mismatch(&cell, &report)
+            );
+        }
+        let mut tp = TraceProbe::new();
+        let report = cell.run_probed_opts(1.0, &mut ws, false, &mut tp).unwrap();
+        let fp = report_fingerprint(&report);
+        if fp != expected {
+            panic!(
+                "TraceProbe-probed report for `{label}` diverged \
+                 ({fp:#018x} != {expected:#018x})\n{}",
+                diagnose_mismatch(&cell, &report)
+            );
+        }
+    }
+}
+
 #[test]
 fn fingerprint_is_sensitive_to_the_config() {
     // Sanity check that the hash actually discriminates: a different seed

@@ -6,8 +6,12 @@ use crate::baselines::{static_slowdown_spec, EdfFps, Fps};
 use crate::lpfps_policy::LpfpsPolicy;
 use lpfps_cpu::spec::CpuSpec;
 use lpfps_kernel::discipline::Edf as EdfDispatch;
-use lpfps_kernel::engine::{simulate_in, simulate_in_for, SimConfig, SimWorkspace};
+use lpfps_kernel::engine::{
+    simulate_in, simulate_in_for, simulate_in_probed, simulate_in_probed_for, SimConfig,
+    SimWorkspace,
+};
 use lpfps_kernel::error::SimError;
+use lpfps_kernel::probe::Probe;
 use lpfps_kernel::report::SimReport;
 use lpfps_tasks::analysis::hyperperiod::hyperperiod;
 use lpfps_tasks::exec::ExecModel;
@@ -163,6 +167,80 @@ pub fn run_in(
         PolicyKind::CcEdf => {
             simulate_in_for::<EdfDispatch>(ts, cpu, &mut LpfpsPolicy::cc_edf(), exec, cfg, ws)
         }
+    }
+}
+
+/// [`run_in`] with an observability [`Probe`] attached: every dispatch arm
+/// routes through the kernel's probed entry points, so the probe sees the
+/// full event stream of whichever policy/discipline the cell selects. The
+/// report is byte-identical to the probe-less run by the kernel's
+/// zero-influence contract ([`lpfps_kernel::probe`]).
+///
+/// # Errors
+///
+/// As [`run`].
+pub fn run_probed_in<P: Probe>(
+    ts: &TaskSet,
+    cpu: &CpuSpec,
+    kind: PolicyKind,
+    exec: &dyn ExecModel,
+    cfg: &SimConfig,
+    ws: &mut SimWorkspace,
+    probe: &mut P,
+) -> Result<SimReport, SimError> {
+    match kind {
+        PolicyKind::Fps => simulate_in_probed(ts, cpu, &mut Fps, exec, cfg, ws, probe),
+        PolicyKind::FpsPd => simulate_in_probed(
+            ts,
+            cpu,
+            &mut LpfpsPolicy::power_down_only(),
+            exec,
+            cfg,
+            ws,
+            probe,
+        ),
+        PolicyKind::LpfpsDvsOnly => {
+            simulate_in_probed(ts, cpu, &mut LpfpsPolicy::dvs_only(), exec, cfg, ws, probe)
+        }
+        PolicyKind::Lpfps => {
+            simulate_in_probed(ts, cpu, &mut LpfpsPolicy::new(), exec, cfg, ws, probe)
+        }
+        PolicyKind::LpfpsOptimal => simulate_in_probed(
+            ts,
+            cpu,
+            &mut LpfpsPolicy::with_optimal_ratio(),
+            exec,
+            cfg,
+            ws,
+            probe,
+        ),
+        PolicyKind::LpfpsWatchdog => simulate_in_probed(
+            ts,
+            cpu,
+            &mut LpfpsPolicy::with_watchdog(PolicyKind::DEFAULT_WATCHDOG_COOLDOWN),
+            exec,
+            cfg,
+            ws,
+            probe,
+        ),
+        PolicyKind::StaticSlowdown => {
+            let derated = static_slowdown_spec(ts, cpu).unwrap_or_else(|| cpu.clone());
+            let mut report = simulate_in_probed(ts, &derated, &mut Fps, exec, cfg, ws, probe)?;
+            report.policy = PolicyKind::StaticSlowdown.name().to_string();
+            Ok(report)
+        }
+        PolicyKind::Edf => {
+            simulate_in_probed_for::<EdfDispatch, P>(ts, cpu, &mut EdfFps, exec, cfg, ws, probe)
+        }
+        PolicyKind::CcEdf => simulate_in_probed_for::<EdfDispatch, P>(
+            ts,
+            cpu,
+            &mut LpfpsPolicy::cc_edf(),
+            exec,
+            cfg,
+            ws,
+            probe,
+        ),
     }
 }
 

@@ -27,6 +27,7 @@
 use crate::discipline::{Discipline, EdfKey, FixedPriority};
 use crate::error::{BudgetKind, PartialDiagnostic, SimError};
 use crate::policy::{ActiveView, FaultEvent, PowerDirective, PowerPolicy, SchedulerContext};
+use crate::probe::{NoProbe, Probe};
 use crate::queues::{DelayQueue, RunQueue};
 use crate::report::{Counters, DeadlineMiss, ResponseStats, SimReport};
 use crate::stats::{IntervalStats, ResponseHistogram};
@@ -306,8 +307,12 @@ enum ProcMode {
     WakingUp { until: Time },
 }
 
-struct Engine<'a, D: Discipline> {
+struct Engine<'a, D: Discipline, P: Probe = NoProbe> {
     ts: &'a TaskSet,
+    /// The observability sink (see [`crate::probe`]). Monomorphized: for
+    /// [`NoProbe`] every tap site is a compile-time dead branch, so the
+    /// hot path is byte-for-byte the pre-seam engine.
+    probe: &'a mut P,
     cpu: &'a CpuSpec,
     exec: &'a dyn ExecModel,
     cfg: &'a SimConfig,
@@ -532,6 +537,46 @@ pub fn simulate_in_for<D: Discipline>(
     cfg: &SimConfig,
     ws: &mut SimWorkspace,
 ) -> Result<SimReport, SimError> {
+    simulate_in_probed_for::<D, NoProbe>(ts, cpu, policy, exec, cfg, ws, &mut NoProbe)
+}
+
+/// [`simulate_in`] with an observability [`Probe`] attached: the probe
+/// receives every kernel event (whether or not `cfg.trace` is on) and
+/// cannot influence the run — the report is byte-identical to the
+/// [`NoProbe`] run by construction (see [`crate::probe`]).
+///
+/// # Errors
+///
+/// As [`simulate`].
+pub fn simulate_in_probed<P: Probe>(
+    ts: &TaskSet,
+    cpu: &CpuSpec,
+    policy: &mut dyn PowerPolicy,
+    exec: &dyn ExecModel,
+    cfg: &SimConfig,
+    ws: &mut SimWorkspace,
+    probe: &mut P,
+) -> Result<SimReport, SimError> {
+    simulate_in_probed_for::<FixedPriority, P>(ts, cpu, policy, exec, cfg, ws, probe)
+}
+
+/// [`simulate_in_for`] with an observability [`Probe`] attached — the
+/// fully general entry point: explicit discipline, caller-provided
+/// workspace, and an event sink. All other `simulate*` functions are
+/// specializations of this one.
+///
+/// # Errors
+///
+/// As [`simulate`].
+pub fn simulate_in_probed_for<D: Discipline, P: Probe>(
+    ts: &TaskSet,
+    cpu: &CpuSpec,
+    policy: &mut dyn PowerPolicy<D>,
+    exec: &dyn ExecModel,
+    cfg: &SimConfig,
+    ws: &mut SimWorkspace,
+    probe: &mut P,
+) -> Result<SimReport, SimError> {
     // Boundary validation: `TaskSet` and `CpuSpec` implement
     // `Deserialize`, so malformed values can exist without any
     // constructor assert having fired. After these checks every time
@@ -541,7 +586,7 @@ pub fn simulate_in_for<D: Discipline>(
     validate_sim_config(cfg)?;
     validate_task_set(ts)?;
     validate_cpu_spec(cpu)?;
-    let mut engine = Engine::<D>::new(ts, cpu, exec, cfg, ws);
+    let mut engine = Engine::<D, P>::new(ts, cpu, exec, cfg, ws, probe);
     match engine.run(policy) {
         Ok(()) => Ok(engine.into_report(policy.name(), ws)),
         Err(e) => {
@@ -551,13 +596,14 @@ pub fn simulate_in_for<D: Discipline>(
     }
 }
 
-impl<'a, D: Discipline> Engine<'a, D> {
+impl<'a, D: Discipline, P: Probe> Engine<'a, D, P> {
     fn new(
         ts: &'a TaskSet,
         cpu: &'a CpuSpec,
         exec: &'a dyn ExecModel,
         cfg: &'a SimConfig,
         ws: &mut SimWorkspace,
+        probe: &'a mut P,
     ) -> Self {
         let reference = cpu.reference_freq();
         // Adopt the workspace buffers (cleared; contents between runs are
@@ -586,6 +632,7 @@ impl<'a, D: Discipline> Engine<'a, D> {
         }
         Engine {
             ts,
+            probe,
             cpu,
             exec,
             cfg,
@@ -1740,6 +1787,12 @@ impl<'a, D: Discipline> Engine<'a, D> {
     }
 
     fn push_trace(&mut self, event: TraceEvent) {
+        // The probe tap: `P::ACTIVE` is an associated constant, so for
+        // `NoProbe` this whole branch is compile-time dead and the
+        // function reduces to the pre-seam trace push.
+        if P::ACTIVE {
+            self.probe.on_event(self.now, &event);
+        }
         if let Some(trace) = self.trace.as_mut() {
             trace.push(self.now, event);
         }

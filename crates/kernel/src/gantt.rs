@@ -296,4 +296,174 @@ mod tests {
         let (ts, g) = gantt_of(100);
         let _ = g.render(&ts, 0);
     }
+
+    use lpfps_faults::{FaultConfig, OverrunFault};
+    use lpfps_tasks::exec::PaperGaussian;
+
+    /// Table 1 at varied seeds and fault streams: plenty of preemptions
+    /// and resumptions, every reconstruction a fresh chance to overlap.
+    fn varied_gantts() -> Vec<(Trace, Gantt)> {
+        let cpu = CpuSpec::arm8();
+        let mut out = Vec::new();
+        for seed in 0..8u64 {
+            for faulted in [false, true] {
+                let mut cfg = SimConfig::new(Dur::from_us(800))
+                    .with_seed(seed)
+                    .with_trace();
+                if faulted {
+                    cfg = cfg.with_faults(
+                        FaultConfig::none()
+                            .with_seed(seed)
+                            .with_overrun(OverrunFault::clamped(0.3, 0.3, 1.3)),
+                    );
+                }
+                let ts = table1().with_bcet_fraction(0.5);
+                let report =
+                    simulate(&ts, &cpu, &mut AlwaysFullSpeed, &PaperGaussian, &cfg).unwrap();
+                let trace = report.trace.clone().unwrap();
+                let gantt = Gantt::from_trace(&trace, Time::from_us(800));
+                out.push((trace, gantt));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn segments_are_ordered_and_never_overlap() {
+        for (_, g) in varied_gantts() {
+            for pair in g.segments().windows(2) {
+                assert!(pair[0].from < pair[0].to, "empty segment {:?}", pair[0]);
+                assert!(
+                    pair[0].to <= pair[1].from,
+                    "overlapping segments {:?} and {:?}",
+                    pair[0],
+                    pair[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn segments_tile_traced_busy_intervals_exactly() {
+        use lpfps_cpu::state::StateKind;
+        // The trace's energy segments are the ground truth for when the
+        // processor was busy executing a task (full-speed runs: the Busy
+        // state and nothing else). Merged execution segments must
+        // reproduce those busy intervals interval-for-interval.
+        for (trace, g) in varied_gantts() {
+            let mut busy: Vec<(Time, Time)> = Vec::new();
+            for (at, e) in trace.iter() {
+                if let TraceEvent::EnergySegment { state, dur, .. } = e {
+                    if state.kind() == StateKind::Busy {
+                        match busy.last_mut() {
+                            Some(last) if last.1 == at => last.1 = at + dur,
+                            _ => busy.push((at, at + dur)),
+                        }
+                    }
+                }
+            }
+            let mut merged: Vec<(Time, Time)> = Vec::new();
+            for s in g.segments() {
+                match merged.last_mut() {
+                    Some(last) if last.1 == s.from => last.1 = s.to,
+                    _ => merged.push((s.from, s.to)),
+                }
+            }
+            assert_eq!(
+                merged, busy,
+                "execution segments drifted from the energy stream"
+            );
+        }
+    }
+
+    /// One-shot slow-down (see `tests/trace_events.rs`): used here to park
+    /// a ramp *entirely inside an idle window* — the task retires at low
+    /// speed, then the kernel ramps back to full with nothing running.
+    #[derive(Debug, Default)]
+    struct SlowOnce {
+        fired: bool,
+    }
+
+    impl crate::policy::PolicyCore for SlowOnce {
+        fn name(&self) -> &'static str {
+            "slow-once"
+        }
+    }
+
+    impl crate::policy::PowerPolicy for SlowOnce {
+        fn decide(
+            &mut self,
+            ctx: &crate::policy::SchedulerContext<'_>,
+        ) -> crate::policy::PowerDirective {
+            use lpfps_tasks::freq::Freq;
+            if !self.fired && ctx.active.is_some() && ctx.run_queue.is_empty() {
+                if let Some(t_a) = ctx.next_arrival() {
+                    let freq = Freq::from_mhz(50);
+                    self.fired = true;
+                    return crate::policy::PowerDirective::SlowDown {
+                        freq,
+                        speedup_at: t_a - ctx.cpu.ramp_duration(freq, ctx.cpu.full_freq()),
+                    };
+                }
+            }
+            crate::policy::PowerDirective::FullSpeed
+        }
+    }
+
+    /// Regression: a ramp that starts *and* ends inside one idle window
+    /// must leave the condition row idle afterwards (`RampEnd` with no
+    /// runner used to be easy to misclassify as a return to `Run`), and
+    /// must never mint an execution segment.
+    #[test]
+    fn ramp_inside_an_idle_window_stays_idle() {
+        let ts = TaskSet::rate_monotonic(
+            "ramp-idle",
+            vec![
+                Task::new("a", Dur::from_us(100), Dur::from_us(10)),
+                Task::new("b", Dur::from_us(400), Dur::from_us(20)),
+            ],
+        );
+        let cpu = CpuSpec::arm8();
+        let cfg = SimConfig::new(Dur::from_us(100)).with_trace();
+        let report = simulate(&ts, &cpu, &mut SlowOnce::default(), &AlwaysWcet, &cfg).unwrap();
+        let trace = report.trace.as_ref().unwrap();
+        let g = Gantt::from_trace(trace, Time::from_us(100));
+
+        // b retires slowed, strictly before a's next release...
+        let segs = g.segments();
+        assert_eq!(segs.len(), 2, "a then b, nothing else: {segs:?}");
+        let done = segs[1].to;
+        assert!(done > Time::from_us(10) && done < Time::from_us(100));
+        // ...and the ramp back to full speed lies wholly in the idle tail.
+        let ramp_end = trace
+            .iter()
+            .filter(|(at, e)| matches!(e, TraceEvent::RampEnd { .. }) && *at > done)
+            .map(|(at, _)| at)
+            .next()
+            .expect("the kernel ramps back to full during the idle window");
+        assert!(ramp_end < Time::from_us(100));
+
+        // No execution segment may touch the idle window.
+        assert!(segs.iter().all(|s| s.to <= done));
+        // After the in-idle ramp, the condition row must read idle ('.')
+        // all the way to the next release.
+        let chart = g.render(&ts, 1);
+        let cpu_row = chart
+            .lines()
+            .find(|l| l.trim_start().starts_with("cpu |"))
+            .expect("cpu row present");
+        let cells: Vec<char> = cpu_row
+            .split('|')
+            .nth(1)
+            .expect("row body")
+            .chars()
+            .collect();
+        let first_idle_col = ramp_end.as_ns().div_ceil(1_000) as usize;
+        for (col, &cell) in cells.iter().enumerate().take(100).skip(first_idle_col) {
+            assert_eq!(
+                cell, '.',
+                "column {col} (us) after the idle-window ramp must be idle\n{chart}"
+            );
+        }
+    }
 }

@@ -62,6 +62,7 @@ pub mod engine;
 pub mod error;
 pub mod gantt;
 pub mod policy;
+pub mod probe;
 pub mod queues;
 pub mod report;
 pub mod stats;
@@ -69,9 +70,12 @@ pub mod steady;
 pub mod trace;
 
 pub use discipline::{Discipline, Edf, EdfKey, FixedPriority};
-pub use engine::{simulate, simulate_in_for, SimConfig};
+pub use engine::{
+    simulate, simulate_in_for, simulate_in_probed, simulate_in_probed_for, SimConfig,
+};
 pub use error::{BudgetKind, PartialDiagnostic, SimError};
 pub use policy::{ActiveView, PolicyCore, PowerDirective, PowerPolicy, SchedulerContext};
+pub use probe::{NoProbe, Probe};
 pub use report::{Counters, DeadlineMiss, ResponseStats, SimReport};
 pub use stats::{IntervalStats, ResponseHistogram};
 pub use steady::FastForwardStats;

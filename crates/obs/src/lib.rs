@@ -1,0 +1,42 @@
+// Same panic-free boundary as the kernel: library code must not abort.
+// Tests and binaries may unwrap freely.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
+//! # lpfps-obs
+//!
+//! The observability layer of the LPFPS reproduction: everything that
+//! *watches* a simulation without being allowed to *change* it.
+//!
+//! Three pieces, layered on the kernel's [`lpfps_kernel::probe::Probe`]
+//! seam:
+//!
+//! * [`probe`] — recording probes. [`TraceProbe`] rebuilds a kernel
+//!   `Trace` from the event stream; [`JobRecorder`] streams per-job
+//!   response times and energies into histograms. The kernel guarantees
+//!   a probed run produces a bit-identical `SimReport` (`NoProbe`
+//!   monomorphizes the tap away entirely, so the probe-free hot path is
+//!   byte-for-byte the pre-seam engine).
+//! * [`hist`] — deterministic log-scale [`LogHistogram`]s whose merge is
+//!   exactly associative and commutative, making sweep-level percentiles
+//!   (`p50`/`p95`/`p99`/`max`) byte-identical across `--threads 1..=8`.
+//! * [`perfetto`] — a Chrome-trace-event exporter
+//!   ([`export_chrome_trace`]) rendering any `Trace` as a document
+//!   `chrome://tracing` / ui.perfetto.dev loads directly, plus an
+//!   independent schema validator ([`validate_chrome_trace`]).
+//!
+//! "Observability is free" is enforced, not assumed: the bench crate
+//! re-runs the 24-cell golden fingerprint matrix and the oracle
+//! differential matrix with probes attached, and the `obs_free_prop`
+//! property suite does the same over arbitrary workloads and fault
+//! streams.
+
+pub mod hist;
+pub mod perfetto;
+pub mod probe;
+
+pub use hist::{HistSummary, LogHistogram};
+pub use perfetto::{export_chrome_trace, validate_chrome_trace, ChromeTraceStats};
+pub use probe::{JobRecorder, TraceProbe, FJ_PER_J};

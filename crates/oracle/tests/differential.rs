@@ -103,6 +103,50 @@ fn engine_matches_oracle_with_kernel_overheads() {
     }
 }
 
+/// The probed engine against the oracle: re-runs the full differential
+/// matrix (both fault halves, every distinct-path policy) through
+/// [`lpfps::driver::run_probed_in`] with a recording [`JobRecorder`]
+/// attached. The probe must be invisible — field-for-field agreement with
+/// the naive reference simulator, exactly as in the unprobed matrix — and
+/// non-vacuously live: it must have counted every completion the report
+/// integrated.
+#[test]
+fn probed_engine_matches_oracle_across_the_matrix() {
+    use lpfps::driver::run_probed_in;
+    use lpfps_kernel::engine::SimWorkspace;
+    use lpfps_obs::JobRecorder;
+    let cpu = CpuSpec::arm8();
+    let mut ws = SimWorkspace::new();
+    for ts in workloads() {
+        for kind in POLICIES {
+            for faults in [FaultConfig::none(), overrun_faults()] {
+                let scaled = ts.with_bcet_fraction(0.5);
+                let cfg = SimConfig::new(default_horizon(&scaled))
+                    .with_seed(42)
+                    .with_faults(faults)
+                    .with_trace();
+                let exec = lpfps_tasks::exec::PaperGaussian;
+                let mut rec = JobRecorder::new();
+                let engine =
+                    run_probed_in(&scaled, &cpu, kind, &exec, &cfg, &mut ws, &mut rec).unwrap();
+                let oracle = oracle_run(&scaled, &cpu, kind, &exec, &cfg).unwrap();
+                if let Some(d) = first_divergence(&engine, &oracle) {
+                    panic!(
+                        "{}/{kind} diverged from the oracle with a probe attached\n{d}",
+                        ts.name()
+                    );
+                }
+                assert_eq!(
+                    rec.response_ns().count(),
+                    engine.counters.completions,
+                    "{}/{kind}: the probe missed completions the report integrated",
+                    ts.name()
+                );
+            }
+        }
+    }
+}
+
 /// Error paths must be as differential as success paths: the engine and
 /// the oracle reject the same inputs with the *same* typed error, and a
 /// budget cut-off trips at the same event with the same diagnostic.

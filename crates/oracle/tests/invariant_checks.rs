@@ -57,6 +57,77 @@ fn clean_runs_satisfy_every_invariant() {
     }
 }
 
+/// Preempt-at-completion tie: when a higher-priority release lands at
+/// the very instant the running job retires, the kernel records a
+/// `Complete` + `Dispatch` pair — never a `Preempt` — and the Gantt
+/// reconstruction of that trace must agree with the trace checker:
+/// zero violations, non-overlapping segments, exact busy attribution.
+#[test]
+fn gantt_agrees_with_the_checker_on_preempt_at_completion_ties() {
+    use lpfps_kernel::gantt::Gantt;
+    use lpfps_tasks::task::{Task, TaskId};
+    use lpfps_tasks::time::{Dur, Time};
+    // hi releases at t = 50 us exactly as lo retires its 40 us of work
+    // (hi 0..10, lo 10..50): a tie at every hi period boundary.
+    let ts = TaskSet::rate_monotonic(
+        "tie",
+        vec![
+            Task::new("hi", Dur::from_us(50), Dur::from_us(10)),
+            Task::new("lo", Dur::from_us(100), Dur::from_us(40)),
+        ],
+    );
+    let cfg = SimConfig::new(Dur::from_us(200)).with_trace();
+    let report = run(
+        &ts,
+        &CpuSpec::arm8(),
+        PolicyKind::Fps,
+        &lpfps_tasks::exec::AlwaysWcet,
+        &cfg,
+    )
+    .unwrap();
+    let trace = report.trace.as_ref().unwrap();
+
+    // The tie is resolved as completion-then-dispatch, not preemption.
+    assert!(
+        trace
+            .iter()
+            .all(|(_, e)| !matches!(e, TraceEvent::Preempt { .. })),
+        "a completion tie must not be recorded as a preemption"
+    );
+    let at_50: Vec<TraceEvent> = trace
+        .iter()
+        .filter(|&(at, _)| at == Time::from_us(50))
+        .map(|(_, e)| e)
+        .collect();
+    assert!(at_50.iter().any(|e| matches!(
+        e,
+        TraceEvent::Complete {
+            task: TaskId(1),
+            ..
+        }
+    )));
+    assert!(at_50.iter().any(|e| matches!(
+        e,
+        TraceEvent::Dispatch {
+            task: TaskId(0),
+            ..
+        }
+    )));
+
+    // The checker accepts the trace...
+    let violations = check_report(&ts, &CpuSpec::arm8(), &report);
+    assert!(violations.is_empty(), "first: {}", violations[0]);
+
+    // ...and the Gantt built from it is overlap-free with exact busy
+    // attribution: 4 x 10 us of hi and 2 x 40 us of lo over 200 us.
+    let g = Gantt::from_trace(trace, Time::from_us(200));
+    for pair in g.segments().windows(2) {
+        assert!(pair[0].to <= pair[1].from, "{pair:?} overlap at the tie");
+    }
+    assert_eq!(g.task_busy(TaskId(0)), Dur::from_us(40));
+    assert_eq!(g.task_busy(TaskId(1)), Dur::from_us(80));
+}
+
 #[test]
 fn static_baseline_checks_against_its_derated_spec() {
     let (scaled, report) = traced(&table1(), PolicyKind::StaticSlowdown, FaultConfig::none());

@@ -1,13 +1,15 @@
 //! One simulation cell: everything needed to run a single
 //! (workload × policy × BCET fraction × execution model × seed) point.
 
-use lpfps::driver::{default_horizon, run_in, PolicyKind};
+use lpfps::driver::{default_horizon, run_in, run_probed_in, PolicyKind};
 use lpfps::TimeoutShutdown;
 use lpfps_cpu::spec::CpuSpec;
 use lpfps_faults::FaultConfig;
-use lpfps_kernel::engine::{simulate_in, SimConfig, SimWorkspace};
+use lpfps_kernel::engine::{simulate_in, simulate_in_probed, SimConfig, SimWorkspace};
 use lpfps_kernel::error::SimError;
+use lpfps_kernel::probe::Probe;
 use lpfps_kernel::report::SimReport;
+use lpfps_obs::HistSummary;
 use lpfps_tasks::exec::{AlwaysWcet, ExecModel, PaperGaussian};
 use lpfps_tasks::taskset::TaskSet;
 use lpfps_tasks::time::Dur;
@@ -237,20 +239,7 @@ impl Cell {
         force_full: bool,
     ) -> Result<SimReport, SimError> {
         let scaled = self.ts.with_bcet_fraction(self.bcet_fraction);
-        let mut cfg = SimConfig::new(self.effective_horizon(horizon_scale))
-            .with_seed(self.seed)
-            .with_context_switch(self.context_switch)
-            .with_ratio_overhead(self.ratio_overhead);
-        if force_full {
-            cfg = cfg.with_force_full_simulation();
-        }
-        if let Some(tick) = self.tick {
-            cfg = cfg.with_tick(tick);
-        }
-        cfg = cfg.with_faults(self.faults);
-        if self.trace {
-            cfg = cfg.with_trace();
-        }
+        let cfg = self.sim_config(horizon_scale, force_full);
         let mut report = match self.policy {
             PolicyChoice::Kind(kind) => {
                 run_in(&scaled, &self.cpu, kind, self.exec.model(), &cfg, ws)?
@@ -267,6 +256,79 @@ impl Cell {
         report.taskset = self.app.clone();
         Ok(report)
     }
+
+    /// [`Cell::run_opts`] with a [`Probe`] attached to the kernel's
+    /// observability seam. The report is bit-identical to the probe-free
+    /// run (the kernel's zero-cost-observability contract); the probe
+    /// accumulates whatever it watches on the side.
+    ///
+    /// A probe only sees events the kernel actually simulates, so callers
+    /// that need *complete* event coverage (e.g. histogram collection)
+    /// must pass `force_full = true` to disable the steady-state
+    /// fast-forward.
+    ///
+    /// # Errors
+    ///
+    /// As [`Cell::run`].
+    pub fn run_probed_opts<P: Probe>(
+        &self,
+        horizon_scale: f64,
+        ws: &mut SimWorkspace,
+        force_full: bool,
+        probe: &mut P,
+    ) -> Result<SimReport, SimError> {
+        let scaled = self.ts.with_bcet_fraction(self.bcet_fraction);
+        let cfg = self.sim_config(horizon_scale, force_full);
+        let mut report = match self.policy {
+            PolicyChoice::Kind(kind) => {
+                run_probed_in(&scaled, &self.cpu, kind, self.exec.model(), &cfg, ws, probe)?
+            }
+            PolicyChoice::TimeoutShutdown(timeout) => simulate_in_probed(
+                &scaled,
+                &self.cpu,
+                &mut TimeoutShutdown::new(timeout),
+                self.exec.model(),
+                &cfg,
+                ws,
+                probe,
+            )?,
+        };
+        report.taskset = self.app.clone();
+        Ok(report)
+    }
+
+    /// The fully-resolved [`SimConfig`] this cell runs under.
+    fn sim_config(&self, horizon_scale: f64, force_full: bool) -> SimConfig {
+        let mut cfg = SimConfig::new(self.effective_horizon(horizon_scale))
+            .with_seed(self.seed)
+            .with_context_switch(self.context_switch)
+            .with_ratio_overhead(self.ratio_overhead);
+        if force_full {
+            cfg = cfg.with_force_full_simulation();
+        }
+        if let Some(tick) = self.tick {
+            cfg = cfg.with_tick(tick);
+        }
+        cfg = cfg.with_faults(self.faults);
+        if self.trace {
+            cfg = cfg.with_trace();
+        }
+        cfg
+    }
+}
+
+/// Deterministic per-cell histogram summaries, collected by the sweep
+/// runner's [`JobRecorder`](lpfps_obs::JobRecorder) probe when `--hist`
+/// is on. Pure functions of the cell (integer bucket counts), so they
+/// serialize byte-identically across thread counts like every other
+/// [`CellResult`] field. `None` in results predating histogram
+/// collection — and in any sweep run without `--hist`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellHistograms {
+    /// Job response times, nanoseconds.
+    pub response_ns: HistSummary,
+    /// Per-job busy/ramp energy, femtojoules.
+    pub job_energy_fj: HistSummary,
 }
 
 /// Why a sweep cell failed: a stable machine-readable kind (the
@@ -415,6 +477,10 @@ pub struct CellResult {
     /// How the cell finished; the numeric fields above are zero when not
     /// [`CellStatus::Ok`].
     pub status: CellStatus,
+    /// Per-cell histogram summaries (`--hist` runs only; `None`
+    /// otherwise, including in all results committed before histogram
+    /// collection existed).
+    pub hist: Option<CellHistograms>,
 }
 
 impl CellResult {
@@ -431,6 +497,7 @@ impl CellResult {
             degradations: report.counters.degradations,
             events: report.counters.events,
             status: CellStatus::Ok,
+            hist: None,
         }
     }
 
@@ -448,6 +515,7 @@ impl CellResult {
             degradations: 0,
             events: 0,
             status: CellStatus::Failed { error },
+            hist: None,
         }
     }
 }

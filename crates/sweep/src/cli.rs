@@ -11,7 +11,10 @@
 //! * *errors* on unknown flags, missing values, and unparsable numbers.
 
 use crate::metrics::SweepMetrics;
-use crate::runner::RunOptions;
+use crate::runner::{RunOptions, SweepOutcome};
+use crate::spec::SweepSpec;
+use lpfps_kernel::engine::SimWorkspace;
+use lpfps_tasks::time::Time;
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -178,6 +181,14 @@ impl Cli {
             "--no-fast-forward".into(),
             "disable steady-state fast-forward (results are identical; timing only)",
         );
+        row(
+            "--hist".into(),
+            "collect per-job response/energy histograms (deterministic percentiles)",
+        );
+        row(
+            "--trace-out <PATH>".into(),
+            "export the first completed cell's schedule as Perfetto/Chrome-trace JSON",
+        );
         row("--quiet".into(), "suppress per-cell progress on stderr");
         row("--help".into(), "print this help");
         out
@@ -194,6 +205,8 @@ impl Cli {
             horizon_scale: 1.0,
             check: 0,
             no_fast_forward: false,
+            hist: false,
+            trace_out: None,
             quiet: false,
             help: false,
             values: BTreeMap::new(),
@@ -215,6 +228,8 @@ impl Cli {
                 "--help" | "-h" => parsed.help = true,
                 "--quiet" => parsed.quiet = true,
                 "--no-fast-forward" => parsed.no_fast_forward = true,
+                "--hist" => parsed.hist = true,
+                "--trace-out" => parsed.trace_out = Some(value_for("--trace-out")?),
                 "--json" => parsed.json = Some(value_for("--json")?),
                 "--metrics" => parsed.metrics = Some(value_for("--metrics")?),
                 "--threads" => {
@@ -326,6 +341,11 @@ pub struct Parsed {
     pub check: usize,
     /// `--no-fast-forward`: force full event-by-event simulation.
     pub no_fast_forward: bool,
+    /// `--hist`: collect per-job response/energy histograms.
+    pub hist: bool,
+    /// `--trace-out PATH`: export the first completed cell's schedule as
+    /// Perfetto/Chrome-trace JSON after the sweep.
+    pub trace_out: Option<String>,
     /// `--quiet`.
     pub quiet: bool,
     /// `--help` was requested (only observable through `try_parse`).
@@ -362,7 +382,49 @@ impl Parsed {
         opts.horizon_scale = self.horizon_scale;
         opts.check_sample = self.check;
         opts.no_fast_forward = self.no_fast_forward;
+        opts.collect_histograms = self.hist;
         opts
+    }
+
+    /// Honors `--trace-out PATH`: re-runs the first *completed* cell of
+    /// the sweep with tracing enabled, renders the trace as a
+    /// Chrome-trace-event/Perfetto JSON document
+    /// ([`lpfps_obs::export_chrome_trace`]), self-validates it
+    /// ([`lpfps_obs::validate_chrome_trace`]), and writes it to the
+    /// requested path. No-op when the flag is absent; a warning when the
+    /// sweep has no completed cell to export.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the traced re-run fails (it cannot: the cell already
+    /// completed, and cell execution is deterministic), if the export
+    /// fails its own validator, or if the output file cannot be written.
+    pub fn maybe_export_trace(&self, spec: &SweepSpec, outcome: &SweepOutcome) {
+        let Some(path) = &self.trace_out else {
+            return;
+        };
+        let Some(index) = outcome.results.iter().position(|r| r.status.is_ok()) else {
+            eprintln!("--trace-out: no completed cell to export");
+            return;
+        };
+        let cell = spec.cells[index].clone().with_trace();
+        let report = cell
+            .run_in(self.horizon_scale, &mut SimWorkspace::new())
+            .expect("traced re-run of a completed cell succeeds");
+        let trace = report
+            .trace
+            .as_ref()
+            .expect("tracing was enabled for the re-run");
+        let end = Time::ZERO + cell.effective_horizon(self.horizon_scale);
+        let scaled = cell.ts.with_bcet_fraction(cell.bcet_fraction);
+        let json = lpfps_obs::export_chrome_trace(trace, &scaled, end);
+        let stats = lpfps_obs::validate_chrome_trace(&json)
+            .unwrap_or_else(|e| panic!("exported trace failed validation: {e}"));
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!(
+            "wrote {path} ({} events, {} spans — load in chrome://tracing or ui.perfetto.dev)",
+            stats.events, stats.spans
+        );
     }
 
     /// Writes the deterministic results to the `--json` path, if any.
@@ -382,13 +444,35 @@ impl Parsed {
 
     /// Writes the deterministic results (`--json`) and the metrics
     /// (`--metrics` / stderr summary). The two payloads are kept strictly
-    /// separate so results stay byte-identical across thread counts.
+    /// separate so results stay byte-identical across thread counts —
+    /// with one deliberate exception: under `--hist` the sweep-wide
+    /// histogram percentiles are *also* deterministic (associative
+    /// merge in spec order), so they ride along in the `--json` document
+    /// as a `histograms` block wrapping the results.
     ///
     /// # Panics
     ///
     /// Panics if a requested output file cannot be written.
     pub fn emit<T: Serialize>(&self, results: &T, metrics: &SweepMetrics) {
-        self.write_json(results);
+        match (&metrics.response_ns, &metrics.job_energy_fj) {
+            (Some(response), Some(energy)) if self.hist => {
+                if let Some(path) = &self.json {
+                    let results_body =
+                        serde_json::to_string_pretty(results).expect("results serialize");
+                    let response_body =
+                        serde_json::to_string(response).expect("summary serializes");
+                    let energy_body = serde_json::to_string(energy).expect("summary serializes");
+                    let body = format!(
+                        "{{\n\"histograms\": {{\n\"response_ns\": {response_body},\n\
+                         \"job_energy_fj\": {energy_body}\n}},\n\
+                         \"results\": {results_body}\n}}"
+                    );
+                    std::fs::write(path, body).unwrap_or_else(|e| panic!("write {path}: {e}"));
+                    eprintln!("wrote {path}");
+                }
+            }
+            _ => self.write_json(results),
+        }
         if let Some(path) = &self.metrics {
             let body = serde_json::to_string_pretty(metrics).expect("metrics serialize");
             std::fs::write(path, body).unwrap_or_else(|e| panic!("write {path}: {e}"));
@@ -474,6 +558,75 @@ mod tests {
         let p = parse(&[]).unwrap();
         assert!(!p.no_fast_forward);
         assert!(!p.run_options().no_fast_forward);
+    }
+
+    #[test]
+    fn hist_and_trace_out_parse_and_reach_run_options() {
+        let p = parse(&["--hist", "--trace-out", "out.perfetto.json"]).unwrap();
+        assert!(p.hist);
+        assert!(p.run_options().collect_histograms);
+        assert_eq!(p.trace_out.as_deref(), Some("out.perfetto.json"));
+        let p = parse(&[]).unwrap();
+        assert!(!p.hist && p.trace_out.is_none());
+        assert!(!p.run_options().collect_histograms);
+        assert_eq!(
+            parse(&["--trace-out"]),
+            Err(CliError::MissingValue("--trace-out".into()))
+        );
+    }
+
+    /// Under `--hist` the `--json` document gains a deterministic
+    /// `histograms` block wrapping the results; without it (or without
+    /// collected summaries) the payload is the bare results as before.
+    #[test]
+    fn hist_summaries_ride_along_in_the_json_document() {
+        use lpfps_obs::LogHistogram;
+        let dir = std::env::temp_dir().join("lpfps_cli_hist_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        let path_str = path.to_str().unwrap().to_string();
+
+        let mut h = LogHistogram::new();
+        h.record(1_000);
+        h.record(2_000);
+        let metrics = SweepMetrics {
+            sweep: "t".into(),
+            cells: 1,
+            threads: 1,
+            wall_ns: 1,
+            total_events: 2,
+            cycles_detected: 0,
+            events_skipped: 0,
+            failures: 0,
+            failure_kinds: Default::default(),
+            cell_wall_ns: LogHistogram::new().summary(),
+            response_ns: Some(h.summary()),
+            job_energy_fj: Some(h.summary()),
+            per_cell: Vec::new(),
+        };
+
+        let mut p = parse(&["--hist", "--quiet"]).unwrap();
+        p.json = Some(path_str.clone());
+        p.emit(&vec![41u64, 42u64], &metrics);
+        let body = std::fs::read_to_string(&path).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&body).unwrap();
+        let hist = doc.get("histograms").expect("histograms block present");
+        assert_eq!(
+            hist.get("response_ns")
+                .and_then(|h| h.get("count"))
+                .and_then(serde_json::Value::as_u64),
+            Some(2)
+        );
+        assert!(doc.get("results").is_some());
+
+        // No --hist: bare results, no wrapper.
+        let mut p = parse(&["--quiet"]).unwrap();
+        p.json = Some(path_str);
+        p.emit(&vec![41u64, 42u64], &metrics);
+        let body = std::fs::read_to_string(&path).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert!(doc.get("histograms").is_none(), "bare payload: {body}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

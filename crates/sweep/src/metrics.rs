@@ -5,6 +5,7 @@
 //! (or written to a separate `--metrics` file), never mixed into the
 //! `--json` results payload.
 
+use lpfps_obs::HistSummary;
 use serde::Serialize;
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -68,6 +69,17 @@ pub struct SweepMetrics {
     /// clean sweep. Deterministic, unlike the timings — derived from the
     /// results, not the clock.
     pub failure_kinds: BTreeMap<String, usize>,
+    /// Log-histogram summary of per-cell wall-clock times (nanoseconds).
+    /// Nondeterministic like every other timing here.
+    pub cell_wall_ns: HistSummary,
+    /// Sweep-wide job response-time percentiles (nanoseconds), merged
+    /// associatively across all completed cells in spec order — present
+    /// only when histogram collection (`--hist`) was on. *Deterministic*:
+    /// byte-identical across thread counts.
+    pub response_ns: Option<HistSummary>,
+    /// Sweep-wide per-job energy percentiles (femtojoules); same
+    /// collection and determinism contract as `response_ns`.
+    pub job_energy_fj: Option<HistSummary>,
     /// Per-cell timings, in spec order.
     pub per_cell: Vec<CellMetrics>,
 }
@@ -120,6 +132,25 @@ impl SweepMetrics {
                 self.cycles_detected,
                 if self.cycles_detected == 1 { "" } else { "s" },
                 self.events_skipped,
+            );
+        }
+        if let (Some(resp), Some(energy)) = (&self.response_ns, &self.job_energy_fj) {
+            let _ = writeln!(
+                out,
+                "  response: p50 {:.1}us / p95 {:.1}us / p99 {:.1}us / max {:.1}us over {} jobs",
+                resp.p50 as f64 / 1e3,
+                resp.p95 as f64 / 1e3,
+                resp.p99 as f64 / 1e3,
+                resp.max as f64 / 1e3,
+                resp.count,
+            );
+            let _ = writeln!(
+                out,
+                "  job energy: p50 {:.3}uJ / p95 {:.3}uJ / p99 {:.3}uJ / max {:.3}uJ",
+                energy.p50 as f64 / 1e9,
+                energy.p95 as f64 / 1e9,
+                energy.p99 as f64 / 1e9,
+                energy.max as f64 / 1e9,
             );
         }
         if self.failures > 0 {

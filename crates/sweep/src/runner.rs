@@ -22,12 +22,13 @@
 //! deterministic, the timeout affects only the (nondeterministic)
 //! metrics, never the results.
 
-use crate::cell::{Cell, CellError, CellResult, CellStatus};
+use crate::cell::{Cell, CellError, CellHistograms, CellResult, CellStatus};
 use crate::metrics::{CellMetrics, SweepMetrics};
 use crate::spec::SweepSpec;
 use lpfps_kernel::engine::SimWorkspace;
 use lpfps_kernel::report::SimReport;
 use lpfps_kernel::steady::FastForwardStats;
+use lpfps_obs::{JobRecorder, LogHistogram};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -58,6 +59,17 @@ pub struct RunOptions {
     /// bit-identical either way (the kernel guarantees it); the flag
     /// exists for A/B timing and differential testing.
     pub no_fast_forward: bool,
+    /// Attach a [`JobRecorder`] probe to every cell and aggregate per-job
+    /// response-time and energy histograms (per-cell summaries in
+    /// [`CellResult::hist`], sweep-wide merges in
+    /// [`SweepMetrics::response_ns`]/[`SweepMetrics::job_energy_fj`]).
+    /// Implies full simulation for every cell — a probe only sees events
+    /// the kernel actually simulates, so the steady-state fast-forward is
+    /// disabled to keep histogram coverage complete. The `SimReport`s are
+    /// bit-identical either way (the kernel's zero-cost-observability
+    /// contract), and the histograms themselves merge associatively, so
+    /// all of it is byte-identical across thread counts.
+    pub collect_histograms: bool,
 }
 
 impl Default for RunOptions {
@@ -71,6 +83,7 @@ impl Default for RunOptions {
             cell_timeout: None,
             check_sample: 0,
             no_fast_forward: false,
+            collect_histograms: false,
         }
     }
 }
@@ -110,6 +123,13 @@ impl RunOptions {
     /// Disables the steady-state fast-forward for every cell.
     pub fn with_no_fast_forward(mut self) -> Self {
         self.no_fast_forward = true;
+        self
+    }
+
+    /// Enables per-job histogram collection (see
+    /// [`RunOptions::collect_histograms`]).
+    pub fn with_histograms(mut self) -> Self {
+        self.collect_histograms = true;
         self
     }
 }
@@ -157,6 +177,10 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Per-cell raw histograms carried from the worker to the assembly loop
+/// (response-time, per-job energy).
+type CellHists = Option<(LogHistogram, LogHistogram)>;
+
 /// Runs one cell behind the containment boundary: a typed [`SimError`]
 /// and a caught panic both land as a structured [`CellError`] (the panic
 /// under kind `"panic"`), so the sweep never aborts on a bad cell.
@@ -165,24 +189,55 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// this run — read immediately after a completed cell (a panicked cell
 /// would leave the previous cell's stats behind, so failures report
 /// zeros).
+///
+/// With `hist = true` the cell runs with a [`JobRecorder`] probe attached
+/// and the steady-state fast-forward forced off (a probe only sees
+/// simulated events); the raw histograms ride back alongside the report.
 fn run_cell(
     cell: &Cell,
     horizon_scale: f64,
     ws: &mut SimWorkspace,
     force_full: bool,
-) -> (Result<SimReport, CellError>, FastForwardStats) {
-    match catch_unwind(AssertUnwindSafe(|| {
-        cell.run_opts(horizon_scale, ws, force_full)
-    })) {
-        Ok(Ok(report)) => (Ok(report), ws.fast_forward_stats()),
-        Ok(Err(err)) => (
-            Err(CellError::from_sim(cell, &err)),
-            FastForwardStats::default(),
-        ),
-        Err(payload) => (
-            Err(CellError::from_panic(cell, panic_message(payload))),
-            FastForwardStats::default(),
-        ),
+    hist: bool,
+) -> (Result<SimReport, CellError>, FastForwardStats, CellHists) {
+    if hist {
+        let mut rec = JobRecorder::new();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            cell.run_probed_opts(horizon_scale, ws, true, &mut rec)
+        }));
+        match outcome {
+            Ok(Ok(report)) => {
+                let ff = ws.fast_forward_stats();
+                let (resp, energy) = rec.into_histograms();
+                (Ok(report), ff, Some((resp, energy)))
+            }
+            Ok(Err(err)) => (
+                Err(CellError::from_sim(cell, &err)),
+                FastForwardStats::default(),
+                None,
+            ),
+            Err(payload) => (
+                Err(CellError::from_panic(cell, panic_message(payload))),
+                FastForwardStats::default(),
+                None,
+            ),
+        }
+    } else {
+        match catch_unwind(AssertUnwindSafe(|| {
+            cell.run_opts(horizon_scale, ws, force_full)
+        })) {
+            Ok(Ok(report)) => (Ok(report), ws.fast_forward_stats(), None),
+            Ok(Err(err)) => (
+                Err(CellError::from_sim(cell, &err)),
+                FastForwardStats::default(),
+                None,
+            ),
+            Err(payload) => (
+                Err(CellError::from_panic(cell, panic_message(payload))),
+                FastForwardStats::default(),
+                None,
+            ),
+        }
     }
 }
 
@@ -200,7 +255,7 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> SweepOutcome {
     let started = Instant::now();
 
     let next = AtomicUsize::new(0);
-    type Slot = (Result<SimReport, CellError>, CellMetrics);
+    type Slot = (Result<SimReport, CellError>, CellMetrics, CellHists);
     let slots: Mutex<Vec<Option<Slot>>> = Mutex::new((0..n).map(|_| None).collect());
 
     std::thread::scope(|scope| {
@@ -220,8 +275,13 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> SweepOutcome {
                     let cell = &spec.cells[index];
                     let cell_started = Instant::now();
                     let mut attempts = 1;
-                    let (mut outcome, mut ff) =
-                        run_cell(cell, opts.horizon_scale, &mut ws, opts.no_fast_forward);
+                    let (mut outcome, mut ff, mut hists) = run_cell(
+                        cell,
+                        opts.horizon_scale,
+                        &mut ws,
+                        opts.no_fast_forward,
+                        opts.collect_histograms,
+                    );
                     let mut wall = cell_started.elapsed();
                     let mut timed_out = false;
                     if let Some(budget) = opts.cell_timeout {
@@ -233,8 +293,13 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> SweepOutcome {
                             timed_out = true;
                             attempts = 2;
                             let retry_started = Instant::now();
-                            (outcome, ff) =
-                                run_cell(cell, opts.horizon_scale, &mut ws, opts.no_fast_forward);
+                            (outcome, ff, hists) = run_cell(
+                                cell,
+                                opts.horizon_scale,
+                                &mut ws,
+                                opts.no_fast_forward,
+                                opts.collect_histograms,
+                            );
                             wall = retry_started.elapsed();
                         }
                     }
@@ -271,7 +336,7 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> SweepOutcome {
                         }
                     }
                     slots.lock().expect("no worker panicked holding the lock")[index] =
-                        Some((outcome, metrics));
+                        Some((outcome, metrics, hists));
                 }
             });
         }
@@ -281,17 +346,31 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> SweepOutcome {
     let mut reports = Vec::with_capacity(n);
     let mut results = Vec::with_capacity(n);
     let mut per_cell = Vec::with_capacity(n);
+    // Sweep-wide merges run here, in spec order — but the merge is
+    // associative and commutative, so any order (and any worker
+    // partition) would produce the identical histograms.
+    let mut sweep_response = LogHistogram::new();
+    let mut sweep_energy = LogHistogram::new();
     for (index, slot) in slots
         .into_inner()
         .expect("workers joined")
         .into_iter()
         .enumerate()
     {
-        let (outcome, metrics) =
+        let (outcome, metrics, hists) =
             slot.expect("every index below n was claimed by exactly one worker");
         match outcome {
             Ok(report) => {
-                results.push(CellResult::from_report(&spec.cells[index], &report));
+                let mut result = CellResult::from_report(&spec.cells[index], &report);
+                if let Some((resp, energy)) = &hists {
+                    result.hist = Some(CellHistograms {
+                        response_ns: resp.summary(),
+                        job_energy_fj: energy.summary(),
+                    });
+                    sweep_response.merge(resp);
+                    sweep_energy.merge(energy);
+                }
+                results.push(result);
                 reports.push(Some(report));
             }
             Err(error) => {
@@ -311,6 +390,10 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> SweepOutcome {
             *failure_kinds.entry(error.kind.clone()).or_insert(0) += 1;
         }
     }
+    let mut cell_wall = LogHistogram::new();
+    for m in &per_cell {
+        cell_wall.record(m.wall_ns);
+    }
 
     let outcome = SweepOutcome {
         reports,
@@ -325,6 +408,9 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> SweepOutcome {
             events_skipped,
             failures,
             failure_kinds,
+            cell_wall_ns: cell_wall.summary(),
+            response_ns: opts.collect_histograms.then(|| sweep_response.summary()),
+            job_energy_fj: opts.collect_histograms.then(|| sweep_energy.summary()),
             per_cell,
         },
     };
@@ -460,6 +546,57 @@ mod tests {
             ra.energy.total_energy().to_bits(),
             rb.energy.total_energy().to_bits()
         );
+    }
+
+    /// The tentpole determinism claim: with histogram collection on, the
+    /// results payload (now carrying per-cell summaries) and the merged
+    /// sweep-wide percentiles are byte-identical at every thread count.
+    #[test]
+    fn histograms_are_byte_identical_across_thread_counts() {
+        let spec = spec();
+        let base = run_sweep(&spec, &RunOptions::serial().with_histograms());
+        let ref_results = serde_json::to_string(&base.results).unwrap();
+        let ref_resp = base.metrics.response_ns.expect("histograms collected");
+        let ref_energy = base.metrics.job_energy_fj.expect("histograms collected");
+        assert!(ref_resp.count > 0 && ref_energy.count > 0);
+        for threads in 2..=8 {
+            let out = run_sweep(
+                &spec,
+                &RunOptions::serial().with_histograms().with_threads(threads),
+            );
+            let json = serde_json::to_string(&out.results).unwrap();
+            assert_eq!(json, ref_results, "results diverged at {threads} threads");
+            assert_eq!(out.metrics.response_ns.unwrap(), ref_resp);
+            assert_eq!(out.metrics.job_energy_fj.unwrap(), ref_energy);
+        }
+    }
+
+    /// Attaching the histogram probe must not move a bit of the
+    /// deterministic report — the kernel's zero-cost-observability
+    /// contract, exercised through the runner.
+    #[test]
+    fn histogram_collection_leaves_reports_untouched() {
+        let spec = spec();
+        let plain = run_sweep(&spec, &RunOptions::serial());
+        let probed = run_sweep(&spec, &RunOptions::serial().with_histograms());
+        for (a, b) in plain.reports.iter().zip(probed.reports.iter()) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(
+                serde_json::to_string(a).unwrap(),
+                serde_json::to_string(b).unwrap()
+            );
+        }
+        // Without `--hist` every cell's summary slot stays empty; with it,
+        // every completed cell gets one, counting that cell's completions.
+        assert!(plain.results.iter().all(|r| r.hist.is_none()));
+        for (result, report) in probed.results.iter().zip(probed.reports.iter()) {
+            let hist = result.hist.expect("completed cell has histograms");
+            assert_eq!(
+                hist.response_ns.count,
+                report.as_ref().unwrap().counters.completions
+            );
+            assert_eq!(hist.response_ns.count, hist.job_energy_fj.count);
+        }
     }
 
     #[test]
