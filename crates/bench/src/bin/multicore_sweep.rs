@@ -1,0 +1,257 @@
+//! Multicore experiment: partitioned LPFPS fleets on M identical cores.
+//!
+//! The paper's slow-down logic is strictly per-processor: Theorem 1
+//! reasons about one ready queue and one speed knob. The natural
+//! multicore extension is *partitioned* scheduling — allocate tasks to
+//! cores once, then run the proven uniprocessor kernel on each core
+//! independently. This sweep grids core count × partitioning heuristic ×
+//! policy over replicated workloads and reports *fleet* energy: the sum
+//! of the per-core normalized energies.
+//!
+//! Two claims are checked on the full grid:
+//!
+//! * LPFPS (with or without the watchdog) beats plain FPS on fleet
+//!   energy at **every** (workload, cores, partitioner) point — the
+//!   per-core savings survive aggregation regardless of how the load is
+//!   spread;
+//! * every core the RTA-gated allocator (`rta-ff`) admits is miss-free
+//!   under all three policies, while the capacity heuristics (which only
+//!   check `U ≤ 1`) carry no such guarantee — packing and schedulability
+//!   are different contracts.
+//!
+//! One-core points are also asserted identical across partitioners:
+//! with a single core there is nothing to decide, so the allocator must
+//! not leak into the results.
+//!
+//! Usage: `cargo run --release --bin multicore_sweep --
+//! [--quick] [--cores M] [--partitioner NAME] [--json out.json]`
+
+use lpfps::driver::PolicyKind;
+use lpfps_cpu::spec::CpuSpec;
+use lpfps_multi::{CoreBreakdown, MultiCell, MultiEngine, Partitioner, PartitionerKind};
+use lpfps_sweep::{Cell, Cli, ExecKind};
+use lpfps_tasks::taskset::TaskSet;
+use lpfps_workloads::{ins, table1, WorkloadBuilder};
+use serde::Serialize;
+
+/// Core counts gridded (1 is the uniprocessor control column).
+const CORE_GRID: [usize; 4] = [1, 2, 4, 8];
+
+/// Seed of the replica stagger streams (see `WorkloadBuilder`), shared
+/// with the multicore equivalence gates in `tests/multicore_golden.rs`.
+const REPLICA_SEED: u64 = 11;
+
+/// Execution-time stream seed of the base cell; per-core streams are
+/// re-keyed from it via `core_seed`.
+const CELL_SEED: u64 = 42;
+
+const POLICIES: [PolicyKind; 3] = [
+    PolicyKind::Fps,
+    PolicyKind::Lpfps,
+    PolicyKind::LpfpsWatchdog,
+];
+
+/// One grid point: a (workload, cores, partitioner, policy) cell with
+/// its fleet aggregates and per-core breakdown.
+#[derive(Debug, Serialize)]
+struct MultiPoint {
+    workload: String,
+    cores: usize,
+    partitioner: String,
+    policy: String,
+    /// Cores that actually received tasks.
+    cores_used: usize,
+    /// Heaviest per-core WCET utilization the allocator produced.
+    max_core_utilization: f64,
+    fleet_average_power: f64,
+    fleet_energy: f64,
+    fleet_misses: usize,
+    per_core: Vec<CoreBreakdown>,
+}
+
+/// Everything `--json` persists. Full per-core `SimReport`s are omitted
+/// on purpose — the breakdown rows carry the fleet story, and the
+/// bit-identity of the underlying reports is pinned by the test gates.
+#[derive(Debug, Serialize)]
+struct MultiSweepJson {
+    points: Vec<MultiPoint>,
+}
+
+/// Fleet workloads: the paper's harmonic Table 1 set and the non-harmonic
+/// INS avionics set, replicated once per core with staggered seeds.
+fn workloads(quick: bool) -> Vec<TaskSet> {
+    if quick {
+        vec![table1()]
+    } else {
+        vec![table1(), ins()]
+    }
+}
+
+fn main() {
+    let parsed = Cli::new(
+        "multicore_sweep",
+        "partitioned fleets: cores × partitioner × policy, aggregate power accounting",
+    )
+    .switch(
+        "--quick",
+        "shrink the grid for smoke runs (table1 only, cores {1,2}, ffd + rta-ff)",
+    )
+    .parse();
+    let quick = parsed.has("--quick");
+
+    let core_grid: Vec<usize> = match parsed.cores {
+        Some(m) => vec![m],
+        None if quick => vec![1, 2],
+        None => CORE_GRID.to_vec(),
+    };
+    let partitioners: Vec<PartitionerKind> = match parsed.partitioner.as_deref() {
+        Some(name) => vec![PartitionerKind::parse(name)
+            .expect("the CLI already validated --partitioner against PARTITIONER_NAMES")],
+        None if quick => vec![PartitionerKind::Ffd, PartitionerKind::RtaFf],
+        None => PartitionerKind::ALL.to_vec(),
+    };
+
+    let mut engine = match parsed.threads {
+        Some(n) => MultiEngine::new().with_threads(n),
+        None => MultiEngine::new(),
+    };
+
+    if !parsed.quiet {
+        println!("Multicore sweep: partitioned fleets, normalized fleet energy");
+        println!();
+        println!(
+            "{:>8} {:>5} {:>7} {:>10} | {:>4} {:>6} {:>8} {:>10} {:>6} {:>8}",
+            "workload",
+            "cores",
+            "part",
+            "policy",
+            "used",
+            "maxU",
+            "power",
+            "energy",
+            "miss",
+            "vs fps"
+        );
+    }
+
+    let mut points = Vec::new();
+    for base in workloads(quick) {
+        for &cores in &core_grid {
+            for &kind in &partitioners {
+                let mut fps_energy = None;
+                for policy in POLICIES {
+                    let fleet = WorkloadBuilder::new(base.clone())
+                        .with_seed(REPLICA_SEED)
+                        .replicate(cores);
+                    let cell = Cell::new(fleet, CpuSpec::arm8(), policy)
+                        .with_exec(ExecKind::PaperGaussian)
+                        .with_bcet_fraction(0.5)
+                        .with_seed(CELL_SEED);
+                    let mc = MultiCell::new(cell, cores, kind);
+                    let label = mc.label();
+                    let report = engine
+                        .run(&mc, parsed.horizon_scale)
+                        .unwrap_or_else(|e| panic!("{label}: {e}"));
+
+                    let cores_used = report.per_core.iter().filter(|c| c.tasks > 0).count();
+                    let max_core_utilization = report
+                        .per_core
+                        .iter()
+                        .map(|c| c.utilization)
+                        .fold(0.0, f64::max);
+                    if policy == PolicyKind::Fps {
+                        fps_energy = Some(report.fleet_energy);
+                    }
+                    if !parsed.quiet {
+                        let vs_fps = match fps_energy {
+                            Some(f) if f > 0.0 => {
+                                format!("{:>7.1}%", 100.0 * (1.0 - report.fleet_energy / f))
+                            }
+                            _ => String::from("       -"),
+                        };
+                        println!(
+                            "{:>8} {cores:>5} {:>7} {:>10} | {cores_used:>4} {max_core_utilization:>6.3} {:>8.4} {:>10.4} {:>6} {vs_fps}",
+                            base.name(),
+                            kind.name(),
+                            policy.name(),
+                            report.fleet_average_power,
+                            report.fleet_energy,
+                            report.fleet_misses,
+                        );
+                    }
+                    points.push(MultiPoint {
+                        workload: base.name().to_string(),
+                        cores,
+                        partitioner: kind.name().to_string(),
+                        policy: policy.name().to_string(),
+                        cores_used,
+                        max_core_utilization,
+                        fleet_average_power: report.fleet_average_power,
+                        fleet_energy: report.fleet_energy,
+                        fleet_misses: report.fleet_misses,
+                        per_core: report.per_core,
+                    });
+                }
+            }
+        }
+    }
+
+    // The qualitative claims need the full horizon; scaled-down smoke runs
+    // still exercise every grid point but skip them.
+    if parsed.horizon_scale >= 1.0 {
+        let group = |p: &MultiPoint| (p.workload.clone(), p.cores, p.partitioner.clone());
+        for p in &points {
+            if p.policy == "fps" {
+                let fps = p.fleet_energy;
+                for q in points.iter().filter(|q| group(q) == group(p)) {
+                    if q.policy != "fps" {
+                        assert!(
+                            q.fleet_energy < fps,
+                            "{}/{}c/{}: {} fleet energy {:.4} must beat fps {:.4}",
+                            q.workload,
+                            q.cores,
+                            q.partitioner,
+                            q.policy,
+                            q.fleet_energy,
+                            fps
+                        );
+                    }
+                }
+            }
+            // RTA admission is a schedulability proof; capacity packing is
+            // not, so only rta-ff points carry the miss-free guarantee.
+            if p.partitioner == "rta-ff" {
+                assert_eq!(
+                    p.fleet_misses, 0,
+                    "{}/{}c/rta-ff/{}: RTA-admitted cores must be miss-free",
+                    p.workload, p.cores, p.policy
+                );
+            }
+        }
+        // One core leaves the allocator nothing to decide: the control
+        // column must be partitioner-independent, bit for bit.
+        for p in points.iter().filter(|p| p.cores == 1) {
+            for q in points
+                .iter()
+                .filter(|q| q.cores == 1 && q.workload == p.workload && q.policy == p.policy)
+            {
+                assert!(
+                    q.fleet_energy == p.fleet_energy
+                        && q.fleet_average_power == p.fleet_average_power
+                        && q.fleet_misses == p.fleet_misses,
+                    "{}/1c/{}: {} and {} disagree on the uniprocessor column",
+                    p.workload,
+                    p.policy,
+                    p.partitioner,
+                    q.partitioner
+                );
+            }
+        }
+        if !parsed.quiet {
+            println!();
+            println!("checked: lpfps & lpfps-wd < fps at every point; rta-ff miss-free; 1-core partitioner-independent");
+        }
+    }
+
+    parsed.write_json(&MultiSweepJson { points });
+}

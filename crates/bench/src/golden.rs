@@ -16,6 +16,38 @@ use lpfps_oracle::{first_divergence, oracle_run};
 use lpfps_sweep::{Cell, ExecKind, PolicyChoice};
 use lpfps_workloads::{avionics, cnc, ins, table1};
 
+/// `(label, fingerprint)` of every golden cell, in [`golden_cells`]
+/// order — captured with `bench_kernel --golden` on the engine as of
+/// PR 2. Pinned by `tests/golden_determinism.rs` (uniprocessor engine)
+/// and `tests/multicore_golden.rs` (one-core multicore runs must
+/// reproduce it byte for byte).
+pub const GOLDEN_FINGERPRINTS: [(&str, u64); 24] = [
+    ("table1/fps/b50%/s42", 0x6980f6940f8b88e2),
+    ("table1/lpfps/b50%/s42", 0x96ba117d5e644651),
+    ("table1/lpfps-wd/b50%/s42", 0x4f91fe31f8e73a47),
+    ("avionics/fps/b50%/s42", 0x9023ab159b4c1e9d),
+    ("avionics/lpfps/b50%/s42", 0x839bbdc8814168ef),
+    ("avionics/lpfps-wd/b50%/s42", 0xe89d5889a58c6415),
+    ("cnc/fps/b50%/s42", 0xae118dff6f934ca8),
+    ("cnc/lpfps/b50%/s42", 0x01360554c39bb965),
+    ("cnc/lpfps-wd/b50%/s42", 0xfeb19d4178a8fafb),
+    ("ins/fps/b50%/s42", 0xd21c5a0aecdea464),
+    ("ins/lpfps/b50%/s42", 0xe3eb67e9d52ce4a7),
+    ("ins/lpfps-wd/b50%/s42", 0xa6375d9915c03891),
+    ("table1/fps/b50%/s42/overrun", 0x088bd9b2a5ed849b),
+    ("table1/lpfps/b50%/s42/overrun", 0xa21f3f5d348b69f5),
+    ("table1/lpfps-wd/b50%/s42/overrun", 0x0fadb77d1da5d7d4),
+    ("avionics/fps/b50%/s42/overrun", 0x396a5075e5188c26),
+    ("avionics/lpfps/b50%/s42/overrun", 0xb00f54b5a098d2a1),
+    ("avionics/lpfps-wd/b50%/s42/overrun", 0x180a8c14817052fc),
+    ("cnc/fps/b50%/s42/overrun", 0x0b42ba74343c5603),
+    ("cnc/lpfps/b50%/s42/overrun", 0x96e0023be650f2a5),
+    ("cnc/lpfps-wd/b50%/s42/overrun", 0xeb78f7fa9942d149),
+    ("ins/fps/b50%/s42/overrun", 0x450e1ddf13defd4f),
+    ("ins/lpfps/b50%/s42/overrun", 0x9aca5885ab758e3b),
+    ("ins/lpfps-wd/b50%/s42/overrun", 0x2f37d14c71b5e28f),
+];
+
 /// The execution-time seed every golden cell runs with.
 pub const GOLDEN_SEED: u64 = 42;
 

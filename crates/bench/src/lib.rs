@@ -21,6 +21,7 @@
 //! | `tradeoff_scheduler`  | the paper's §5 future-work trade-off, carried out |
 //! | `related_work_dvs`    | §2.2 baselines: EDF@1, AVR, YDS, Ishihara–Yasuura |
 //! | `sweep_utilization`   | synthetic UUniFast utilization sweep |
+//! | `multicore_sweep`     | partitioned fleets: cores × partitioner × policy |
 //! | `simulate`            | ad-hoc CLI (named apps or `--taskset file.json`) |
 //!
 //! Each binary prints a human-readable table to stdout and asserts its own

@@ -16,7 +16,7 @@
 use lpfps::driver::{run, PolicyKind};
 use lpfps::LpfpsPolicy;
 use lpfps_cpu::spec::CpuSpec;
-use lpfps_faults::{FaultConfig, OverrunFault};
+use lpfps_faults::{core_seed, FaultConfig, OverrunFault};
 use lpfps_kernel::engine::simulate;
 use lpfps_kernel::engine::SimConfig;
 use lpfps_tasks::analysis::rta_schedulable;
@@ -113,5 +113,45 @@ proptest! {
         // Same releases, same jobs, same coin flips — the overrun count
         // cannot depend on how the policy scheduled them.
         prop_assert_eq!(fps.counters.overruns, wd.counters.overruns);
+    }
+
+    /// The multicore engine re-keys each core's fault stream with
+    /// [`core_seed`]: core 0 is the identity (the uniprocessor stream,
+    /// bit for bit) and higher cores draw from independent domains. The
+    /// streams are pure functions of the re-keyed seed, so replaying the
+    /// cores in any order — or standalone, outside the engine — cannot
+    /// change a single draw.
+    #[test]
+    fn fault_streams_replay_identically_across_cores(
+        set_seed in 0u64..=10_000,
+        fault_seed in 0u64..=1_000,
+        prob_pct in 5u64..=60,
+        cores in 2usize..=4,
+    ) {
+        let cfg = GenConfig::new(4, 0.4)
+            .with_periods(Dur::from_us(200), Dur::from_ms(10));
+        let ts = generate(&cfg, set_seed);
+        let cpu = CpuSpec::arm8();
+        let overruns_with = |seed: u64| {
+            let faults = FaultConfig::none()
+                .with_seed(seed)
+                .with_overrun(OverrunFault::clamped(prob_pct as f64 / 100.0, 0.5, CLAMP));
+            let sim = SimConfig::new(Dur::from_ms(50)).with_faults(faults);
+            run(&ts, &cpu, PolicyKind::Fps, &AlwaysWcet, &sim)
+                .unwrap()
+                .counters
+                .overruns
+        };
+        let forward: Vec<u64> =
+            (0..cores).map(|k| overruns_with(core_seed(fault_seed, k))).collect();
+        let mut backward: Vec<u64> = (0..cores)
+            .rev()
+            .map(|k| overruns_with(core_seed(fault_seed, k)))
+            .collect();
+        backward.reverse();
+        prop_assert_eq!(&forward, &backward, "core replay must be order-independent");
+        // Core 0 is the uniprocessor stream unchanged — the anchor of the
+        // `--cores 1` golden-matrix reproduction gate.
+        prop_assert_eq!(forward[0], overruns_with(fault_seed));
     }
 }

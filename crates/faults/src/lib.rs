@@ -38,6 +38,33 @@ const DOMAIN_RELEASE: u64 = 0xC2B2_AE3D_27D4_EB4F;
 const DOMAIN_WAKEUP: u64 = 0x1656_67B1_9E37_79F9;
 const DOMAIN_RAMP: u64 = 0x27D4_EB2F_1656_67C7;
 
+/// Domain separator for [`core_seed`]: per-core seed derivation in
+/// partitioned-multiprocessor runs.
+const DOMAIN_CORE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Derives the seed of core `core` of a partitioned-multiprocessor run
+/// from a fleet-level base seed.
+///
+/// Applied to both the simulation seed and the fault seed of each per-core
+/// uniprocessor run, this keys every counter-based stream (execution
+/// times and all four fault domains) per core. Two guarantees follow:
+///
+/// * **Core 0 is the identity** (`core_seed(s, 0) == s`), so a one-core
+///   "fleet" reproduces the corresponding uniprocessor run byte for byte —
+///   the anchor of the multicore golden-matrix gate.
+/// * **Order independence across cores.** Each derived seed depends only
+///   on `(seed, core)`, and every draw under it is already a pure function
+///   of `(seeds, domain, event coordinates)` — so core *k*'s streams are
+///   identical whether its subset is simulated first, last, in parallel
+///   with the others, or standalone. Cross-core replay is pinned by tests
+///   here and in `crates/core/tests/fault_safety_prop.rs`.
+pub fn core_seed(seed: u64, core: usize) -> u64 {
+    if core == 0 {
+        return seed;
+    }
+    SplitMix64::new(seed ^ DOMAIN_CORE ^ core as u64).next_u64()
+}
+
 /// The stream for one fault draw: mixes the simulation seed, the fault
 /// model's own seed, and a domain constant, then derives the per-event
 /// stream exactly like [`job_stream`] does for execution times.
@@ -440,6 +467,45 @@ mod tests {
             assert!((0.25..=0.75).contains(&f), "factor {f}");
         }
         assert_eq!(RampDegradation::constant(0.5).factor(11, 0, 3), 0.5);
+    }
+
+    #[test]
+    fn core_seed_is_identity_on_core_zero_and_distinct_elsewhere() {
+        for seed in [0, 1, 42, u64::MAX] {
+            assert_eq!(core_seed(seed, 0), seed, "core 0 must be the identity");
+        }
+        // Distinct cores of the same base seed get distinct streams.
+        let seeds: Vec<u64> = (0..16).map(|core| core_seed(42, core)).collect();
+        for (a, sa) in seeds.iter().enumerate() {
+            for (b, sb) in seeds.iter().enumerate() {
+                if a != b {
+                    assert_ne!(sa, sb, "cores {a} and {b} alias");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_core_fault_streams_replay_independently_of_core_order() {
+        // A core's stream is a pure function of (base seeds, core,
+        // coordinates): drawing core 2's overruns before, after, or
+        // without core 1's yields the same values.
+        let o = OverrunFault::clamped(0.5, 0.3, 1.5);
+        let draw = |core: usize, job: u64| {
+            o.extra_cycles(
+                core_seed(42, core),
+                core_seed(7, core),
+                0,
+                job,
+                Cycles::new(1_000),
+            )
+        };
+        let core2_alone: Vec<_> = (0..50).map(|j| draw(2, j)).collect();
+        let _core1_first: Vec<_> = (0..50).map(|j| draw(1, j)).collect();
+        let core2_after: Vec<_> = (0..50).map(|j| draw(2, j)).collect();
+        assert_eq!(core2_alone, core2_after);
+        // And distinct cores see distinct streams for equal coordinates.
+        assert_ne!(core2_alone, (0..50).map(|j| draw(1, j)).collect::<Vec<_>>());
     }
 
     #[test]

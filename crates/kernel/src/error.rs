@@ -112,6 +112,15 @@ pub enum SimError {
         /// The invariant that did not hold.
         what: &'static str,
     },
+    /// A multiprocessor partitioner could not place every task on a core
+    /// (no capacity left, a task heavier than one core, RTA admission
+    /// refused everywhere). Carried as rendered prose so the kernel stays
+    /// independent of the partitioning layer; the structured original is
+    /// `lpfps_multi::PartitionError`.
+    Partition {
+        /// The rendered partitioning failure.
+        reason: String,
+    },
 }
 
 impl SimError {
@@ -126,6 +135,7 @@ impl SimError {
             SimError::BudgetExhausted { .. } => "budget-exhausted",
             SimError::InvalidDirective { .. } => "invalid-directive",
             SimError::InternalInvariant { .. } => "internal-invariant",
+            SimError::Partition { .. } => "invalid-partition",
         }
     }
 }
@@ -154,6 +164,9 @@ impl fmt::Display for SimError {
             }
             SimError::InternalInvariant { what } => {
                 write!(f, "internal invariant violated: {what}")
+            }
+            SimError::Partition { reason } => {
+                write!(f, "partitioning failed: {reason}")
             }
         }
     }
@@ -199,6 +212,7 @@ mod tests {
             },
             SimError::InvalidDirective { reason: "x" },
             SimError::InternalInvariant { what: "x" },
+            SimError::Partition { reason: "x".into() },
         ];
         let kinds: Vec<_> = errs.iter().map(SimError::kind).collect();
         assert_eq!(
@@ -211,6 +225,7 @@ mod tests {
                 "budget-exhausted",
                 "invalid-directive",
                 "internal-invariant",
+                "invalid-partition",
             ]
         );
     }

@@ -131,3 +131,18 @@ fn budget_exhausted_message_carries_the_partial_diagnostic() {
         "partial diagnostic lost a field: {msg}"
     );
 }
+
+#[test]
+fn partition_message_wraps_the_allocator_reason() {
+    // The multicore layer folds `PartitionError` into `SimError` as a
+    // pre-rendered reason string; pin the wrapper format here so sweep
+    // logs and `kind()` dispatch stay stable.
+    let err = SimError::Partition {
+        reason: String::from("no core of 2 has capacity left for task `tau1`"),
+    };
+    assert_eq!(
+        err.to_string(),
+        "partitioning failed: no core of 2 has capacity left for task `tau1`"
+    );
+    assert_eq!(err.kind(), "invalid-partition");
+}

@@ -36,7 +36,7 @@ pub mod spec;
 
 pub use cell::{Cell, CellError, CellResult, CellStatus, ExecKind, PolicyChoice};
 pub use check::{check_sampled_cells, CellCheck};
-pub use cli::{Cli, CliError, Parsed};
+pub use cli::{Cli, CliError, Parsed, PARTITIONER_NAMES};
 pub use metrics::{CellMetrics, SweepMetrics};
 pub use runner::{run_sweep, RunOptions, SweepOutcome};
 pub use spec::SweepSpec;

@@ -16,7 +16,9 @@
 //! * [`cnc`] — the CNC machine controller (Kim et al., RTSS '96),
 //!   8 tasks, WCETs 35–720 µs — short enough that the 10 µs voltage
 //!   transition matters;
-//! * [`bcet_ratios`] — the BCET/WCET spread of Figure 1 (Ernst & Ye).
+//! * [`bcet_ratios`] — the BCET/WCET spread of Figure 1 (Ernst & Ye);
+//! * [`WorkloadBuilder`] — seeded `replicate(n)` / `scale_utilization(u)`
+//!   derivation of multicore-scale workloads from any of the above.
 //!
 //! Exact task tables are not printed in the paper; each module documents
 //! which constraints are published (task counts, WCET ranges, utilization
@@ -35,6 +37,7 @@
 
 mod avionics;
 mod bcet_figure1;
+mod builder;
 mod catalog;
 mod cnc;
 mod flight;
@@ -43,6 +46,7 @@ mod table1;
 
 pub use avionics::{avionics, try_avionics};
 pub use bcet_figure1::{bcet_ratios, BcetRatio, BenchmarkClass};
+pub use builder::WorkloadBuilder;
 pub use catalog::{applications, table2, try_applications, Table2Row};
 pub use cnc::{cnc, try_cnc};
 pub use flight::{flight_control, try_flight_control};
